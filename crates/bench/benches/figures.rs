@@ -1,0 +1,159 @@
+//! Criterion micro-benchmarks mirroring every figure of §7 at reduced
+//! scale: statistically robust *relative* timings (who wins, how
+//! growth trends behave), complementing the full-size `figureNN`
+//! harness binaries.
+//!
+//! Run: `cargo bench -p utk-bench --bench figures`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use utk_core::onion::onion_candidates;
+use utk_core::prelude::*;
+use utk_core::skyband::k_skyband;
+use utk_core::stats::Stats;
+use utk_data::queries::random_regions;
+use utk_data::real;
+use utk_data::synthetic::{generate, Distribution};
+use utk_geom::Region;
+use utk_rtree::RTree;
+
+const BENCH_N: usize = 5_000;
+const BENCH_K: usize = 10;
+const BENCH_SIGMA: f64 = 0.01;
+
+fn region_for(d: usize, seed: u64) -> Region {
+    let qb = &random_regions(d - 1, BENCH_SIGMA, 1, seed)[0];
+    Region::hyperrect(qb.lo.clone(), qb.hi.clone())
+}
+
+/// Figure 10(a): the three operators whose output sizes the paper
+/// compares — here their computation cost on the NBA-like dataset.
+fn fig10_operators(c: &mut Criterion) {
+    let ds = real::nba(0.2, 7); // ≈ 4 400 records
+    let tree = RTree::bulk_load(&ds.points);
+    let region = region_for(ds.dim(), 10);
+    let mut g = c.benchmark_group("fig10_operators_nba");
+    g.sample_size(10);
+    g.bench_function("k_skyband", |b| {
+        b.iter(|| k_skyband(&ds.points, &tree, BENCH_K, &mut Stats::new()))
+    });
+    g.bench_function("onion_layers", |b| {
+        let sky = k_skyband(&ds.points, &tree, BENCH_K, &mut Stats::new());
+        b.iter(|| onion_candidates(&ds.points, &sky, BENCH_K))
+    });
+    g.bench_function("utk1_rsa", |b| {
+        b.iter(|| rsa_with_tree(&ds.points, &tree, &region, BENCH_K, &RsaOptions::default()))
+    });
+    g.finish();
+}
+
+/// Figure 11: RSA/JAA vs the SK/ON baselines, varying k.
+fn fig11_methods_vs_k(c: &mut Criterion) {
+    let ds = generate(Distribution::Ind, BENCH_N, 4, 1);
+    let tree = RTree::bulk_load(&ds.points);
+    let region = region_for(4, 11);
+    let mut g = c.benchmark_group("fig11_vs_k");
+    g.sample_size(10);
+    for k in [1usize, 5, 10] {
+        g.bench_with_input(BenchmarkId::new("RSA", k), &k, |b, &k| {
+            b.iter(|| rsa_with_tree(&ds.points, &tree, &region, k, &RsaOptions::default()))
+        });
+        g.bench_with_input(BenchmarkId::new("JAA", k), &k, |b, &k| {
+            b.iter(|| jaa_with_tree(&ds.points, &tree, &region, k, &JaaOptions::default()))
+        });
+        g.bench_with_input(BenchmarkId::new("SK", k), &k, |b, &k| {
+            b.iter(|| baseline_utk1(&ds.points, &tree, &region, k, FilterKind::Skyband))
+        });
+        g.bench_with_input(BenchmarkId::new("ON", k), &k, |b, &k| {
+            b.iter(|| baseline_utk1(&ds.points, &tree, &region, k, FilterKind::Onion))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 12: RSA and JAA across distributions and cardinalities.
+fn fig12_distributions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_dist_n");
+    g.sample_size(10);
+    for dist in Distribution::all() {
+        for n in [2_000usize, 8_000] {
+            let ds = generate(dist, n, 4, 2);
+            let tree = RTree::bulk_load(&ds.points);
+            let region = region_for(4, 12);
+            let id = format!("{}_{}", dist.label(), n);
+            g.bench_with_input(BenchmarkId::new("RSA", &id), &(), |b, _| {
+                b.iter(|| {
+                    rsa_with_tree(&ds.points, &tree, &region, BENCH_K, &RsaOptions::default())
+                })
+            });
+            g.bench_with_input(BenchmarkId::new("JAA", &id), &(), |b, _| {
+                b.iter(|| {
+                    jaa_with_tree(&ds.points, &tree, &region, BENCH_K, &JaaOptions::default())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Figure 13: dimensionality sweep.
+fn fig13_dimensionality(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_vs_d");
+    g.sample_size(10);
+    for d in [2usize, 3, 4, 5, 6, 7] {
+        let ds = generate(Distribution::Ind, BENCH_N, d, 3);
+        let tree = RTree::bulk_load(&ds.points);
+        let region = region_for(d, 13);
+        g.bench_with_input(BenchmarkId::new("RSA", d), &(), |b, _| {
+            b.iter(|| rsa_with_tree(&ds.points, &tree, &region, BENCH_K, &RsaOptions::default()))
+        });
+        g.bench_with_input(BenchmarkId::new("JAA", d), &(), |b, _| {
+            b.iter(|| jaa_with_tree(&ds.points, &tree, &region, BENCH_K, &JaaOptions::default()))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 14: region-size sweep.
+fn fig14_sigma(c: &mut Criterion) {
+    let ds = generate(Distribution::Ind, BENCH_N, 4, 4);
+    let tree = RTree::bulk_load(&ds.points);
+    let mut g = c.benchmark_group("fig14_vs_sigma");
+    g.sample_size(10);
+    for (label, sigma) in [("0.1%", 0.001), ("1%", 0.01), ("5%", 0.05), ("10%", 0.1)] {
+        let qb = &random_regions(3, sigma, 1, 14)[0];
+        let region = Region::hyperrect(qb.lo.clone(), qb.hi.clone());
+        g.bench_with_input(BenchmarkId::new("RSA", label), &(), |b, _| {
+            b.iter(|| rsa_with_tree(&ds.points, &tree, &region, BENCH_K, &RsaOptions::default()))
+        });
+        g.bench_with_input(BenchmarkId::new("JAA", label), &(), |b, _| {
+            b.iter(|| jaa_with_tree(&ds.points, &tree, &region, BENCH_K, &JaaOptions::default()))
+        });
+    }
+    g.finish();
+}
+
+/// Figures 15–16: JAA on the simulated real datasets.
+fn fig15_16_real_datasets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15_16_real");
+    g.sample_size(10);
+    for ds in real::all_real(0.02, 5) {
+        let tree = RTree::bulk_load(&ds.points);
+        let region = region_for(ds.dim(), 15);
+        let name = ds.name.split('-').next().unwrap_or("?").to_string();
+        g.bench_with_input(BenchmarkId::new("JAA", &name), &(), |b, _| {
+            b.iter(|| jaa_with_tree(&ds.points, &tree, &region, BENCH_K, &JaaOptions::default()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    fig10_operators,
+    fig11_methods_vs_k,
+    fig12_distributions,
+    fig13_dimensionality,
+    fig14_sigma,
+    fig15_16_real_datasets,
+);
+criterion_main!(figures);

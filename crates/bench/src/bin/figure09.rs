@@ -1,0 +1,11 @@
+//! Regenerates Figure 9 (the NBA 2016–17 case studies).
+//!
+//! Usage: `cargo run --release -p utk-bench --bin figure09`
+
+use utk_bench::figures::{figure09, print_figures};
+use utk_bench::Config;
+
+fn main() {
+    let cfg = Config::from_args();
+    print_figures(&figure09(&cfg));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 10 (UTK vs traditional operators on NBA).
+//!
+//! Usage: `cargo run --release -p utk-bench --bin figure10 [--paper]`
+
+use utk_bench::figures::{figure10, print_figures};
+use utk_bench::Config;
+
+fn main() {
+    let cfg = Config::from_args();
+    print_figures(&figure10(&cfg));
+}

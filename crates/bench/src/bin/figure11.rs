@@ -1,0 +1,11 @@
+//! Regenerates Figure 11 (RSA/JAA vs the SK/ON baselines, varying k).
+//!
+//! Usage: `cargo run --release -p utk-bench --bin figure11 [--paper]`
+
+use utk_bench::figures::{figure11, print_figures};
+use utk_bench::Config;
+
+fn main() {
+    let cfg = Config::from_args();
+    print_figures(&figure11(&cfg));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 12 (effect of cardinality n and distribution).
+//!
+//! Usage: `cargo run --release -p utk-bench --bin figure12 [--paper]`
+
+use utk_bench::figures::{figure12, print_figures};
+use utk_bench::Config;
+
+fn main() {
+    let cfg = Config::from_args();
+    print_figures(&figure12(&cfg));
+}

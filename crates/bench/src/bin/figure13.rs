@@ -1,0 +1,11 @@
+//! Regenerates Figure 13 (effect of dimensionality d; time and space).
+//!
+//! Usage: `cargo run --release -p utk-bench --bin figure13 [--paper]`
+
+use utk_bench::figures::{figure13, print_figures};
+use utk_bench::Config;
+
+fn main() {
+    let cfg = Config::from_args();
+    print_figures(&figure13(&cfg));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 14 (effect of region size σ).
+//!
+//! Usage: `cargo run --release -p utk-bench --bin figure14 [--paper]`
+
+use utk_bench::figures::{figure14, print_figures};
+use utk_bench::Config;
+
+fn main() {
+    let cfg = Config::from_args();
+    print_figures(&figure14(&cfg));
+}

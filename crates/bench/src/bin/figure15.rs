@@ -1,0 +1,11 @@
+//! Regenerates Figure 15 (JAA on the real datasets, varying k).
+//!
+//! Usage: `cargo run --release -p utk-bench --bin figure15 [--paper]`
+
+use utk_bench::figures::{figure15, print_figures};
+use utk_bench::Config;
+
+fn main() {
+    let cfg = Config::from_args();
+    print_figures(&figure15(&cfg));
+}

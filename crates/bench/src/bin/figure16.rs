@@ -1,0 +1,11 @@
+//! Regenerates Figure 16 (JAA on the real datasets, varying σ).
+//!
+//! Usage: `cargo run --release -p utk-bench --bin figure16 [--paper]`
+
+use utk_bench::figures::{figure16, print_figures};
+use utk_bench::Config;
+
+fn main() {
+    let cfg = Config::from_args();
+    print_figures(&figure16(&cfg));
+}

@@ -1,0 +1,334 @@
+//! Experiment harness for the UTK paper's evaluation (§7).
+//!
+//! Each `figureNN` binary regenerates one figure of the paper; the
+//! `report` binary runs the whole battery and emits Markdown tables
+//! (the source of `EXPERIMENTS.md`). Shared here: configuration
+//! (paper-scale vs scaled-down), query-workload execution, timing and
+//! table formatting.
+//!
+//! All measurements follow the paper's §7 protocol: each data point
+//! averages a batch of UTK queries over random hyper-cube regions of
+//! side σ (Table 1 defaults in bold: n = 400K, d = 4, k = 10,
+//! σ = 1%, 50 queries). `--paper` runs the original sizes; default is
+//! a scaled-down workload with identical shape that completes on a
+//! laptop in minutes.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+
+use std::time::{Duration, Instant};
+use utk_core::prelude::*;
+use utk_core::stats::Stats;
+use utk_data::queries::{random_regions, QueryBox};
+use utk_geom::Region;
+use utk_rtree::RTree;
+
+/// Table 1 of the paper: tested parameter values, defaults in bold.
+pub const PAPER_N: [usize; 5] = [100_000, 200_000, 400_000, 800_000, 1_600_000];
+/// Default cardinality (bold in Table 1).
+pub const PAPER_N_DEFAULT: usize = 400_000;
+/// Tested dimensionalities.
+pub const PAPER_D: [usize; 6] = [2, 3, 4, 5, 6, 7];
+/// Default dimensionality.
+pub const PAPER_D_DEFAULT: usize = 4;
+/// Tested k values.
+pub const PAPER_K: [usize; 6] = [1, 5, 10, 20, 50, 100];
+/// Default k.
+pub const PAPER_K_DEFAULT: usize = 10;
+/// Tested σ values (fraction of the axis).
+pub const PAPER_SIGMA: [f64; 5] = [0.001, 0.005, 0.01, 0.05, 0.1];
+/// Default σ.
+pub const PAPER_SIGMA_DEFAULT: f64 = 0.01;
+/// Queries averaged per measurement.
+pub const PAPER_QUERIES: usize = 50;
+
+/// Harness configuration parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Cardinality multiplier applied to every dataset (1.0 = paper).
+    pub scale: f64,
+    /// Number of random query boxes averaged per measurement.
+    pub queries: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// True when `--paper` was passed (full Table 1 grid).
+    pub paper: bool,
+    /// Positional arguments (e.g. the sub-figure letter).
+    pub positional: Vec<String>,
+}
+
+impl Config {
+    /// Parses `argv[1..]`: positionals plus `--paper`,
+    /// `--scale <f>`, `--queries <n>`, `--seed <n>`.
+    pub fn from_args() -> Config {
+        let mut cfg = Config {
+            scale: 0.05,
+            queries: 5,
+            seed: 2018,
+            paper: false,
+            positional: Vec::new(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--paper" => {
+                    cfg.paper = true;
+                    cfg.scale = 1.0;
+                    cfg.queries = PAPER_QUERIES;
+                }
+                "--scale" => {
+                    cfg.scale = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--scale needs a float");
+                }
+                "--queries" => {
+                    cfg.queries = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--queries needs an integer");
+                }
+                "--seed" => {
+                    cfg.seed = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs an integer");
+                }
+                other => cfg.positional.push(other.to_string()),
+            }
+        }
+        cfg
+    }
+
+    /// Scales a paper cardinality, keeping at least 1 000 records.
+    pub fn n(&self, paper_n: usize) -> usize {
+        ((paper_n as f64 * self.scale) as usize).max(1_000)
+    }
+
+    /// The k sweep, truncated in scaled-down mode (large k against
+    /// full baselines is a paper-scale exercise).
+    pub fn k_values(&self) -> Vec<usize> {
+        if self.paper {
+            PAPER_K.to_vec()
+        } else {
+            vec![1, 5, 10, 20]
+        }
+    }
+}
+
+/// One measured data point: mean wall-clock plus averaged counters.
+#[derive(Debug, Clone, Default)]
+pub struct Measurement {
+    /// Mean wall-clock seconds per query.
+    pub seconds: f64,
+    /// Mean primary output size (records for UTK1, partitions for
+    /// UTK2).
+    pub output_size: f64,
+    /// Aggregated counters over the batch.
+    pub stats: Stats,
+}
+
+/// Runs `f` once per query region and averages.
+pub fn run_batch<F>(regions: &[QueryBox], mut f: F) -> Measurement
+where
+    F: FnMut(&Region) -> (usize, Stats),
+{
+    let mut total = Duration::ZERO;
+    let mut out_sum = 0usize;
+    let mut stats = Stats::new();
+    for qb in regions {
+        let region = Region::hyperrect(qb.lo.clone(), qb.hi.clone());
+        let t0 = Instant::now();
+        let (out, s) = f(&region);
+        total += t0.elapsed();
+        out_sum += out;
+        stats.absorb(&s);
+    }
+    let n = regions.len().max(1) as f64;
+    Measurement {
+        seconds: total.as_secs_f64() / n,
+        output_size: out_sum as f64 / n,
+        stats,
+    }
+}
+
+/// Convenience: random query boxes for `d`-dimensional data.
+pub fn query_workload(d: usize, sigma: f64, cfg: &Config) -> Vec<QueryBox> {
+    random_regions(d - 1, sigma, cfg.queries, cfg.seed)
+}
+
+/// The four measured pipelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// RSA (UTK1).
+    Rsa,
+    /// JAA (UTK2).
+    Jaa,
+    /// Baseline SK, UTK1 or UTK2 mode per the experiment.
+    SkUtk1,
+    /// Baseline ON.
+    OnUtk1,
+    /// Baseline SK in UTK2 mode.
+    SkUtk2,
+    /// Baseline ON in UTK2 mode.
+    OnUtk2,
+}
+
+impl Method {
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::Rsa => "RSA",
+            Method::Jaa => "JAA",
+            Method::SkUtk1 | Method::SkUtk2 => "SK",
+            Method::OnUtk1 | Method::OnUtk2 => "ON",
+        }
+    }
+
+    /// Runs the method, returning `(primary output size, stats)`.
+    pub fn run(
+        self,
+        points: &[Vec<f64>],
+        tree: &RTree,
+        region: &Region,
+        k: usize,
+    ) -> (usize, Stats) {
+        match self {
+            Method::Rsa => {
+                let r = rsa_with_tree(points, tree, region, k, &RsaOptions::default());
+                (r.records.len(), r.stats)
+            }
+            Method::Jaa => {
+                let r = jaa_with_tree(points, tree, region, k, &JaaOptions::default());
+                // The paper's UTK2 output-size metric: the number of
+                // different top-k sets.
+                (r.num_distinct_sets(), r.stats)
+            }
+            Method::SkUtk1 => {
+                let r = baseline_utk1(points, tree, region, k, FilterKind::Skyband);
+                (r.records.len(), r.stats)
+            }
+            Method::OnUtk1 => {
+                let r = baseline_utk1(points, tree, region, k, FilterKind::Onion);
+                (r.records.len(), r.stats)
+            }
+            Method::SkUtk2 => {
+                let r = baseline_utk2(points, tree, region, k, FilterKind::Skyband);
+                (r.total_regions(), r.stats)
+            }
+            Method::OnUtk2 => {
+                let r = baseline_utk2(points, tree, region, k, FilterKind::Onion);
+                (r.total_regions(), r.stats)
+            }
+        }
+    }
+}
+
+/// Markdown/console table writer used by every figure binary.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders as a Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>width$}", width = w[i]))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let mut out = fmt_row(&self.headers);
+        out.push('\n');
+        let sep: Vec<String> = w.iter().map(|&wi| "-".repeat(wi)).collect();
+        out.push_str(&format!("| {} |\n", sep.join(" | ")));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.to_markdown());
+    }
+}
+
+/// Formats seconds with sensible precision.
+pub fn secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{:.2}ms", s * 1000.0)
+    }
+}
+
+/// Formats a float count.
+pub fn count(c: f64) -> String {
+    if c >= 100.0 {
+        format!("{c:.0}")
+    } else {
+        format!("{c:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = Table::new(vec!["k", "RSA", "SK"]);
+        t.row(vec!["1", "0.5", "12.0"]);
+        let md = t.to_markdown();
+        assert!(md.contains("| k | RSA |"));
+        assert!(md.lines().count() == 3);
+    }
+
+    #[test]
+    fn batch_runs_every_region() {
+        let regions = random_regions(2, 0.05, 3, 1);
+        let mut calls = 0;
+        let m = run_batch(&regions, |_| {
+            calls += 1;
+            (calls, Stats::new())
+        });
+        assert_eq!(calls, 3);
+        assert!((m.output_size - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(secs(0.0123), "12.30ms");
+        assert_eq!(secs(7.256), "7.26");
+        assert_eq!(secs(250.0), "250");
+    }
+}

@@ -1,0 +1,225 @@
+//! The r-dominance graph `G` (§4.1 of the paper).
+//!
+//! Nodes are r-skyband candidates; an arc `p → q` records that `p`
+//! r-dominates `q`. The relation is transitive, so the graph stores
+//! the full *ancestor* (dominator) set per node — the node's
+//! r-dominance count is its size — plus the derived descendant sets
+//! and the transitive-reduction child lists used by the drill top-k
+//! search (§4.3).
+
+/// The r-dominance DAG over candidate indices `0..len`.
+#[derive(Debug, Clone)]
+pub struct DominanceGraph {
+    ancestors: Vec<Vec<u32>>,
+    descendants: Vec<Vec<u32>>,
+    children: Vec<Vec<u32>>,
+    roots: Vec<u32>,
+}
+
+impl DominanceGraph {
+    /// Builds the graph from per-node dominator (ancestor) sets, as
+    /// collected during r-skyband computation. Ancestor sets must be
+    /// transitively closed (they are, when collected against the full
+    /// running skyband) and reference smaller-index nodes only in the
+    /// BBS admission order.
+    pub fn build(ancestors: Vec<Vec<u32>>) -> Self {
+        let n = ancestors.len();
+        let mut ancestors = ancestors;
+        for a in &mut ancestors {
+            a.sort_unstable();
+        }
+
+        let mut descendants: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (v, anc) in ancestors.iter().enumerate() {
+            for &a in anc {
+                descendants[a as usize].push(v as u32);
+            }
+        }
+
+        // Transitive reduction: `a` is a parent of `v` iff no other
+        // ancestor of `v` has `a` among its own ancestors.
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (v, anc) in ancestors.iter().enumerate() {
+            for &a in anc {
+                let covered = anc.iter().any(|&b| {
+                    b != a && ancestors[b as usize].binary_search(&a).is_ok()
+                });
+                if !covered {
+                    children[a as usize].push(v as u32);
+                }
+            }
+        }
+
+        let roots = (0..n as u32)
+            .filter(|&v| ancestors[v as usize].is_empty())
+            .collect();
+
+        Self {
+            ancestors,
+            descendants,
+            children,
+            roots,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.ancestors.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.ancestors.is_empty()
+    }
+
+    /// All r-dominators of `v` (transitive), sorted ascending.
+    pub fn ancestors(&self, v: u32) -> &[u32] {
+        &self.ancestors[v as usize]
+    }
+
+    /// All nodes r-dominated by `v` (transitive).
+    pub fn descendants(&self, v: u32) -> &[u32] {
+        &self.descendants[v as usize]
+    }
+
+    /// Transitive-reduction out-neighbours of `v`.
+    pub fn children(&self, v: u32) -> &[u32] {
+        &self.children[v as usize]
+    }
+
+    /// Nodes with r-dominance count 0.
+    pub fn roots(&self) -> &[u32] {
+        &self.roots
+    }
+
+    /// The node's r-dominance count (§4.1).
+    pub fn dominance_count(&self, v: u32) -> usize {
+        self.ancestors[v as usize].len()
+    }
+
+    /// The r-dominance count restricted to non-excluded dominators —
+    /// the contextual count used throughout refinement (§4.2: counts
+    /// "ignore the candidate's ancestors" and previously considered or
+    /// disregarded competitors).
+    pub fn contextual_count(&self, v: u32, excluded: &[bool]) -> usize {
+        self.ancestors[v as usize]
+            .iter()
+            .filter(|&&a| !excluded[a as usize])
+            .count()
+    }
+
+    /// True if `a` r-dominates `v`.
+    pub fn is_ancestor(&self, a: u32, v: u32) -> bool {
+        self.ancestors[v as usize].binary_search(&a).is_ok()
+    }
+
+    /// The minimal elements of the sub-DAG on non-excluded nodes: the
+    /// competitors "with the smallest r-dominance count" (which is
+    /// always 0 on the remaining sub-DAG) whose half-spaces each
+    /// refinement round inserts.
+    pub fn minimal_competitors(&self, excluded: &[bool]) -> Vec<u32> {
+        (0..self.len() as u32)
+            .filter(|&v| !excluded[v as usize] && self.contextual_count(v, excluded) == 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A Figure 5(b)-style example DAG (k = 4). The paper's figure is
+    /// not fully recoverable from the text, so this fixture mirrors
+    /// its *shape* — 4 roots p1–p4, mid-layer p5–p8, bottom layer
+    /// p9–p12, with p11's ancestors {p2, p3, p7} exactly as the
+    /// worked example requires. Encoded as transitive ancestor sets,
+    /// 0-based (p1 = 0 … p12 = 11).
+    fn figure5_graph() -> DominanceGraph {
+        let anc: Vec<Vec<u32>> = vec![
+            vec![],            // p1
+            vec![],            // p2
+            vec![],            // p3
+            vec![],            // p4
+            vec![0],           // p5
+            vec![0, 1],        // p6
+            vec![1, 2],        // p7
+            vec![3],           // p8
+            vec![0, 1, 4, 5],  // p9  (via p5 and p6)
+            vec![0, 1, 5],     // p10 (via p6 and p1)
+            vec![1, 2, 6],     // p11 (via p7)
+            vec![3, 7],        // p12 (via p8)
+        ];
+        DominanceGraph::build(anc)
+    }
+
+    #[test]
+    fn figure5_counts() {
+        let g = figure5_graph();
+        // p11's context matches the paper's worked example: ancestors
+        // {p2, p3, p7}, r-dominance count 3.
+        assert_eq!(g.dominance_count(10), 3); // p11: {p2, p3, p7}
+        assert_eq!(g.dominance_count(11), 2); // p12: {p4, p8}
+        assert_eq!(g.roots(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn figure5_verification_context_of_p11() {
+        let g = figure5_graph();
+        // Verifying p11 ignores its ancestors {p2, p3, p7}; the
+        // minimal remaining competitors are p1 and p4 (count 0).
+        let mut excluded = vec![false; 12];
+        excluded[10] = true; // candidate itself
+        for &a in g.ancestors(10) {
+            excluded[a as usize] = true;
+        }
+        let minimal = g.minimal_competitors(&excluded);
+        assert_eq!(minimal, vec![0, 3]); // p1, p4
+    }
+
+    #[test]
+    fn figure5_recursive_counts_after_considering_p1_p4() {
+        let g = figure5_graph();
+        // §4.2 recursion step: ancestors {p2, p3, p7} ignored and
+        // {p1, p4} already considered — contextual counts over the
+        // remaining competitors only.
+        let mut excluded = vec![false; 12];
+        for v in [10usize, 1, 2, 6, 0, 3] {
+            excluded[v] = true;
+        }
+        assert_eq!(g.contextual_count(4, &excluded), 0); // p5: only dominator p1 excluded
+        assert_eq!(g.contextual_count(5, &excluded), 0); // p6: p1, p2 excluded
+        assert_eq!(g.contextual_count(8, &excluded), 2); // p9: p5, p6 remain
+        assert_eq!(g.contextual_count(9, &excluded), 1); // p10: p6 remains
+    }
+
+    #[test]
+    fn transitive_reduction_children() {
+        let g = figure5_graph();
+        // p1's children must not contain p9/p10 (reached via p5/p6).
+        assert_eq!(g.children(0), &[4, 5]); // p5, p6
+        assert!(g.children(1).contains(&5) && g.children(1).contains(&6));
+        assert!(!g.children(0).contains(&8));
+    }
+
+    #[test]
+    fn descendants_are_inverse_of_ancestors() {
+        let g = figure5_graph();
+        for v in 0..g.len() as u32 {
+            for &d in g.descendants(v) {
+                assert!(g.ancestors(d).contains(&v));
+            }
+            for &a in g.ancestors(v) {
+                assert!(g.descendants(a).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_flat_graphs() {
+        let g = DominanceGraph::build(vec![]);
+        assert!(g.is_empty());
+        let g = DominanceGraph::build(vec![vec![], vec![], vec![]]);
+        assert_eq!(g.roots(), &[0, 1, 2]);
+        assert_eq!(g.minimal_competitors(&[false, true, false]), vec![0, 2]);
+    }
+}

@@ -1,0 +1,598 @@
+//! JAA — the joint-arrangement algorithm for UTK2 (§5 of the paper).
+//!
+//! JAA shares RSA's filtering step but refines differently: it grows a
+//! single *common global arrangement* of `R`. An **anchor** candidate
+//! partitions the current region via the half-spaces of its minimal
+//! competitors; every resulting partition is classified as
+//!
+//! * **equal-to** — the anchor ranks exactly k-th, the top-k set is
+//!   fully known: the partition is finalized in the output;
+//! * **less-than** — the anchor ranks `k′ < k`-th: the top-`k′` prefix
+//!   is known, a new anchor (the k-th scorer at a drill vector, §5.1)
+//!   recursively resolves the remaining `k − k′` slots;
+//! * **greater-than** — at least `k` competitors cover the partition:
+//!   the anchor is out; a new anchor restarts the partition (ignoring
+//!   the old anchor and its graph descendants);
+//! * unclassifiable (Lemma 1 cannot yet confirm the rank) — recurse
+//!   on the same anchor with the next competitor batch.
+//!
+//! The recursion's leaf partitions — all equal-to — tile `R` and form
+//! the UTK2 answer: the exact top-k set for every possible weight
+//! vector in `R`.
+
+use crate::drill::graph_top_k;
+use crate::skyband::{r_skyband, CandidateSet};
+use crate::stats::Stats;
+use utk_geom::tol::INTERIOR_EPS;
+use utk_geom::{Arrangement, CellId, Region};
+use utk_rtree::RTree;
+
+/// Tuning/ablation switches for JAA.
+#[derive(Debug, Clone)]
+pub struct JaaOptions {
+    /// Pivot-score BBS ordering for the filter step (§4.1).
+    pub pivot_order: bool,
+    /// The §5.1 anchor strategy: the *k-th* scorer at the drill
+    /// vector (guarantees an equal-to partition). Off picks the top-1
+    /// scorer instead — still correct, but finalizes nothing directly
+    /// (the paper's "poorly chosen anchor" scenario, for ablation).
+    pub kth_anchor: bool,
+}
+
+impl Default for JaaOptions {
+    fn default() -> Self {
+        Self {
+            pivot_order: true,
+            kth_anchor: true,
+        }
+    }
+}
+
+/// One finalized partition of `R` with its exact top-k set.
+#[derive(Debug, Clone)]
+pub struct Utk2Cell {
+    /// The partition's geometry (R's constraints plus the half-space
+    /// sides accumulated along the recursion).
+    pub region: Region,
+    /// A point strictly inside the partition.
+    pub interior: Vec<f64>,
+    /// The exact top-k set (dataset ids, ascending) for every weight
+    /// vector inside the partition.
+    pub top_k: Vec<u32>,
+}
+
+/// UTK2 output: the partitioning of `R`.
+#[derive(Debug, Clone)]
+pub struct Utk2Result {
+    /// Finalized partitions tiling `R`.
+    pub cells: Vec<Utk2Cell>,
+    /// Union of all top-k sets (equals the UTK1 answer), ascending.
+    pub records: Vec<u32>,
+    /// Work counters.
+    pub stats: Stats,
+}
+
+impl Utk2Result {
+    /// Number of partitions — the paper's "number of top-k sets"
+    /// output-size metric.
+    pub fn num_partitions(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of *distinct* top-k sets across partitions.
+    pub fn num_distinct_sets(&self) -> usize {
+        let mut sets: Vec<&[u32]> = self.cells.iter().map(|c| c.top_k.as_slice()).collect();
+        sets.sort_unstable();
+        sets.dedup();
+        sets.len()
+    }
+
+    /// The cell containing `w`, if any (boundary points may match the
+    /// first of several adjacent cells).
+    pub fn cell_containing(&self, w: &[f64]) -> Option<&Utk2Cell> {
+        self.cells.iter().find(|c| c.region.contains(w))
+    }
+}
+
+/// Runs UTK2 via JAA, building a fresh R-tree over `points`.
+pub fn jaa(points: &[Vec<f64>], region: &Region, k: usize, opts: &JaaOptions) -> Utk2Result {
+    let tree = RTree::bulk_load(points);
+    jaa_with_tree(points, &tree, region, k, opts)
+}
+
+/// Runs UTK2 via JAA over a pre-built index.
+pub fn jaa_with_tree(
+    points: &[Vec<f64>],
+    tree: &RTree,
+    region: &Region,
+    k: usize,
+    opts: &JaaOptions,
+) -> Utk2Result {
+    assert!(k >= 1, "k must be positive");
+    let d = points[0].len();
+    crate::rsa::validate_region(region, d - 1);
+    let mut stats = Stats::new();
+
+    let Some((base_interior, base_slack)) = region.interior_point() else {
+        panic!("query region is empty");
+    };
+    if base_slack <= INTERIOR_EPS {
+        // Degenerate R: a single top-k query answers UTK2.
+        let w = region.pivot().expect("non-empty region");
+        let mut top_k = crate::topk::top_k_brute(points, &w, k);
+        top_k.sort_unstable();
+        let records = top_k.clone();
+        return Utk2Result {
+            cells: vec![Utk2Cell {
+                region: region.clone(),
+                interior: w,
+                top_k,
+            }],
+            records,
+            stats,
+        };
+    }
+
+    let cands = r_skyband(points, tree, region, k, opts.pivot_order, &mut stats);
+    let n = cands.len();
+    if n <= k {
+        let mut top_k = cands.ids.clone();
+        top_k.sort_unstable();
+        let records = top_k.clone();
+        return Utk2Result {
+            cells: vec![Utk2Cell {
+                region: region.clone(),
+                interior: base_interior,
+                top_k,
+            }],
+            records,
+            stats,
+        };
+    }
+
+    let mut ctx = Ctx {
+        cands: &cands,
+        k,
+        opts,
+        stats: &mut stats,
+        none_removed: vec![false; n],
+        out: Vec::new(),
+    };
+
+    // Initial anchor: the k-th scorer at R's pivot (§5.1).
+    let pivot = region.pivot().expect("non-empty region");
+    let anchor = ctx.pick_anchor(&pivot);
+    let mut excluded = vec![false; n];
+    excluded[anchor as usize] = true;
+    let known_above: Vec<u32> = cands.graph.ancestors(anchor).to_vec();
+    for &a in &known_above {
+        excluded[a as usize] = true;
+    }
+    for &v in cands.graph.descendants(anchor) {
+        excluded[v as usize] = true;
+    }
+    let quota = k - known_above.len();
+    partition(
+        &mut ctx,
+        anchor,
+        region,
+        &base_interior,
+        base_slack,
+        quota,
+        &mut excluded,
+        &known_above,
+        0,
+    );
+
+    let cells = ctx.out;
+    let mut records: Vec<u32> = cells
+        .iter()
+        .flat_map(|c| c.top_k.iter().copied())
+        .collect();
+    records.sort_unstable();
+    records.dedup();
+    Utk2Result {
+        cells,
+        records,
+        stats,
+    }
+}
+
+struct Ctx<'a> {
+    cands: &'a CandidateSet,
+    k: usize,
+    opts: &'a JaaOptions,
+    stats: &'a mut Stats,
+    none_removed: Vec<bool>,
+    out: Vec<Utk2Cell>,
+}
+
+impl Ctx<'_> {
+    /// §5.1 anchor choice at drill vector `w`: the k-th scorer (or the
+    /// top-1 scorer under the ablation flag).
+    fn pick_anchor(&mut self, w: &[f64]) -> u32 {
+        self.stats.drills += 1;
+        let top = graph_top_k(self.cands, w, self.k, &self.none_removed);
+        debug_assert_eq!(top.len(), self.k);
+        if self.opts.kth_anchor {
+            top[self.k - 1]
+        } else {
+            top[0]
+        }
+    }
+
+    /// Finalizes an equal-to partition.
+    fn finalize(
+        &mut self,
+        region: Region,
+        interior: Vec<f64>,
+        known_above: &[u32],
+        covered: &[u32],
+        anchor: u32,
+    ) {
+        let mut top_k: Vec<u32> = known_above
+            .iter()
+            .chain(covered.iter())
+            .chain(std::iter::once(&anchor))
+            .map(|&ci| self.cands.ids[ci as usize])
+            .collect();
+        debug_assert_eq!(top_k.len(), self.k, "equal-to cell must know k records");
+        top_k.sort_unstable();
+        self.out.push(Utk2Cell {
+            region,
+            interior,
+            top_k,
+        });
+    }
+}
+
+/// The recursive verification-like procedure (Algorithm 4).
+#[allow(clippy::too_many_arguments)]
+fn partition(
+    ctx: &mut Ctx<'_>,
+    anchor: u32,
+    rho: &Region,
+    rho_interior: &[f64],
+    rho_slack: f64,
+    quota: usize,
+    excluded: &mut Vec<bool>,
+    known_above: &[u32],
+    depth: usize,
+) {
+    debug_assert!(quota >= 1);
+    debug_assert_eq!(known_above.len() + quota, ctx.k, "rank bookkeeping broke");
+    assert!(depth < 10_000, "partition recursion runaway");
+    let n = ctx.cands.len();
+
+    // Insert the half-spaces of the minimal-count competitors.
+    let batch: Vec<u32> = ctx.cands.graph.minimal_competitors(excluded);
+    let mut arr = Arrangement::with_interior(rho.clone(), rho_interior.to_vec(), rho_slack);
+    ctx.stats.arrangements_built += 1;
+    let anchor_pt = &ctx.cands.points[anchor as usize];
+    let anchor_id = ctx.cands.ids[anchor as usize];
+    for &q in &batch {
+        let hs = crate::rdominance::outranks_halfspace(
+            &ctx.cands.points[q as usize],
+            ctx.cands.ids[q as usize],
+            anchor_pt,
+            anchor_id,
+        );
+        arr.insert(hs, q);
+        ctx.stats.halfspaces_inserted += 1;
+        // Count ≥ quota ⇒ greater-than regardless of later insertions
+        // (§5: no Lemma-1 confirmation needed): stop splitting them.
+        let dead: Vec<CellId> = arr
+            .live_cells()
+            .filter(|(_, c)| c.count() >= quota)
+            .map(|(id, _)| id)
+            .collect();
+        for id in dead {
+            arr.prune(id);
+        }
+    }
+    ctx.stats.cells_created += arr.all_cells().len();
+    let bytes = arr.approx_bytes();
+    ctx.stats.arrangement_grew(bytes);
+
+    for &q in &batch {
+        excluded[q as usize] = true;
+    }
+
+    // Classify every leaf partition.
+    let leaves: Vec<CellId> = arr.leaf_cells().map(|(id, _)| id).collect();
+    for cid in leaves {
+        let cell = arr.cell(cid);
+        let cnt = cell.count();
+        let covered: Vec<u32> = cell.covered().iter().map(|&h| arr.tag(h)).collect();
+
+        if cnt >= quota {
+            // Greater-than: restart with a fresh anchor, ignoring the
+            // old anchor and its descendants.
+            let new_anchor = ctx.pick_anchor(cell.interior());
+            debug_assert_ne!(new_anchor, anchor);
+            let mut fresh = vec![false; n];
+            fresh[anchor as usize] = true;
+            for &v in ctx.cands.graph.descendants(anchor) {
+                fresh[v as usize] = true;
+            }
+            fresh[new_anchor as usize] = true;
+            let known: Vec<u32> = ctx.cands.graph.ancestors(new_anchor).to_vec();
+            for &a in &known {
+                fresh[a as usize] = true;
+            }
+            for &v in ctx.cands.graph.descendants(new_anchor) {
+                fresh[v as usize] = true;
+            }
+            let region = cell.region().clone();
+            let interior = cell.interior().to_vec();
+            let slack = cell.slack();
+            partition(
+                ctx,
+                new_anchor,
+                &region,
+                &interior,
+                slack,
+                ctx.k - known.len(),
+                &mut fresh,
+                &known,
+                depth + 1,
+            );
+            continue;
+        }
+
+        // Lemma-1 confirmation: which non-excluded competitors could
+        // still induce half-spaces overlapping this partition?
+        let mut outside_tag = vec![false; n];
+        for &h in cell.outside() {
+            outside_tag[arr.tag(h) as usize] = true;
+        }
+        let mut disregarded = Vec::new();
+        let mut remaining = false;
+        for q in 0..n as u32 {
+            if excluded[q as usize] {
+                continue;
+            }
+            if ctx
+                .cands
+                .graph
+                .ancestors(q)
+                .iter()
+                .any(|&a| outside_tag[a as usize])
+            {
+                disregarded.push(q);
+            } else {
+                remaining = true;
+            }
+        }
+
+        if !remaining {
+            // Rank confirmed: cnt + 1 relative to quota.
+            if cnt + 1 == quota {
+                // Equal-to: finalize.
+                ctx.finalize(
+                    cell.region().clone(),
+                    cell.interior().to_vec(),
+                    known_above,
+                    &covered,
+                    anchor,
+                );
+            } else {
+                // Less-than: the top-k′ prefix is known; a new anchor
+                // resolves the remaining slots.
+                let mut itop: Vec<u32> = known_above.to_vec();
+                itop.extend_from_slice(&covered);
+                itop.push(anchor);
+                let k_prime = itop.len();
+                debug_assert!(k_prime < ctx.k);
+                let new_anchor = {
+                    ctx.stats.drills += 1;
+                    let top = graph_top_k(ctx.cands, cell.interior(), ctx.k, &ctx.none_removed);
+                    if ctx.opts.kth_anchor {
+                        top[ctx.k - 1]
+                    } else {
+                        top[k_prime] // best scorer outside the prefix
+                    }
+                };
+                debug_assert!(!itop.contains(&new_anchor));
+                let mut fresh = vec![false; n];
+                for &v in &itop {
+                    fresh[v as usize] = true;
+                }
+                fresh[new_anchor as usize] = true;
+                for &v in ctx.cands.graph.descendants(new_anchor) {
+                    fresh[v as usize] = true;
+                }
+                // Ancestors of the new anchor outside Itop are plain
+                // competitors (their half-spaces cover everything and
+                // simply raise counts), exactly as in Algorithm 4.
+                let region = cell.region().clone();
+                let interior = cell.interior().to_vec();
+                let slack = cell.slack();
+                partition(
+                    ctx,
+                    new_anchor,
+                    &region,
+                    &interior,
+                    slack,
+                    ctx.k - k_prime,
+                    &mut fresh,
+                    &itop,
+                    depth + 1,
+                );
+            }
+        } else {
+            // Unclassifiable: same anchor, next competitor batch,
+            // rank quota reduced by this partition's count.
+            let mut known: Vec<u32> = known_above.to_vec();
+            known.extend_from_slice(&covered);
+            for &q in &disregarded {
+                excluded[q as usize] = true;
+            }
+            let region = cell.region().clone();
+            let interior = cell.interior().to_vec();
+            let slack = cell.slack();
+            partition(
+                ctx,
+                anchor,
+                &region,
+                &interior,
+                slack,
+                quota - cnt,
+                excluded,
+                &known,
+                depth + 1,
+            );
+            for &q in &disregarded {
+                excluded[q as usize] = false;
+            }
+        }
+    }
+
+    for &q in &batch {
+        excluded[q as usize] = false;
+    }
+    ctx.stats.arrangement_dropped(bytes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topk::top_k_brute;
+
+    fn figure1_hotels() -> Vec<Vec<f64>> {
+        vec![
+            vec![8.3, 9.1, 7.2],
+            vec![2.4, 9.6, 8.6],
+            vec![5.4, 1.6, 4.1],
+            vec![2.6, 6.9, 9.4],
+            vec![7.3, 3.1, 2.4],
+            vec![7.9, 6.4, 6.6],
+            vec![8.6, 7.1, 4.3],
+        ]
+    }
+
+    #[test]
+    fn figure1_partitioning_matches_paper() {
+        // Figure 1(b): four partitions with top-2 sets
+        // {p2,p4}, {p1,p4}, {p1,p2}, {p1,p6}.
+        let region = Region::hyperrect(vec![0.05, 0.05], vec![0.45, 0.25]);
+        let res = jaa(&figure1_hotels(), &region, 2, &JaaOptions::default());
+        let mut sets: Vec<Vec<u32>> = res.cells.iter().map(|c| c.top_k.clone()).collect();
+        sets.sort();
+        sets.dedup();
+        assert_eq!(
+            sets,
+            vec![vec![0, 1], vec![0, 3], vec![0, 5], vec![1, 3]],
+            "expected the paper's four top-2 sets"
+        );
+        assert_eq!(res.records, vec![0, 1, 3, 5]);
+    }
+
+    #[test]
+    fn cells_agree_with_brute_force_at_interiors() {
+        let region = Region::hyperrect(vec![0.05, 0.05], vec![0.45, 0.25]);
+        let hotels = figure1_hotels();
+        let res = jaa(&hotels, &region, 2, &JaaOptions::default());
+        for cell in &res.cells {
+            let mut want = top_k_brute(&hotels, &cell.interior, 2);
+            want.sort_unstable();
+            assert_eq!(cell.top_k, want, "at {:?}", cell.interior);
+        }
+    }
+
+    #[test]
+    fn random_data_cells_cover_region_and_label_correctly() {
+        use rand::prelude::*;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(31);
+        let pts: Vec<Vec<f64>> = (0..150)
+            .map(|_| (0..3).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let region = Region::hyperrect(vec![0.15, 0.2], vec![0.3, 0.35]);
+        let k = 4;
+        let res = jaa(&pts, &region, k, &JaaOptions::default());
+        assert!(!res.cells.is_empty());
+        // Sample points of R: each must land in a cell whose label is
+        // the true top-k there.
+        for _ in 0..200 {
+            let w = [rng.gen_range(0.15..0.3), rng.gen_range(0.2..0.35)];
+            let cell = res
+                .cell_containing(&w)
+                .unwrap_or_else(|| panic!("no cell contains {w:?}"));
+            let mut want = top_k_brute(&pts, &w, k);
+            want.sort_unstable();
+            assert_eq!(cell.top_k, want, "wrong label at {w:?}");
+        }
+    }
+
+    #[test]
+    fn jaa_union_equals_rsa() {
+        use crate::rsa::{rsa, RsaOptions};
+        use rand::prelude::*;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(41);
+        for trial in 0..5 {
+            let pts: Vec<Vec<f64>> = (0..120)
+                .map(|_| (0..3).map(|_| rng.gen_range(0.0..1.0)).collect())
+                .collect();
+            let lo = [rng.gen_range(0.05..0.3), rng.gen_range(0.05..0.3)];
+            let region =
+                Region::hyperrect(lo.to_vec(), lo.iter().map(|l| l + 0.1).collect());
+            let k = 3;
+            let u2 = jaa(&pts, &region, k, &JaaOptions::default());
+            let u1 = rsa(&pts, &region, k, &RsaOptions::default());
+            assert_eq!(u2.records, u1.records, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn anchor_ablation_produces_same_partition_labels() {
+        let region = Region::hyperrect(vec![0.05, 0.05], vec![0.45, 0.25]);
+        let hotels = figure1_hotels();
+        let paper = jaa(&hotels, &region, 2, &JaaOptions::default());
+        let ablated = jaa(
+            &hotels,
+            &region,
+            2,
+            &JaaOptions {
+                kth_anchor: false,
+                ..Default::default()
+            },
+        );
+        // Same set of distinct top-k sets, whatever the partitioning.
+        let norm = |r: &Utk2Result| {
+            let mut s: Vec<Vec<u32>> = r.cells.iter().map(|c| c.top_k.clone()).collect();
+            s.sort();
+            s.dedup();
+            s
+        };
+        assert_eq!(norm(&paper), norm(&ablated));
+        assert_eq!(paper.records, ablated.records);
+    }
+
+    #[test]
+    fn tiny_dataset_single_cell() {
+        let pts = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        let region = Region::hyperrect(vec![0.3], vec![0.6]);
+        let res = jaa(&pts, &region, 5, &JaaOptions::default());
+        assert_eq!(res.cells.len(), 1);
+        assert_eq!(res.cells[0].top_k, vec![0, 1]);
+    }
+
+    #[test]
+    fn one_dim_preference_domain() {
+        // d = 2 data: preference domain is an interval.
+        let pts = vec![
+            vec![9.0, 1.0],
+            vec![1.0, 9.0],
+            vec![6.0, 6.0],
+            vec![5.0, 5.0],
+        ];
+        let region = Region::hyperrect(vec![0.2], vec![0.8]);
+        let res = jaa(&pts, &region, 1, &JaaOptions::default());
+        // Top-1 moves 1 → 2 → 0 as w grows; all three appear.
+        assert_eq!(res.records, vec![0, 1, 2]);
+        for cell in &res.cells {
+            let want = top_k_brute(&pts, &cell.interior, 1);
+            assert_eq!(cell.top_k, want);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Exact processing of uncertain top-k queries (UTK) in multi-criteria
+//! settings — a Rust implementation of Mouratidis & Tang, PVLDB 11(8),
+//! VLDB 2018.
+//!
+//! Given a dataset of `d`-dimensional records, a value `k`, and a
+//! convex region `R` of the preference domain (approximate user
+//! preferences), the **uncertain top-k query** comes in two versions:
+//!
+//! * **UTK1** ([`rsa::rsa`]) — the minimal set of records appearing in
+//!   the top-k set for at least one weight vector in `R`;
+//! * **UTK2** ([`jaa::jaa`]) — the partitioning of `R` into cells,
+//!   each labelled with its exact top-k set.
+//!
+//! The crate contains the paper's full processing framework:
+//!
+//! | module | paper section |
+//! |---|---|
+//! | [`rdominance`] | Definition 1 (r-dominance) |
+//! | [`skyband`] | §2 BBS k-skyband, §4.1 r-skyband filtering |
+//! | [`graph`] | §4.1 r-dominance graph `G` |
+//! | [`drill`] | §4.3 drill optimization (graph top-k) |
+//! | [`rsa`] | §4 RSA algorithm (UTK1) |
+//! | [`jaa`] | §5 JAA algorithm (UTK2) |
+//! | [`scoring`] | §6 generalized scoring functions |
+//! | [`parallel`] | parallel RSA (extension beyond the paper) |
+//! | [`onion`] | §3.3 onion layers (filter of the ON baseline) |
+//! | [`kspr`] | §3.3 kSPR building block \[45\] |
+//! | [`baseline`] | §3.3 SK and ON baselines |
+//! | [`oracle`] | §3.2 exact `d = 2` sweep (ground truth for tests) |
+//!
+//! # Quick start
+//!
+//! ```
+//! use utk_core::prelude::*;
+//!
+//! // Figure 1 of the paper: 7 hotels, k = 2,
+//! // R = [0.05, 0.45] × [0.05, 0.25].
+//! let hotels = vec![
+//!     vec![8.3, 9.1, 7.2], vec![2.4, 9.6, 8.6], vec![5.4, 1.6, 4.1],
+//!     vec![2.6, 6.9, 9.4], vec![7.3, 3.1, 2.4], vec![7.9, 6.4, 6.6],
+//!     vec![8.6, 7.1, 4.3],
+//! ];
+//! let region = Region::hyperrect(vec![0.05, 0.05], vec![0.45, 0.25]);
+//! let result = rsa(&hotels, &region, 2, &RsaOptions::default());
+//! assert_eq!(result.records, vec![0, 1, 3, 5]); // {p1, p2, p4, p6}
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod drill;
+pub mod graph;
+pub mod jaa;
+pub mod kspr;
+pub mod onion;
+pub mod oracle;
+pub mod parallel;
+pub mod rdominance;
+pub mod rsa;
+pub mod scoring;
+pub mod skyband;
+pub mod stats;
+pub mod topk;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use crate::baseline::{baseline_utk1, baseline_utk2, FilterKind};
+    pub use crate::jaa::{jaa, jaa_with_tree, JaaOptions, Utk2Cell, Utk2Result};
+    pub use crate::parallel::{rsa_parallel, rsa_parallel_with_tree};
+    pub use crate::rsa::{rsa, rsa_with_tree, RsaOptions, Utk1Result};
+    pub use crate::skyband::{k_skyband, r_skyband, CandidateSet};
+    pub use crate::stats::Stats;
+    pub use utk_geom::Region;
+}
+
+pub use prelude::*;

@@ -1,0 +1,143 @@
+//! Exact `d = 2` oracle via the dual-line sweep of §3.2.
+//!
+//! For two-dimensional data the preference domain is the interval
+//! `w1 ∈ [0, 1]`, records are dual lines `S(p)(w1)`, and the UTK
+//! answers are read off the ≤k-level of the line arrangement: between
+//! two consecutive crossing points of any pair of lines the score
+//! ranking is constant. Enumerating all pairwise crossings inside `R`
+//! therefore yields the exact UTK1/UTK2 output in `O(n² log n)` —
+//! far too slow for real processing, but a perfect independent ground
+//! truth for testing RSA and JAA.
+
+use crate::topk::top_k_brute;
+
+/// An oracle interval `(lo, hi, top_k)`: the exact sorted top-k set
+/// holding on `(lo, hi)`.
+pub type SweepInterval = (f64, f64, Vec<u32>);
+
+/// Exact UTK2 for `d = 2`: returns `(intervals, utk1)`, where each
+/// interval carries the exact (sorted) top-k set holding on its open
+/// range, and `utk1` is the sorted union.
+pub fn sweep_2d(points: &[Vec<f64>], lo: f64, hi: f64, k: usize) -> (Vec<SweepInterval>, Vec<u32>) {
+    assert!(points.iter().all(|p| p.len() == 2), "oracle is d = 2 only");
+    assert!(lo <= hi);
+
+    // Crossing points of all dual-line pairs inside (lo, hi):
+    // S(p)(w) = p1·w + p2·(1 − w), so lines cross where
+    // (p1 − p2 − q1 + q2)·w = q2 − p2.
+    let mut cuts = vec![lo, hi];
+    for i in 0..points.len() {
+        for j in i + 1..points.len() {
+            let (p, q) = (&points[i], &points[j]);
+            let denom = (p[0] - p[1]) - (q[0] - q[1]);
+            if denom.abs() < 1e-15 {
+                continue; // parallel lines
+            }
+            let w = (q[1] - p[1]) / denom;
+            if w > lo && w < hi {
+                cuts.push(w);
+            }
+        }
+    }
+    cuts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+    let mut intervals = Vec::new();
+    let mut union: Vec<u32> = Vec::new();
+    for seg in cuts.windows(2) {
+        let (a, b) = (seg[0], seg[1]);
+        if b - a < 1e-12 {
+            continue;
+        }
+        let mid = 0.5 * (a + b);
+        let mut top = top_k_brute(points, &[mid], k);
+        top.sort_unstable();
+        union.extend_from_slice(&top);
+        // Merge with the previous interval when the set is unchanged
+        // (crossings among lines outside the top-k don't matter).
+        if let Some((_, prev_hi, prev_set)) = intervals.last_mut() {
+            if *prev_set == top {
+                *prev_hi = b;
+                continue;
+            }
+        }
+        intervals.push((a, b, top));
+    }
+    union.sort_unstable();
+    union.dedup();
+    (intervals, union)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jaa::{jaa, JaaOptions};
+    use crate::rsa::{rsa, RsaOptions};
+    use rand::prelude::*;
+    use utk_geom::Region;
+
+    fn random_points(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+            .collect()
+    }
+
+    #[test]
+    fn sweep_simple_crossover() {
+        // Two lines crossing at w = 0.5.
+        let pts = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let (intervals, utk1) = sweep_2d(&pts, 0.2, 0.8, 1);
+        assert_eq!(utk1, vec![0, 1]);
+        assert_eq!(intervals.len(), 2);
+        assert_eq!(intervals[0].2, vec![1]); // small w1 favours record 1
+        assert_eq!(intervals[1].2, vec![0]);
+        assert!((intervals[0].1 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intervals_tile_the_query_range() {
+        let pts = random_points(40, 5);
+        let (intervals, _) = sweep_2d(&pts, 0.1, 0.9, 3);
+        assert!((intervals[0].0 - 0.1).abs() < 1e-12);
+        assert!((intervals.last().unwrap().1 - 0.9).abs() < 1e-12);
+        for pair in intervals.windows(2) {
+            assert!((pair[0].1 - pair[1].0).abs() < 1e-12, "gap in tiling");
+            assert_ne!(pair[0].2, pair[1].2, "unmerged duplicate sets");
+        }
+    }
+
+    #[test]
+    fn rsa_matches_oracle_d2() {
+        for (seed, k) in [(1u64, 1usize), (2, 3), (3, 5), (4, 2)] {
+            let pts = random_points(80, seed);
+            let (lo, hi) = (0.25, 0.55);
+            let (_, want) = sweep_2d(&pts, lo, hi, k);
+            let region = Region::hyperrect(vec![lo], vec![hi]);
+            let got = rsa(&pts, &region, k, &RsaOptions::default());
+            assert_eq!(got.records, want, "seed {seed}, k {k}");
+        }
+    }
+
+    #[test]
+    fn jaa_matches_oracle_d2() {
+        for (seed, k) in [(11u64, 2usize), (12, 4)] {
+            let pts = random_points(60, seed);
+            let (lo, hi) = (0.3, 0.7);
+            let (want_intervals, want_union) = sweep_2d(&pts, lo, hi, k);
+            let region = Region::hyperrect(vec![lo], vec![hi]);
+            let got = jaa(&pts, &region, k, &JaaOptions::default());
+            assert_eq!(got.records, want_union, "seed {seed}");
+            // Distinct top-k sets must match exactly.
+            let mut got_sets: Vec<Vec<u32>> =
+                got.cells.iter().map(|c| c.top_k.clone()).collect();
+            got_sets.sort();
+            got_sets.dedup();
+            let mut want_sets: Vec<Vec<u32>> =
+                want_intervals.iter().map(|(_, _, s)| s.clone()).collect();
+            want_sets.sort();
+            want_sets.dedup();
+            assert_eq!(got_sets, want_sets, "seed {seed}, k {k}");
+        }
+    }
+}

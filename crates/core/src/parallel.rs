@@ -1,0 +1,213 @@
+//! Parallel UTK1 processing (an extension beyond the paper).
+//!
+//! RSA's refinement verifies candidates one by one; the verifications
+//! are mutually independent except for two *optimizations* the
+//! sequential order enables — confirming a candidate confirms its
+//! graph ancestors, and disqualified candidates are dropped from later
+//! competitor sets. Neither affects correctness: verification against
+//! the full candidate set is exact (§4.4's Lemma 2 argument never
+//! relies on removals), and confirmation propagation is monotone.
+//!
+//! [`rsa_parallel`] therefore fans candidates out over a scoped thread
+//! pool: workers pull from a shared queue (descending r-dominance
+//! count, like the sequential order), skip candidates already
+//! confirmed by a descendant, and publish confirmations through an
+//! atomic status array. Results are bit-identical to [`crate::rsa::rsa`].
+
+use crate::rsa::{verify_candidate, RsaOptions, Utk1Result};
+use crate::skyband::r_skyband;
+use crate::stats::Stats;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use utk_geom::tol::INTERIOR_EPS;
+use utk_geom::Region;
+use utk_rtree::RTree;
+
+const UNVERIFIED: u8 = 0;
+const CONFIRMED: u8 = 1;
+const DISQUALIFIED: u8 = 2;
+
+/// Parallel UTK1: RSA with refinement fanned out over `threads`
+/// worker threads (0 = one per available core). Builds a fresh index.
+pub fn rsa_parallel(
+    points: &[Vec<f64>],
+    region: &Region,
+    k: usize,
+    opts: &RsaOptions,
+    threads: usize,
+) -> Utk1Result {
+    let tree = RTree::bulk_load(points);
+    rsa_parallel_with_tree(points, &tree, region, k, opts, threads)
+}
+
+/// Parallel UTK1 over a pre-built index.
+pub fn rsa_parallel_with_tree(
+    points: &[Vec<f64>],
+    tree: &RTree,
+    region: &Region,
+    k: usize,
+    opts: &RsaOptions,
+    threads: usize,
+) -> Utk1Result {
+    assert!(k >= 1, "k must be positive");
+    let d = points[0].len();
+    crate::rsa::validate_region(region, d - 1);
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    };
+    let mut stats = Stats::new();
+
+    let Some((base_interior, base_slack)) = region.interior_point() else {
+        panic!("query region is empty");
+    };
+    if base_slack <= INTERIOR_EPS {
+        let w = region.pivot().expect("non-empty region");
+        let mut records = crate::topk::top_k_brute(points, &w, k);
+        records.sort_unstable();
+        return Utk1Result { records, stats };
+    }
+
+    // Filtering stays sequential (BBS is a single best-first pass).
+    let cands = r_skyband(points, tree, region, k, opts.pivot_order, &mut stats);
+    let n = cands.len();
+    if n <= k {
+        let mut records = cands.ids.clone();
+        records.sort_unstable();
+        return Utk1Result { records, stats };
+    }
+
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(cands.graph.dominance_count(v)));
+
+    let status: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(UNVERIFIED)).collect();
+    let cursor = AtomicUsize::new(0);
+    let worker_stats: Vec<Stats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Stats::new();
+                    // Parallel workers never remove candidates: exact
+                    // either way, and racing removals would make runs
+                    // non-deterministic.
+                    let removed = vec![false; n];
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= order.len() {
+                            break;
+                        }
+                        let v = order[i];
+                        if status[v as usize].load(Ordering::Acquire) != UNVERIFIED {
+                            continue;
+                        }
+                        let anc = cands.graph.ancestors(v);
+                        let mut excluded = vec![false; n];
+                        excluded[v as usize] = true;
+                        for &a in anc {
+                            excluded[a as usize] = true;
+                        }
+                        let ok = verify_candidate(
+                            &cands,
+                            opts,
+                            &mut local,
+                            v,
+                            region,
+                            &base_interior,
+                            base_slack,
+                            k - anc.len(),
+                            k,
+                            &mut excluded,
+                            &removed,
+                        );
+                        if ok {
+                            status[v as usize].store(CONFIRMED, Ordering::Release);
+                            for &a in anc {
+                                status[a as usize].store(CONFIRMED, Ordering::Release);
+                            }
+                        } else {
+                            // Never demote a confirmation published by
+                            // a descendant's worker.
+                            let _ = status[v as usize].compare_exchange(
+                                UNVERIFIED,
+                                DISQUALIFIED,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            );
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    for ws in &worker_stats {
+        stats.absorb(ws);
+    }
+
+    let mut records: Vec<u32> = (0..n)
+        .filter(|&i| status[i].load(Ordering::Acquire) == CONFIRMED)
+        .map(|i| cands.ids[i])
+        .collect();
+    records.sort_unstable();
+    Utk1Result { records, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rsa::rsa_with_tree;
+    use rand::prelude::*;
+
+    fn random_points(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        for seed in [1u64, 2, 3] {
+            let pts = random_points(400, 3, seed);
+            let tree = RTree::bulk_load(&pts);
+            let region = Region::hyperrect(vec![0.15, 0.2], vec![0.3, 0.35]);
+            let seq = rsa_with_tree(&pts, &tree, &region, 4, &RsaOptions::default());
+            for threads in [1, 2, 4] {
+                let par = rsa_parallel_with_tree(
+                    &pts,
+                    &tree,
+                    &region,
+                    4,
+                    &RsaOptions::default(),
+                    threads,
+                );
+                assert_eq!(par.records, seq.records, "seed {seed}, {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_handles_trivial_cases() {
+        let pts = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        let region = Region::hyperrect(vec![0.3], vec![0.6]);
+        let res = rsa_parallel(&pts, &region, 5, &RsaOptions::default(), 0);
+        assert_eq!(res.records, vec![0, 1]);
+    }
+
+    #[test]
+    fn parallel_on_figure1() {
+        let hotels = vec![
+            vec![8.3, 9.1, 7.2],
+            vec![2.4, 9.6, 8.6],
+            vec![5.4, 1.6, 4.1],
+            vec![2.6, 6.9, 9.4],
+            vec![7.3, 3.1, 2.4],
+            vec![7.9, 6.4, 6.6],
+            vec![8.6, 7.1, 4.3],
+        ];
+        let region = Region::hyperrect(vec![0.05, 0.05], vec![0.45, 0.25]);
+        let res = rsa_parallel(&hotels, &region, 2, &RsaOptions::default(), 3);
+        assert_eq!(res.records, vec![0, 1, 3, 5]);
+    }
+}

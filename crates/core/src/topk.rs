@@ -1,0 +1,69 @@
+//! Plain top-k scoring utilities (brute force), used by the oracle,
+//! the examples and the tests as an independent reference, and by the
+//! Figure 10(b) incremental-top-k comparison.
+
+use utk_geom::pref_score;
+
+/// The `k` highest-scoring record indices under reduced weights `w`,
+/// in descending score order; ties break toward the smaller index
+/// (deterministic).
+pub fn top_k_brute(points: &[Vec<f64>], w: &[f64], k: usize) -> Vec<u32> {
+    let mut scored: Vec<(f64, u32)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (pref_score(p, w), i as u32))
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    scored.truncate(k);
+    scored.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Top-k over a subset of record indices.
+pub fn top_k_brute_subset(
+    points: &[Vec<f64>],
+    subset: &[u32],
+    w: &[f64],
+    k: usize,
+) -> Vec<u32> {
+    let mut scored: Vec<(f64, u32)> = subset
+        .iter()
+        .map(|&i| (pref_score(&points[i as usize], w), i))
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    scored.truncate(k);
+    scored.into_iter().map(|(_, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_top2_at_weights() {
+        // Figure 1: at the user's indicative weights (0.3, 0.5, 0.2)
+        // the top-2 hotels are p1 (8.48) and p2 (7.24).
+        let hotels = vec![
+            vec![8.3, 9.1, 7.2],
+            vec![2.4, 9.6, 8.6],
+            vec![5.4, 1.6, 4.1],
+            vec![2.6, 6.9, 9.4],
+            vec![7.3, 3.1, 2.4],
+            vec![7.9, 6.4, 6.6],
+            vec![8.6, 7.1, 4.3],
+        ];
+        let top = top_k_brute(&hotels, &[0.3, 0.5], 2);
+        assert_eq!(top, vec![0, 1]);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let pts = vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![0.0, 0.0]];
+        assert_eq!(top_k_brute(&pts, &[0.5], 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn subset_restricts_candidates() {
+        let pts = vec![vec![9.0], vec![5.0], vec![7.0]];
+        assert_eq!(top_k_brute_subset(&pts, &[1, 2], &[], 1), vec![2]);
+    }
+}

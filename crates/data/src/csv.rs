@@ -1,0 +1,220 @@
+//! Minimal CSV reading/writing for the `utk` command-line tool.
+//!
+//! Supported dialect: comma-separated numeric columns, an optional
+//! header row (detected: any non-numeric field), and an optional
+//! leading label column (detected per row: non-numeric first field).
+//! No quoting or escaping — record labels must not contain commas.
+
+use crate::dataset::Dataset;
+
+/// A parsed CSV: the dataset plus optional column names and per-record
+/// labels.
+#[derive(Debug, Clone)]
+pub struct CsvData {
+    /// The numeric payload.
+    pub dataset: Dataset,
+    /// Column names from the header row, if present (numeric columns
+    /// only, label column excluded).
+    pub columns: Option<Vec<String>>,
+    /// Per-record labels from a leading non-numeric column.
+    pub labels: Option<Vec<String>>,
+}
+
+impl CsvData {
+    /// A display name for record `id`: its label, or `#id`.
+    pub fn name(&self, id: u32) -> String {
+        match &self.labels {
+            Some(l) => l[id as usize].clone(),
+            None => format!("#{id}"),
+        }
+    }
+}
+
+/// Parsing failure with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CSV line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+fn is_numeric(field: &str) -> bool {
+    field.trim().parse::<f64>().is_ok()
+}
+
+/// Parses CSV text into a dataset (see module docs for the dialect).
+pub fn parse_csv(text: &str, name: &str) -> Result<CsvData, CsvError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    let Some((first_no, first)) = lines.next() else {
+        return Err(CsvError {
+            line: 1,
+            message: "no data rows".into(),
+        });
+    };
+
+    // Header detection: a row with any non-numeric field beyond a
+    // possible label column is a header.
+    let first_fields: Vec<&str> = first.split(',').map(str::trim).collect();
+    let has_header = first_fields.iter().skip(1).any(|f| !is_numeric(f))
+        || (first_fields.len() == 1 && !is_numeric(first_fields[0]));
+
+    let mut columns: Option<Vec<String>> = None;
+    let mut rows: Vec<(usize, Vec<&str>)> = Vec::new();
+    if has_header {
+        columns = Some(first_fields.iter().map(|s| s.to_string()).collect());
+    } else {
+        rows.push((first_no, first_fields));
+    }
+    for (no, line) in lines {
+        rows.push((no, line.split(',').map(str::trim).collect()));
+    }
+    if rows.is_empty() {
+        return Err(CsvError {
+            line: first_no,
+            message: "header only, no data rows".into(),
+        });
+    }
+
+    // Label column detection: every data row starts non-numeric.
+    let has_labels = rows.iter().all(|(_, f)| !is_numeric(f[0]));
+    let mut labels = if has_labels { Some(Vec::new()) } else { None };
+    if has_labels {
+        if let Some(c) = &mut columns {
+            c.remove(0);
+        }
+    }
+
+    let mut points = Vec::with_capacity(rows.len());
+    let mut width = None;
+    for (no, fields) in rows {
+        let start = usize::from(has_labels);
+        if let Some(l) = &mut labels {
+            l.push(fields[0].to_string());
+        }
+        let mut p = Vec::with_capacity(fields.len() - start);
+        for f in &fields[start..] {
+            p.push(f.parse::<f64>().map_err(|_| CsvError {
+                line: no,
+                message: format!("not a number: {f:?}"),
+            })?);
+        }
+        match width {
+            None => width = Some(p.len()),
+            Some(w) if w != p.len() => {
+                return Err(CsvError {
+                    line: no,
+                    message: format!("expected {w} values, found {}", p.len()),
+                })
+            }
+            _ => {}
+        }
+        points.push(p);
+    }
+
+    Ok(CsvData {
+        dataset: Dataset::new(name, points),
+        columns,
+        labels,
+    })
+}
+
+/// Serializes a dataset (with optional labels) back to CSV.
+pub fn write_csv(ds: &Dataset, labels: Option<&[String]>) -> String {
+    let mut out = String::new();
+    for (i, p) in ds.points.iter().enumerate() {
+        if let Some(l) = labels {
+            out.push_str(&l[i]);
+            out.push(',');
+        }
+        let nums: Vec<String> = p.iter().map(|v| format!("{v}")).collect();
+        out.push_str(&nums.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_numeric_rows() {
+        let csv = "1.0,2.0,3.0\n4.0,5.0,6.0\n";
+        let d = parse_csv(csv, "t").unwrap();
+        assert_eq!(d.dataset.len(), 2);
+        assert_eq!(d.dataset.dim(), 3);
+        assert!(d.columns.is_none());
+        assert!(d.labels.is_none());
+        assert_eq!(d.name(1), "#1");
+    }
+
+    #[test]
+    fn header_and_labels() {
+        let csv = "hotel,service,cleanliness\np1,8.3,9.1\np2,2.4,9.6\n";
+        let d = parse_csv(csv, "t").unwrap();
+        assert_eq!(d.columns, Some(vec!["service".into(), "cleanliness".into()]));
+        assert_eq!(d.labels, Some(vec!["p1".into(), "p2".into()]));
+        assert_eq!(d.dataset.points[1], vec![2.4, 9.6]);
+        assert_eq!(d.name(0), "p1");
+    }
+
+    #[test]
+    fn labels_without_header() {
+        let csv = "a,1,2\nb,3,4\n";
+        let d = parse_csv(csv, "t").unwrap();
+        assert!(d.columns.is_none());
+        assert_eq!(d.labels, Some(vec!["a".into(), "b".into()]));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let csv = "# comment\n\n1,2\n\n3,4\n";
+        let d = parse_csv(csv, "t").unwrap();
+        assert_eq!(d.dataset.len(), 2);
+    }
+
+    #[test]
+    fn ragged_rows_rejected_with_line_number() {
+        let csv = "1,2\n3,4,5\n";
+        let err = parse_csv(csv, "t").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("expected 2"));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let csv = "1,2\n3,x\n";
+        let err = parse_csv(csv, "t").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(parse_csv("", "t").is_err());
+        assert!(parse_csv("only,header\n", "t").is_err());
+    }
+
+    #[test]
+    fn round_trip() {
+        let ds = Dataset::new("t", vec![vec![1.5, 2.0], vec![0.25, 4.0]]);
+        let labels = vec!["a".to_string(), "b".to_string()];
+        let csv = write_csv(&ds, Some(&labels));
+        let back = parse_csv(&csv, "t").unwrap();
+        assert_eq!(back.dataset.points, ds.points);
+        assert_eq!(back.labels.as_deref(), Some(labels.as_slice()));
+    }
+}

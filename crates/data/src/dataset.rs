@@ -1,0 +1,131 @@
+//! Dataset container and normalization helpers.
+
+/// An in-memory multi-criteria dataset: `n` records with `d`
+/// non-negative attributes where *higher is better* in every
+/// dimension (§3.1 of the paper).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable name (used in experiment reports).
+    pub name: String,
+    /// Record attribute vectors, all of equal length.
+    pub points: Vec<Vec<f64>>,
+}
+
+impl Dataset {
+    /// Wraps points under a name.
+    ///
+    /// # Panics
+    /// Panics on empty data or inconsistent dimensionality.
+    pub fn new(name: impl Into<String>, points: Vec<Vec<f64>>) -> Self {
+        assert!(!points.is_empty(), "empty dataset");
+        let d = points[0].len();
+        assert!(
+            points.iter().all(|p| p.len() == d),
+            "inconsistent dimensionality"
+        );
+        Self {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Never true (construction forbids empty data).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Attribute dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.points[0].len()
+    }
+
+    /// Scales every dimension by its maximum, mapping data into
+    /// `[0, 1]^d` while preserving per-dimension ratios. This is the
+    /// scaling under which the paper's NBA case study reproduces.
+    pub fn normalize_max(&mut self) {
+        let d = self.dim();
+        let mut maxs = vec![f64::MIN; d];
+        for p in &self.points {
+            for i in 0..d {
+                maxs[i] = maxs[i].max(p[i]);
+            }
+        }
+        for p in &mut self.points {
+            for i in 0..d {
+                if maxs[i] > 0.0 {
+                    p[i] /= maxs[i];
+                }
+            }
+        }
+    }
+
+    /// Min-max normalization into `[0, 1]^d`.
+    pub fn normalize_minmax(&mut self) {
+        let d = self.dim();
+        let mut lo = vec![f64::MAX; d];
+        let mut hi = vec![f64::MIN; d];
+        for p in &self.points {
+            for i in 0..d {
+                lo[i] = lo[i].min(p[i]);
+                hi[i] = hi[i].max(p[i]);
+            }
+        }
+        for p in &mut self.points {
+            for i in 0..d {
+                let span = hi[i] - lo[i];
+                p[i] = if span > 0.0 { (p[i] - lo[i]) / span } else { 0.0 };
+            }
+        }
+    }
+
+    /// Keeps the first `d` attributes of every record (the case
+    /// studies project NBA data onto 2 or 3 of its 8 dimensions).
+    pub fn project(&self, dims: &[usize]) -> Dataset {
+        let points = self
+            .points
+            .iter()
+            .map(|p| dims.iter().map(|&i| p[i]).collect())
+            .collect();
+        Dataset::new(format!("{}[{:?}]", self.name, dims), points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_max_scales_to_unit() {
+        let mut ds = Dataset::new("t", vec![vec![2.0, 10.0], vec![4.0, 5.0]]);
+        ds.normalize_max();
+        assert_eq!(ds.points[1], vec![1.0, 0.5]);
+        assert_eq!(ds.points[0], vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn normalize_minmax_hits_bounds() {
+        let mut ds = Dataset::new("t", vec![vec![2.0], vec![4.0], vec![3.0]]);
+        ds.normalize_minmax();
+        assert_eq!(ds.points[0], vec![0.0]);
+        assert_eq!(ds.points[1], vec![1.0]);
+        assert_eq!(ds.points[2], vec![0.5]);
+    }
+
+    #[test]
+    fn project_selects_dims() {
+        let ds = Dataset::new("t", vec![vec![1.0, 2.0, 3.0]]);
+        let p = ds.project(&[2, 0]);
+        assert_eq!(p.points[0], vec![3.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn rejects_ragged_data() {
+        Dataset::new("bad", vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+}

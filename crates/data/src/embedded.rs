@@ -1,0 +1,142 @@
+//! Exact embedded datasets behind the paper's worked examples.
+//!
+//! * [`figure1_hotels`] — the seven hotels of Figure 1 (Service,
+//!   Cleanliness, Location on a 0–10 scale). With `k = 2` and
+//!   `R = [0.05, 0.45] × [0.05, 0.25]` the UTK1 answer is
+//!   `{p1, p2, p4, p6}` and the UTK2 partitioning runs
+//!   `{p2,p4} → {p1,p4} → {p1,p2} → {p1,p6}` left to right.
+//! * [`nba_2016_17`] — a curated table of 2016–17 NBA season
+//!   per-game averages (rebounds, points, assists) for the league's
+//!   statistical leaders, reproducing the Figure 9 case studies. The
+//!   figures' results hold under per-dimension max normalization
+//!   ([`crate::Dataset::normalize_max`]); the table is a curated
+//!   subset of public season averages (see `DESIGN.md`).
+
+use crate::dataset::Dataset;
+
+/// Names of the Figure 1 hotels, aligned with
+/// [`figure1_hotels`]' record order.
+pub const FIGURE1_NAMES: [&str; 7] = ["p1", "p2", "p3", "p4", "p5", "p6", "p7"];
+
+/// The Figure 1 example: 7 hotels × (Service, Cleanliness, Location).
+pub fn figure1_hotels() -> Dataset {
+    Dataset::new(
+        "Figure1-hotels",
+        vec![
+            vec![8.3, 9.1, 7.2], // p1
+            vec![2.4, 9.6, 8.6], // p2
+            vec![5.4, 1.6, 4.1], // p3
+            vec![2.6, 6.9, 9.4], // p4
+            vec![7.3, 3.1, 2.4], // p5
+            vec![7.9, 6.4, 6.6], // p6
+            vec![8.6, 7.1, 4.3], // p7
+        ],
+    )
+}
+
+/// One row of the curated NBA 2016–17 table.
+#[derive(Debug, Clone, Copy)]
+pub struct NbaPlayer {
+    /// Player name.
+    pub name: &'static str,
+    /// Rebounds per game.
+    pub rebounds: f64,
+    /// Points per game.
+    pub points: f64,
+    /// Assists per game.
+    pub assists: f64,
+}
+
+/// Curated 2016–17 season per-game averages (league statistical
+/// leaders; approximate public figures).
+pub const NBA_2016_17: [NbaPlayer; 27] = [
+    NbaPlayer { name: "Russell Westbrook", rebounds: 10.7, points: 31.6, assists: 10.4 },
+    NbaPlayer { name: "James Harden", rebounds: 8.1, points: 29.1, assists: 11.2 },
+    NbaPlayer { name: "Isaiah Thomas", rebounds: 2.7, points: 28.9, assists: 5.9 },
+    NbaPlayer { name: "Anthony Davis", rebounds: 11.8, points: 28.0, assists: 2.1 },
+    NbaPlayer { name: "DeMarcus Cousins", rebounds: 11.0, points: 27.0, assists: 4.6 },
+    NbaPlayer { name: "DeMar DeRozan", rebounds: 5.2, points: 27.3, assists: 3.9 },
+    NbaPlayer { name: "Damian Lillard", rebounds: 4.9, points: 27.0, assists: 5.9 },
+    NbaPlayer { name: "LeBron James", rebounds: 8.6, points: 26.4, assists: 8.7 },
+    NbaPlayer { name: "Kawhi Leonard", rebounds: 5.8, points: 25.5, assists: 3.5 },
+    NbaPlayer { name: "Stephen Curry", rebounds: 4.5, points: 25.3, assists: 6.6 },
+    NbaPlayer { name: "Kevin Durant", rebounds: 8.3, points: 25.1, assists: 4.8 },
+    NbaPlayer { name: "Kyrie Irving", rebounds: 3.2, points: 25.2, assists: 5.8 },
+    NbaPlayer { name: "Jimmy Butler", rebounds: 6.2, points: 23.9, assists: 5.5 },
+    NbaPlayer { name: "Paul George", rebounds: 6.6, points: 23.7, assists: 3.3 },
+    NbaPlayer { name: "Kemba Walker", rebounds: 3.9, points: 23.2, assists: 5.5 },
+    NbaPlayer { name: "John Wall", rebounds: 4.2, points: 23.1, assists: 10.7 },
+    NbaPlayer { name: "Giannis Antetokounmpo", rebounds: 8.8, points: 22.9, assists: 5.4 },
+    NbaPlayer { name: "Hassan Whiteside", rebounds: 14.1, points: 17.0, assists: 0.7 },
+    NbaPlayer { name: "Andre Drummond", rebounds: 13.8, points: 13.6, assists: 1.1 },
+    NbaPlayer { name: "Rudy Gobert", rebounds: 12.8, points: 14.0, assists: 1.2 },
+    NbaPlayer { name: "DeAndre Jordan", rebounds: 13.8, points: 12.7, assists: 1.2 },
+    NbaPlayer { name: "Dwight Howard", rebounds: 12.7, points: 13.5, assists: 1.4 },
+    NbaPlayer { name: "Kevin Love", rebounds: 11.1, points: 19.0, assists: 1.9 },
+    NbaPlayer { name: "Nikola Vucevic", rebounds: 10.4, points: 14.6, assists: 2.8 },
+    NbaPlayer { name: "Chris Paul", rebounds: 5.0, points: 18.1, assists: 9.2 },
+    NbaPlayer { name: "Draymond Green", rebounds: 7.9, points: 10.2, assists: 7.0 },
+    NbaPlayer { name: "Nikola Jokic", rebounds: 9.8, points: 16.7, assists: 4.9 },
+];
+
+/// The curated table as a dataset, dimensions ordered
+/// (rebounds, points, assists) as in Figure 9, max-normalized.
+pub fn nba_2016_17() -> Dataset {
+    let points = NBA_2016_17
+        .iter()
+        .map(|p| vec![p.rebounds, p.points, p.assists])
+        .collect();
+    let mut ds = Dataset::new("NBA-2016-17", points);
+    ds.normalize_max();
+    ds
+}
+
+/// Player name for a record index of [`nba_2016_17`].
+pub fn nba_player_name(idx: usize) -> &'static str {
+    NBA_2016_17[idx].name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_matches_published_table() {
+        let ds = figure1_hotels();
+        assert_eq!(ds.len(), 7);
+        assert_eq!(ds.dim(), 3);
+        assert_eq!(ds.points[6], vec![8.6, 7.1, 4.3]); // p7
+    }
+
+    #[test]
+    fn nba_normalized_leaders_hit_one() {
+        let ds = nba_2016_17();
+        // Whiteside leads rebounds, Westbrook points, Harden assists.
+        let max = |d: usize| {
+            ds.points
+                .iter()
+                .map(|p| p[d])
+                .fold(f64::MIN, f64::max)
+        };
+        assert!((max(0) - 1.0).abs() < 1e-12);
+        assert!((max(1) - 1.0).abs() < 1e-12);
+        assert!((max(2) - 1.0).abs() < 1e-12);
+        let whiteside = NBA_2016_17
+            .iter()
+            .position(|p| p.name == "Hassan Whiteside")
+            .unwrap();
+        assert!((ds.points[whiteside][0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn westbrook_drummond_crossover_near_paper_boundary() {
+        // The Figure 9(a) partition boundary: Westbrook leaves the
+        // top-3 when Drummond overtakes him, at wr ≈ 0.72.
+        let ds = nba_2016_17();
+        let idx = |name: &str| NBA_2016_17.iter().position(|p| p.name == name).unwrap();
+        let (w, d) = (&ds.points[idx("Russell Westbrook")], &ds.points[idx("Andre Drummond")]);
+        // Solve wr·w0 + (1−wr)·w1 = wr·d0 + (1−wr)·d1 on (reb, pts).
+        let wr = (d[1] - w[1]) / ((w[0] - w[1]) - (d[0] - d[1]));
+        assert!((wr - 0.72).abs() < 0.01, "crossover at {wr}");
+    }
+}

@@ -1,0 +1,31 @@
+//! Workloads for the UTK experiments (§7 of the paper).
+//!
+//! * [`synthetic`] — the standard preference-query benchmarks of
+//!   Börzsönyi et al.: Independent (IND), Correlated (COR) and
+//!   Anticorrelated (ANTI) point sets;
+//! * [`real`] — deterministic simulators standing in for the paper's
+//!   real datasets HOTEL (418,843 × 4D), HOUSE (315,265 × 6D) and NBA
+//!   (21,960 × 8D), matching their cardinality, dimensionality and
+//!   correlation structure (see `DESIGN.md` for the substitution
+//!   rationale);
+//! * [`embedded`] — small exact datasets: the Figure 1 hotel example
+//!   and the curated NBA 2016–17 season table behind the Figure 9
+//!   case studies;
+//! * [`queries`] — random query regions `R` (axis-parallel hyper-cubes
+//!   of side `σ`, uniformly placed in the preference domain) as used
+//!   by every experiment.
+//!
+//! All generators are seeded and fully deterministic.
+
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod dataset;
+pub mod embedded;
+pub mod queries;
+pub mod real;
+pub mod synthetic;
+
+pub use dataset::Dataset;
+pub use queries::random_regions;
+pub use synthetic::Distribution;

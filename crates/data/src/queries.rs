@@ -1,0 +1,79 @@
+//! Random query regions (the `R` inputs of every experiment).
+//!
+//! §7 of the paper: *"Every reported measurement is the average of 50
+//! UTK queries, for axis-parallel hyper-cubes R randomly generated in
+//! the preference domain. The side-length of R is expressed as a
+//! percentage σ of the axis length."* The preference-domain axes have
+//! length 1, so a query is a hyper-cube of side `σ` placed uniformly
+//! at random subject to lying fully inside the preference simplex
+//! `{ w ≥ 0, Σ w ≤ 1 }`.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// One axis-parallel query box `lo ≤ w ≤ hi` in the preference domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryBox {
+    /// Lower corner.
+    pub lo: Vec<f64>,
+    /// Upper corner.
+    pub hi: Vec<f64>,
+}
+
+/// Generates `count` random hyper-cubes of side `sigma` in the
+/// `dp`-dimensional preference domain, fully inside the simplex.
+///
+/// # Panics
+/// Panics if `sigma` is not in `(0, 1)` or no placement fits
+/// (`dp · sigma ≥ 1` leaves no room inside the simplex).
+pub fn random_regions(dp: usize, sigma: f64, count: usize, seed: u64) -> Vec<QueryBox> {
+    assert!(sigma > 0.0 && sigma < 1.0, "σ must be a fraction of the axis");
+    assert!(
+        (dp as f64) * sigma < 1.0,
+        "a {sigma}-sided cube cannot fit inside the {dp}-simplex"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5154); // "QT"
+    (0..count)
+        .map(|_| loop {
+            // Uniform corner; accept if the far corner stays inside
+            // the simplex (Σ (lo_i + σ) ≤ 1).
+            let lo: Vec<f64> = (0..dp).map(|_| rng.gen_range(0.0..1.0 - sigma)).collect();
+            if lo.iter().map(|l| l + sigma).sum::<f64>() <= 1.0 {
+                let hi = lo.iter().map(|l| l + sigma).collect();
+                return QueryBox { lo, hi };
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boxes_fit_the_simplex() {
+        for dp in 1..=6 {
+            let sigma = 0.05;
+            for qb in random_regions(dp, sigma, 50, 1) {
+                assert_eq!(qb.lo.len(), dp);
+                assert!(qb.lo.iter().all(|&l| l >= 0.0));
+                assert!(qb.hi.iter().sum::<f64>() <= 1.0 + 1e-12);
+                for i in 0..dp {
+                    assert!((qb.hi[i] - qb.lo[i] - sigma).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(random_regions(3, 0.01, 5, 7), random_regions(3, 0.01, 5, 7));
+        assert_ne!(random_regions(3, 0.01, 5, 7), random_regions(3, 0.01, 5, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn oversized_sigma_rejected() {
+        random_regions(6, 0.2, 1, 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Half-spaces and linear constraints of the preference domain.
+//!
+//! For two records `p`, `q` the inequality `S(p) ≥ S(q)` is a
+//! half-space of the preference domain (§4 of the paper). A
+//! [`Halfspace`] stores it in the form `coef·w ≥ rhs`; a [`Constraint`]
+//! is the generic `a·w ≤ b` building block used by regions and LPs.
+
+use crate::pref::pref_score_delta;
+use crate::tol::EPS;
+
+/// A linear constraint `a·w ≤ b` over the preference domain,
+/// normalized to unit infinity-norm for numeric stability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Coefficient vector `a`.
+    pub a: Vec<f64>,
+    /// Right-hand side `b`.
+    pub b: f64,
+}
+
+impl Constraint {
+    /// Builds (and normalizes) the constraint `a·w ≤ b`.
+    pub fn le(a: Vec<f64>, b: f64) -> Self {
+        let mut c = Self { a, b };
+        c.normalize();
+        c
+    }
+
+    /// Builds the constraint `a·w ≥ b` (stored negated).
+    pub fn ge(a: &[f64], b: f64) -> Self {
+        Self::le(a.iter().map(|v| -v).collect(), -b)
+    }
+
+    fn normalize(&mut self) {
+        let scale = self.a.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        if scale > 0.0 {
+            for v in &mut self.a {
+                *v /= scale;
+            }
+            self.b /= scale;
+        }
+    }
+
+    /// Signed violation `a·w − b`; ≤ 0 means `w` satisfies the
+    /// constraint.
+    #[inline]
+    pub fn eval(&self, w: &[f64]) -> f64 {
+        debug_assert_eq!(w.len(), self.a.len());
+        self.a.iter().zip(w).map(|(ai, wi)| ai * wi).sum::<f64>() - self.b
+    }
+
+    /// True if `w` satisfies the constraint within tolerance.
+    #[inline]
+    pub fn satisfied_by(&self, w: &[f64]) -> bool {
+        self.eval(w) <= EPS
+    }
+
+    /// A constraint with all-zero coefficients constrains nothing
+    /// (if `b ≥ 0`) or everything (if `b < 0`).
+    pub fn is_degenerate(&self) -> bool {
+        self.a.iter().all(|v| v.abs() <= EPS)
+    }
+}
+
+/// The half-space `{ w : coef·w ≥ rhs }` of the preference domain,
+/// normalized to unit infinity-norm.
+///
+/// For half-spaces built by [`Halfspace::beats`], the *inside* is where
+/// the first record scores at least as high as the second.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Halfspace {
+    /// Coefficient vector.
+    pub coef: Vec<f64>,
+    /// Threshold: inside ⇔ `coef·w ≥ rhs`.
+    pub rhs: f64,
+}
+
+impl Halfspace {
+    /// Builds the half-space `coef·w ≥ rhs`, normalized.
+    pub fn ge(coef: Vec<f64>, rhs: f64) -> Self {
+        let mut h = Self { coef, rhs };
+        let scale = h.coef.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        if scale > 0.0 {
+            for v in &mut h.coef {
+                *v /= scale;
+            }
+            h.rhs /= scale;
+        }
+        h
+    }
+
+    /// The half-space of the preference domain where `S(p) ≥ S(q)`.
+    pub fn beats(p: &[f64], q: &[f64]) -> Self {
+        let (a, c) = pref_score_delta(p, q);
+        // a·w + c ≥ 0  ⇔  a·w ≥ −c
+        Self::ge(a, -c)
+    }
+
+    /// Preference-domain dimensionality.
+    pub fn dim(&self) -> usize {
+        self.coef.len()
+    }
+
+    /// Signed slack `coef·w − rhs`; ≥ 0 means `w` is inside.
+    #[inline]
+    pub fn eval(&self, w: &[f64]) -> f64 {
+        debug_assert_eq!(w.len(), self.coef.len());
+        self.coef.iter().zip(w).map(|(ai, wi)| ai * wi).sum::<f64>() - self.rhs
+    }
+
+    /// True if `w` lies inside (within tolerance).
+    #[inline]
+    pub fn contains(&self, w: &[f64]) -> bool {
+        self.eval(w) >= -EPS
+    }
+
+    /// The constraint expressing membership in the half-space
+    /// (`coef·w ≥ rhs`, i.e. `−coef·w ≤ −rhs`).
+    pub fn inside_constraint(&self) -> Constraint {
+        Constraint::ge(&self.coef, self.rhs)
+    }
+
+    /// The constraint expressing membership in the complement
+    /// (`coef·w ≤ rhs`).
+    pub fn outside_constraint(&self) -> Constraint {
+        Constraint::le(self.coef.clone(), self.rhs)
+    }
+
+    /// True if the boundary hyperplane does not exist (zero normal):
+    /// the half-space is then all of space (`rhs ≤ 0`) or empty.
+    pub fn is_degenerate(&self) -> bool {
+        self.coef.iter().all(|v| v.abs() <= EPS)
+    }
+
+    /// For a degenerate half-space: whether it covers everything.
+    pub fn degenerate_covers_all(&self) -> bool {
+        debug_assert!(self.is_degenerate());
+        self.rhs <= EPS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pref::pref_score;
+
+    #[test]
+    fn beats_halfspace_agrees_with_scores() {
+        let p = [8.3, 9.1, 7.2];
+        let q = [2.4, 9.6, 8.6];
+        let h = Halfspace::beats(&p, &q);
+        for w in [[0.1, 0.1], [0.4, 0.2], [0.05, 0.25], [0.8, 0.1]] {
+            let direct = pref_score(&p, &w) >= pref_score(&q, &w);
+            assert_eq!(h.contains(&w), direct, "w = {w:?}");
+        }
+    }
+
+    #[test]
+    fn inside_and_outside_constraints_partition() {
+        let h = Halfspace::ge(vec![1.0, -2.0], 0.3);
+        let win = [0.9, 0.1]; // 0.9 − 0.2 = 0.7 ≥ 0.3: inside
+        let wout = [0.1, 0.2]; // 0.1 − 0.4 = −0.3 < 0.3: outside
+        assert!(h.inside_constraint().satisfied_by(&win));
+        assert!(!h.inside_constraint().satisfied_by(&wout));
+        assert!(h.outside_constraint().satisfied_by(&wout));
+        assert!(!h.outside_constraint().satisfied_by(&win));
+    }
+
+    #[test]
+    fn normalization_preserves_geometry() {
+        let h1 = Halfspace::ge(vec![10.0, -20.0], 3.0);
+        let h2 = Halfspace::ge(vec![1.0, -2.0], 0.3);
+        assert!((h1.coef[0] - h2.coef[0]).abs() < 1e-12);
+        assert!((h1.rhs - h2.rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_records_yield_degenerate_allspace() {
+        let p = [1.0, 2.0, 3.0];
+        let h = Halfspace::beats(&p, &p);
+        assert!(h.is_degenerate());
+        assert!(h.degenerate_covers_all());
+    }
+
+    #[test]
+    fn dominating_record_covers_whole_domain() {
+        // p dominates q classically: S(p) ≥ S(q) for every w in the
+        // simplex, so every simplex point is inside.
+        let p = [5.0, 5.0, 5.0];
+        let q = [1.0, 2.0, 3.0];
+        let h = Halfspace::beats(&p, &q);
+        for w in [[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [0.3, 0.3]] {
+            assert!(h.contains(&w));
+        }
+    }
+
+    #[test]
+    fn constraint_eval_signs() {
+        let c = Constraint::le(vec![1.0, 1.0], 1.0);
+        assert!(c.satisfied_by(&[0.2, 0.3]));
+        assert!(!c.satisfied_by(&[0.8, 0.8]));
+        let g = Constraint::ge(&[1.0, 0.0], 0.5);
+        assert!(g.satisfied_by(&[0.6, 0.0]));
+        assert!(!g.satisfied_by(&[0.4, 0.0]));
+    }
+}

@@ -1,0 +1,101 @@
+//! The preference domain and score evaluation (§3.1 of the paper).
+//!
+//! A weight vector over `d` data attributes lives on the standard
+//! simplex (`w_i ∈ (0,1)`, `Σ w_i = 1`). Because the last weight is
+//! implied (`w_d = 1 − Σ_{i<d} w_i`), query processing operates in the
+//! `(d−1)`-dimensional *preference domain*; throughout this workspace a
+//! "weight vector" `w` of length `dp = d − 1` denotes that reduced
+//! form.
+//!
+//! The score of record `p = (x_1 … x_d)` then becomes affine in `w`:
+//!
+//! ```text
+//! S(p)(w) = x_d + Σ_{i<d} w_i · (x_i − x_d)
+//! ```
+//!
+//! which is what makes equalities `S(p) = S(q)` hyperplanes (and
+//! inequalities half-spaces) of the preference domain.
+
+/// Scores record `p` (data-space, length `d`) under a *full* `d`-length
+/// weight vector: the classical `S(p) = Σ w_i x_i`.
+#[inline]
+pub fn score(p: &[f64], full_w: &[f64]) -> f64 {
+    debug_assert_eq!(p.len(), full_w.len());
+    p.iter().zip(full_w).map(|(x, w)| x * w).sum()
+}
+
+/// Scores record `p` (length `d`) under a reduced weight vector `w`
+/// (length `d − 1`), i.e. with `w_d = 1 − Σ w_i` implied.
+#[inline]
+pub fn pref_score(p: &[f64], w: &[f64]) -> f64 {
+    debug_assert_eq!(p.len(), w.len() + 1);
+    let xd = p[p.len() - 1];
+    let mut s = xd;
+    for i in 0..w.len() {
+        s += w[i] * (p[i] - xd);
+    }
+    s
+}
+
+/// The affine form of `S(p) − S(q)` over the preference domain:
+/// returns `(a, c)` such that `S(p)(w) − S(q)(w) = a·w + c`.
+#[inline]
+pub fn pref_score_delta(p: &[f64], q: &[f64]) -> (Vec<f64>, f64) {
+    debug_assert_eq!(p.len(), q.len());
+    let d = p.len();
+    let (pd, qd) = (p[d - 1], q[d - 1]);
+    let a = (0..d - 1).map(|i| (p[i] - pd) - (q[i] - qd)).collect();
+    (a, pd - qd)
+}
+
+/// Lifts a reduced weight vector (length `d − 1`) back to the full
+/// `d`-length simplex vector, restoring `w_d = 1 − Σ w_i`.
+#[inline]
+pub fn lift_weights(w: &[f64]) -> Vec<f64> {
+    let mut full = Vec::with_capacity(w.len() + 1);
+    full.extend_from_slice(w);
+    full.push(1.0 - w.iter().sum::<f64>());
+    full
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pref_score_matches_full_score() {
+        let p = [8.3, 9.1, 7.2];
+        let w = [0.3, 0.5];
+        let full = lift_weights(&w);
+        assert!((score(&p, &full) - pref_score(&p, &w)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lift_weights_sums_to_one() {
+        let w = [0.2, 0.3, 0.1];
+        let full = lift_weights(&w);
+        assert_eq!(full.len(), 4);
+        assert!((full.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((full[3] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_form_evaluates_to_score_difference() {
+        let p = [2.4, 9.6, 8.6];
+        let q = [7.9, 6.4, 6.6];
+        let (a, c) = pref_score_delta(&p, &q);
+        for w in [[0.1, 0.2], [0.4, 0.4], [0.0, 0.0], [0.9, 0.05]] {
+            let direct = pref_score(&p, &w) - pref_score(&q, &w);
+            let affine: f64 = a.iter().zip(&w).map(|(ai, wi)| ai * wi).sum::<f64>() + c;
+            assert!((direct - affine).abs() < 1e-12, "w = {w:?}");
+        }
+    }
+
+    #[test]
+    fn figure1_example_scores() {
+        // Hotel p1 from Figure 1 with the user's indicative weights
+        // (0.3, 0.5, 0.2): S = 0.3*8.3 + 0.5*9.1 + 0.2*7.2 = 8.48.
+        let p1 = [8.3, 9.1, 7.2];
+        assert!((pref_score(&p1, &[0.3, 0.5]) - 8.48).abs() < 1e-12);
+    }
+}

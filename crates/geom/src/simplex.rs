@@ -1,0 +1,445 @@
+//! Dense two-phase primal simplex over the standard form
+//! `maximize c·x  subject to  A·x ≤ b,  x ≥ 0` (with `b` of any sign).
+//!
+//! The solver is deliberately simple and dense: every LP solved in this
+//! workspace has at most a handful of structural variables (the
+//! preference-domain dimensionality, ≤ 7 in all experiments) and at
+//! most a few hundred constraints (the half-spaces defining one
+//! arrangement cell). Dantzig pricing is used by default with a switch
+//! to Bland's rule after a degeneracy budget, which guarantees
+//! termination.
+
+use crate::tol::LP_EPS;
+
+/// Result of a simplex run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimplexOutcome {
+    /// An optimal basic feasible solution was found.
+    Optimal {
+        /// Values of the structural variables.
+        x: Vec<f64>,
+        /// Objective value `c·x`.
+        value: f64,
+    },
+    /// The constraint system `Ax ≤ b, x ≥ 0` has no solution.
+    Infeasible,
+    /// The objective is unbounded above over the feasible set.
+    Unbounded,
+}
+
+/// Dense simplex tableau. Rows are constraints, the objective is kept
+/// in a separate row expressed over the current non-basic variables.
+struct Tableau {
+    /// Number of constraint rows.
+    m: usize,
+    /// Number of columns excluding the RHS (structural + slack + artificial).
+    ncols: usize,
+    /// `m` rows of length `ncols + 1`; the last entry of each row is the RHS.
+    rows: Vec<Vec<f64>>,
+    /// Objective row of length `ncols + 1`. Convention: `obj[j]` is the
+    /// negated reduced cost of column `j`; `obj[ncols]` is the current
+    /// objective value. A column with `obj[j] < 0` improves the
+    /// maximization objective when entering the basis.
+    obj: Vec<f64>,
+    /// `basis[i]` is the column currently basic in row `i`.
+    basis: Vec<usize>,
+}
+
+impl Tableau {
+    fn pivot(&mut self, r: usize, c: usize) {
+        let piv = self.rows[r][c];
+        debug_assert!(piv.abs() > LP_EPS);
+        let inv = 1.0 / piv;
+        for v in &mut self.rows[r] {
+            *v *= inv;
+        }
+        // Defensive exactness: the pivot column of the pivot row is 1.
+        self.rows[r][c] = 1.0;
+        for i in 0..self.m {
+            if i == r {
+                continue;
+            }
+            let f = self.rows[i][c];
+            if f != 0.0 {
+                let (pr, row) = if i < r {
+                    let (lo, hi) = self.rows.split_at_mut(r);
+                    (&hi[0], &mut lo[i])
+                } else {
+                    let (lo, hi) = self.rows.split_at_mut(i);
+                    (&lo[r], &mut hi[0])
+                };
+                for (v, p) in row.iter_mut().zip(pr.iter()) {
+                    *v -= f * p;
+                }
+                row[c] = 0.0;
+            }
+        }
+        let f = self.obj[c];
+        if f != 0.0 {
+            for (v, p) in self.obj.iter_mut().zip(self.rows[r].iter()) {
+                *v -= f * p;
+            }
+            self.obj[c] = 0.0;
+        }
+        self.basis[r] = c;
+    }
+
+    /// Chooses the entering column. `bland` switches to Bland's
+    /// smallest-index anti-cycling rule.
+    fn entering(&self, limit: usize, bland: bool) -> Option<usize> {
+        if bland {
+            (0..limit).find(|&j| self.obj[j] < -LP_EPS)
+        } else {
+            let mut best = None;
+            let mut best_val = -LP_EPS;
+            for j in 0..limit {
+                if self.obj[j] < best_val {
+                    best_val = self.obj[j];
+                    best = Some(j);
+                }
+            }
+            best
+        }
+    }
+
+    /// Ratio test: picks the leaving row for entering column `c`.
+    /// Ties break toward the smallest basis index (lexicographic-ish,
+    /// which combined with Bland's entering rule prevents cycling).
+    fn leaving(&self, c: usize) -> Option<usize> {
+        let rhs = self.ncols;
+        let mut best: Option<(f64, usize, usize)> = None; // (ratio, basis, row)
+        for i in 0..self.m {
+            let coef = self.rows[i][c];
+            if coef > LP_EPS {
+                let ratio = self.rows[i][rhs] / coef;
+                let key = (ratio, self.basis[i], i);
+                match best {
+                    None => best = Some(key),
+                    Some((r, b, _)) => {
+                        if ratio < r - LP_EPS || (ratio < r + LP_EPS && self.basis[i] < b) {
+                            best = Some(key);
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(_, _, i)| i)
+    }
+
+    /// Runs the simplex loop until optimality/unboundedness. Columns
+    /// `[0, limit)` are eligible to enter. Returns `false` on
+    /// unboundedness.
+    fn optimize(&mut self, limit: usize) -> bool {
+        let budget = 50 * (self.m + self.ncols) + 200;
+        let bland_after = 10 * (self.m + self.ncols) + 50;
+        for it in 0..budget {
+            let Some(c) = self.entering(limit, it >= bland_after) else {
+                return true; // optimal
+            };
+            let Some(r) = self.leaving(c) else {
+                return false; // unbounded
+            };
+            self.pivot(r, c);
+        }
+        // Pathological cycling despite Bland's rule would be a bug; the
+        // budget is a belt-and-braces guard. Treat as optimal-so-far.
+        true
+    }
+}
+
+/// Solves `maximize c·x  s.t.  a[i]·x ≤ b[i]  (i = 0..m),  x ≥ 0`.
+///
+/// `n` is the number of structural variables; every `a[i]` must have
+/// length `n`, as must `c`.
+pub fn solve_standard(n: usize, a: &[Vec<f64>], b: &[f64], c: &[f64]) -> SimplexOutcome {
+    let m = a.len();
+    debug_assert_eq!(b.len(), m);
+    debug_assert_eq!(c.len(), n);
+    debug_assert!(a.iter().all(|row| row.len() == n));
+
+    // Columns: [0, n) structural, [n, n+m) slack, then one artificial
+    // per negative-RHS row, then RHS.
+    let neg_rows: Vec<usize> = (0..m).filter(|&i| b[i] < 0.0).collect();
+    let n_art = neg_rows.len();
+    let ncols = n + m + n_art;
+    let rhs = ncols;
+
+    let mut rows = Vec::with_capacity(m);
+    let mut basis = vec![0usize; m];
+    let mut art_idx = 0usize;
+    for i in 0..m {
+        let mut row = vec![0.0; ncols + 1];
+        let flip = if b[i] < 0.0 { -1.0 } else { 1.0 };
+        for j in 0..n {
+            row[j] = flip * a[i][j];
+        }
+        row[n + i] = flip; // slack (negated if the row was flipped)
+        row[rhs] = flip * b[i];
+        if b[i] < 0.0 {
+            let col = n + m + art_idx;
+            row[col] = 1.0;
+            basis[i] = col;
+            art_idx += 1;
+        } else {
+            basis[i] = n + i;
+        }
+        rows.push(row);
+    }
+
+    let mut t = Tableau {
+        m,
+        ncols,
+        rows,
+        obj: vec![0.0; ncols + 1],
+        basis,
+    };
+
+    // Phase 1: drive artificials to zero (maximize −Σ artificials).
+    if n_art > 0 {
+        for j in n + m..ncols {
+            t.obj[j] = 1.0;
+        }
+        // Price out the basic artificials.
+        for i in 0..m {
+            if t.basis[i] >= n + m {
+                let row = t.rows[i].clone();
+                for (v, p) in t.obj.iter_mut().zip(row.iter()) {
+                    *v -= p;
+                }
+            }
+        }
+        // Phase 1 is always bounded (artificials are ≥ 0).
+        t.optimize(n + m); // artificials may not re-enter
+        // obj[rhs] now holds −Σ artificials at the optimum.
+        if t.obj[rhs] < -1e-7 {
+            return SimplexOutcome::Infeasible;
+        }
+        // Pivot surviving (degenerate, value-0) artificials out of the basis.
+        for i in 0..m {
+            if t.basis[i] >= n + m {
+                if let Some(c) = (0..n + m).find(|&j| t.rows[i][j].abs() > 1e-7) {
+                    t.pivot(i, c);
+                }
+                // If the row is entirely zero over structural+slack
+                // columns the constraint was redundant; the artificial
+                // stays basic at value 0, which is harmless because
+                // artificial columns are never eligible to enter again.
+            }
+        }
+    }
+
+    // Phase 2: the real objective.
+    t.obj = vec![0.0; ncols + 1];
+    for (o, cj) in t.obj.iter_mut().zip(c.iter()) {
+        *o = -cj;
+    }
+    // Price out basic structural variables.
+    for i in 0..m {
+        let bj = t.basis[i];
+        if bj < n && c[bj] != 0.0 {
+            let f = -c[bj]; // current obj coefficient of the basic column
+            let row = t.rows[i].clone();
+            for (v, p) in t.obj.iter_mut().zip(row.iter()) {
+                *v -= f * p;
+            }
+            t.obj[bj] = 0.0;
+        }
+    }
+    if !t.optimize(n + m) {
+        return SimplexOutcome::Unbounded;
+    }
+
+    let mut x = vec![0.0; n];
+    for i in 0..m {
+        if t.basis[i] < n {
+            x[t.basis[i]] = t.rows[i][rhs].max(0.0);
+        }
+    }
+    let value = c.iter().zip(&x).map(|(ci, xi)| ci * xi).sum();
+    SimplexOutcome::Optimal { x, value }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_opt(out: SimplexOutcome, want_val: f64, want_x: Option<&[f64]>) {
+        match out {
+            SimplexOutcome::Optimal { x, value } => {
+                assert!(
+                    (value - want_val).abs() < 1e-7,
+                    "value {value} != {want_val}, x = {x:?}"
+                );
+                if let Some(w) = want_x {
+                    for (xi, wi) in x.iter().zip(w) {
+                        assert!((xi - wi).abs() < 1e-7, "x = {x:?}, want {w:?}");
+                    }
+                }
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_2d() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), 36.
+        let a = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 2.0],
+            vec![3.0, 2.0],
+        ];
+        let out = solve_standard(2, &a, &[4.0, 12.0, 18.0], &[3.0, 5.0]);
+        assert_opt(out, 36.0, Some(&[2.0, 6.0]));
+    }
+
+    #[test]
+    fn negative_rhs_requires_phase1() {
+        // max x + y s.t. x + y ≤ 3, −x ≤ −1 (x ≥ 1), −y ≤ −1 (y ≥ 1).
+        let a = vec![
+            vec![1.0, 1.0],
+            vec![-1.0, 0.0],
+            vec![0.0, -1.0],
+        ];
+        let out = solve_standard(2, &a, &[3.0, -1.0, -1.0], &[1.0, 1.0]);
+        assert_opt(out, 3.0, None);
+    }
+
+    #[test]
+    fn infeasible_system() {
+        // x ≤ 1 and x ≥ 2.
+        let a = vec![vec![1.0], vec![-1.0]];
+        let out = solve_standard(1, &a, &[1.0, -2.0], &[1.0]);
+        assert_eq!(out, SimplexOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_objective() {
+        // max x with only y constrained.
+        let a = vec![vec![0.0, 1.0]];
+        let out = solve_standard(2, &a, &[1.0], &[1.0, 0.0]);
+        assert_eq!(out, SimplexOutcome::Unbounded);
+    }
+
+    #[test]
+    fn equality_via_pair_of_inequalities() {
+        // max y s.t. x + y = 1 (as ≤ and ≥), y ≤ 0.75.
+        let a = vec![
+            vec![1.0, 1.0],
+            vec![-1.0, -1.0],
+            vec![0.0, 1.0],
+        ];
+        let out = solve_standard(2, &a, &[1.0, -1.0, 0.75], &[0.0, 1.0]);
+        assert_opt(out, 0.75, Some(&[0.25, 0.75]));
+    }
+
+    #[test]
+    fn degenerate_vertex() {
+        // Multiple constraints meet at the optimum (0, 1).
+        let a = vec![
+            vec![1.0, 1.0],
+            vec![-1.0, 1.0],
+            vec![0.0, 1.0],
+        ];
+        let out = solve_standard(2, &a, &[1.0, 1.0, 1.0], &[0.0, 1.0]);
+        assert_opt(out, 1.0, None);
+    }
+
+    #[test]
+    fn redundant_constraints_are_tolerated() {
+        let a = vec![
+            vec![1.0, 0.0],
+            vec![1.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+        ];
+        let out = solve_standard(2, &a, &[2.0, 2.0, 2.0, 3.0], &[1.0, 1.0]);
+        assert_opt(out, 5.0, Some(&[2.0, 3.0]));
+    }
+
+    #[test]
+    fn zero_objective_feasibility_probe() {
+        let a = vec![vec![1.0], vec![-1.0]];
+        let out = solve_standard(1, &a, &[5.0, -2.0], &[0.0]);
+        match out {
+            SimplexOutcome::Optimal { x, .. } => {
+                assert!(x[0] >= 2.0 - 1e-9 && x[0] <= 5.0 + 1e-9)
+            }
+            other => panic!("expected feasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tight_equality_chain_phase1() {
+        // x1 ≥ 0.3, x1 ≤ 0.3, x2 ≥ 0.5, x2 ≤ 0.5 → unique point.
+        let a = vec![
+            vec![1.0, 0.0],
+            vec![-1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.0, -1.0],
+        ];
+        let out = solve_standard(2, &a, &[0.3, -0.3, 0.5, -0.5], &[7.0, 11.0]);
+        assert_opt(out, 0.3 * 7.0 + 0.5 * 11.0, Some(&[0.3, 0.5]));
+    }
+
+    /// Randomized cross-check against brute-force vertex enumeration
+    /// over random 2-D polytopes (boxes cut by random half-planes).
+    #[test]
+    fn random_2d_matches_vertex_enumeration() {
+        use rand::prelude::*;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        for case in 0..200 {
+            // Box [0, 1]^2 plus 3 random half-planes.
+            let mut a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+            let mut b = vec![1.0, 1.0];
+            for _ in 0..3 {
+                let coef = [rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)];
+                a.push(coef.to_vec());
+                b.push(rng.gen_range(-0.5..1.0));
+            }
+            let c = [rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)];
+
+            // Brute force: intersect every pair of constraint lines
+            // (including x = 0 / y = 0), keep feasible points, take max.
+            let mut lines: Vec<(f64, f64, f64)> =
+                a.iter().zip(&b).map(|(r, &bi)| (r[0], r[1], bi)).collect();
+            lines.push((-1.0, 0.0, 0.0));
+            lines.push((0.0, -1.0, 0.0));
+            let feasible = |x: f64, y: f64| {
+                x >= -1e-9
+                    && y >= -1e-9
+                    && a.iter()
+                        .zip(&b)
+                        .all(|(r, &bi)| r[0] * x + r[1] * y <= bi + 1e-9)
+            };
+            let mut best: Option<f64> = None;
+            for i in 0..lines.len() {
+                for j in i + 1..lines.len() {
+                    let (a1, b1, c1) = lines[i];
+                    let (a2, b2, c2) = lines[j];
+                    let det = a1 * b2 - a2 * b1;
+                    if det.abs() < 1e-12 {
+                        continue;
+                    }
+                    let x = (c1 * b2 - c2 * b1) / det;
+                    let y = (a1 * c2 - a2 * c1) / det;
+                    if feasible(x, y) {
+                        let v = c[0] * x + c[1] * y;
+                        best = Some(best.map_or(v, |bv: f64| bv.max(v)));
+                    }
+                }
+            }
+
+            let out = solve_standard(2, &a, &b, &c);
+            match (best, out) {
+                (Some(bv), SimplexOutcome::Optimal { value, .. }) => {
+                    assert!(
+                        (bv - value).abs() < 1e-6,
+                        "case {case}: brute {bv} vs simplex {value}"
+                    );
+                }
+                (None, SimplexOutcome::Infeasible) => {}
+                (b, o) => panic!("case {case}: brute {b:?} vs simplex {o:?}"),
+            }
+        }
+    }
+}

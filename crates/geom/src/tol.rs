@@ -1,0 +1,62 @@
+//! Numeric tolerances shared by all geometric predicates.
+//!
+//! All geometry in this workspace is computed in `f64` over data
+//! normalized to small ranges (unit cube or `[0, 10]`), so absolute
+//! tolerances are meaningful. Constraints are normalized to unit
+//! infinity-norm on construction, which keeps the predicates
+//! scale-free in practice.
+
+/// General-purpose comparison tolerance for normalized quantities.
+pub const EPS: f64 = 1e-9;
+
+/// Minimum interior slack for a cell to be considered full-dimensional.
+///
+/// A region/cell "exists" only if it contains a point whose distance to
+/// every bounding hyperplane exceeds this value. Cells thinner than
+/// this are treated as degenerate (measure-zero) and dropped, matching
+/// the open-cell semantics documented in `DESIGN.md`.
+pub const INTERIOR_EPS: f64 = 1e-8;
+
+/// Tolerance used inside the simplex solver for pivoting decisions.
+pub const LP_EPS: f64 = 1e-10;
+
+/// Returns true if `a` and `b` are equal within [`EPS`].
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPS
+}
+
+/// Returns true if `a` is definitely greater than `b` (beyond [`EPS`]).
+#[inline]
+pub fn definitely_gt(a: f64, b: f64) -> bool {
+    a > b + EPS
+}
+
+/// Returns true if `a ≥ b` within tolerance.
+#[inline]
+pub fn ge(a: f64, b: f64) -> bool {
+    a >= b - EPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_within_eps() {
+        assert!(approx_eq(1.0, 1.0 + EPS / 2.0));
+        assert!(!approx_eq(1.0, 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn definitely_gt_requires_margin() {
+        assert!(definitely_gt(1.0 + 1e-6, 1.0));
+        assert!(!definitely_gt(1.0 + EPS / 2.0, 1.0));
+    }
+
+    #[test]
+    fn ge_tolerates_eps() {
+        assert!(ge(1.0 - EPS / 2.0, 1.0));
+        assert!(!ge(1.0 - 1e-6, 1.0));
+    }
+}

@@ -1,0 +1,344 @@
+//! In-memory d-dimensional R-tree with STR bulk loading.
+//!
+//! The UTK paper (§3.1) assumes the dataset is organised by a spatial
+//! index such as an R-tree \[Guttman 84\] and processes it with
+//! best-first branch-and-bound traversals (the BBS paradigm of
+//! Papadias et al., used for k-skyband and r-skyband computation, and
+//! plain monotone top-k search). This crate provides that substrate:
+//!
+//! * [`RTree::bulk_load`] — Sort-Tile-Recursive packing;
+//! * [`RTree::search_descending`] — generic best-first traversal with
+//!   caller-supplied monotone keys (node key from the MBB *top
+//!   corner*, record key from the record itself);
+//! * [`DescendingIter`] — the same traversal as a lazy iterator, used
+//!   for the incremental top-k probe of Figure 10(b);
+//! * [`RTree::range_query`] — axis-parallel window search (testing).
+//!
+//! The tree stores only geometry (MBBs) and record ids; record
+//! coordinates are borrowed from the caller per call, so one tree can
+//! outlive transient scoring closures.
+
+#![warn(missing_docs)]
+
+pub mod mbb;
+pub mod node;
+pub mod search;
+pub mod str_pack;
+
+pub use mbb::Mbb;
+pub use node::{Node, NodeKind};
+pub use search::DescendingIter;
+
+use std::fmt;
+
+/// Default maximum entries per leaf node.
+pub const DEFAULT_LEAF_CAPACITY: usize = 64;
+/// Default maximum children per inner node.
+pub const DEFAULT_INNER_CAPACITY: usize = 16;
+
+/// A bulk-loaded, read-only R-tree over `n` records of dimension `d`.
+pub struct RTree {
+    dim: usize,
+    len: usize,
+    nodes: Vec<Node>,
+    root: usize,
+}
+
+impl fmt::Debug for RTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RTree")
+            .field("dim", &self.dim)
+            .field("len", &self.len)
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+impl RTree {
+    /// Bulk loads with default capacities.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or dimensions are inconsistent.
+    pub fn bulk_load<P: AsRef<[f64]>>(points: &[P]) -> Self {
+        Self::with_capacity(points, DEFAULT_LEAF_CAPACITY, DEFAULT_INNER_CAPACITY)
+    }
+
+    /// Bulk loads with explicit leaf/inner capacities via STR packing.
+    pub fn with_capacity<P: AsRef<[f64]>>(
+        points: &[P],
+        leaf_capacity: usize,
+        inner_capacity: usize,
+    ) -> Self {
+        assert!(!points.is_empty(), "cannot index an empty dataset");
+        assert!(leaf_capacity >= 2 && inner_capacity >= 2);
+        let dim = points[0].as_ref().len();
+        assert!(
+            points.iter().all(|p| p.as_ref().len() == dim),
+            "inconsistent record dimensionality"
+        );
+        let (nodes, root) = str_pack::pack(points, dim, leaf_capacity, inner_capacity);
+        Self {
+            dim,
+            len: points.len(),
+            nodes,
+            root,
+        }
+    }
+
+    /// Data dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of indexed records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always false: empty datasets cannot be indexed.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total number of tree nodes (leaves + inner).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Root node id.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: usize) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// All nodes (arena order; useful for structural inspection and
+    /// tests).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Height of the tree (1 for a single leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id].kind {
+                NodeKind::Leaf { .. } => return h,
+                NodeKind::Inner { children } => {
+                    id = children[0];
+                    h += 1;
+                }
+            }
+        }
+    }
+
+    /// Best-first traversal in *descending* key order.
+    ///
+    /// `node_key` must upper-bound `record_key` of every record in the
+    /// node (give it the MBB and score its top corner — any monotone
+    /// scoring function then satisfies the bound). `visit` receives
+    /// records in non-increasing key order; returning `false` stops
+    /// the search. Returns the number of records visited.
+    pub fn search_descending<NK, RK, V>(&self, node_key: NK, record_key: RK, visit: V) -> usize
+    where
+        NK: Fn(&Mbb) -> f64,
+        RK: Fn(u32) -> f64,
+        V: FnMut(u32, f64) -> bool,
+    {
+        search::search_descending(self, node_key, record_key, visit)
+    }
+
+    /// Lazy descending-order record iterator (incremental top-k).
+    pub fn descending_iter<NK, RK>(&self, node_key: NK, record_key: RK) -> DescendingIter<'_, NK, RK>
+    where
+        NK: Fn(&Mbb) -> f64,
+        RK: Fn(u32) -> f64,
+    {
+        DescendingIter::new(self, node_key, record_key)
+    }
+
+    /// The `k` records with the highest `record_key`, in descending
+    /// order, via branch-and-bound.
+    pub fn top_k<NK, RK>(&self, k: usize, node_key: NK, record_key: RK) -> Vec<(u32, f64)>
+    where
+        NK: Fn(&Mbb) -> f64,
+        RK: Fn(u32) -> f64,
+    {
+        let mut out = Vec::with_capacity(k);
+        self.search_descending(node_key, record_key, |id, key| {
+            out.push((id, key));
+            out.len() < k
+        });
+        out
+    }
+
+    /// Ids of all records whose coordinates fall inside `[lo, hi]`.
+    pub fn range_query<P: AsRef<[f64]>>(&self, points: &[P], lo: &[f64], hi: &[f64]) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            if !node.mbb.intersects_box(lo, hi) {
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Inner { children } => stack.extend_from_slice(children),
+                NodeKind::Leaf { items } => {
+                    for &rid in items {
+                        let p = points[rid as usize].as_ref();
+                        if p.iter()
+                            .zip(lo.iter().zip(hi))
+                            .all(|(x, (l, h))| *x >= *l && *x <= *h)
+                        {
+                            out.push(rid);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn random_points(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn bulk_load_covers_all_records() {
+        let pts = random_points(1000, 3, 1);
+        let tree = RTree::bulk_load(&pts);
+        assert_eq!(tree.len(), 1000);
+        let mut all = tree.range_query(&pts, &[0.0; 3], &[1.0; 3]);
+        all.sort_unstable();
+        assert_eq!(all.len(), 1000);
+        assert!(all.iter().enumerate().all(|(i, &v)| v == i as u32));
+    }
+
+    #[test]
+    fn range_query_matches_linear_scan() {
+        let pts = random_points(500, 2, 2);
+        let tree = RTree::bulk_load(&pts);
+        for (lo, hi) in [
+            ([0.2, 0.3], [0.6, 0.9]),
+            ([0.0, 0.0], [0.1, 0.1]),
+            ([0.5, 0.5], [0.5, 0.5]),
+        ] {
+            let mut got = tree.range_query(&pts, &lo, &hi);
+            got.sort_unstable();
+            let mut want: Vec<u32> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| {
+                    p.iter()
+                        .zip(lo.iter().zip(&hi))
+                        .all(|(x, (l, h))| x >= l && x <= h)
+                })
+                .map(|(i, _)| i as u32)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn top_k_matches_brute_force() {
+        let pts = random_points(400, 4, 3);
+        let tree = RTree::bulk_load(&pts);
+        let w = [0.1, 0.4, 0.3, 0.2];
+        let score = |p: &[f64]| p.iter().zip(&w).map(|(x, wi)| x * wi).sum::<f64>();
+        let got = tree.top_k(10, |mbb| score(&mbb.hi), |id| score(&pts[id as usize]));
+        let mut want: Vec<(u32, f64)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as u32, score(p)))
+            .collect();
+        want.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        want.truncate(10);
+        assert_eq!(got.len(), 10);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.1 - w.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn descending_iter_is_sorted_and_complete() {
+        let pts = random_points(300, 2, 4);
+        let tree = RTree::bulk_load(&pts);
+        let score = |p: &[f64]| p[0] + 2.0 * p[1];
+        let keys: Vec<f64> = tree
+            .descending_iter(|mbb| score(&mbb.hi), |id| score(&pts[id as usize]))
+            .map(|(_, k)| k)
+            .collect();
+        assert_eq!(keys.len(), 300);
+        assert!(keys.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+    }
+
+    #[test]
+    fn single_record_tree() {
+        let pts = vec![vec![0.5, 0.5]];
+        let tree = RTree::bulk_load(&pts);
+        assert_eq!(tree.height(), 1);
+        let got = tree.top_k(5, |mbb| mbb.hi[0], |id| pts[id as usize][0]);
+        assert_eq!(got, vec![(0, 0.5)]);
+    }
+
+    #[test]
+    fn tree_respects_capacities() {
+        let pts = random_points(10_000, 2, 5);
+        let tree = RTree::with_capacity(&pts, 32, 8);
+        for node in tree.nodes() {
+            match &node.kind {
+                NodeKind::Leaf { items } => assert!(items.len() <= 32 && !items.is_empty()),
+                NodeKind::Inner { children } => {
+                    assert!(children.len() <= 8 && !children.is_empty())
+                }
+            }
+        }
+        assert!(tree.height() >= 3);
+    }
+
+    #[test]
+    fn mbbs_contain_children() {
+        let pts = random_points(2000, 3, 6);
+        let tree = RTree::bulk_load(&pts);
+        for node in tree.nodes() {
+            match &node.kind {
+                NodeKind::Leaf { items } => {
+                    for &rid in items {
+                        assert!(node.mbb.contains_point(&pts[rid as usize]));
+                    }
+                }
+                NodeKind::Inner { children } => {
+                    for &c in children {
+                        assert!(node.mbb.contains_mbb(&tree.nodes()[c].mbb));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn early_stop_counts_visits() {
+        let pts = random_points(100, 2, 7);
+        let tree = RTree::bulk_load(&pts);
+        let visited = tree.search_descending(
+            |mbb| mbb.hi[0] + mbb.hi[1],
+            |id| pts[id as usize].iter().sum(),
+            |_, _| false,
+        );
+        assert_eq!(visited, 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Minimum bounding boxes.
+
+/// An axis-parallel minimum bounding box in data space.
+///
+/// For UTK processing the interesting corner is [`Mbb::hi`], the *top
+/// corner*: under any monotone scoring function it upper-bounds the
+/// score/dominance behaviour of every record inside the box (§2, §4.1
+/// of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mbb {
+    /// Per-dimension minima.
+    pub lo: Vec<f64>,
+    /// Per-dimension maxima (the top corner).
+    pub hi: Vec<f64>,
+}
+
+impl Mbb {
+    /// The degenerate box around a single point.
+    pub fn of_point(p: &[f64]) -> Self {
+        Self {
+            lo: p.to_vec(),
+            hi: p.to_vec(),
+        }
+    }
+
+    /// The tight box around a non-empty set of points.
+    ///
+    /// # Panics
+    /// Panics if the iterator is empty.
+    pub fn of_points<'a, I: IntoIterator<Item = &'a [f64]>>(points: I) -> Self {
+        let mut it = points.into_iter();
+        let first = it.next().expect("Mbb of empty point set");
+        let mut mbb = Self::of_point(first);
+        for p in it {
+            mbb.expand_point(p);
+        }
+        mbb
+    }
+
+    /// The tight box around a non-empty set of boxes.
+    pub fn of_mbbs<'a, I: IntoIterator<Item = &'a Mbb>>(mbbs: I) -> Self {
+        let mut it = mbbs.into_iter();
+        let mut out = it.next().expect("Mbb of empty box set").clone();
+        for m in it {
+            out.expand_mbb(m);
+        }
+        out
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Grows the box to cover `p`.
+    pub fn expand_point(&mut self, p: &[f64]) {
+        for (i, &x) in p.iter().enumerate() {
+            if x < self.lo[i] {
+                self.lo[i] = x;
+            }
+            if x > self.hi[i] {
+                self.hi[i] = x;
+            }
+        }
+    }
+
+    /// Grows the box to cover `other`.
+    pub fn expand_mbb(&mut self, other: &Mbb) {
+        for i in 0..self.lo.len() {
+            if other.lo[i] < self.lo[i] {
+                self.lo[i] = other.lo[i];
+            }
+            if other.hi[i] > self.hi[i] {
+                self.hi[i] = other.hi[i];
+            }
+        }
+    }
+
+    /// True if `p` lies inside (boundary inclusive).
+    pub fn contains_point(&self, p: &[f64]) -> bool {
+        p.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .all(|(x, (l, h))| *x >= *l && *x <= *h)
+    }
+
+    /// True if `other` lies fully inside.
+    pub fn contains_mbb(&self, other: &Mbb) -> bool {
+        self.contains_point(&other.lo) && self.contains_point(&other.hi)
+    }
+
+    /// True if the box intersects the window `[lo, hi]`.
+    pub fn intersects_box(&self, lo: &[f64], hi: &[f64]) -> bool {
+        self.lo
+            .iter()
+            .zip(self.hi.iter())
+            .zip(lo.iter().zip(hi))
+            .all(|((sl, sh), (l, h))| *sh >= *l && *sl <= *h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_points_is_tight() {
+        let a = [1.0, 5.0];
+        let b = [3.0, 2.0];
+        let mbb = Mbb::of_points([a.as_slice(), b.as_slice()]);
+        assert_eq!(mbb.lo, vec![1.0, 2.0]);
+        assert_eq!(mbb.hi, vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let mbb = Mbb {
+            lo: vec![0.0, 0.0],
+            hi: vec![1.0, 1.0],
+        };
+        assert!(mbb.contains_point(&[0.5, 1.0]));
+        assert!(!mbb.contains_point(&[1.5, 0.5]));
+        assert!(mbb.intersects_box(&[0.9, 0.9], &[2.0, 2.0]));
+        assert!(!mbb.intersects_box(&[1.1, 0.0], &[2.0, 1.0]));
+    }
+
+    #[test]
+    fn expand_merges() {
+        let mut a = Mbb::of_point(&[0.0, 0.0]);
+        a.expand_mbb(&Mbb::of_point(&[2.0, -1.0]));
+        assert_eq!(a.lo, vec![0.0, -1.0]);
+        assert_eq!(a.hi, vec![2.0, 0.0]);
+    }
+}

@@ -1,0 +1,42 @@
+//! R-tree node representation.
+
+use crate::mbb::Mbb;
+
+/// Payload of a node: record ids (leaf) or child node ids (inner).
+#[derive(Debug, Clone)]
+pub enum NodeKind {
+    /// A leaf holding record ids.
+    Leaf {
+        /// Ids of the records stored in this leaf.
+        items: Vec<u32>,
+    },
+    /// An inner node holding child node ids.
+    Inner {
+        /// Ids of child nodes (indices into the tree's node arena).
+        children: Vec<usize>,
+    },
+}
+
+/// One node of the R-tree: its bounding box plus payload.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Minimum bounding box of everything below this node.
+    pub mbb: Mbb,
+    /// Leaf or inner payload.
+    pub kind: NodeKind,
+}
+
+impl Node {
+    /// True for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.kind, NodeKind::Leaf { .. })
+    }
+
+    /// Number of direct entries (records or children).
+    pub fn fanout(&self) -> usize {
+        match &self.kind {
+            NodeKind::Leaf { items } => items.len(),
+            NodeKind::Inner { children } => children.len(),
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Best-first (branch-and-bound) traversal.
+//!
+//! Nodes and records share one max-heap keyed by a caller-supplied
+//! score; as long as a node's key upper-bounds its content (true when
+//! the node key is any monotone function of the MBB top corner),
+//! records pop in globally non-increasing key order. This is the
+//! traversal pattern of both BBS (§2 of the paper) and plain monotone
+//! top-k search.
+
+use crate::mbb::Mbb;
+use crate::node::NodeKind;
+use crate::RTree;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy)]
+enum HeapItem {
+    Node(usize),
+    Record(u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    key: f64,
+    item: HeapItem,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on key; keys are finite by contract.
+        self.key
+            .partial_cmp(&other.key)
+            .expect("non-finite search key")
+    }
+}
+
+/// Runs the best-first search; see [`RTree::search_descending`].
+pub fn search_descending<NK, RK, V>(
+    tree: &RTree,
+    node_key: NK,
+    record_key: RK,
+    mut visit: V,
+) -> usize
+where
+    NK: Fn(&Mbb) -> f64,
+    RK: Fn(u32) -> f64,
+    V: FnMut(u32, f64) -> bool,
+{
+    let mut heap = BinaryHeap::with_capacity(128);
+    heap.push(Entry {
+        key: node_key(&tree.node(tree.root()).mbb),
+        item: HeapItem::Node(tree.root()),
+    });
+    let mut visited = 0;
+    while let Some(Entry { key, item }) = heap.pop() {
+        match item {
+            HeapItem::Record(id) => {
+                visited += 1;
+                if !visit(id, key) {
+                    break;
+                }
+            }
+            HeapItem::Node(nid) => match &tree.node(nid).kind {
+                NodeKind::Leaf { items } => {
+                    for &rid in items {
+                        heap.push(Entry {
+                            key: record_key(rid),
+                            item: HeapItem::Record(rid),
+                        });
+                    }
+                }
+                NodeKind::Inner { children } => {
+                    for &c in children {
+                        heap.push(Entry {
+                            key: node_key(&tree.node(c).mbb),
+                            item: HeapItem::Node(c),
+                        });
+                    }
+                }
+            },
+        }
+    }
+    visited
+}
+
+/// Lazy best-first record iterator in descending key order.
+///
+/// Created by [`RTree::descending_iter`]; yields `(record_id, key)`
+/// pairs one at a time, expanding only the nodes needed so far — the
+/// incremental top-k probe used in Figure 10(b) of the paper.
+pub struct DescendingIter<'a, NK, RK> {
+    tree: &'a RTree,
+    node_key: NK,
+    record_key: RK,
+    heap: BinaryHeap<Entry>,
+}
+
+impl<'a, NK, RK> DescendingIter<'a, NK, RK>
+where
+    NK: Fn(&Mbb) -> f64,
+    RK: Fn(u32) -> f64,
+{
+    pub(crate) fn new(tree: &'a RTree, node_key: NK, record_key: RK) -> Self {
+        let mut heap = BinaryHeap::with_capacity(128);
+        heap.push(Entry {
+            key: node_key(&tree.node(tree.root()).mbb),
+            item: HeapItem::Node(tree.root()),
+        });
+        Self {
+            tree,
+            node_key,
+            record_key,
+            heap,
+        }
+    }
+}
+
+impl<NK, RK> Iterator for DescendingIter<'_, NK, RK>
+where
+    NK: Fn(&Mbb) -> f64,
+    RK: Fn(u32) -> f64,
+{
+    type Item = (u32, f64);
+
+    fn next(&mut self) -> Option<(u32, f64)> {
+        while let Some(Entry { key, item }) = self.heap.pop() {
+            match item {
+                HeapItem::Record(id) => return Some((id, key)),
+                HeapItem::Node(nid) => match &self.tree.node(nid).kind {
+                    NodeKind::Leaf { items } => {
+                        for &rid in items {
+                            self.heap.push(Entry {
+                                key: (self.record_key)(rid),
+                                item: HeapItem::Record(rid),
+                            });
+                        }
+                    }
+                    NodeKind::Inner { children } => {
+                        for &c in children {
+                            self.heap.push(Entry {
+                                key: (self.node_key)(&self.tree.node(c).mbb),
+                                item: HeapItem::Node(c),
+                            });
+                        }
+                    }
+                },
+            }
+        }
+        None
+    }
+}

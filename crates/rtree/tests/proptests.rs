@@ -1,0 +1,91 @@
+//! Property-based tests for the R-tree substrate.
+
+use proptest::prelude::*;
+use utk_rtree::RTree;
+
+fn points(n: std::ops::Range<usize>, d: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.0f64..1.0, d), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Range queries return exactly the linear-scan answer.
+    #[test]
+    fn range_query_equals_scan(
+        pts in points(1..120, 3),
+        lo in prop::collection::vec(0.0f64..0.8, 3),
+        side in 0.1f64..0.8,
+    ) {
+        let hi: Vec<f64> = lo.iter().map(|l| (l + side).min(1.0)).collect();
+        let tree = RTree::with_capacity(&pts, 4, 3); // tiny caps: deep trees
+        let mut got = tree.range_query(&pts, &lo, &hi);
+        got.sort_unstable();
+        let mut want: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| {
+                p.iter()
+                    .zip(lo.iter().zip(&hi))
+                    .all(|(x, (l, h))| x >= l && x <= h)
+            })
+            .map(|(i, _)| i as u32)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Best-first iteration yields every record exactly once, in
+    /// non-increasing key order, for arbitrary positive weights.
+    #[test]
+    fn descending_iter_total_and_sorted(
+        pts in points(1..150, 2),
+        w0 in 0.01f64..1.0,
+        w1 in 0.01f64..1.0,
+    ) {
+        let tree = RTree::with_capacity(&pts, 4, 4);
+        let score = |p: &[f64]| w0 * p[0] + w1 * p[1];
+        let out: Vec<(u32, f64)> = tree
+            .descending_iter(|mbb| score(&mbb.hi), |id| score(&pts[id as usize]))
+            .collect();
+        prop_assert_eq!(out.len(), pts.len());
+        let mut seen = vec![false; pts.len()];
+        for (id, key) in &out {
+            prop_assert!(!seen[*id as usize]);
+            seen[*id as usize] = true;
+            prop_assert!((key - score(&pts[*id as usize])).abs() < 1e-12);
+        }
+        prop_assert!(out.windows(2).all(|p| p[0].1 >= p[1].1 - 1e-12));
+    }
+
+    /// top_k agrees with sorting, for any k.
+    #[test]
+    fn top_k_equals_sorted_prefix(
+        pts in points(1..100, 3),
+        k in 1usize..20,
+    ) {
+        let tree = RTree::bulk_load(&pts);
+        let score = |p: &[f64]| p.iter().sum::<f64>();
+        let got = tree.top_k(k, |mbb| score(&mbb.hi), |id| score(&pts[id as usize]));
+        let mut want: Vec<f64> = pts.iter().map(|p| score(p)).collect();
+        want.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        want.truncate(k);
+        prop_assert_eq!(got.len(), k.min(pts.len()));
+        for ((_, gk), wk) in got.iter().zip(&want) {
+            prop_assert!((gk - wk).abs() < 1e-12);
+        }
+    }
+
+    /// Duplicate coordinates are handled (STR must not lose records).
+    #[test]
+    fn duplicates_survive_bulk_load(
+        base in prop::collection::vec(0.0f64..1.0, 2),
+        copies in 2usize..40,
+    ) {
+        let pts: Vec<Vec<f64>> = (0..copies).map(|_| base.clone()).collect();
+        let tree = RTree::with_capacity(&pts, 4, 4);
+        let mut all = tree.range_query(&pts, &[0.0, 0.0], &[1.0, 1.0]);
+        all.sort_unstable();
+        prop_assert_eq!(all.len(), copies);
+    }
+}

@@ -1,0 +1,95 @@
+//! The dual-space picture of §3.2 (Figure 2), rendered in ASCII.
+//!
+//! For d = 2 the preference domain is the interval w1 ∈ [0, 1] and
+//! each record is a line S(p)(w1) = p1·w1 + p2·(1 − w1). The records
+//! whose lines touch the ≤k-level are exactly the possible top-k
+//! members; constraining w1 to R = [lo, hi] gives the UTK answer.
+//! This example draws the ≤2-level of a small dataset, marks R, and
+//! cross-checks the picture against RSA and the exact sweep oracle.
+//!
+//! Run with: `cargo run --release --example dual_space`
+
+use utk::core::oracle::sweep_2d;
+use utk::core::topk::top_k_brute;
+use utk::prelude::*;
+
+const COLS: usize = 72;
+const ROWS: usize = 20;
+
+fn main() {
+    // Five records, as in Figure 2.
+    let points = vec![
+        vec![9.0, 1.5], // p1: steep riser
+        vec![2.0, 8.5], // p2: strong at small w1
+        vec![6.0, 6.0], // p3: balanced
+        vec![4.5, 7.0], // p4
+        vec![7.5, 3.0], // p5
+    ];
+    let k = 2;
+    let (lo, hi) = (0.25, 0.65);
+
+    // Render each line; mark cells on the ≤k-level with the record id.
+    let score = |p: &[f64], w: f64| p[0] * w + p[1] * (1.0 - w);
+    let (smin, smax) = (0.0, 10.0);
+    let mut grid = vec![vec![' '; COLS]; ROWS];
+    // Column index drives both the weight value and the write position
+    // across rows, so a plain range loop is the clearest form.
+    #[allow(clippy::needless_range_loop)]
+    for col in 0..COLS {
+        let w = col as f64 / (COLS - 1) as f64;
+        let mut scores: Vec<(f64, usize)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (score(p, w), i))
+            .collect();
+        scores.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        for (rank, (s, i)) in scores.iter().enumerate() {
+            let row = ((smax - s) / (smax - smin) * (ROWS - 1) as f64).round() as usize;
+            if row < ROWS {
+                let ch = if rank < k {
+                    char::from_digit(*i as u32 + 1, 10).unwrap() // on the ≤k-level
+                } else {
+                    '·'
+                };
+                if grid[row][col] == ' ' || grid[row][col] == '·' {
+                    grid[row][col] = ch;
+                }
+            }
+        }
+    }
+
+    println!("Dual space for d = 2 (digits: record on the ≤{k}-level; '·': below it)\n");
+    for row in &grid {
+        println!("  {}", row.iter().collect::<String>());
+    }
+    let mark = |w: f64| ((w * (COLS - 1) as f64).round() as usize).min(COLS - 1);
+    let mut axis = vec![' '; COLS];
+    axis[mark(lo)] = '[';
+    axis[mark(hi)] = ']';
+    println!("  {}", axis.iter().collect::<String>());
+    println!("  w1 = 0{}w1 = 1   R = [{lo}, {hi}]\n", " ".repeat(COLS - 14));
+
+    // The part of the ≤k-level between the brackets is the UTK answer.
+    let region = Region::hyperrect(vec![lo], vec![hi]);
+    let utk1 = rsa(&points, &region, k, &RsaOptions::default());
+    let labels: Vec<String> = utk1.records.iter().map(|r| format!("p{}", r + 1)).collect();
+    println!("UTK1 over R: {{{}}}", labels.join(", "));
+
+    let (intervals, union) = sweep_2d(&points, lo, hi, k);
+    assert_eq!(union, utk1.records, "oracle agrees with RSA");
+    println!("UTK2 partitioning of R:");
+    for (a, b, set) in &intervals {
+        let names: Vec<String> = set.iter().map(|r| format!("p{}", r + 1)).collect();
+        println!("  w1 ∈ [{a:.3}, {b:.3}]: top-{k} = {{{}}}", names.join(", "));
+    }
+
+    // Sanity: the top-k at R's center matches the covering interval.
+    let mid = 0.5 * (lo + hi);
+    let mut brute = top_k_brute(&points, &[mid], k);
+    brute.sort_unstable();
+    let cell = intervals
+        .iter()
+        .find(|(a, b, _)| *a <= mid && mid <= *b)
+        .expect("mid covered");
+    assert_eq!(cell.2, brute);
+}

@@ -1,0 +1,69 @@
+//! Quickstart: the paper's Figure 1 worked example.
+//!
+//! A user hunting for a hotel rates Service, Cleanliness and Location
+//! as roughly (0.3, 0.5, 0.2)-important — but weights typed on pure
+//! intuition shouldn't be trusted to the second decimal. We expand
+//! them into the region R = [0.05, 0.45] × [0.05, 0.25] of the
+//! preference domain (the third weight is implied) and ask the two
+//! uncertain top-k queries.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use utk::data::embedded::{figure1_hotels, FIGURE1_NAMES};
+use utk::prelude::*;
+
+fn main() {
+    let hotels = figure1_hotels();
+    let region = Region::hyperrect(vec![0.05, 0.05], vec![0.45, 0.25]);
+    let k = 2;
+
+    println!("Hotels (Service, Cleanliness, Location):");
+    for (name, p) in FIGURE1_NAMES.iter().zip(&hotels.points) {
+        println!("  {name}: {:>4.1} {:>4.1} {:>4.1}", p[0], p[1], p[2]);
+    }
+    println!("\nQuery: k = {k}, R = [0.05, 0.45] x [0.05, 0.25]\n");
+
+    // UTK1: every hotel that can be in the top-2 for some w in R.
+    let utk1 = rsa(&hotels.points, &region, k, &RsaOptions::default());
+    let names: Vec<&str> = utk1
+        .records
+        .iter()
+        .map(|&i| FIGURE1_NAMES[i as usize])
+        .collect();
+    println!("UTK1 (all possible top-{k} members): {{{}}}", names.join(", "));
+    println!(
+        "  filter kept {} candidates; {} drills ({} direct hits); {} half-spaces inserted",
+        utk1.stats.candidates,
+        utk1.stats.drills,
+        utk1.stats.drill_hits,
+        utk1.stats.halfspaces_inserted,
+    );
+
+    // UTK2: the exact top-2 set for every possible weight vector.
+    let utk2 = jaa(&hotels.points, &region, k, &JaaOptions::default());
+    println!(
+        "\nUTK2 ({} partitions of R, {} distinct top-{k} sets):",
+        utk2.num_partitions(),
+        utk2.num_distinct_sets(),
+    );
+    let mut cells: Vec<_> = utk2.cells.iter().collect();
+    cells.sort_by(|a, b| a.interior[0].partial_cmp(&b.interior[0]).unwrap());
+    for cell in cells {
+        let set: Vec<&str> = cell
+            .top_k
+            .iter()
+            .map(|&i| FIGURE1_NAMES[i as usize])
+            .collect();
+        println!(
+            "  around w = ({:.3}, {:.3}): top-{k} = {{{}}}",
+            cell.interior[0],
+            cell.interior[1],
+            set.join(", ")
+        );
+    }
+
+    println!(
+        "\nPaper check: UTK1 = {{p1, p2, p4, p6}} and the partitions read\n\
+         {{p2,p4}} / {{p1,p4}} / {{p1,p2}} / {{p1,p6}} from left to right."
+    );
+}

@@ -1,0 +1,229 @@
+//! `utk` — command-line uncertain top-k queries over CSV data.
+//!
+//! ```text
+//! utk utk1 --data hotels.csv --k 2 --lo 0.05,0.05 --hi 0.45,0.25
+//! utk utk1 --data hotels.csv --k 2 --center 0.3,0.5 --width 0.2
+//! utk utk2 --data hotels.csv --k 2 --center 0.3,0.5 --width 0.2
+//! utk topk --data hotels.csv --k 2 --weights 0.3,0.5,0.2
+//! utk generate --dist anti --n 1000 --d 4 --seed 7 > data.csv
+//! ```
+//!
+//! The data file holds one record per line, comma-separated, with an
+//! optional header row and an optional leading label column. Weights
+//! refer to the first `d − 1` attributes (the last is implied, §3.1
+//! of the paper); `--center/--width` build an uncertainty box around
+//! indicative weights, clipped to the preference simplex.
+
+use std::process::ExitCode;
+use utk::core::scoring::GeneralScoring;
+use utk::core::topk::top_k_brute;
+use utk::data::csv::{parse_csv, write_csv, CsvData};
+use utk::data::synthetic::{generate, Distribution};
+use utk::geom::Constraint;
+use utk::prelude::*;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("run `utk help` for usage");
+    ExitCode::FAILURE
+}
+
+const HELP: &str = "utk — exact uncertain top-k queries (Mouratidis & Tang, VLDB 2018)
+
+USAGE:
+  utk utk1     --data <csv> --k <n> <REGION> [--lp <p>]   minimal set of possible top-k records
+  utk utk2     --data <csv> --k <n> <REGION> [--lp <p>]   exact top-k set per preference partition
+  utk topk     --data <csv> --k <n> --weights w1,..,wd    plain top-k (for comparison)
+  utk generate --dist <ind|cor|anti> --n <n> --d <d> [--seed <s>]   benchmark data to stdout
+  utk help
+
+REGION (preference domain has d-1 coordinates; the last weight is implied):
+  --lo a,b,..  --hi a,b,..     explicit box corners
+  --center a,b,..  --width w   box of side w around indicative weights (clipped to the simplex)
+
+OPTIONS:
+  --lp <p>     score with sum of w_i * x_i^p instead of linear attributes (p > 0)
+";
+
+struct Args {
+    flags: Vec<(String, String)>,
+    command: String,
+}
+
+impl Args {
+    fn parse() -> Option<Args> {
+        let mut it = std::env::args().skip(1);
+        let command = it.next()?;
+        let mut flags = Vec::new();
+        while let Some(f) = it.next() {
+            let key = f.strip_prefix("--")?.to_string();
+            let val = it.next()?;
+            flags.push((key, val));
+        }
+        Some(Args { flags, command })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn floats(&self, key: &str) -> Option<Vec<f64>> {
+        self.get(key)?
+            .split(',')
+            .map(|v| v.trim().parse().ok())
+            .collect()
+    }
+}
+
+fn load(args: &Args) -> Result<CsvData, String> {
+    let path = args.get("data").ok_or("missing --data <csv>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_csv(&text, path).map_err(|e| e.to_string())
+}
+
+fn region_from(args: &Args, dp: usize) -> Result<Region, String> {
+    if let (Some(lo), Some(hi)) = (args.floats("lo"), args.floats("hi")) {
+        if lo.len() != dp || hi.len() != dp {
+            return Err(format!("region needs {dp} coordinates (d − 1)"));
+        }
+        return Ok(Region::hyperrect(lo, hi));
+    }
+    if let (Some(center), Some(width)) = (args.floats("center"), args.get("width")) {
+        if center.len() != dp {
+            return Err(format!("--center needs {dp} coordinates (d − 1)"));
+        }
+        let w: f64 = width.parse().map_err(|_| "--width must be a number")?;
+        let lo: Vec<f64> = center.iter().map(|c| (c - w / 2.0).max(0.0)).collect();
+        let hi: Vec<f64> = center.iter().map(|c| (c + w / 2.0).min(1.0)).collect();
+        let boxed = Region::hyperrect(lo.clone(), hi.clone());
+        // Clip to the simplex when the box pokes out.
+        if hi.iter().sum::<f64>() > 1.0 {
+            return Ok(boxed.with_constraint(Constraint::le(vec![1.0; dp], 1.0)));
+        }
+        return Ok(boxed);
+    }
+    Err("specify a region: --lo/--hi or --center/--width".into())
+}
+
+fn scored_points(args: &Args, data: &CsvData) -> Result<Vec<Vec<f64>>, String> {
+    match args.get("lp") {
+        None => Ok(data.dataset.points.clone()),
+        Some(p) => {
+            let p: f64 = p.parse().map_err(|_| "--lp must be a number")?;
+            if p <= 0.0 {
+                return Err("--lp must be positive".into());
+            }
+            Ok(GeneralScoring::weighted_lp(p, data.dataset.dim())
+                .transform(&data.dataset.points))
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let Some(args) = Args::parse() else {
+        return Err("usage: utk <command> [--flag value]...".into());
+    };
+    match args.command.as_str() {
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        "topk" => {
+            let data = load(&args)?;
+            let w = args.floats("weights").ok_or("missing --weights")?;
+            let k: usize = args
+                .get("k")
+                .ok_or("missing --k")?
+                .parse()
+                .map_err(|_| "--k must be an integer")?;
+            let d = data.dataset.dim();
+            if w.len() != d {
+                return Err(format!("--weights needs {d} values"));
+            }
+            let reduced = &w[..d - 1];
+            let points = scored_points(&args, &data)?;
+            for (rank, id) in top_k_brute(&points, reduced, k).iter().enumerate() {
+                println!("{:>3}. {}", rank + 1, data.name(*id));
+            }
+            Ok(())
+        }
+        "utk1" | "utk2" => {
+            let data = load(&args)?;
+            let k: usize = args
+                .get("k")
+                .ok_or("missing --k")?
+                .parse()
+                .map_err(|_| "--k must be an integer")?;
+            let dp = data.dataset.dim() - 1;
+            let region = region_from(&args, dp)?;
+            let points = scored_points(&args, &data)?;
+            if args.command == "utk1" {
+                let res = rsa(&points, &region, k, &RsaOptions::default());
+                println!(
+                    "{} records can enter the top-{k} within the region:",
+                    res.records.len()
+                );
+                for id in &res.records {
+                    println!("  {}", data.name(*id));
+                }
+            } else {
+                let res = jaa(&points, &region, k, &JaaOptions::default());
+                println!(
+                    "{} preference partitions, {} distinct top-{k} sets:",
+                    res.num_partitions(),
+                    res.num_distinct_sets()
+                );
+                let mut seen: Vec<&[u32]> = Vec::new();
+                for cell in &res.cells {
+                    if seen.contains(&cell.top_k.as_slice()) {
+                        continue;
+                    }
+                    seen.push(&cell.top_k);
+                    let names: Vec<String> =
+                        cell.top_k.iter().map(|&i| data.name(i)).collect();
+                    let w: Vec<String> =
+                        cell.interior.iter().map(|v| format!("{v:.4}")).collect();
+                    println!("  around w = ({}): {{{}}}", w.join(", "), names.join(", "));
+                }
+            }
+            Ok(())
+        }
+        "generate" => {
+            let dist = match args.get("dist").unwrap_or("ind") {
+                "ind" => Distribution::Ind,
+                "cor" => Distribution::Cor,
+                "anti" => Distribution::Anti,
+                other => return Err(format!("unknown distribution {other:?}")),
+            };
+            let n: usize = args
+                .get("n")
+                .unwrap_or("1000")
+                .parse()
+                .map_err(|_| "--n must be an integer")?;
+            let d: usize = args
+                .get("d")
+                .unwrap_or("4")
+                .parse()
+                .map_err(|_| "--d must be an integer")?;
+            let seed: u64 = args
+                .get("seed")
+                .unwrap_or("2018")
+                .parse()
+                .map_err(|_| "--seed must be an integer")?;
+            let ds = generate(dist, n, d, seed);
+            print!("{}", write_csv(&ds, None));
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}

@@ -1,0 +1,54 @@
+//! # utk — Exact Processing of Uncertain Top-k Queries
+//!
+//! A Rust implementation of Mouratidis & Tang, *Exact Processing of
+//! Uncertain Top-k Queries in Multi-criteria Settings*, PVLDB 11(8),
+//! VLDB 2018 — including the full substrate stack (geometry kernel and
+//! LP solver, R-tree, workload generators) and the complete
+//! experimental harness (see `crates/bench`).
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`core`] — the UTK algorithms: RSA (UTK1), JAA (UTK2), the SK/ON
+//!   baselines and their building blocks;
+//! * [`geom`] — preference-domain geometry: regions, half-spaces,
+//!   arrangements, LP;
+//! * [`rtree`] — the spatial index;
+//! * [`data`] — benchmark datasets and query workloads.
+//!
+//! ## Example
+//!
+//! ```
+//! use utk::prelude::*;
+//!
+//! // Figure 1 of the paper: uncertain top-2 over a region of
+//! // plausible user preferences.
+//! let hotels = utk::data::embedded::figure1_hotels();
+//! let region = Region::hyperrect(vec![0.05, 0.05], vec![0.45, 0.25]);
+//!
+//! // UTK1: which hotels can make the top-2 at all?
+//! let utk1 = rsa(&hotels.points, &region, 2, &RsaOptions::default());
+//! assert_eq!(utk1.records, vec![0, 1, 3, 5]); // {p1, p2, p4, p6}
+//!
+//! // UTK2: the exact top-2 set for every possible weight vector.
+//! let utk2 = jaa(&hotels.points, &region, 2, &JaaOptions::default());
+//! assert_eq!(utk2.records, utk1.records);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use utk_core as core;
+pub use utk_data as data;
+pub use utk_geom as geom;
+pub use utk_rtree as rtree;
+
+/// Common imports: the two UTK algorithms, the baselines, regions.
+pub mod prelude {
+    pub use utk_core::baseline::{baseline_utk1, baseline_utk2, FilterKind};
+    pub use utk_core::jaa::{jaa, jaa_with_tree, JaaOptions, Utk2Cell, Utk2Result};
+    pub use utk_core::rsa::{rsa, rsa_with_tree, RsaOptions, Utk1Result};
+    pub use utk_core::skyband::{k_skyband, r_skyband, CandidateSet};
+    pub use utk_core::stats::Stats;
+    pub use utk_data::Dataset;
+    pub use utk_geom::Region;
+    pub use utk_rtree::RTree;
+}

@@ -1,0 +1,99 @@
+//! Reproduction of the paper's §7.1 case studies (Figure 9) on the
+//! curated NBA 2016–17 table.
+
+use utk::data::embedded::{nba_2016_17, NBA_2016_17};
+use utk::prelude::*;
+
+fn idx(name: &str) -> u32 {
+    NBA_2016_17
+        .iter()
+        .position(|p| p.name == name)
+        .unwrap_or_else(|| panic!("unknown player {name}")) as u32
+}
+
+#[test]
+fn figure_9a_utk1_players() {
+    let d2 = nba_2016_17().project(&[0, 1]); // (Rebounds, Points)
+    let region = Region::hyperrect(vec![0.64], vec![0.74]);
+    let res = rsa(&d2.points, &region, 3, &RsaOptions::default());
+    let mut want = vec![
+        idx("Russell Westbrook"),
+        idx("Anthony Davis"),
+        idx("Hassan Whiteside"),
+        idx("Andre Drummond"),
+    ];
+    want.sort_unstable();
+    assert_eq!(res.records, want);
+}
+
+#[test]
+fn figure_9a_partition_boundary_near_072() {
+    // "the top-3 players are the first 3 of them when wr is in
+    // [0.64, 0.72) and the last 3 when wr is in [0.72, 0.74]".
+    let d2 = nba_2016_17().project(&[0, 1]);
+    let region = Region::hyperrect(vec![0.64], vec![0.74]);
+    let res = jaa(&d2.points, &region, 3, &JaaOptions::default());
+
+    let mut early = vec![idx("Russell Westbrook"), idx("Anthony Davis"), idx("Hassan Whiteside")];
+    early.sort_unstable();
+    let mut late = vec![idx("Anthony Davis"), idx("Hassan Whiteside"), idx("Andre Drummond")];
+    late.sort_unstable();
+
+    for cell in &res.cells {
+        let wr = cell.interior[0];
+        if wr < 0.715 {
+            assert_eq!(cell.top_k, early, "at wr = {wr}");
+        } else if wr > 0.73 {
+            assert_eq!(cell.top_k, late, "at wr = {wr}");
+        }
+    }
+    // Both regimes must actually occur.
+    assert!(res.cells.iter().any(|c| c.top_k == early));
+    assert!(res.cells.iter().any(|c| c.top_k == late));
+}
+
+#[test]
+fn figure_9b_three_top3_sets() {
+    let nba = nba_2016_17(); // (Rebounds, Points, Assists)
+    let region = Region::hyperrect(vec![0.2, 0.5], vec![0.3, 0.6]);
+    let res = jaa(&nba.points, &region, 3, &JaaOptions::default());
+
+    let make = |third: &str| {
+        let mut s = vec![idx("Russell Westbrook"), idx("James Harden"), idx(third)];
+        s.sort_unstable();
+        s
+    };
+    let mut want = vec![
+        make("LeBron James"),
+        make("DeMarcus Cousins"),
+        make("Anthony Davis"),
+    ];
+    want.sort();
+    let mut got: Vec<Vec<u32>> = res.cells.iter().map(|c| c.top_k.clone()).collect();
+    got.sort();
+    got.dedup();
+    assert_eq!(got, want, "the three published top-3 sets");
+    // A total of 5 players appear in the UTK result (§7.1).
+    assert_eq!(res.records.len(), 5);
+}
+
+#[test]
+fn figure_9a_traditional_operators_are_much_looser() {
+    // Fig 9(a)/10(a): onion layers and k-skyband retain several times
+    // more records than UTK1.
+    use utk::core::onion::onion_candidates;
+    use utk::core::skyband::k_skyband;
+    let d2 = nba_2016_17().project(&[0, 1]);
+    let tree = RTree::bulk_load(&d2.points);
+    let region = Region::hyperrect(vec![0.64], vec![0.74]);
+    let utk1 = rsa(&d2.points, &region, 3, &RsaOptions::default());
+    let sky = k_skyband(&d2.points, &tree, 3, &mut Stats::new());
+    let onion = onion_candidates(&d2.points, &sky, 3);
+    assert!(onion.len() <= sky.len());
+    assert!(
+        utk1.records.len() * 2 <= onion.len(),
+        "UTK1 ({}) should be much tighter than onion ({})",
+        utk1.records.len(),
+        onion.len()
+    );
+}

@@ -1,0 +1,159 @@
+//! End-to-end tests of the `utk` command-line binary.
+
+use std::process::Command;
+
+const HOTELS_CSV: &str = "\
+hotel,service,cleanliness,location
+p1,8.3,9.1,7.2
+p2,2.4,9.6,8.6
+p3,5.4,1.6,4.1
+p4,2.6,6.9,9.4
+p5,7.3,3.1,2.4
+p6,7.9,6.4,6.6
+p7,8.6,7.1,4.3
+";
+
+fn hotels_file() -> std::path::PathBuf {
+    let dir = std::env::temp_dir();
+    let path = dir.join("utk_cli_test_hotels.csv");
+    std::fs::write(&path, HOTELS_CSV).unwrap();
+    path
+}
+
+fn utk(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_utk"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn utk1_reports_figure1_answer() {
+    let data = hotels_file();
+    let (stdout, _, ok) = utk(&[
+        "utk1",
+        "--data",
+        data.to_str().unwrap(),
+        "--k",
+        "2",
+        "--lo",
+        "0.05,0.05",
+        "--hi",
+        "0.45,0.25",
+    ]);
+    assert!(ok);
+    for p in ["p1", "p2", "p4", "p6"] {
+        assert!(stdout.contains(p), "missing {p} in:\n{stdout}");
+    }
+    assert!(!stdout.contains("p7"));
+    assert!(stdout.contains("4 records"));
+}
+
+#[test]
+fn utk2_center_width_form() {
+    let data = hotels_file();
+    let (stdout, _, ok) = utk(&[
+        "utk2",
+        "--data",
+        data.to_str().unwrap(),
+        "--k",
+        "2",
+        "--center",
+        "0.25,0.15",
+        "--width",
+        "0.2",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("distinct top-2 sets"));
+    assert!(stdout.contains("around w ="));
+}
+
+#[test]
+fn topk_matches_known_ranking() {
+    let data = hotels_file();
+    let (stdout, _, ok) = utk(&[
+        "topk",
+        "--data",
+        data.to_str().unwrap(),
+        "--k",
+        "2",
+        "--weights",
+        "0.3,0.5,0.2",
+    ]);
+    assert!(ok);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(lines[0].contains("p1"));
+    assert!(lines[1].contains("p2"));
+}
+
+#[test]
+fn generate_pipes_back_into_queries() {
+    let (csv, _, ok) = utk(&["generate", "--dist", "ind", "--n", "50", "--d", "3", "--seed", "5"]);
+    assert!(ok);
+    assert_eq!(csv.lines().count(), 50);
+    let path = std::env::temp_dir().join("utk_cli_test_gen.csv");
+    std::fs::write(&path, &csv).unwrap();
+    let (stdout, _, ok) = utk(&[
+        "utk1",
+        "--data",
+        path.to_str().unwrap(),
+        "--k",
+        "3",
+        "--lo",
+        "0.2,0.2",
+        "--hi",
+        "0.3,0.3",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("can enter the top-3"));
+}
+
+#[test]
+fn lp_scoring_flag() {
+    let data = hotels_file();
+    let (stdout, _, ok) = utk(&[
+        "utk1",
+        "--data",
+        data.to_str().unwrap(),
+        "--k",
+        "2",
+        "--lo",
+        "0.05,0.05",
+        "--hi",
+        "0.45,0.25",
+        "--lp",
+        "2",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("top-2"));
+}
+
+#[test]
+fn helpful_errors() {
+    let (_, stderr, ok) = utk(&["utk1", "--k", "2"]);
+    assert!(!ok);
+    assert!(stderr.contains("--data"));
+
+    let data = hotels_file();
+    let (_, stderr, ok) = utk(&["utk1", "--data", data.to_str().unwrap(), "--k", "2"]);
+    assert!(!ok);
+    assert!(stderr.contains("region"));
+
+    let (_, stderr, ok) = utk(&["frobnicate", "--x", "1"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let (stdout, _, ok) = utk(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("utk1"));
+    assert!(stdout.contains("generate"));
+}

@@ -1,0 +1,130 @@
+//! Mutual agreement of the four independent UTK pipelines — RSA, JAA,
+//! baseline SK and baseline ON — across data distributions,
+//! dimensionalities, k values and region sizes. The pipelines share
+//! almost no refinement code (RSA/JAA run graph-driven local
+//! arrangements; the baselines run kSPR per candidate off classical
+//! filters), so agreement is strong evidence of correctness.
+
+use utk::data::queries::random_regions;
+use utk::data::synthetic::{generate, Distribution};
+use utk::prelude::*;
+
+fn check_instance(dist: Distribution, n: usize, d: usize, k: usize, sigma: f64, seed: u64) {
+    let ds = generate(dist, n, d, seed);
+    let tree = RTree::bulk_load(&ds.points);
+    for (qi, qb) in random_regions(d - 1, sigma, 2, seed ^ 0xBEEF).into_iter().enumerate() {
+        let region = Region::hyperrect(qb.lo, qb.hi);
+        let r = rsa_with_tree(&ds.points, &tree, &region, k, &RsaOptions::default());
+        let j = jaa_with_tree(&ds.points, &tree, &region, k, &JaaOptions::default());
+        let sk = baseline_utk1(&ds.points, &tree, &region, k, FilterKind::Skyband);
+        let on = baseline_utk1(&ds.points, &tree, &region, k, FilterKind::Onion);
+        let label = format!("{} n={n} d={d} k={k} σ={sigma} q={qi}", dist.label());
+        assert_eq!(r.records, sk.records, "RSA vs SK [{label}]");
+        assert_eq!(r.records, on.records, "RSA vs ON [{label}]");
+        assert_eq!(r.records, j.records, "RSA vs JAA [{label}]");
+    }
+}
+
+#[test]
+fn agreement_on_independent_data() {
+    check_instance(Distribution::Ind, 400, 3, 5, 0.05, 1);
+    check_instance(Distribution::Ind, 400, 4, 3, 0.05, 2);
+    check_instance(Distribution::Ind, 300, 2, 4, 0.1, 3);
+}
+
+#[test]
+fn agreement_on_correlated_data() {
+    check_instance(Distribution::Cor, 500, 3, 5, 0.05, 4);
+    check_instance(Distribution::Cor, 400, 4, 2, 0.08, 5);
+}
+
+#[test]
+fn agreement_on_anticorrelated_data() {
+    check_instance(Distribution::Anti, 300, 3, 3, 0.05, 6);
+    check_instance(Distribution::Anti, 250, 4, 2, 0.05, 7);
+}
+
+#[test]
+fn agreement_with_k1() {
+    check_instance(Distribution::Ind, 400, 3, 1, 0.05, 8);
+    check_instance(Distribution::Anti, 300, 3, 1, 0.05, 9);
+}
+
+#[test]
+fn agreement_on_larger_regions() {
+    check_instance(Distribution::Ind, 250, 3, 3, 0.2, 10);
+    check_instance(Distribution::Cor, 250, 4, 3, 0.15, 11);
+}
+
+#[test]
+fn agreement_in_five_dimensions() {
+    check_instance(Distribution::Ind, 200, 5, 2, 0.05, 12);
+}
+
+#[test]
+fn rsa_ablations_all_agree() {
+    let ds = generate(Distribution::Ind, 300, 3, 20);
+    let tree = RTree::bulk_load(&ds.points);
+    let region = Region::hyperrect(vec![0.2, 0.25], vec![0.3, 0.35]);
+    let reference = rsa_with_tree(&ds.points, &tree, &region, 4, &RsaOptions::default());
+    for drill in [true, false] {
+        for lemma1 in [true, false] {
+            for pivot_order in [true, false] {
+                for min_count_selection in [true, false] {
+                    let opts = RsaOptions {
+                        drill,
+                        lemma1,
+                        pivot_order,
+                        min_count_selection,
+                    };
+                    let got = rsa_with_tree(&ds.points, &tree, &region, 4, &opts);
+                    assert_eq!(
+                        got.records, reference.records,
+                        "ablation {drill}/{lemma1}/{pivot_order}/{min_count_selection}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn jaa_ablations_agree_on_distinct_sets() {
+    let ds = generate(Distribution::Anti, 250, 3, 21);
+    let tree = RTree::bulk_load(&ds.points);
+    let region = Region::hyperrect(vec![0.15, 0.3], vec![0.25, 0.4]);
+    let a = jaa_with_tree(&ds.points, &tree, &region, 3, &JaaOptions::default());
+    let b = jaa_with_tree(
+        &ds.points,
+        &tree,
+        &region,
+        3,
+        &JaaOptions {
+            kth_anchor: false,
+            ..Default::default()
+        },
+    );
+    let norm = |r: &Utk2Result| {
+        let mut s: Vec<Vec<u32>> = r.cells.iter().map(|c| c.top_k.clone()).collect();
+        s.sort();
+        s.dedup();
+        s
+    };
+    assert_eq!(norm(&a), norm(&b));
+    assert_eq!(a.records, b.records);
+}
+
+#[test]
+fn simulated_real_datasets_smoke() {
+    // Tiny-scale versions of HOTEL/HOUSE/NBA through the full stack.
+    for ds in utk::data::real::all_real(0.004, 33) {
+        let d = ds.dim();
+        let tree = RTree::bulk_load(&ds.points);
+        let qb = &random_regions(d - 1, 0.03, 1, 77)[0];
+        let region = Region::hyperrect(qb.lo.clone(), qb.hi.clone());
+        let r = rsa_with_tree(&ds.points, &tree, &region, 5, &RsaOptions::default());
+        let j = jaa_with_tree(&ds.points, &tree, &region, 5, &JaaOptions::default());
+        assert_eq!(r.records, j.records, "{}", ds.name);
+        assert!(!r.records.is_empty());
+    }
+}

@@ -1,0 +1,89 @@
+//! §6 end-to-end: UTK under generalized scoring functions, validated
+//! against the exact `d = 2` oracle run on transformed data and
+//! against sampling in higher dimensions.
+
+use utk::core::oracle::sweep_2d;
+use utk::core::scoring::{jaa_general, rsa_general, AttributeTransform, GeneralScoring};
+use utk::core::topk::top_k_brute;
+use utk::data::synthetic::{generate, Distribution};
+use utk::prelude::*;
+
+#[test]
+fn weighted_l3_matches_oracle_on_transformed_data_d2() {
+    let ds = generate(Distribution::Ind, 150, 2, 21);
+    let scoring = GeneralScoring::weighted_lp(3.0, 2);
+    let transformed = scoring.transform(&ds.points);
+    let (lo, hi, k) = (0.25, 0.6, 3);
+    let (_, want) = sweep_2d(&transformed, lo, hi, k);
+    let region = Region::hyperrect(vec![lo], vec![hi]);
+    let got = rsa_general(&ds.points, &scoring, &region, k, &RsaOptions::default());
+    assert_eq!(got.records, want);
+}
+
+#[test]
+fn mixed_transforms_jaa_matches_rsa_union() {
+    let ds = generate(Distribution::Anti, 180, 3, 22);
+    let scoring = GeneralScoring::new(vec![
+        AttributeTransform::Power(2.0),
+        AttributeTransform::Log1p,
+        AttributeTransform::Identity,
+    ]);
+    assert!(scoring.validate_monotone(0.0, 1.0));
+    let region = Region::hyperrect(vec![0.2, 0.2], vec![0.3, 0.35]);
+    let k = 3;
+    let u1 = rsa_general(&ds.points, &scoring, &region, k, &RsaOptions::default());
+    let u2 = jaa_general(&ds.points, &scoring, &region, k, &JaaOptions::default());
+    assert_eq!(u1.records, u2.records);
+
+    // Cell labels are the generalized top-k at the interiors.
+    let transformed = scoring.transform(&ds.points);
+    for cell in &u2.cells {
+        let mut want = top_k_brute(&transformed, &cell.interior, k);
+        want.sort_unstable();
+        assert_eq!(cell.top_k, want);
+    }
+}
+
+#[test]
+fn sqrt_scoring_flattens_outliers() {
+    // Under √x scoring a balanced record should beat a spiky one that
+    // wins under linear scoring — construct such a pair explicitly.
+    let mut pts = vec![
+        vec![1.00, 0.00], // spiky
+        vec![0.36, 0.36], // balanced: √ gives 0.6 each
+    ];
+    // Backdrop records that never reach the top.
+    for i in 0..20 {
+        pts.push(vec![0.01 + (i as f64) * 0.001, 0.01]);
+    }
+    let region = Region::hyperrect(vec![0.45], vec![0.55]);
+    let linear = rsa(&pts, &region, 1, &RsaOptions::default());
+    let sqrt = rsa_general(
+        &pts,
+        &GeneralScoring::weighted_lp(0.5, 2),
+        &region,
+        1,
+        &RsaOptions::default(),
+    );
+    // Linear at w ≈ 0.5: 0.5 vs 0.36 → spiky wins.
+    assert_eq!(linear.records, vec![0]);
+    // √: 0.5 vs 0.6 → balanced wins.
+    assert_eq!(sqrt.records, vec![1]);
+}
+
+#[test]
+fn generalized_baselines_agree_with_rsa() {
+    // The baselines consume transformed data identically (BBS only
+    // needs monotonicity), so all pipelines must still agree.
+    let ds = generate(Distribution::Ind, 120, 3, 23);
+    let scoring = GeneralScoring::weighted_lp(2.0, 3);
+    let transformed = scoring.transform(&ds.points);
+    let region = Region::hyperrect(vec![0.2, 0.15], vec![0.3, 0.3]);
+    let k = 2;
+    let tree = RTree::bulk_load(&transformed);
+    let r = rsa_with_tree(&transformed, &tree, &region, k, &RsaOptions::default());
+    let sk = baseline_utk1(&transformed, &tree, &region, k, FilterKind::Skyband);
+    let on = baseline_utk1(&transformed, &tree, &region, k, FilterKind::Onion);
+    assert_eq!(r.records, sk.records);
+    assert_eq!(r.records, on.records);
+}

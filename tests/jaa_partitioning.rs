@@ -1,0 +1,110 @@
+//! Structural validation of JAA's common global arrangement: the
+//! cells must tile R, carry correct labels everywhere (not just at
+//! their interior points), and be consistent with each other.
+
+use rand::prelude::*;
+use utk::core::topk::top_k_brute;
+use utk::data::synthetic::{generate, Distribution};
+use utk::prelude::*;
+
+fn sample_box(rng: &mut impl Rng, lo: &[f64], hi: &[f64]) -> Vec<f64> {
+    lo.iter()
+        .zip(hi)
+        .map(|(l, h)| rng.gen_range(*l..*h))
+        .collect()
+}
+
+#[test]
+fn cells_cover_region_with_correct_labels() {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(100);
+    for (dist, d, k) in [
+        (Distribution::Ind, 3, 3),
+        (Distribution::Anti, 3, 5),
+        (Distribution::Cor, 4, 2),
+    ] {
+        let ds = generate(dist, 300, d, 500 + k as u64);
+        let lo = vec![0.12; d - 1];
+        let hi = vec![0.22; d - 1];
+        let region = Region::hyperrect(lo.clone(), hi.clone());
+        let res = jaa(&ds.points, &region, k, &JaaOptions::default());
+        for _ in 0..300 {
+            let w = sample_box(&mut rng, &lo, &hi);
+            // Every containing cell must carry the true top-k set.
+            // (A point on a cell boundary may lie in several cells;
+            // random reals avoid genuine score ties.)
+            let mut found = 0;
+            let mut want = top_k_brute(&ds.points, &w, k);
+            want.sort_unstable();
+            for cell in &res.cells {
+                if cell.region.contains(&w) {
+                    found += 1;
+                    assert_eq!(cell.top_k, want, "{} at {w:?}", dist.label());
+                }
+            }
+            assert!(found >= 1, "{}: uncovered point {w:?}", dist.label());
+        }
+    }
+}
+
+#[test]
+fn interior_points_lie_in_their_own_cells_only() {
+    let ds = generate(Distribution::Ind, 250, 3, 42);
+    let region = Region::hyperrect(vec![0.2, 0.25], vec![0.3, 0.35]);
+    let res = jaa(&ds.points, &region, 4, &JaaOptions::default());
+    for (i, cell) in res.cells.iter().enumerate() {
+        assert!(cell.region.contains(&cell.interior));
+        assert!(region.contains(&cell.interior));
+        for (j, other) in res.cells.iter().enumerate() {
+            if i != j {
+                assert!(
+                    !other.region.contains(&cell.interior),
+                    "cell {i} interior inside cell {j}: overlap"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn each_cell_has_exactly_k_records() {
+    let ds = generate(Distribution::Anti, 200, 3, 77);
+    let region = Region::hyperrect(vec![0.3, 0.2], vec![0.4, 0.3]);
+    for k in [1, 2, 6] {
+        let res = jaa(&ds.points, &region, k, &JaaOptions::default());
+        for cell in &res.cells {
+            assert_eq!(cell.top_k.len(), k);
+            // Sorted, unique dataset ids.
+            assert!(cell.top_k.windows(2).all(|p| p[0] < p[1]));
+        }
+    }
+}
+
+#[test]
+fn adjacent_weight_vectors_get_adjacent_sets() {
+    // Walking across R in small steps, the top-k set changes by
+    // swaps: consecutive sampled sets differ in at most a few
+    // records, and every change is reflected by a cell switch.
+    let ds = generate(Distribution::Ind, 300, 3, 88);
+    let region = Region::hyperrect(vec![0.2, 0.2], vec![0.3, 0.3]);
+    let k = 3;
+    let res = jaa(&ds.points, &region, k, &JaaOptions::default());
+    let mut prev: Option<Vec<u32>> = None;
+    for i in 0..=60 {
+        let w = [0.2 + 0.1 * i as f64 / 60.0, 0.25];
+        let cell = res.cell_containing(&w).expect("covered");
+        if let Some(p) = prev {
+            let diff = cell.top_k.iter().filter(|r| !p.contains(r)).count();
+            assert!(diff <= k, "set jumped by more than k");
+        }
+        prev = Some(cell.top_k.clone());
+    }
+}
+
+#[test]
+fn num_partitions_at_least_num_distinct_sets() {
+    let ds = generate(Distribution::Anti, 300, 3, 99);
+    let region = Region::hyperrect(vec![0.25, 0.25], vec![0.35, 0.35]);
+    let res = jaa(&ds.points, &region, 4, &JaaOptions::default());
+    assert!(res.num_partitions() >= res.num_distinct_sets());
+    assert!(res.num_distinct_sets() >= 1);
+}

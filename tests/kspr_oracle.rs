@@ -1,0 +1,109 @@
+//! Exact validation of the kSPR building block against the `d = 2`
+//! sweep oracle: for each record, the sub-intervals of R where it
+//! ranks in the top-k are known exactly, so kSPR's qualification
+//! answer and witness regions can be checked record by record.
+
+use utk::core::kspr::{kspr, KsprMode};
+use utk::core::oracle::sweep_2d;
+use utk::data::synthetic::{generate, Distribution};
+use utk::geom::pref_score;
+use utk::prelude::*;
+
+#[test]
+fn kspr_qualification_matches_oracle_membership() {
+    for (dist, seed) in [
+        (Distribution::Ind, 3u64),
+        (Distribution::Cor, 4),
+        (Distribution::Anti, 5),
+    ] {
+        let ds = generate(dist, 120, 2, seed);
+        let (lo, hi, k) = (0.2, 0.5, 3);
+        let (_, utk1) = sweep_2d(&ds.points, lo, hi, k);
+        let region = Region::hyperrect(vec![lo], vec![hi]);
+        let mut stats = Stats::new();
+        for i in 0..ds.points.len() {
+            let res = kspr(&ds.points, i, &region, k, KsprMode::Witness, &mut stats);
+            assert_eq!(
+                res.qualified,
+                utk1.contains(&(i as u32)),
+                "{} record {i}",
+                dist.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn kspr_full_mode_witnesses_cover_all_oracle_intervals() {
+    let ds = generate(Distribution::Ind, 60, 2, 6);
+    let (lo, hi, k) = (0.3, 0.7, 2);
+    let (intervals, _) = sweep_2d(&ds.points, lo, hi, k);
+    let region = Region::hyperrect(vec![lo], vec![hi]);
+    let mut stats = Stats::new();
+    for i in 0..ds.points.len() as u32 {
+        let res = kspr(&ds.points, i as usize, &region, k, KsprMode::Full, &mut stats);
+        // Maximal runs of consecutive oracle intervals containing i:
+        // their boundaries are crossings involving i itself (only
+        // those change i's rank), which are exactly where kSPR's
+        // cells split — so every run must contain ≥ 1 witness.
+        let mut runs: Vec<(f64, f64)> = Vec::new();
+        for (a, b, set) in &intervals {
+            if set.contains(&i) {
+                match runs.last_mut() {
+                    Some((_, end)) if (*end - a).abs() < 1e-9 => *end = *b,
+                    _ => runs.push((*a, *b)),
+                }
+            }
+        }
+        assert_eq!(res.qualified, !runs.is_empty(), "record {i}");
+        for (a, b) in &runs {
+            let found = res
+                .regions
+                .iter()
+                .any(|(w, _)| w[0] >= a - 1e-9 && w[0] <= b + 1e-9);
+            assert!(found, "record {i}: no witness inside run [{a}, {b}]");
+        }
+    }
+}
+
+#[test]
+fn kspr_reported_ranks_are_exact() {
+    let ds = generate(Distribution::Anti, 80, 3, 7);
+    let region = Region::hyperrect(vec![0.2, 0.25], vec![0.3, 0.4]);
+    let k = 4;
+    let mut stats = Stats::new();
+    for i in 0..ds.points.len() {
+        let res = kspr(&ds.points, i, &region, k, KsprMode::Full, &mut stats);
+        for (w, rank) in &res.regions {
+            let si = pref_score(&ds.points[i], w);
+            let better = ds
+                .points
+                .iter()
+                .enumerate()
+                .filter(|(j, q)| {
+                    let sq = pref_score(q, w);
+                    sq > si + 1e-12 || ((sq - si).abs() <= 1e-12 && *j < i)
+                })
+                .count();
+            assert_eq!(better + 1, *rank, "record {i} at {w:?}");
+            assert!(*rank <= k);
+        }
+    }
+}
+
+#[test]
+fn kspr_respects_early_base_disqualification() {
+    // A record r-dominated by ≥ k others must be rejected without any
+    // arrangement work (no half-space insertions).
+    let pts = vec![
+        vec![0.9, 0.9],
+        vec![0.8, 0.8],
+        vec![0.7, 0.7],
+        vec![0.1, 0.1], // dominated by all three
+    ];
+    let region = Region::hyperrect(vec![0.3], vec![0.6]);
+    let mut stats = Stats::new();
+    let res = kspr(&pts, 3, &region, 2, KsprMode::Witness, &mut stats);
+    assert!(!res.qualified);
+    assert_eq!(stats.halfspaces_inserted, 0);
+}

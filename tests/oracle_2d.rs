@@ -1,0 +1,80 @@
+//! Ground-truth validation against the exact `d = 2` sweep oracle
+//! (§3.2: the ≤k-level of the dual line arrangement).
+
+use utk::core::oracle::sweep_2d;
+use utk::data::synthetic::{generate, Distribution};
+use utk::prelude::*;
+
+#[test]
+fn rsa_matches_oracle_across_distributions() {
+    for (dist, seed) in [
+        (Distribution::Ind, 1u64),
+        (Distribution::Cor, 2),
+        (Distribution::Anti, 3),
+    ] {
+        let ds = generate(dist, 400, 2, seed);
+        for (lo, hi, k) in [(0.1, 0.3, 3), (0.45, 0.55, 5), (0.05, 0.95, 2)] {
+            let (_, want) = sweep_2d(&ds.points, lo, hi, k);
+            let region = Region::hyperrect(vec![lo], vec![hi]);
+            let got = rsa(&ds.points, &region, k, &RsaOptions::default());
+            assert_eq!(got.records, want, "{} [{lo},{hi}] k={k}", dist.label());
+        }
+    }
+}
+
+#[test]
+fn jaa_matches_oracle_sets_and_boundaries() {
+    let ds = generate(Distribution::Anti, 200, 2, 9);
+    let (lo, hi, k) = (0.2, 0.6, 4);
+    let (want_intervals, want_union) = sweep_2d(&ds.points, lo, hi, k);
+    let region = Region::hyperrect(vec![lo], vec![hi]);
+    let got = jaa(&ds.points, &region, k, &JaaOptions::default());
+    assert_eq!(got.records, want_union);
+
+    // Each oracle interval's midpoint must land in a JAA cell with the
+    // identical top-k set.
+    for (a, b, set) in &want_intervals {
+        let mid = [0.5 * (a + b)];
+        let cell = got
+            .cell_containing(&mid)
+            .unwrap_or_else(|| panic!("no cell at {mid:?}"));
+        assert_eq!(&cell.top_k, set, "label mismatch at w1 = {}", mid[0]);
+    }
+
+    // Number of distinct sets agrees.
+    let mut got_sets: Vec<Vec<u32>> = got.cells.iter().map(|c| c.top_k.clone()).collect();
+    got_sets.sort();
+    got_sets.dedup();
+    assert_eq!(got_sets.len(), {
+        let mut w: Vec<&Vec<u32>> = want_intervals.iter().map(|(_, _, s)| s).collect();
+        w.sort();
+        w.dedup();
+        w.len()
+    });
+}
+
+#[test]
+fn oracle_validates_baselines_too() {
+    let ds = generate(Distribution::Ind, 150, 2, 11);
+    let (lo, hi, k) = (0.3, 0.5, 3);
+    let (_, want) = sweep_2d(&ds.points, lo, hi, k);
+    let region = Region::hyperrect(vec![lo], vec![hi]);
+    let tree = RTree::bulk_load(&ds.points);
+    for filter in [FilterKind::Skyband, FilterKind::Onion] {
+        let got = baseline_utk1(&ds.points, &tree, &region, k, filter);
+        assert_eq!(got.records, want, "{}", filter.label());
+    }
+}
+
+#[test]
+fn whole_domain_query_equals_k_level() {
+    // R spanning (almost) the whole preference domain: UTK1 equals
+    // the records on the ≤k-level — here cross-checked against the
+    // oracle over [0.001, 0.999].
+    let ds = generate(Distribution::Ind, 300, 2, 13);
+    let k = 3;
+    let (_, want) = sweep_2d(&ds.points, 0.001, 0.999, k);
+    let region = Region::hyperrect(vec![0.001], vec![0.999]);
+    let got = rsa(&ds.points, &region, k, &RsaOptions::default());
+    assert_eq!(got.records, want);
+}

@@ -1,0 +1,124 @@
+//! §3.1: "For ease of presentation, we assume that [R] is an
+//! axis-parallel hyper-rectangle, yet our techniques apply directly to
+//! general convex polytopes." These tests run the full pipelines on
+//! non-box regions: triangles, simplex-clipped boxes, and the whole
+//! preference domain.
+
+use rand::prelude::*;
+use utk::core::topk::top_k_brute;
+use utk::data::synthetic::{generate, Distribution};
+use utk::geom::{Constraint, Region};
+use utk::prelude::*;
+
+/// A triangle in the 2-D preference domain with explicit vertices.
+fn triangle() -> Region {
+    // Vertices (0.1, 0.1), (0.4, 0.1), (0.1, 0.4).
+    let constraints = vec![
+        Constraint::ge(&[1.0, 0.0], 0.1),
+        Constraint::ge(&[0.0, 1.0], 0.1),
+        Constraint::le(vec![1.0, 1.0], 0.5),
+    ];
+    Region::with_vertices(
+        2,
+        constraints,
+        vec![vec![0.1, 0.1], vec![0.4, 0.1], vec![0.1, 0.4]],
+    )
+}
+
+#[test]
+fn rsa_on_triangle_region() {
+    let ds = generate(Distribution::Ind, 250, 3, 5);
+    let region = triangle();
+    let k = 3;
+    let res = rsa(&ds.points, &region, k, &RsaOptions::default());
+
+    // Every sampled top-k inside the triangle must be reported.
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(6);
+    for _ in 0..300 {
+        let (a, b): (f64, f64) = (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
+        let (a, b) = if a + b > 1.0 { (1.0 - a, 1.0 - b) } else { (a, b) };
+        let w = [0.1 + 0.3 * a, 0.1 + 0.3 * b];
+        debug_assert!(region.contains(&w));
+        for id in top_k_brute(&ds.points, &w, k) {
+            assert!(res.records.contains(&id), "missing {id} at {w:?}");
+        }
+    }
+}
+
+#[test]
+fn jaa_on_triangle_matches_rsa_and_labels() {
+    let ds = generate(Distribution::Anti, 200, 3, 6);
+    let region = triangle();
+    let k = 2;
+    let r1 = rsa(&ds.points, &region, k, &RsaOptions::default());
+    let r2 = jaa(&ds.points, &region, k, &JaaOptions::default());
+    assert_eq!(r1.records, r2.records);
+    for cell in &r2.cells {
+        let mut want = top_k_brute(&ds.points, &cell.interior, k);
+        want.sort_unstable();
+        assert_eq!(cell.top_k, want);
+        assert!(region.contains(&cell.interior));
+    }
+}
+
+#[test]
+fn baselines_agree_on_triangle() {
+    let ds = generate(Distribution::Cor, 200, 3, 7);
+    let region = triangle();
+    let tree = RTree::bulk_load(&ds.points);
+    let r = rsa_with_tree(&ds.points, &tree, &region, 3, &RsaOptions::default());
+    let sk = baseline_utk1(&ds.points, &tree, &region, 3, FilterKind::Skyband);
+    let on = baseline_utk1(&ds.points, &tree, &region, 3, FilterKind::Onion);
+    assert_eq!(r.records, sk.records);
+    assert_eq!(r.records, on.records);
+}
+
+#[test]
+fn whole_preference_domain_as_region() {
+    // R = the full (open) preference simplex: UTK1 becomes the set of
+    // records on the ≤k-level of the whole domain.
+    let ds = generate(Distribution::Ind, 150, 3, 8);
+    let region = Region::full_preference_domain(2);
+    let k = 2;
+    let res = rsa(&ds.points, &region, k, &RsaOptions::default());
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+    for _ in 0..400 {
+        let a: f64 = rng.gen_range(0.001..0.998);
+        let b: f64 = rng.gen_range(0.001..0.999 - a);
+        for id in top_k_brute(&ds.points, &[a, b], k) {
+            assert!(res.records.contains(&id));
+        }
+    }
+    // And it must be contained in the 2-skyband (classical filter).
+    let tree = RTree::bulk_load(&ds.points);
+    let sky = utk::core::skyband::k_skyband(&ds.points, &tree, k, &mut Stats::new());
+    for id in &res.records {
+        assert!(sky.contains(id));
+    }
+}
+
+#[test]
+fn simplex_clipped_box() {
+    // A box deliberately poking out of the simplex, clipped by Σw ≤ 1
+    // — the shape produced when expanding learned weights near the
+    // simplex boundary (cf. examples/preference_learning.rs).
+    let ds = generate(Distribution::Ind, 200, 3, 10);
+    let boxed = Region::hyperrect(vec![0.45, 0.35], vec![0.75, 0.55]);
+    let region = boxed.with_constraint(Constraint::le(vec![1.0, 1.0], 1.0));
+    let k = 3;
+    let r1 = rsa(&ds.points, &region, k, &RsaOptions::default());
+    let r2 = jaa(&ds.points, &region, k, &JaaOptions::default());
+    assert_eq!(r1.records, r2.records);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+    let mut hits = 0;
+    for _ in 0..1000 {
+        let w = [rng.gen_range(0.45..0.75), rng.gen_range(0.35..0.55)];
+        if w[0] + w[1] <= 1.0 {
+            hits += 1;
+            for id in top_k_brute(&ds.points, &w, k) {
+                assert!(r1.records.contains(&id));
+            }
+        }
+    }
+    assert!(hits > 100, "sampling covered the clipped region");
+}

@@ -1,0 +1,184 @@
+//! Property-based tests (proptest) over the UTK invariants.
+
+use proptest::prelude::*;
+use utk::core::rdominance::{r_dominance, RDominance};
+use utk::core::topk::top_k_brute;
+use utk::prelude::*;
+
+/// A small random dataset in the unit cube.
+fn dataset(n: usize, d: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.0f64..1.0, d), n)
+}
+
+/// A random query box in the (d−1)-dimensional preference domain.
+fn query_box(dp: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (
+        prop::collection::vec(0.02f64..0.5, dp),
+        prop::collection::vec(0.02f64..0.2, dp),
+    )
+        .prop_map(move |(lo, side)| {
+            // Shrink so the box stays inside the simplex.
+            let mut lo = lo;
+            let mut hi: Vec<f64> = lo.iter().zip(&side).map(|(l, s)| l + s).collect();
+            let total: f64 = hi.iter().sum();
+            if total > 0.95 {
+                let scale = 0.95 / total;
+                for (l, h) in lo.iter_mut().zip(hi.iter_mut()) {
+                    *l *= scale;
+                    *h *= scale;
+                }
+            }
+            (lo, hi)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// r-dominance is antisymmetric and consistent with score order
+    /// at the region's pivot.
+    #[test]
+    fn rdominance_is_a_strict_partial_order(
+        pts in dataset(12, 3),
+        (lo, hi) in query_box(2),
+    ) {
+        let region = Region::hyperrect(lo, hi);
+        let pivot = region.pivot().unwrap();
+        for a in 0..pts.len() {
+            for b in 0..pts.len() {
+                if a == b { continue; }
+                let ab = r_dominance(&pts[a], &pts[b], &region);
+                let ba = r_dominance(&pts[b], &pts[a], &region);
+                if ab == RDominance::Dominates {
+                    prop_assert_eq!(ba, RDominance::DominatedBy);
+                    // Dominator scores at least as high at the pivot.
+                    let sa = utk::geom::pref_score(&pts[a], &pivot);
+                    let sb = utk::geom::pref_score(&pts[b], &pivot);
+                    prop_assert!(sa >= sb - 1e-9);
+                }
+            }
+        }
+    }
+
+    /// UTK1 contains every sampled top-k set and stays inside the
+    /// r-skyband (minimality spot-check: superset of the sampled
+    /// union, subset of the filter).
+    #[test]
+    fn utk1_sandwich(
+        pts in dataset(60, 3),
+        (lo, hi) in query_box(2),
+        k in 1usize..5,
+    ) {
+        let region = Region::hyperrect(lo.clone(), hi.clone());
+        let res = rsa(&pts, &region, k, &RsaOptions::default());
+
+        let tree = RTree::bulk_load(&pts);
+        let cs = r_skyband(&pts, &tree, &region, k, true, &mut Stats::new());
+        for id in &res.records {
+            prop_assert!(cs.ids.contains(id));
+        }
+
+        for i in 0..4 {
+            for j in 0..4 {
+                let w: Vec<f64> = lo.iter().zip(&hi).enumerate().map(|(dim, (l, h))| {
+                    let t = if dim == 0 { i } else { j } as f64 / 3.0;
+                    l + t * (h - l)
+                }).collect();
+                for id in top_k_brute(&pts, &w, k) {
+                    prop_assert!(res.records.contains(&id), "missing {} at {:?}", id, w);
+                }
+            }
+        }
+    }
+
+    /// JAA's union is RSA's answer; each cell's interior label is the
+    /// brute-force top-k.
+    #[test]
+    fn jaa_consistency(
+        pts in dataset(50, 3),
+        (lo, hi) in query_box(2),
+        k in 1usize..4,
+    ) {
+        let region = Region::hyperrect(lo, hi);
+        let u1 = rsa(&pts, &region, k, &RsaOptions::default());
+        let u2 = jaa(&pts, &region, k, &JaaOptions::default());
+        prop_assert_eq!(&u2.records, &u1.records);
+        for cell in &u2.cells {
+            let mut want = top_k_brute(&pts, &cell.interior, k);
+            want.sort_unstable();
+            prop_assert_eq!(&cell.top_k, &want);
+        }
+    }
+
+    /// Growing R can only grow the UTK1 answer (monotonicity).
+    #[test]
+    fn utk1_monotone_in_region(
+        pts in dataset(50, 3),
+        (lo, hi) in query_box(2),
+        k in 1usize..4,
+    ) {
+        let small = Region::hyperrect(lo.clone(), hi.clone());
+        // Grow only the lower corner: a guaranteed superset that
+        // cannot leave the preference simplex.
+        let big = Region::hyperrect(
+            lo.iter().map(|l| (l - 0.02).max(0.0)).collect(),
+            hi.clone(),
+        );
+        let rs = rsa(&pts, &small, k, &RsaOptions::default());
+        let rb = rsa(&pts, &big, k, &RsaOptions::default());
+        for id in &rs.records {
+            prop_assert!(rb.records.contains(id), "record {} lost when R grew", id);
+        }
+    }
+
+    /// Growing k can only grow the UTK1 answer.
+    #[test]
+    fn utk1_monotone_in_k(
+        pts in dataset(50, 3),
+        (lo, hi) in query_box(2),
+    ) {
+        let region = Region::hyperrect(lo, hi);
+        let r1 = rsa(&pts, &region, 2, &RsaOptions::default());
+        let r2 = rsa(&pts, &region, 3, &RsaOptions::default());
+        for id in &r1.records {
+            prop_assert!(r2.records.contains(id));
+        }
+    }
+
+    /// The 2-D oracle agrees with RSA on arbitrary instances.
+    #[test]
+    fn oracle_agreement_2d(
+        pts in dataset(40, 2),
+        lo in 0.05f64..0.6,
+        width in 0.05f64..0.3,
+        k in 1usize..4,
+    ) {
+        let hi = (lo + width).min(0.95);
+        let (_, want) = utk::core::oracle::sweep_2d(&pts, lo, hi, k);
+        let region = Region::hyperrect(vec![lo], vec![hi]);
+        let got = rsa(&pts, &region, k, &RsaOptions::default());
+        prop_assert_eq!(got.records, want);
+    }
+
+    /// The r-skyband graph is sound: arcs are true r-dominances and
+    /// counts are below k.
+    #[test]
+    fn rskyband_graph_sound(
+        pts in dataset(40, 3),
+        (lo, hi) in query_box(2),
+        k in 1usize..4,
+    ) {
+        let region = Region::hyperrect(lo, hi);
+        let tree = RTree::bulk_load(&pts);
+        let cs = r_skyband(&pts, &tree, &region, k, true, &mut Stats::new());
+        for v in 0..cs.len() as u32 {
+            prop_assert!(cs.graph.dominance_count(v) < k);
+            for &a in cs.graph.ancestors(v) {
+                prop_assert_eq!(
+                    r_dominance(&cs.points[a as usize], &cs.points[v as usize], &region),
+                    RDominance::Dominates
+                );
+            }
+        }
+    }
+}
