@@ -15,12 +15,7 @@ use utk_data::synthetic::{generate, Distribution};
 use utk_geom::{pref_score, Region};
 use utk_rtree::RTree;
 
-fn workload(
-    dist: Distribution,
-    n: usize,
-    d: usize,
-    sigma: f64,
-) -> (Vec<Vec<f64>>, RTree, Region) {
+fn workload(dist: Distribution, n: usize, d: usize, sigma: f64) -> (Vec<Vec<f64>>, RTree, Region) {
     let ds = generate(dist, n, d, 99);
     let tree = RTree::bulk_load(&ds.points);
     let qb = &random_regions(d - 1, sigma, 1, 99)[0];
@@ -151,14 +146,7 @@ fn ablate_parallel_rsa(c: &mut Criterion) {
     for threads in [2usize, 4] {
         g.bench_function(format!("threads_{threads}"), |b| {
             b.iter(|| {
-                rsa_parallel_with_tree(
-                    &points,
-                    &tree,
-                    &region,
-                    10,
-                    &RsaOptions::default(),
-                    threads,
-                )
+                rsa_parallel_with_tree(&points, &tree, &region, 10, &RsaOptions::default(), threads)
             })
         });
     }

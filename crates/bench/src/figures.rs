@@ -3,8 +3,8 @@
 //! render them.
 
 use crate::{
-    count, query_workload, run_batch, secs, Config, Measurement, Method, Table, PAPER_D,
-    PAPER_D_DEFAULT, PAPER_K_DEFAULT, PAPER_N, PAPER_N_DEFAULT, PAPER_SIGMA,
+    bench_engine, count, query_workload, run_batch, secs, Config, Measurement, Method, Table,
+    PAPER_D, PAPER_D_DEFAULT, PAPER_K_DEFAULT, PAPER_N, PAPER_N_DEFAULT, PAPER_SIGMA,
     PAPER_SIGMA_DEFAULT,
 };
 use utk_core::onion::onion_candidates;
@@ -17,7 +17,6 @@ use utk_data::real;
 use utk_data::synthetic::{generate, Distribution};
 use utk_geom::pref_score;
 use utk_geom::Region;
-use utk_rtree::RTree;
 
 /// A titled table, ready for console or `EXPERIMENTS.md`.
 pub struct Figure {
@@ -32,10 +31,8 @@ pub struct Figure {
     pub notes: &'static str,
 }
 
-fn ind_dataset(cfg: &Config, n: usize, d: usize) -> (Vec<Vec<f64>>, RTree) {
-    let ds = generate(Distribution::Ind, cfg.n(n), d, cfg.seed);
-    let tree = RTree::bulk_load(&ds.points);
-    (ds.points, tree)
+fn ind_engine(cfg: &Config, n: usize, d: usize) -> UtkEngine {
+    bench_engine(generate(Distribution::Ind, cfg.n(n), d, cfg.seed).points)
 }
 
 /// Figure 9: the NBA 2016–17 case studies (§7.1).
@@ -46,9 +43,9 @@ pub fn figure09(_cfg: &Config) -> Vec<Figure> {
     // (a) 2-D: UTK1 vs onion vs 3-skyband.
     let d2 = nba.project(&[0, 1]);
     let region = Region::hyperrect(vec![0.64], vec![0.74]);
-    let utk1 = rsa(&d2.points, &region, 3, &RsaOptions::default());
-    let tree = RTree::bulk_load(&d2.points);
-    let sky = k_skyband(&d2.points, &tree, 3, &mut Stats::new());
+    let engine = bench_engine(d2.points.clone());
+    let utk1 = engine.utk1(&region, 3).expect("case-study query");
+    let sky = k_skyband(&d2.points, engine.tree(), 3, &mut Stats::new());
     let onion = onion_candidates(&d2.points, &sky, 3);
     let mut t = Table::new(vec!["operator", "players", "names"]);
     let names = |ids: &[u32]| {
@@ -85,7 +82,9 @@ pub fn figure09(_cfg: &Config) -> Vec<Figure> {
 
     // (b) 3-D UTK2 partitions.
     let region3 = Region::hyperrect(vec![0.2, 0.5], vec![0.3, 0.6]);
-    let utk2 = jaa(&nba.points, &region3, 3, &JaaOptions::default());
+    let utk2 = bench_engine(nba.points.clone())
+        .utk2(&region3, 3)
+        .expect("case-study query");
     let mut t = Table::new(vec!["partition interior (wr, wp)", "top-3"]);
     let mut cells: Vec<_> = utk2.cells.iter().collect();
     cells.sort_by(|a, b| {
@@ -114,7 +113,7 @@ pub fn figure09(_cfg: &Config) -> Vec<Figure> {
 pub fn figure10(cfg: &Config) -> Vec<Figure> {
     let ds = real::nba(cfg.scale, cfg.seed);
     let d = ds.dim();
-    let tree = RTree::bulk_load(&ds.points);
+    let engine = bench_engine(ds.points.clone());
     let ks: Vec<usize> = if cfg.paper {
         vec![1, 10, 20, 50, 100]
     } else {
@@ -125,12 +124,9 @@ pub fn figure10(cfg: &Config) -> Vec<Figure> {
     let mut ta = Table::new(vec!["k", "k-skyband", "onion", "UTK"]);
     let mut tb = Table::new(vec!["k", "UTK", "TK output", "required k'"]);
     for &k in &ks {
-        let sky = k_skyband(&ds.points, &tree, k, &mut Stats::new());
+        let sky = k_skyband(&ds.points, engine.tree(), k, &mut Stats::new());
         let onion = onion_candidates(&ds.points, &sky, k);
-        let m = run_batch(&regions, |region| {
-            let r = rsa_with_tree(&ds.points, &tree, region, k, &RsaOptions::default());
-            (r.records.len(), r.stats)
-        });
+        let m = run_batch(&regions, |region| Method::Rsa.run(&engine, region, k));
         ta.row(vec![
             k.to_string(),
             sky.len().to_string(),
@@ -142,12 +138,12 @@ pub fn figure10(cfg: &Config) -> Vec<Figure> {
         let mut needed_sum = 0usize;
         for qb in &regions {
             let region = Region::hyperrect(qb.lo.clone(), qb.hi.clone());
-            let utk1 = rsa_with_tree(&ds.points, &tree, &region, k, &RsaOptions::default());
-            let want: std::collections::HashSet<u32> =
-                utk1.records.iter().copied().collect();
+            let utk1 = engine.utk1(&region, k).expect("probe query");
+            let want: std::collections::HashSet<u32> = utk1.records.iter().copied().collect();
             let pivot = region.pivot().expect("non-empty");
             let mut covered = 0usize;
-            for (rank, (id, _)) in tree
+            for (rank, (id, _)) in engine
+                .tree()
                 .descending_iter(
                     |mbb| pref_score(&mbb.hi, &pivot),
                     |id| pref_score(&ds.points[id as usize], &pivot),
@@ -204,7 +200,7 @@ pub fn figure11(cfg: &Config) -> Vec<Figure> {
     // Baselines at paper scale take hours by design; the scaled run
     // uses a smaller IND set with the same shape.
     let base_n = if cfg.paper { PAPER_N_DEFAULT } else { 100_000 };
-    let (points, tree) = ind_dataset(cfg, base_n, PAPER_D_DEFAULT);
+    let engine = ind_engine(cfg, base_n, PAPER_D_DEFAULT);
     let regions = query_workload(PAPER_D_DEFAULT, PAPER_SIGMA_DEFAULT, cfg);
     let ks = cfg.k_values();
 
@@ -213,18 +209,28 @@ pub fn figure11(cfg: &Config) -> Vec<Figure> {
     for &k in &ks {
         let row_a: Vec<String> = [Method::SkUtk1, Method::OnUtk1, Method::Rsa]
             .iter()
-            .map(|m| secs(run_batch(&regions, |r| m.run(&points, &tree, r, k)).seconds))
+            .map(|m| secs(run_batch(&regions, |r| m.run(&engine, r, k)).seconds))
             .collect();
-        ta.row(vec![k.to_string(), row_a[0].clone(), row_a[1].clone(), row_a[2].clone()]);
+        ta.row(vec![
+            k.to_string(),
+            row_a[0].clone(),
+            row_a[1].clone(),
+            row_a[2].clone(),
+        ]);
         let row_b: Vec<String> = [Method::SkUtk2, Method::OnUtk2, Method::Jaa]
             .iter()
-            .map(|m| secs(run_batch(&regions, |r| m.run(&points, &tree, r, k)).seconds))
+            .map(|m| secs(run_batch(&regions, |r| m.run(&engine, r, k)).seconds))
             .collect();
-        tb.row(vec![k.to_string(), row_b[0].clone(), row_b[1].clone(), row_b[2].clone()]);
+        tb.row(vec![
+            k.to_string(),
+            row_b[0].clone(),
+            row_b[1].clone(),
+            row_b[2].clone(),
+        ]);
     }
     let caption = format!(
         "IND, n = {}, d = 4, σ = 1%, {} regions per point",
-        points.len(),
+        engine.len(),
         regions.len()
     );
     vec![
@@ -263,15 +269,10 @@ pub fn figure12(cfg: &Config) -> Vec<Figure> {
         let n = cfg.n(paper_n);
         let mut cells: Vec<Vec<Measurement>> = Vec::new();
         for dist in dists {
-            let ds = generate(dist, n, PAPER_D_DEFAULT, cfg.seed);
-            let tree = RTree::bulk_load(&ds.points);
+            let engine = bench_engine(generate(dist, n, PAPER_D_DEFAULT, cfg.seed).points);
             let regions = query_workload(PAPER_D_DEFAULT, PAPER_SIGMA_DEFAULT, cfg);
-            let mr = run_batch(&regions, |r| {
-                Method::Rsa.run(&ds.points, &tree, r, PAPER_K_DEFAULT)
-            });
-            let mj = run_batch(&regions, |r| {
-                Method::Jaa.run(&ds.points, &tree, r, PAPER_K_DEFAULT)
-            });
+            let mr = run_batch(&regions, |r| Method::Rsa.run(&engine, r, PAPER_K_DEFAULT));
+            let mj = run_batch(&regions, |r| Method::Jaa.run(&engine, r, PAPER_K_DEFAULT));
             cells.push(vec![mr, mj]);
         }
         let label = format!("{}K", paper_n / 1000);
@@ -346,18 +347,12 @@ pub fn figure13(cfg: &Config) -> Vec<Figure> {
     let mut tt = Table::new(vec!["d", "RSA", "JAA"]);
     let mut ts = Table::new(vec!["d", "RSA (MB)", "JAA (MB)"]);
     for &d in &PAPER_D {
-        let (points, tree) = ind_dataset(cfg, PAPER_N_DEFAULT, d);
+        let engine = ind_engine(cfg, PAPER_N_DEFAULT, d);
         let regions = query_workload(d, PAPER_SIGMA_DEFAULT, cfg);
-        let mr = run_batch(&regions, |r| {
-            Method::Rsa.run(&points, &tree, r, PAPER_K_DEFAULT)
-        });
-        let mj = run_batch(&regions, |r| {
-            Method::Jaa.run(&points, &tree, r, PAPER_K_DEFAULT)
-        });
+        let mr = run_batch(&regions, |r| Method::Rsa.run(&engine, r, PAPER_K_DEFAULT));
+        let mj = run_batch(&regions, |r| Method::Jaa.run(&engine, r, PAPER_K_DEFAULT));
         tt.row(vec![d.to_string(), secs(mr.seconds), secs(mj.seconds)]);
-        let mb = |s: &Stats| {
-            format!("{:.3}", s.peak_arrangement_bytes as f64 / (1024.0 * 1024.0))
-        };
+        let mb = |s: &Stats| format!("{:.3}", s.peak_arrangement_bytes as f64 / (1024.0 * 1024.0));
         ts.row(vec![d.to_string(), mb(&mr.stats), mb(&mj.stats)]);
     }
     let caption = format!(
@@ -391,25 +386,18 @@ pub fn figure13(cfg: &Config) -> Vec<Figure> {
 
 /// Figure 14: effect of region size σ (IND).
 pub fn figure14(cfg: &Config) -> Vec<Figure> {
-    let (points, tree) = ind_dataset(cfg, PAPER_N_DEFAULT, PAPER_D_DEFAULT);
+    let engine = ind_engine(cfg, PAPER_N_DEFAULT, PAPER_D_DEFAULT);
     let mut tt = Table::new(vec!["σ", "RSA", "JAA"]);
     let mut ts = Table::new(vec!["σ", "RSA records", "JAA top-k sets"]);
     for &sigma in &PAPER_SIGMA {
         let regions = query_workload(PAPER_D_DEFAULT, sigma, cfg);
-        let mr = run_batch(&regions, |r| {
-            Method::Rsa.run(&points, &tree, r, PAPER_K_DEFAULT)
-        });
-        let mj = run_batch(&regions, |r| {
-            Method::Jaa.run(&points, &tree, r, PAPER_K_DEFAULT)
-        });
+        let mr = run_batch(&regions, |r| Method::Rsa.run(&engine, r, PAPER_K_DEFAULT));
+        let mj = run_batch(&regions, |r| Method::Jaa.run(&engine, r, PAPER_K_DEFAULT));
         let label = format!("{}%", sigma * 100.0);
         tt.row(vec![label.clone(), secs(mr.seconds), secs(mj.seconds)]);
         ts.row(vec![label, count(mr.output_size), count(mj.output_size)]);
     }
-    let caption = format!(
-        "IND, n = {}, d = 4, k = {PAPER_K_DEFAULT}",
-        points.len()
-    );
+    let caption = format!("IND, n = {}, d = 4, k = {PAPER_K_DEFAULT}", engine.len());
     vec![
         Figure {
             title: "Figure 14(a) — response time vs region size σ (IND)".into(),
@@ -431,34 +419,40 @@ pub fn figure14(cfg: &Config) -> Vec<Figure> {
     ]
 }
 
-fn real_datasets(cfg: &Config) -> Vec<(Vec<Vec<f64>>, RTree, String)> {
+fn real_engines(cfg: &Config) -> Vec<(UtkEngine, String)> {
     real::all_real(cfg.scale, cfg.seed)
         .into_iter()
-        .map(|ds| {
-            let tree = RTree::bulk_load(&ds.points);
-            (ds.points, tree, ds.name)
-        })
+        .map(|ds| (bench_engine(ds.points), ds.name))
         .collect()
 }
 
 /// Figure 15: JAA on the real datasets, varying k.
 pub fn figure15(cfg: &Config) -> Vec<Figure> {
-    let data = real_datasets(cfg);
+    let data = real_engines(cfg);
     let ks = cfg.k_values();
     let mut tt = Table::new(vec!["k", "NBA", "HOUSE", "HOTEL"]);
     let mut ts = Table::new(vec!["k", "NBA", "HOUSE", "HOTEL"]);
     for &k in &ks {
         let mut times = Vec::new();
         let mut sizes = Vec::new();
-        for (points, tree, _) in &data {
-            let d = points[0].len();
-            let regions = query_workload(d, PAPER_SIGMA_DEFAULT, cfg);
-            let m = run_batch(&regions, |r| Method::Jaa.run(points, tree, r, k));
+        for (engine, _) in &data {
+            let regions = query_workload(engine.dim(), PAPER_SIGMA_DEFAULT, cfg);
+            let m = run_batch(&regions, |r| Method::Jaa.run(engine, r, k));
             times.push(secs(m.seconds));
             sizes.push(count(m.output_size));
         }
-        tt.row(vec![k.to_string(), times[0].clone(), times[1].clone(), times[2].clone()]);
-        ts.row(vec![k.to_string(), sizes[0].clone(), sizes[1].clone(), sizes[2].clone()]);
+        tt.row(vec![
+            k.to_string(),
+            times[0].clone(),
+            times[1].clone(),
+            times[2].clone(),
+        ]);
+        ts.row(vec![
+            k.to_string(),
+            sizes[0].clone(),
+            sizes[1].clone(),
+            sizes[2].clone(),
+        ]);
     }
     let caption = format!(
         "simulated real datasets at ×{} scale, σ = 1%, {} regions per point",
@@ -487,14 +481,14 @@ pub fn figure15(cfg: &Config) -> Vec<Figure> {
 
 /// Figure 16: JAA on the real datasets, varying σ.
 pub fn figure16(cfg: &Config) -> Vec<Figure> {
-    let data = real_datasets(cfg);
+    let data = real_engines(cfg);
     let mut tt = Table::new(vec!["σ", "NBA", "HOUSE", "HOTEL"]);
     let mut ts = Table::new(vec!["σ", "NBA", "HOUSE", "HOTEL"]);
     for &sigma in &PAPER_SIGMA {
         let mut times = Vec::new();
         let mut sizes = Vec::new();
-        for (points, tree, _) in &data {
-            let d = points[0].len();
+        for (engine, _) in &data {
+            let d = engine.dim();
             // High-d simplexes cannot host large cubes; and in the
             // scaled-down mode, large σ on high-d data is skipped —
             // those are the multi-hundred-second points of the
@@ -507,15 +501,23 @@ pub fn figure16(cfg: &Config) -> Vec<Figure> {
                 continue;
             }
             let regions = query_workload(d, sigma, cfg);
-            let m = run_batch(&regions, |r| {
-                Method::Jaa.run(points, tree, r, PAPER_K_DEFAULT)
-            });
+            let m = run_batch(&regions, |r| Method::Jaa.run(engine, r, PAPER_K_DEFAULT));
             times.push(secs(m.seconds));
             sizes.push(count(m.output_size));
         }
         let label = format!("{}%", sigma * 100.0);
-        tt.row(vec![label.clone(), times[0].clone(), times[1].clone(), times[2].clone()]);
-        ts.row(vec![label, sizes[0].clone(), sizes[1].clone(), sizes[2].clone()]);
+        tt.row(vec![
+            label.clone(),
+            times[0].clone(),
+            times[1].clone(),
+            times[2].clone(),
+        ]);
+        ts.row(vec![
+            label,
+            sizes[0].clone(),
+            sizes[1].clone(),
+            sizes[2].clone(),
+        ]);
     }
     let caption = format!(
         "simulated real datasets at ×{} scale, k = {PAPER_K_DEFAULT}",

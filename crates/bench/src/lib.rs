@@ -18,11 +18,11 @@
 pub mod figures;
 
 use std::time::{Duration, Instant};
+use utk_core::engine::{Algo, QueryResult, UtkQuery};
 use utk_core::prelude::*;
 use utk_core::stats::Stats;
 use utk_data::queries::{random_regions, QueryBox};
 use utk_geom::Region;
-use utk_rtree::RTree;
 
 /// Table 1 of the paper: tested parameter values, defaults in bold.
 pub const PAPER_N: [usize; 5] = [100_000, 200_000, 400_000, 800_000, 1_600_000];
@@ -186,43 +186,68 @@ impl Method {
         }
     }
 
-    /// Runs the method, returning `(primary output size, stats)`.
-    pub fn run(
-        self,
-        points: &[Vec<f64>],
-        tree: &RTree,
-        region: &Region,
-        k: usize,
-    ) -> (usize, Stats) {
+    /// Runs the method through `engine`, returning `(primary output
+    /// size, stats)`.
+    ///
+    /// Build measurement engines with [`bench_engine`] (filter cache
+    /// disabled) so every query pays its full per-query cost, as the
+    /// paper's protocol assumes.
+    pub fn run(self, engine: &UtkEngine, region: &Region, k: usize) -> (usize, Stats) {
+        let query = |algo: Algo| UtkQuery::utk1(k).region(region.clone()).algorithm(algo);
         match self {
             Method::Rsa => {
-                let r = rsa_with_tree(points, tree, region, k, &RsaOptions::default());
+                let Ok(QueryResult::Utk1(r)) = engine.run(&query(Algo::Rsa)) else {
+                    panic!("RSA benchmark query failed");
+                };
                 (r.records.len(), r.stats)
             }
             Method::Jaa => {
-                let r = jaa_with_tree(points, tree, region, k, &JaaOptions::default());
+                let r = engine.utk2(region, k).expect("JAA benchmark query failed");
                 // The paper's UTK2 output-size metric: the number of
                 // different top-k sets.
                 (r.num_distinct_sets(), r.stats)
             }
             Method::SkUtk1 => {
-                let r = baseline_utk1(points, tree, region, k, FilterKind::Skyband);
+                let Ok(QueryResult::Utk1(r)) = engine.run(&query(Algo::Sk)) else {
+                    panic!("SK benchmark query failed");
+                };
                 (r.records.len(), r.stats)
             }
             Method::OnUtk1 => {
-                let r = baseline_utk1(points, tree, region, k, FilterKind::Onion);
+                let Ok(QueryResult::Utk1(r)) = engine.run(&query(Algo::On)) else {
+                    panic!("ON benchmark query failed");
+                };
                 (r.records.len(), r.stats)
             }
+            // The baselines' UTK2 mode (kSPR run to completion) has no
+            // engine counterpart — it answers with witness regions,
+            // not a partitioning — so it runs off the engine's
+            // substrate directly.
             Method::SkUtk2 => {
-                let r = baseline_utk2(points, tree, region, k, FilterKind::Skyband);
+                let r = baseline_utk2(
+                    engine.points(),
+                    engine.tree(),
+                    region,
+                    k,
+                    FilterKind::Skyband,
+                );
                 (r.total_regions(), r.stats)
             }
             Method::OnUtk2 => {
-                let r = baseline_utk2(points, tree, region, k, FilterKind::Onion);
+                let r = baseline_utk2(engine.points(), engine.tree(), region, k, FilterKind::Onion);
                 (r.total_regions(), r.stats)
             }
         }
     }
+}
+
+/// An engine for measurements: owns the dataset and its R-tree, with
+/// the filter cache disabled so repeated `(k, R)` queries — e.g. the
+/// same workload across methods — each pay their full cost.
+pub fn bench_engine(points: Vec<Vec<f64>>) -> UtkEngine {
+    UtkEngine::new(points)
+        .expect("benchmark dataset must be valid")
+        .without_filter_cache()
 }
 
 /// Markdown/console table writer used by every figure binary.

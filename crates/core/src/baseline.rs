@@ -65,9 +65,7 @@ pub fn baseline_utk1(
     let cands = filter_candidates(points, tree, k, filter, &mut stats);
     let mut records: Vec<u32> = cands
         .into_iter()
-        .filter(|&c| {
-            kspr(points, c as usize, region, k, KsprMode::Witness, &mut stats).qualified
-        })
+        .filter(|&c| kspr(points, c as usize, region, k, KsprMode::Witness, &mut stats).qualified)
         .collect();
     records.sort_unstable();
     Utk1Result { records, stats }

@@ -139,8 +139,7 @@ mod tests {
                     .collect();
                 let want = top_k_brute(&pts, &w, k);
                 // Scores must agree (ids may differ under exact ties).
-                let score =
-                    |id: u32| utk_geom::pref_score(&pts[id as usize], &w);
+                let score = |id: u32| utk_geom::pref_score(&pts[id as usize], &w);
                 for (g, t) in got.iter().zip(&want) {
                     assert!((score(*g) - score(*t)).abs() < 1e-12, "w = {w:?}, k = {k}");
                 }

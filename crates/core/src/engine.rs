@@ -1,0 +1,1108 @@
+//! The unified query engine: build the expensive per-dataset state
+//! once, answer many queries against it.
+//!
+//! The paper's framework shares one substrate across all its
+//! algorithms — the R-tree over the dataset, and per `(k, R)` the
+//! r-skyband candidate set with its r-dominance graph (§4.1). The
+//! legacy free functions (`rsa`, `jaa`, `baseline_utk1`, …) rebuild
+//! all of it on every call; [`UtkEngine`] owns it instead:
+//!
+//! * the dataset and its R-tree are built **once**, at engine
+//!   construction;
+//! * the r-skyband + graph of each `(k, R)` pair is **memoized**, so
+//!   repeating a region with a different algorithm, or re-running a
+//!   query, skips the filtering phase entirely;
+//! * generalized-scoring transforms (§6) of the dataset, and their
+//!   R-trees, are memoized the same way.
+//!
+//! Queries are described by the [`UtkQuery`] builder and return a
+//! typed [`QueryResult`] carrying [`Stats`]; every entry point returns
+//! `Result<_, UtkError>` — malformed input (wrong dimensionality, NaN,
+//! `k = 0`, empty region) is reported, never panicked on.
+//!
+//! ```
+//! use utk_core::engine::{Algo, QueryResult, UtkEngine, UtkQuery};
+//! use utk_geom::Region;
+//!
+//! // Figure 1 of the paper: 7 hotels, k = 2.
+//! let hotels = vec![
+//!     vec![8.3, 9.1, 7.2], vec![2.4, 9.6, 8.6], vec![5.4, 1.6, 4.1],
+//!     vec![2.6, 6.9, 9.4], vec![7.3, 3.1, 2.4], vec![7.9, 6.4, 6.6],
+//!     vec![8.6, 7.1, 4.3],
+//! ];
+//! let engine = UtkEngine::new(hotels)?;
+//! let region = Region::hyperrect(vec![0.05, 0.05], vec![0.45, 0.25]);
+//!
+//! // UTK1: which hotels can make the top-2 at all?
+//! let utk1 = engine.run(&UtkQuery::utk1(2).region(region.clone()))?;
+//! assert_eq!(utk1.records(), &[0, 1, 3, 5]);
+//!
+//! // UTK2 over the same region reuses the memoized r-skyband.
+//! let utk2 = engine.run(&UtkQuery::utk2(2).region(region))?;
+//! assert_eq!(utk2.records(), &[0, 1, 3, 5]);
+//! assert_eq!(utk2.stats().filter_cache_hits, 1);
+//! # Ok::<(), utk_core::UtkError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::baseline::{baseline_utk1, FilterKind};
+use crate::error::UtkError;
+use crate::jaa::{jaa_refine, records_of, JaaOptions, Utk2Cell, Utk2Result};
+use crate::rsa::{rsa_refine, RsaOptions, Utk1Result};
+use crate::scoring::GeneralScoring;
+use crate::skyband::{r_skyband, CandidateSet};
+use crate::stats::Stats;
+use utk_geom::tol::INTERIOR_EPS;
+use utk_geom::Region;
+use utk_rtree::RTree;
+
+/// Memoized r-skyband entries kept per engine before arbitrary
+/// eviction kicks in.
+const FILTER_CACHE_CAPACITY: usize = 128;
+/// Memoized transformed datasets (generalized scoring) kept per
+/// engine.
+const SCORING_CACHE_CAPACITY: usize = 8;
+
+/// Which processing algorithm answers the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Pick per query kind: RSA for UTK1, JAA for UTK2.
+    Auto,
+    /// The r-skyband algorithm (§4). UTK1 only.
+    Rsa,
+    /// The joint-arrangement algorithm (§5). Answers UTK2, and UTK1
+    /// via the partition union.
+    Jaa,
+    /// The SK baseline (§3.3): k-skyband filter + kSPR. UTK1 only.
+    Sk,
+    /// The ON baseline (§3.3): onion-layers filter + kSPR. UTK1 only.
+    On,
+}
+
+impl Algo {
+    /// The concrete algorithm [`Algo::Auto`] resolves to for `kind`
+    /// (RSA for UTK1, JAA for UTK2); non-`Auto` values pass through.
+    pub fn resolved_for(self, kind: QueryKind) -> Algo {
+        match (self, kind) {
+            (Algo::Auto, QueryKind::Utk1) => Algo::Rsa,
+            (Algo::Auto, QueryKind::Utk2) => Algo::Jaa,
+            (a, _) => a,
+        }
+    }
+
+    /// Display label (`auto`, `rsa`, `jaa`, `sk`, `on`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Algo::Auto => "auto",
+            Algo::Rsa => "rsa",
+            Algo::Jaa => "jaa",
+            Algo::Sk => "sk",
+            Algo::On => "on",
+        }
+    }
+}
+
+impl std::str::FromStr for Algo {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Ok(Algo::Auto),
+            "rsa" => Ok(Algo::Rsa),
+            "jaa" => Ok(Algo::Jaa),
+            "sk" => Ok(Algo::Sk),
+            "on" => Ok(Algo::On),
+            other => Err(format!(
+                "unknown algorithm {other:?} (expected auto, rsa, jaa, sk or on)"
+            )),
+        }
+    }
+}
+
+/// The three query kinds the engine answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// UTK1: the minimal set of possible top-k records over `R`.
+    Utk1,
+    /// UTK2: the partitioning of `R` by exact top-k set.
+    Utk2,
+    /// Plain top-k at one weight vector (for comparison workloads).
+    TopK,
+}
+
+impl QueryKind {
+    /// Display label (`utk1`, `utk2`, `topk`).
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryKind::Utk1 => "utk1",
+            QueryKind::Utk2 => "utk2",
+            QueryKind::TopK => "topk",
+        }
+    }
+}
+
+/// A query description, built fluently and handed to
+/// [`UtkEngine::run`].
+///
+/// ```
+/// use utk_core::engine::{Algo, UtkQuery};
+/// use utk_geom::Region;
+///
+/// let query = UtkQuery::utk1(10)
+///     .region(Region::hyperrect(vec![0.2, 0.2], vec![0.3, 0.3]))
+///     .algorithm(Algo::Auto)
+///     .parallel(true);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UtkQuery {
+    kind: QueryKind,
+    k: usize,
+    region: Option<Region>,
+    weights: Option<Vec<f64>>,
+    algo: Algo,
+    parallel: bool,
+    threads: usize,
+    scoring: Option<GeneralScoring>,
+    rsa_options: RsaOptions,
+    jaa_options: JaaOptions,
+}
+
+impl UtkQuery {
+    fn new(kind: QueryKind, k: usize) -> Self {
+        Self {
+            kind,
+            k,
+            region: None,
+            weights: None,
+            algo: Algo::Auto,
+            parallel: false,
+            threads: 0,
+            scoring: None,
+            rsa_options: RsaOptions::default(),
+            jaa_options: JaaOptions::default(),
+        }
+    }
+
+    /// A UTK1 query: the minimal set of records appearing in some
+    /// top-`k` over the region (set with [`UtkQuery::region`]).
+    pub fn utk1(k: usize) -> Self {
+        Self::new(QueryKind::Utk1, k)
+    }
+
+    /// A UTK2 query: the partitioning of the region (set with
+    /// [`UtkQuery::region`]) into cells labelled with exact top-`k`
+    /// sets.
+    pub fn utk2(k: usize) -> Self {
+        Self::new(QueryKind::Utk2, k)
+    }
+
+    /// A plain top-`k` query at one weight vector (set with
+    /// [`UtkQuery::weights`]).
+    pub fn topk(k: usize) -> Self {
+        Self::new(QueryKind::TopK, k)
+    }
+
+    /// The uncertainty region `R` of the preference domain (required
+    /// for UTK1/UTK2).
+    pub fn region(mut self, region: Region) -> Self {
+        self.region = Some(region);
+        self
+    }
+
+    /// The weight vector for top-k queries: either the reduced `d − 1`
+    /// preference-domain form, or all `d` weights (the implied last
+    /// weight is dropped, §3.1).
+    pub fn weights(mut self, weights: Vec<f64>) -> Self {
+        self.weights = Some(weights);
+        self
+    }
+
+    /// Selects the processing algorithm (default [`Algo::Auto`]).
+    pub fn algorithm(mut self, algo: Algo) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Fans RSA refinement out over worker threads (UTK1 only; JAA and
+    /// the baselines are sequential). Defaults to off.
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Worker thread count for [`UtkQuery::parallel`]; 0 (the default)
+    /// uses one thread per available core.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Generalized scoring (§6): the dataset is transformed through
+    /// the monotone per-attribute functions and the query runs on the
+    /// transformed data. The engine memoizes the transform.
+    pub fn scoring(mut self, scoring: GeneralScoring) -> Self {
+        self.scoring = Some(scoring);
+        self
+    }
+
+    /// Tuning/ablation switches for RSA.
+    pub fn rsa_options(mut self, opts: RsaOptions) -> Self {
+        self.rsa_options = opts;
+        self
+    }
+
+    /// Tuning/ablation switches for JAA.
+    pub fn jaa_options(mut self, opts: JaaOptions) -> Self {
+        self.jaa_options = opts;
+        self
+    }
+
+    /// The query kind.
+    pub fn kind(&self) -> QueryKind {
+        self.kind
+    }
+
+    /// The rank bound `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    fn pivot_order(&self) -> bool {
+        match self.kind {
+            QueryKind::Utk2 => self.jaa_options.pivot_order,
+            _ => self.rsa_options.pivot_order,
+        }
+    }
+}
+
+/// Output of a plain top-k query.
+#[derive(Debug, Clone)]
+pub struct TopKResult {
+    /// The top-k record ids, in descending score order (ties toward
+    /// the smaller id).
+    pub records: Vec<u32>,
+    /// Work counters.
+    pub stats: Stats,
+}
+
+/// The typed result of [`UtkEngine::run`], one variant per
+/// [`QueryKind`].
+#[derive(Debug, Clone)]
+pub enum QueryResult {
+    /// A UTK1 answer.
+    Utk1(Utk1Result),
+    /// A UTK2 answer.
+    Utk2(Utk2Result),
+    /// A plain top-k answer.
+    TopK(TopKResult),
+}
+
+impl QueryResult {
+    /// The answer's record ids: the UTK1 set, the union over UTK2
+    /// cells, or the ranked top-k.
+    pub fn records(&self) -> &[u32] {
+        match self {
+            QueryResult::Utk1(r) => &r.records,
+            QueryResult::Utk2(r) => &r.records,
+            QueryResult::TopK(r) => &r.records,
+        }
+    }
+
+    /// Work counters of this query.
+    pub fn stats(&self) -> &Stats {
+        match self {
+            QueryResult::Utk1(r) => &r.stats,
+            QueryResult::Utk2(r) => &r.stats,
+            QueryResult::TopK(r) => &r.stats,
+        }
+    }
+
+    /// The UTK2 partitioning, when this is a UTK2 result.
+    pub fn cells(&self) -> Option<&[Utk2Cell]> {
+        match self {
+            QueryResult::Utk2(r) => Some(&r.cells),
+            _ => None,
+        }
+    }
+
+    /// This result as UTK1 output, if it is one.
+    pub fn as_utk1(&self) -> Option<&Utk1Result> {
+        match self {
+            QueryResult::Utk1(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// This result as UTK2 output, if it is one.
+    pub fn as_utk2(&self) -> Option<&Utk2Result> {
+        match self {
+            QueryResult::Utk2(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// One scoring's view of the dataset: the (possibly transformed)
+/// points and their R-tree.
+#[derive(Debug)]
+struct Scored {
+    points: Vec<Vec<f64>>,
+    tree: RTree,
+}
+
+/// A validated region's interior, or the shortcut answer when it has
+/// none (see [`UtkEngine::interior_or_degenerate`]).
+enum RegionInterior {
+    /// Full-dimensional region: max-slack interior point.
+    Full { interior: Vec<f64>, slack: f64 },
+    /// Degenerate region: the pivot `w` and the sorted top-k there.
+    Degenerate { w: Vec<f64>, top_k: Vec<u32> },
+}
+
+/// Borrowed-or-cached access to a scoring's dataset view.
+enum DataRef<'a> {
+    Base(&'a UtkEngine),
+    Transformed(Arc<Scored>),
+}
+
+impl DataRef<'_> {
+    fn points(&self) -> &[Vec<f64>] {
+        match self {
+            DataRef::Base(e) => &e.points,
+            DataRef::Transformed(s) => &s.points,
+        }
+    }
+
+    fn tree(&self) -> &RTree {
+        match self {
+            DataRef::Base(e) => &e.tree,
+            DataRef::Transformed(s) => &s.tree,
+        }
+    }
+}
+
+/// Identity of a memoized r-skyband: everything the filter output
+/// depends on. Region geometry is keyed on the exact bit patterns of
+/// its constraints.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct FilterKey {
+    k: usize,
+    pivot_order: bool,
+    scoring: ScoringKey,
+    region: Vec<u64>,
+}
+
+/// Identity of a memoized scoring transform (empty = plain linear).
+type ScoringKey = Vec<(u8, u64)>;
+
+fn region_fingerprint(region: &Region) -> Vec<u64> {
+    let mut bits = Vec::with_capacity(1 + region.constraints().len() * (region.dim() + 1));
+    bits.push(region.dim() as u64);
+    for c in region.constraints() {
+        for &a in &c.a {
+            bits.push(a.to_bits());
+        }
+        bits.push(c.b.to_bits());
+    }
+    bits
+}
+
+/// Validates a query region against the preference domain: correct
+/// dimensionality, finite, feasible, and inside `{w ≥ 0, Σ w ≤ 1}`
+/// (§3.1). Shared with the legacy entry points, which panic on the
+/// error it returns.
+pub(crate) fn check_region(region: &Region, dp: usize) -> Result<(), UtkError> {
+    if region.dim() != dp {
+        return Err(UtkError::DimensionMismatch {
+            what: "query region (d − 1 preference-domain coordinates)",
+            expected: dp,
+            got: region.dim(),
+        });
+    }
+    for c in region.constraints() {
+        if !c.b.is_finite() || c.a.iter().any(|a| !a.is_finite()) {
+            return Err(UtkError::NonFiniteInput {
+                what: "query region",
+            });
+        }
+    }
+    let ones = vec![1.0; dp];
+    let Some((_, max)) = region.linear_range(&ones, 0.0) else {
+        return Err(UtkError::EmptyRegion);
+    };
+    if max > 1.0 + 1e-9 {
+        return Err(UtkError::RegionOutsideDomain {
+            detail: format!("weights sum up to {max:.6} > 1 inside the region"),
+        });
+    }
+    for i in 0..dp {
+        let mut e = vec![0.0; dp];
+        e[i] = 1.0;
+        let Some((min, _)) = region.linear_range(&e, 0.0) else {
+            return Err(UtkError::EmptyRegion);
+        };
+        if min < -1e-9 {
+            return Err(UtkError::RegionOutsideDomain {
+                detail: format!("weight {i} reaches {min:.6} < 0 inside the region"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The build-once / query-many UTK engine. See the [module
+/// docs](crate::engine) for the overall picture and an example.
+///
+/// The engine is `Sync`: one instance can serve queries from many
+/// threads, sharing its caches.
+#[derive(Debug)]
+pub struct UtkEngine {
+    points: Vec<Vec<f64>>,
+    dim: usize,
+    tree: RTree,
+    cache_enabled: bool,
+    filter_cache: Mutex<HashMap<FilterKey, Arc<CandidateSet>>>,
+    scoring_cache: Mutex<HashMap<ScoringKey, Arc<Scored>>>,
+    filter_hits: AtomicUsize,
+    filter_misses: AtomicUsize,
+}
+
+impl UtkEngine {
+    /// Builds an engine owning `points`: validates the dataset and
+    /// bulk-loads the R-tree.
+    pub fn new(points: Vec<Vec<f64>>) -> Result<Self, UtkError> {
+        if points.is_empty() {
+            return Err(UtkError::EmptyDataset);
+        }
+        let dim = points[0].len();
+        if dim < 2 {
+            return Err(UtkError::DatasetTooFlat { got: dim });
+        }
+        for p in &points {
+            if p.len() != dim {
+                return Err(UtkError::DimensionMismatch {
+                    what: "record",
+                    expected: dim,
+                    got: p.len(),
+                });
+            }
+            if p.iter().any(|x| !x.is_finite()) {
+                return Err(UtkError::NonFiniteInput { what: "dataset" });
+            }
+        }
+        let tree = RTree::bulk_load(&points);
+        Ok(Self {
+            points,
+            dim,
+            tree,
+            cache_enabled: true,
+            filter_cache: Mutex::new(HashMap::new()),
+            scoring_cache: Mutex::new(HashMap::new()),
+            filter_hits: AtomicUsize::new(0),
+            filter_misses: AtomicUsize::new(0),
+        })
+    }
+
+    /// Builds an engine from borrowed points (cloned in).
+    pub fn from_slice(points: &[Vec<f64>]) -> Result<Self, UtkError> {
+        Self::new(points.to_vec())
+    }
+
+    /// Disables the r-skyband/scoring memoization: every query
+    /// recomputes its filtering from scratch. Useful for benchmarks
+    /// that measure per-query cost.
+    pub fn without_filter_cache(mut self) -> Self {
+        self.cache_enabled = false;
+        self
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Always false: empty datasets are rejected at construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Dataset dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The owned dataset.
+    pub fn points(&self) -> &[Vec<f64>] {
+        &self.points
+    }
+
+    /// The R-tree over the (untransformed) dataset.
+    pub fn tree(&self) -> &RTree {
+        &self.tree
+    }
+
+    /// `(hits, misses)` of the r-skyband cache over this engine's
+    /// lifetime.
+    pub fn filter_cache_counters(&self) -> (usize, usize) {
+        (
+            self.filter_hits.load(Ordering::Relaxed),
+            self.filter_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of memoized r-skyband candidate sets currently held.
+    pub fn cached_filters(&self) -> usize {
+        self.filter_cache.lock().expect("cache lock").len()
+    }
+
+    /// Runs a query, returning its typed result.
+    pub fn run(&self, query: &UtkQuery) -> Result<QueryResult, UtkError> {
+        if query.k == 0 {
+            return Err(UtkError::InvalidK { k: 0 });
+        }
+        match query.kind {
+            QueryKind::TopK => self.run_topk(query).map(QueryResult::TopK),
+            QueryKind::Utk1 => self.run_utk1(query).map(QueryResult::Utk1),
+            QueryKind::Utk2 => self.run_utk2(query).map(QueryResult::Utk2),
+        }
+    }
+
+    /// Convenience: UTK1 with default options.
+    pub fn utk1(&self, region: &Region, k: usize) -> Result<Utk1Result, UtkError> {
+        match self.run(&UtkQuery::utk1(k).region(region.clone()))? {
+            QueryResult::Utk1(r) => Ok(r),
+            _ => unreachable!("UTK1 query returned a non-UTK1 result"),
+        }
+    }
+
+    /// Convenience: UTK2 with default options.
+    pub fn utk2(&self, region: &Region, k: usize) -> Result<Utk2Result, UtkError> {
+        match self.run(&UtkQuery::utk2(k).region(region.clone()))? {
+            QueryResult::Utk2(r) => Ok(r),
+            _ => unreachable!("UTK2 query returned a non-UTK2 result"),
+        }
+    }
+
+    /// Convenience: plain top-k at `weights` (reduced `d − 1` form or
+    /// all `d` weights).
+    pub fn top_k(&self, weights: &[f64], k: usize) -> Result<TopKResult, UtkError> {
+        match self.run(&UtkQuery::topk(k).weights(weights.to_vec()))? {
+            QueryResult::TopK(r) => Ok(r),
+            _ => unreachable!("top-k query returned a non-top-k result"),
+        }
+    }
+
+    fn run_topk(&self, query: &UtkQuery) -> Result<TopKResult, UtkError> {
+        if query.algo != Algo::Auto {
+            return Err(UtkError::UnsupportedAlgorithm {
+                algo: query.algo.label(),
+                kind: query.kind.label(),
+            });
+        }
+        let weights = query.weights.as_ref().ok_or(UtkError::MissingParameter {
+            what: "weight vector",
+        })?;
+        let reduced = self.reduced_weights(weights)?;
+        let data = self.data_for(query.scoring.as_ref())?;
+        let records = crate::topk::top_k_brute(data.points(), reduced, query.k);
+        Ok(TopKResult {
+            records,
+            stats: Stats::new(),
+        })
+    }
+
+    /// Accepts `d − 1` reduced weights, or all `d` weights with the
+    /// implied last one dropped.
+    fn reduced_weights<'w>(&self, weights: &'w [f64]) -> Result<&'w [f64], UtkError> {
+        const EPS: f64 = 1e-6;
+        if weights.iter().any(|w| !w.is_finite()) {
+            return Err(UtkError::NonFiniteInput {
+                what: "weight vector",
+            });
+        }
+        let dp = self.dim - 1;
+        let reduced = if weights.len() == dp {
+            weights
+        } else if weights.len() == self.dim {
+            // Full d-weight form: the dropped last weight must be the
+            // implied 1 − Σ of the others, or the caller's intent and
+            // the ranking would silently disagree.
+            let implied = 1.0 - weights[..dp].iter().sum::<f64>();
+            if (weights[dp] - implied).abs() > EPS {
+                return Err(UtkError::WeightsOutsideDomain {
+                    detail: format!(
+                        "last weight {} is not the implied 1 − Σ = {implied:.6} \
+                         (weights must sum to 1)",
+                        weights[dp]
+                    ),
+                });
+            }
+            &weights[..dp]
+        } else {
+            return Err(UtkError::DimensionMismatch {
+                what: "weight vector",
+                expected: dp,
+                got: weights.len(),
+            });
+        };
+        if let Some(w) = reduced.iter().find(|w| **w < -EPS) {
+            return Err(UtkError::WeightsOutsideDomain {
+                detail: format!("negative weight {w}"),
+            });
+        }
+        let total: f64 = reduced.iter().sum();
+        if total > 1.0 + EPS {
+            return Err(UtkError::WeightsOutsideDomain {
+                detail: format!("reduced weights sum to {total:.6} > 1"),
+            });
+        }
+        Ok(reduced)
+    }
+
+    fn run_utk1(&self, query: &UtkQuery) -> Result<Utk1Result, UtkError> {
+        let region = self.checked_region(query)?;
+        let data = self.data_for(query.scoring.as_ref())?;
+        match query.algo.resolved_for(QueryKind::Utk1) {
+            algo @ (Algo::Sk | Algo::On) => {
+                let filter = if algo == Algo::Sk {
+                    FilterKind::Skyband
+                } else {
+                    FilterKind::Onion
+                };
+                Ok(baseline_utk1(
+                    data.points(),
+                    data.tree(),
+                    region,
+                    query.k,
+                    filter,
+                ))
+            }
+            Algo::Jaa => {
+                let r = self.jaa_pipeline(&data, region, query)?;
+                Ok(Utk1Result {
+                    records: r.records,
+                    stats: r.stats,
+                })
+            }
+            _ => self.rsa_pipeline(&data, region, query),
+        }
+    }
+
+    fn run_utk2(&self, query: &UtkQuery) -> Result<Utk2Result, UtkError> {
+        match query.algo {
+            Algo::Auto | Algo::Jaa => {}
+            other => {
+                return Err(UtkError::UnsupportedAlgorithm {
+                    algo: other.label(),
+                    kind: query.kind.label(),
+                })
+            }
+        }
+        let region = self.checked_region(query)?;
+        let data = self.data_for(query.scoring.as_ref())?;
+        self.jaa_pipeline(&data, region, query)
+    }
+
+    fn checked_region<'q>(&self, query: &'q UtkQuery) -> Result<&'q Region, UtkError> {
+        let region = query
+            .region
+            .as_ref()
+            .ok_or(UtkError::MissingParameter { what: "region" })?;
+        check_region(region, self.dim - 1)?;
+        Ok(region)
+    }
+
+    /// The interior of a validated region, or — for a degenerate `R`
+    /// with no interior — the single sorted top-k (at the pivot `w`)
+    /// that answers any UTK query over it.
+    fn interior_or_degenerate(
+        &self,
+        data: &DataRef<'_>,
+        region: &Region,
+        k: usize,
+    ) -> Result<RegionInterior, UtkError> {
+        let Some((interior, slack)) = region.interior_point() else {
+            return Err(UtkError::EmptyRegion);
+        };
+        if slack <= INTERIOR_EPS {
+            let w = region.pivot().ok_or(UtkError::EmptyRegion)?;
+            let mut top_k = crate::topk::top_k_brute(data.points(), &w, k);
+            top_k.sort_unstable();
+            return Ok(RegionInterior::Degenerate { w, top_k });
+        }
+        Ok(RegionInterior::Full { interior, slack })
+    }
+
+    /// RSA processing of a UTK1 query: degenerate-region shortcut,
+    /// (cached) filtering, then sequential or parallel refinement.
+    ///
+    /// NOTE: mirrors [`crate::skyband::prefilter`] (the legacy entry
+    /// points' pre-refinement pipeline) with the candidate step routed
+    /// through the cache — a shortcut changed in one place must change
+    /// in the other.
+    fn rsa_pipeline(
+        &self,
+        data: &DataRef<'_>,
+        region: &Region,
+        query: &UtkQuery,
+    ) -> Result<Utk1Result, UtkError> {
+        let k = query.k;
+        let (interior, slack) = match self.interior_or_degenerate(data, region, k)? {
+            RegionInterior::Degenerate { top_k, .. } => {
+                return Ok(Utk1Result {
+                    records: top_k,
+                    stats: Stats::new(),
+                })
+            }
+            RegionInterior::Full { interior, slack } => (interior, slack),
+        };
+        let (cands, mut stats) = self.candidates(data, region, query)?;
+        let records = if cands.len() <= k {
+            let mut records = cands.ids.clone();
+            records.sort_unstable();
+            records
+        } else if query.parallel {
+            crate::parallel::rsa_parallel_refine(
+                &cands,
+                region,
+                &interior,
+                slack,
+                k,
+                &query.rsa_options,
+                query.threads,
+                &mut stats,
+            )
+        } else {
+            rsa_refine(
+                &cands,
+                region,
+                &interior,
+                slack,
+                k,
+                &query.rsa_options,
+                &mut stats,
+            )
+        };
+        Ok(Utk1Result { records, stats })
+    }
+
+    /// JAA processing of a UTK2 (or JAA-selected UTK1) query.
+    fn jaa_pipeline(
+        &self,
+        data: &DataRef<'_>,
+        region: &Region,
+        query: &UtkQuery,
+    ) -> Result<Utk2Result, UtkError> {
+        let k = query.k;
+        let (interior, slack) = match self.interior_or_degenerate(data, region, k)? {
+            RegionInterior::Degenerate { w, top_k } => {
+                return Ok(Utk2Result {
+                    records: top_k.clone(),
+                    cells: vec![Utk2Cell {
+                        region: region.clone(),
+                        interior: w,
+                        top_k,
+                    }],
+                    stats: Stats::new(),
+                })
+            }
+            RegionInterior::Full { interior, slack } => (interior, slack),
+        };
+        let (cands, mut stats) = self.candidates(data, region, query)?;
+        if cands.len() <= k {
+            let mut top_k = cands.ids.clone();
+            top_k.sort_unstable();
+            return Ok(Utk2Result {
+                records: top_k.clone(),
+                cells: vec![Utk2Cell {
+                    region: region.clone(),
+                    interior,
+                    top_k,
+                }],
+                stats,
+            });
+        }
+        let cells = jaa_refine(
+            &cands,
+            region,
+            &interior,
+            slack,
+            k,
+            &query.jaa_options,
+            &mut stats,
+        );
+        let records = records_of(&cells);
+        Ok(Utk2Result {
+            cells,
+            records,
+            stats,
+        })
+    }
+
+    /// The r-skyband + r-dominance graph for `(k, region)`, memoized.
+    /// Returns the candidate set plus the stats of obtaining it (full
+    /// filter counters on a miss; a cache-hit marker on a hit).
+    fn candidates(
+        &self,
+        data: &DataRef<'_>,
+        region: &Region,
+        query: &UtkQuery,
+    ) -> Result<(Arc<CandidateSet>, Stats), UtkError> {
+        let mut stats = Stats::new();
+        if !self.cache_enabled {
+            let cands = r_skyband(
+                data.points(),
+                data.tree(),
+                region,
+                query.k,
+                query.pivot_order(),
+                &mut stats,
+            );
+            return Ok((Arc::new(cands), stats));
+        }
+        // An all-identity scoring computes exactly what no scoring
+        // does: normalize both to the empty key so they share entries.
+        let key = FilterKey {
+            k: query.k,
+            pivot_order: query.pivot_order(),
+            scoring: query
+                .scoring
+                .as_ref()
+                .filter(|s| !s.is_identity())
+                .map(|s| s.fingerprint())
+                .unwrap_or_default(),
+            region: region_fingerprint(region),
+        };
+        if let Some(hit) = self.filter_cache.lock().expect("cache lock").get(&key) {
+            self.filter_hits.fetch_add(1, Ordering::Relaxed);
+            stats.filter_cache_hits = 1;
+            stats.candidates = hit.len();
+            return Ok((Arc::clone(hit), stats));
+        }
+        self.filter_misses.fetch_add(1, Ordering::Relaxed);
+        let cands = Arc::new(r_skyband(
+            data.points(),
+            data.tree(),
+            region,
+            query.k,
+            query.pivot_order(),
+            &mut stats,
+        ));
+        let mut cache = self.filter_cache.lock().expect("cache lock");
+        if cache.len() >= FILTER_CACHE_CAPACITY {
+            // Arbitrary single eviction keeps the bound without a full
+            // LRU; fine at this capacity.
+            if let Some(victim) = cache.keys().next().cloned() {
+                cache.remove(&victim);
+            }
+        }
+        cache.insert(key, Arc::clone(&cands));
+        Ok((cands, stats))
+    }
+
+    /// The dataset view for a scoring: the base data for plain linear
+    /// scoring, a memoized transformed copy (points + R-tree)
+    /// otherwise.
+    fn data_for(&self, scoring: Option<&GeneralScoring>) -> Result<DataRef<'_>, UtkError> {
+        let Some(scoring) = scoring else {
+            return Ok(DataRef::Base(self));
+        };
+        if scoring.dim() != self.dim {
+            return Err(UtkError::DimensionMismatch {
+                what: "scoring function",
+                expected: self.dim,
+                got: scoring.dim(),
+            });
+        }
+        if scoring.is_identity() {
+            return Ok(DataRef::Base(self));
+        }
+        let key = scoring.fingerprint();
+        if self.cache_enabled {
+            if let Some(hit) = self.scoring_cache.lock().expect("cache lock").get(&key) {
+                return Ok(DataRef::Transformed(Arc::clone(hit)));
+            }
+        }
+        let points = scoring.transform(&self.points);
+        if points.iter().any(|p| p.iter().any(|x| !x.is_finite())) {
+            return Err(UtkError::NonFiniteInput {
+                what: "transformed dataset (scoring function)",
+            });
+        }
+        let tree = RTree::bulk_load(&points);
+        let scored = Arc::new(Scored { points, tree });
+        if self.cache_enabled {
+            let mut cache = self.scoring_cache.lock().expect("cache lock");
+            if cache.len() >= SCORING_CACHE_CAPACITY {
+                if let Some(victim) = cache.keys().next().cloned() {
+                    cache.remove(&victim);
+                }
+            }
+            cache.insert(key, Arc::clone(&scored));
+        }
+        Ok(DataRef::Transformed(scored))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_hotels() -> Vec<Vec<f64>> {
+        vec![
+            vec![8.3, 9.1, 7.2],
+            vec![2.4, 9.6, 8.6],
+            vec![5.4, 1.6, 4.1],
+            vec![2.6, 6.9, 9.4],
+            vec![7.3, 3.1, 2.4],
+            vec![7.9, 6.4, 6.6],
+            vec![8.6, 7.1, 4.3],
+        ]
+    }
+
+    fn figure1_region() -> Region {
+        Region::hyperrect(vec![0.05, 0.05], vec![0.45, 0.25])
+    }
+
+    #[test]
+    fn figure1_through_all_algorithms() {
+        let engine = UtkEngine::new(figure1_hotels()).unwrap();
+        for algo in [Algo::Auto, Algo::Rsa, Algo::Jaa, Algo::Sk, Algo::On] {
+            let res = engine
+                .run(&UtkQuery::utk1(2).region(figure1_region()).algorithm(algo))
+                .unwrap();
+            assert_eq!(res.records(), &[0, 1, 3, 5], "{}", algo.label());
+        }
+    }
+
+    #[test]
+    fn utk2_reuses_utk1_filter() {
+        let engine = UtkEngine::new(figure1_hotels()).unwrap();
+        let u1 = engine.utk1(&figure1_region(), 2).unwrap();
+        assert_eq!(u1.stats.filter_cache_hits, 0);
+        let u2 = engine.utk2(&figure1_region(), 2).unwrap();
+        assert_eq!(u2.stats.filter_cache_hits, 1);
+        assert_eq!(u2.records, u1.records);
+        assert_eq!(engine.filter_cache_counters(), (1, 1));
+    }
+
+    #[test]
+    fn cache_disabled_engine_never_hits() {
+        let engine = UtkEngine::new(figure1_hotels())
+            .unwrap()
+            .without_filter_cache();
+        engine.utk1(&figure1_region(), 2).unwrap();
+        let u2 = engine.utk2(&figure1_region(), 2).unwrap();
+        assert_eq!(u2.stats.filter_cache_hits, 0);
+        assert_eq!(engine.filter_cache_counters(), (0, 0));
+        assert_eq!(engine.cached_filters(), 0);
+    }
+
+    #[test]
+    fn topk_matches_brute_force_order() {
+        let engine = UtkEngine::new(figure1_hotels()).unwrap();
+        // Reduced and full weight forms agree.
+        let a = engine.top_k(&[0.3, 0.5], 2).unwrap();
+        let b = engine.top_k(&[0.3, 0.5, 0.2], 2).unwrap();
+        assert_eq!(a.records, vec![0, 1]);
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn topk_weights_must_lie_in_the_preference_domain() {
+        let engine = UtkEngine::new(figure1_hotels()).unwrap();
+        // Full form whose last weight contradicts 1 − Σ.
+        assert!(matches!(
+            engine.top_k(&[2.0, 3.0, 5.0], 2).unwrap_err(),
+            UtkError::WeightsOutsideDomain { .. }
+        ));
+        // Reduced form outside the simplex.
+        assert!(matches!(
+            engine.top_k(&[0.8, 0.7], 2).unwrap_err(),
+            UtkError::WeightsOutsideDomain { .. }
+        ));
+        assert!(matches!(
+            engine.top_k(&[-0.1, 0.5], 2).unwrap_err(),
+            UtkError::WeightsOutsideDomain { .. }
+        ));
+        // A consistent full form still passes.
+        assert!(engine.top_k(&[0.2, 0.3, 0.5], 2).is_ok());
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors() {
+        assert_eq!(UtkEngine::new(vec![]).unwrap_err(), UtkError::EmptyDataset);
+        assert_eq!(
+            UtkEngine::new(vec![vec![1.0]]).unwrap_err(),
+            UtkError::DatasetTooFlat { got: 1 }
+        );
+        assert!(matches!(
+            UtkEngine::new(vec![vec![1.0, 2.0], vec![1.0]]).unwrap_err(),
+            UtkError::DimensionMismatch { .. }
+        ));
+        assert_eq!(
+            UtkEngine::new(vec![vec![1.0, f64::NAN]]).unwrap_err(),
+            UtkError::NonFiniteInput { what: "dataset" }
+        );
+
+        let engine = UtkEngine::new(figure1_hotels()).unwrap();
+        assert_eq!(
+            engine
+                .run(&UtkQuery::utk1(0).region(figure1_region()))
+                .unwrap_err(),
+            UtkError::InvalidK { k: 0 }
+        );
+        assert_eq!(
+            engine.run(&UtkQuery::utk1(2)).unwrap_err(),
+            UtkError::MissingParameter { what: "region" }
+        );
+        assert!(matches!(
+            engine
+                .run(&UtkQuery::utk1(2).region(Region::hyperrect(vec![0.1], vec![0.2])))
+                .unwrap_err(),
+            UtkError::DimensionMismatch { .. }
+        ));
+        assert!(matches!(
+            engine
+                .run(
+                    &UtkQuery::utk2(2)
+                        .region(figure1_region())
+                        .algorithm(Algo::Rsa)
+                )
+                .unwrap_err(),
+            UtkError::UnsupportedAlgorithm { .. }
+        ));
+    }
+
+    #[test]
+    fn algo_parses_from_str() {
+        assert_eq!("RSA".parse::<Algo>().unwrap(), Algo::Rsa);
+        assert_eq!("auto".parse::<Algo>().unwrap(), Algo::Auto);
+        assert!("frobnicate".parse::<Algo>().is_err());
+    }
+
+    #[test]
+    fn auto_resolves_per_query_kind() {
+        assert_eq!(Algo::Auto.resolved_for(QueryKind::Utk1), Algo::Rsa);
+        assert_eq!(Algo::Auto.resolved_for(QueryKind::Utk2), Algo::Jaa);
+        assert_eq!(Algo::Sk.resolved_for(QueryKind::Utk1), Algo::Sk);
+    }
+
+    #[test]
+    fn identity_scoring_shares_cache_with_plain_queries() {
+        let engine = UtkEngine::new(figure1_hotels()).unwrap();
+        let plain = engine.utk1(&figure1_region(), 2).unwrap();
+        let scored = engine
+            .run(
+                &UtkQuery::utk1(2)
+                    .region(figure1_region())
+                    .scoring(GeneralScoring::linear(3)),
+            )
+            .unwrap();
+        assert_eq!(scored.records(), plain.records);
+        assert_eq!(scored.stats().filter_cache_hits, 1, "identity must share");
+    }
+}

@@ -1,0 +1,134 @@
+//! Typed errors for the public query API.
+//!
+//! Every [`crate::engine::UtkEngine`] entry point returns
+//! `Result<_, UtkError>`: malformed input is reported, never panicked
+//! on. The legacy free functions (`rsa`, `jaa`, …) keep their original
+//! panicking contract by unwrapping these errors, so their messages
+//! below preserve the historical wording.
+
+use std::fmt;
+
+/// Why a UTK query (or engine construction) was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UtkError {
+    /// The dataset has no records.
+    EmptyDataset,
+    /// Two dimensionalities that must agree do not. `what` names the
+    /// offending input (record, query region, weight vector, …).
+    DimensionMismatch {
+        /// Which input mismatched.
+        what: &'static str,
+        /// The dimensionality required by the dataset.
+        expected: usize,
+        /// The dimensionality actually supplied.
+        got: usize,
+    },
+    /// The dataset dimensionality is below the minimum of 2 (a
+    /// 1-dimensional dataset has a 0-dimensional preference domain —
+    /// plain top-k needs no UTK machinery).
+    DatasetTooFlat {
+        /// The dataset dimensionality supplied.
+        got: usize,
+    },
+    /// `k` must be at least 1.
+    InvalidK {
+        /// The k supplied.
+        k: usize,
+    },
+    /// The query region has no feasible point.
+    EmptyRegion,
+    /// The query region leaves the preference domain
+    /// (`w ≥ 0`, `Σ w ≤ 1`, §3.1 of the paper).
+    RegionOutsideDomain {
+        /// Human-readable violation description.
+        detail: String,
+    },
+    /// An input contains a NaN or infinite value. `what` names the
+    /// offending input.
+    NonFiniteInput {
+        /// Which input was non-finite.
+        what: &'static str,
+    },
+    /// A top-k weight vector leaves the preference domain
+    /// (`w ≥ 0`, `Σ w ≤ 1`) or, in its full `d`-weight form, has a
+    /// last weight inconsistent with `1 − Σ` of the others.
+    WeightsOutsideDomain {
+        /// Human-readable violation description.
+        detail: String,
+    },
+    /// The query is missing a required parameter (for example a UTK
+    /// query without a region, or a top-k query without weights).
+    MissingParameter {
+        /// Which parameter is missing.
+        what: &'static str,
+    },
+    /// The selected algorithm cannot answer the selected query kind
+    /// (for example RSA for UTK2, which needs a partitioning).
+    UnsupportedAlgorithm {
+        /// The algorithm's display label.
+        algo: &'static str,
+        /// The query kind's display label.
+        kind: &'static str,
+    },
+}
+
+impl fmt::Display for UtkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UtkError::EmptyDataset => write!(f, "dataset is empty"),
+            UtkError::DimensionMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what} dimensionality must be {expected}, got {got}"),
+            UtkError::DatasetTooFlat { got } => write!(
+                f,
+                "dataset dimensionality must be at least 2 (got {got}); \
+                 for 1-dimensional data use a plain top-k"
+            ),
+            UtkError::InvalidK { k } => write!(f, "k must be positive (got {k})"),
+            UtkError::EmptyRegion => write!(f, "query region is empty"),
+            UtkError::RegionOutsideDomain { detail } => {
+                write!(f, "region leaves the preference domain: {detail}")
+            }
+            UtkError::NonFiniteInput { what } => {
+                write!(f, "{what} contains a NaN or infinite value")
+            }
+            UtkError::WeightsOutsideDomain { detail } => {
+                write!(f, "weights leave the preference domain: {detail}")
+            }
+            UtkError::MissingParameter { what } => {
+                write!(f, "query is missing its {what}")
+            }
+            UtkError::UnsupportedAlgorithm { algo, kind } => {
+                write!(f, "algorithm {algo} cannot answer {kind} queries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UtkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offending_input() {
+        let e = UtkError::DimensionMismatch {
+            what: "query region",
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains("query region"));
+        assert!(e.to_string().contains('3'));
+        assert!(UtkError::InvalidK { k: 0 }.to_string().contains("positive"));
+        assert_eq!(UtkError::EmptyRegion.to_string(), "query region is empty");
+    }
+
+    #[test]
+    fn error_trait_is_object_safe_here() {
+        let e: Box<dyn std::error::Error> = Box::new(UtkError::EmptyDataset);
+        assert_eq!(e.to_string(), "dataset is empty");
+    }
+}

@@ -41,9 +41,9 @@ impl DominanceGraph {
         let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
         for (v, anc) in ancestors.iter().enumerate() {
             for &a in anc {
-                let covered = anc.iter().any(|&b| {
-                    b != a && ancestors[b as usize].binary_search(&a).is_ok()
-                });
+                let covered = anc
+                    .iter()
+                    .any(|&b| b != a && ancestors[b as usize].binary_search(&a).is_ok());
                 if !covered {
                     children[a as usize].push(v as u32);
                 }
@@ -136,18 +136,18 @@ mod tests {
     /// 0-based (p1 = 0 … p12 = 11).
     fn figure5_graph() -> DominanceGraph {
         let anc: Vec<Vec<u32>> = vec![
-            vec![],            // p1
-            vec![],            // p2
-            vec![],            // p3
-            vec![],            // p4
-            vec![0],           // p5
-            vec![0, 1],        // p6
-            vec![1, 2],        // p7
-            vec![3],           // p8
-            vec![0, 1, 4, 5],  // p9  (via p5 and p6)
-            vec![0, 1, 5],     // p10 (via p6 and p1)
-            vec![1, 2, 6],     // p11 (via p7)
-            vec![3, 7],        // p12 (via p8)
+            vec![],           // p1
+            vec![],           // p2
+            vec![],           // p3
+            vec![],           // p4
+            vec![0],          // p5
+            vec![0, 1],       // p6
+            vec![1, 2],       // p7
+            vec![3],          // p8
+            vec![0, 1, 4, 5], // p9  (via p5 and p6)
+            vec![0, 1, 5],    // p10 (via p6 and p1)
+            vec![1, 2, 6],    // p11 (via p7)
+            vec![3, 7],       // p12 (via p8)
         ];
         DominanceGraph::build(anc)
     }

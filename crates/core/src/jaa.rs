@@ -21,9 +21,8 @@
 //! vector in `R`.
 
 use crate::drill::graph_top_k;
-use crate::skyband::{r_skyband, CandidateSet};
+use crate::skyband::{prefilter, CandidateSet, Prefilter};
 use crate::stats::Stats;
-use utk_geom::tol::INTERIOR_EPS;
 use utk_geom::{Arrangement, CellId, Region};
 use utk_rtree::RTree;
 
@@ -95,6 +94,11 @@ impl Utk2Result {
 }
 
 /// Runs UTK2 via JAA, building a fresh R-tree over `points`.
+///
+/// Legacy convenience: panics on malformed input and rebuilds all
+/// per-dataset state from scratch. Prefer [`crate::engine::UtkEngine`],
+/// which returns typed errors and reuses the index and the r-skyband
+/// across queries.
 pub fn jaa(points: &[Vec<f64>], region: &Region, k: usize, opts: &JaaOptions) -> Utk2Result {
     let tree = RTree::bulk_load(points);
     jaa_with_tree(points, &tree, region, k, opts)
@@ -112,49 +116,63 @@ pub fn jaa_with_tree(
     let d = points[0].len();
     crate::rsa::validate_region(region, d - 1);
     let mut stats = Stats::new();
-
-    let Some((base_interior, base_slack)) = region.interior_point() else {
-        panic!("query region is empty");
+    let cells = match prefilter(points, tree, region, k, opts.pivot_order, &mut stats) {
+        // Degenerate R: a single top-k query answers UTK2 with one
+        // all-covering cell.
+        Prefilter::Degenerate { w, top_k } => vec![Utk2Cell {
+            region: region.clone(),
+            interior: w,
+            top_k,
+        }],
+        Prefilter::Trivial { ids, interior } => vec![Utk2Cell {
+            region: region.clone(),
+            interior,
+            top_k: ids,
+        }],
+        Prefilter::Refine {
+            cands,
+            interior,
+            slack,
+        } => jaa_refine(&cands, region, &interior, slack, k, opts, &mut stats),
     };
-    if base_slack <= INTERIOR_EPS {
-        // Degenerate R: a single top-k query answers UTK2.
-        let w = region.pivot().expect("non-empty region");
-        let mut top_k = crate::topk::top_k_brute(points, &w, k);
-        top_k.sort_unstable();
-        let records = top_k.clone();
-        return Utk2Result {
-            cells: vec![Utk2Cell {
-                region: region.clone(),
-                interior: w,
-                top_k,
-            }],
-            records,
-            stats,
-        };
+    let records = records_of(&cells);
+    Utk2Result {
+        cells,
+        records,
+        stats,
     }
+}
 
-    let cands = r_skyband(points, tree, region, k, opts.pivot_order, &mut stats);
+/// Sorted, deduplicated union of the cells' top-k sets (the implied
+/// UTK1 answer).
+pub(crate) fn records_of(cells: &[Utk2Cell]) -> Vec<u32> {
+    let mut records: Vec<u32> = cells.iter().flat_map(|c| c.top_k.iter().copied()).collect();
+    records.sort_unstable();
+    records.dedup();
+    records
+}
+
+/// JAA's refinement step (§5) over an already-filtered candidate set:
+/// grows the common arrangement from the initial anchor and returns
+/// the finalized partitions tiling `region`. Shared between the legacy
+/// entry points and [`crate::engine::UtkEngine`], whose cache hands in
+/// memoized candidate sets.
+pub(crate) fn jaa_refine(
+    cands: &CandidateSet,
+    region: &Region,
+    base_interior: &[f64],
+    base_slack: f64,
+    k: usize,
+    opts: &JaaOptions,
+    stats: &mut Stats,
+) -> Vec<Utk2Cell> {
     let n = cands.len();
-    if n <= k {
-        let mut top_k = cands.ids.clone();
-        top_k.sort_unstable();
-        let records = top_k.clone();
-        return Utk2Result {
-            cells: vec![Utk2Cell {
-                region: region.clone(),
-                interior: base_interior,
-                top_k,
-            }],
-            records,
-            stats,
-        };
-    }
-
+    debug_assert!(n > k);
     let mut ctx = Ctx {
-        cands: &cands,
+        cands,
         k,
         opts,
-        stats: &mut stats,
+        stats,
         none_removed: vec![false; n],
         out: Vec::new(),
     };
@@ -176,26 +194,14 @@ pub fn jaa_with_tree(
         &mut ctx,
         anchor,
         region,
-        &base_interior,
+        base_interior,
         base_slack,
         quota,
         &mut excluded,
         &known_above,
         0,
     );
-
-    let cells = ctx.out;
-    let mut records: Vec<u32> = cells
-        .iter()
-        .flat_map(|c| c.top_k.iter().copied())
-        .collect();
-    records.sort_unstable();
-    records.dedup();
-    Utk2Result {
-        cells,
-        records,
-        stats,
-    }
+    ctx.out
 }
 
 struct Ctx<'a> {
@@ -534,8 +540,7 @@ mod tests {
                 .map(|_| (0..3).map(|_| rng.gen_range(0.0..1.0)).collect())
                 .collect();
             let lo = [rng.gen_range(0.05..0.3), rng.gen_range(0.05..0.3)];
-            let region =
-                Region::hyperrect(lo.to_vec(), lo.iter().map(|l| l + 0.1).collect());
+            let region = Region::hyperrect(lo.to_vec(), lo.iter().map(|l| l + 0.1).collect());
             let k = 3;
             let u2 = jaa(&pts, &region, k, &JaaOptions::default());
             let u1 = rsa(&pts, &region, k, &RsaOptions::default());

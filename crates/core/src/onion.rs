@@ -18,7 +18,11 @@ use utk_geom::hull::{hull_membership, upper_hull_2d};
 /// indices into `points`). Returns the layers in order; records not in
 /// any of the `k` layers are dropped.
 pub fn onion_layers(points: &[Vec<f64>], candidates: &[u32], k: usize) -> Vec<Vec<u32>> {
-    let d = if points.is_empty() { 0 } else { points[0].len() };
+    let d = if points.is_empty() {
+        0
+    } else {
+        points[0].len()
+    };
     let mut active: Vec<u32> = candidates.to_vec();
     let mut layers = Vec::with_capacity(k);
     for _ in 0..k {
@@ -155,16 +159,16 @@ mod tests {
         // The paper's Figure 3 observation: the 2 onion layers can be
         // a strict subset of the 2-skyband.
         let pts: Vec<Vec<f64>> = vec![
-            vec![1.0, 9.0],  // p1
-            vec![4.0, 7.0],  // p2
-            vec![5.5, 5.5],  // p3 (skyband but interior of hull layers)
-            vec![8.0, 4.0],  // p4
-            vec![9.0, 1.0],  // p5
-            vec![2.0, 8.0],  // p6
-            vec![6.0, 3.0],  // p7
-            vec![3.0, 6.0],  // p8
-            vec![1.5, 1.5],  // p9 (deep interior)
-            vec![2.0, 2.0],  // p10
+            vec![1.0, 9.0], // p1
+            vec![4.0, 7.0], // p2
+            vec![5.5, 5.5], // p3 (skyband but interior of hull layers)
+            vec![8.0, 4.0], // p4
+            vec![9.0, 1.0], // p5
+            vec![2.0, 8.0], // p6
+            vec![6.0, 3.0], // p7
+            vec![3.0, 6.0], // p8
+            vec![1.5, 1.5], // p9 (deep interior)
+            vec![2.0, 2.0], // p10
         ];
         let tree = RTree::bulk_load(&pts);
         let sky = k_skyband(&pts, &tree, 2, &mut Stats::new());

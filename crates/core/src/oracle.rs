@@ -129,8 +129,7 @@ mod tests {
             let got = jaa(&pts, &region, k, &JaaOptions::default());
             assert_eq!(got.records, want_union, "seed {seed}");
             // Distinct top-k sets must match exactly.
-            let mut got_sets: Vec<Vec<u32>> =
-                got.cells.iter().map(|c| c.top_k.clone()).collect();
+            let mut got_sets: Vec<Vec<u32>> = got.cells.iter().map(|c| c.top_k.clone()).collect();
             got_sets.sort();
             got_sets.dedup();
             let mut want_sets: Vec<Vec<u32>> =

@@ -15,10 +15,9 @@
 //! atomic status array. Results are bit-identical to [`crate::rsa::rsa`].
 
 use crate::rsa::{verify_candidate, RsaOptions, Utk1Result};
-use crate::skyband::r_skyband;
+use crate::skyband::{prefilter, Prefilter};
 use crate::stats::Stats;
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
-use utk_geom::tol::INTERIOR_EPS;
 use utk_geom::Region;
 use utk_rtree::RTree;
 
@@ -28,6 +27,11 @@ const DISQUALIFIED: u8 = 2;
 
 /// Parallel UTK1: RSA with refinement fanned out over `threads`
 /// worker threads (0 = one per available core). Builds a fresh index.
+///
+/// Legacy convenience: panics on malformed input and rebuilds all
+/// per-dataset state from scratch. Prefer [`crate::engine::UtkEngine`]
+/// with [`crate::engine::UtkQuery::parallel`], which returns typed
+/// errors and reuses the index and the r-skyband across queries.
 pub fn rsa_parallel(
     points: &[Vec<f64>],
     region: &Region,
@@ -51,31 +55,43 @@ pub fn rsa_parallel_with_tree(
     assert!(k >= 1, "k must be positive");
     let d = points[0].len();
     crate::rsa::validate_region(region, d - 1);
+    let mut stats = Stats::new();
+    // Filtering stays sequential (BBS is a single best-first pass).
+    let records = match prefilter(points, tree, region, k, opts.pivot_order, &mut stats) {
+        Prefilter::Degenerate { top_k, .. } => top_k,
+        Prefilter::Trivial { ids, .. } => ids,
+        Prefilter::Refine {
+            cands,
+            interior,
+            slack,
+        } => rsa_parallel_refine(
+            &cands, region, &interior, slack, k, opts, threads, &mut stats,
+        ),
+    };
+    Utk1Result { records, stats }
+}
+
+/// The parallel refinement fan-out over an already-filtered candidate
+/// set; bit-identical to [`crate::rsa::rsa_refine`]. Shared between
+/// the legacy entry points and [`crate::engine::UtkEngine`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn rsa_parallel_refine(
+    cands: &crate::skyband::CandidateSet,
+    region: &Region,
+    base_interior: &[f64],
+    base_slack: f64,
+    k: usize,
+    opts: &RsaOptions,
+    threads: usize,
+    stats: &mut Stats,
+) -> Vec<u32> {
+    let n = cands.len();
+    debug_assert!(n > k);
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
         threads
     };
-    let mut stats = Stats::new();
-
-    let Some((base_interior, base_slack)) = region.interior_point() else {
-        panic!("query region is empty");
-    };
-    if base_slack <= INTERIOR_EPS {
-        let w = region.pivot().expect("non-empty region");
-        let mut records = crate::topk::top_k_brute(points, &w, k);
-        records.sort_unstable();
-        return Utk1Result { records, stats };
-    }
-
-    // Filtering stays sequential (BBS is a single best-first pass).
-    let cands = r_skyband(points, tree, region, k, opts.pivot_order, &mut stats);
-    let n = cands.len();
-    if n <= k {
-        let mut records = cands.ids.clone();
-        records.sort_unstable();
-        return Utk1Result { records, stats };
-    }
 
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.sort_by_key(|&v| std::cmp::Reverse(cands.graph.dominance_count(v)));
@@ -107,12 +123,12 @@ pub fn rsa_parallel_with_tree(
                             excluded[a as usize] = true;
                         }
                         let ok = verify_candidate(
-                            &cands,
+                            cands,
                             opts,
                             &mut local,
                             v,
                             region,
-                            &base_interior,
+                            base_interior,
                             base_slack,
                             k - anc.len(),
                             k,
@@ -139,7 +155,10 @@ pub fn rsa_parallel_with_tree(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
     for ws in &worker_stats {
         stats.absorb(ws);
@@ -150,7 +169,7 @@ pub fn rsa_parallel_with_tree(
         .map(|i| cands.ids[i])
         .collect();
     records.sort_unstable();
-    Utk1Result { records, stats }
+    records
 }
 
 #[cfg(test)]

@@ -156,10 +156,7 @@ mod tests {
                 if ab {
                     for c in 0..pts.len() {
                         if c != a && c != b && r_dominates(&pts[b], &pts[c], &reg) {
-                            assert!(
-                                r_dominates(&pts[a], &pts[c], &reg),
-                                "transitivity violated"
-                            );
+                            assert!(r_dominates(&pts[a], &pts[c], &reg), "transitivity violated");
                         }
                     }
                 }

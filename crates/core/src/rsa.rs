@@ -19,9 +19,8 @@
 //! intended propagation is implemented).
 
 use crate::drill::graph_top_k;
-use crate::skyband::{r_skyband, CandidateSet};
+use crate::skyband::{prefilter, CandidateSet, Prefilter};
 use crate::stats::Stats;
-use utk_geom::tol::INTERIOR_EPS;
 use utk_geom::{Arrangement, CellId, Region};
 use utk_rtree::RTree;
 
@@ -68,24 +67,16 @@ pub struct Utk1Result {
 /// Validates that the query region sits inside the preference domain
 /// (`w ≥ 0`, `Σ w ≤ 1`), as §3.1 requires.
 pub(crate) fn validate_region(region: &Region, dp: usize) {
-    assert_eq!(region.dim(), dp, "region dimensionality must be d − 1");
-    let ones = vec![1.0; dp];
-    let (_, max) = region
-        .linear_range(&ones, 0.0)
-        .expect("query region is empty");
-    assert!(
-        max <= 1.0 + 1e-9,
-        "region leaves the preference simplex (Σw > 1)"
-    );
-    for i in 0..dp {
-        let mut e = vec![0.0; dp];
-        e[i] = 1.0;
-        let (min, _) = region.linear_range(&e, 0.0).expect("empty region");
-        assert!(min >= -1e-9, "region has negative weights in dim {i}");
-    }
+    crate::engine::check_region(region, dp).unwrap_or_else(|e| panic!("{e}"));
 }
 
 /// Runs UTK1 via RSA, building a fresh R-tree over `points`.
+///
+/// Legacy convenience: panics on malformed input and rebuilds the
+/// index per call, but runs the same validate → prefilter → refine
+/// pipeline as the engine. Prefer [`crate::engine::UtkEngine`], which
+/// returns typed errors and reuses the index and the r-skyband across
+/// queries.
 pub fn rsa(points: &[Vec<f64>], region: &Region, k: usize, opts: &RsaOptions) -> Utk1Result {
     let tree = RTree::bulk_load(points);
     rsa_with_tree(points, &tree, region, k, opts)
@@ -103,28 +94,34 @@ pub fn rsa_with_tree(
     let d = points[0].len();
     validate_region(region, d - 1);
     let mut stats = Stats::new();
-
-    // Degenerate R (no interior, e.g. a single vector): UTK1 reduces
-    // to the union of top-k sets over the region's boundary — for a
-    // point, one plain top-k query.
-    let Some((base_interior, base_slack)) = region.interior_point() else {
-        panic!("query region is empty");
+    let records = match prefilter(points, tree, region, k, opts.pivot_order, &mut stats) {
+        Prefilter::Degenerate { top_k, .. } => top_k,
+        Prefilter::Trivial { ids, .. } => ids,
+        Prefilter::Refine {
+            cands,
+            interior,
+            slack,
+        } => rsa_refine(&cands, region, &interior, slack, k, opts, &mut stats),
     };
-    if base_slack <= INTERIOR_EPS {
-        let w = region.pivot().expect("non-empty region");
-        let mut records = crate::topk::top_k_brute(points, &w, k);
-        records.sort_unstable();
-        return Utk1Result { records, stats };
-    }
+    Utk1Result { records, stats }
+}
 
-    let cands = r_skyband(points, tree, region, k, opts.pivot_order, &mut stats);
+/// RSA's refinement step (§4.2) over an already-filtered candidate
+/// set: verifies candidates in decreasing r-dominance count order and
+/// returns the confirmed dataset ids, ascending. Shared between the
+/// legacy entry points and [`crate::engine::UtkEngine`], whose cache
+/// hands in memoized candidate sets.
+pub(crate) fn rsa_refine(
+    cands: &CandidateSet,
+    region: &Region,
+    base_interior: &[f64],
+    base_slack: f64,
+    k: usize,
+    opts: &RsaOptions,
+    stats: &mut Stats,
+) -> Vec<u32> {
     let n = cands.len();
-    if n <= k {
-        // Every candidate fills one of the k slots everywhere in R.
-        let mut records = cands.ids.clone();
-        records.sort_unstable();
-        return Utk1Result { records, stats };
-    }
+    debug_assert!(n > k);
 
     #[derive(Clone, Copy, PartialEq)]
     enum Status {
@@ -151,12 +148,12 @@ pub fn rsa_with_tree(
         }
         let quota = k - anc.len();
         let ok = verify(
-            &cands,
+            cands,
             opts,
-            &mut stats,
+            stats,
             v,
             region,
-            &base_interior,
+            base_interior,
             base_slack,
             quota,
             k,
@@ -180,7 +177,7 @@ pub fn rsa_with_tree(
         .map(|i| cands.ids[i])
         .collect();
     records.sort_unstable();
-    Utk1Result { records, stats }
+    records
 }
 
 /// Entry point to the verification recursion, shared with the
@@ -442,10 +439,7 @@ mod tests {
         let mut sampled = std::collections::BTreeSet::new();
         for i in 0..=20 {
             for j in 0..=20 {
-                let w = [
-                    0.1 + 0.3 * i as f64 / 20.0,
-                    0.2 + 0.25 * j as f64 / 20.0,
-                ];
+                let w = [0.1 + 0.3 * i as f64 / 20.0, 0.2 + 0.25 * j as f64 / 20.0];
                 sampled.insert(top_k_brute(&pts, &w, 1)[0]);
             }
         }

@@ -91,6 +91,29 @@ impl GeneralScoring {
         points.iter().map(|p| self.transform_record(p)).collect()
     }
 
+    /// A hashable identity for engine-side memoization: one `(tag,
+    /// parameter-bits)` pair per dimension. `Custom` transforms key on
+    /// the function pointer's address.
+    pub(crate) fn fingerprint(&self) -> Vec<(u8, u64)> {
+        self.transforms
+            .iter()
+            .map(|t| match t {
+                AttributeTransform::Identity => (0u8, 0u64),
+                AttributeTransform::Power(p) => (1, p.to_bits()),
+                AttributeTransform::Log1p => (2, 0),
+                AttributeTransform::Custom(f) => (3, *f as usize as u64),
+            })
+            .collect()
+    }
+
+    /// True when every transform is the identity (plain linear
+    /// scoring, no dataset transformation needed).
+    pub fn is_identity(&self) -> bool {
+        self.transforms
+            .iter()
+            .all(|t| matches!(t, AttributeTransform::Identity))
+    }
+
     /// Spot-checks monotonicity of every transform over `[lo, hi]`
     /// (useful for `Custom` transforms in debug builds/tests).
     pub fn validate_monotone(&self, lo: f64, hi: f64) -> bool {
@@ -110,6 +133,10 @@ impl GeneralScoring {
 
 /// UTK1 under a generalized scoring function: RSA over the transformed
 /// dataset. Returned record ids refer to the *original* dataset.
+///
+/// Legacy convenience; prefer [`crate::engine::UtkEngine`] with
+/// [`crate::engine::UtkQuery::scoring`], which memoizes the
+/// transformed dataset and its index across queries.
 pub fn rsa_general(
     points: &[Vec<f64>],
     scoring: &GeneralScoring,
@@ -121,6 +148,10 @@ pub fn rsa_general(
 }
 
 /// UTK2 under a generalized scoring function.
+///
+/// Legacy convenience; prefer [`crate::engine::UtkEngine`] with
+/// [`crate::engine::UtkQuery::scoring`], which memoizes the
+/// transformed dataset and its index across queries.
 pub fn jaa_general(
     points: &[Vec<f64>],
     scoring: &GeneralScoring,
@@ -198,7 +229,10 @@ mod tests {
                 break;
             }
         }
-        assert!(diverged, "L2 and linear UTK1 should differ on some instance");
+        assert!(
+            diverged,
+            "L2 and linear UTK1 should differ on some instance"
+        );
     }
 
     #[test]

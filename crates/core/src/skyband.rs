@@ -45,6 +45,75 @@ impl CandidateSet {
     }
 }
 
+/// Outcome of the pre-refinement pipeline shared by every UTK entry
+/// point: the degenerate-region and small-candidate-set shortcuts, or
+/// a candidate set ready for refinement.
+pub(crate) enum Prefilter {
+    /// `R` has no interior: the answer is one plain top-k at the
+    /// region's pivot `w` (ids sorted ascending).
+    Degenerate {
+        /// The pivot weight vector the top-k was evaluated at.
+        w: Vec<f64>,
+        /// The sorted top-k at `w`.
+        top_k: Vec<u32>,
+    },
+    /// The r-skyband has at most `k` members: every candidate fills
+    /// one of the k slots everywhere in `R` (ids sorted ascending).
+    Trivial {
+        /// The sorted candidate ids.
+        ids: Vec<u32>,
+        /// An interior point of `R`.
+        interior: Vec<f64>,
+    },
+    /// Refinement is needed.
+    Refine {
+        /// The r-skyband with its r-dominance graph.
+        cands: CandidateSet,
+        /// An interior point of `R`.
+        interior: Vec<f64>,
+        /// The interior point's slack.
+        slack: f64,
+    },
+}
+
+/// Runs the shared pre-refinement pipeline over a validated region:
+/// interior computation, the degenerate-`R` shortcut (§3.1), the
+/// r-skyband filter (§4.1), and the `|candidates| ≤ k` shortcut.
+///
+/// # Panics
+/// Panics if the region is empty (the legacy contract; the engine
+/// validates regions before calling in).
+pub(crate) fn prefilter(
+    points: &[Vec<f64>],
+    tree: &RTree,
+    region: &Region,
+    k: usize,
+    pivot_order: bool,
+    stats: &mut Stats,
+) -> Prefilter {
+    use utk_geom::tol::INTERIOR_EPS;
+    let Some((interior, slack)) = region.interior_point() else {
+        panic!("query region is empty");
+    };
+    if slack <= INTERIOR_EPS {
+        let w = region.pivot().expect("non-empty region");
+        let mut top_k = crate::topk::top_k_brute(points, &w, k);
+        top_k.sort_unstable();
+        return Prefilter::Degenerate { w, top_k };
+    }
+    let cands = r_skyband(points, tree, region, k, pivot_order, stats);
+    if cands.len() <= k {
+        let mut ids = cands.ids.clone();
+        ids.sort_unstable();
+        return Prefilter::Trivial { ids, interior };
+    }
+    Prefilter::Refine {
+        cands,
+        interior,
+        slack,
+    }
+}
+
 /// Classical k-skyband via BBS: ids of records dominated by fewer
 /// than `k` others. Heap key: coordinate sum (a monotone surrogate of
 /// the distance-to-top-corner order of the original BBS).
@@ -100,9 +169,7 @@ pub fn r_skyband(
 ) -> CandidateSet {
     /// Heap key selector: pivot score or classic coordinate sum.
     type KeyFn = Box<dyn Fn(&[f64]) -> f64>;
-    let pivot = region
-        .pivot()
-        .expect("query region must be non-empty");
+    let pivot = region.pivot().expect("query region must be non-empty");
     let key_record: KeyFn = if pivot_order {
         let pv = pivot.clone();
         Box::new(move |p: &[f64]| pref_score(p, &pv))
@@ -139,10 +206,7 @@ pub fn r_skyband(
 
     // Screens `q` against current members; returns the list of strict
     // r-dominators if fewer than k, or None when q is disqualified.
-    let screen = |q: &[f64],
-                  members: &[Vec<f64>],
-                  stats: &mut Stats|
-     -> Option<Vec<u32>> {
+    let screen = |q: &[f64], members: &[Vec<f64>], stats: &mut Stats| -> Option<Vec<u32>> {
         let mut doms = Vec::new();
         for (mi, m) in members.iter().enumerate() {
             stats.rdom_tests += 1;
@@ -212,13 +276,7 @@ mod tests {
 
     fn brute_k_skyband(points: &[Vec<f64>], k: usize) -> Vec<u32> {
         (0..points.len())
-            .filter(|&i| {
-                points
-                    .iter()
-                    .filter(|q| dominates(q, &points[i]))
-                    .count()
-                    < k
-            })
+            .filter(|&i| points.iter().filter(|q| dominates(q, &points[i])).count() < k)
             .map(|i| i as u32)
             .collect()
     }
@@ -313,10 +371,7 @@ mod tests {
                     && r_dominance(&cs.points[a as usize], &cs.points[b as usize], &region)
                         == RDominance::Dominates
                 {
-                    assert!(
-                        cs.graph.ancestors(b).contains(&a),
-                        "missing arc {a} → {b}"
-                    );
+                    assert!(cs.graph.ancestors(b).contains(&a), "missing arc {a} → {b}");
                 }
             }
         }

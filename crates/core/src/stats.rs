@@ -32,6 +32,10 @@ pub struct Stats {
     pub peak_arrangement_bytes: usize,
     /// kSPR invocations (baselines only).
     pub kspr_calls: usize,
+    /// Queries whose filtering step (r-skyband + graph) was served
+    /// from the [`crate::engine::UtkEngine`] cache instead of being
+    /// recomputed.
+    pub filter_cache_hits: usize,
 }
 
 impl Stats {
@@ -64,8 +68,11 @@ impl Stats {
         self.drill_hits += other.drill_hits;
         self.rdom_tests += other.rdom_tests;
         self.bbs_pops += other.bbs_pops;
-        self.peak_arrangement_bytes = self.peak_arrangement_bytes.max(other.peak_arrangement_bytes);
+        self.peak_arrangement_bytes = self
+            .peak_arrangement_bytes
+            .max(other.peak_arrangement_bytes);
         self.kspr_calls += other.kspr_calls;
+        self.filter_cache_hits += other.filter_cache_hits;
     }
 }
 

@@ -19,12 +19,7 @@ pub fn top_k_brute(points: &[Vec<f64>], w: &[f64], k: usize) -> Vec<u32> {
 }
 
 /// Top-k over a subset of record indices.
-pub fn top_k_brute_subset(
-    points: &[Vec<f64>],
-    subset: &[u32],
-    w: &[f64],
-    k: usize,
-) -> Vec<u32> {
+pub fn top_k_brute_subset(points: &[Vec<f64>], subset: &[u32], w: &[f64], k: usize) -> Vec<u32> {
     let mut scored: Vec<(f64, u32)> = subset
         .iter()
         .map(|&i| (pref_score(&points[i as usize], w), i))

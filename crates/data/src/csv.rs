@@ -166,7 +166,10 @@ mod tests {
     fn header_and_labels() {
         let csv = "hotel,service,cleanliness\np1,8.3,9.1\np2,2.4,9.6\n";
         let d = parse_csv(csv, "t").unwrap();
-        assert_eq!(d.columns, Some(vec!["service".into(), "cleanliness".into()]));
+        assert_eq!(
+            d.columns,
+            Some(vec!["service".into(), "cleanliness".into()])
+        );
         assert_eq!(d.labels, Some(vec!["p1".into(), "p2".into()]));
         assert_eq!(d.dataset.points[1], vec![2.4, 9.6]);
         assert_eq!(d.name(0), "p1");

@@ -78,7 +78,11 @@ impl Dataset {
         for p in &mut self.points {
             for i in 0..d {
                 let span = hi[i] - lo[i];
-                p[i] = if span > 0.0 { (p[i] - lo[i]) / span } else { 0.0 };
+                p[i] = if span > 0.0 {
+                    (p[i] - lo[i]) / span
+                } else {
+                    0.0
+                };
             }
         }
     }

@@ -50,33 +50,168 @@ pub struct NbaPlayer {
 /// Curated 2016–17 season per-game averages (league statistical
 /// leaders; approximate public figures).
 pub const NBA_2016_17: [NbaPlayer; 27] = [
-    NbaPlayer { name: "Russell Westbrook", rebounds: 10.7, points: 31.6, assists: 10.4 },
-    NbaPlayer { name: "James Harden", rebounds: 8.1, points: 29.1, assists: 11.2 },
-    NbaPlayer { name: "Isaiah Thomas", rebounds: 2.7, points: 28.9, assists: 5.9 },
-    NbaPlayer { name: "Anthony Davis", rebounds: 11.8, points: 28.0, assists: 2.1 },
-    NbaPlayer { name: "DeMarcus Cousins", rebounds: 11.0, points: 27.0, assists: 4.6 },
-    NbaPlayer { name: "DeMar DeRozan", rebounds: 5.2, points: 27.3, assists: 3.9 },
-    NbaPlayer { name: "Damian Lillard", rebounds: 4.9, points: 27.0, assists: 5.9 },
-    NbaPlayer { name: "LeBron James", rebounds: 8.6, points: 26.4, assists: 8.7 },
-    NbaPlayer { name: "Kawhi Leonard", rebounds: 5.8, points: 25.5, assists: 3.5 },
-    NbaPlayer { name: "Stephen Curry", rebounds: 4.5, points: 25.3, assists: 6.6 },
-    NbaPlayer { name: "Kevin Durant", rebounds: 8.3, points: 25.1, assists: 4.8 },
-    NbaPlayer { name: "Kyrie Irving", rebounds: 3.2, points: 25.2, assists: 5.8 },
-    NbaPlayer { name: "Jimmy Butler", rebounds: 6.2, points: 23.9, assists: 5.5 },
-    NbaPlayer { name: "Paul George", rebounds: 6.6, points: 23.7, assists: 3.3 },
-    NbaPlayer { name: "Kemba Walker", rebounds: 3.9, points: 23.2, assists: 5.5 },
-    NbaPlayer { name: "John Wall", rebounds: 4.2, points: 23.1, assists: 10.7 },
-    NbaPlayer { name: "Giannis Antetokounmpo", rebounds: 8.8, points: 22.9, assists: 5.4 },
-    NbaPlayer { name: "Hassan Whiteside", rebounds: 14.1, points: 17.0, assists: 0.7 },
-    NbaPlayer { name: "Andre Drummond", rebounds: 13.8, points: 13.6, assists: 1.1 },
-    NbaPlayer { name: "Rudy Gobert", rebounds: 12.8, points: 14.0, assists: 1.2 },
-    NbaPlayer { name: "DeAndre Jordan", rebounds: 13.8, points: 12.7, assists: 1.2 },
-    NbaPlayer { name: "Dwight Howard", rebounds: 12.7, points: 13.5, assists: 1.4 },
-    NbaPlayer { name: "Kevin Love", rebounds: 11.1, points: 19.0, assists: 1.9 },
-    NbaPlayer { name: "Nikola Vucevic", rebounds: 10.4, points: 14.6, assists: 2.8 },
-    NbaPlayer { name: "Chris Paul", rebounds: 5.0, points: 18.1, assists: 9.2 },
-    NbaPlayer { name: "Draymond Green", rebounds: 7.9, points: 10.2, assists: 7.0 },
-    NbaPlayer { name: "Nikola Jokic", rebounds: 9.8, points: 16.7, assists: 4.9 },
+    NbaPlayer {
+        name: "Russell Westbrook",
+        rebounds: 10.7,
+        points: 31.6,
+        assists: 10.4,
+    },
+    NbaPlayer {
+        name: "James Harden",
+        rebounds: 8.1,
+        points: 29.1,
+        assists: 11.2,
+    },
+    NbaPlayer {
+        name: "Isaiah Thomas",
+        rebounds: 2.7,
+        points: 28.9,
+        assists: 5.9,
+    },
+    NbaPlayer {
+        name: "Anthony Davis",
+        rebounds: 11.8,
+        points: 28.0,
+        assists: 2.1,
+    },
+    NbaPlayer {
+        name: "DeMarcus Cousins",
+        rebounds: 11.0,
+        points: 27.0,
+        assists: 4.6,
+    },
+    NbaPlayer {
+        name: "DeMar DeRozan",
+        rebounds: 5.2,
+        points: 27.3,
+        assists: 3.9,
+    },
+    NbaPlayer {
+        name: "Damian Lillard",
+        rebounds: 4.9,
+        points: 27.0,
+        assists: 5.9,
+    },
+    NbaPlayer {
+        name: "LeBron James",
+        rebounds: 8.6,
+        points: 26.4,
+        assists: 8.7,
+    },
+    NbaPlayer {
+        name: "Kawhi Leonard",
+        rebounds: 5.8,
+        points: 25.5,
+        assists: 3.5,
+    },
+    NbaPlayer {
+        name: "Stephen Curry",
+        rebounds: 4.5,
+        points: 25.3,
+        assists: 6.6,
+    },
+    NbaPlayer {
+        name: "Kevin Durant",
+        rebounds: 8.3,
+        points: 25.1,
+        assists: 4.8,
+    },
+    NbaPlayer {
+        name: "Kyrie Irving",
+        rebounds: 3.2,
+        points: 25.2,
+        assists: 5.8,
+    },
+    NbaPlayer {
+        name: "Jimmy Butler",
+        rebounds: 6.2,
+        points: 23.9,
+        assists: 5.5,
+    },
+    NbaPlayer {
+        name: "Paul George",
+        rebounds: 6.6,
+        points: 23.7,
+        assists: 3.3,
+    },
+    NbaPlayer {
+        name: "Kemba Walker",
+        rebounds: 3.9,
+        points: 23.2,
+        assists: 5.5,
+    },
+    NbaPlayer {
+        name: "John Wall",
+        rebounds: 4.2,
+        points: 23.1,
+        assists: 10.7,
+    },
+    NbaPlayer {
+        name: "Giannis Antetokounmpo",
+        rebounds: 8.8,
+        points: 22.9,
+        assists: 5.4,
+    },
+    NbaPlayer {
+        name: "Hassan Whiteside",
+        rebounds: 14.1,
+        points: 17.0,
+        assists: 0.7,
+    },
+    NbaPlayer {
+        name: "Andre Drummond",
+        rebounds: 13.8,
+        points: 13.6,
+        assists: 1.1,
+    },
+    NbaPlayer {
+        name: "Rudy Gobert",
+        rebounds: 12.8,
+        points: 14.0,
+        assists: 1.2,
+    },
+    NbaPlayer {
+        name: "DeAndre Jordan",
+        rebounds: 13.8,
+        points: 12.7,
+        assists: 1.2,
+    },
+    NbaPlayer {
+        name: "Dwight Howard",
+        rebounds: 12.7,
+        points: 13.5,
+        assists: 1.4,
+    },
+    NbaPlayer {
+        name: "Kevin Love",
+        rebounds: 11.1,
+        points: 19.0,
+        assists: 1.9,
+    },
+    NbaPlayer {
+        name: "Nikola Vucevic",
+        rebounds: 10.4,
+        points: 14.6,
+        assists: 2.8,
+    },
+    NbaPlayer {
+        name: "Chris Paul",
+        rebounds: 5.0,
+        points: 18.1,
+        assists: 9.2,
+    },
+    NbaPlayer {
+        name: "Draymond Green",
+        rebounds: 7.9,
+        points: 10.2,
+        assists: 7.0,
+    },
+    NbaPlayer {
+        name: "Nikola Jokic",
+        rebounds: 9.8,
+        points: 16.7,
+        assists: 4.9,
+    },
 ];
 
 /// The curated table as a dataset, dimensions ordered
@@ -112,12 +247,7 @@ mod tests {
     fn nba_normalized_leaders_hit_one() {
         let ds = nba_2016_17();
         // Whiteside leads rebounds, Westbrook points, Harden assists.
-        let max = |d: usize| {
-            ds.points
-                .iter()
-                .map(|p| p[d])
-                .fold(f64::MIN, f64::max)
-        };
+        let max = |d: usize| ds.points.iter().map(|p| p[d]).fold(f64::MIN, f64::max);
         assert!((max(0) - 1.0).abs() < 1e-12);
         assert!((max(1) - 1.0).abs() < 1e-12);
         assert!((max(2) - 1.0).abs() < 1e-12);
@@ -134,7 +264,10 @@ mod tests {
         // top-3 when Drummond overtakes him, at wr ≈ 0.72.
         let ds = nba_2016_17();
         let idx = |name: &str| NBA_2016_17.iter().position(|p| p.name == name).unwrap();
-        let (w, d) = (&ds.points[idx("Russell Westbrook")], &ds.points[idx("Andre Drummond")]);
+        let (w, d) = (
+            &ds.points[idx("Russell Westbrook")],
+            &ds.points[idx("Andre Drummond")],
+        );
         // Solve wr·w0 + (1−wr)·w1 = wr·d0 + (1−wr)·d1 on (reb, pts).
         let wr = (d[1] - w[1]) / ((w[0] - w[1]) - (d[0] - d[1]));
         assert!((wr - 0.72).abs() < 0.01, "crossover at {wr}");

@@ -27,7 +27,10 @@ pub struct QueryBox {
 /// Panics if `sigma` is not in `(0, 1)` or no placement fits
 /// (`dp · sigma ≥ 1` leaves no room inside the simplex).
 pub fn random_regions(dp: usize, sigma: f64, count: usize, seed: u64) -> Vec<QueryBox> {
-    assert!(sigma > 0.0 && sigma < 1.0, "σ must be a fraction of the axis");
+    assert!(
+        sigma > 0.0 && sigma < 1.0,
+        "σ must be a fraction of the axis"
+    );
     assert!(
         (dp as f64) * sigma < 1.0,
         "a {sigma}-sided cube cannot fit inside the {dp}-simplex"

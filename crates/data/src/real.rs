@@ -86,7 +86,7 @@ pub fn house(scale: f64, seed: u64) -> Dataset {
 pub fn nba(scale: f64, seed: u64) -> Dataset {
     let n = scaled(NBA_N, scale);
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x4E42); // "NB"
-    // Role affinity per dimension: +1 favours guards, −1 favours bigs.
+                                                            // Role affinity per dimension: +1 favours guards, −1 favours bigs.
     const ROLE: [f64; 8] = [0.0, -1.0, 1.0, 0.5, -1.0, -0.3, 0.6, 1.0];
     let points = (0..n)
         .map(|_| {

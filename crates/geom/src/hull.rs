@@ -216,8 +216,7 @@ mod tests {
                 .map(|_| vec![rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)])
                 .collect();
             let pts: Vec<(f64, f64)> = data.iter().map(|p| (p[0], p[1])).collect();
-            let hull: std::collections::HashSet<usize> =
-                upper_hull_2d(&pts).into_iter().collect();
+            let hull: std::collections::HashSet<usize> = upper_hull_2d(&pts).into_iter().collect();
             let active: Vec<usize> = (0..n).collect();
             for i in 0..n {
                 let lp = hull_membership(&data, &active, i);

@@ -189,9 +189,7 @@ impl Region {
                 }
                 Some((min, max))
             }
-            Shape::Poly {
-                vertices: Some(vs),
-            } => {
+            Shape::Poly { vertices: Some(vs) } => {
                 let mut min = f64::INFINITY;
                 let mut max = f64::NEG_INFINITY;
                 for v in vs {
@@ -228,15 +226,8 @@ impl Region {
     /// point (or any feasible point).
     pub fn pivot(&self) -> Option<Vec<f64>> {
         match &self.shape {
-            Shape::Box { lo, hi } => Some(
-                lo.iter()
-                    .zip(hi)
-                    .map(|(l, h)| 0.5 * (l + h))
-                    .collect(),
-            ),
-            Shape::Poly {
-                vertices: Some(vs),
-            } if !vs.is_empty() => {
+            Shape::Box { lo, hi } => Some(lo.iter().zip(hi).map(|(l, h)| 0.5 * (l + h)).collect()),
+            Shape::Poly { vertices: Some(vs) } if !vs.is_empty() => {
                 let mut p = vec![0.0; self.dim];
                 for v in vs {
                     for i in 0..self.dim {

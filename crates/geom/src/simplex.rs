@@ -210,7 +210,7 @@ pub fn solve_standard(n: usize, a: &[Vec<f64>], b: &[f64], c: &[f64]) -> Simplex
         }
         // Phase 1 is always bounded (artificials are ≥ 0).
         t.optimize(n + m); // artificials may not re-enter
-        // obj[rhs] now holds −Σ artificials at the optimum.
+                           // obj[rhs] now holds −Σ artificials at the optimum.
         if t.obj[rhs] < -1e-7 {
             return SimplexOutcome::Infeasible;
         }
@@ -283,11 +283,7 @@ mod tests {
     #[test]
     fn textbook_2d() {
         // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), 36.
-        let a = vec![
-            vec![1.0, 0.0],
-            vec![0.0, 2.0],
-            vec![3.0, 2.0],
-        ];
+        let a = vec![vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]];
         let out = solve_standard(2, &a, &[4.0, 12.0, 18.0], &[3.0, 5.0]);
         assert_opt(out, 36.0, Some(&[2.0, 6.0]));
     }
@@ -295,11 +291,7 @@ mod tests {
     #[test]
     fn negative_rhs_requires_phase1() {
         // max x + y s.t. x + y ≤ 3, −x ≤ −1 (x ≥ 1), −y ≤ −1 (y ≥ 1).
-        let a = vec![
-            vec![1.0, 1.0],
-            vec![-1.0, 0.0],
-            vec![0.0, -1.0],
-        ];
+        let a = vec![vec![1.0, 1.0], vec![-1.0, 0.0], vec![0.0, -1.0]];
         let out = solve_standard(2, &a, &[3.0, -1.0, -1.0], &[1.0, 1.0]);
         assert_opt(out, 3.0, None);
     }
@@ -323,11 +315,7 @@ mod tests {
     #[test]
     fn equality_via_pair_of_inequalities() {
         // max y s.t. x + y = 1 (as ≤ and ≥), y ≤ 0.75.
-        let a = vec![
-            vec![1.0, 1.0],
-            vec![-1.0, -1.0],
-            vec![0.0, 1.0],
-        ];
+        let a = vec![vec![1.0, 1.0], vec![-1.0, -1.0], vec![0.0, 1.0]];
         let out = solve_standard(2, &a, &[1.0, -1.0, 0.75], &[0.0, 1.0]);
         assert_opt(out, 0.75, Some(&[0.25, 0.75]));
     }
@@ -335,11 +323,7 @@ mod tests {
     #[test]
     fn degenerate_vertex() {
         // Multiple constraints meet at the optimum (0, 1).
-        let a = vec![
-            vec![1.0, 1.0],
-            vec![-1.0, 1.0],
-            vec![0.0, 1.0],
-        ];
+        let a = vec![vec![1.0, 1.0], vec![-1.0, 1.0], vec![0.0, 1.0]];
         let out = solve_standard(2, &a, &[1.0, 1.0, 1.0], &[0.0, 1.0]);
         assert_opt(out, 1.0, None);
     }

@@ -153,7 +153,11 @@ impl RTree {
     }
 
     /// Lazy descending-order record iterator (incremental top-k).
-    pub fn descending_iter<NK, RK>(&self, node_key: NK, record_key: RK) -> DescendingIter<'_, NK, RK>
+    pub fn descending_iter<NK, RK>(
+        &self,
+        node_key: NK,
+        record_key: RK,
+    ) -> DescendingIter<'_, NK, RK>
     where
         NK: Fn(&Mbb) -> f64,
         RK: Fn(u32) -> f64,

@@ -153,9 +153,7 @@ mod tests {
         let area: f64 = nodes
             .iter()
             .filter(|n| n.is_leaf())
-            .map(|n| {
-                (n.mbb.hi[0] - n.mbb.lo[0]).max(1e-9) * (n.mbb.hi[1] - n.mbb.lo[1]).max(1e-9)
-            })
+            .map(|n| (n.mbb.hi[0] - n.mbb.lo[0]).max(1e-9) * (n.mbb.hi[1] - n.mbb.lo[1]).max(1e-9))
             .sum();
         // 8 leaves of a perfect tiling would have area ≈ 8·(7·0.875);
         // allow generous slack but reject full-extent (49 each) strips.

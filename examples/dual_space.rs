@@ -16,7 +16,7 @@ use utk::prelude::*;
 const COLS: usize = 72;
 const ROWS: usize = 20;
 
-fn main() {
+fn main() -> Result<(), UtkError> {
     // Five records, as in Figure 2.
     let points = vec![
         vec![9.0, 1.5], // p1: steep riser
@@ -67,11 +67,15 @@ fn main() {
     axis[mark(lo)] = '[';
     axis[mark(hi)] = ']';
     println!("  {}", axis.iter().collect::<String>());
-    println!("  w1 = 0{}w1 = 1   R = [{lo}, {hi}]\n", " ".repeat(COLS - 14));
+    println!(
+        "  w1 = 0{}w1 = 1   R = [{lo}, {hi}]\n",
+        " ".repeat(COLS - 14)
+    );
 
     // The part of the ≤k-level between the brackets is the UTK answer.
     let region = Region::hyperrect(vec![lo], vec![hi]);
-    let utk1 = rsa(&points, &region, k, &RsaOptions::default());
+    let engine = UtkEngine::new(points.clone())?;
+    let utk1 = engine.utk1(&region, k)?;
     let labels: Vec<String> = utk1.records.iter().map(|r| format!("p{}", r + 1)).collect();
     println!("UTK1 over R: {{{}}}", labels.join(", "));
 
@@ -80,7 +84,10 @@ fn main() {
     println!("UTK2 partitioning of R:");
     for (a, b, set) in &intervals {
         let names: Vec<String> = set.iter().map(|r| format!("p{}", r + 1)).collect();
-        println!("  w1 ∈ [{a:.3}, {b:.3}]: top-{k} = {{{}}}", names.join(", "));
+        println!(
+            "  w1 ∈ [{a:.3}, {b:.3}]: top-{k} = {{{}}}",
+            names.join(", ")
+        );
     }
 
     // Sanity: the top-k at R's center matches the covering interval.
@@ -92,4 +99,5 @@ fn main() {
         .find(|(a, b, _)| *a <= mid && mid <= *b)
         .expect("mid covered");
     assert_eq!(cell.2, brute);
+    Ok(())
 }

@@ -18,12 +18,11 @@
 
 use utk::core::onion::onion_candidates;
 use utk::core::skyband::k_skyband;
-use utk::core::topk::top_k_brute;
 use utk::data::real::hotel;
 use utk::geom::pref_score;
 use utk::prelude::*;
 
-fn main() {
+fn main() -> Result<(), UtkError> {
     // 1/50 of the paper's HOTEL cardinality to keep the example quick;
     // pass `--release` regardless.
     let ds = hotel(0.02, 42);
@@ -40,31 +39,37 @@ fn main() {
     println!("HOTEL portal: {n} hotels, 4 rating dimensions, k = {k}");
     println!("typed weights: {typed:?} (+ implied 0.15), uncertainty box sigma = {sigma}\n");
 
-    let plain = top_k_brute(&ds.points, &typed, k);
-    println!("plain top-{k} at the typed weights: {plain:?}");
+    // The portal's serving pattern: one engine per dataset, many
+    // queries against it (index built once, filters memoized).
+    let engine = UtkEngine::new(ds.points.clone())?;
 
-    let tree = RTree::bulk_load(&ds.points);
-    let utk1 = rsa_with_tree(&ds.points, &tree, &region, k, &RsaOptions::default());
+    let plain = engine.top_k(&typed, k)?;
+    println!("plain top-{k} at the typed weights: {:?}", plain.records);
+
+    let utk1 = engine.utk1(&region, k)?;
     println!(
         "UTK1: {} hotels could make the top-{k} within the uncertainty box: {:?}",
         utk1.records.len(),
         utk1.records
     );
-    for id in &plain {
+    for id in &plain.records {
         assert!(
             utk1.records.contains(id),
             "UTK1 must contain the typed-weight top-k"
         );
     }
 
-    let utk2 = jaa_with_tree(&ds.points, &tree, &region, k, &JaaOptions::default());
+    let utk2 = engine.utk2(&region, k)?;
     println!(
-        "UTK2: {} preference partitions ({} distinct top-{k} sets)",
+        "UTK2: {} preference partitions ({} distinct top-{k} sets; \
+         r-skyband reused from the UTK1 query: {})",
         utk2.num_partitions(),
-        utk2.num_distinct_sets()
+        utk2.num_distinct_sets(),
+        utk2.stats.filter_cache_hits == 1,
     );
 
-    let sky = k_skyband(&ds.points, &tree, k, &mut Stats::new());
+    let tree = engine.tree();
+    let sky = k_skyband(&ds.points, tree, k, &mut Stats::new());
     let onion = onion_candidates(&ds.points, &sky, k);
     println!(
         "\npreference-blind alternatives: k-skyband = {} hotels, onion layers = {} hotels",
@@ -99,4 +104,5 @@ fn main() {
          for UTK processing.",
         want.len()
     );
+    Ok(())
 }

@@ -21,7 +21,7 @@ fn names(ids: &[u32]) -> Vec<&'static str> {
     ids.iter().map(|&i| nba_player_name(i as usize)).collect()
 }
 
-fn main() {
+fn main() -> Result<(), UtkError> {
     let nba = nba_2016_17();
 
     println!("=== Figure 9(a): 2-D case study (Rebounds, Points) ===");
@@ -29,13 +29,16 @@ fn main() {
     let region = Region::hyperrect(vec![0.64], vec![0.74]);
     let k = 3;
 
-    let utk1 = rsa(&d2.points, &region, k, &RsaOptions::default());
+    // One engine per projection; the UTK2 query below reuses the
+    // r-skyband this UTK1 query filters.
+    let engine2d = UtkEngine::new(d2.points.clone())?;
+    let utk1 = engine2d.utk1(&region, k)?;
     println!("UTK1 (red points in the paper's figure):");
     for n in names(&utk1.records) {
         println!("  {n}");
     }
 
-    let utk2 = jaa(&d2.points, &region, k, &JaaOptions::default());
+    let utk2 = engine2d.utk2(&region, k)?;
     let mut cells: Vec<_> = utk2.cells.iter().collect();
     cells.sort_by(|a, b| a.interior[0].partial_cmp(&b.interior[0]).unwrap());
     println!("UTK2 partitioning of wr in [0.64, 0.74]:");
@@ -47,8 +50,8 @@ fn main() {
         );
     }
 
-    let tree = RTree::bulk_load(&d2.points);
-    let sky = k_skyband(&d2.points, &tree, k, &mut Stats::new());
+    let tree = engine2d.tree();
+    let sky = k_skyband(&d2.points, tree, k, &mut Stats::new());
     let onion = onion_candidates(&d2.points, &sky, k);
     println!(
         "Traditional operators on the same data: {} players in the 3 onion \
@@ -60,7 +63,8 @@ fn main() {
 
     println!("\n=== Figure 9(b): 3-D case study (Rebounds, Points, Assists) ===");
     let region3 = Region::hyperrect(vec![0.2, 0.5], vec![0.3, 0.6]);
-    let utk2 = jaa(&nba.points, &region3, k, &JaaOptions::default());
+    let engine3d = UtkEngine::new(nba.points.clone())?;
+    let utk2 = engine3d.utk2(&region3, k)?;
     println!(
         "UTK2 over R = [0.2, 0.3] x [0.5, 0.6]: {} partitions, {} distinct top-3 sets",
         utk2.num_partitions(),
@@ -88,4 +92,5 @@ fn main() {
         "\nPaper check: every top-3 contains Westbrook and Harden; the third\n\
          slot is LeBron James, DeMarcus Cousins or Anthony Davis."
     );
+    Ok(())
 }

@@ -17,10 +17,14 @@ use utk::data::synthetic::{generate, Distribution};
 use utk::geom::{pref_score, Constraint, Halfspace, Region};
 use utk::prelude::*;
 
-fn main() {
+fn main() -> Result<(), UtkError> {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2018);
     let ds = generate(Distribution::Ind, 5_000, 4, 7);
     let k = 3;
+
+    // One engine serves every learning round: the R-tree is built
+    // once, up front.
+    let engine = UtkEngine::new(ds.points.clone())?;
 
     // Hidden truth (reduced form; w4 = 1 − Σ = 0.25).
     let w_true = [0.30, 0.25, 0.20];
@@ -30,7 +34,10 @@ fn main() {
     // Version space: starts as the full preference simplex.
     let dp = 3;
     let mut version = Region::full_preference_domain(dp);
-    println!("{:>5} {:>28} {:>10} {:>8}", "pairs", "learned box R", "UTK1", "covers");
+    println!(
+        "{:>5} {:>28} {:>10} {:>8}",
+        "pairs", "learned box R", "UTK1", "covers"
+    );
     for round in 0..=5 {
         if round > 0 {
             // Ask 8 random comparisons per round; each answer is one
@@ -61,7 +68,9 @@ fn main() {
         for i in 0..dp {
             let mut e = vec![0.0; dp];
             e[i] = 1.0;
-            let (mn, mx) = version.linear_range(&e, 0.0).expect("non-empty version space");
+            let (mn, mx) = version
+                .linear_range(&e, 0.0)
+                .expect("non-empty version space");
             lo[i] = mn.max(0.0);
             hi[i] = mx.min(1.0);
         }
@@ -74,7 +83,7 @@ fn main() {
             boxed
         };
 
-        let utk1 = rsa(&ds.points, &region, k, &RsaOptions::default());
+        let utk1 = engine.utk1(&region, k)?;
         let covers = true_topk.iter().all(|id| utk1.records.contains(id));
         println!(
             "{:>5} {:>28} {:>10} {:>8}",
@@ -93,4 +102,5 @@ fn main() {
         "\nAs comparisons accumulate the region shrinks and UTK1 closes in on\n\
          the true top-{k} — while *always* containing it."
     );
+    Ok(())
 }

@@ -4,15 +4,16 @@
 //! as roughly (0.3, 0.5, 0.2)-important — but weights typed on pure
 //! intuition shouldn't be trusted to the second decimal. We expand
 //! them into the region R = [0.05, 0.45] × [0.05, 0.25] of the
-//! preference domain (the third weight is implied) and ask the two
-//! uncertain top-k queries.
+//! preference domain (the third weight is implied), build a
+//! [`UtkEngine`] over the hotels, and ask the two uncertain top-k
+//! queries. The second query reuses the engine's memoized r-skyband.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use utk::data::embedded::{figure1_hotels, FIGURE1_NAMES};
 use utk::prelude::*;
 
-fn main() {
+fn main() -> Result<(), UtkError> {
     let hotels = figure1_hotels();
     let region = Region::hyperrect(vec![0.05, 0.05], vec![0.45, 0.25]);
     let k = 2;
@@ -23,28 +24,37 @@ fn main() {
     }
     println!("\nQuery: k = {k}, R = [0.05, 0.45] x [0.05, 0.25]\n");
 
+    // One engine per dataset: the R-tree is built here, once.
+    let engine = UtkEngine::new(hotels.points.clone())?;
+
     // UTK1: every hotel that can be in the top-2 for some w in R.
-    let utk1 = rsa(&hotels.points, &region, k, &RsaOptions::default());
+    let utk1 = engine.run(&UtkQuery::utk1(k).region(region.clone()))?;
     let names: Vec<&str> = utk1
-        .records
+        .records()
         .iter()
         .map(|&i| FIGURE1_NAMES[i as usize])
         .collect();
-    println!("UTK1 (all possible top-{k} members): {{{}}}", names.join(", "));
+    println!(
+        "UTK1 (all possible top-{k} members): {{{}}}",
+        names.join(", ")
+    );
     println!(
         "  filter kept {} candidates; {} drills ({} direct hits); {} half-spaces inserted",
-        utk1.stats.candidates,
-        utk1.stats.drills,
-        utk1.stats.drill_hits,
-        utk1.stats.halfspaces_inserted,
+        utk1.stats().candidates,
+        utk1.stats().drills,
+        utk1.stats().drill_hits,
+        utk1.stats().halfspaces_inserted,
     );
 
-    // UTK2: the exact top-2 set for every possible weight vector.
-    let utk2 = jaa(&hotels.points, &region, k, &JaaOptions::default());
+    // UTK2: the exact top-2 set for every possible weight vector. The
+    // engine serves the (k, R) filter state from its cache this time.
+    let utk2 = engine.utk2(&region, k)?;
     println!(
-        "\nUTK2 ({} partitions of R, {} distinct top-{k} sets):",
+        "\nUTK2 ({} partitions of R, {} distinct top-{k} sets, \
+         filter served from cache: {}):",
         utk2.num_partitions(),
         utk2.num_distinct_sets(),
+        utk2.stats.filter_cache_hits == 1,
     );
     let mut cells: Vec<_> = utk2.cells.iter().collect();
     cells.sort_by(|a, b| a.interior[0].partial_cmp(&b.interior[0]).unwrap());
@@ -66,4 +76,5 @@ fn main() {
         "\nPaper check: UTK1 = {{p1, p2, p4, p6}} and the partitions read\n\
          {{p2,p4}} / {{p1,p4}} / {{p1,p2}} / {{p1,p6}} from left to right."
     );
+    Ok(())
 }

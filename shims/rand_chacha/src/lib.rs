@@ -1,0 +1,128 @@
+//! Offline stand-in for the `rand_chacha` crate: a real ChaCha core
+//! with 8 rounds behind the [`ChaCha8Rng`] name. The key stream
+//! differs from the real crate's (block/nonce layout details), which
+//! is fine here — the workspace only needs seeded determinism and
+//! good uniformity, never rand-compatible golden values.
+
+use rand::{RngCore, SeedableRng};
+
+const BLOCK_WORDS: usize = 16;
+const ROUNDS: usize = 8;
+
+/// A deterministic ChaCha-8 random generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Input block: constants, 256-bit key, 64-bit counter, 64-bit
+    /// stream id.
+    state: [u32; BLOCK_WORDS],
+    /// Current output block, consumed word-pairwise as u64s.
+    block: [u32; BLOCK_WORDS],
+    /// Next unread word pair in `block` (0..8); 8 forces a refill.
+    cursor: usize,
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(*s);
+        }
+        // 64-bit block counter in words 12–13.
+        let counter = (u64::from(self.state[13]) << 32 | u64::from(self.state[12])).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.cursor = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; BLOCK_WORDS];
+        // "expand 32-byte k"
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        // Counter and stream id start at zero.
+        Self {
+            state,
+            block: [0; BLOCK_WORDS],
+            cursor: BLOCK_WORDS / 2,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        if self.cursor >= BLOCK_WORDS / 2 {
+            self.refill();
+        }
+        let lo = self.block[2 * self.cursor];
+        let hi = self.block[2 * self.cursor + 1];
+        self.cursor += 1;
+        u64::from(hi) << 32 | u64::from(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = ChaCha8Rng::seed_from_u64(2018);
+        let mut b = ChaCha8Rng::seed_from_u64(2018);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        assert!((0..10).any(|_| a.next_u64() != b.next_u64()));
+    }
+
+    #[test]
+    fn float_sampling_is_roughly_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

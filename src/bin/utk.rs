@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! utk utk1 --data hotels.csv --k 2 --lo 0.05,0.05 --hi 0.45,0.25
-//! utk utk1 --data hotels.csv --k 2 --center 0.3,0.5 --width 0.2
-//! utk utk2 --data hotels.csv --k 2 --center 0.3,0.5 --width 0.2
+//! utk utk1 --data hotels.csv --k 2 --center 0.3,0.5 --width 0.2 --algo sk
+//! utk utk2 --data hotels.csv --k 2 --center 0.3,0.5 --width 0.2 --json
 //! utk topk --data hotels.csv --k 2 --weights 0.3,0.5,0.2
 //! utk generate --dist anti --n 1000 --d 4 --seed 7 > data.csv
 //! ```
@@ -13,10 +13,12 @@
 //! refer to the first `d − 1` attributes (the last is implied, §3.1
 //! of the paper); `--center/--width` build an uncertainty box around
 //! indicative weights, clipped to the preference simplex.
+//!
+//! All queries run through [`utk::core::engine::UtkEngine`]; `--algo`
+//! selects the processing algorithm and `--json` switches to
+//! machine-readable output.
 
 use std::process::ExitCode;
-use utk::core::scoring::GeneralScoring;
-use utk::core::topk::top_k_brute;
 use utk::data::csv::{parse_csv, write_csv, CsvData};
 use utk::data::synthetic::{generate, Distribution};
 use utk::geom::Constraint;
@@ -31,10 +33,10 @@ fn fail(msg: &str) -> ExitCode {
 const HELP: &str = "utk — exact uncertain top-k queries (Mouratidis & Tang, VLDB 2018)
 
 USAGE:
-  utk utk1     --data <csv> --k <n> <REGION> [--lp <p>]   minimal set of possible top-k records
-  utk utk2     --data <csv> --k <n> <REGION> [--lp <p>]   exact top-k set per preference partition
-  utk topk     --data <csv> --k <n> --weights w1,..,wd    plain top-k (for comparison)
-  utk generate --dist <ind|cor|anti> --n <n> --d <d> [--seed <s>]   benchmark data to stdout
+  utk utk1     --data <csv> --k <n> <REGION> [OPTIONS]      minimal set of possible top-k records
+  utk utk2     --data <csv> --k <n> <REGION> [OPTIONS]      exact top-k set per preference partition
+  utk topk     --data <csv> --k <n> --weights w1,..,wd [OPTIONS]   plain top-k (for comparison)
+  utk generate --dist <ind|cor|anti> --n <n> --d <d> [--seed <s>]  benchmark data to stdout
   utk help
 
 REGION (preference domain has d-1 coordinates; the last weight is implied):
@@ -42,8 +44,37 @@ REGION (preference domain has d-1 coordinates; the last weight is implied):
   --center a,b,..  --width w   box of side w around indicative weights (clipped to the simplex)
 
 OPTIONS:
+  --algo <a>   processing algorithm: auto (default), rsa, jaa, sk, on
+  --json       machine-readable JSON output (records, cells, stats)
+  --parallel   fan RSA refinement out over all cores (utk1 only)
+  --threads <n> worker threads (implies --parallel; default: all cores)
   --lp <p>     score with sum of w_i * x_i^p instead of linear attributes (p > 0)
 ";
+
+const BOOL_FLAGS: &[&str] = &["json", "parallel"];
+const VALUE_FLAGS: &[&str] = &[
+    "data", "k", "lo", "hi", "center", "width", "weights", "lp", "algo", "threads", "dist", "n",
+    "d", "seed",
+];
+
+/// The flags each command actually reads; anything else is rejected
+/// rather than silently ignored.
+fn command_flags(command: &str) -> Option<&'static [&'static str]> {
+    match command {
+        "help" | "--help" | "-h" => Some(&[]),
+        "utk1" => Some(&[
+            "data", "k", "lo", "hi", "center", "width", "lp", "algo", "json", "parallel", "threads",
+        ]),
+        // JAA (and the baselines) are sequential: utk2 takes no
+        // parallelism flags.
+        "utk2" => Some(&[
+            "data", "k", "lo", "hi", "center", "width", "lp", "algo", "json",
+        ]),
+        "topk" => Some(&["data", "k", "weights", "lp", "json"]),
+        "generate" => Some(&["dist", "n", "d", "seed"]),
+        _ => None,
+    }
+}
 
 struct Args {
     flags: Vec<(String, String)>,
@@ -51,16 +82,38 @@ struct Args {
 }
 
 impl Args {
-    fn parse() -> Option<Args> {
+    /// Parses `argv`, reporting exactly which token was malformed.
+    fn parse() -> Result<Args, String> {
         let mut it = std::env::args().skip(1);
-        let command = it.next()?;
+        let Some(command) = it.next() else {
+            return Err("missing command".into());
+        };
+        let Some(allowed) = command_flags(&command) else {
+            return Err(format!("unknown command {command:?}"));
+        };
         let mut flags = Vec::new();
         while let Some(f) = it.next() {
-            let key = f.strip_prefix("--")?.to_string();
-            let val = it.next()?;
-            flags.push((key, val));
+            let Some(key) = f.strip_prefix("--") else {
+                return Err(format!(
+                    "expected a --flag, found {f:?} (values belong directly after their flag)"
+                ));
+            };
+            if !BOOL_FLAGS.contains(&key) && !VALUE_FLAGS.contains(&key) {
+                return Err(format!("unknown flag --{key}"));
+            }
+            if !allowed.contains(&key) {
+                return Err(format!("flag --{key} does not apply to `{command}`"));
+            }
+            if BOOL_FLAGS.contains(&key) {
+                flags.push((key.to_string(), "true".to_string()));
+                continue;
+            }
+            let Some(val) = it.next() else {
+                return Err(format!("flag --{key} is missing its value"));
+            };
+            flags.push((key.to_string(), val));
         }
-        Some(Args { flags, command })
+        Ok(Args { flags, command })
     }
 
     fn get(&self, key: &str) -> Option<&str> {
@@ -70,11 +123,22 @@ impl Args {
             .map(|(_, v)| v.as_str())
     }
 
-    fn floats(&self, key: &str) -> Option<Vec<f64>> {
-        self.get(key)?
-            .split(',')
-            .map(|v| v.trim().parse().ok())
-            .collect()
+    fn has(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    fn floats(&self, key: &str) -> Result<Option<Vec<f64>>, String> {
+        let Some(raw) = self.get(key) else {
+            return Ok(None);
+        };
+        raw.split(',')
+            .map(|v| {
+                v.trim()
+                    .parse()
+                    .map_err(|_| format!("--{key}: {v:?} is not a number"))
+            })
+            .collect::<Result<Vec<f64>, String>>()
+            .map(Some)
     }
 }
 
@@ -84,23 +148,44 @@ fn load(args: &Args) -> Result<CsvData, String> {
     parse_csv(&text, path).map_err(|e| e.to_string())
 }
 
+/// Builds the box region, reporting malformed bounds as errors —
+/// `Region::hyperrect` would panic on them.
+fn checked_box(lo: Vec<f64>, hi: Vec<f64>) -> Result<Region, String> {
+    if lo.iter().chain(&hi).any(|v| !v.is_finite()) {
+        return Err("region bounds must be finite numbers".into());
+    }
+    if let Some(i) = (0..lo.len()).find(|&i| lo[i] > hi[i]) {
+        return Err(format!(
+            "inverted region bounds in coordinate {}: lo {} > hi {}",
+            i + 1,
+            lo[i],
+            hi[i]
+        ));
+    }
+    Ok(Region::hyperrect(lo, hi))
+}
+
 fn region_from(args: &Args, dp: usize) -> Result<Region, String> {
-    if let (Some(lo), Some(hi)) = (args.floats("lo"), args.floats("hi")) {
+    if let (Some(lo), Some(hi)) = (args.floats("lo")?, args.floats("hi")?) {
         if lo.len() != dp || hi.len() != dp {
             return Err(format!("region needs {dp} coordinates (d − 1)"));
         }
-        return Ok(Region::hyperrect(lo, hi));
+        return checked_box(lo, hi);
     }
-    if let (Some(center), Some(width)) = (args.floats("center"), args.get("width")) {
+    if let (Some(center), Some(width)) = (args.floats("center")?, args.get("width")) {
         if center.len() != dp {
             return Err(format!("--center needs {dp} coordinates (d − 1)"));
         }
         let w: f64 = width.parse().map_err(|_| "--width must be a number")?;
+        if !w.is_finite() || w < 0.0 {
+            return Err("--width must be non-negative".into());
+        }
         let lo: Vec<f64> = center.iter().map(|c| (c - w / 2.0).max(0.0)).collect();
         let hi: Vec<f64> = center.iter().map(|c| (c + w / 2.0).min(1.0)).collect();
-        let boxed = Region::hyperrect(lo.clone(), hi.clone());
+        let outside = hi.iter().sum::<f64>() > 1.0;
+        let boxed = checked_box(lo, hi)?;
         // Clip to the simplex when the box pokes out.
-        if hi.iter().sum::<f64>() > 1.0 {
+        if outside {
             return Ok(boxed.with_constraint(Constraint::le(vec![1.0; dp], 1.0)));
         }
         return Ok(boxed);
@@ -108,60 +193,167 @@ fn region_from(args: &Args, dp: usize) -> Result<Region, String> {
     Err("specify a region: --lo/--hi or --center/--width".into())
 }
 
-fn scored_points(args: &Args, data: &CsvData) -> Result<Vec<Vec<f64>>, String> {
+fn parse_k(args: &Args) -> Result<usize, String> {
+    args.get("k")
+        .ok_or("missing --k")?
+        .parse()
+        .map_err(|_| "--k must be an integer".into())
+}
+
+fn scoring_from(args: &Args, d: usize) -> Result<Option<GeneralScoring>, String> {
     match args.get("lp") {
-        None => Ok(data.dataset.points.clone()),
+        None => Ok(None),
         Some(p) => {
             let p: f64 = p.parse().map_err(|_| "--lp must be a number")?;
             if p <= 0.0 {
                 return Err("--lp must be positive".into());
             }
-            Ok(GeneralScoring::weighted_lp(p, data.dataset.dim())
-                .transform(&data.dataset.points))
+            Ok(Some(GeneralScoring::weighted_lp(p, d)))
         }
     }
 }
 
-fn run() -> Result<(), String> {
-    let Some(args) = Args::parse() else {
-        return Err("usage: utk <command> [--flag value]...".into());
+fn algo_from(args: &Args) -> Result<Algo, String> {
+    match args.get("algo") {
+        None => Ok(Algo::Auto),
+        Some(a) => a.parse::<Algo>(),
+    }
+}
+
+// --- JSON output -----------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_floats(vals: &[f64]) -> String {
+    let parts: Vec<String> = vals.iter().map(|v| format!("{v}")).collect();
+    format!("[{}]", parts.join(","))
+}
+
+fn json_record_list(ids: &[u32], data: &CsvData) -> String {
+    let parts: Vec<String> = ids
+        .iter()
+        .map(|&id| format!(r#"{{"id":{id},"name":"{}"}}"#, json_escape(&data.name(id))))
+        .collect();
+    format!("[{}]", parts.join(","))
+}
+
+fn json_stats(stats: &Stats) -> String {
+    format!(
+        concat!(
+            r#"{{"candidates":{},"bbs_pops":{},"rdom_tests":{},"halfspaces_inserted":{},"#,
+            r#""cells_created":{},"arrangements_built":{},"drills":{},"drill_hits":{},"#,
+            r#""peak_arrangement_bytes":{},"kspr_calls":{},"filter_cache_hits":{}}}"#
+        ),
+        stats.candidates,
+        stats.bbs_pops,
+        stats.rdom_tests,
+        stats.halfspaces_inserted,
+        stats.cells_created,
+        stats.arrangements_built,
+        stats.drills,
+        stats.drill_hits,
+        stats.peak_arrangement_bytes,
+        stats.kspr_calls,
+        stats.filter_cache_hits,
+    )
+}
+
+// --- commands --------------------------------------------------------
+
+fn run_topk(args: &Args) -> Result<(), String> {
+    let data = load(args)?;
+    let k = parse_k(args)?;
+    let d = data.dataset.dim();
+    let w = args.floats("weights")?.ok_or("missing --weights")?;
+    if w.len() != d && w.len() != d - 1 {
+        return Err(format!("--weights needs {d} (or {}) values", d - 1));
+    }
+    let mut query = UtkQuery::topk(k).weights(w.clone());
+    if let Some(s) = scoring_from(args, d)? {
+        query = query.scoring(s);
+    }
+    let engine = UtkEngine::new(data.dataset.points.clone()).map_err(|e| e.to_string())?;
+    let QueryResult::TopK(res) = engine.run(&query).map_err(|e| e.to_string())? else {
+        unreachable!("top-k query returned a non-top-k result");
     };
-    match args.command.as_str() {
-        "help" | "--help" | "-h" => {
-            print!("{HELP}");
-            Ok(())
+    if args.has("json") {
+        let ranked: Vec<String> = res
+            .records
+            .iter()
+            .enumerate()
+            .map(|(rank, &id)| {
+                format!(
+                    r#"{{"rank":{},"id":{id},"name":"{}"}}"#,
+                    rank + 1,
+                    json_escape(&data.name(id))
+                )
+            })
+            .collect();
+        println!(
+            r#"{{"query":"topk","k":{k},"weights":{},"ranking":[{}]}}"#,
+            json_floats(&w),
+            ranked.join(",")
+        );
+    } else {
+        for (rank, id) in res.records.iter().enumerate() {
+            println!("{:>3}. {}", rank + 1, data.name(*id));
         }
-        "topk" => {
-            let data = load(&args)?;
-            let w = args.floats("weights").ok_or("missing --weights")?;
-            let k: usize = args
-                .get("k")
-                .ok_or("missing --k")?
-                .parse()
-                .map_err(|_| "--k must be an integer")?;
-            let d = data.dataset.dim();
-            if w.len() != d {
-                return Err(format!("--weights needs {d} values"));
-            }
-            let reduced = &w[..d - 1];
-            let points = scored_points(&args, &data)?;
-            for (rank, id) in top_k_brute(&points, reduced, k).iter().enumerate() {
-                println!("{:>3}. {}", rank + 1, data.name(*id));
-            }
-            Ok(())
+    }
+    Ok(())
+}
+
+fn run_utk(args: &Args, kind: QueryKind) -> Result<(), String> {
+    let data = load(args)?;
+    let k = parse_k(args)?;
+    let algo = algo_from(args)?;
+    let d = data.dataset.dim();
+    let region = region_from(args, d - 1)?;
+    let mut query = match kind {
+        QueryKind::Utk1 => UtkQuery::utk1(k),
+        QueryKind::Utk2 => UtkQuery::utk2(k),
+        QueryKind::TopK => unreachable!("run_utk only handles UTK queries"),
+    };
+    query = query.region(region).algorithm(algo);
+    if let Some(s) = scoring_from(args, d)? {
+        query = query.scoring(s);
+    }
+    // --threads implies parallelism; requiring --parallel as well
+    // would silently drop the thread count.
+    if args.has("parallel") || args.has("threads") {
+        query = query.parallel(true);
+        if let Some(t) = args.get("threads") {
+            query = query.threads(t.parse().map_err(|_| "--threads must be an integer")?);
         }
-        "utk1" | "utk2" => {
-            let data = load(&args)?;
-            let k: usize = args
-                .get("k")
-                .ok_or("missing --k")?
-                .parse()
-                .map_err(|_| "--k must be an integer")?;
-            let dp = data.dataset.dim() - 1;
-            let region = region_from(&args, dp)?;
-            let points = scored_points(&args, &data)?;
-            if args.command == "utk1" {
-                let res = rsa(&points, &region, k, &RsaOptions::default());
+    }
+    // Report the algorithm that actually answered, not the "auto"
+    // request.
+    let ran = algo.resolved_for(kind);
+    let engine = UtkEngine::new(data.dataset.points.clone()).map_err(|e| e.to_string())?;
+    match engine.run(&query).map_err(|e| e.to_string())? {
+        QueryResult::Utk1(res) => {
+            if args.has("json") {
+                println!(
+                    r#"{{"query":"utk1","k":{k},"algo":"{}","n":{},"d":{d},"records":{},"stats":{}}}"#,
+                    ran.label(),
+                    data.dataset.len(),
+                    json_record_list(&res.records, &data),
+                    json_stats(&res.stats),
+                );
+            } else {
                 println!(
                     "{} records can enter the top-{k} within the region:",
                     res.records.len()
@@ -169,8 +361,44 @@ fn run() -> Result<(), String> {
                 for id in &res.records {
                     println!("  {}", data.name(*id));
                 }
+            }
+        }
+        QueryResult::Utk2(res) => {
+            if args.has("json") {
+                let cells: Vec<String> = res
+                    .cells
+                    .iter()
+                    .map(|cell| {
+                        let ids: Vec<String> = cell.top_k.iter().map(|id| id.to_string()).collect();
+                        let names: Vec<String> = cell
+                            .top_k
+                            .iter()
+                            .map(|&id| format!("\"{}\"", json_escape(&data.name(id))))
+                            .collect();
+                        format!(
+                            r#"{{"interior":{},"top_k":[{}],"names":[{}]}}"#,
+                            json_floats(&cell.interior),
+                            ids.join(","),
+                            names.join(",")
+                        )
+                    })
+                    .collect();
+                println!(
+                    concat!(
+                        r#"{{"query":"utk2","k":{},"algo":"{}","n":{},"d":{},"#,
+                        r#""partitions":{},"distinct_sets":{},"records":{},"cells":[{}],"stats":{}}}"#
+                    ),
+                    k,
+                    ran.label(),
+                    data.dataset.len(),
+                    d,
+                    res.num_partitions(),
+                    res.num_distinct_sets(),
+                    json_record_list(&res.records, &data),
+                    cells.join(","),
+                    json_stats(&res.stats),
+                );
             } else {
-                let res = jaa(&points, &region, k, &JaaOptions::default());
                 println!(
                     "{} preference partitions, {} distinct top-{k} sets:",
                     res.num_partitions(),
@@ -182,41 +410,55 @@ fn run() -> Result<(), String> {
                         continue;
                     }
                     seen.push(&cell.top_k);
-                    let names: Vec<String> =
-                        cell.top_k.iter().map(|&i| data.name(i)).collect();
-                    let w: Vec<String> =
-                        cell.interior.iter().map(|v| format!("{v:.4}")).collect();
+                    let names: Vec<String> = cell.top_k.iter().map(|&i| data.name(i)).collect();
+                    let w: Vec<String> = cell.interior.iter().map(|v| format!("{v:.4}")).collect();
                     println!("  around w = ({}): {{{}}}", w.join(", "), names.join(", "));
                 }
             }
+        }
+        QueryResult::TopK(_) => unreachable!("UTK query returned a top-k result"),
+    }
+    Ok(())
+}
+
+fn run_generate(args: &Args) -> Result<(), String> {
+    let dist = match args.get("dist").unwrap_or("ind") {
+        "ind" => Distribution::Ind,
+        "cor" => Distribution::Cor,
+        "anti" => Distribution::Anti,
+        other => return Err(format!("unknown distribution {other:?}")),
+    };
+    let n: usize = args
+        .get("n")
+        .unwrap_or("1000")
+        .parse()
+        .map_err(|_| "--n must be an integer")?;
+    let d: usize = args
+        .get("d")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|_| "--d must be an integer")?;
+    let seed: u64 = args
+        .get("seed")
+        .unwrap_or("2018")
+        .parse()
+        .map_err(|_| "--seed must be an integer")?;
+    let ds = generate(dist, n, d, seed);
+    print!("{}", write_csv(&ds, None));
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse()?;
+    match args.command.as_str() {
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
             Ok(())
         }
-        "generate" => {
-            let dist = match args.get("dist").unwrap_or("ind") {
-                "ind" => Distribution::Ind,
-                "cor" => Distribution::Cor,
-                "anti" => Distribution::Anti,
-                other => return Err(format!("unknown distribution {other:?}")),
-            };
-            let n: usize = args
-                .get("n")
-                .unwrap_or("1000")
-                .parse()
-                .map_err(|_| "--n must be an integer")?;
-            let d: usize = args
-                .get("d")
-                .unwrap_or("4")
-                .parse()
-                .map_err(|_| "--d must be an integer")?;
-            let seed: u64 = args
-                .get("seed")
-                .unwrap_or("2018")
-                .parse()
-                .map_err(|_| "--seed must be an integer")?;
-            let ds = generate(dist, n, d, seed);
-            print!("{}", write_csv(&ds, None));
-            Ok(())
-        }
+        "topk" => run_topk(&args),
+        "utk1" => run_utk(&args, QueryKind::Utk1),
+        "utk2" => run_utk(&args, QueryKind::Utk2),
+        "generate" => run_generate(&args),
         other => Err(format!("unknown command {other:?}")),
     }
 }

@@ -8,14 +8,23 @@
 //!
 //! This facade crate re-exports the public API of the workspace:
 //!
-//! * [`core`] — the UTK algorithms: RSA (UTK1), JAA (UTK2), the SK/ON
-//!   baselines and their building blocks;
+//! * [`core`] — the [`UtkEngine`](core::engine::UtkEngine) query API,
+//!   the UTK algorithms behind it (RSA for UTK1, JAA for UTK2, the
+//!   SK/ON baselines), and their building blocks;
 //! * [`geom`] — preference-domain geometry: regions, half-spaces,
 //!   arrangements, LP;
 //! * [`rtree`] — the spatial index;
 //! * [`data`] — benchmark datasets and query workloads.
 //!
-//! ## Example
+//! ## Quick start
+//!
+//! Build a [`UtkEngine`](core::engine::UtkEngine) once per dataset,
+//! then describe each query with the
+//! [`UtkQuery`](core::engine::UtkQuery) builder. The engine keeps the
+//! R-tree and memoizes per-`(k, region)` filtering state, so repeated
+//! queries — the production serving pattern — skip the expensive
+//! phases. All entry points return `Result<_, UtkError>`: malformed
+//! input is a typed error, never a panic.
 //!
 //! ```
 //! use utk::prelude::*;
@@ -23,16 +32,32 @@
 //! // Figure 1 of the paper: uncertain top-2 over a region of
 //! // plausible user preferences.
 //! let hotels = utk::data::embedded::figure1_hotels();
+//! let engine = UtkEngine::new(hotels.points.clone())?;
 //! let region = Region::hyperrect(vec![0.05, 0.05], vec![0.45, 0.25]);
 //!
 //! // UTK1: which hotels can make the top-2 at all?
-//! let utk1 = rsa(&hotels.points, &region, 2, &RsaOptions::default());
-//! assert_eq!(utk1.records, vec![0, 1, 3, 5]); // {p1, p2, p4, p6}
+//! let utk1 = engine.run(&UtkQuery::utk1(2).region(region.clone()))?;
+//! assert_eq!(utk1.records(), &[0, 1, 3, 5]); // {p1, p2, p4, p6}
 //!
-//! // UTK2: the exact top-2 set for every possible weight vector.
-//! let utk2 = jaa(&hotels.points, &region, 2, &JaaOptions::default());
-//! assert_eq!(utk2.records, utk1.records);
+//! // UTK2: the exact top-2 set for every possible weight vector —
+//! // served off the memoized r-skyband of the UTK1 query above.
+//! let utk2 = engine.run(&UtkQuery::utk2(2).region(region))?;
+//! assert_eq!(utk2.records(), utk1.records());
+//! assert_eq!(utk2.stats().filter_cache_hits, 1);
+//! # Ok::<(), UtkError>(())
 //! ```
+//!
+//! The query builder selects algorithm ([`Algo`](core::engine::Algo):
+//! RSA, JAA, the SK/ON baselines, or `Auto`), parallelism
+//! (`.parallel(true)`), and generalized scoring (`.scoring(...)`,
+//! §6 of the paper). The pre-engine free functions (`rsa`, `jaa`,
+//! `baseline_utk1`, …) remain available for existing call sites.
+//!
+//! ## Command line
+//!
+//! The `utk` binary answers the same queries over CSV files, with
+//! `--algo` to pick the algorithm and `--json` for machine-readable
+//! output; see `utk help`.
 
 #![warn(missing_docs)]
 
@@ -41,11 +66,14 @@ pub use utk_data as data;
 pub use utk_geom as geom;
 pub use utk_rtree as rtree;
 
-/// Common imports: the two UTK algorithms, the baselines, regions.
+/// Common imports: the engine API, the legacy free functions, regions.
 pub mod prelude {
     pub use utk_core::baseline::{baseline_utk1, baseline_utk2, FilterKind};
+    pub use utk_core::engine::{Algo, QueryKind, QueryResult, TopKResult, UtkEngine, UtkQuery};
+    pub use utk_core::error::UtkError;
     pub use utk_core::jaa::{jaa, jaa_with_tree, JaaOptions, Utk2Cell, Utk2Result};
     pub use utk_core::rsa::{rsa, rsa_with_tree, RsaOptions, Utk1Result};
+    pub use utk_core::scoring::GeneralScoring;
     pub use utk_core::skyband::{k_skyband, r_skyband, CandidateSet};
     pub use utk_core::stats::Stats;
     pub use utk_data::Dataset;

@@ -34,9 +34,17 @@ fn figure_9a_partition_boundary_near_072() {
     let region = Region::hyperrect(vec![0.64], vec![0.74]);
     let res = jaa(&d2.points, &region, 3, &JaaOptions::default());
 
-    let mut early = vec![idx("Russell Westbrook"), idx("Anthony Davis"), idx("Hassan Whiteside")];
+    let mut early = vec![
+        idx("Russell Westbrook"),
+        idx("Anthony Davis"),
+        idx("Hassan Whiteside"),
+    ];
     early.sort_unstable();
-    let mut late = vec![idx("Anthony Davis"), idx("Hassan Whiteside"), idx("Andre Drummond")];
+    let mut late = vec![
+        idx("Anthony Davis"),
+        idx("Hassan Whiteside"),
+        idx("Andre Drummond"),
+    ];
     late.sort_unstable();
 
     for cell in &res.cells {

@@ -93,7 +93,9 @@ fn topk_matches_known_ranking() {
 
 #[test]
 fn generate_pipes_back_into_queries() {
-    let (csv, _, ok) = utk(&["generate", "--dist", "ind", "--n", "50", "--d", "3", "--seed", "5"]);
+    let (csv, _, ok) = utk(&[
+        "generate", "--dist", "ind", "--n", "50", "--d", "3", "--seed", "5",
+    ]);
     assert!(ok);
     assert_eq!(csv.lines().count(), 50);
     let path = std::env::temp_dir().join("utk_cli_test_gen.csv");
@@ -147,6 +149,233 @@ fn helpful_errors() {
     let (_, stderr, ok) = utk(&["frobnicate", "--x", "1"]);
     assert!(!ok);
     assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn malformed_flags_name_the_offender() {
+    let data = hotels_file();
+    let d = data.to_str().unwrap();
+
+    // A flag with its value missing is pinpointed.
+    let (_, stderr, ok) = utk(&["utk1", "--data", d, "--k"]);
+    assert!(!ok);
+    assert!(stderr.contains("--k"), "stderr: {stderr}");
+    assert!(stderr.contains("missing its value"), "stderr: {stderr}");
+
+    // A bare word where a --flag belongs is quoted back.
+    let (_, stderr, ok) = utk(&["utk1", "--data", d, "k", "2"]);
+    assert!(!ok);
+    assert!(stderr.contains("\"k\""), "stderr: {stderr}");
+
+    // Unknown flags are rejected by name.
+    let (_, stderr, ok) = utk(&["utk1", "--data", d, "--frobnicate", "1"]);
+    assert!(!ok);
+    assert!(stderr.contains("--frobnicate"), "stderr: {stderr}");
+
+    // A non-numeric value names the flag it belongs to.
+    let (_, stderr, ok) = utk(&[
+        "utk1", "--data", d, "--k", "2", "--lo", "a,b", "--hi", "1,1",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("--lo"), "stderr: {stderr}");
+
+    // A known flag on a command that never reads it is rejected, not
+    // silently dropped.
+    let (_, stderr, ok) = utk(&[
+        "topk",
+        "--data",
+        d,
+        "--k",
+        "2",
+        "--weights",
+        "0.3,0.5,0.2",
+        "--algo",
+        "sk",
+    ]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--algo") && stderr.contains("topk"),
+        "stderr: {stderr}"
+    );
+    let (_, stderr, ok) = utk(&["generate", "--n", "10", "--json"]);
+    assert!(!ok);
+    assert!(stderr.contains("--json"), "stderr: {stderr}");
+
+    // Inverted, NaN, and negative-width regions are errors, not
+    // panics.
+    let (_, stderr, ok) = utk(&[
+        "utk1", "--data", d, "--k", "2", "--lo", "0.4,0.4", "--hi", "0.1,0.1",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("inverted"), "stderr: {stderr}");
+    let (_, stderr, ok) = utk(&[
+        "utk1", "--data", d, "--k", "2", "--lo", "nan,0.1", "--hi", "0.2,0.2",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("finite"), "stderr: {stderr}");
+    let (_, stderr, ok) = utk(&[
+        "utk1", "--data", d, "--k", "2", "--center", "0.3,0.3", "--width", "-0.2",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("--width"), "stderr: {stderr}");
+
+    // Unnormalized weights are rejected with a typed error.
+    let (_, stderr, ok) = utk(&["topk", "--data", d, "--k", "2", "--weights", "2,3,5"]);
+    assert!(!ok);
+    assert!(stderr.contains("preference domain"), "stderr: {stderr}");
+}
+
+#[test]
+fn algo_flag_selects_algorithms() {
+    let data = hotels_file();
+    let d = data.to_str().unwrap();
+    let base = [
+        "utk1",
+        "--data",
+        d,
+        "--k",
+        "2",
+        "--lo",
+        "0.05,0.05",
+        "--hi",
+        "0.45,0.25",
+    ];
+    for algo in ["auto", "rsa", "jaa", "sk", "on"] {
+        let mut args = base.to_vec();
+        args.extend(["--algo", algo]);
+        let (stdout, _, ok) = utk(&args);
+        assert!(ok, "--algo {algo} failed");
+        for p in ["p1", "p2", "p4", "p6"] {
+            assert!(stdout.contains(p), "--algo {algo}: missing {p} in {stdout}");
+        }
+    }
+
+    // Algorithms that cannot answer UTK2 are typed errors, not panics.
+    let (_, stderr, ok) = utk(&[
+        "utk2",
+        "--data",
+        d,
+        "--k",
+        "2",
+        "--lo",
+        "0.05,0.05",
+        "--hi",
+        "0.45,0.25",
+        "--algo",
+        "sk",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot answer"), "stderr: {stderr}");
+
+    let (_, stderr, ok) = utk(&["utk1", "--data", d, "--k", "2", "--algo", "frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown algorithm"), "stderr: {stderr}");
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let data = hotels_file();
+    let d = data.to_str().unwrap();
+
+    let (stdout, _, ok) = utk(&[
+        "utk1",
+        "--data",
+        d,
+        "--k",
+        "2",
+        "--lo",
+        "0.05,0.05",
+        "--hi",
+        "0.45,0.25",
+        "--json",
+    ]);
+    assert!(ok);
+    // `--algo auto` reports the algorithm that actually answered.
+    assert!(
+        stdout.starts_with(r#"{"query":"utk1","k":2,"algo":"rsa""#),
+        "{stdout}"
+    );
+    for frag in [
+        r#""records":[{"id":0,"name":"p1"}"#,
+        r#"{"id":5,"name":"p6"}"#,
+        r#""stats":{"candidates":"#,
+        r#""filter_cache_hits":0"#,
+    ] {
+        assert!(stdout.contains(frag), "missing {frag} in {stdout}");
+    }
+    assert!(!stdout.contains("p7"));
+
+    let (stdout, _, ok) = utk(&[
+        "utk2",
+        "--data",
+        d,
+        "--k",
+        "2",
+        "--lo",
+        "0.05,0.05",
+        "--hi",
+        "0.45,0.25",
+        "--json",
+    ]);
+    assert!(ok);
+    for frag in [
+        r#""query":"utk2""#,
+        r#""distinct_sets":4"#,
+        r#""cells":[{"interior":["#,
+        r#""top_k":["#,
+    ] {
+        assert!(stdout.contains(frag), "missing {frag} in {stdout}");
+    }
+
+    let (stdout, _, ok) = utk(&[
+        "topk",
+        "--data",
+        d,
+        "--k",
+        "2",
+        "--weights",
+        "0.3,0.5,0.2",
+        "--json",
+    ]);
+    assert!(ok);
+    assert!(
+        stdout
+            .contains(r#""ranking":[{"rank":1,"id":0,"name":"p1"},{"rank":2,"id":1,"name":"p2"}]"#),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn parallel_flag_agrees_with_sequential() {
+    let data = hotels_file();
+    let d = data.to_str().unwrap();
+    let (seq, _, ok1) = utk(&[
+        "utk1",
+        "--data",
+        d,
+        "--k",
+        "2",
+        "--lo",
+        "0.05,0.05",
+        "--hi",
+        "0.45,0.25",
+    ]);
+    let (par, _, ok2) = utk(&[
+        "utk1",
+        "--data",
+        d,
+        "--k",
+        "2",
+        "--lo",
+        "0.05,0.05",
+        "--hi",
+        "0.45,0.25",
+        "--parallel",
+        "--threads",
+        "2",
+    ]);
+    assert!(ok1 && ok2);
+    assert_eq!(seq, par);
 }
 
 #[test]

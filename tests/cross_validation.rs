@@ -12,7 +12,10 @@ use utk::prelude::*;
 fn check_instance(dist: Distribution, n: usize, d: usize, k: usize, sigma: f64, seed: u64) {
     let ds = generate(dist, n, d, seed);
     let tree = RTree::bulk_load(&ds.points);
-    for (qi, qb) in random_regions(d - 1, sigma, 2, seed ^ 0xBEEF).into_iter().enumerate() {
+    for (qi, qb) in random_regions(d - 1, sigma, 2, seed ^ 0xBEEF)
+        .into_iter()
+        .enumerate()
+    {
         let region = Region::hyperrect(qb.lo, qb.hi);
         let r = rsa_with_tree(&ds.points, &tree, &region, k, &RsaOptions::default());
         let j = jaa_with_tree(&ds.points, &tree, &region, k, &JaaOptions::default());

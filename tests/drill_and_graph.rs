@@ -9,12 +9,7 @@ use utk::data::synthetic::{generate, Distribution};
 use utk::geom::pref_score;
 use utk::prelude::*;
 
-fn workload(
-    dist: Distribution,
-    n: usize,
-    d: usize,
-    seed: u64,
-) -> (Vec<Vec<f64>>, RTree, Region) {
+fn workload(dist: Distribution, n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, RTree, Region) {
     let ds = generate(dist, n, d, seed);
     let tree = RTree::bulk_load(&ds.points);
     let lo = vec![0.15; d - 1];
@@ -133,9 +128,12 @@ fn graph_structure_invariants_on_real_workloads() {
 #[test]
 fn drill_hits_short_circuit_most_confirmations() {
     // On correlated data nearly every candidate is confirmed by its
-    // drill; the stats must reflect that (the §4.3 motivation).
-    let (points, tree, region) = workload(Distribution::Cor, 3_000, 3, 60);
-    let res = rsa_with_tree(&points, &tree, &region, 5, &RsaOptions::default());
+    // drill; the stats must reflect that (the §4.3 motivation). The
+    // workload is pinned to one where the r-skyband exceeds k, so
+    // refinement — and with it the drill probe — actually runs.
+    let (points, tree, _) = workload(Distribution::Cor, 5_000, 3, 7);
+    let region = Region::hyperrect(vec![0.15, 0.15], vec![0.35, 0.35]);
+    let res = rsa_with_tree(&points, &tree, &region, 12, &RsaOptions::default());
     assert!(res.stats.drills > 0);
     assert!(
         res.stats.drill_hits * 2 >= res.stats.drills,

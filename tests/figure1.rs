@@ -49,13 +49,21 @@ fn jaa_partitions_match_figure_1b() {
         .iter()
         .min_by(|a, b| a.interior[0].partial_cmp(&b.interior[0]).unwrap())
         .unwrap();
-    assert_eq!(leftmost.top_k, vec![1, 3], "leftmost partition is {{p2, p4}}");
+    assert_eq!(
+        leftmost.top_k,
+        vec![1, 3],
+        "leftmost partition is {{p2, p4}}"
+    );
     let rightmost = res
         .cells
         .iter()
         .max_by(|a, b| a.interior[0].partial_cmp(&b.interior[0]).unwrap())
         .unwrap();
-    assert_eq!(rightmost.top_k, vec![0, 5], "rightmost partition is {{p1, p6}}");
+    assert_eq!(
+        rightmost.top_k,
+        vec![0, 5],
+        "rightmost partition is {{p1, p6}}"
+    );
 }
 
 #[test]
@@ -69,7 +77,10 @@ fn p7_is_skyline_but_not_utk() {
     let sky1 = utk::core::skyband::k_skyband(&hotels.points, &tree, 1, &mut stats);
     assert!(sky1.contains(&6), "p7 must be on the skyline");
     let res = rsa(&hotels.points, &region(), 2, &RsaOptions::default());
-    assert!(!res.records.contains(&6), "p7 must not be in the UTK1 result");
+    assert!(
+        !res.records.contains(&6),
+        "p7 must not be in the UTK1 result"
+    );
 }
 
 #[test]

@@ -41,7 +41,14 @@ fn kspr_full_mode_witnesses_cover_all_oracle_intervals() {
     let region = Region::hyperrect(vec![lo], vec![hi]);
     let mut stats = Stats::new();
     for i in 0..ds.points.len() as u32 {
-        let res = kspr(&ds.points, i as usize, &region, k, KsprMode::Full, &mut stats);
+        let res = kspr(
+            &ds.points,
+            i as usize,
+            &region,
+            k,
+            KsprMode::Full,
+            &mut stats,
+        );
         // Maximal runs of consecutive oracle intervals containing i:
         // their boundaries are crossings involving i itself (only
         // those change i's rank), which are exactly where kSPR's

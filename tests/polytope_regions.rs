@@ -36,7 +36,11 @@ fn rsa_on_triangle_region() {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(6);
     for _ in 0..300 {
         let (a, b): (f64, f64) = (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
-        let (a, b) = if a + b > 1.0 { (1.0 - a, 1.0 - b) } else { (a, b) };
+        let (a, b) = if a + b > 1.0 {
+            (1.0 - a, 1.0 - b)
+        } else {
+            (a, b)
+        };
         let w = [0.1 + 0.3 * a, 0.1 + 0.3 * b];
         debug_assert!(region.contains(&w));
         for id in top_k_brute(&ds.points, &w, k) {
