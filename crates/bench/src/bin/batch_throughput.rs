@@ -1,0 +1,123 @@
+//! Batch-serving figure: `UtkEngine::run_many` vs a per-query `run`
+//! loop on workloads with realistic query locality (several users
+//! asking about the same `(k, region)`), the batching follow-up of
+//! the ROADMAP's millions-of-users north star.
+//!
+//! Usage: `cargo run --release -p utk-bench --bin batch_throughput
+//! [--scale f] [--queries n] [--seed s]`
+//!
+//! Prints the Markdown table and records raw numbers in
+//! `BENCH_BATCH_THROUGHPUT.json` in the working directory.
+
+use std::time::Instant;
+use utk_bench::{query_workload, secs, Config, Table};
+use utk_core::prelude::*;
+use utk_data::synthetic::{generate, Distribution};
+use utk_geom::Region;
+
+const D: usize = 3;
+const K: usize = 10;
+/// Queries per distinct region in the batch (locality factor).
+const DUPLICATES: [usize; 3] = [1, 4, 16];
+
+fn main() {
+    let cfg = Config::from_args();
+    let n = cfg.n(400_000);
+    let points = generate(Distribution::Ind, n, D, cfg.seed).points;
+    let distinct = query_workload(D, 0.01, &cfg);
+
+    let mut table = Table::new(vec![
+        "dup",
+        "queries",
+        "groups",
+        "loop run()",
+        "run_many()",
+        "speedup",
+    ]);
+    let mut rows_json = Vec::new();
+
+    for &dup in &DUPLICATES {
+        let queries: Vec<UtkQuery> = distinct
+            .iter()
+            .flat_map(|qb| {
+                let region = Region::hyperrect(qb.lo.clone(), qb.hi.clone());
+                (0..dup).map(move |i| {
+                    // Alternate kinds within a group: same filter, two
+                    // refinement pipelines.
+                    if i % 2 == 0 {
+                        UtkQuery::utk1(K).region(region.clone())
+                    } else {
+                        UtkQuery::utk2(K).region(region.clone())
+                    }
+                })
+            })
+            .collect();
+
+        // Fresh engines per arm: each pays its own cold caches.
+        let loop_engine = UtkEngine::new(points.clone()).expect("bench dataset");
+        let t0 = Instant::now();
+        let loop_results: Vec<_> = queries.iter().map(|q| loop_engine.run(q)).collect();
+        let loop_secs = t0.elapsed().as_secs_f64();
+
+        let batch_engine = UtkEngine::new(points.clone()).expect("bench dataset");
+        let t0 = Instant::now();
+        let batch_results = batch_engine.run_many(&queries);
+        let batch_secs = t0.elapsed().as_secs_f64();
+
+        let groups = batch_results
+            .iter()
+            .flatten()
+            .map(|r| r.stats().batch_group_count)
+            .next()
+            .unwrap_or(0);
+        for (a, b) in loop_results.iter().zip(&batch_results) {
+            let (a, b) = (
+                a.as_ref().expect("loop query"),
+                b.as_ref().expect("batch query"),
+            );
+            assert_eq!(a.records(), b.records(), "batch answer diverged");
+        }
+
+        let speedup = loop_secs / batch_secs;
+        table.row(vec![
+            dup.to_string(),
+            queries.len().to_string(),
+            groups.to_string(),
+            secs(loop_secs),
+            secs(batch_secs),
+            format!("{speedup:.2}x"),
+        ]);
+        rows_json.push(format!(
+            concat!(
+                r#"{{"duplicates":{},"queries":{},"groups":{},"loop_seconds":{:.6},"#,
+                r#""run_many_seconds":{:.6},"speedup":{:.3}}}"#
+            ),
+            dup,
+            queries.len(),
+            groups,
+            loop_secs,
+            batch_secs,
+            speedup
+        ));
+    }
+
+    println!("Batch throughput (IND, n = {n}, d = {D}, k = {K}, sigma = 1%)");
+    table.print();
+
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let json = format!(
+        concat!(
+            r#"{{"figure":"batch_throughput","dataset":"IND","n":{},"d":{},"k":{},"#,
+            r#""distinct_regions":{},"seed":{},"available_parallelism":{},"rows":[{}]}}"#
+        ),
+        n,
+        D,
+        K,
+        distinct.len(),
+        cfg.seed,
+        cores,
+        rows_json.join(",")
+    );
+    std::fs::write("BENCH_BATCH_THROUGHPUT.json", json + "\n").expect("write figure json");
+    eprintln!("wrote BENCH_BATCH_THROUGHPUT.json (available_parallelism = {cores})");
+}

@@ -1,0 +1,120 @@
+//! Parallel-JAA scaling figure: sequential JAA vs the work-stealing
+//! parallel driver at 1/2/4 threads, d = 3, k = 10, ANTI data — the
+//! engine-follow-up figure beyond the paper's §7 battery.
+//!
+//! Usage: `cargo run --release -p utk-bench --bin parallel_jaa
+//! [--scale f] [--queries n] [--seed s]`
+//!
+//! Prints the Markdown table and records the raw numbers (plus the
+//! cell-identity check against the sequential run) in
+//! `BENCH_PARALLEL_JAA.json` in the working directory.
+
+use std::time::Instant;
+use utk_bench::{query_workload, secs, Config, Table};
+use utk_core::prelude::*;
+use utk_data::synthetic::{generate, Distribution};
+use utk_geom::Region;
+
+const D: usize = 3;
+const K: usize = 10;
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn main() {
+    let cfg = Config::from_args();
+    let n = cfg.n(400_000);
+    let points = generate(Distribution::Anti, n, D, cfg.seed).points;
+    let regions = query_workload(D, 0.05, &cfg);
+
+    // One cache-less engine per thread count so every measurement pays
+    // full per-query cost on its own persistent pool.
+    let seq_engine = UtkEngine::new(points.clone())
+        .expect("bench dataset")
+        .without_filter_cache();
+
+    let mut seq_total = 0.0f64;
+    let mut seq_cells = Vec::new();
+    for qb in &regions {
+        let region = Region::hyperrect(qb.lo.clone(), qb.hi.clone());
+        let t0 = Instant::now();
+        let r = seq_engine.utk2(&region, K).expect("sequential JAA");
+        seq_total += t0.elapsed().as_secs_f64();
+        seq_cells.push(
+            r.cells
+                .iter()
+                .map(|c| (c.interior.clone(), c.top_k.clone()))
+                .collect::<Vec<_>>(),
+        );
+    }
+    let seq_mean = seq_total / regions.len() as f64;
+
+    let mut table = Table::new(vec!["threads", "mean time", "speedup", "cells identical"]);
+    table.row(vec![
+        "seq".to_string(),
+        secs(seq_mean),
+        "1.00x".to_string(),
+        "-".to_string(),
+    ]);
+
+    let mut rows_json = Vec::new();
+    for &threads in &THREADS {
+        let engine = UtkEngine::new(points.clone())
+            .expect("bench dataset")
+            .without_filter_cache()
+            .with_pool_threads(threads);
+        let mut total = 0.0f64;
+        let mut identical = true;
+        let mut stolen = 0usize;
+        for (qi, qb) in regions.iter().enumerate() {
+            let region = Region::hyperrect(qb.lo.clone(), qb.hi.clone());
+            let query = UtkQuery::utk2(K).region(region).parallel(true);
+            let t0 = Instant::now();
+            let res = engine.run(&query).expect("parallel JAA");
+            total += t0.elapsed().as_secs_f64();
+            let cells = res.cells().expect("utk2 cells");
+            identical &= cells.len() == seq_cells[qi].len()
+                && cells
+                    .iter()
+                    .zip(&seq_cells[qi])
+                    .all(|(c, (i, t))| &c.interior == i && &c.top_k == t);
+            stolen += res.stats().stolen_tasks;
+        }
+        let mean = total / regions.len() as f64;
+        let speedup = seq_mean / mean;
+        table.row(vec![
+            threads.to_string(),
+            secs(mean),
+            format!("{speedup:.2}x"),
+            identical.to_string(),
+        ]);
+        rows_json.push(format!(
+            concat!(
+                r#"{{"threads":{},"mean_seconds":{:.6},"speedup_vs_sequential":{:.3},"#,
+                r#""cells_identical_to_sequential":{},"stolen_tasks":{}}}"#
+            ),
+            threads, mean, speedup, identical, stolen
+        ));
+        assert!(identical, "parallel cells diverged at {threads} threads");
+    }
+
+    println!("Parallel JAA (ANTI, n = {n}, d = {D}, k = {K}, sigma = 5%)");
+    table.print();
+
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let json = format!(
+        concat!(
+            r#"{{"figure":"parallel_jaa","dataset":"ANTI","n":{},"d":{},"k":{},"sigma":0.05,"#,
+            r#""queries":{},"seed":{},"available_parallelism":{},"#,
+            r#""sequential_mean_seconds":{:.6},"parallel":[{}]}}"#
+        ),
+        n,
+        D,
+        K,
+        regions.len(),
+        cfg.seed,
+        cores,
+        seq_mean,
+        rows_json.join(",")
+    );
+    std::fs::write("BENCH_PARALLEL_JAA.json", json + "\n").expect("write figure json");
+    eprintln!("wrote BENCH_PARALLEL_JAA.json (available_parallelism = {cores})");
+}

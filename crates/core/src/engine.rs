@@ -13,7 +13,10 @@
 //!   repeating a region with a different algorithm, or re-running a
 //!   query, skips the filtering phase entirely;
 //! * generalized-scoring transforms (§6) of the dataset, and their
-//!   R-trees, are memoized the same way.
+//!   R-trees, are memoized the same way;
+//! * a persistent work-stealing [`ThreadPool`] is built lazily for
+//!   parallel queries ([`UtkQuery::parallel`]) and batches
+//!   ([`UtkEngine::run_many`]) — never one per query.
 //!
 //! Queries are described by the [`UtkQuery`] builder and return a
 //! typed [`QueryResult`] carrying [`Stats`]; every entry point returns
@@ -46,11 +49,12 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::baseline::{baseline_utk1, FilterKind};
 use crate::error::UtkError;
-use crate::jaa::{jaa_refine, records_of, JaaOptions, Utk2Cell, Utk2Result};
+use crate::jaa::{jaa_parallel_refine, jaa_refine, records_of, JaaOptions, Utk2Cell, Utk2Result};
+use crate::parallel::ThreadPool;
 use crate::rsa::{rsa_refine, RsaOptions, Utk1Result};
 use crate::scoring::GeneralScoring;
 use crate::skyband::{r_skyband, CandidateSet};
@@ -226,15 +230,25 @@ impl UtkQuery {
         self
     }
 
-    /// Fans RSA refinement out over worker threads (UTK1 only; JAA and
-    /// the baselines are sequential). Defaults to off.
+    /// Fans refinement out over the engine's worker pool: RSA verifies
+    /// candidates concurrently (UTK1) and JAA work-steals partition
+    /// tasks (UTK2), with output identical to the sequential runs.
+    /// The baselines stay sequential. Defaults to off.
     pub fn parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
         self
     }
 
-    /// Worker thread count for [`UtkQuery::parallel`]; 0 (the default)
-    /// uses one thread per available core.
+    /// Worker thread count. Engine queries run on the engine's
+    /// persistent pool, sized once via
+    /// [`UtkEngine::with_pool_threads`] — a per-query count has no
+    /// effect there, which is why this builder is deprecated rather
+    /// than silently honored sometimes.
+    #[deprecated(
+        since = "0.1.0",
+        note = "engine queries run on the engine's persistent pool; \
+                size it with UtkEngine::with_pool_threads instead"
+    )]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
@@ -320,6 +334,14 @@ impl QueryResult {
         }
     }
 
+    fn stats_mut(&mut self) -> &mut Stats {
+        match self {
+            QueryResult::Utk1(r) => &mut r.stats,
+            QueryResult::Utk2(r) => &mut r.stats,
+            QueryResult::TopK(r) => &mut r.stats,
+        }
+    }
+
     /// The UTK2 partitioning, when this is a UTK2 result.
     pub fn cells(&self) -> Option<&[Utk2Cell]> {
         match self {
@@ -364,7 +386,7 @@ enum RegionInterior {
 
 /// Borrowed-or-cached access to a scoring's dataset view.
 enum DataRef<'a> {
-    Base(&'a UtkEngine),
+    Base(&'a EngineInner),
     Transformed(Arc<Scored>),
 }
 
@@ -393,6 +415,32 @@ struct FilterKey {
     pivot_order: bool,
     scoring: ScoringKey,
     region: Vec<u64>,
+}
+
+impl FilterKey {
+    /// The filter identity of a query: everything its r-skyband
+    /// output depends on. Shared by the cache lookup and `run_many`'s
+    /// grouping so "same group" always means "same cache entry".
+    fn of(query: &UtkQuery) -> Self {
+        FilterKey {
+            k: query.k,
+            pivot_order: query.pivot_order(),
+            // An all-identity scoring computes exactly what no scoring
+            // does: normalize both to the empty key so they share
+            // entries.
+            scoring: query
+                .scoring
+                .as_ref()
+                .filter(|s| !s.is_identity())
+                .map(|s| s.fingerprint())
+                .unwrap_or_default(),
+            region: query
+                .region
+                .as_ref()
+                .map(region_fingerprint)
+                .unwrap_or_default(),
+        }
+    }
 }
 
 /// Identity of a memoized scoring transform (empty = plain linear).
@@ -453,13 +501,12 @@ pub(crate) fn check_region(region: &Region, dp: usize) -> Result<(), UtkError> {
     Ok(())
 }
 
-/// The build-once / query-many UTK engine. See the [module
-/// docs](crate::engine) for the overall picture and an example.
-///
-/// The engine is `Sync`: one instance can serve queries from many
-/// threads, sharing its caches.
+/// The engine's shared state: one allocation behind the [`UtkEngine`]
+/// handle, so clones of the handle (and [`UtkEngine::run_many`] batch
+/// jobs on the worker pool) all serve the same dataset, caches and
+/// pool.
 #[derive(Debug)]
-pub struct UtkEngine {
+struct EngineInner {
     points: Vec<Vec<f64>>,
     dim: usize,
     tree: RTree,
@@ -468,6 +515,32 @@ pub struct UtkEngine {
     scoring_cache: Mutex<HashMap<ScoringKey, Arc<Scored>>>,
     filter_hits: AtomicUsize,
     filter_misses: AtomicUsize,
+    /// Requested pool size (0 = one worker per available core);
+    /// applied when the pool is first needed.
+    pool_threads_cfg: usize,
+    /// The persistent worker pool, built lazily on the first parallel
+    /// query or batch — sequential engines never spawn threads.
+    pool: OnceLock<Arc<ThreadPool>>,
+    /// How many pools this engine ever built (regression guard: must
+    /// never exceed 1).
+    pool_builds: AtomicUsize,
+}
+
+/// The build-once / query-many UTK engine. See the [module
+/// docs](crate::engine) for the overall picture and an example.
+///
+/// The engine is `Sync`: one instance can serve queries from many
+/// threads, sharing its caches. It is also cheap to `Clone` — clones
+/// are handles onto the same dataset, caches and worker pool.
+///
+/// Parallel queries ([`UtkQuery::parallel`]) and batches
+/// ([`UtkEngine::run_many`]) run on a persistent work-stealing
+/// [`ThreadPool`] owned by the engine, built lazily on first use and
+/// sized by [`UtkEngine::with_pool_threads`] (default: one worker per
+/// available core). No engine query ever constructs a pool per query.
+#[derive(Debug, Clone)]
+pub struct UtkEngine {
+    inner: Arc<EngineInner>,
 }
 
 impl UtkEngine {
@@ -495,14 +568,19 @@ impl UtkEngine {
         }
         let tree = RTree::bulk_load(&points);
         Ok(Self {
-            points,
-            dim,
-            tree,
-            cache_enabled: true,
-            filter_cache: Mutex::new(HashMap::new()),
-            scoring_cache: Mutex::new(HashMap::new()),
-            filter_hits: AtomicUsize::new(0),
-            filter_misses: AtomicUsize::new(0),
+            inner: Arc::new(EngineInner {
+                points,
+                dim,
+                tree,
+                cache_enabled: true,
+                filter_cache: Mutex::new(HashMap::new()),
+                scoring_cache: Mutex::new(HashMap::new()),
+                filter_hits: AtomicUsize::new(0),
+                filter_misses: AtomicUsize::new(0),
+                pool_threads_cfg: 0,
+                pool: OnceLock::new(),
+                pool_builds: AtomicUsize::new(0),
+            }),
         })
     }
 
@@ -513,15 +591,57 @@ impl UtkEngine {
 
     /// Disables the r-skyband/scoring memoization: every query
     /// recomputes its filtering from scratch. Useful for benchmarks
-    /// that measure per-query cost.
+    /// that measure per-query cost. Builder-style: call right after
+    /// construction, before the engine is cloned or queried.
     pub fn without_filter_cache(mut self) -> Self {
-        self.cache_enabled = false;
+        Arc::get_mut(&mut self.inner)
+            .expect("without_filter_cache must be called before the engine is cloned")
+            .cache_enabled = false;
         self
+    }
+
+    /// Sizes the worker pool backing parallel queries and
+    /// [`UtkEngine::run_many`] (0 = one worker per available core, the
+    /// default). Builder-style: call right after construction, before
+    /// the first parallel query builds the pool.
+    pub fn with_pool_threads(mut self, threads: usize) -> Self {
+        let inner = Arc::get_mut(&mut self.inner)
+            .expect("with_pool_threads must be called before the engine is cloned");
+        assert!(
+            inner.pool.get().is_none(),
+            "with_pool_threads must be called before the pool is first used"
+        );
+        inner.pool_threads_cfg = threads;
+        self
+    }
+
+    /// The engine's persistent worker pool, built on first use.
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        self.inner.pool.get_or_init(|| {
+            self.inner.pool_builds.fetch_add(1, Ordering::Relaxed);
+            Arc::new(ThreadPool::new(self.inner.pool_threads_cfg))
+        })
+    }
+
+    /// Worker threads the engine's pool has (or will have once built).
+    pub fn pool_threads(&self) -> usize {
+        match self.inner.pool.get() {
+            Some(pool) => pool.threads(),
+            None if self.inner.pool_threads_cfg != 0 => self.inner.pool_threads_cfg,
+            None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+
+    /// How many worker pools this engine ever constructed: 0 before
+    /// the first parallel query, 1 after — never more (the regression
+    /// the counter guards against is per-query pool construction).
+    pub fn pool_builds(&self) -> usize {
+        self.inner.pool_builds.load(Ordering::Relaxed)
     }
 
     /// Number of records.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.inner.points.len()
     }
 
     /// Always false: empty datasets are rejected at construction.
@@ -531,31 +651,31 @@ impl UtkEngine {
 
     /// Dataset dimensionality `d`.
     pub fn dim(&self) -> usize {
-        self.dim
+        self.inner.dim
     }
 
     /// The owned dataset.
     pub fn points(&self) -> &[Vec<f64>] {
-        &self.points
+        &self.inner.points
     }
 
     /// The R-tree over the (untransformed) dataset.
     pub fn tree(&self) -> &RTree {
-        &self.tree
+        &self.inner.tree
     }
 
     /// `(hits, misses)` of the r-skyband cache over this engine's
     /// lifetime.
     pub fn filter_cache_counters(&self) -> (usize, usize) {
         (
-            self.filter_hits.load(Ordering::Relaxed),
-            self.filter_misses.load(Ordering::Relaxed),
+            self.inner.filter_hits.load(Ordering::Relaxed),
+            self.inner.filter_misses.load(Ordering::Relaxed),
         )
     }
 
     /// Number of memoized r-skyband candidate sets currently held.
     pub fn cached_filters(&self) -> usize {
-        self.filter_cache.lock().expect("cache lock").len()
+        self.inner.filter_cache.lock().expect("cache lock").len()
     }
 
     /// Runs a query, returning its typed result.
@@ -568,6 +688,89 @@ impl UtkEngine {
             QueryKind::Utk1 => self.run_utk1(query).map(QueryResult::Utk1),
             QueryKind::Utk2 => self.run_utk2(query).map(QueryResult::Utk2),
         }
+    }
+
+    /// Answers a batch of queries, returning per-query results **in
+    /// input order** — element `i` is exactly what `run(&queries[i])`
+    /// returns, including per-query errors (one malformed query never
+    /// aborts or poisons its siblings).
+    ///
+    /// Queries are grouped by `(k, region, scoring)` so each group
+    /// pays the filter-cache lock and the r-skyband prefiltering once,
+    /// and groups execute concurrently on the engine's worker pool.
+    /// Each successful result's [`Stats::batch_group_count`] records
+    /// how many groups the batch split into.
+    pub fn run_many(&self, queries: &[UtkQuery]) -> Vec<Result<QueryResult, UtkError>> {
+        // Group by filter identity: same-group queries reuse one
+        // memoized r-skyband and never race on the same cache miss.
+        // Top-k queries never touch the filter, so grouping them would
+        // only serialize independent work — they fan out one per slot.
+        let mut group_of: HashMap<FilterKey, usize> = HashMap::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (i, query) in queries.iter().enumerate() {
+            if query.kind == QueryKind::TopK {
+                groups.push(vec![i]);
+                continue;
+            }
+            match group_of.get(&FilterKey::of(query)) {
+                Some(&g) => groups[g].push(i),
+                None => {
+                    group_of.insert(FilterKey::of(query), groups.len());
+                    groups.push(vec![i]);
+                }
+            }
+        }
+        let group_count = groups.len();
+
+        // One pre-allocated slot per query keeps answers in input
+        // order however the groups are scheduled.
+        type Slots = Vec<Mutex<Option<Result<QueryResult, UtkError>>>>;
+        let mut out: Vec<Result<QueryResult, UtkError>> = if queries.len() <= 1 {
+            // A batch of one needs no pool.
+            queries.iter().map(|q| self.run(q)).collect()
+        } else {
+            let slots: Arc<Slots> = Arc::new(queries.iter().map(|_| Mutex::new(None)).collect());
+            let set = self.pool().task_set();
+            for members in groups {
+                let engine = self.clone();
+                let batch: Vec<UtkQuery> = members.iter().map(|&i| queries[i].clone()).collect();
+                let slots = Arc::clone(&slots);
+                let nested = set.clone();
+                set.spawn(move || {
+                    // Warm-then-fan-out: the group's first query pays
+                    // the filter miss; the rest are independent
+                    // cache hits, so they go back to the pool instead
+                    // of serializing on this worker.
+                    let mut members = members.into_iter().zip(batch);
+                    if let Some((slot, query)) = members.next() {
+                        let result = engine.run(&query);
+                        *slots[slot].lock().expect("batch result slot") = Some(result);
+                    }
+                    for (slot, query) in members {
+                        let engine = engine.clone();
+                        let slots = Arc::clone(&slots);
+                        nested.spawn(move || {
+                            let result = engine.run(&query);
+                            *slots[slot].lock().expect("batch result slot") = Some(result);
+                        });
+                    }
+                });
+            }
+            set.wait();
+            slots
+                .iter()
+                .map(|slot| {
+                    slot.lock()
+                        .expect("batch result slot")
+                        .take()
+                        .expect("every batch slot is filled before wait() returns")
+                })
+                .collect()
+        };
+        for result in out.iter_mut().flatten() {
+            result.stats_mut().batch_group_count = group_count;
+        }
+        out
     }
 
     /// Convenience: UTK1 with default options.
@@ -623,10 +826,10 @@ impl UtkEngine {
                 what: "weight vector",
             });
         }
-        let dp = self.dim - 1;
+        let dp = self.inner.dim - 1;
         let reduced = if weights.len() == dp {
             weights
-        } else if weights.len() == self.dim {
+        } else if weights.len() == self.inner.dim {
             // Full d-weight form: the dropped last weight must be the
             // implied 1 − Σ of the others, or the caller's intent and
             // the ranking would silently disagree.
@@ -711,7 +914,7 @@ impl UtkEngine {
             .region
             .as_ref()
             .ok_or(UtkError::MissingParameter { what: "region" })?;
-        check_region(region, self.dim - 1)?;
+        check_region(region, self.inner.dim - 1)?;
         Ok(region)
     }
 
@@ -765,6 +968,8 @@ impl UtkEngine {
             records.sort_unstable();
             records
         } else if query.parallel {
+            // The engine's persistent pool: thread count is resolved
+            // once at pool construction, never per query.
             crate::parallel::rsa_parallel_refine(
                 &cands,
                 region,
@@ -772,7 +977,7 @@ impl UtkEngine {
                 slack,
                 k,
                 &query.rsa_options,
-                query.threads,
+                self.pool(),
                 &mut stats,
             )
         } else {
@@ -825,15 +1030,28 @@ impl UtkEngine {
                 stats,
             });
         }
-        let cells = jaa_refine(
-            &cands,
-            region,
-            &interior,
-            slack,
-            k,
-            &query.jaa_options,
-            &mut stats,
-        );
+        let cells = if query.parallel {
+            jaa_parallel_refine(
+                &cands,
+                region,
+                &interior,
+                slack,
+                k,
+                &query.jaa_options,
+                self.pool(),
+                &mut stats,
+            )
+        } else {
+            jaa_refine(
+                &cands,
+                region,
+                &interior,
+                slack,
+                k,
+                &query.jaa_options,
+                &mut stats,
+            )
+        };
         let records = records_of(&cells);
         Ok(Utk2Result {
             cells,
@@ -852,7 +1070,7 @@ impl UtkEngine {
         query: &UtkQuery,
     ) -> Result<(Arc<CandidateSet>, Stats), UtkError> {
         let mut stats = Stats::new();
-        if !self.cache_enabled {
+        if !self.inner.cache_enabled {
             let cands = r_skyband(
                 data.points(),
                 data.tree(),
@@ -863,26 +1081,29 @@ impl UtkEngine {
             );
             return Ok((Arc::new(cands), stats));
         }
-        // An all-identity scoring computes exactly what no scoring
-        // does: normalize both to the empty key so they share entries.
-        let key = FilterKey {
-            k: query.k,
-            pivot_order: query.pivot_order(),
-            scoring: query
-                .scoring
+        debug_assert_eq!(
+            region_fingerprint(region),
+            query
+                .region
                 .as_ref()
-                .filter(|s| !s.is_identity())
-                .map(|s| s.fingerprint())
+                .map(region_fingerprint)
                 .unwrap_or_default(),
-            region: region_fingerprint(region),
-        };
-        if let Some(hit) = self.filter_cache.lock().expect("cache lock").get(&key) {
-            self.filter_hits.fetch_add(1, Ordering::Relaxed);
+            "candidates() must be keyed on the query's own region"
+        );
+        let key = FilterKey::of(query);
+        if let Some(hit) = self
+            .inner
+            .filter_cache
+            .lock()
+            .expect("cache lock")
+            .get(&key)
+        {
+            self.inner.filter_hits.fetch_add(1, Ordering::Relaxed);
             stats.filter_cache_hits = 1;
             stats.candidates = hit.len();
             return Ok((Arc::clone(hit), stats));
         }
-        self.filter_misses.fetch_add(1, Ordering::Relaxed);
+        self.inner.filter_misses.fetch_add(1, Ordering::Relaxed);
         let cands = Arc::new(r_skyband(
             data.points(),
             data.tree(),
@@ -891,7 +1112,7 @@ impl UtkEngine {
             query.pivot_order(),
             &mut stats,
         ));
-        let mut cache = self.filter_cache.lock().expect("cache lock");
+        let mut cache = self.inner.filter_cache.lock().expect("cache lock");
         if cache.len() >= FILTER_CACHE_CAPACITY {
             // Arbitrary single eviction keeps the bound without a full
             // LRU; fine at this capacity.
@@ -908,25 +1129,31 @@ impl UtkEngine {
     /// otherwise.
     fn data_for(&self, scoring: Option<&GeneralScoring>) -> Result<DataRef<'_>, UtkError> {
         let Some(scoring) = scoring else {
-            return Ok(DataRef::Base(self));
+            return Ok(DataRef::Base(&self.inner));
         };
-        if scoring.dim() != self.dim {
+        if scoring.dim() != self.inner.dim {
             return Err(UtkError::DimensionMismatch {
                 what: "scoring function",
-                expected: self.dim,
+                expected: self.inner.dim,
                 got: scoring.dim(),
             });
         }
         if scoring.is_identity() {
-            return Ok(DataRef::Base(self));
+            return Ok(DataRef::Base(&self.inner));
         }
         let key = scoring.fingerprint();
-        if self.cache_enabled {
-            if let Some(hit) = self.scoring_cache.lock().expect("cache lock").get(&key) {
+        if self.inner.cache_enabled {
+            if let Some(hit) = self
+                .inner
+                .scoring_cache
+                .lock()
+                .expect("cache lock")
+                .get(&key)
+            {
                 return Ok(DataRef::Transformed(Arc::clone(hit)));
             }
         }
-        let points = scoring.transform(&self.points);
+        let points = scoring.transform(&self.inner.points);
         if points.iter().any(|p| p.iter().any(|x| !x.is_finite())) {
             return Err(UtkError::NonFiniteInput {
                 what: "transformed dataset (scoring function)",
@@ -934,8 +1161,8 @@ impl UtkEngine {
         }
         let tree = RTree::bulk_load(&points);
         let scored = Arc::new(Scored { points, tree });
-        if self.cache_enabled {
-            let mut cache = self.scoring_cache.lock().expect("cache lock");
+        if self.inner.cache_enabled {
+            let mut cache = self.inner.scoring_cache.lock().expect("cache lock");
             if cache.len() >= SCORING_CACHE_CAPACITY {
                 if let Some(victim) = cache.keys().next().cloned() {
                     cache.remove(&victim);

@@ -19,10 +19,23 @@
 //! The recursion's leaf partitions — all equal-to — tile `R` and form
 //! the UTK2 answer: the exact top-k set for every possible weight
 //! vector in `R`.
+//!
+//! The recursion is materialized as an explicit task model
+//! ([`PartitionTask`]/[`expand`]): a task is one `Partition` call,
+//! its children are the leaves needing further work. The sequential
+//! driver runs tasks depth-first on one thread; the parallel driver
+//! ([`jaa_parallel`], or [`crate::engine::UtkQuery::parallel`] on an
+//! engine) work-steals them across a
+//! [`crate::parallel::ThreadPool`]. Both produce cell-for-cell
+//! identical output: tasks are pure functions of their inputs, and
+//! cells are tagged with their position in the partition tree and
+//! sorted back into depth-first order.
 
 use crate::drill::graph_top_k;
+use crate::parallel::ThreadPool;
 use crate::skyband::{prefilter, CandidateSet, Prefilter};
 use crate::stats::Stats;
+use std::sync::{Arc, Mutex};
 use utk_geom::{Arrangement, CellId, Region};
 use utk_rtree::RTree;
 
@@ -112,6 +125,73 @@ pub fn jaa_with_tree(
     k: usize,
     opts: &JaaOptions,
 ) -> Utk2Result {
+    jaa_driver(
+        points,
+        tree,
+        region,
+        k,
+        opts,
+        |cands, interior, slack, stats| {
+            jaa_refine(&cands, region, &interior, slack, k, opts, stats)
+        },
+    )
+}
+
+/// Runs UTK2 via JAA with the partition refinement fanned out over
+/// `threads` worker threads (0 = one per available core). Builds a
+/// fresh R-tree *and a fresh one-shot pool*; cell-for-cell identical
+/// to [`jaa`].
+///
+/// Legacy convenience: panics on malformed input. Prefer
+/// [`crate::engine::UtkEngine`] with
+/// [`crate::engine::UtkQuery::parallel`], which returns typed errors
+/// and runs on the engine's persistent pool instead of constructing
+/// one per query.
+pub fn jaa_parallel(
+    points: &[Vec<f64>],
+    region: &Region,
+    k: usize,
+    opts: &JaaOptions,
+    threads: usize,
+) -> Utk2Result {
+    let tree = RTree::bulk_load(points);
+    jaa_driver(
+        points,
+        &tree,
+        region,
+        k,
+        opts,
+        |cands, interior, slack, stats| {
+            let pool = ThreadPool::new(threads);
+            jaa_parallel_refine(
+                &Arc::new(cands),
+                region,
+                &interior,
+                slack,
+                k,
+                opts,
+                &pool,
+                stats,
+            )
+        },
+    )
+}
+
+/// The shared JAA pipeline: validate, prefilter, handle the
+/// degenerate/trivial shortcuts, and hand real work to `refine` (the
+/// sequential worklist or a pool driver). One body keeps the two
+/// entry points incapable of diverging anywhere but the refine step.
+fn jaa_driver<F>(
+    points: &[Vec<f64>],
+    tree: &RTree,
+    region: &Region,
+    k: usize,
+    opts: &JaaOptions,
+    refine: F,
+) -> Utk2Result
+where
+    F: FnOnce(CandidateSet, Vec<f64>, f64, &mut Stats) -> Vec<Utk2Cell>,
+{
     assert!(k >= 1, "k must be positive");
     let d = points[0].len();
     crate::rsa::validate_region(region, d - 1);
@@ -133,7 +213,7 @@ pub fn jaa_with_tree(
             cands,
             interior,
             slack,
-        } => jaa_refine(&cands, region, &interior, slack, k, opts, &mut stats),
+        } => refine(cands, interior, slack, &mut stats),
     };
     let records = records_of(&cells);
     Utk2Result {
@@ -152,34 +232,44 @@ pub(crate) fn records_of(cells: &[Utk2Cell]) -> Vec<u32> {
     records
 }
 
-/// JAA's refinement step (§5) over an already-filtered candidate set:
-/// grows the common arrangement from the initial anchor and returns
-/// the finalized partitions tiling `region`. Shared between the legacy
-/// entry points and [`crate::engine::UtkEngine`], whose cache hands in
-/// memoized candidate sets.
-pub(crate) fn jaa_refine(
+/// One pending `Partition` call (Algorithm 4) in the explicit task
+/// model: everything the call needs, owned, so tasks can run on any
+/// worker of a [`ThreadPool`] — or one at a time on the caller.
+///
+/// `path` is the task's position in the partition tree (the leaf
+/// index at every split along the way). Paths are prefix-free across
+/// finalized cells, and their lexicographic order equals the
+/// depth-first order of the original recursion — sorting cells by
+/// path makes the output independent of execution order, so the
+/// parallel driver is cell-for-cell identical to the sequential one.
+struct PartitionTask {
+    anchor: u32,
+    region: Region,
+    interior: Vec<f64>,
+    slack: f64,
+    quota: usize,
+    excluded: Vec<bool>,
+    known_above: Vec<u32>,
+    path: Vec<u32>,
+}
+
+/// Builds the root task: the §5.1 initial anchor (k-th scorer at R's
+/// pivot) over the whole region.
+fn root_task(
     cands: &CandidateSet,
-    region: &Region,
-    base_interior: &[f64],
-    base_slack: f64,
     k: usize,
     opts: &JaaOptions,
     stats: &mut Stats,
-) -> Vec<Utk2Cell> {
+    region: &Region,
+    interior: &[f64],
+    slack: f64,
+) -> PartitionTask {
     let n = cands.len();
-    debug_assert!(n > k);
-    let mut ctx = Ctx {
-        cands,
-        k,
-        opts,
-        stats,
-        none_removed: vec![false; n],
-        out: Vec::new(),
-    };
-
-    // Initial anchor: the k-th scorer at R's pivot (§5.1).
     let pivot = region.pivot().expect("non-empty region");
-    let anchor = ctx.pick_anchor(&pivot);
+    stats.drills += 1;
+    let top = graph_top_k(cands, &pivot, k, &vec![false; n]);
+    debug_assert_eq!(top.len(), k);
+    let anchor = if opts.kth_anchor { top[k - 1] } else { top[0] };
     let mut excluded = vec![false; n];
     excluded[anchor as usize] = true;
     let known_above: Vec<u32> = cands.graph.ancestors(anchor).to_vec();
@@ -190,159 +280,121 @@ pub(crate) fn jaa_refine(
         excluded[v as usize] = true;
     }
     let quota = k - known_above.len();
-    partition(
-        &mut ctx,
+    PartitionTask {
         anchor,
-        region,
-        base_interior,
-        base_slack,
+        region: region.clone(),
+        interior: interior.to_vec(),
+        slack,
         quota,
-        &mut excluded,
-        &known_above,
-        0,
-    );
-    ctx.out
-}
-
-struct Ctx<'a> {
-    cands: &'a CandidateSet,
-    k: usize,
-    opts: &'a JaaOptions,
-    stats: &'a mut Stats,
-    none_removed: Vec<bool>,
-    out: Vec<Utk2Cell>,
-}
-
-impl Ctx<'_> {
-    /// §5.1 anchor choice at drill vector `w`: the k-th scorer (or the
-    /// top-1 scorer under the ablation flag).
-    fn pick_anchor(&mut self, w: &[f64]) -> u32 {
-        self.stats.drills += 1;
-        let top = graph_top_k(self.cands, w, self.k, &self.none_removed);
-        debug_assert_eq!(top.len(), self.k);
-        if self.opts.kth_anchor {
-            top[self.k - 1]
-        } else {
-            top[0]
-        }
-    }
-
-    /// Finalizes an equal-to partition.
-    fn finalize(
-        &mut self,
-        region: Region,
-        interior: Vec<f64>,
-        known_above: &[u32],
-        covered: &[u32],
-        anchor: u32,
-    ) {
-        let mut top_k: Vec<u32> = known_above
-            .iter()
-            .chain(covered.iter())
-            .chain(std::iter::once(&anchor))
-            .map(|&ci| self.cands.ids[ci as usize])
-            .collect();
-        debug_assert_eq!(top_k.len(), self.k, "equal-to cell must know k records");
-        top_k.sort_unstable();
-        self.out.push(Utk2Cell {
-            region,
-            interior,
-            top_k,
-        });
+        excluded,
+        known_above,
+        path: Vec::new(),
     }
 }
 
-/// The recursive verification-like procedure (Algorithm 4).
+/// Executes one `Partition` call: builds the anchor's arrangement over
+/// the task's region, finalizes equal-to leaves into `out` (tagged
+/// with their path), and emits one child task per leaf that needs
+/// further work. Pure function of the task — the sequential worklist
+/// and the pool driver share it, which is what makes them provably
+/// equivalent.
 #[allow(clippy::too_many_arguments)]
-fn partition(
-    ctx: &mut Ctx<'_>,
-    anchor: u32,
-    rho: &Region,
-    rho_interior: &[f64],
-    rho_slack: f64,
-    quota: usize,
-    excluded: &mut Vec<bool>,
-    known_above: &[u32],
-    depth: usize,
+fn expand(
+    cands: &CandidateSet,
+    k: usize,
+    opts: &JaaOptions,
+    none_removed: &[bool],
+    stats: &mut Stats,
+    mut task: PartitionTask,
+    out: &mut Vec<(Vec<u32>, Utk2Cell)>,
+    children: &mut Vec<PartitionTask>,
 ) {
-    debug_assert!(quota >= 1);
-    debug_assert_eq!(known_above.len() + quota, ctx.k, "rank bookkeeping broke");
-    assert!(depth < 10_000, "partition recursion runaway");
-    let n = ctx.cands.len();
+    debug_assert!(task.quota >= 1);
+    debug_assert_eq!(
+        task.known_above.len() + task.quota,
+        k,
+        "rank bookkeeping broke"
+    );
+    assert!(task.path.len() < 10_000, "partition recursion runaway");
+    let n = cands.len();
+    debug_assert_eq!(none_removed.len(), n);
 
     // Insert the half-spaces of the minimal-count competitors.
-    let batch: Vec<u32> = ctx.cands.graph.minimal_competitors(excluded);
-    let mut arr = Arrangement::with_interior(rho.clone(), rho_interior.to_vec(), rho_slack);
-    ctx.stats.arrangements_built += 1;
-    let anchor_pt = &ctx.cands.points[anchor as usize];
-    let anchor_id = ctx.cands.ids[anchor as usize];
+    let batch: Vec<u32> = cands.graph.minimal_competitors(&task.excluded);
+    let mut arr =
+        Arrangement::with_interior(task.region.clone(), task.interior.clone(), task.slack);
+    stats.arrangements_built += 1;
+    let anchor_pt = &cands.points[task.anchor as usize];
+    let anchor_id = cands.ids[task.anchor as usize];
     for &q in &batch {
         let hs = crate::rdominance::outranks_halfspace(
-            &ctx.cands.points[q as usize],
-            ctx.cands.ids[q as usize],
+            &cands.points[q as usize],
+            cands.ids[q as usize],
             anchor_pt,
             anchor_id,
         );
         arr.insert(hs, q);
-        ctx.stats.halfspaces_inserted += 1;
+        stats.halfspaces_inserted += 1;
         // Count ≥ quota ⇒ greater-than regardless of later insertions
         // (§5: no Lemma-1 confirmation needed): stop splitting them.
         let dead: Vec<CellId> = arr
             .live_cells()
-            .filter(|(_, c)| c.count() >= quota)
+            .filter(|(_, c)| c.count() >= task.quota)
             .map(|(id, _)| id)
             .collect();
         for id in dead {
             arr.prune(id);
         }
     }
-    ctx.stats.cells_created += arr.all_cells().len();
+    stats.cells_created += arr.all_cells().len();
     let bytes = arr.approx_bytes();
-    ctx.stats.arrangement_grew(bytes);
+    stats.arrangement_grew(bytes);
 
+    // The task owns `excluded`: mark the inserted batch once, no
+    // restore needed (children that must not see it build fresh sets).
     for &q in &batch {
-        excluded[q as usize] = true;
+        task.excluded[q as usize] = true;
     }
 
     // Classify every leaf partition.
     let leaves: Vec<CellId> = arr.leaf_cells().map(|(id, _)| id).collect();
-    for cid in leaves {
+    for (li, cid) in leaves.into_iter().enumerate() {
         let cell = arr.cell(cid);
         let cnt = cell.count();
         let covered: Vec<u32> = cell.covered().iter().map(|&h| arr.tag(h)).collect();
+        let mut path = task.path.clone();
+        path.push(li as u32);
 
-        if cnt >= quota {
+        if cnt >= task.quota {
             // Greater-than: restart with a fresh anchor, ignoring the
             // old anchor and its descendants.
-            let new_anchor = ctx.pick_anchor(cell.interior());
-            debug_assert_ne!(new_anchor, anchor);
+            stats.drills += 1;
+            let top = graph_top_k(cands, cell.interior(), k, none_removed);
+            let new_anchor = if opts.kth_anchor { top[k - 1] } else { top[0] };
+            debug_assert_ne!(new_anchor, task.anchor);
             let mut fresh = vec![false; n];
-            fresh[anchor as usize] = true;
-            for &v in ctx.cands.graph.descendants(anchor) {
+            fresh[task.anchor as usize] = true;
+            for &v in cands.graph.descendants(task.anchor) {
                 fresh[v as usize] = true;
             }
             fresh[new_anchor as usize] = true;
-            let known: Vec<u32> = ctx.cands.graph.ancestors(new_anchor).to_vec();
+            let known: Vec<u32> = cands.graph.ancestors(new_anchor).to_vec();
             for &a in &known {
                 fresh[a as usize] = true;
             }
-            for &v in ctx.cands.graph.descendants(new_anchor) {
+            for &v in cands.graph.descendants(new_anchor) {
                 fresh[v as usize] = true;
             }
-            let region = cell.region().clone();
-            let interior = cell.interior().to_vec();
-            let slack = cell.slack();
-            partition(
-                ctx,
-                new_anchor,
-                &region,
-                &interior,
-                slack,
-                ctx.k - known.len(),
-                &mut fresh,
-                &known,
-                depth + 1,
-            );
+            children.push(PartitionTask {
+                anchor: new_anchor,
+                region: cell.region().clone(),
+                interior: cell.interior().to_vec(),
+                slack: cell.slack(),
+                quota: k - known.len(),
+                excluded: fresh,
+                known_above: known,
+                path,
+            });
             continue;
         }
 
@@ -355,11 +407,10 @@ fn partition(
         let mut disregarded = Vec::new();
         let mut remaining = false;
         for q in 0..n as u32 {
-            if excluded[q as usize] {
+            if task.excluded[q as usize] {
                 continue;
             }
-            if ctx
-                .cands
+            if cands
                 .graph
                 .ancestors(q)
                 .iter()
@@ -373,28 +424,38 @@ fn partition(
 
         if !remaining {
             // Rank confirmed: cnt + 1 relative to quota.
-            if cnt + 1 == quota {
+            if cnt + 1 == task.quota {
                 // Equal-to: finalize.
-                ctx.finalize(
-                    cell.region().clone(),
-                    cell.interior().to_vec(),
-                    known_above,
-                    &covered,
-                    anchor,
-                );
+                let mut top_k: Vec<u32> = task
+                    .known_above
+                    .iter()
+                    .chain(covered.iter())
+                    .chain(std::iter::once(&task.anchor))
+                    .map(|&ci| cands.ids[ci as usize])
+                    .collect();
+                debug_assert_eq!(top_k.len(), k, "equal-to cell must know k records");
+                top_k.sort_unstable();
+                out.push((
+                    path,
+                    Utk2Cell {
+                        region: cell.region().clone(),
+                        interior: cell.interior().to_vec(),
+                        top_k,
+                    },
+                ));
             } else {
                 // Less-than: the top-k′ prefix is known; a new anchor
                 // resolves the remaining slots.
-                let mut itop: Vec<u32> = known_above.to_vec();
+                let mut itop: Vec<u32> = task.known_above.clone();
                 itop.extend_from_slice(&covered);
-                itop.push(anchor);
+                itop.push(task.anchor);
                 let k_prime = itop.len();
-                debug_assert!(k_prime < ctx.k);
+                debug_assert!(k_prime < k);
                 let new_anchor = {
-                    ctx.stats.drills += 1;
-                    let top = graph_top_k(ctx.cands, cell.interior(), ctx.k, &ctx.none_removed);
-                    if ctx.opts.kth_anchor {
-                        top[ctx.k - 1]
+                    stats.drills += 1;
+                    let top = graph_top_k(cands, cell.interior(), k, none_removed);
+                    if opts.kth_anchor {
+                        top[k - 1]
                     } else {
                         top[k_prime] // best scorer outside the prefix
                     }
@@ -405,59 +466,176 @@ fn partition(
                     fresh[v as usize] = true;
                 }
                 fresh[new_anchor as usize] = true;
-                for &v in ctx.cands.graph.descendants(new_anchor) {
+                for &v in cands.graph.descendants(new_anchor) {
                     fresh[v as usize] = true;
                 }
                 // Ancestors of the new anchor outside Itop are plain
                 // competitors (their half-spaces cover everything and
                 // simply raise counts), exactly as in Algorithm 4.
-                let region = cell.region().clone();
-                let interior = cell.interior().to_vec();
-                let slack = cell.slack();
-                partition(
-                    ctx,
-                    new_anchor,
-                    &region,
-                    &interior,
-                    slack,
-                    ctx.k - k_prime,
-                    &mut fresh,
-                    &itop,
-                    depth + 1,
-                );
+                children.push(PartitionTask {
+                    anchor: new_anchor,
+                    region: cell.region().clone(),
+                    interior: cell.interior().to_vec(),
+                    slack: cell.slack(),
+                    quota: k - k_prime,
+                    excluded: fresh,
+                    known_above: itop,
+                    path,
+                });
             }
         } else {
             // Unclassifiable: same anchor, next competitor batch,
             // rank quota reduced by this partition's count.
-            let mut known: Vec<u32> = known_above.to_vec();
+            let mut known: Vec<u32> = task.known_above.clone();
             known.extend_from_slice(&covered);
+            let mut excluded = task.excluded.clone();
             for &q in &disregarded {
                 excluded[q as usize] = true;
             }
-            let region = cell.region().clone();
-            let interior = cell.interior().to_vec();
-            let slack = cell.slack();
-            partition(
-                ctx,
-                anchor,
-                &region,
-                &interior,
-                slack,
-                quota - cnt,
+            children.push(PartitionTask {
+                anchor: task.anchor,
+                region: cell.region().clone(),
+                interior: cell.interior().to_vec(),
+                slack: cell.slack(),
+                quota: task.quota - cnt,
                 excluded,
-                &known,
-                depth + 1,
-            );
-            for &q in &disregarded {
-                excluded[q as usize] = false;
-            }
+                known_above: known,
+                path,
+            });
         }
     }
 
-    for &q in &batch {
-        excluded[q as usize] = false;
+    stats.arrangement_dropped(bytes);
+}
+
+/// JAA's refinement step (§5) over an already-filtered candidate set:
+/// grows the common arrangement from the initial anchor and returns
+/// the finalized partitions tiling `region`, in depth-first order.
+/// Shared between the legacy entry points and
+/// [`crate::engine::UtkEngine`], whose cache hands in memoized
+/// candidate sets.
+pub(crate) fn jaa_refine(
+    cands: &CandidateSet,
+    region: &Region,
+    base_interior: &[f64],
+    base_slack: f64,
+    k: usize,
+    opts: &JaaOptions,
+    stats: &mut Stats,
+) -> Vec<Utk2Cell> {
+    debug_assert!(cands.len() > k);
+    let mut worklist = vec![root_task(
+        cands,
+        k,
+        opts,
+        stats,
+        region,
+        base_interior,
+        base_slack,
+    )];
+    let none_removed = vec![false; cands.len()];
+    let mut tagged = Vec::new();
+    let mut children = Vec::new();
+    while let Some(task) = worklist.pop() {
+        expand(
+            cands,
+            k,
+            opts,
+            &none_removed,
+            stats,
+            task,
+            &mut tagged,
+            &mut children,
+        );
+        // LIFO worklist: reversed children keep the depth-first order
+        // of the original recursion.
+        children.reverse();
+        worklist.append(&mut children);
     }
-    ctx.stats.arrangement_dropped(bytes);
+    finish_cells(tagged)
+}
+
+/// Sorts path-tagged cells into depth-first order and strips the tags.
+fn finish_cells(mut tagged: Vec<(Vec<u32>, Utk2Cell)>) -> Vec<Utk2Cell> {
+    tagged.sort_by(|a, b| a.0.cmp(&b.0));
+    tagged.into_iter().map(|(_, c)| c).collect()
+}
+
+/// Shared state of one parallel JAA refinement.
+struct JaaShared {
+    cands: Arc<CandidateSet>,
+    k: usize,
+    opts: JaaOptions,
+    /// All-false "removed" mask shared by every task's drill calls
+    /// (JAA never removes candidates) — allocated once per refinement.
+    none_removed: Vec<bool>,
+    out: Mutex<Vec<(Vec<u32>, Utk2Cell)>>,
+    stats: Mutex<Stats>,
+}
+
+/// Queues one partition task; its children are queued recursively, so
+/// independent arrangement leaves refine concurrently (and idle
+/// workers steal them).
+fn spawn_partition(set: &crate::parallel::TaskSet, shared: &Arc<JaaShared>, task: PartitionTask) {
+    let nested = set.clone();
+    let sh = Arc::clone(shared);
+    set.spawn(move || {
+        let mut local = Stats::new();
+        let mut out = Vec::new();
+        let mut children = Vec::new();
+        expand(
+            &sh.cands,
+            sh.k,
+            &sh.opts,
+            &sh.none_removed,
+            &mut local,
+            task,
+            &mut out,
+            &mut children,
+        );
+        sh.out.lock().expect("jaa cell sink").extend(out);
+        sh.stats.lock().expect("jaa stats sink").absorb(&local);
+        for child in children {
+            spawn_partition(&nested, &sh, child);
+        }
+    });
+}
+
+/// Parallel JAA refinement over a [`ThreadPool`]: work-stealing over
+/// the partition tree, cell-for-cell identical to [`jaa_refine`]
+/// (tasks are pure, and cells are path-sorted back into depth-first
+/// order). Work counters are deterministic too — every task's work
+/// depends only on its own inputs — except `stolen_tasks`, which is
+/// scheduling-dependent by nature.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn jaa_parallel_refine(
+    cands: &Arc<CandidateSet>,
+    region: &Region,
+    base_interior: &[f64],
+    base_slack: f64,
+    k: usize,
+    opts: &JaaOptions,
+    pool: &ThreadPool,
+    stats: &mut Stats,
+) -> Vec<Utk2Cell> {
+    debug_assert!(cands.len() > k);
+    let root = root_task(cands, k, opts, stats, region, base_interior, base_slack);
+    let shared = Arc::new(JaaShared {
+        cands: Arc::clone(cands),
+        k,
+        opts: opts.clone(),
+        none_removed: vec![false; cands.len()],
+        out: Mutex::new(Vec::new()),
+        stats: Mutex::new(Stats::new()),
+    });
+    let set = pool.task_set();
+    spawn_partition(&set, &shared, root);
+    set.wait();
+    stats.absorb(&shared.stats.lock().expect("jaa stats sink"));
+    stats.pool_threads = pool.threads();
+    stats.stolen_tasks += set.stolen();
+    let tagged = std::mem::take(&mut *shared.out.lock().expect("jaa cell sink"));
+    finish_cells(tagged)
 }
 
 #[cfg(test)]

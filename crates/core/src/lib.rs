@@ -61,7 +61,7 @@
 //! | [`rsa`] | §4 RSA algorithm (UTK1) |
 //! | [`jaa`] | §5 JAA algorithm (UTK2) |
 //! | [`scoring`] | §6 generalized scoring functions |
-//! | [`parallel`] | parallel RSA (extension beyond the paper) |
+//! | [`parallel`] | work-stealing pool, parallel RSA/JAA (extension beyond the paper) |
 //! | [`onion`] | §3.3 onion layers (filter of the ON baseline) |
 //! | [`kspr`] | §3.3 kSPR building block \[45\] |
 //! | [`baseline`] | §3.3 SK and ON baselines |
@@ -92,8 +92,8 @@ pub mod prelude {
     pub use crate::baseline::{baseline_utk1, baseline_utk2, FilterKind};
     pub use crate::engine::{Algo, QueryKind, QueryResult, TopKResult, UtkEngine, UtkQuery};
     pub use crate::error::UtkError;
-    pub use crate::jaa::{jaa, jaa_with_tree, JaaOptions, Utk2Cell, Utk2Result};
-    pub use crate::parallel::{rsa_parallel, rsa_parallel_with_tree};
+    pub use crate::jaa::{jaa, jaa_parallel, jaa_with_tree, JaaOptions, Utk2Cell, Utk2Result};
+    pub use crate::parallel::{rsa_parallel, rsa_parallel_with_tree, TaskSet, ThreadPool};
     pub use crate::rsa::{rsa, rsa_with_tree, RsaOptions, Utk1Result};
     pub use crate::scoring::GeneralScoring;
     pub use crate::skyband::{k_skyband, r_skyband, CandidateSet};

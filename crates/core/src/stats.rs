@@ -36,6 +36,18 @@ pub struct Stats {
     /// from the [`crate::engine::UtkEngine`] cache instead of being
     /// recomputed.
     pub filter_cache_hits: usize,
+    /// Worker threads of the pool that executed this query's parallel
+    /// phase (0 for a fully sequential query). Parallel RSA and
+    /// parallel JAA populate it; deterministic for a given engine.
+    pub pool_threads: usize,
+    /// Pool tasks of this query executed by a worker other than the
+    /// one that queued them (work actually stolen). Scheduling-
+    /// dependent, hence *not* part of the JSON wire format.
+    pub stolen_tasks: usize,
+    /// Number of distinct `(k, region, scoring)` groups in the
+    /// [`crate::engine::UtkEngine::run_many`] batch this query was
+    /// part of (0 for a standalone query).
+    pub batch_group_count: usize,
 }
 
 impl Stats {
@@ -73,6 +85,11 @@ impl Stats {
             .max(other.peak_arrangement_bytes);
         self.kspr_calls += other.kspr_calls;
         self.filter_cache_hits += other.filter_cache_hits;
+        // Configuration-like counters: a merge keeps the widest value
+        // rather than a meaningless sum.
+        self.pool_threads = self.pool_threads.max(other.pool_threads);
+        self.stolen_tasks += other.stolen_tasks;
+        self.batch_group_count = self.batch_group_count.max(other.batch_group_count);
     }
 }
 

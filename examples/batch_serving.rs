@@ -1,0 +1,82 @@
+//! Batch serving: one engine, many users, one `run_many` call.
+//!
+//! A hotel portal serves uncertain top-k queries for whole cohorts of
+//! users at once. Several users share the same approximate preference
+//! region (the portal buckets indicative weights), so a batch has
+//! heavy `(k, region)` locality: [`UtkEngine::run_many`] groups the
+//! batch by `(k, region, scoring)`, pays the r-skyband filtering once
+//! per group, and fans the groups out over the engine's persistent
+//! work-stealing pool. Per-query errors (one user's malformed region)
+//! never abort the rest of the batch.
+//!
+//! Run with: `cargo run --release --example batch_serving`
+
+use utk::data::synthetic::{generate, Distribution};
+use utk::prelude::*;
+
+fn main() -> Result<(), UtkError> {
+    // The portal's catalogue: 2 000 synthetic hotels, 3 criteria.
+    let hotels = generate(Distribution::Ind, 2_000, 3, 7).points;
+    let engine = UtkEngine::new(hotels)?.with_pool_threads(4);
+
+    // Three preference buckets; users of a bucket share the region.
+    let buckets = [
+        Region::hyperrect(vec![0.10, 0.15], vec![0.25, 0.30]),
+        Region::hyperrect(vec![0.30, 0.20], vec![0.45, 0.35]),
+        Region::hyperrect(vec![0.20, 0.40], vec![0.30, 0.50]),
+    ];
+
+    // A mixed batch: UTK1 for result lists, UTK2 for the full
+    // partitioning, one malformed request riding along.
+    let mut batch: Vec<UtkQuery> = Vec::new();
+    for (b, region) in buckets.iter().enumerate() {
+        for user in 0..3 {
+            let query = if (b + user) % 2 == 0 {
+                UtkQuery::utk1(5).region(region.clone())
+            } else {
+                UtkQuery::utk2(5).region(region.clone()).parallel(true)
+            };
+            batch.push(query);
+        }
+    }
+    batch.push(UtkQuery::utk1(5).region(Region::hyperrect(vec![0.4], vec![0.6]))); // wrong dim
+
+    let answers = engine.run_many(&batch);
+    assert_eq!(answers.len(), batch.len(), "answers arrive in input order");
+
+    let groups = answers
+        .iter()
+        .flatten()
+        .map(|a| a.stats().batch_group_count)
+        .next()
+        .unwrap_or(0);
+    println!(
+        "batch of {} queries collapsed into {} filter groups on a {}-thread pool\n",
+        batch.len(),
+        groups,
+        engine.pool_threads(),
+    );
+
+    for (i, answer) in answers.iter().enumerate() {
+        match answer {
+            Ok(result) => {
+                let cached = result.stats().filter_cache_hits == 1;
+                println!(
+                    "query {i:>2}: {} records{}{}",
+                    result.records().len(),
+                    result
+                        .cells()
+                        .map(|c| format!(", {} partitions", c.len()))
+                        .unwrap_or_default(),
+                    if cached { " (filter from cache)" } else { "" },
+                );
+            }
+            Err(e) => println!("query {i:>2}: rejected — {e}"),
+        }
+    }
+
+    // The same filter state keeps serving follow-up single queries.
+    let (hits, misses) = engine.filter_cache_counters();
+    println!("\nfilter cache: {hits} hits / {misses} misses across the batch");
+    Ok(())
+}

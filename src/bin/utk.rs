@@ -23,6 +23,7 @@ use utk::data::csv::{parse_csv, write_csv, CsvData};
 use utk::data::synthetic::{generate, Distribution};
 use utk::geom::Constraint;
 use utk::prelude::*;
+use utk::wire;
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
@@ -36,6 +37,7 @@ USAGE:
   utk utk1     --data <csv> --k <n> <REGION> [OPTIONS]      minimal set of possible top-k records
   utk utk2     --data <csv> --k <n> <REGION> [OPTIONS]      exact top-k set per preference partition
   utk topk     --data <csv> --k <n> --weights w1,..,wd [OPTIONS]   plain top-k (for comparison)
+  utk batch    --data <csv> --file <queries> [--threads <n>]       batched queries, one JSON line each
   utk generate --dist <ind|cor|anti> --n <n> --d <d> [--seed <s>]  benchmark data to stdout
   utk help
 
@@ -46,15 +48,24 @@ REGION (preference domain has d-1 coordinates; the last weight is implied):
 OPTIONS:
   --algo <a>   processing algorithm: auto (default), rsa, jaa, sk, on
   --json       machine-readable JSON output (records, cells, stats)
-  --parallel   fan RSA refinement out over all cores (utk1 only)
-  --threads <n> worker threads (implies --parallel; default: all cores)
+  --parallel   fan refinement out over the engine's worker pool (utk1 and utk2)
+  --threads <n> worker pool size (implies --parallel; default: all cores)
   --lp <p>     score with sum of w_i * x_i^p instead of linear attributes (p > 0)
+
+BATCH FILE (one query per line; `#` comments and blank lines skipped):
+  utk1 --k <n> <REGION> [--algo <a>] [--lp <p>] [--parallel]
+  utk2 --k <n> <REGION> [--algo <a>] [--lp <p>] [--parallel]
+  topk --k <n> --weights w1,..,wd [--lp <p>]
+Queries sharing (k, region, scoring) are grouped to reuse one filter
+computation; groups run concurrently on the engine's pool. Output is
+one JSON object per input line, in input order (--json wire format;
+failed lines yield {\"error\":…} without aborting the rest).
 ";
 
 const BOOL_FLAGS: &[&str] = &["json", "parallel"];
 const VALUE_FLAGS: &[&str] = &[
     "data", "k", "lo", "hi", "center", "width", "weights", "lp", "algo", "threads", "dist", "n",
-    "d", "seed",
+    "d", "seed", "file",
 ];
 
 /// The flags each command actually reads; anything else is rejected
@@ -65,13 +76,24 @@ fn command_flags(command: &str) -> Option<&'static [&'static str]> {
         "utk1" => Some(&[
             "data", "k", "lo", "hi", "center", "width", "lp", "algo", "json", "parallel", "threads",
         ]),
-        // JAA (and the baselines) are sequential: utk2 takes no
-        // parallelism flags.
+        // Parallel JAA work-steals the partition recursion: utk2 takes
+        // the same parallelism flags as utk1.
         "utk2" => Some(&[
-            "data", "k", "lo", "hi", "center", "width", "lp", "algo", "json",
+            "data", "k", "lo", "hi", "center", "width", "lp", "algo", "json", "parallel", "threads",
         ]),
         "topk" => Some(&["data", "k", "weights", "lp", "json"]),
+        "batch" => Some(&["data", "file", "threads"]),
         "generate" => Some(&["dist", "n", "d", "seed"]),
+        _ => None,
+    }
+}
+
+/// The flags one query line of a `batch` file may carry (per-query
+/// settings only: data, output mode and pool size are batch-level).
+fn batch_line_flags(command: &str) -> Option<&'static [&'static str]> {
+    match command {
+        "utk1" | "utk2" => Some(&["k", "lo", "hi", "center", "width", "lp", "algo", "parallel"]),
+        "topk" => Some(&["k", "weights", "lp"]),
         _ => None,
     }
 }
@@ -91,6 +113,16 @@ impl Args {
         let Some(allowed) = command_flags(&command) else {
             return Err(format!("unknown command {command:?}"));
         };
+        Self::from_tokens(command, allowed, it)
+    }
+
+    /// Parses one token stream against an allow-list (shared by the
+    /// command line proper and each line of a `batch` file).
+    fn from_tokens(
+        command: String,
+        allowed: &[&str],
+        mut it: impl Iterator<Item = String>,
+    ) -> Result<Args, String> {
         let mut flags = Vec::new();
         while let Some(f) = it.next() {
             let Some(key) = f.strip_prefix("--") else {
@@ -220,64 +252,49 @@ fn algo_from(args: &Args) -> Result<Algo, String> {
     }
 }
 
-// --- JSON output -----------------------------------------------------
+// --- query building (shared by single commands and batch lines) ------
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
+/// One prepared query of a batch, plus the metadata its wire-format
+/// output needs.
+struct Prepared {
+    query: UtkQuery,
+    kind: QueryKind,
+    k: usize,
+    algo: Algo,
+    weights: Vec<f64>,
 }
 
-fn json_floats(vals: &[f64]) -> String {
-    let parts: Vec<String> = vals.iter().map(|v| format!("{v}")).collect();
-    format!("[{}]", parts.join(","))
-}
-
-fn json_record_list(ids: &[u32], data: &CsvData) -> String {
-    let parts: Vec<String> = ids
-        .iter()
-        .map(|&id| format!(r#"{{"id":{id},"name":"{}"}}"#, json_escape(&data.name(id))))
-        .collect();
-    format!("[{}]", parts.join(","))
-}
-
-fn json_stats(stats: &Stats) -> String {
-    format!(
-        concat!(
-            r#"{{"candidates":{},"bbs_pops":{},"rdom_tests":{},"halfspaces_inserted":{},"#,
-            r#""cells_created":{},"arrangements_built":{},"drills":{},"drill_hits":{},"#,
-            r#""peak_arrangement_bytes":{},"kspr_calls":{},"filter_cache_hits":{}}}"#
-        ),
-        stats.candidates,
-        stats.bbs_pops,
-        stats.rdom_tests,
-        stats.halfspaces_inserted,
-        stats.cells_created,
-        stats.arrangements_built,
-        stats.drills,
-        stats.drill_hits,
-        stats.peak_arrangement_bytes,
-        stats.kspr_calls,
-        stats.filter_cache_hits,
-    )
-}
-
-// --- commands --------------------------------------------------------
-
-fn run_topk(args: &Args) -> Result<(), String> {
-    let data = load(args)?;
+/// Builds a UTK1/UTK2 query from parsed flags.
+fn build_utk_query(args: &Args, kind: QueryKind, d: usize) -> Result<Prepared, String> {
     let k = parse_k(args)?;
-    let d = data.dataset.dim();
+    let algo = algo_from(args)?;
+    let region = region_from(args, d - 1)?;
+    let mut query = match kind {
+        QueryKind::Utk1 => UtkQuery::utk1(k),
+        QueryKind::Utk2 => UtkQuery::utk2(k),
+        QueryKind::TopK => unreachable!("build_utk_query only handles UTK queries"),
+    };
+    query = query.region(region).algorithm(algo);
+    if let Some(s) = scoring_from(args, d)? {
+        query = query.scoring(s);
+    }
+    // --threads implies parallelism; requiring --parallel as well
+    // would silently drop the thread count.
+    if args.has("parallel") || args.has("threads") {
+        query = query.parallel(true);
+    }
+    Ok(Prepared {
+        query,
+        kind,
+        k,
+        algo,
+        weights: Vec::new(),
+    })
+}
+
+/// Builds a plain top-k query from parsed flags.
+fn build_topk_query(args: &Args, d: usize) -> Result<Prepared, String> {
+    let k = parse_k(args)?;
     let w = args.floats("weights")?.ok_or("missing --weights")?;
     if w.len() != d && w.len() != d - 1 {
         return Err(format!("--weights needs {d} (or {}) values", d - 1));
@@ -286,27 +303,40 @@ fn run_topk(args: &Args) -> Result<(), String> {
     if let Some(s) = scoring_from(args, d)? {
         query = query.scoring(s);
     }
-    let engine = UtkEngine::new(data.dataset.points.clone()).map_err(|e| e.to_string())?;
-    let QueryResult::TopK(res) = engine.run(&query).map_err(|e| e.to_string())? else {
+    Ok(Prepared {
+        query,
+        kind: QueryKind::TopK,
+        k,
+        algo: Algo::Auto,
+        weights: w,
+    })
+}
+
+/// Builds the engine, applying `--threads` to its worker pool.
+fn engine_from(args: &Args, data: &CsvData) -> Result<UtkEngine, String> {
+    let mut engine = UtkEngine::new(data.dataset.points.clone()).map_err(|e| e.to_string())?;
+    if let Some(t) = args.get("threads") {
+        let t: usize = t.parse().map_err(|_| "--threads must be an integer")?;
+        engine = engine.with_pool_threads(t);
+    }
+    Ok(engine)
+}
+
+// --- commands --------------------------------------------------------
+
+fn run_topk(args: &Args) -> Result<(), String> {
+    let data = load(args)?;
+    let d = data.dataset.dim();
+    let prepared = build_topk_query(args, d)?;
+    let engine = engine_from(args, &data)?;
+    let QueryResult::TopK(res) = engine.run(&prepared.query).map_err(|e| e.to_string())? else {
         unreachable!("top-k query returned a non-top-k result");
     };
     if args.has("json") {
-        let ranked: Vec<String> = res
-            .records
-            .iter()
-            .enumerate()
-            .map(|(rank, &id)| {
-                format!(
-                    r#"{{"rank":{},"id":{id},"name":"{}"}}"#,
-                    rank + 1,
-                    json_escape(&data.name(id))
-                )
-            })
-            .collect();
+        let name = |id| data.name(id);
         println!(
-            r#"{{"query":"topk","k":{k},"weights":{},"ranking":[{}]}}"#,
-            json_floats(&w),
-            ranked.join(",")
+            "{}",
+            wire::topk_json(prepared.k, &prepared.weights, &res, &name)
         );
     } else {
         for (rank, id) in res.records.iter().enumerate() {
@@ -318,41 +348,19 @@ fn run_topk(args: &Args) -> Result<(), String> {
 
 fn run_utk(args: &Args, kind: QueryKind) -> Result<(), String> {
     let data = load(args)?;
-    let k = parse_k(args)?;
-    let algo = algo_from(args)?;
     let d = data.dataset.dim();
-    let region = region_from(args, d - 1)?;
-    let mut query = match kind {
-        QueryKind::Utk1 => UtkQuery::utk1(k),
-        QueryKind::Utk2 => UtkQuery::utk2(k),
-        QueryKind::TopK => unreachable!("run_utk only handles UTK queries"),
-    };
-    query = query.region(region).algorithm(algo);
-    if let Some(s) = scoring_from(args, d)? {
-        query = query.scoring(s);
-    }
-    // --threads implies parallelism; requiring --parallel as well
-    // would silently drop the thread count.
-    if args.has("parallel") || args.has("threads") {
-        query = query.parallel(true);
-        if let Some(t) = args.get("threads") {
-            query = query.threads(t.parse().map_err(|_| "--threads must be an integer")?);
-        }
-    }
+    let prepared = build_utk_query(args, kind, d)?;
+    let k = prepared.k;
     // Report the algorithm that actually answered, not the "auto"
     // request.
-    let ran = algo.resolved_for(kind);
-    let engine = UtkEngine::new(data.dataset.points.clone()).map_err(|e| e.to_string())?;
-    match engine.run(&query).map_err(|e| e.to_string())? {
+    let ran = prepared.algo.resolved_for(kind);
+    let engine = engine_from(args, &data)?;
+    let n = data.dataset.len();
+    let name = |id| data.name(id);
+    match engine.run(&prepared.query).map_err(|e| e.to_string())? {
         QueryResult::Utk1(res) => {
             if args.has("json") {
-                println!(
-                    r#"{{"query":"utk1","k":{k},"algo":"{}","n":{},"d":{d},"records":{},"stats":{}}}"#,
-                    ran.label(),
-                    data.dataset.len(),
-                    json_record_list(&res.records, &data),
-                    json_stats(&res.stats),
-                );
+                println!("{}", wire::utk1_json(k, ran, n, d, &res, &name));
             } else {
                 println!(
                     "{} records can enter the top-{k} within the region:",
@@ -365,39 +373,7 @@ fn run_utk(args: &Args, kind: QueryKind) -> Result<(), String> {
         }
         QueryResult::Utk2(res) => {
             if args.has("json") {
-                let cells: Vec<String> = res
-                    .cells
-                    .iter()
-                    .map(|cell| {
-                        let ids: Vec<String> = cell.top_k.iter().map(|id| id.to_string()).collect();
-                        let names: Vec<String> = cell
-                            .top_k
-                            .iter()
-                            .map(|&id| format!("\"{}\"", json_escape(&data.name(id))))
-                            .collect();
-                        format!(
-                            r#"{{"interior":{},"top_k":[{}],"names":[{}]}}"#,
-                            json_floats(&cell.interior),
-                            ids.join(","),
-                            names.join(",")
-                        )
-                    })
-                    .collect();
-                println!(
-                    concat!(
-                        r#"{{"query":"utk2","k":{},"algo":"{}","n":{},"d":{},"#,
-                        r#""partitions":{},"distinct_sets":{},"records":{},"cells":[{}],"stats":{}}}"#
-                    ),
-                    k,
-                    ran.label(),
-                    data.dataset.len(),
-                    d,
-                    res.num_partitions(),
-                    res.num_distinct_sets(),
-                    json_record_list(&res.records, &data),
-                    cells.join(","),
-                    json_stats(&res.stats),
-                );
+                println!("{}", wire::utk2_json(k, ran, n, d, &res, &name));
             } else {
                 println!(
                     "{} preference partitions, {} distinct top-{k} sets:",
@@ -417,6 +393,72 @@ fn run_utk(args: &Args, kind: QueryKind) -> Result<(), String> {
             }
         }
         QueryResult::TopK(_) => unreachable!("UTK query returned a top-k result"),
+    }
+    Ok(())
+}
+
+/// `utk batch`: answers a query file through
+/// [`UtkEngine::run_many`], one JSON wire object per line, in input
+/// order. A malformed or failing line yields an `{"error":…}` object
+/// without aborting its siblings.
+fn run_batch(args: &Args) -> Result<(), String> {
+    let data = load(args)?;
+    let d = data.dataset.dim();
+    let path = args.get("file").ok_or("missing --file <queries>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+
+    // Parse every line up front; parse failures keep their slot.
+    let mut prepared: Vec<Result<Prepared, String>> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let entry = (|| {
+            let mut tokens = line.split_whitespace().map(str::to_string);
+            let command = tokens.next().expect("non-empty line has a first token");
+            let Some(allowed) = batch_line_flags(&command) else {
+                return Err(format!("unknown query kind {command:?}"));
+            };
+            let line_args = Args::from_tokens(command.clone(), allowed, tokens)?;
+            match command.as_str() {
+                "utk1" => build_utk_query(&line_args, QueryKind::Utk1, d),
+                "utk2" => build_utk_query(&line_args, QueryKind::Utk2, d),
+                "topk" => build_topk_query(&line_args, d),
+                _ => unreachable!("batch_line_flags vetted the command"),
+            }
+        })()
+        .map_err(|e| format!("line {}: {e}", lineno + 1));
+        prepared.push(entry);
+    }
+
+    let engine = engine_from(args, &data)?;
+    let queries: Vec<UtkQuery> = prepared
+        .iter()
+        .filter_map(|p| p.as_ref().ok())
+        .map(|p| p.query.clone())
+        .collect();
+    let mut answers = engine.run_many(&queries).into_iter();
+
+    let n = data.dataset.len();
+    let name = |id| data.name(id);
+    for entry in &prepared {
+        match entry {
+            Err(e) => println!("{}", wire::error_json(e)),
+            Ok(p) => {
+                let answer = answers.next().expect("one answer per prepared query");
+                match answer {
+                    Err(e) => println!("{}", wire::error_json(&e.to_string())),
+                    Ok(result) => {
+                        let ran = p.algo.resolved_for(p.kind);
+                        println!(
+                            "{}",
+                            wire::result_json(&result, p.k, ran, n, d, &p.weights, &name)
+                        );
+                    }
+                }
+            }
+        }
     }
     Ok(())
 }
@@ -458,6 +500,7 @@ fn run() -> Result<(), String> {
         "topk" => run_topk(&args),
         "utk1" => run_utk(&args, QueryKind::Utk1),
         "utk2" => run_utk(&args, QueryKind::Utk2),
+        "batch" => run_batch(&args),
         "generate" => run_generate(&args),
         other => Err(format!("unknown command {other:?}")),
     }

@@ -53,11 +53,47 @@
 //! §6 of the paper). The pre-engine free functions (`rsa`, `jaa`,
 //! `baseline_utk1`, …) remain available for existing call sites.
 //!
+//! ## Parallelism and batching
+//!
+//! Every engine owns one persistent work-stealing
+//! [`ThreadPool`](core::parallel::ThreadPool), built lazily on the
+//! first parallel query and sized with
+//! [`UtkEngine::with_pool_threads`](core::engine::UtkEngine::with_pool_threads)
+//! (default: one worker per core) — thread count is **never**
+//! re-resolved per query. `.parallel(true)` fans RSA's candidate
+//! verification (UTK1) or JAA's partition recursion (UTK2) out over
+//! that pool; outputs are cell-for-cell identical to the sequential
+//! runs.
+//!
+//! [`UtkEngine::run_many`](core::engine::UtkEngine::run_many) answers
+//! a whole batch: queries are grouped by `(k, region, scoring)` so
+//! each group pays filtering once, groups execute concurrently on the
+//! pool, and results come back in input order with per-query errors
+//! (a malformed query never aborts its siblings). Engines are `Sync`
+//! *and* cheaply `Clone` (handles onto shared state), so one engine
+//! can serve threads and batches simultaneously.
+//!
+//! Which [`Stats`](core::stats::Stats) counters a query populates:
+//! filtering counters (`candidates`, `bbs_pops`, `rdom_tests`) on
+//! every non-cached query; arrangement counters
+//! (`halfspaces_inserted`, `cells_created`, `arrangements_built`,
+//! `drills`, `peak_arrangement_bytes`) during RSA/JAA refinement;
+//! `kspr_calls` only in the SK/ON baselines; `filter_cache_hits` on
+//! engine cache hits; `pool_threads` and `stolen_tasks` only on
+//! parallel queries; `batch_group_count` only through `run_many`.
+//! Results are always deterministic; work counters are deterministic
+//! except `stolen_tasks` (on any parallel query) and parallel RSA's
+//! verification counters, both scheduling-dependent — see the
+//! [`wire`] module docs for the exact JSON determinism contract.
+//!
 //! ## Command line
 //!
 //! The `utk` binary answers the same queries over CSV files, with
-//! `--algo` to pick the algorithm and `--json` for machine-readable
-//! output; see `utk help`.
+//! `--algo` to pick the algorithm, `--json` for machine-readable
+//! output, `--parallel`/`--threads` for the worker pool, and a
+//! `batch` command that streams a query file through
+//! [`run_many`](core::engine::UtkEngine::run_many) — one JSON line
+//! per query, in input order; see `utk help`.
 
 #![warn(missing_docs)]
 
@@ -66,12 +102,17 @@ pub use utk_data as data;
 pub use utk_geom as geom;
 pub use utk_rtree as rtree;
 
-/// Common imports: the engine API, the legacy free functions, regions.
+pub mod wire;
+
+/// Common imports: the engine API (including batched `run_many` and
+/// the worker-pool types behind `.parallel(true)`), the legacy free
+/// functions, and regions.
 pub mod prelude {
     pub use utk_core::baseline::{baseline_utk1, baseline_utk2, FilterKind};
     pub use utk_core::engine::{Algo, QueryKind, QueryResult, TopKResult, UtkEngine, UtkQuery};
     pub use utk_core::error::UtkError;
-    pub use utk_core::jaa::{jaa, jaa_with_tree, JaaOptions, Utk2Cell, Utk2Result};
+    pub use utk_core::jaa::{jaa, jaa_parallel, jaa_with_tree, JaaOptions, Utk2Cell, Utk2Result};
+    pub use utk_core::parallel::{rsa_parallel, rsa_parallel_with_tree, TaskSet, ThreadPool};
     pub use utk_core::rsa::{rsa, rsa_with_tree, RsaOptions, Utk1Result};
     pub use utk_core::scoring::GeneralScoring;
     pub use utk_core::skyband::{k_skyband, r_skyband, CandidateSet};

@@ -386,3 +386,119 @@ fn help_prints_usage() {
     assert!(stdout.contains("utk1"));
     assert!(stdout.contains("generate"));
 }
+
+// --- batch mode ------------------------------------------------------
+
+const BATCH_QUERIES: &str = "\
+# mixed batch: valid, malformed, engine-rejected
+utk1 --k 2 --lo 0.05,0.05 --hi 0.45,0.25
+
+frobnicate --k 2
+topk --k 2 --weights 0.3,0.5,0.2
+utk2 --k 2 --lo 0.05,0.05 --hi 0.45,0.25 --parallel
+utk1 --k 0 --lo 0.05,0.05 --hi 0.45,0.25
+utk1 --k 2 --json
+";
+
+fn batch_file() -> std::path::PathBuf {
+    let path = std::env::temp_dir().join("utk_cli_test_batch.txt");
+    std::fs::write(&path, BATCH_QUERIES).unwrap();
+    path
+}
+
+#[test]
+fn batch_mode_emits_one_json_line_per_query_in_order() {
+    let data = hotels_file();
+    let queries = batch_file();
+    let (stdout, stderr, ok) = utk(&[
+        "batch",
+        "--data",
+        data.to_str().unwrap(),
+        "--file",
+        queries.to_str().unwrap(),
+        "--threads",
+        "2",
+    ]);
+    assert!(ok, "batch run failed: {stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    // Comments and blank lines are skipped; 6 queries remain.
+    assert_eq!(lines.len(), 6, "one JSON line per query:\n{stdout}");
+
+    assert!(lines[0].contains(r#""query":"utk1""#), "{}", lines[0]);
+    for p in ["p1", "p2", "p4", "p6"] {
+        assert!(lines[0].contains(p), "missing {p}: {}", lines[0]);
+    }
+    // A parse failure keeps its slot, names its line, and never
+    // aborts the rest.
+    assert!(lines[1].contains(r#"{"error":""#), "{}", lines[1]);
+    assert!(lines[1].contains("line 4"), "{}", lines[1]);
+    assert!(lines[2].contains(r#""query":"topk""#), "{}", lines[2]);
+    assert!(lines[3].contains(r#""query":"utk2""#), "{}", lines[3]);
+    assert!(lines[3].contains(r#""partitions":"#), "{}", lines[3]);
+    // Engine-rejected query (k = 0): typed error, sibling queries fine.
+    assert!(lines[4].contains(r#"{"error":""#), "{}", lines[4]);
+    assert!(lines[4].contains("positive"), "{}", lines[4]);
+    // Per-line flags that belong to the batch level are rejected.
+    assert!(lines[5].contains(r#"{"error":""#), "{}", lines[5]);
+    assert!(lines[5].contains("--json"), "{}", lines[5]);
+}
+
+#[test]
+fn batch_utk1_line_matches_single_query_json_records() {
+    let data = hotels_file();
+    let path = std::env::temp_dir().join("utk_cli_test_batch_single.txt");
+    std::fs::write(&path, "utk1 --k 2 --lo 0.05,0.05 --hi 0.45,0.25\n").unwrap();
+    let (batch_out, _, ok1) = utk(&[
+        "batch",
+        "--data",
+        data.to_str().unwrap(),
+        "--file",
+        path.to_str().unwrap(),
+    ]);
+    let (single_out, _, ok2) = utk(&[
+        "utk1",
+        "--data",
+        data.to_str().unwrap(),
+        "--k",
+        "2",
+        "--lo",
+        "0.05,0.05",
+        "--hi",
+        "0.45,0.25",
+        "--json",
+    ]);
+    assert!(ok1 && ok2);
+    // Identical wire format modulo the batch-grouping marker.
+    let normalize = |s: &str| s.replace(r#""batch_group_count":1"#, r#""batch_group_count":0"#);
+    assert_eq!(normalize(batch_out.trim()), normalize(single_out.trim()));
+}
+
+#[test]
+fn batch_requires_its_inputs() {
+    let data = hotels_file();
+    let (_, stderr, ok) = utk(&["batch", "--data", data.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("--file"), "{stderr}");
+}
+
+#[test]
+fn utk2_accepts_parallel_flags() {
+    let data = hotels_file();
+    let (stdout, stderr, ok) = utk(&[
+        "utk2",
+        "--data",
+        data.to_str().unwrap(),
+        "--k",
+        "2",
+        "--lo",
+        "0.05,0.05",
+        "--hi",
+        "0.45,0.25",
+        "--threads",
+        "2",
+        "--json",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains(r#""pool_threads":2"#), "{stdout}");
+    assert!(stdout.contains(r#""distinct_sets":4"#), "{stdout}");
+}

@@ -78,19 +78,21 @@ fn engine_matches_legacy_on_synthetic_workloads() {
 #[test]
 fn engine_parallel_matches_sequential() {
     let ds = generate(Distribution::Ind, 500, 3, 11);
-    let engine = UtkEngine::new(ds.points.clone()).unwrap();
     let region = Region::hyperrect(vec![0.15, 0.2], vec![0.3, 0.35]);
-    let seq = engine.utk1(&region, 4).unwrap();
+    let seq = UtkEngine::new(ds.points.clone())
+        .unwrap()
+        .utk1(&region, 4)
+        .unwrap();
+    // Pool size is an engine property: one engine per size under test.
     for threads in [1, 2, 4] {
+        let engine = UtkEngine::new(ds.points.clone())
+            .unwrap()
+            .with_pool_threads(threads);
         let par = engine
-            .run(
-                &UtkQuery::utk1(4)
-                    .region(region.clone())
-                    .parallel(true)
-                    .threads(threads),
-            )
+            .run(&UtkQuery::utk1(4).region(region.clone()).parallel(true))
             .unwrap();
         assert_eq!(par.records(), seq.records, "{threads} threads");
+        assert_eq!(par.stats().pool_threads, threads);
     }
 }
 
@@ -343,4 +345,110 @@ fn query_result_accessors_expose_the_right_variant() {
         panic!("expected a top-k result");
     };
     assert_eq!(tk.records, vec![0, 1]);
+}
+
+// --- batching & the persistent worker pool ---------------------------
+
+#[test]
+fn run_many_mixed_validity_returns_per_query_errors() {
+    let engine = UtkEngine::new(figure1_hotels().points).unwrap();
+    let good = Region::hyperrect(vec![0.05, 0.05], vec![0.45, 0.25]);
+    let bad_dim = Region::hyperrect(vec![0.1], vec![0.2]); // d − 1 = 2 required
+    let queries = vec![
+        UtkQuery::utk1(2).region(good.clone()),
+        UtkQuery::utk1(2).region(bad_dim),
+        UtkQuery::utk2(0).region(good.clone()), // invalid k
+        UtkQuery::utk2(2).region(good.clone()).parallel(true),
+    ];
+    let out = engine.run_many(&queries);
+    assert_eq!(out.len(), 4);
+    assert_eq!(out[0].as_ref().unwrap().records(), &[0, 1, 3, 5]);
+    assert!(matches!(
+        out[1],
+        Err(UtkError::DimensionMismatch {
+            expected: 2,
+            got: 1,
+            ..
+        })
+    ));
+    assert!(matches!(out[2], Err(UtkError::InvalidK { k: 0 })));
+    assert_eq!(out[3].as_ref().unwrap().records(), &[0, 1, 3, 5]);
+
+    // Three groups: {q0, q3} share (k=2, good); the malformed queries
+    // key separately. Every successful result records the group count.
+    for ok in out.iter().flatten() {
+        assert_eq!(ok.stats().batch_group_count, 3);
+    }
+
+    // The failures must not have poisoned the shared cache: the next
+    // standalone query over the good region is a clean hit.
+    let again = engine.utk1(&good, 2).unwrap();
+    assert_eq!(again.records, vec![0, 1, 3, 5]);
+    assert_eq!(again.stats.filter_cache_hits, 1);
+}
+
+#[test]
+fn run_many_groups_amortize_the_filter() {
+    let ds = generate(Distribution::Ind, 300, 3, 21);
+    let engine = UtkEngine::new(ds.points.clone()).unwrap();
+    let region = Region::hyperrect(vec![0.15, 0.2], vec![0.3, 0.35]);
+    // Four queries, one (k, region) group: exactly one filter miss.
+    let queries: Vec<UtkQuery> = (0..4)
+        .map(|i| {
+            if i % 2 == 0 {
+                UtkQuery::utk1(3).region(region.clone())
+            } else {
+                UtkQuery::utk2(3).region(region.clone())
+            }
+        })
+        .collect();
+    let out = engine.run_many(&queries);
+    assert!(out.iter().all(|r| r.is_ok()));
+    let (hits, misses) = engine.filter_cache_counters();
+    assert_eq!(misses, 1, "one group must pay exactly one filter miss");
+    assert_eq!(hits, 3);
+    assert_eq!(out[0].as_ref().unwrap().stats().batch_group_count, 1);
+}
+
+#[test]
+fn run_many_of_empty_and_single_batches() {
+    let engine = UtkEngine::new(figure1_hotels().points).unwrap();
+    assert!(engine.run_many(&[]).is_empty());
+    let region = Region::hyperrect(vec![0.05, 0.05], vec![0.45, 0.25]);
+    let out = engine.run_many(&[UtkQuery::utk1(2).region(region)]);
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].as_ref().unwrap().records(), &[0, 1, 3, 5]);
+    assert_eq!(out[0].as_ref().unwrap().stats().batch_group_count, 1);
+    // A batch of one runs inline: no pool is ever constructed.
+    assert_eq!(engine.pool_builds(), 0);
+}
+
+#[test]
+fn engine_builds_its_pool_once_across_parallel_queries() {
+    let ds = generate(Distribution::Ind, 400, 3, 9);
+    let engine = UtkEngine::new(ds.points.clone())
+        .unwrap()
+        .with_pool_threads(2);
+    assert_eq!(
+        engine.pool_builds(),
+        0,
+        "no pool before the first parallel query"
+    );
+    for i in 0..5 {
+        let region = Region::hyperrect(vec![0.1 + 0.01 * i as f64, 0.2], vec![0.3, 0.35]);
+        let u1 = engine
+            .run(&UtkQuery::utk1(3).region(region.clone()).parallel(true))
+            .unwrap();
+        let u2 = engine
+            .run(&UtkQuery::utk2(3).region(region).parallel(true))
+            .unwrap();
+        // The per-query thread count is read off the engine pool, not
+        // re-resolved: it matches the configured size every time.
+        assert_eq!(u1.stats().pool_threads, 2);
+        assert_eq!(u2.stats().pool_threads, 2);
+    }
+    // The regression this guards: one pool for the engine's lifetime,
+    // never one per query.
+    assert_eq!(engine.pool_builds(), 1);
+    assert_eq!(engine.pool_threads(), 2);
 }

@@ -160,6 +160,94 @@ proptest! {
         prop_assert_eq!(got.records, want);
     }
 
+    /// Parallel JAA is **cell-for-cell** identical to sequential JAA
+    /// — same cell count, order, interiors and top-k labels — through
+    /// the engine and through the legacy entry point, and both agree
+    /// with RSA on the record union. Deterministic work counters
+    /// (everything but `stolen_tasks`) agree too.
+    #[test]
+    fn parallel_jaa_equals_sequential_cell_for_cell(
+        pts in dataset(60, 3),
+        (lo, hi) in query_box(2),
+        k in 1usize..5,
+        threads in 1usize..5,
+    ) {
+        let region = Region::hyperrect(lo, hi);
+        let engine = UtkEngine::new(pts.clone()).unwrap().with_pool_threads(threads);
+        let seq = engine
+            .run(&UtkQuery::utk2(k).region(region.clone()))
+            .unwrap();
+        let par = engine
+            .run(&UtkQuery::utk2(k).region(region.clone()).parallel(true))
+            .unwrap();
+        let (seq, par) = (seq.as_utk2().unwrap(), par.as_utk2().unwrap());
+        prop_assert_eq!(seq.cells.len(), par.cells.len());
+        for (a, b) in seq.cells.iter().zip(&par.cells) {
+            prop_assert_eq!(&a.top_k, &b.top_k);
+            prop_assert_eq!(&a.interior, &b.interior);
+        }
+        prop_assert_eq!(&seq.records, &par.records);
+        prop_assert_eq!(seq.stats.drills, par.stats.drills);
+        prop_assert_eq!(seq.stats.arrangements_built, par.stats.arrangements_built);
+        prop_assert_eq!(seq.stats.halfspaces_inserted, par.stats.halfspaces_inserted);
+        prop_assert_eq!(seq.stats.cells_created, par.stats.cells_created);
+        prop_assert_eq!(seq.stats.peak_arrangement_bytes, par.stats.peak_arrangement_bytes);
+
+        let free = jaa_parallel(&pts, &region, k, &JaaOptions::default(), threads);
+        prop_assert_eq!(free.cells.len(), seq.cells.len());
+        for (a, b) in seq.cells.iter().zip(&free.cells) {
+            prop_assert_eq!(&a.top_k, &b.top_k);
+            prop_assert_eq!(&a.interior, &b.interior);
+        }
+
+        let u1 = rsa(&pts, &region, k, &RsaOptions::default());
+        prop_assert_eq!(&par.records, &u1.records);
+    }
+
+    /// `run_many` is exactly `map(run)` — per-query results in input
+    /// order — including duplicate queries and arbitrary rotations of
+    /// the batch.
+    #[test]
+    fn run_many_equals_mapping_run(
+        pts in dataset(50, 3),
+        (lo, hi) in query_box(2),
+        (lo2, hi2) in query_box(2),
+        k in 1usize..4,
+        rot in 0usize..8,
+    ) {
+        let engine = UtkEngine::new(pts).unwrap().with_pool_threads(2);
+        let r1 = Region::hyperrect(lo, hi);
+        let r2 = Region::hyperrect(lo2, hi2);
+        let mut queries = vec![
+            UtkQuery::utk1(k).region(r1.clone()),
+            UtkQuery::utk2(k).region(r1.clone()),
+            UtkQuery::utk1(k + 1).region(r2.clone()),
+            UtkQuery::utk1(k).region(r1.clone()),           // duplicate
+            UtkQuery::utk2(k).region(r2.clone()).parallel(true),
+            UtkQuery::utk2(k).region(r1.clone()),           // duplicate
+        ];
+        let n = queries.len();
+        queries.rotate_left(rot % n);                       // permuted batch
+        let batch = engine.run_many(&queries);
+        prop_assert_eq!(batch.len(), n);
+        for (q, r) in queries.iter().zip(&batch) {
+            let single = engine.run(q).unwrap();
+            let r = r.as_ref().unwrap();
+            prop_assert_eq!(r.records(), single.records());
+            match (r.cells(), single.cells()) {
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(a.len(), b.len());
+                    for (x, y) in a.iter().zip(b) {
+                        prop_assert_eq!(&x.top_k, &y.top_k);
+                        prop_assert_eq!(&x.interior, &y.interior);
+                    }
+                }
+                (None, None) => {}
+                _ => prop_assert!(false, "batch and single disagree on result shape"),
+            }
+        }
+    }
+
     /// The r-skyband graph is sound: arcs are true r-dominances and
     /// counts are below k.
     #[test]

@@ -1,0 +1,142 @@
+//! Scheduler stress: many threads hammering one shared engine with
+//! mixed sequential, parallel and batched queries. Sized to finish in
+//! seconds; CI additionally runs this suite under `--release` (and
+//! the whole suite under `--test-threads=1`) so work-stealing races
+//! surface in CI rather than only under production load.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use utk::data::synthetic::{generate, Distribution};
+use utk::prelude::*;
+
+fn workload_regions() -> Vec<Region> {
+    (0..4)
+        .map(|i| {
+            let lo = 0.12 + 0.02 * i as f64;
+            Region::hyperrect(vec![lo, 0.2], vec![lo + 0.12, 0.33])
+        })
+        .collect()
+}
+
+/// 8 threads × mixed utk1/utk2 × sequential/parallel, all against one
+/// engine: every answer must equal the precomputed sequential truth.
+#[test]
+fn concurrent_mixed_queries_agree_with_sequential_truth() {
+    let ds = generate(Distribution::Ind, 350, 3, 77);
+    let engine = UtkEngine::new(ds.points.clone())
+        .unwrap()
+        .with_pool_threads(2);
+    let regions = workload_regions();
+    let k = 3;
+
+    let truth: Vec<(Vec<u32>, usize)> = regions
+        .iter()
+        .map(|r| {
+            let u2 = engine.utk2(r, k).unwrap();
+            (u2.records.clone(), u2.cells.len())
+        })
+        .collect();
+
+    let mismatches = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let engine = engine.clone();
+            let regions = &regions;
+            let truth = &truth;
+            let mismatches = &mismatches;
+            scope.spawn(move || {
+                for round in 0..6 {
+                    let i = (t + round) % regions.len();
+                    let parallel = (t + round) % 2 == 0;
+                    let q1 = UtkQuery::utk1(k)
+                        .region(regions[i].clone())
+                        .parallel(parallel);
+                    let q2 = UtkQuery::utk2(k)
+                        .region(regions[i].clone())
+                        .parallel(parallel);
+                    let r1 = engine.run(&q1).unwrap();
+                    let r2 = engine.run(&q2).unwrap();
+                    if r1.records() != truth[i].0
+                        || r2.records() != truth[i].0
+                        || r2.cells().unwrap().len() != truth[i].1
+                    {
+                        mismatches.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(mismatches.load(Ordering::Relaxed), 0);
+}
+
+/// Concurrent `run_many` batches (overlapping groups, duplicates)
+/// against one engine; batches race each other on the shared caches
+/// and pool.
+#[test]
+fn concurrent_batches_return_per_query_truth() {
+    let ds = generate(Distribution::Anti, 250, 3, 13);
+    let engine = UtkEngine::new(ds.points.clone())
+        .unwrap()
+        .with_pool_threads(2);
+    let regions = workload_regions();
+    let k = 3;
+    let truth: Vec<Vec<u32>> = regions
+        .iter()
+        .map(|r| engine.utk1(r, k).unwrap().records)
+        .collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..6 {
+            let engine = engine.clone();
+            let regions = &regions;
+            let truth = &truth;
+            scope.spawn(move || {
+                for round in 0..4 {
+                    let a = (t + round) % regions.len();
+                    let b = (t + round + 1) % regions.len();
+                    let queries = vec![
+                        UtkQuery::utk1(k).region(regions[a].clone()),
+                        UtkQuery::utk2(k).region(regions[b].clone()),
+                        UtkQuery::utk1(k).region(regions[a].clone()), // duplicate
+                        UtkQuery::utk2(k).region(regions[a].clone()).parallel(true),
+                    ];
+                    let out = engine.run_many(&queries);
+                    assert_eq!(out[0].as_ref().unwrap().records(), truth[a]);
+                    assert_eq!(out[1].as_ref().unwrap().records(), truth[b]);
+                    assert_eq!(out[2].as_ref().unwrap().records(), truth[a]);
+                    assert_eq!(out[3].as_ref().unwrap().records(), truth[a]);
+                }
+            });
+        }
+    });
+}
+
+/// Pool sanity under contention: one engine, many waves of parallel
+/// queries — still exactly one pool build, and the steal counter only
+/// grows (it is pool-lifetime cumulative).
+#[test]
+fn pool_is_built_once_under_contention() {
+    let ds = generate(Distribution::Ind, 200, 3, 5);
+    let engine = UtkEngine::new(ds.points.clone())
+        .unwrap()
+        .with_pool_threads(3);
+    let region = Region::hyperrect(vec![0.15, 0.2], vec![0.3, 0.35]);
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let engine = engine.clone();
+            let region = region.clone();
+            scope.spawn(move || {
+                for _ in 0..3 {
+                    engine
+                        .run(&UtkQuery::utk2(3).region(region.clone()).parallel(true))
+                        .unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(engine.pool_builds(), 1);
+    let stolen_then = engine.pool().stolen_tasks();
+    engine
+        .run(&UtkQuery::utk2(3).region(region).parallel(true))
+        .unwrap();
+    assert!(engine.pool().stolen_tasks() >= stolen_then);
+}
