@@ -12,7 +12,7 @@ use utk_core::skyband::r_skyband;
 use utk_core::stats::Stats;
 use utk_data::queries::random_regions;
 use utk_data::synthetic::{generate, Distribution};
-use utk_geom::{pref_score, Region};
+use utk_geom::{pref_score, PointStore, Region};
 use utk_rtree::RTree;
 
 fn workload(dist: Distribution, n: usize, d: usize, sigma: f64) -> (Vec<Vec<f64>>, RTree, Region) {
@@ -62,11 +62,12 @@ fn ablate_lemma1(c: &mut Criterion) {
 /// the r-skyband BBS (the sum order also yields a looser filter).
 fn ablate_pivot_order(c: &mut Criterion) {
     let (points, tree, region) = workload(Distribution::Ind, 20_000, 4, 0.01);
+    let store = PointStore::from_rows(&points);
     let mut g = c.benchmark_group("ablation_bbs_order");
     g.sample_size(10);
     for (name, pivot) in [("pivot", true), ("coord_sum", false)] {
         g.bench_function(name, |b| {
-            b.iter(|| r_skyband(&points, &tree, &region, 10, pivot, &mut Stats::new()))
+            b.iter(|| r_skyband(&store, &tree, &region, 10, pivot, &mut Stats::new()))
         });
     }
     g.finish();
@@ -113,7 +114,14 @@ fn ablate_anchor_strategy(c: &mut Criterion) {
 /// drills.
 fn ablate_drill_topk_source(c: &mut Criterion) {
     let (points, tree, region) = workload(Distribution::Ind, 20_000, 4, 0.05);
-    let cands = r_skyband(&points, &tree, &region, 10, true, &mut Stats::new());
+    let cands = r_skyband(
+        &PointStore::from_rows(&points),
+        &tree,
+        &region,
+        10,
+        true,
+        &mut Stats::new(),
+    );
     let removed = vec![false; cands.len()];
     let w = region.pivot().unwrap();
     let mut g = c.benchmark_group("ablation_drill_topk");

@@ -1,0 +1,231 @@
+//! Byte-budgeted LRU caching for the engine's memoized state.
+//!
+//! The engine memoizes two expensive artifacts: r-skyband candidate
+//! sets (per `(k, region, scoring)`) and transformed datasets (per
+//! generalized scoring). Both used to live in plain `HashMap`s bounded
+//! by *entry count* with arbitrary eviction — fine until one entry is
+//! a thousand times larger than another. [`ByteLru`] replaces that
+//! with a real cache policy:
+//!
+//! * **byte-budget accounting** — each entry carries its payload size
+//!   (the `CandidateSet` / transformed-dataset bytes, not an entry
+//!   count), and the cache holds entries until their *total* bytes
+//!   exceed the budget;
+//! * **LRU eviction** — entries are stamped on insert and on every
+//!   hit; eviction removes the least-recently-used entry first (an
+//!   `O(entries)` min-scan per eviction, deliberately simple — the
+//!   byte budget keeps entry counts small, and a scan has no unsafe
+//!   intrusive-list bookkeeping to get wrong);
+//! * **oversized entries are not cached** — a single payload larger
+//!   than the whole budget would only evict everything else and then
+//!   get evicted itself, so it is returned to the caller uncached.
+//!
+//! The cache is deliberately *not* internally synchronized: the engine
+//! wraps it in the same `Mutex` it already used, keeping lock behavior
+//! identical to the previous implementation.
+//!
+//! Cross-region *superset reuse* (an r-skyband cached for `R' ⊇ R` is
+//! a valid superset filter for `R`) lives in the engine, not here —
+//! the cache only exposes the non-touching [`ByteLru::scan`] iterator
+//! that the probe is built on.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// One cached payload with its size and recency stamp.
+#[derive(Debug, Clone)]
+struct Slot<V> {
+    value: V,
+    bytes: usize,
+    stamp: u64,
+}
+
+/// A byte-budgeted LRU map. See the [module docs](self) for the
+/// policy.
+#[derive(Debug)]
+pub struct ByteLru<K, V> {
+    map: HashMap<K, Slot<V>>,
+    budget: usize,
+    used: usize,
+    tick: u64,
+    evictions: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> ByteLru<K, V> {
+    /// An empty cache holding at most `budget` payload bytes.
+    pub fn new(budget: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            budget,
+            used: 0,
+            tick: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Payload bytes currently held.
+    pub fn bytes_used(&self) -> usize {
+        self.used
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Total evictions over the cache's lifetime.
+    pub fn evictions(&self) -> usize {
+        self.evictions
+    }
+
+    /// Looks up `key`, marking the entry most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|slot| {
+            slot.stamp = tick;
+            &slot.value
+        })
+    }
+
+    /// Marks `key` most-recently-used without returning it (used when
+    /// a superset entry serves a containment probe).
+    pub fn touch(&mut self, key: &K) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(slot) = self.map.get_mut(key) {
+            slot.stamp = tick;
+        }
+    }
+
+    /// Iterates `(key, value)` pairs without touching recency — the
+    /// substrate of the engine's superset-containment probe.
+    pub fn scan(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter().map(|(k, slot)| (k, &slot.value))
+    }
+
+    /// Inserts `key → value` accounted at `bytes`, evicting
+    /// least-recently-used entries until the budget holds again.
+    /// Returns how many entries were evicted. Payloads larger than the
+    /// whole budget are not cached (returns 0; nothing is disturbed).
+    pub fn insert(&mut self, key: K, value: V, bytes: usize) -> usize {
+        if bytes > self.budget {
+            return 0;
+        }
+        self.tick += 1;
+        let slot = Slot {
+            value,
+            bytes,
+            stamp: self.tick,
+        };
+        if let Some(old) = self.map.insert(key, slot) {
+            self.used -= old.bytes;
+        }
+        self.used += bytes;
+        let mut evicted = 0;
+        while self.used > self.budget {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, slot)| slot.stamp)
+                .map(|(k, _)| k.clone())
+                .expect("over-budget cache cannot be empty");
+            let slot = self.map.remove(&victim).expect("victim exists");
+            self.used -= slot.bytes;
+            self.evictions += 1;
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut cache: ByteLru<&str, u32> = ByteLru::new(30);
+        cache.insert("a", 1, 10);
+        cache.insert("b", 2, 10);
+        cache.insert("c", 3, 10);
+        assert_eq!(cache.len(), 3);
+        // Touch "a" so "b" becomes the LRU victim.
+        assert_eq!(cache.get(&"a"), Some(&1));
+        let evicted = cache.insert("d", 4, 10);
+        assert_eq!(evicted, 1);
+        assert!(cache.get(&"b").is_none(), "LRU entry must go first");
+        assert_eq!(cache.get(&"a"), Some(&1));
+        assert_eq!(cache.get(&"c"), Some(&3));
+        assert_eq!(cache.get(&"d"), Some(&4));
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn byte_budget_not_entry_count_bounds_the_cache() {
+        let mut cache: ByteLru<u32, u32> = ByteLru::new(100);
+        for i in 0..10 {
+            cache.insert(i, i, 5); // 50 bytes total: all fit
+        }
+        assert_eq!(cache.len(), 10);
+        assert_eq!(cache.bytes_used(), 50);
+        // One big entry forces several small ones out.
+        let evicted = cache.insert(99, 99, 80);
+        assert!(evicted >= 3, "evicted {evicted}");
+        assert!(cache.bytes_used() <= 100);
+        assert_eq!(cache.get(&99), Some(&99));
+    }
+
+    #[test]
+    fn oversized_payloads_are_not_cached() {
+        let mut cache: ByteLru<u32, u32> = ByteLru::new(10);
+        cache.insert(1, 1, 4);
+        assert_eq!(cache.insert(2, 2, 11), 0);
+        assert!(cache.get(&2).is_none());
+        assert_eq!(cache.get(&1), Some(&1), "existing entries undisturbed");
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_accounting() {
+        let mut cache: ByteLru<&str, u32> = ByteLru::new(20);
+        cache.insert("a", 1, 8);
+        cache.insert("a", 2, 12);
+        assert_eq!(cache.bytes_used(), 12);
+        assert_eq!(cache.get(&"a"), Some(&2));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn scan_does_not_touch_recency() {
+        let mut cache: ByteLru<&str, u32> = ByteLru::new(20);
+        cache.insert("old", 1, 10);
+        cache.insert("new", 2, 10);
+        // Scanning "old" must not rescue it from eviction.
+        let seen: Vec<&str> = cache.scan().map(|(k, _)| *k).collect();
+        assert_eq!(seen.len(), 2);
+        cache.insert("next", 3, 10);
+        assert!(cache.get(&"old").is_none());
+    }
+
+    #[test]
+    fn zero_budget_caches_nothing() {
+        let mut cache: ByteLru<u32, u32> = ByteLru::new(0);
+        assert_eq!(cache.insert(1, 1, 1), 0);
+        assert!(cache.is_empty());
+        // Zero-byte payloads do fit a zero budget (degenerate but
+        // consistent).
+        cache.insert(2, 2, 0);
+        assert_eq!(cache.get(&2), Some(&2));
+    }
+}

@@ -117,7 +117,8 @@ mod tests {
             .collect();
         let region = Region::hyperrect(vec![0.2, 0.15], vec![0.35, 0.3]);
         let tree = RTree::bulk_load(&pts);
-        let cands = r_skyband(&pts, &tree, &region, 5, true, &mut Stats::new());
+        let store = utk_geom::PointStore::from_rows(&pts);
+        let cands = r_skyband(&store, &tree, &region, 5, true, &mut Stats::new());
         (pts, region, cands)
     }
 

@@ -9,9 +9,12 @@
 //!
 //! * the dataset and its R-tree are built **once**, at engine
 //!   construction;
-//! * the r-skyband + graph of each `(k, R)` pair is **memoized**, so
-//!   repeating a region with a different algorithm, or re-running a
-//!   query, skips the filtering phase entirely;
+//! * the r-skyband + graph of each `(k, R)` pair is **memoized** in a
+//!   byte-budgeted LRU cache ([`crate::cache::ByteLru`]), so repeating
+//!   a region with a different algorithm, or re-running a query, skips
+//!   the filtering phase entirely; on an exact miss, a cached
+//!   *containing* region's candidate set is re-screened into the exact
+//!   answer (superset reuse) instead of re-running BBS over the tree;
 //! * generalized-scoring transforms (§6) of the dataset, and their
 //!   R-trees, are memoized the same way;
 //! * a persistent work-stealing [`ThreadPool`] is built lazily for
@@ -52,23 +55,25 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::baseline::{baseline_utk1, FilterKind};
+use crate::cache::ByteLru;
 use crate::error::UtkError;
 use crate::jaa::{jaa_parallel_refine, jaa_refine, records_of, JaaOptions, Utk2Cell, Utk2Result};
 use crate::parallel::ThreadPool;
 use crate::rsa::{rsa_refine, RsaOptions, Utk1Result};
 use crate::scoring::GeneralScoring;
-use crate::skyband::{r_skyband, CandidateSet};
+use crate::skyband::{r_skyband, r_skyband_from_superset, CandidateSet};
 use crate::stats::Stats;
 use utk_geom::tol::INTERIOR_EPS;
-use utk_geom::Region;
+use utk_geom::{PointStore, Region};
 use utk_rtree::RTree;
 
-/// Memoized r-skyband entries kept per engine before arbitrary
-/// eviction kicks in.
-const FILTER_CACHE_CAPACITY: usize = 128;
-/// Memoized transformed datasets (generalized scoring) kept per
-/// engine.
-const SCORING_CACHE_CAPACITY: usize = 8;
+/// Default byte budget of the r-skyband filter cache (payload bytes
+/// of the cached [`CandidateSet`]s plus their region keys).
+pub const DEFAULT_FILTER_CACHE_BUDGET: usize = 64 << 20;
+/// Default byte budget of the transformed-dataset (generalized
+/// scoring) cache — entries are full dataset copies plus an R-tree,
+/// so the budget is wider.
+pub const DEFAULT_SCORING_CACHE_BUDGET: usize = 256 << 20;
 
 /// Which processing algorithm answers the query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -368,11 +373,25 @@ impl QueryResult {
 }
 
 /// One scoring's view of the dataset: the (possibly transformed)
-/// points and their R-tree.
+/// points — row layout for the baselines and transforms, flat layout
+/// for the filtering hot path — and their R-tree.
 #[derive(Debug)]
 struct Scored {
     points: Vec<Vec<f64>>,
+    store: PointStore,
     tree: RTree,
+}
+
+impl Scored {
+    /// Payload bytes for the scoring cache's budget accounting.
+    fn approx_bytes(&self) -> usize {
+        let rows: usize = self
+            .points
+            .iter()
+            .map(|p| std::mem::size_of::<Vec<f64>>() + p.len() * 8)
+            .sum();
+        rows + self.store.approx_bytes() + self.tree.approx_bytes()
+    }
 }
 
 /// A validated region's interior, or the shortcut answer when it has
@@ -395,6 +414,14 @@ impl DataRef<'_> {
         match self {
             DataRef::Base(e) => &e.points,
             DataRef::Transformed(s) => &s.points,
+        }
+    }
+
+    /// The flat layout of the same dataset (the filtering hot path).
+    fn store(&self) -> &PointStore {
+        match self {
+            DataRef::Base(e) => &e.store,
+            DataRef::Transformed(s) => &s.store,
         }
     }
 
@@ -501,6 +528,20 @@ pub(crate) fn check_region(region: &Region, dp: usize) -> Result<(), UtkError> {
     Ok(())
 }
 
+/// One filter-cache payload: the candidate set plus the region it was
+/// filtered for (the geometry the superset-containment probe tests).
+#[derive(Debug, Clone)]
+struct FilterEntry {
+    region: Region,
+    cands: Arc<CandidateSet>,
+}
+
+impl FilterEntry {
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.region.approx_bytes() + self.cands.approx_bytes()
+    }
+}
+
 /// The engine's shared state: one allocation behind the [`UtkEngine`]
 /// handle, so clones of the handle (and [`UtkEngine::run_many`] batch
 /// jobs on the worker pool) all serve the same dataset, caches and
@@ -508,13 +549,20 @@ pub(crate) fn check_region(region: &Region, dp: usize) -> Result<(), UtkError> {
 #[derive(Debug)]
 struct EngineInner {
     points: Vec<Vec<f64>>,
+    /// Flat row-major copy of `points` — the layout the filtering hot
+    /// path reads. Both layouts are kept: rows feed the baselines and
+    /// scoring transforms, the store feeds every r-skyband screen.
+    store: PointStore,
     dim: usize,
     tree: RTree,
     cache_enabled: bool,
-    filter_cache: Mutex<HashMap<FilterKey, Arc<CandidateSet>>>,
-    scoring_cache: Mutex<HashMap<ScoringKey, Arc<Scored>>>,
+    filter_cache: Mutex<ByteLru<FilterKey, FilterEntry>>,
+    scoring_cache: Mutex<ByteLru<ScoringKey, Arc<Scored>>>,
     filter_hits: AtomicUsize,
     filter_misses: AtomicUsize,
+    /// Cache misses answered by re-screening a containing region's
+    /// cached candidate set instead of a full BBS run.
+    superset_hits: AtomicUsize,
     /// Requested pool size (0 = one worker per available core);
     /// applied when the pool is first needed.
     pool_threads_cfg: usize,
@@ -567,16 +615,19 @@ impl UtkEngine {
             }
         }
         let tree = RTree::bulk_load(&points);
+        let store = PointStore::from_rows(&points);
         Ok(Self {
             inner: Arc::new(EngineInner {
                 points,
+                store,
                 dim,
                 tree,
                 cache_enabled: true,
-                filter_cache: Mutex::new(HashMap::new()),
-                scoring_cache: Mutex::new(HashMap::new()),
+                filter_cache: Mutex::new(ByteLru::new(DEFAULT_FILTER_CACHE_BUDGET)),
+                scoring_cache: Mutex::new(ByteLru::new(DEFAULT_SCORING_CACHE_BUDGET)),
                 filter_hits: AtomicUsize::new(0),
                 filter_misses: AtomicUsize::new(0),
+                superset_hits: AtomicUsize::new(0),
                 pool_threads_cfg: 0,
                 pool: OnceLock::new(),
                 pool_builds: AtomicUsize::new(0),
@@ -597,6 +648,25 @@ impl UtkEngine {
         Arc::get_mut(&mut self.inner)
             .expect("without_filter_cache must be called before the engine is cloned")
             .cache_enabled = false;
+        self
+    }
+
+    /// Sets the byte budget of the r-skyband filter cache (default
+    /// [`DEFAULT_FILTER_CACHE_BUDGET`]). Accounting covers the cached
+    /// `CandidateSet` payloads (ids, flat points, graph) plus their
+    /// region keys; least-recently-used entries are evicted once the
+    /// budget is exceeded. Builder-style: call right after
+    /// construction, before the engine is cloned or queried.
+    pub fn with_filter_cache_budget(self, bytes: usize) -> Self {
+        *self.inner.filter_cache.lock().expect("cache lock") = ByteLru::new(bytes);
+        self
+    }
+
+    /// Sets the byte budget of the transformed-dataset (generalized
+    /// scoring) cache (default [`DEFAULT_SCORING_CACHE_BUDGET`]).
+    /// Builder-style, like [`UtkEngine::with_filter_cache_budget`].
+    pub fn with_scoring_cache_budget(self, bytes: usize) -> Self {
+        *self.inner.scoring_cache.lock().expect("cache lock") = ByteLru::new(bytes);
         self
     }
 
@@ -665,12 +735,38 @@ impl UtkEngine {
     }
 
     /// `(hits, misses)` of the r-skyband cache over this engine's
-    /// lifetime.
+    /// lifetime. Superset reuses count as misses (the exact entry was
+    /// absent) — see [`UtkEngine::filter_superset_hits`].
     pub fn filter_cache_counters(&self) -> (usize, usize) {
         (
             self.inner.filter_hits.load(Ordering::Relaxed),
             self.inner.filter_misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Cache misses served by re-screening a cached candidate set of
+    /// a containing region (`R' ⊇ R`) instead of a full BBS run.
+    pub fn filter_superset_hits(&self) -> usize {
+        self.inner.superset_hits.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes currently held by the r-skyband filter cache.
+    pub fn filter_cache_bytes(&self) -> usize {
+        self.inner
+            .filter_cache
+            .lock()
+            .expect("cache lock")
+            .bytes_used()
+    }
+
+    /// LRU evictions of the r-skyband filter cache over this engine's
+    /// lifetime.
+    pub fn filter_cache_evictions(&self) -> usize {
+        self.inner
+            .filter_cache
+            .lock()
+            .expect("cache lock")
+            .evictions()
     }
 
     /// Number of memoized r-skyband candidate sets currently held.
@@ -810,7 +906,7 @@ impl UtkEngine {
         })?;
         let reduced = self.reduced_weights(weights)?;
         let data = self.data_for(query.scoring.as_ref())?;
-        let records = crate::topk::top_k_brute(data.points(), reduced, query.k);
+        let records = crate::topk::top_k_store(data.store(), reduced, query.k);
         Ok(TopKResult {
             records,
             stats: Stats::new(),
@@ -932,7 +1028,7 @@ impl UtkEngine {
         };
         if slack <= INTERIOR_EPS {
             let w = region.pivot().ok_or(UtkError::EmptyRegion)?;
-            let mut top_k = crate::topk::top_k_brute(data.points(), &w, k);
+            let mut top_k = crate::topk::top_k_store(data.store(), &w, k);
             top_k.sort_unstable();
             return Ok(RegionInterior::Degenerate { w, top_k });
         }
@@ -1060,9 +1156,23 @@ impl UtkEngine {
         })
     }
 
-    /// The r-skyband + r-dominance graph for `(k, region)`, memoized.
-    /// Returns the candidate set plus the stats of obtaining it (full
-    /// filter counters on a miss; a cache-hit marker on a hit).
+    /// The r-skyband + r-dominance graph for `(k, region)`, memoized
+    /// in the byte-budgeted LRU filter cache. Returns the candidate
+    /// set plus the stats of obtaining it.
+    ///
+    /// Lookup order:
+    /// 1. exact `(k, region, scoring)` entry — a hit serves the
+    ///    memoized set directly;
+    /// 2. **superset reuse** (pivot order only): a cached entry whose
+    ///    region *contains* this query's region, with the same `k` and
+    ///    scoring, is re-screened via
+    ///    [`r_skyband_from_superset`] — byte-identical to a cold run
+    ///    at a fraction of the dominance tests;
+    /// 3. a cold BBS run over the R-tree.
+    ///
+    /// Both miss paths insert their result (evicting LRU entries past
+    /// the byte budget) and count toward [`Stats::evictions`] /
+    /// [`Stats::filter_cache_bytes`].
     fn candidates(
         &self,
         data: &DataRef<'_>,
@@ -1072,7 +1182,7 @@ impl UtkEngine {
         let mut stats = Stats::new();
         if !self.inner.cache_enabled {
             let cands = r_skyband(
-                data.points(),
+                data.store(),
                 data.tree(),
                 region,
                 query.k,
@@ -1091,36 +1201,62 @@ impl UtkEngine {
             "candidates() must be keyed on the query's own region"
         );
         let key = FilterKey::of(query);
-        if let Some(hit) = self
-            .inner
-            .filter_cache
-            .lock()
-            .expect("cache lock")
-            .get(&key)
-        {
-            self.inner.filter_hits.fetch_add(1, Ordering::Relaxed);
-            stats.filter_cache_hits = 1;
-            stats.candidates = hit.len();
-            return Ok((Arc::clone(hit), stats));
-        }
-        self.inner.filter_misses.fetch_add(1, Ordering::Relaxed);
-        let cands = Arc::new(r_skyband(
-            data.points(),
-            data.tree(),
-            region,
-            query.k,
-            query.pivot_order(),
-            &mut stats,
-        ));
-        let mut cache = self.inner.filter_cache.lock().expect("cache lock");
-        if cache.len() >= FILTER_CACHE_CAPACITY {
-            // Arbitrary single eviction keeps the bound without a full
-            // LRU; fine at this capacity.
-            if let Some(victim) = cache.keys().next().cloned() {
-                cache.remove(&victim);
+        let superset: Option<Arc<CandidateSet>> = {
+            let mut cache = self.inner.filter_cache.lock().expect("cache lock");
+            if let Some(hit) = cache.get(&key) {
+                let cands = Arc::clone(&hit.cands);
+                self.inner.filter_hits.fetch_add(1, Ordering::Relaxed);
+                stats.filter_cache_hits = 1;
+                stats.candidates = cands.len();
+                stats.filter_cache_bytes = cache.bytes_used();
+                return Ok((cands, stats));
             }
-        }
-        cache.insert(key, Arc::clone(&cands));
+            // Exact miss: probe for a cached containing region. Valid
+            // only under the pivot heap key — the re-screen reproduces
+            // cold pop order from pivot scores, which the sum-key
+            // ablation does not bound.
+            if query.pivot_order() {
+                let best = cache
+                    .scan()
+                    .filter(|(ck, _)| ck.k == key.k && ck.pivot_order && ck.scoring == key.scoring)
+                    .filter(|(_, entry)| entry.region.contains_region(region))
+                    // Smallest candidate set re-screens cheapest; the
+                    // fingerprint tie-break keeps the choice
+                    // deterministic under HashMap iteration order.
+                    .min_by_key(|(ck, entry)| (entry.cands.len(), ck.region.clone()))
+                    .map(|(ck, entry)| (ck.clone(), Arc::clone(&entry.cands)));
+                best.map(|(ck, cands)| {
+                    cache.touch(&ck);
+                    cands
+                })
+            } else {
+                None
+            }
+        };
+        self.inner.filter_misses.fetch_add(1, Ordering::Relaxed);
+        let cands = match &superset {
+            Some(sup) => {
+                self.inner.superset_hits.fetch_add(1, Ordering::Relaxed);
+                stats.superset_hits = 1;
+                Arc::new(r_skyband_from_superset(sup, region, query.k, &mut stats))
+            }
+            None => Arc::new(r_skyband(
+                data.store(),
+                data.tree(),
+                region,
+                query.k,
+                query.pivot_order(),
+                &mut stats,
+            )),
+        };
+        let entry = FilterEntry {
+            region: region.clone(),
+            cands: Arc::clone(&cands),
+        };
+        let bytes = entry.approx_bytes();
+        let mut cache = self.inner.filter_cache.lock().expect("cache lock");
+        stats.evictions = cache.insert(key, entry, bytes);
+        stats.filter_cache_bytes = cache.bytes_used();
         Ok((cands, stats))
     }
 
@@ -1160,15 +1296,16 @@ impl UtkEngine {
             });
         }
         let tree = RTree::bulk_load(&points);
-        let scored = Arc::new(Scored { points, tree });
+        let store = PointStore::from_rows(&points);
+        let scored = Arc::new(Scored {
+            points,
+            store,
+            tree,
+        });
         if self.inner.cache_enabled {
+            let bytes = scored.approx_bytes();
             let mut cache = self.inner.scoring_cache.lock().expect("cache lock");
-            if cache.len() >= SCORING_CACHE_CAPACITY {
-                if let Some(victim) = cache.keys().next().cloned() {
-                    cache.remove(&victim);
-                }
-            }
-            cache.insert(key, Arc::clone(&scored));
+            cache.insert(key, Arc::clone(&scored), bytes);
         }
         Ok(DataRef::Transformed(scored))
     }

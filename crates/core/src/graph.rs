@@ -8,7 +8,7 @@
 //! search (§4.3).
 
 /// The r-dominance DAG over candidate indices `0..len`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DominanceGraph {
     ancestors: Vec<Vec<u32>>,
     descendants: Vec<Vec<u32>>,
@@ -90,6 +90,22 @@ impl DominanceGraph {
     /// Nodes with r-dominance count 0.
     pub fn roots(&self) -> &[u32] {
         &self.roots
+    }
+
+    /// Heap bytes held by the graph's adjacency lists (cache
+    /// accounting).
+    pub fn approx_bytes(&self) -> usize {
+        let meta = std::mem::size_of::<Vec<u32>>();
+        let nested = |vv: &[Vec<u32>]| {
+            vv.iter()
+                .map(|v| meta + v.len() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+        };
+        std::mem::size_of::<Self>()
+            + nested(&self.ancestors)
+            + nested(&self.descendants)
+            + nested(&self.children)
+            + self.roots.len() * std::mem::size_of::<u32>()
     }
 
     /// The node's r-dominance count (§4.1).

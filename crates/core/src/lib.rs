@@ -70,6 +70,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod cache;
 pub mod drill;
 pub mod engine;
 pub mod error;
@@ -90,15 +91,16 @@ pub mod topk;
 /// functions, and the shared substrate types.
 pub mod prelude {
     pub use crate::baseline::{baseline_utk1, baseline_utk2, FilterKind};
+    pub use crate::cache::ByteLru;
     pub use crate::engine::{Algo, QueryKind, QueryResult, TopKResult, UtkEngine, UtkQuery};
     pub use crate::error::UtkError;
     pub use crate::jaa::{jaa, jaa_parallel, jaa_with_tree, JaaOptions, Utk2Cell, Utk2Result};
     pub use crate::parallel::{rsa_parallel, rsa_parallel_with_tree, TaskSet, ThreadPool};
     pub use crate::rsa::{rsa, rsa_with_tree, RsaOptions, Utk1Result};
     pub use crate::scoring::GeneralScoring;
-    pub use crate::skyband::{k_skyband, r_skyband, CandidateSet};
+    pub use crate::skyband::{k_skyband, r_skyband, r_skyband_from_superset, CandidateSet};
     pub use crate::stats::Stats;
-    pub use utk_geom::Region;
+    pub use utk_geom::{PointStore, PointStoreBuilder, Region};
 }
 
 pub use prelude::*;

@@ -54,6 +54,74 @@ pub fn r_dominates(p: &[f64], q: &[f64], region: &Region) -> bool {
     r_dominance(p, q, region) == RDominance::Dominates
 }
 
+/// Classifies from the `(min, max)` range of `S(p) − S(q)` over the
+/// region — the shared decision rule of [`r_dominance`], its scratch
+/// variant, and the cached corner-score sweep.
+#[inline]
+pub fn classify_delta_range(min: f64, max: f64) -> RDominance {
+    if min >= -EPS {
+        if max > EPS {
+            RDominance::Dominates
+        } else {
+            RDominance::Equivalent
+        }
+    } else if max <= EPS {
+        RDominance::DominatedBy
+    } else {
+        RDominance::Incomparable
+    }
+}
+
+/// Allocation-free equivalent of [`r_dominance`]: the affine delta
+/// coefficients are written into the caller-provided `scratch` buffer
+/// instead of a fresh `Vec` per test. Identical classification, bit
+/// for bit — the same arithmetic in the same order.
+pub fn r_dominance_scratch(
+    p: &[f64],
+    q: &[f64],
+    region: &Region,
+    scratch: &mut Vec<f64>,
+) -> RDominance {
+    debug_assert_eq!(p.len(), q.len());
+    let d = p.len();
+    let (pd, qd) = (p[d - 1], q[d - 1]);
+    scratch.clear();
+    scratch.extend((0..d - 1).map(|i| (p[i] - pd) - (q[i] - qd)));
+    let Some((min, max)) = region.linear_range(scratch, pd - qd) else {
+        return RDominance::Equivalent;
+    };
+    classify_delta_range(min, max)
+}
+
+/// Classifies r-dominance from per-vertex scores cached on admission:
+/// `pscores[j]` and `qscores[j]` are `S(p)` and `S(q)` at the region's
+/// j-th vertex (box corner or polytope vertex). Because an affine
+/// function over a convex region attains its extremes at vertices,
+/// sweeping the cached scores yields the exact delta range — no
+/// coordinate access, no allocation. Early-exits once the range
+/// certifies `Incomparable`.
+#[inline]
+pub fn classify_corner_scores(pscores: &[f64], qscores: &[f64]) -> RDominance {
+    debug_assert_eq!(pscores.len(), qscores.len());
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for (ps, qs) in pscores.iter().zip(qscores) {
+        let delta = ps - qs;
+        if delta < min {
+            min = delta;
+        }
+        if delta > max {
+            max = delta;
+        }
+        // Both sides witnessed beyond tolerance: incomparable, no
+        // later vertex can change that.
+        if min < -EPS && max > EPS {
+            return RDominance::Incomparable;
+        }
+    }
+    classify_delta_range(min, max)
+}
+
 /// The half-space of the preference domain where record `q` (with
 /// dataset id `q_id`) *outranks* record `p` (id `p_id`) under the
 /// deterministic tie-break used throughout this workspace: higher

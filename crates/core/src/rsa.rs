@@ -465,7 +465,8 @@ mod tests {
         let res = rsa(&pts, &region, k, &RsaOptions::default());
 
         let tree = RTree::bulk_load(&pts);
-        let cs = r_skyband(&pts, &tree, &region, k, true, &mut Stats::new());
+        let store = utk_geom::PointStore::from_rows(&pts);
+        let cs = r_skyband(&store, &tree, &region, k, true, &mut Stats::new());
         for id in &res.records {
             assert!(cs.ids.contains(id), "UTK1 must be inside the r-skyband");
         }

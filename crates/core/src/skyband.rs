@@ -13,22 +13,74 @@
 //! least as high at the pivot, it pops no later than its dominatees —
 //! so, as the paper observes, the r-dominance graph arcs come for free
 //! from the membership tests.
+//!
+//! # The flat screen loop
+//!
+//! The screen — "how many current members r-dominate this probe?" —
+//! is the hot loop of every UTK query, so it runs on a flat layout
+//! with zero per-test allocations ([`BandScreen`]):
+//!
+//! * the dataset and the admitted members live in row-major
+//!   [`PointStore`]s (one contiguous `f64` buffer, stride `d`);
+//! * when the region has a vertex list (box corners, polytope
+//!   vertices), each member's scores at those vertices are computed
+//!   **once on admission**; a probe's scores are computed once per
+//!   pop, and each r-dominance test is a sweep over two cached score
+//!   slices with early exit — no coordinate access, no `Vec` per test;
+//! * the pivot-order invariant (an r-dominator scores at least as
+//!   high as its dominatee at the pivot, strictly so over
+//!   full-dimensional regions) cuts each screen to the prefix of
+//!   members whose pivot score reaches the probe's. Under the pivot
+//!   heap key that prefix is the entire member list — BBS already
+//!   pops dominators first — so the cut costs one binary search and
+//!   pays off where admission order and pivot order part ways: the
+//!   coordinate-sum ablation key, and NaN-degraded probes.
+//!
+//! # Superset reuse
+//!
+//! For regions `R ⊆ R'`, the r-skyband over `R` is a subset of the
+//! r-skyband over `R'` (r-dominance over the larger region implies it
+//! over the smaller, so records only gain dominators as the region
+//! shrinks). [`r_skyband_from_superset`] exploits that: it re-screens
+//! a cached candidate set for `R'` in the exact cold-BBS pop order of
+//! `R` — descending pivot score, ties to the smaller id — and
+//! reproduces the cold [`CandidateSet`] byte for byte (ids, points,
+//! graph) while testing only `|R'-skyband|` records instead of
+//! traversing the whole tree. The engine's filter cache probes
+//! containing regions on a miss and routes through it.
 
 use crate::graph::DominanceGraph;
-use crate::rdominance::{dominates, r_dominance, RDominance};
+use crate::rdominance::{classify_corner_scores, dominates, r_dominance_scratch, RDominance};
 use crate::stats::Stats;
-use utk_geom::{pref_score, Region};
+use utk_geom::{pref_score, PointStore, PointStoreBuilder, Region};
 use utk_rtree::RTree;
 
+/// Vertex-list cap for the corner-score fast path: boxes above this
+/// many corners (`2^dim`) and polytopes above this many vertices fall
+/// back to the allocation-free affine-delta test. Covers the paper's
+/// whole dimensionality range (`d ≤ 7` ⇒ ≤ 64 corners) with room.
+const CORNER_CAP: usize = 256;
+
+/// Safety margin of the pivot-score prefix cut. A member can only
+/// r-dominate a probe if its score delta at the pivot is at least
+/// `-EPS` (the classification tolerance); member and probe scores are
+/// computed to ~1e-13 absolute error on this workspace's normalized
+/// data, so a member whose cached pivot score falls more than this
+/// margin below the probe's provably cannot dominate it.
+const PREFIX_MARGIN: f64 = 1e-6;
+
 /// Output of the filtering step: the r-skyband records, their
-/// attribute vectors, and the r-dominance graph over them.
-#[derive(Debug, Clone)]
+/// attribute vectors (flat, row-major), and the r-dominance graph
+/// over them.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CandidateSet {
     /// Dataset ids of the candidates, in BBS pop (descending pivot
     /// score) order.
     pub ids: Vec<u32>,
-    /// Candidate attribute vectors, parallel to `ids`.
-    pub points: Vec<Vec<f64>>,
+    /// Candidate attribute vectors, parallel to `ids`, in a flat
+    /// [`PointStore`] (index `i` yields the `d`-length slice of
+    /// candidate `i`).
+    pub points: PointStore,
     /// r-dominance graph over candidate indices `0..ids.len()`.
     pub graph: DominanceGraph,
 }
@@ -42,6 +94,15 @@ impl CandidateSet {
     /// True when the filter retained nothing (empty dataset edge).
     pub fn is_empty(&self) -> bool {
         self.ids.is_empty()
+    }
+
+    /// Heap bytes held by the candidate set — the payload size the
+    /// engine's byte-budgeted filter cache accounts with.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.ids.len() * std::mem::size_of::<u32>()
+            + self.points.approx_bytes()
+            + self.graph.approx_bytes()
     }
 }
 
@@ -80,6 +141,11 @@ pub(crate) enum Prefilter {
 /// interior computation, the degenerate-`R` shortcut (§3.1), the
 /// r-skyband filter (§4.1), and the `|candidates| ≤ k` shortcut.
 ///
+/// Builds a fresh flat [`PointStore`] per call — the legacy free
+/// functions this serves rebuild all state per call by design; the
+/// engine path holds a prebuilt store and calls [`r_skyband`]
+/// directly.
+///
 /// # Panics
 /// Panics if the region is empty (the legacy contract; the engine
 /// validates regions before calling in).
@@ -101,7 +167,8 @@ pub(crate) fn prefilter(
         top_k.sort_unstable();
         return Prefilter::Degenerate { w, top_k };
     }
-    let cands = r_skyband(points, tree, region, k, pivot_order, stats);
+    let store = PointStore::from_rows(points);
+    let cands = r_skyband(&store, tree, region, k, pivot_order, stats);
     if cands.len() <= k {
         let mut ids = cands.ids.clone();
         ids.sort_unstable();
@@ -148,9 +215,207 @@ pub fn k_skyband(points: &[Vec<f64>], tree: &RTree, k: usize, stats: &mut Stats)
     band
 }
 
+/// The allocation-free r-skyband screen: admitted members in flat
+/// storage, per-member region-vertex scores cached on admission, and
+/// the pivot-score prefix cut. See the [module docs](self).
+///
+/// Protocol per probe: call [`BandScreen::screen`]; if it returns
+/// `true` (fewer than `k` dominators) and the probe is a record,
+/// immediately call [`BandScreen::admit_last`] — it consumes the
+/// probe state (corner scores, pivot score, dominator list) left by
+/// that `screen` call.
+struct BandScreen<'r> {
+    region: &'r Region,
+    k: usize,
+    pivot: Vec<f64>,
+    /// Region vertices (box corners / polytope vertices), when small
+    /// enough to cache scores against; `None` falls back to the
+    /// scratch affine-delta test.
+    corners: Option<PointStore>,
+    member_points: PointStoreBuilder,
+    member_ids: Vec<u32>,
+    member_pivot_scores: Vec<f64>,
+    /// Member indices by descending pivot score (NaN last). Under the
+    /// pivot heap key this stays the identity permutation.
+    by_pivot: Vec<u32>,
+    /// Member scores at the region vertices, stride = corner count.
+    member_corner_scores: Vec<f64>,
+    dominator_lists: Vec<Vec<u32>>,
+    // Per-probe scratch (no allocations after warm-up).
+    probe_corner_scores: Vec<f64>,
+    probe_pivot_score: f64,
+    doms_scratch: Vec<u32>,
+    delta_scratch: Vec<f64>,
+}
+
+impl<'r> BandScreen<'r> {
+    fn new(region: &'r Region, k: usize) -> Self {
+        let pivot = region.pivot().expect("query region must be non-empty");
+        let corners = region.vertex_store(CORNER_CAP);
+        Self {
+            region,
+            k,
+            pivot,
+            corners,
+            member_points: PointStoreBuilder::default(),
+            member_ids: Vec::new(),
+            member_pivot_scores: Vec::new(),
+            by_pivot: Vec::new(),
+            member_corner_scores: Vec::new(),
+            dominator_lists: Vec::new(),
+            probe_corner_scores: Vec::new(),
+            probe_pivot_score: f64::NAN,
+            doms_scratch: Vec::new(),
+            delta_scratch: Vec::new(),
+        }
+    }
+
+    /// The region's pivot (the BBS heap key vector).
+    fn pivot(&self) -> &[f64] {
+        &self.pivot
+    }
+
+    /// Screens probe `p` (a record or a node MBB top corner) against
+    /// the current members: `true` iff fewer than `k` members
+    /// r-dominate it. Fills the probe state [`BandScreen::admit_last`]
+    /// consumes.
+    fn screen(&mut self, p: &[f64], stats: &mut Stats) -> bool {
+        if let Some(corners) = &self.corners {
+            self.probe_corner_scores.clear();
+            self.probe_corner_scores
+                .extend(corners.iter().map(|v| pref_score(p, v)));
+        }
+        let s_piv = pref_score(p, &self.pivot);
+        self.probe_pivot_score = s_piv;
+        // Prefix cut: members below the probe's pivot score (beyond
+        // the safety margin) provably cannot dominate it. NaN probes
+        // scan everything — the invariant says nothing about them.
+        let cut = if s_piv.is_nan() {
+            self.by_pivot.len()
+        } else {
+            let scores = &self.member_pivot_scores;
+            self.by_pivot
+                .partition_point(|&mi| scores[mi as usize] >= s_piv - PREFIX_MARGIN)
+        };
+        stats.screen_prefix_skips += self.by_pivot.len() - cut;
+        self.doms_scratch.clear();
+        let nc = self.corners.as_ref().map_or(0, |c| c.len());
+        for idx in 0..cut {
+            let mi = self.by_pivot[idx];
+            stats.rdom_tests += 1;
+            let dominates = if let Some(_corners) = &self.corners {
+                let base = mi as usize * nc;
+                let ms = &self.member_corner_scores[base..base + nc];
+                classify_corner_scores(ms, &self.probe_corner_scores) == RDominance::Dominates
+            } else {
+                r_dominance_scratch(
+                    self.member_points.point(mi as usize),
+                    p,
+                    self.region,
+                    &mut self.delta_scratch,
+                ) == RDominance::Dominates
+            };
+            if dominates {
+                self.doms_scratch.push(mi);
+                if self.doms_scratch.len() >= self.k {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Admits the record probed by the immediately preceding
+    /// [`BandScreen::screen`] call: appends its coordinates, cached
+    /// vertex scores, pivot score, and dominator list.
+    fn admit_last(&mut self, id: u32, p: &[f64]) {
+        if self.member_ids.is_empty() {
+            // First admission fixes the stride.
+            self.member_points = PointStoreBuilder::new(p.len());
+        }
+        let mi = self.member_ids.len() as u32;
+        self.member_ids.push(id);
+        self.member_points.push(p);
+        if self.corners.is_some() {
+            self.member_corner_scores
+                .extend_from_slice(&self.probe_corner_scores);
+        }
+        let s = self.probe_pivot_score;
+        self.member_pivot_scores.push(s);
+        // Keep `by_pivot` descending (NaN last), inserting after
+        // equal scores so the pivot heap key keeps it the identity.
+        let pos = if s.is_nan() {
+            self.by_pivot.len()
+        } else {
+            let scores = &self.member_pivot_scores;
+            self.by_pivot.partition_point(|&m| scores[m as usize] >= s)
+        };
+        self.by_pivot.insert(pos, mi);
+        self.dominator_lists.push(self.doms_scratch.clone());
+    }
+
+    /// Finalizes into the candidate set pieces.
+    fn finish(self, dim: usize) -> (Vec<u32>, PointStore, Vec<Vec<u32>>) {
+        let points = if self.member_ids.is_empty() {
+            PointStoreBuilder::new(dim).finish()
+        } else {
+            self.member_points.finish()
+        };
+        (self.member_ids, points, self.dominator_lists)
+    }
+}
+
+/// One BBS heap entry: a record or a node under a max-heap key.
+///
+/// The ordering is total and fully deterministic: descending key with
+/// NaN keys last (a pathological record degrades the search order
+/// instead of aborting it), then nodes before records, then smaller
+/// id first — which makes the record pop order exactly "descending
+/// key, ties by ascending id", the order
+/// [`r_skyband_from_superset`] reproduces (see [`Entry`]'s `Ord`).
+#[derive(Debug)]
+struct Entry {
+    key: f64,
+    is_node: bool,
+    id: usize,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        match (self.key.is_nan(), other.key.is_nan()) {
+            (true, true) => std::cmp::Ordering::Equal,
+            (true, false) => std::cmp::Ordering::Less,
+            (false, true) => std::cmp::Ordering::Greater,
+            (false, false) => self.key.total_cmp(&other.key),
+        }
+        // Larger compares greater ⇒ pops first from the max-heap; on
+        // key ties, *nodes pop before records*, then smaller ids
+        // first. Nodes-before-records is load-bearing: a node's key
+        // upper-bounds every record inside it, so by the time the
+        // first record at key κ pops, every node at key ≥ κ has
+        // expanded and every key-κ record sits in the heap — records
+        // at equal keys therefore pop in ascending id order, the
+        // exact order [`r_skyband_from_superset`] reproduces.
+        .then(self.is_node.cmp(&other.is_node))
+        .then(other.id.cmp(&self.id))
+    }
+}
+
 /// r-skyband via the adapted BBS (§4.1): candidates r-dominated by
 /// fewer than `k` others over `region`, along with all r-dominance
-/// arcs among them.
+/// arcs among them. `points` is the flat dataset the `tree` was built
+/// over.
 ///
 /// `pivot_order` selects the paper's pivot-score heap key. `false`
 /// falls back to the classic coordinate-sum key (ablation): that key
@@ -160,69 +425,28 @@ pub fn k_skyband(points: &[Vec<f64>], tree: &RTree, k: usize, stats: &mut Stats)
 /// refinement, just looser, which is exactly the paper's argument for
 /// the pivot order.
 pub fn r_skyband(
-    points: &[Vec<f64>],
+    points: &PointStore,
     tree: &RTree,
     region: &Region,
     k: usize,
     pivot_order: bool,
     stats: &mut Stats,
 ) -> CandidateSet {
-    /// Heap key selector: pivot score or classic coordinate sum.
-    type KeyFn = Box<dyn Fn(&[f64]) -> f64>;
-    let pivot = region.pivot().expect("query region must be non-empty");
-    let key_record: KeyFn = if pivot_order {
-        let pv = pivot.clone();
-        Box::new(move |p: &[f64]| pref_score(p, &pv))
-    } else {
-        Box::new(|p: &[f64]| p.iter().sum())
+    let mut screen = BandScreen::new(region, k);
+    let key = |screen: &BandScreen, p: &[f64]| -> f64 {
+        if pivot_order {
+            pref_score(p, screen.pivot())
+        } else {
+            p.iter().sum()
+        }
     };
-
-    let mut ids: Vec<u32> = Vec::new();
-    let mut cpoints: Vec<Vec<f64>> = Vec::new();
-    let mut dominator_lists: Vec<Vec<u32>> = Vec::new();
 
     // A single best-first pass; both records and node top corners are
     // screened against the current skyband by r-dominance.
     let mut heap = std::collections::BinaryHeap::new();
-    #[derive(PartialEq)]
-    struct Entry {
-        key: f64,
-        is_node: bool,
-        id: usize,
-    }
-    impl Eq for Entry {}
-    impl PartialOrd for Entry {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for Entry {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.key
-                .partial_cmp(&other.key)
-                .expect("non-finite BBS key")
-        }
-    }
-
-    // Screens `q` against current members; returns the list of strict
-    // r-dominators if fewer than k, or None when q is disqualified.
-    let screen = |q: &[f64], members: &[Vec<f64>], stats: &mut Stats| -> Option<Vec<u32>> {
-        let mut doms = Vec::new();
-        for (mi, m) in members.iter().enumerate() {
-            stats.rdom_tests += 1;
-            if r_dominance(m, q, region) == RDominance::Dominates {
-                doms.push(mi as u32);
-                if doms.len() >= k {
-                    return None;
-                }
-            }
-        }
-        Some(doms)
-    };
-
     let root = tree.root();
     heap.push(Entry {
-        key: (key_record)(&tree.node(root).mbb.hi),
+        key: key(&screen, &tree.node(root).mbb.hi),
         is_node: true,
         id: root,
     });
@@ -230,14 +454,14 @@ pub fn r_skyband(
         stats.bbs_pops += 1;
         if is_node {
             let node = tree.node(id);
-            if screen(&node.mbb.hi, &cpoints, stats).is_none() {
+            if !screen.screen(&node.mbb.hi, stats) {
                 continue; // subtree fully r-dominated ≥ k times
             }
             match &node.kind {
                 utk_rtree::NodeKind::Inner { children } => {
                     for &c in children {
                         heap.push(Entry {
-                            key: (key_record)(&tree.node(c).mbb.hi),
+                            key: key(&screen, &tree.node(c).mbb.hi),
                             is_node: true,
                             id: c,
                         });
@@ -246,20 +470,80 @@ pub fn r_skyband(
                 utk_rtree::NodeKind::Leaf { items } => {
                     for &rid in items {
                         heap.push(Entry {
-                            key: (key_record)(&points[rid as usize]),
+                            key: key(&screen, &points[rid as usize]),
                             is_node: false,
                             id: rid as usize,
                         });
                     }
                 }
             }
-        } else if let Some(doms) = screen(&points[id], &cpoints, stats) {
-            ids.push(id as u32);
-            cpoints.push(points[id].clone());
-            dominator_lists.push(doms);
+        } else if screen.screen(&points[id], stats) {
+            screen.admit_last(id as u32, &points[id]);
         }
     }
 
+    let (ids, cpoints, dominator_lists) = screen.finish(points.dim());
+    stats.candidates = ids.len();
+    let graph = DominanceGraph::build(dominator_lists);
+    CandidateSet {
+        ids,
+        points: cpoints,
+        graph,
+    }
+}
+
+/// Rebuilds the exact r-skyband of `region` by re-screening a cached
+/// candidate set of a *containing* region (`R' ⊇ R`, same `k`, pivot
+/// order) — the engine's cross-region superset reuse.
+///
+/// The output is byte-identical to a cold [`r_skyband`] run over the
+/// full dataset: candidates are processed in the cold pop order
+/// (descending pivot score of `region`, ties to the smaller dataset
+/// id) through the same [`BandScreen`], so ids, points, and graph
+/// arcs all coincide while only `|superset|` records are screened and
+/// the R-tree is never traversed.
+///
+/// Soundness: shrinking the region only adds r-dominance pairs
+/// (`a·w + c ≥ 0` over `R'` implies it over `R`; strictness transfers
+/// because both regions are full-dimensional), so every member of the
+/// r-skyband over `R` is a member over `R'` — no candidate outside
+/// `superset` can survive a cold run. One honest caveat: that
+/// argument is exact-arithmetic, while classification runs with the
+/// `EPS` tolerance — a pair whose delta range shrinks *into* the
+/// `±EPS` band over `R` (score gaps of ~1e-9 on normalized data)
+/// degrades from `Dominates` to `Equivalent` there, which could in
+/// principle admit a record over `R` that the `R'` filter already
+/// dropped. Such near-tie pairs sit on the same tolerance knife-edge
+/// as every other predicate in this workspace (cold runs included)
+/// and do not arise away from it.
+pub fn r_skyband_from_superset(
+    superset: &CandidateSet,
+    region: &Region,
+    k: usize,
+    stats: &mut Stats,
+) -> CandidateSet {
+    let mut screen = BandScreen::new(region, k);
+    let scores: Vec<f64> = (0..superset.len())
+        .map(|i| pref_score(&superset.points[i], screen.pivot()))
+        .collect();
+    let mut order: Vec<u32> = (0..superset.len() as u32).collect();
+    order.sort_by(|&a, &b| {
+        let (sa, sb) = (scores[a as usize], scores[b as usize]);
+        match (sa.is_nan(), sb.is_nan()) {
+            (true, true) => std::cmp::Ordering::Equal,
+            (true, false) => std::cmp::Ordering::Greater, // NaN last
+            (false, true) => std::cmp::Ordering::Less,
+            (false, false) => sb.total_cmp(&sa),
+        }
+        .then_with(|| superset.ids[a as usize].cmp(&superset.ids[b as usize]))
+    });
+    for &ci in &order {
+        let p = &superset.points[ci as usize];
+        if screen.screen(p, stats) {
+            screen.admit_last(superset.ids[ci as usize], p);
+        }
+    }
+    let (ids, cpoints, dominator_lists) = screen.finish(superset.points.dim());
     stats.candidates = ids.len();
     let graph = DominanceGraph::build(dominator_lists);
     CandidateSet {
@@ -272,6 +556,7 @@ pub fn r_skyband(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rdominance::r_dominance;
     use rand::prelude::*;
 
     fn brute_k_skyband(points: &[Vec<f64>], k: usize) -> Vec<u32> {
@@ -304,6 +589,10 @@ mod tests {
             .collect()
     }
 
+    fn flat(points: &[Vec<f64>]) -> PointStore {
+        PointStore::from_rows(points)
+    }
+
     #[test]
     fn k_skyband_matches_brute_force() {
         for k in [1, 2, 4] {
@@ -321,7 +610,7 @@ mod tests {
         for k in [1, 3] {
             let pts = random_points(250, 3, 31 + k as u64);
             let tree = RTree::bulk_load(&pts);
-            let cs = r_skyband(&pts, &tree, &region, k, true, &mut Stats::new());
+            let cs = r_skyband(&flat(&pts), &tree, &region, k, true, &mut Stats::new());
             let mut got = cs.ids.clone();
             got.sort_unstable();
             assert_eq!(got, brute_r_skyband(&pts, &region, k), "k = {k}");
@@ -336,7 +625,7 @@ mod tests {
         let mut stats = Stats::new();
         let sky: std::collections::HashSet<u32> =
             k_skyband(&pts, &tree, 3, &mut stats).into_iter().collect();
-        let rsky = r_skyband(&pts, &tree, &region, 3, true, &mut stats);
+        let rsky = r_skyband(&flat(&pts), &tree, &region, 3, true, &mut stats);
         assert!(rsky.ids.iter().all(|id| sky.contains(id)));
         assert!(rsky.len() <= sky.len());
     }
@@ -346,7 +635,7 @@ mod tests {
         let region = Region::hyperrect(vec![0.15, 0.15], vec![0.35, 0.3]);
         let pts = random_points(200, 3, 51);
         let tree = RTree::bulk_load(&pts);
-        let cs = r_skyband(&pts, &tree, &region, 4, true, &mut Stats::new());
+        let cs = r_skyband(&flat(&pts), &tree, &region, 4, true, &mut Stats::new());
         for v in 0..cs.len() as u32 {
             for &a in cs.graph.ancestors(v) {
                 assert_eq!(
@@ -364,7 +653,7 @@ mod tests {
         let region = Region::hyperrect(vec![0.1, 0.1], vec![0.2, 0.3]);
         let pts = random_points(150, 3, 61);
         let tree = RTree::bulk_load(&pts);
-        let cs = r_skyband(&pts, &tree, &region, 3, true, &mut Stats::new());
+        let cs = r_skyband(&flat(&pts), &tree, &region, 3, true, &mut Stats::new());
         for a in 0..cs.len() as u32 {
             for b in 0..cs.len() as u32 {
                 if a != b
@@ -385,8 +674,8 @@ mod tests {
         let region = Region::hyperrect(vec![0.1, 0.25], vec![0.2, 0.35]);
         let pts = random_points(300, 3, 71);
         let tree = RTree::bulk_load(&pts);
-        let a = r_skyband(&pts, &tree, &region, 5, true, &mut Stats::new());
-        let b = r_skyband(&pts, &tree, &region, 5, false, &mut Stats::new());
+        let a = r_skyband(&flat(&pts), &tree, &region, 5, true, &mut Stats::new());
+        let b = r_skyband(&flat(&pts), &tree, &region, 5, false, &mut Stats::new());
         let mut ia = a.ids.clone();
         ia.sort_unstable();
         assert_eq!(ia, brute_r_skyband(&pts, &region, 5));
@@ -404,13 +693,132 @@ mod tests {
     }
 
     #[test]
+    fn ablation_order_exercises_prefix_cut() {
+        // Under the coordinate-sum key, admission order and pivot
+        // order disagree, so the pivot-score prefix cut skips real
+        // work; under the pivot key the prefix is the whole list.
+        let region = Region::hyperrect(vec![0.05, 0.3], vec![0.1, 0.45]);
+        let pts = random_points(400, 3, 91);
+        let tree = RTree::bulk_load(&pts);
+        let mut ablation_stats = Stats::new();
+        r_skyband(&flat(&pts), &tree, &region, 6, false, &mut ablation_stats);
+        assert!(
+            ablation_stats.screen_prefix_skips > 0,
+            "sum-key ordering must trigger prefix skips"
+        );
+        let mut pivot_stats = Stats::new();
+        r_skyband(&flat(&pts), &tree, &region, 6, true, &mut pivot_stats);
+        assert_eq!(
+            pivot_stats.screen_prefix_skips, 0,
+            "pivot order already delivers the prefix invariant"
+        );
+    }
+
+    #[test]
     fn k1_r_skyband_members_have_no_dominators() {
         let region = Region::hyperrect(vec![0.3, 0.1], vec![0.4, 0.2]);
         let pts = random_points(200, 3, 81);
         let tree = RTree::bulk_load(&pts);
-        let cs = r_skyband(&pts, &tree, &region, 1, true, &mut Stats::new());
+        let cs = r_skyband(&flat(&pts), &tree, &region, 1, true, &mut Stats::new());
         for v in 0..cs.len() as u32 {
             assert!(cs.graph.ancestors(v).is_empty());
         }
+    }
+
+    #[test]
+    fn nan_keys_degrade_instead_of_aborting() {
+        // Regression: the BBS heap `Ord` used to panic on non-finite
+        // keys. A record poisoned to NaN *after* tree construction
+        // (stale but finite MBBs) must neither panic nor disturb the
+        // finite records' skyband — NaN probes order last and admit
+        // harmlessly (they never dominate and are never dominated).
+        let region = Region::hyperrect(vec![0.1, 0.1], vec![0.3, 0.3]);
+        let mut pts = random_points(120, 3, 101);
+        let tree = RTree::bulk_load(&pts);
+        let poisoned = 17;
+        pts[poisoned][1] = f64::NAN;
+        let cs = r_skyband(&flat(&pts), &tree, &region, 3, true, &mut Stats::new());
+        // Finite-only reference (drop the poisoned record).
+        let finite: Vec<Vec<f64>> = pts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != poisoned)
+            .map(|(_, p)| p.clone())
+            .collect();
+        let want: std::collections::HashSet<Vec<u64>> = brute_r_skyband(&finite, &region, 3)
+            .into_iter()
+            .map(|i| finite[i as usize].iter().map(|x| x.to_bits()).collect())
+            .collect();
+        let got: std::collections::HashSet<Vec<u64>> = cs
+            .ids
+            .iter()
+            .filter(|&&id| id as usize != poisoned)
+            .map(|&id| pts[id as usize].iter().map(|x| x.to_bits()).collect())
+            .collect();
+        assert_eq!(got, want, "finite sub-skyband must be preserved");
+    }
+
+    #[test]
+    fn superset_rescreen_is_byte_identical_to_cold() {
+        let outer = Region::hyperrect(vec![0.05, 0.05], vec![0.4, 0.4]);
+        let inner = Region::hyperrect(vec![0.1, 0.15], vec![0.25, 0.3]);
+        assert!(outer.contains_region(&inner));
+        for k in [1, 2, 5] {
+            let pts = random_points(350, 3, 200 + k as u64);
+            let tree = RTree::bulk_load(&pts);
+            let store = flat(&pts);
+            let sup = r_skyband(&store, &tree, &outer, k, true, &mut Stats::new());
+            let mut cold_stats = Stats::new();
+            let cold = r_skyband(&store, &tree, &inner, k, true, &mut cold_stats);
+            let mut warm_stats = Stats::new();
+            let warm = r_skyband_from_superset(&sup, &inner, k, &mut warm_stats);
+            assert_eq!(warm, cold, "k = {k}");
+            assert_eq!(warm_stats.candidates, cold_stats.candidates);
+            assert!(
+                warm_stats.rdom_tests <= cold_stats.rdom_tests,
+                "re-screen must not do more dominance work (k = {k}: {} vs {})",
+                warm_stats.rdom_tests,
+                cold_stats.rdom_tests
+            );
+        }
+    }
+
+    #[test]
+    fn superset_rescreen_identical_on_pivot_score_ties() {
+        // Exact-duplicate records produce bitwise-equal pivot scores
+        // spanning leaf boundaries — the tie case where pop order is
+        // decided purely by the Entry tie-break (nodes before
+        // records, then ascending id). The re-screen must still
+        // reproduce cold admission order byte for byte.
+        let outer = Region::hyperrect(vec![0.05, 0.05], vec![0.4, 0.4]);
+        let inner = Region::hyperrect(vec![0.1, 0.12], vec![0.3, 0.28]);
+        let mut pts = random_points(200, 3, 401);
+        for i in 0..60 {
+            pts[3 * i] = vec![0.8, 0.8, 0.8]; // 60 duplicates, ids spread out
+        }
+        let tree = RTree::bulk_load(&pts);
+        let store = flat(&pts);
+        for k in [2, 8, 65] {
+            let sup = r_skyband(&store, &tree, &outer, k, true, &mut Stats::new());
+            let cold = r_skyband(&store, &tree, &inner, k, true, &mut Stats::new());
+            let warm = r_skyband_from_superset(&sup, &inner, k, &mut Stats::new());
+            assert_eq!(warm, cold, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn vertexless_region_takes_the_scratch_path() {
+        // A region built from raw constraints has no vertex list: the
+        // screen must fall back to the allocation-free affine-delta
+        // test and still match brute force.
+        let boxy = Region::hyperrect(vec![0.1, 0.2], vec![0.3, 0.4]);
+        let raw = Region::from_constraints(2, boxy.constraints().to_vec());
+        assert!(raw.vertex_store(CORNER_CAP).is_none());
+        let pts = random_points(200, 3, 301);
+        let tree = RTree::bulk_load(&pts);
+        let cs = r_skyband(&flat(&pts), &tree, &raw, 3, true, &mut Stats::new());
+        let mut got = cs.ids.clone();
+        got.sort_unstable();
+        assert_eq!(got, brute_r_skyband(&pts, &boxy, 3));
     }
 }

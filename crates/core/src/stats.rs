@@ -36,6 +36,21 @@ pub struct Stats {
     /// from the [`crate::engine::UtkEngine`] cache instead of being
     /// recomputed.
     pub filter_cache_hits: usize,
+    /// Queries whose filtering was rebuilt by re-screening a cached
+    /// candidate set of a containing region (`R' ⊇ R`) instead of
+    /// running BBS over the whole tree.
+    pub superset_hits: usize,
+    /// Bytes resident in the engine's filter cache after this query's
+    /// filtering step (a gauge, not a counter; 0 when the cache is
+    /// disabled or bypassed).
+    pub filter_cache_bytes: usize,
+    /// Cache entries evicted while inserting this query's filtering
+    /// output (LRU, byte-budget driven).
+    pub evictions: usize,
+    /// Members the r-skyband screen skipped via the pivot-order
+    /// prefix cut (members whose pivot score is provably too low to
+    /// r-dominate the probe).
+    pub screen_prefix_skips: usize,
     /// Worker threads of the pool that executed this query's parallel
     /// phase (0 for a fully sequential query). Parallel RSA and
     /// parallel JAA populate it; deterministic for a given engine.
@@ -85,6 +100,11 @@ impl Stats {
             .max(other.peak_arrangement_bytes);
         self.kspr_calls += other.kspr_calls;
         self.filter_cache_hits += other.filter_cache_hits;
+        self.superset_hits += other.superset_hits;
+        // A gauge: a merged run reports its high-water mark.
+        self.filter_cache_bytes = self.filter_cache_bytes.max(other.filter_cache_bytes);
+        self.evictions += other.evictions;
+        self.screen_prefix_skips += other.screen_prefix_skips;
         // Configuration-like counters: a merge keeps the widest value
         // rather than a meaningless sum.
         self.pool_threads = self.pool_threads.max(other.pool_threads);

@@ -2,14 +2,23 @@
 //! the examples and the tests as an independent reference, and by the
 //! Figure 10(b) incremental-top-k comparison.
 
-use utk_geom::pref_score;
+use utk_geom::{pref_score, PointStore};
 
 /// The `k` highest-scoring record indices under reduced weights `w`,
 /// in descending score order; ties break toward the smaller index
 /// (deterministic).
 pub fn top_k_brute(points: &[Vec<f64>], w: &[f64], k: usize) -> Vec<u32> {
+    top_k_scored(points.iter().map(|p| p.as_slice()), w, k)
+}
+
+/// [`top_k_brute`] over a flat [`PointStore`] — the engine's hot
+/// path; identical scoring, sort, and tie-break.
+pub fn top_k_store(points: &PointStore, w: &[f64], k: usize) -> Vec<u32> {
+    top_k_scored(points.iter(), w, k)
+}
+
+fn top_k_scored<'a>(points: impl Iterator<Item = &'a [f64]>, w: &[f64], k: usize) -> Vec<u32> {
     let mut scored: Vec<(f64, u32)> = points
-        .iter()
         .enumerate()
         .map(|(i, p)| (pref_score(p, w), i as u32))
         .collect();
@@ -60,5 +69,21 @@ mod tests {
     fn subset_restricts_candidates() {
         let pts = vec![vec![9.0], vec![5.0], vec![7.0]];
         assert_eq!(top_k_brute_subset(&pts, &[1, 2], &[], 1), vec![2]);
+    }
+
+    #[test]
+    fn store_variant_matches_rows() {
+        use rand::prelude::*;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let pts: Vec<Vec<f64>> = (0..100)
+            .map(|_| (0..3).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let store = utk_geom::PointStore::from_rows(&pts);
+        for k in [1, 5, 20] {
+            assert_eq!(
+                top_k_brute(&pts, &[0.2, 0.3], k),
+                top_k_store(&store, &[0.2, 0.3], k)
+            );
+        }
     }
 }

@@ -20,6 +20,8 @@
 //! * [`hull`] — exact 2-D upper hulls and LP-based hull membership for
 //!   arbitrary dimension (the part of the hull the onion baseline
 //!   keeps).
+//! * [`store`] — flat row-major point storage ([`PointStore`]), the
+//!   allocation-free data layout of the filtering hot path.
 //!
 //! All computations are in `f64` with the tolerances of [`tol`].
 
@@ -32,6 +34,7 @@ pub mod lp;
 pub mod pref;
 pub mod region;
 pub mod simplex;
+pub mod store;
 pub mod tol;
 
 pub use arrangement::{Arrangement, Cell, CellId, CellPosition};
@@ -40,3 +43,4 @@ pub use hull::{hull_membership, upper_hull_2d};
 pub use lp::{LinearProgram, LpOutcome};
 pub use pref::{lift_weights, pref_score, pref_score_delta, score};
 pub use region::Region;
+pub use store::{PointStore, PointStoreBuilder};

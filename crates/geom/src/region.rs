@@ -142,6 +142,47 @@ impl Region {
         Some(out)
     }
 
+    /// The region's vertex list as a flat [`crate::PointStore`]: box
+    /// corners for boxes, the attached vertices for vertex-listed
+    /// polytopes, `None` otherwise (and for vertex counts above `cap`,
+    /// guarding against the `2^dim` corner blow-up of high-dimensional
+    /// boxes).
+    ///
+    /// Affine functions over a convex region attain their extremes at
+    /// these vertices, which is what makes cached per-vertex scores a
+    /// complete r-dominance test (§4.1's vertex test).
+    pub fn vertex_store(&self, cap: usize) -> Option<crate::PointStore> {
+        match &self.shape {
+            Shape::Box { .. } => {
+                if self.dim >= usize::BITS as usize || (1usize << self.dim) > cap {
+                    return None;
+                }
+                let corners = self.corner_vertices()?;
+                Some(crate::PointStore::from_rows(&corners))
+            }
+            Shape::Poly { vertices: Some(vs) } if !vs.is_empty() && vs.len() <= cap => {
+                Some(crate::PointStore::from_rows(vs))
+            }
+            _ => None,
+        }
+    }
+
+    /// True if `other ⊆ self` (both closed): every defining constraint
+    /// of `self` holds over all of `other`, checked via exact linear
+    /// ranges. Conservative on failure — an indeterminate range
+    /// reports non-containment, never false containment.
+    pub fn contains_region(&self, other: &Region) -> bool {
+        if self.dim != other.dim {
+            return false;
+        }
+        const CONTAIN_EPS: f64 = 1e-12;
+        self.constraints.iter().all(|c| {
+            other
+                .linear_range(&c.a, 0.0)
+                .is_some_and(|(_, max)| max <= c.b + CONTAIN_EPS)
+        })
+    }
+
     /// The region intersected with one more constraint. The result is
     /// a general polytope (vertex info is dropped).
     pub fn with_constraint(&self, c: Constraint) -> Region {
@@ -433,6 +474,45 @@ mod tests {
         assert!((p[0] - 0.1).abs() < 1e-12);
         assert!((p[1] - 0.1).abs() < 1e-12);
         assert!(tri.contains(&p));
+    }
+
+    #[test]
+    fn contains_region_on_boxes_and_polytopes() {
+        let outer = Region::hyperrect(vec![0.1, 0.1], vec![0.5, 0.5]);
+        let inner = Region::hyperrect(vec![0.2, 0.2], vec![0.4, 0.4]);
+        assert!(outer.contains_region(&inner));
+        assert!(!inner.contains_region(&outer));
+        // A region contains itself (closed semantics).
+        assert!(outer.contains_region(&outer));
+        // Overlap without containment.
+        let shifted = Region::hyperrect(vec![0.3, 0.3], vec![0.7, 0.7]);
+        assert!(!outer.contains_region(&shifted));
+        // Polytope inner via an extra cut.
+        let cut = inner.with_constraint(Constraint::le(vec![1.0, 1.0], 0.7));
+        assert!(outer.contains_region(&cut));
+        // Dimension mismatch is never containment.
+        let other_dim = Region::hyperrect(vec![0.0], vec![1.0]);
+        assert!(!outer.contains_region(&other_dim));
+    }
+
+    #[test]
+    fn vertex_store_matches_corners() {
+        let r = fig1_region();
+        let store = r.vertex_store(64).unwrap();
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.dim(), 2);
+        let corners = r.corner_vertices().unwrap();
+        for (i, c) in corners.iter().enumerate() {
+            assert_eq!(&store[i], c.as_slice());
+        }
+        // Cap below the corner count suppresses materialization.
+        assert!(r.vertex_store(3).is_none());
+        // Vertex polytopes use their vertex list; vertexless ones opt
+        // out.
+        let s = Region::full_preference_domain(2);
+        assert_eq!(s.vertex_store(64).unwrap().len(), 3);
+        let raw = Region::from_constraints(2, r.constraints().to_vec());
+        assert!(raw.vertex_store(64).is_none());
     }
 
     #[test]

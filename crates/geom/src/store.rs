@@ -1,0 +1,222 @@
+//! Flat, cache-friendly point storage.
+//!
+//! A [`PointStore`] keeps `n` points of dimensionality `d` in one
+//! row-major `Box<[f64]>` with stride `d`: point `i` occupies
+//! `data[i*d .. (i+1)*d]`. Compared to `Vec<Vec<f64>>` this removes a
+//! pointer chase and a separate heap allocation per record, which is
+//! what lets the r-skyband screen loop (the filtering hot path of
+//! every UTK query) read candidate coordinates as contiguous slices
+//! with zero per-test allocations.
+//!
+//! # Layout contract
+//!
+//! * `data.len() == len * dim` always; `dim >= 1` unless the store is
+//!   empty (an empty store may carry any nominal `dim`).
+//! * Rows are immutable after construction: a store is built once
+//!   (from rows, from a flat buffer, or through [`PointStoreBuilder`])
+//!   and then only read. Sharing a store therefore never requires
+//!   locking.
+//! * Indexing yields `&[f64]` slices of length `dim`, so call sites
+//!   written against `Vec<Vec<f64>>` (`&points[i]`) keep working
+//!   unchanged.
+
+/// Row-major, fixed-stride point storage. See the [module
+/// docs](self) for the layout contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointStore {
+    data: Box<[f64]>,
+    dim: usize,
+}
+
+impl PointStore {
+    /// Builds a store from row vectors.
+    ///
+    /// # Panics
+    /// Panics if rows disagree on dimensionality.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let dim = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(rows.len() * dim);
+        for row in rows {
+            assert_eq!(row.len(), dim, "ragged rows in PointStore::from_rows");
+            data.extend_from_slice(row);
+        }
+        Self {
+            data: data.into_boxed_slice(),
+            dim,
+        }
+    }
+
+    /// Wraps an existing flat buffer (length must be a multiple of
+    /// `dim`).
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of `dim`, or `dim` is
+    /// zero while data is non-empty.
+    pub fn from_flat(data: Vec<f64>, dim: usize) -> Self {
+        assert!(
+            (dim > 0 && data.len().is_multiple_of(dim)) || data.is_empty(),
+            "flat buffer length {} is not a multiple of dim {}",
+            data.len(),
+            dim
+        );
+        Self {
+            data: data.into_boxed_slice(),
+            dim,
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.dim).unwrap_or(0)
+    }
+
+    /// True when the store holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Point dimensionality (the row stride).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow of point `i` as a `dim`-length slice.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The whole backing buffer.
+    pub fn as_flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Iterates over the rows as slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.dim.max(1))
+    }
+
+    /// Materializes row vectors (for call sites that still need the
+    /// nested layout, e.g. the classical baselines).
+    pub fn to_rows(&self) -> Vec<Vec<f64>> {
+        self.iter().map(|r| r.to_vec()).collect()
+    }
+
+    /// Heap bytes held by the store (the live-memory accounting used
+    /// by the engine's byte-budgeted caches).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.data.len() * std::mem::size_of::<f64>()
+    }
+}
+
+impl std::ops::Index<usize> for PointStore {
+    type Output = [f64];
+
+    #[inline]
+    fn index(&self, i: usize) -> &[f64] {
+        self.point(i)
+    }
+}
+
+impl From<&[Vec<f64>]> for PointStore {
+    fn from(rows: &[Vec<f64>]) -> Self {
+        Self::from_rows(rows)
+    }
+}
+
+/// Incremental construction of a [`PointStore`] when the row count is
+/// not known up front (e.g. admitting r-skyband members one by one).
+#[derive(Debug, Clone, Default)]
+pub struct PointStoreBuilder {
+    data: Vec<f64>,
+    dim: usize,
+}
+
+impl PointStoreBuilder {
+    /// An empty builder for `dim`-dimensional points.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            data: Vec::new(),
+            dim,
+        }
+    }
+
+    /// Appends one point.
+    ///
+    /// # Panics
+    /// Panics if `p.len() != dim`.
+    pub fn push(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), self.dim, "wrong-dimension push");
+        self.data.extend_from_slice(p);
+    }
+
+    /// Number of points pushed so far.
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.dim).unwrap_or(0)
+    }
+
+    /// True before the first push.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow of point `i` pushed earlier.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Finalizes into an immutable store.
+    pub fn finish(self) -> PointStore {
+        PointStore::from_flat(self.data, self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_rows() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let store = PointStore::from_rows(&rows);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.dim(), 2);
+        assert_eq!(&store[1], &[3.0, 4.0][..]);
+        assert_eq!(store.to_rows(), rows);
+        assert_eq!(store.iter().count(), 3);
+    }
+
+    #[test]
+    fn empty_store() {
+        let store = PointStore::from_rows(&[]);
+        assert!(store.is_empty());
+        assert_eq!(store.len(), 0);
+        assert_eq!(store.to_rows(), Vec::<Vec<f64>>::new());
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let mut b = PointStoreBuilder::new(3);
+        assert!(b.is_empty());
+        b.push(&[1.0, 2.0, 3.0]);
+        b.push(&[4.0, 5.0, 6.0]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.point(1), &[4.0, 5.0, 6.0]);
+        let store = b.finish();
+        assert_eq!(store.len(), 2);
+        assert_eq!(&store[0], &[1.0, 2.0, 3.0][..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged rows")]
+    fn ragged_rows_rejected() {
+        PointStore::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn bytes_track_buffer() {
+        let store = PointStore::from_rows(&vec![vec![0.0; 4]; 10]);
+        assert!(store.approx_bytes() >= 40 * 8);
+    }
+}

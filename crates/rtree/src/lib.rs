@@ -121,6 +121,22 @@ impl RTree {
         &self.nodes
     }
 
+    /// Approximate heap bytes held by the tree (MBB buffers plus node
+    /// payload lists) — used by byte-budgeted caches of derived
+    /// indexes.
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<Self>();
+        for node in &self.nodes {
+            bytes += std::mem::size_of::<Node>();
+            bytes += (node.mbb.lo.len() + node.mbb.hi.len()) * std::mem::size_of::<f64>();
+            bytes += match &node.kind {
+                NodeKind::Leaf { items } => items.len() * std::mem::size_of::<u32>(),
+                NodeKind::Inner { children } => children.len() * std::mem::size_of::<usize>(),
+            };
+        }
+        bytes
+    }
+
     /// Height of the tree (1 for a single leaf).
     pub fn height(&self) -> usize {
         let mut h = 1;

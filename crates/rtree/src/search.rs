@@ -38,10 +38,15 @@ impl PartialOrd for Entry {
 }
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Max-heap on key; keys are finite by contract.
-        self.key
-            .partial_cmp(&other.key)
-            .expect("non-finite search key")
+        // Max-heap on key. NaN keys order last (they compare below
+        // every finite key) so a pathological dataset degrades the
+        // search order instead of aborting it.
+        match (self.key.is_nan(), other.key.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            (false, false) => self.key.total_cmp(&other.key),
+        }
     }
 }
 

@@ -95,11 +95,9 @@ fn tile<T: Copy>(
         }
         return;
     }
-    ids.sort_by(|a, b| {
-        coord(a, axis)
-            .partial_cmp(&coord(b, axis))
-            .expect("NaN coordinate")
-    });
+    // total_cmp: NaN coordinates sort last instead of aborting the
+    // bulk load (the skyband layer degrades NaN records explicitly).
+    ids.sort_by(|a, b| coord(a, axis).total_cmp(&coord(b, axis)));
     if axis + 1 == dim {
         for chunk in ids.chunks(cap) {
             emit(chunk);

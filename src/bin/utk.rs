@@ -47,9 +47,13 @@ REGION (preference domain has d-1 coordinates; the last weight is implied):
 
 OPTIONS:
   --algo <a>   processing algorithm: auto (default), rsa, jaa, sk, on
-  --json       machine-readable JSON output (records, cells, stats)
+  --json       machine-readable JSON output (records, cells, stats; includes the
+               cache/filter counters superset_hits, filter_cache_bytes, evictions,
+               screen_prefix_skips)
   --parallel   fan refinement out over the engine's worker pool (utk1 and utk2)
   --threads <n> worker pool size (implies --parallel; default: all cores)
+  --cache-budget <mib>  byte budget of the engine's LRU filter cache, in MiB
+               (default 64; relevant to repeated/contained regions and batch runs)
   --lp <p>     score with sum of w_i * x_i^p instead of linear attributes (p > 0)
 
 BATCH FILE (one query per line; `#` comments and blank lines skipped):
@@ -64,8 +68,22 @@ failed lines yield {\"error\":…} without aborting the rest).
 
 const BOOL_FLAGS: &[&str] = &["json", "parallel"];
 const VALUE_FLAGS: &[&str] = &[
-    "data", "k", "lo", "hi", "center", "width", "weights", "lp", "algo", "threads", "dist", "n",
-    "d", "seed", "file",
+    "data",
+    "k",
+    "lo",
+    "hi",
+    "center",
+    "width",
+    "weights",
+    "lp",
+    "algo",
+    "threads",
+    "dist",
+    "n",
+    "d",
+    "seed",
+    "file",
+    "cache-budget",
 ];
 
 /// The flags each command actually reads; anything else is rejected
@@ -74,15 +92,37 @@ fn command_flags(command: &str) -> Option<&'static [&'static str]> {
     match command {
         "help" | "--help" | "-h" => Some(&[]),
         "utk1" => Some(&[
-            "data", "k", "lo", "hi", "center", "width", "lp", "algo", "json", "parallel", "threads",
+            "data",
+            "k",
+            "lo",
+            "hi",
+            "center",
+            "width",
+            "lp",
+            "algo",
+            "json",
+            "parallel",
+            "threads",
+            "cache-budget",
         ]),
         // Parallel JAA work-steals the partition recursion: utk2 takes
         // the same parallelism flags as utk1.
         "utk2" => Some(&[
-            "data", "k", "lo", "hi", "center", "width", "lp", "algo", "json", "parallel", "threads",
+            "data",
+            "k",
+            "lo",
+            "hi",
+            "center",
+            "width",
+            "lp",
+            "algo",
+            "json",
+            "parallel",
+            "threads",
+            "cache-budget",
         ]),
         "topk" => Some(&["data", "k", "weights", "lp", "json"]),
-        "batch" => Some(&["data", "file", "threads"]),
+        "batch" => Some(&["data", "file", "threads", "cache-budget"]),
         "generate" => Some(&["dist", "n", "d", "seed"]),
         _ => None,
     }
@@ -312,12 +352,22 @@ fn build_topk_query(args: &Args, d: usize) -> Result<Prepared, String> {
     })
 }
 
-/// Builds the engine, applying `--threads` to its worker pool.
+/// Builds the engine, applying `--threads` to its worker pool and
+/// `--cache-budget` (MiB) to its filter cache.
 fn engine_from(args: &Args, data: &CsvData) -> Result<UtkEngine, String> {
     let mut engine = UtkEngine::new(data.dataset.points.clone()).map_err(|e| e.to_string())?;
     if let Some(t) = args.get("threads") {
         let t: usize = t.parse().map_err(|_| "--threads must be an integer")?;
         engine = engine.with_pool_threads(t);
+    }
+    if let Some(mib) = args.get("cache-budget") {
+        let mib: usize = mib
+            .parse()
+            .map_err(|_| "--cache-budget must be an integer (MiB)")?;
+        let bytes = mib
+            .checked_mul(1 << 20)
+            .ok_or_else(|| format!("--cache-budget {mib} MiB overflows the byte budget"))?;
+        engine = engine.with_filter_cache_budget(bytes);
     }
     Ok(engine)
 }

@@ -109,15 +109,16 @@ pub mod wire;
 /// functions, and regions.
 pub mod prelude {
     pub use utk_core::baseline::{baseline_utk1, baseline_utk2, FilterKind};
+    pub use utk_core::cache::ByteLru;
     pub use utk_core::engine::{Algo, QueryKind, QueryResult, TopKResult, UtkEngine, UtkQuery};
     pub use utk_core::error::UtkError;
     pub use utk_core::jaa::{jaa, jaa_parallel, jaa_with_tree, JaaOptions, Utk2Cell, Utk2Result};
     pub use utk_core::parallel::{rsa_parallel, rsa_parallel_with_tree, TaskSet, ThreadPool};
     pub use utk_core::rsa::{rsa, rsa_with_tree, RsaOptions, Utk1Result};
     pub use utk_core::scoring::GeneralScoring;
-    pub use utk_core::skyband::{k_skyband, r_skyband, CandidateSet};
+    pub use utk_core::skyband::{k_skyband, r_skyband, r_skyband_from_superset, CandidateSet};
     pub use utk_core::stats::Stats;
     pub use utk_data::Dataset;
-    pub use utk_geom::Region;
+    pub use utk_geom::{PointStore, PointStoreBuilder, Region};
     pub use utk_rtree::RTree;
 }

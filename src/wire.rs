@@ -56,13 +56,19 @@ pub fn record_list(ids: &[u32], name: &dyn Fn(u32) -> String) -> String {
 
 /// The stats object of the wire format. Deterministic counters only:
 /// `stolen_tasks` depends on scheduling and is excluded by design.
+/// The cache observability fields (`superset_hits`,
+/// `filter_cache_bytes`, `evictions`, `screen_prefix_skips`) are
+/// deterministic for a fixed engine history — on a shared engine they
+/// reflect cache state at query time, which is why the determinism
+/// suite warms the cache before comparing lines.
 pub fn stats_json(stats: &Stats) -> String {
     format!(
         concat!(
             r#"{{"candidates":{},"bbs_pops":{},"rdom_tests":{},"halfspaces_inserted":{},"#,
             r#""cells_created":{},"arrangements_built":{},"drills":{},"drill_hits":{},"#,
             r#""peak_arrangement_bytes":{},"kspr_calls":{},"filter_cache_hits":{},"#,
-            r#""pool_threads":{},"batch_group_count":{}}}"#
+            r#""superset_hits":{},"filter_cache_bytes":{},"evictions":{},"#,
+            r#""screen_prefix_skips":{},"pool_threads":{},"batch_group_count":{}}}"#
         ),
         stats.candidates,
         stats.bbs_pops,
@@ -75,6 +81,10 @@ pub fn stats_json(stats: &Stats) -> String {
         stats.peak_arrangement_bytes,
         stats.kspr_calls,
         stats.filter_cache_hits,
+        stats.superset_hits,
+        stats.filter_cache_bytes,
+        stats.evictions,
+        stats.screen_prefix_skips,
         stats.pool_threads,
         stats.batch_group_count,
     )
@@ -209,5 +219,23 @@ mod tests {
         let json = stats_json(&stats);
         assert!(!json.contains("stolen"), "{json}");
         assert!(json.contains(r#""pool_threads":4"#), "{json}");
+    }
+
+    #[test]
+    fn stats_json_carries_cache_observability() {
+        let mut stats = Stats::new();
+        stats.superset_hits = 1;
+        stats.filter_cache_bytes = 4096;
+        stats.evictions = 2;
+        stats.screen_prefix_skips = 7;
+        let json = stats_json(&stats);
+        for frag in [
+            r#""superset_hits":1"#,
+            r#""filter_cache_bytes":4096"#,
+            r#""evictions":2"#,
+            r#""screen_prefix_skips":7"#,
+        ] {
+            assert!(json.contains(frag), "missing {frag} in {json}");
+        }
     }
 }

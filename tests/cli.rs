@@ -300,6 +300,10 @@ fn json_output_is_machine_readable() {
         r#"{"id":5,"name":"p6"}"#,
         r#""stats":{"candidates":"#,
         r#""filter_cache_hits":0"#,
+        r#""superset_hits":0"#,
+        r#""filter_cache_bytes":"#,
+        r#""evictions":0"#,
+        r#""screen_prefix_skips":"#,
     ] {
         assert!(stdout.contains(frag), "missing {frag} in {stdout}");
     }

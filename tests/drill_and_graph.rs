@@ -25,7 +25,14 @@ fn graph_topk_equals_rtree_topk_everywhere_in_r() {
     for dist in Distribution::all() {
         let (points, tree, region) = workload(dist, 2_000, 3, 40);
         let k = 5;
-        let cands = r_skyband(&points, &tree, &region, k, true, &mut Stats::new());
+        let cands = r_skyband(
+            &PointStore::from_rows(&points),
+            &tree,
+            &region,
+            k,
+            true,
+            &mut Stats::new(),
+        );
         let removed = vec![false; cands.len()];
         for _ in 0..50 {
             let w = vec![rng.gen_range(0.15..0.28), rng.gen_range(0.15..0.28)];
@@ -61,7 +68,14 @@ fn removing_non_utk_records_never_changes_topk() {
     let (points, tree, region) = workload(Distribution::Ind, 1_500, 3, 41);
     let k = 4;
     let utk1 = rsa_with_tree(&points, &tree, &region, k, &RsaOptions::default());
-    let cands = r_skyband(&points, &tree, &region, k, true, &mut Stats::new());
+    let cands = r_skyband(
+        &PointStore::from_rows(&points),
+        &tree,
+        &region,
+        k,
+        true,
+        &mut Stats::new(),
+    );
     let removed: Vec<bool> = (0..cands.len())
         .map(|ci| !utk1.records.contains(&cands.ids[ci]))
         .collect();
@@ -85,7 +99,14 @@ fn removing_non_utk_records_never_changes_topk() {
 fn graph_structure_invariants_on_real_workloads() {
     for (dist, seed) in [(Distribution::Cor, 50u64), (Distribution::Anti, 51)] {
         let (points, tree, region) = workload(dist, 1_000, 4, seed);
-        let cands = r_skyband(&points, &tree, &region, 6, true, &mut Stats::new());
+        let cands = r_skyband(
+            &PointStore::from_rows(&points),
+            &tree,
+            &region,
+            6,
+            true,
+            &mut Stats::new(),
+        );
         let g = &cands.graph;
         for v in 0..cands.len() as u32 {
             // Children are descendants, and their ancestor sets

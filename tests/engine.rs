@@ -452,3 +452,90 @@ fn engine_builds_its_pool_once_across_parallel_queries() {
     assert_eq!(engine.pool_builds(), 1);
     assert_eq!(engine.pool_threads(), 2);
 }
+
+#[test]
+fn superset_reuse_serves_contained_regions_exactly() {
+    let ds = generate(Distribution::Anti, 600, 3, 77);
+    let warm = UtkEngine::new(ds.points.clone()).unwrap();
+    let cold = UtkEngine::new(ds.points.clone())
+        .unwrap()
+        .without_filter_cache();
+    let outer = Region::hyperrect(vec![0.1, 0.1], vec![0.35, 0.35]);
+    let inner = Region::hyperrect(vec![0.15, 0.18], vec![0.25, 0.3]);
+    let k = 4;
+
+    // Warm the cache with the containing region.
+    let first = warm.utk1(&outer, k).unwrap();
+    assert_eq!(first.stats.superset_hits, 0);
+    assert!(first.stats.filter_cache_bytes > 0, "miss inserts its entry");
+
+    // The contained region is an exact cache miss but a superset hit:
+    // rebuilt by re-screening the cached candidates, far cheaper than
+    // cold BBS, with identical output.
+    let via_superset = warm.utk1(&inner, k).unwrap();
+    let via_cold = cold.utk1(&inner, k).unwrap();
+    assert_eq!(via_superset.records, via_cold.records);
+    assert_eq!(via_superset.stats.superset_hits, 1);
+    assert_eq!(via_superset.stats.filter_cache_hits, 0);
+    assert_eq!(via_superset.stats.candidates, via_cold.stats.candidates);
+    assert!(
+        via_superset.stats.rdom_tests * 2 <= via_cold.stats.rdom_tests,
+        "re-screen must cost at most half the cold dominance tests: {} vs {}",
+        via_superset.stats.rdom_tests,
+        via_cold.stats.rdom_tests
+    );
+    assert_eq!(via_superset.stats.bbs_pops, 0, "no tree traversal");
+    assert_eq!(warm.filter_superset_hits(), 1);
+    // Both regions are now cached; a repeat of the inner query is an
+    // exact hit.
+    assert_eq!(warm.cached_filters(), 2);
+    let repeat = warm.utk1(&inner, k).unwrap();
+    assert_eq!(repeat.stats.filter_cache_hits, 1);
+    assert_eq!(repeat.records, via_cold.records);
+}
+
+#[test]
+fn superset_reuse_requires_matching_k_and_scoring() {
+    let ds = generate(Distribution::Ind, 400, 3, 78);
+    let engine = UtkEngine::new(ds.points.clone()).unwrap();
+    let outer = Region::hyperrect(vec![0.1, 0.1], vec![0.35, 0.35]);
+    let inner = Region::hyperrect(vec![0.15, 0.18], vec![0.25, 0.3]);
+    engine.utk1(&outer, 3).unwrap();
+    // Different k: no superset reuse (the dominator threshold differs).
+    let other_k = engine.utk1(&inner, 5).unwrap();
+    assert_eq!(other_k.stats.superset_hits, 0);
+    // Same k: reuse kicks in.
+    let same_k = engine.utk1(&inner, 3).unwrap();
+    assert_eq!(same_k.stats.superset_hits, 1);
+}
+
+#[test]
+fn lru_byte_budget_evicts_and_stays_correct() {
+    let ds = generate(Distribution::Anti, 500, 3, 79);
+    // A budget small enough that a handful of candidate sets overflow
+    // it, but large enough to hold at least one entry.
+    let engine = UtkEngine::new(ds.points.clone())
+        .unwrap()
+        .with_filter_cache_budget(1 << 14);
+    let reference = UtkEngine::new(ds.points.clone())
+        .unwrap()
+        .without_filter_cache();
+    let regions = random_regions(2, 0.12, 8, 4242);
+    let mut saw_eviction = false;
+    for qb in &regions {
+        let region = Region::hyperrect(qb.lo.clone(), qb.hi.clone());
+        let got = engine.utk1(&region, 6).unwrap();
+        let want = reference.utk1(&region, 6).unwrap();
+        assert_eq!(got.records, want.records);
+        saw_eviction |= got.stats.evictions > 0;
+        assert!(
+            engine.filter_cache_bytes() <= 1 << 14,
+            "budget must hold after every insert"
+        );
+    }
+    assert!(
+        saw_eviction || engine.filter_cache_evictions() > 0,
+        "a 16 KiB budget must evict on this workload"
+    );
+    assert!(engine.cached_filters() >= 1, "recent entries stay cached");
+}

@@ -107,7 +107,14 @@ fn r_skyband_filter_is_exactly_the_answer_here() {
     let hotels = figure1_hotels();
     let tree = RTree::bulk_load(&hotels.points);
     let mut stats = Stats::new();
-    let cs = r_skyband(&hotels.points, &tree, &region(), 2, true, &mut stats);
+    let cs = r_skyband(
+        &PointStore::from_rows(&hotels.points),
+        &tree,
+        &region(),
+        2,
+        true,
+        &mut stats,
+    );
     let mut ids = cs.ids.clone();
     ids.sort_unstable();
     assert_eq!(ids, WANT);

@@ -73,7 +73,8 @@ proptest! {
         let res = rsa(&pts, &region, k, &RsaOptions::default());
 
         let tree = RTree::bulk_load(&pts);
-        let cs = r_skyband(&pts, &tree, &region, k, true, &mut Stats::new());
+        let store = PointStore::from_rows(&pts);
+        let cs = r_skyband(&store, &tree, &region, k, true, &mut Stats::new());
         for id in &res.records {
             prop_assert!(cs.ids.contains(id));
         }
@@ -258,7 +259,8 @@ proptest! {
     ) {
         let region = Region::hyperrect(lo, hi);
         let tree = RTree::bulk_load(&pts);
-        let cs = r_skyband(&pts, &tree, &region, k, true, &mut Stats::new());
+        let store = PointStore::from_rows(&pts);
+        let cs = r_skyband(&store, &tree, &region, k, true, &mut Stats::new());
         for v in 0..cs.len() as u32 {
             prop_assert!(cs.graph.dominance_count(v) < k);
             for &a in cs.graph.ancestors(v) {
@@ -268,5 +270,75 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// The corner-score fast path of the filter screen — classifying
+    /// r-dominance from per-vertex scores cached on admission — agrees
+    /// with `r_dominance`'s range computation on random box regions
+    /// and random vertex-listed polytopes (axis-legged triangles).
+    #[test]
+    fn corner_score_sweep_classifies_like_r_dominance(
+        pts in dataset(16, 3),
+        (lo, hi) in query_box(2),
+        tri in ((0.02f64..0.4, 0.02f64..0.4), (0.02f64..0.25, 0.02f64..0.25)),
+    ) {
+        use utk::core::rdominance::classify_corner_scores;
+        use utk::geom::{pref_score, Constraint};
+
+        // An axis-legged triangle with vertices A=(x,y), B=(x+s,y),
+        // C=(x,y+t): w1 ≥ x, w2 ≥ y, t·w1 + s·w2 ≤ t·x + s·y + s·t.
+        let ((x, y), (s, t)) = tri;
+        let (s, t) = (s.min(0.9 - x - y), t.min(0.9 - x - y));
+        let triangle = Region::with_vertices(
+            2,
+            vec![
+                Constraint::ge(&[1.0, 0.0], x),
+                Constraint::ge(&[0.0, 1.0], y),
+                Constraint::le(vec![t, s], t * x + s * y + s * t),
+            ],
+            vec![vec![x, y], vec![x + s, y], vec![x, y + t]],
+        );
+        let boxed = Region::hyperrect(lo, hi);
+        for region in [&boxed, &triangle] {
+            let corners = region.vertex_store(256).unwrap();
+            let scores = |p: &[f64]| -> Vec<f64> {
+                corners.iter().map(|v| pref_score(p, v)).collect()
+            };
+            for a in 0..pts.len() {
+                for b in 0..pts.len() {
+                    let fast = classify_corner_scores(&scores(&pts[a]), &scores(&pts[b]));
+                    let slow = r_dominance(&pts[a], &pts[b], region);
+                    prop_assert_eq!(fast, slow, "pair ({}, {})", a, b);
+                }
+            }
+        }
+    }
+
+    /// A superset-reuse hit reproduces the cold r-skyband exactly:
+    /// same ids in the same order, same flat points, same graph arcs.
+    #[test]
+    fn superset_rescreen_equals_cold_bbs(
+        pts in dataset(80, 3),
+        (lo, hi) in query_box(2),
+        shrink in (0.1f64..0.45, 0.1f64..0.45),
+        k in 1usize..5,
+    ) {
+        // Inner box: the outer box shrunk from both ends.
+        let (a, b) = shrink;
+        let ilo: Vec<f64> = lo.iter().zip(&hi).map(|(l, h)| l + a * (h - l)).collect();
+        let ihi: Vec<f64> = ilo.iter().zip(&hi).map(|(l, h)| l + (1.0 - b) * (h - l).max(0.0)).collect();
+        let ihi: Vec<f64> = ilo.iter().zip(ihi.iter()).map(|(l, h)| h.max(*l)).collect();
+        let outer = Region::hyperrect(lo, hi);
+        let inner = Region::hyperrect(ilo, ihi);
+        prop_assert!(outer.contains_region(&inner));
+
+        let tree = RTree::bulk_load(&pts);
+        let store = PointStore::from_rows(&pts);
+        let sup = r_skyband(&store, &tree, &outer, k, true, &mut Stats::new());
+        let cold = r_skyband(&store, &tree, &inner, k, true, &mut Stats::new());
+        let warm = r_skyband_from_superset(&sup, &inner, k, &mut Stats::new());
+        prop_assert_eq!(&warm.ids, &cold.ids);
+        prop_assert_eq!(&warm.points, &cold.points);
+        prop_assert_eq!(&warm.graph, &cold.graph);
     }
 }
