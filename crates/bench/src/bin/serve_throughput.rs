@@ -1,0 +1,270 @@
+//! Serving figure: `utk serve` end-to-end throughput and admission
+//! behavior, the serving follow-up of the ROADMAP's
+//! millions-of-users north star.
+//!
+//! Two phases against an in-process server on a Unix socket:
+//!
+//! 1. **throughput** — several client threads stream batch requests
+//!    over two datasets; records queries/sec plus the server's own
+//!    counters, and asserts every response is byte-identical to the
+//!    expected local answer;
+//! 2. **admission** — `max_inflight = 1` with concurrent clients
+//!    hammering single queries; records how many were shed with the
+//!    typed `busy` error vs accepted, and cross-checks the observed
+//!    counts against the server's `busy_rejections` counter.
+//!
+//! Counter-based metrics stay meaningful on noisy single-core
+//! containers; wall-clock queries/sec is recorded but is *not* the
+//! load-bearing number there.
+//!
+//! Usage: `cargo run --release -p utk-bench --bin serve_throughput
+//! [--scale f] [--queries n] [--seed s]`
+//!
+//! Prints Markdown tables and records the raw numbers in
+//! `BENCH_SERVE_THROUGHPUT.json` in the working directory.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use utk_bench::{query_workload, secs, Config, Table};
+use utk_core::engine::UtkEngine;
+use utk_data::csv::{parse_csv, write_csv};
+use utk_data::synthetic::{generate, Distribution};
+use utk_server::client::{BatchReply, Connection};
+use utk_server::proto::{code, Request, Response};
+use utk_server::server::{Bind, Server, ServerConfig, ServerHandle};
+
+const D: usize = 3;
+const K: usize = 10;
+/// Concurrent client threads per phase.
+const CLIENTS: usize = 4;
+/// Batch requests each throughput client sends.
+const BATCHES_PER_CLIENT: usize = 3;
+/// Single-query probes each admission client sends.
+const PROBES_PER_CLIENT: usize = 32;
+
+/// Writes the two bench datasets into a fresh directory.
+fn datasets_dir(cfg: &Config, n: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("utk_serve_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    for (name, dist) in [("ind", Distribution::Ind), ("anti", Distribution::Anti)] {
+        let csv = write_csv(&generate(dist, n, D, cfg.seed), None);
+        std::fs::write(dir.join(format!("{name}.csv")), csv).expect("bench dataset");
+    }
+    dir
+}
+
+fn start_server(dir: &Path, max_inflight: usize, tag: &str) -> ServerHandle {
+    let socket = dir.join(format!("bench_{tag}.sock"));
+    let mut config = ServerConfig::new(Bind::Unix(socket), dir.to_path_buf());
+    config.max_inflight = max_inflight;
+    Server::bind(config).expect("bind bench server").spawn()
+}
+
+fn shutdown(handle: ServerHandle) -> utk_server::ServeSnapshot {
+    let mut conn = Connection::connect(handle.bind_addr()).expect("shutdown connection");
+    conn.round_trip(&Request::Shutdown.to_json())
+        .expect("shutdown request");
+    handle.join().expect("clean server exit")
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    let n = cfg.n(100_000);
+    let dir = datasets_dir(&cfg, n);
+
+    // One query file per dataset: utk1/utk2/topk lines over random
+    // boxes (σ = 1%), duplicated regions included via the workload.
+    let boxes = query_workload(D, 0.01, &cfg);
+    let mut file_text = String::new();
+    for (i, qb) in boxes.iter().enumerate() {
+        let kind = ["utk1", "utk2"][i % 2];
+        file_text.push_str(&format!(
+            "{kind} --k {K} --lo {},{} --hi {},{}\n",
+            qb.lo[0], qb.lo[1], qb.hi[0], qb.hi[1]
+        ));
+    }
+    file_text.push_str(&format!("topk --k {K} --weights 0.3,0.4\n"));
+    let queries_per_batch = file_text.lines().count();
+
+    // --- phase 1: throughput ----------------------------------------
+    let handle = start_server(&dir, 64, "throughput");
+    let bind = handle.bind_addr().clone();
+    // Warm-up batch per dataset (forces both engines resident before
+    // timing), checked **byte-identical** against a fresh local
+    // engine answering the same file — the serving ≡ batch contract.
+    let mut expected: Vec<(String, Vec<String>)> = Vec::new();
+    for name in ["ind", "anti"] {
+        let mut conn = Connection::connect(&bind).expect("warmup connection");
+        let BatchReply::Lines(lines) = conn.batch(name, &file_text).expect("warmup batch") else {
+            panic!("warmup batch rejected");
+        };
+        let csv = std::fs::read_to_string(dir.join(format!("{name}.csv"))).expect("bench csv");
+        let data = parse_csv(&csv, name).expect("bench csv parses");
+        let engine = UtkEngine::new(data.dataset.points.clone()).expect("local engine");
+        let parsed = utk_server::spec::parse_query_file(&file_text, D);
+        let local = utk_server::spec::answer_query_file(&engine, &data, &parsed);
+        assert_eq!(lines, local, "cold served batch must be byte-identical");
+        expected.push((name.to_string(), lines));
+    }
+
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let bind = bind.clone();
+            let file_text = file_text.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut conn = Connection::connect(&bind).expect("client connection");
+                for b in 0..BATCHES_PER_CLIENT {
+                    let (name, want) = &expected[(c + b) % expected.len()];
+                    let BatchReply::Lines(lines) =
+                        conn.batch(name, &file_text).expect("client batch")
+                    else {
+                        panic!("throughput batch rejected");
+                    };
+                    // Stats fields vary with cache warmth; the answer
+                    // payload (records/cells/errors) must not. Compare
+                    // everything before the stats object.
+                    for (got, want) in lines.iter().zip(want) {
+                        let strip =
+                            |s: &str| s.split(",\"stats\":").next().unwrap_or(s).to_string();
+                        assert_eq!(strip(got), strip(want), "served answer diverged");
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("throughput client");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let total_queries = CLIENTS * BATCHES_PER_CLIENT * queries_per_batch;
+    let qps = total_queries as f64 / elapsed;
+    let throughput_snap = shutdown(handle);
+    // Warm-ups + timed batches, plus the shutdown op.
+    assert_eq!(
+        throughput_snap.requests_served as usize,
+        2 + CLIENTS * BATCHES_PER_CLIENT + 1,
+        "{throughput_snap:?}"
+    );
+    assert_eq!(throughput_snap.busy_rejections, 0, "{throughput_snap:?}");
+
+    // --- phase 2: admission under overload --------------------------
+    let handle = start_server(&dir, 1, "admission");
+    let bind = handle.bind_addr().clone();
+    // Force the dataset resident so probes measure admission, not
+    // loading.
+    Connection::connect(&bind)
+        .expect("load connection")
+        .round_trip(
+            &Request::Load {
+                dataset: "anti".into(),
+            }
+            .to_json(),
+        )
+        .expect("load");
+    let probes: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let bind = bind.clone();
+            std::thread::spawn(move || {
+                let mut conn = Connection::connect(&bind).expect("probe connection");
+                let mut accepted = 0usize;
+                let mut busy = 0usize;
+                for i in 0..PROBES_PER_CLIENT {
+                    let q = format!(
+                        "utk1 --k {K} --center 0.{}{},0.2 --width 0.05",
+                        2 + (c + i) % 3,
+                        i % 10
+                    );
+                    let line = conn
+                        .round_trip(
+                            &Request::Query {
+                                dataset: "anti".into(),
+                                q,
+                            }
+                            .to_json(),
+                        )
+                        .expect("probe");
+                    match Response::parse(&line).expect("parseable response") {
+                        Response::Error(e) if e.code == code::BUSY => busy += 1,
+                        Response::Result(l) => {
+                            assert!(
+                                l.starts_with(r#"{"query":"utk1""#),
+                                "accepted probe must be a result: {l}"
+                            );
+                            accepted += 1;
+                        }
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                }
+                (accepted, busy)
+            })
+        })
+        .collect();
+    let (mut accepted, mut busy) = (0usize, 0usize);
+    for p in probes {
+        let (a, b) = p.join().expect("admission client");
+        accepted += a;
+        busy += b;
+    }
+    let admission_snap = shutdown(handle);
+    assert_eq!(accepted + busy, CLIENTS * PROBES_PER_CLIENT);
+    assert!(busy >= 1, "concurrent clients never overloaded the slot");
+    assert!(accepted >= 1, "admission must still accept work");
+    assert_eq!(
+        admission_snap.busy_rejections as usize, busy,
+        "server counter must match observed rejections"
+    );
+
+    // --- report ------------------------------------------------------
+    println!("Serve throughput (n = {n} × 2 datasets, d = {D}, k = {K}, {CLIENTS} clients)");
+    let mut table = Table::new(vec!["phase", "requests", "queries", "busy", "elapsed"]);
+    table.row(vec![
+        "throughput".into(),
+        throughput_snap.requests_served.to_string(),
+        total_queries.to_string(),
+        "0".into(),
+        secs(elapsed),
+    ]);
+    table.row(vec![
+        "admission (max_inflight=1)".into(),
+        admission_snap.requests_served.to_string(),
+        accepted.to_string(),
+        busy.to_string(),
+        "-".into(),
+    ]);
+    table.print();
+    println!("queries/sec (batch phase): {qps:.1}");
+
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let json = format!(
+        concat!(
+            r#"{{"figure":"serve_throughput","n":{},"d":{},"k":{},"datasets":2,"#,
+            r#""clients":{},"seed":{},"available_parallelism":{},"#,
+            r#""throughput":{{"batches":{},"queries":{},"elapsed_seconds":{:.6},"#,
+            r#""queries_per_second":{:.3},"requests_served":{},"busy_rejections":{},"#,
+            r#""cold_answers_byte_identical_to_local":true}},"#,
+            r#""admission":{{"max_inflight":1,"attempts":{},"accepted":{},"busy":{},"#,
+            r#""busy_counter_matches_observed":true,"accepted_all_correct":true}},"#,
+            r#""note":"counter-based metrics are the load-bearing part; queries/sec is "#,
+            r#"noise-dominated on single-core containers"}}"#
+        ),
+        n,
+        D,
+        K,
+        CLIENTS,
+        cfg.seed,
+        cores,
+        CLIENTS * BATCHES_PER_CLIENT,
+        total_queries,
+        elapsed,
+        qps,
+        throughput_snap.requests_served,
+        throughput_snap.busy_rejections,
+        CLIENTS * PROBES_PER_CLIENT,
+        accepted,
+        busy,
+    );
+    std::fs::write("BENCH_SERVE_THROUGHPUT.json", json + "\n").expect("write figure json");
+    eprintln!("wrote BENCH_SERVE_THROUGHPUT.json (available_parallelism = {cores})");
+}

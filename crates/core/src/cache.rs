@@ -132,6 +132,24 @@ impl<K: Eq + Hash + Clone, V> ByteLru<K, V> {
             self.used -= old.bytes;
         }
         self.used += bytes;
+        self.evict_over_budget()
+    }
+
+    /// Re-sizes the byte budget in place, evicting LRU entries if the
+    /// new budget is smaller than the bytes currently held (growing is
+    /// free and disturbs nothing). Returns how many entries were
+    /// evicted. This is what lets a registry *share* one budget across
+    /// many engines: each engine's slice can shrink or grow as
+    /// datasets load and unload, without discarding a still-valid
+    /// cache wholesale.
+    pub fn set_budget(&mut self, budget: usize) -> usize {
+        self.budget = budget;
+        self.evict_over_budget()
+    }
+
+    /// Evicts least-recently-used entries until `used ≤ budget`;
+    /// returns the number evicted.
+    fn evict_over_budget(&mut self) -> usize {
         let mut evicted = 0;
         while self.used > self.budget {
             let victim = self
@@ -216,6 +234,28 @@ mod tests {
         assert_eq!(seen.len(), 2);
         cache.insert("next", 3, 10);
         assert!(cache.get(&"old").is_none());
+    }
+
+    #[test]
+    fn set_budget_shrinks_by_evicting_lru_and_grows_for_free() {
+        let mut cache: ByteLru<&str, u32> = ByteLru::new(30);
+        cache.insert("a", 1, 10);
+        cache.insert("b", 2, 10);
+        cache.insert("c", 3, 10);
+        // Touch "a": "b" is now the LRU victim when the budget halves.
+        assert_eq!(cache.get(&"a"), Some(&1));
+        let evicted = cache.set_budget(20);
+        assert_eq!(evicted, 1);
+        assert_eq!(cache.budget(), 20);
+        assert!(cache.get(&"b").is_none());
+        assert_eq!(cache.bytes_used(), 20);
+        // Growing evicts nothing and keeps entries resident.
+        assert_eq!(cache.set_budget(100), 0);
+        assert_eq!(cache.get(&"a"), Some(&1));
+        assert_eq!(cache.get(&"c"), Some(&3));
+        // New headroom is usable immediately.
+        assert_eq!(cache.insert("d", 4, 60), 0);
+        assert_eq!(cache.len(), 3);
     }
 
     #[test]

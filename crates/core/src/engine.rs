@@ -670,6 +670,28 @@ impl UtkEngine {
         self
     }
 
+    /// Re-sizes the filter cache's byte budget **in place** on a live
+    /// (possibly shared) engine: cached entries survive, shrinking
+    /// evicts LRU-first down to the new budget, growing is free.
+    /// Returns how many entries were evicted. This is the registry
+    /// hook for serving many datasets under one shared budget — the
+    /// per-engine slice is re-dealt whenever a dataset loads or
+    /// unloads, unlike the builder
+    /// [`UtkEngine::with_filter_cache_budget`], which replaces the
+    /// cache wholesale and must run before the engine is shared.
+    pub fn set_filter_cache_budget(&self, bytes: usize) -> usize {
+        self.inner
+            .filter_cache
+            .lock()
+            .expect("cache lock")
+            .set_budget(bytes)
+    }
+
+    /// The filter cache's current byte budget.
+    pub fn filter_cache_budget(&self) -> usize {
+        self.inner.filter_cache.lock().expect("cache lock").budget()
+    }
+
     /// Sizes the worker pool backing parallel queries and
     /// [`UtkEngine::run_many`] (0 = one worker per available core, the
     /// default). Builder-style: call right after construction, before
@@ -797,6 +819,12 @@ impl UtkEngine {
     /// Each successful result's [`Stats::batch_group_count`] records
     /// how many groups the batch split into.
     pub fn run_many(&self, queries: &[UtkQuery]) -> Vec<Result<QueryResult, UtkError>> {
+        // An empty batch is a legitimate request (a server `batch` op
+        // with no parseable lines): answer it without building the
+        // pool or taking a cache lock.
+        if queries.is_empty() {
+            return Vec::new();
+        }
         // Group by filter identity: same-group queries reuse one
         // memoized r-skyband and never race on the same cache miss.
         // Top-k queries never touch the filter, so grouping them would
@@ -1362,6 +1390,35 @@ mod tests {
         let u2 = engine.utk2(&figure1_region(), 2).unwrap();
         assert_eq!(u2.stats.filter_cache_hits, 0);
         assert_eq!(engine.filter_cache_counters(), (0, 0));
+        assert_eq!(engine.cached_filters(), 0);
+    }
+
+    #[test]
+    fn run_many_on_an_empty_slice_is_a_true_no_op() {
+        let engine = UtkEngine::new(figure1_hotels()).unwrap();
+        let out = engine.run_many(&[]);
+        assert!(out.is_empty());
+        // Neither the pool nor the caches were touched.
+        assert_eq!(engine.pool_builds(), 0);
+        assert_eq!(engine.filter_cache_counters(), (0, 0));
+        assert_eq!(engine.cached_filters(), 0);
+    }
+
+    #[test]
+    fn runtime_budget_resize_preserves_entries() {
+        let engine = UtkEngine::new(figure1_hotels()).unwrap();
+        engine.utk1(&figure1_region(), 2).unwrap();
+        assert_eq!(engine.cached_filters(), 1);
+        let bytes = engine.filter_cache_bytes();
+        assert!(bytes > 0);
+        // Growing (or shrinking to just above the resident bytes)
+        // keeps the entry; the very next same-region query is a hit.
+        assert_eq!(engine.set_filter_cache_budget(bytes + 1), 0);
+        assert_eq!(engine.filter_cache_budget(), bytes + 1);
+        let u2 = engine.utk2(&figure1_region(), 2).unwrap();
+        assert_eq!(u2.stats.filter_cache_hits, 1);
+        // Shrinking below the resident bytes evicts.
+        assert_eq!(engine.set_filter_cache_budget(bytes - 1), 1);
         assert_eq!(engine.cached_filters(), 0);
     }
 

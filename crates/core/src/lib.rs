@@ -86,6 +86,7 @@ pub mod scoring;
 pub mod skyband;
 pub mod stats;
 pub mod topk;
+pub mod wire;
 
 /// One-stop imports for typical use: the engine API, the legacy free
 /// functions, and the shared substrate types.

@@ -1,0 +1,414 @@
+//! A minimal JSON reader for the serving protocol.
+//!
+//! The workspace has no registry access, so rather than a `serde`
+//! dependency this module implements exactly what the protocol needs:
+//! parsing one request/response line into a [`Value`] tree and
+//! re-serializing it. Two deliberate choices keep round-trips
+//! byte-faithful for wire-format lines:
+//!
+//! * **numbers keep their source text** ([`Value::Num`] stores the raw
+//!   literal), so re-serializing never reformats `0.30000000000000004`
+//!   or a 64-bit counter;
+//! * **objects keep key order** (a `Vec` of pairs, not a map), so
+//!   re-serializing preserves the deterministic field order the wire
+//!   format promises. Duplicate keys are rejected.
+//!
+//! Strings are unescaped on parse and re-escaped with
+//! [`utk_core::wire::escape`] — the same escaper that produced them —
+//! so any line emitted by this workspace re-serializes byte-identical
+//! (the determinism tests lock this property).
+
+use std::fmt;
+use utk_core::wire::escape;
+
+/// One parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its source text (see module docs).
+    Num(String),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source key order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value under `key`, when this is an object holding it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// This value as a string slice, when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value as a `u64`, when it is a number that fits one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// This value as an `f64`, when it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// This value as a bool, when it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// This value's elements, when it is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Num(raw) => write!(f, "{raw}"),
+            Value::Str(s) => write!(f, "\"{}\"", escape(s)),
+            Value::Arr(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Obj(pairs) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "\"{}\":{v}", escape(k))?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// Why a line failed to parse, with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Maximum container nesting the parser accepts. The recursive
+/// descent uses one stack frame per level, and request lines come
+/// from untrusted sockets — without a cap, a few hundred KB of `[`
+/// characters would overflow the thread stack and abort the whole
+/// process. Protocol messages nest 3 levels deep; 64 is generous.
+pub const MAX_DEPTH: usize = 64;
+
+/// Parses one JSON document, requiring it to span the whole input
+/// (trailing whitespace allowed).
+pub fn parse(text: &str) -> Result<Value, JsonError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+fn err(at: usize, message: impl Into<String>) -> JsonError {
+    JsonError {
+        at,
+        message: message.into(),
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), JsonError> {
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(*pos, format!("expected {:?}", c as char)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, JsonError> {
+    if depth > MAX_DEPTH {
+        return Err(err(*pos, format!("nesting deeper than {MAX_DEPTH} levels")));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &str,
+    value: Value,
+) -> Result<Value, JsonError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, format!("expected {lit:?}")))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let raw = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII number slice");
+    if raw.is_empty() || raw.parse::<f64>().is_err() {
+        return Err(err(start, format!("invalid number {raw:?}")));
+    }
+    Ok(Value::Num(raw.to_string()))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err(err(*pos, "unterminated string"));
+        };
+        *pos += 1;
+        match b {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err(err(*pos, "unterminated escape"));
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err(*pos, format!("invalid \\u escape {hex:?}")))?;
+                        *pos += 4;
+                        // Surrogate pairs are not produced by this
+                        // workspace's escaper; reject rather than
+                        // silently mangle.
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| err(*pos, "unpaired surrogate in \\u escape"))?;
+                        out.push(c);
+                    }
+                    other => {
+                        return Err(err(*pos, format!("unknown escape \\{}", other as char)));
+                    }
+                }
+            }
+            // Multi-byte UTF-8: copy the whole character through.
+            _ if b >= 0x80 => {
+                let s = std::str::from_utf8(&bytes[*pos - 1..])
+                    .map_err(|_| err(*pos - 1, "invalid UTF-8"))?;
+                let c = s.chars().next().expect("non-empty remainder");
+                out.push(c);
+                *pos += c.len_utf8() - 1;
+            }
+            _ if b < 0x20 => return Err(err(*pos - 1, "unescaped control character")),
+            _ => out.push(b as char),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, JsonError> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(err(*pos, "expected ',' or ']'")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, JsonError> {
+    expect(bytes, pos, b'{')?;
+    let mut pairs: Vec<(String, Value)> = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(pairs));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key_at = *pos;
+        let key = parse_string(bytes, pos)?;
+        if pairs.iter().any(|(k, _)| *k == key) {
+            return Err(err(key_at, format!("duplicate key {key:?}")));
+        }
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos, depth + 1)?;
+        pairs.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(pairs));
+            }
+            _ => return Err(err(*pos, "expected ',' or '}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_reserializes_wire_shaped_lines() {
+        for line in [
+            r#"{"query":"utk1","k":2,"records":[{"id":0,"name":"p1"}],"stats":{"candidates":4}}"#,
+            r#"{"error":"line 4: unknown query kind \"frobnicate\""}"#,
+            r#"{"ok":"stats","requests_served":18446744073709551615,"datasets":[]}"#,
+            r#"{"weights":[0.1,0.30000000000000004,-1e-9],"flag":true,"none":null}"#,
+            "[1,2.5,\"a\\tb\"]",
+        ] {
+            let value = parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(value.to_string(), line, "round trip must be byte-exact");
+        }
+    }
+
+    #[test]
+    fn accessors_navigate_objects() {
+        let v = parse(r#"{"op":"batch","queries":["a","b"],"n":7,"deep":{"x":true}}"#).unwrap();
+        assert_eq!(v.get("op").and_then(Value::as_str), Some("batch"));
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(7));
+        assert_eq!(
+            v.get("queries").and_then(Value::as_array).map(<[_]>::len),
+            Some(2)
+        );
+        assert_eq!(
+            v.get("deep")
+                .and_then(|d| d.get("x"))
+                .and_then(Value::as_bool),
+            Some(true)
+        );
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            r#"{"a":}"#,
+            r#"{"a":1,"a":2}"#,
+            r#"{"a":1} trailing"#,
+            "[1,]",
+            "nul",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "01a",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn nesting_is_capped_not_stack_overflowed() {
+        // Within the cap: fine.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        // Past the cap: a parse error, never a recursion blowup —
+        // even at a depth that would overflow the stack.
+        let deep = format!("{}1{}", "[".repeat(200_000), "]".repeat(200_000));
+        let e = parse(&deep).unwrap_err();
+        assert!(e.message.contains("nesting"), "{e}");
+        let mixed = format!("{}{}", "{\"a\":[".repeat(100), "1");
+        assert!(parse(&mixed).is_err());
+    }
+
+    #[test]
+    fn unicode_strings_survive() {
+        let v = parse("\"héllo → wörld\"").unwrap();
+        assert_eq!(v.as_str(), Some("héllo → wörld"));
+        assert_eq!(parse("\"\\u0041\\n\"").unwrap().as_str(), Some("A\n"));
+    }
+}

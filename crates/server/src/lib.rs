@@ -1,0 +1,48 @@
+//! `utk-server` — the multi-dataset serving subsystem: a long-running
+//! process holding one [`UtkEngine`](utk_core::engine::UtkEngine) per
+//! dataset behind a TCP or Unix socket, speaking a newline-delimited
+//! JSON protocol that reuses the `utk::wire` result format.
+//!
+//! The pieces, bottom-up:
+//!
+//! * [`json`] — a minimal, byte-round-trip-faithful JSON reader (the
+//!   workspace vendors no `serde`);
+//! * [`proto`] — the typed request/response protocol
+//!   (`load` / `query` / `batch` / `stats` / `evict` / `shutdown`)
+//!   with its grammar documented on the module;
+//! * [`spec`] — the `utk batch` query-line syntax, moved here from
+//!   the CLI so both parse identically and server `batch` output is
+//!   **byte-identical** to `utk batch`;
+//! * [`registry`] — lazily loaded engines under one shared
+//!   filter-cache byte budget, re-dealt on load/evict;
+//! * [`server`] — the blocking accept loop: per-connection I/O
+//!   threads, query work on the engines' work-stealing pools, bounded
+//!   in-flight **admission control** (overload is shed with a typed
+//!   `busy` error, never queued unboundedly), graceful drain on
+//!   shutdown;
+//! * [`client`] — the blocking protocol client behind `utk client`.
+//!
+//! ```no_run
+//! use utk_server::server::{Bind, Server, ServerConfig};
+//!
+//! let config = ServerConfig::new(Bind::Tcp(0), "datasets/".into());
+//! let server = Server::bind(config)?;
+//! println!("listening on {}", server.bind_addr());
+//! let final_stats = server.run()?; // blocks until a shutdown request
+//! println!("served {} requests", final_stats.requests_served);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod proto;
+pub mod registry;
+pub mod server;
+pub mod spec;
+
+pub use client::{BatchReply, Connection};
+pub use proto::{ProtoError, Request, Response, StatsBody};
+pub use registry::{DatasetRegistry, LoadedDataset};
+pub use server::{Bind, ServeSnapshot, Server, ServerConfig, ServerHandle};

@@ -1,0 +1,506 @@
+//! The `utk serve` request/response protocol: newline-delimited JSON,
+//! one request per line, reusing the `utk::wire` result format.
+//!
+//! # Grammar
+//!
+//! Requests (one JSON object per line):
+//!
+//! ```text
+//! {"op":"load","dataset":NAME}
+//! {"op":"query","dataset":NAME,"q":QUERYLINE}
+//! {"op":"batch","dataset":NAME,"queries":[LINE,...]}
+//! {"op":"stats"}
+//! {"op":"evict","dataset":NAME}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! `NAME` resolves to `<datasets-dir>/<NAME>.csv`; `QUERYLINE` / each
+//! batch `LINE` uses the `utk batch` query-file syntax (see
+//! [`crate::spec`]). A `batch` request ships the file's lines
+//! verbatim — comments and blanks included — so the server reproduces
+//! `utk batch` line numbering exactly.
+//!
+//! Responses:
+//!
+//! ```text
+//! load     → {"ok":"load","dataset":NAME,"n":N,"d":D,"already_loaded":BOOL}
+//! query    → one wire result object, or {"error":MSG}   (the `utk batch` line shape)
+//! batch    → {"ok":"batch","dataset":NAME,"count":N}, then N wire/error lines
+//! stats    → {"ok":"stats","requests_served":N,"busy_rejections":N,
+//!             "inflight":N,"max_inflight":N,"datasets_loaded":N,
+//!             "datasets":[NAME,...],"registry_cache_bytes":N}
+//! evict    → {"ok":"evict","dataset":NAME,"evicted":BOOL}
+//! shutdown → {"ok":"shutdown"}
+//! ```
+//!
+//! Protocol-level failures (as opposed to per-query failures, which
+//! keep the plain `{"error":MSG}` shape for byte-compatibility with
+//! `utk batch`) respond with a **coded** error object:
+//!
+//! ```text
+//! {"error":MSG,"code":CODE}
+//! CODE ∈ bad_request | unknown_dataset | dataset_error | busy | shutting_down
+//! ```
+//!
+//! `busy` is the admission-control rejection: the server sheds the
+//! request instead of queueing it; clients retry or back off.
+
+use crate::json::{self, Value};
+use utk_core::wire::{coded_error_json, escape};
+
+/// Protocol error codes (the `code` field of a coded error object).
+pub mod code {
+    /// Malformed request line (bad JSON, missing field, unknown op,
+    /// invalid dataset name).
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// The named dataset has no CSV file in the served directory.
+    pub const UNKNOWN_DATASET: &str = "unknown_dataset";
+    /// The dataset file exists but failed to parse or index.
+    pub const DATASET_ERROR: &str = "dataset_error";
+    /// Admission control shed the request: the in-flight limit is
+    /// reached.
+    pub const BUSY: &str = "busy";
+    /// The server is draining after a `shutdown` request.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
+}
+
+/// One request line, parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Load (or confirm) a dataset without querying it.
+    Load {
+        /// Dataset name (`<name>.csv` under the served directory).
+        dataset: String,
+    },
+    /// Answer one query line against a dataset.
+    Query {
+        /// Dataset name.
+        dataset: String,
+        /// One `utk batch`-syntax query line.
+        q: String,
+    },
+    /// Answer a whole query file against a dataset.
+    Batch {
+        /// Dataset name.
+        dataset: String,
+        /// The file's lines, verbatim (comments/blanks included).
+        queries: Vec<String>,
+    },
+    /// Server counters and registry state.
+    Stats,
+    /// Unload a dataset's engine, freeing its caches.
+    Evict {
+        /// Dataset name.
+        dataset: String,
+    },
+    /// Stop accepting, drain in-flight work, exit.
+    Shutdown,
+}
+
+/// A protocol-level failure: the message plus its [`code`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// One of the [`code`] constants.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ProtoError {
+    /// A `bad_request` error.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self {
+            code: code::BAD_REQUEST,
+            message: message.into(),
+        }
+    }
+
+    /// The coded error wire object for this failure.
+    pub fn to_json(&self) -> String {
+        coded_error_json(self.code, &self.message)
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.message, self.code)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn json_str_list(items: &[String]) -> String {
+    let parts: Vec<String> = items.iter().map(|s| format!("\"{}\"", escape(s))).collect();
+    format!("[{}]", parts.join(","))
+}
+
+impl Request {
+    /// Serializes this request as one protocol line.
+    pub fn to_json(&self) -> String {
+        match self {
+            Request::Load { dataset } => {
+                format!(r#"{{"op":"load","dataset":"{}"}}"#, escape(dataset))
+            }
+            Request::Query { dataset, q } => format!(
+                r#"{{"op":"query","dataset":"{}","q":"{}"}}"#,
+                escape(dataset),
+                escape(q)
+            ),
+            Request::Batch { dataset, queries } => format!(
+                r#"{{"op":"batch","dataset":"{}","queries":{}}}"#,
+                escape(dataset),
+                json_str_list(queries)
+            ),
+            Request::Stats => r#"{"op":"stats"}"#.to_string(),
+            Request::Evict { dataset } => {
+                format!(r#"{{"op":"evict","dataset":"{}"}}"#, escape(dataset))
+            }
+            Request::Shutdown => r#"{"op":"shutdown"}"#.to_string(),
+        }
+    }
+
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Request, ProtoError> {
+        let value = json::parse(line).map_err(|e| ProtoError::bad_request(e.to_string()))?;
+        let op = value
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ProtoError::bad_request("request needs a string \"op\" field"))?;
+        let dataset = |v: &Value| -> Result<String, ProtoError> {
+            v.get("dataset")
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| {
+                    ProtoError::bad_request(format!("op {op:?} needs a string \"dataset\" field"))
+                })
+        };
+        match op {
+            "load" => Ok(Request::Load {
+                dataset: dataset(&value)?,
+            }),
+            "query" => Ok(Request::Query {
+                dataset: dataset(&value)?,
+                q: value
+                    .get("q")
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| {
+                        ProtoError::bad_request("op \"query\" needs a string \"q\" field")
+                    })?,
+            }),
+            "batch" => {
+                let queries = value
+                    .get("queries")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| {
+                        ProtoError::bad_request("op \"batch\" needs an array \"queries\" field")
+                    })?
+                    .iter()
+                    .map(|item| {
+                        item.as_str().map(str::to_string).ok_or_else(|| {
+                            ProtoError::bad_request("\"queries\" entries must be strings")
+                        })
+                    })
+                    .collect::<Result<Vec<String>, ProtoError>>()?;
+                Ok(Request::Batch {
+                    dataset: dataset(&value)?,
+                    queries,
+                })
+            }
+            "stats" => Ok(Request::Stats),
+            "evict" => Ok(Request::Evict {
+                dataset: dataset(&value)?,
+            }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ProtoError::bad_request(format!("unknown op {other:?}"))),
+        }
+    }
+}
+
+/// The counters a `stats` response carries.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatsBody {
+    /// Requests fully processed (every op; excludes shed and
+    /// malformed requests).
+    pub requests_served: u64,
+    /// Requests shed by admission control.
+    pub busy_rejections: u64,
+    /// Query/batch requests currently executing.
+    pub inflight: u64,
+    /// The admission limit.
+    pub max_inflight: u64,
+    /// Datasets currently resident.
+    pub datasets_loaded: u64,
+    /// Their names, sorted.
+    pub datasets: Vec<String>,
+    /// Total filter-cache bytes across resident engines.
+    pub registry_cache_bytes: u64,
+}
+
+/// One response line, parsed. The server builds these; clients parse
+/// them. Wire result objects pass through verbatim as
+/// [`Response::Result`] — their bytes are the `utk batch` contract
+/// and are never re-interpreted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `load` succeeded.
+    Load {
+        /// Dataset name.
+        dataset: String,
+        /// Records.
+        n: u64,
+        /// Dimensionality.
+        d: u64,
+        /// True when the dataset was already resident.
+        already_loaded: bool,
+    },
+    /// Header preceding a batch's result lines.
+    BatchHeader {
+        /// Dataset name.
+        dataset: String,
+        /// How many result lines follow.
+        count: u64,
+    },
+    /// `stats` counters.
+    Stats(StatsBody),
+    /// `evict` outcome.
+    Evict {
+        /// Dataset name.
+        dataset: String,
+        /// True when an engine was actually unloaded.
+        evicted: bool,
+    },
+    /// `shutdown` acknowledged; the server drains and exits.
+    Shutdown,
+    /// A wire result or per-query error line, verbatim.
+    Result(String),
+    /// A coded protocol error.
+    Error(ProtoError),
+}
+
+impl Response {
+    /// Serializes this response as one protocol line.
+    pub fn to_json(&self) -> String {
+        match self {
+            Response::Load {
+                dataset,
+                n,
+                d,
+                already_loaded,
+            } => format!(
+                r#"{{"ok":"load","dataset":"{}","n":{n},"d":{d},"already_loaded":{already_loaded}}}"#,
+                escape(dataset)
+            ),
+            Response::BatchHeader { dataset, count } => format!(
+                r#"{{"ok":"batch","dataset":"{}","count":{count}}}"#,
+                escape(dataset)
+            ),
+            Response::Stats(s) => format!(
+                concat!(
+                    r#"{{"ok":"stats","requests_served":{},"busy_rejections":{},"#,
+                    r#""inflight":{},"max_inflight":{},"datasets_loaded":{},"#,
+                    r#""datasets":{},"registry_cache_bytes":{}}}"#
+                ),
+                s.requests_served,
+                s.busy_rejections,
+                s.inflight,
+                s.max_inflight,
+                s.datasets_loaded,
+                json_str_list(&s.datasets),
+                s.registry_cache_bytes,
+            ),
+            Response::Evict { dataset, evicted } => format!(
+                r#"{{"ok":"evict","dataset":"{}","evicted":{evicted}}}"#,
+                escape(dataset)
+            ),
+            Response::Shutdown => r#"{"ok":"shutdown"}"#.to_string(),
+            Response::Result(line) => line.clone(),
+            Response::Error(e) => e.to_json(),
+        }
+    }
+
+    /// Parses one response line. Wire result objects (anything that is
+    /// valid JSON but not an `ok`/coded-error envelope) come back as
+    /// [`Response::Result`] with their bytes untouched.
+    pub fn parse(line: &str) -> Result<Response, ProtoError> {
+        let value = json::parse(line).map_err(|e| ProtoError::bad_request(e.to_string()))?;
+        if let Some(message) = value.get("error").and_then(Value::as_str) {
+            let Some(code_str) = value.get("code").and_then(Value::as_str) else {
+                // A plain {"error":…} is a per-query failure line.
+                return Ok(Response::Result(line.to_string()));
+            };
+            let code = [
+                code::BAD_REQUEST,
+                code::UNKNOWN_DATASET,
+                code::DATASET_ERROR,
+                code::BUSY,
+                code::SHUTTING_DOWN,
+            ]
+            .iter()
+            .find(|c| **c == code_str)
+            .copied()
+            .ok_or_else(|| ProtoError::bad_request(format!("unknown error code {code_str:?}")))?;
+            return Ok(Response::Error(ProtoError {
+                code,
+                message: message.to_string(),
+            }));
+        }
+        let Some(ok) = value.get("ok").and_then(Value::as_str) else {
+            return Ok(Response::Result(line.to_string()));
+        };
+        let field_u64 = |key: &str| -> Result<u64, ProtoError> {
+            value.get(key).and_then(Value::as_u64).ok_or_else(|| {
+                ProtoError::bad_request(format!("{ok:?} response needs a numeric {key:?}"))
+            })
+        };
+        let field_str = |key: &str| -> Result<String, ProtoError> {
+            value
+                .get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| {
+                    ProtoError::bad_request(format!("{ok:?} response needs a string {key:?}"))
+                })
+        };
+        let field_bool = |key: &str| -> Result<bool, ProtoError> {
+            value.get(key).and_then(Value::as_bool).ok_or_else(|| {
+                ProtoError::bad_request(format!("{ok:?} response needs a boolean {key:?}"))
+            })
+        };
+        match ok {
+            "load" => Ok(Response::Load {
+                dataset: field_str("dataset")?,
+                n: field_u64("n")?,
+                d: field_u64("d")?,
+                already_loaded: field_bool("already_loaded")?,
+            }),
+            "batch" => Ok(Response::BatchHeader {
+                dataset: field_str("dataset")?,
+                count: field_u64("count")?,
+            }),
+            "stats" => Ok(Response::Stats(StatsBody {
+                requests_served: field_u64("requests_served")?,
+                busy_rejections: field_u64("busy_rejections")?,
+                inflight: field_u64("inflight")?,
+                max_inflight: field_u64("max_inflight")?,
+                datasets_loaded: field_u64("datasets_loaded")?,
+                datasets: value
+                    .get("datasets")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| {
+                        ProtoError::bad_request("\"stats\" response needs a \"datasets\" array")
+                    })?
+                    .iter()
+                    .map(|item| {
+                        item.as_str().map(str::to_string).ok_or_else(|| {
+                            ProtoError::bad_request("\"datasets\" entries must be strings")
+                        })
+                    })
+                    .collect::<Result<Vec<String>, ProtoError>>()?,
+                registry_cache_bytes: field_u64("registry_cache_bytes")?,
+            })),
+            "evict" => Ok(Response::Evict {
+                dataset: field_str("dataset")?,
+                evicted: field_bool("evicted")?,
+            }),
+            "shutdown" => Ok(Response::Shutdown),
+            other => Err(ProtoError::bad_request(format!(
+                "unknown response kind {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_request_variant_round_trips() {
+        let requests = [
+            Request::Load {
+                dataset: "hotels".into(),
+            },
+            Request::Query {
+                dataset: "a-b_2".into(),
+                q: "utk1 --k 2 --lo 0.05,0.05 --hi 0.45,0.25".into(),
+            },
+            Request::Batch {
+                dataset: "x".into(),
+                queries: vec![
+                    "# comment with \"quotes\" and \\ slashes".into(),
+                    String::new(),
+                    "topk --k 3 --weights 0.3,0.5,0.2".into(),
+                ],
+            },
+            Request::Stats,
+            Request::Evict {
+                dataset: "hotels".into(),
+            },
+            Request::Shutdown,
+        ];
+        for req in requests {
+            let line = req.to_json();
+            let back = Request::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, req, "{line}");
+        }
+    }
+
+    #[test]
+    fn every_response_variant_round_trips() {
+        let responses = [
+            Response::Load {
+                dataset: "hotels".into(),
+                n: 7,
+                d: 3,
+                already_loaded: false,
+            },
+            Response::BatchHeader {
+                dataset: "hotels".into(),
+                count: 6,
+            },
+            Response::Stats(StatsBody {
+                requests_served: 12,
+                busy_rejections: 3,
+                inflight: 1,
+                max_inflight: 8,
+                datasets_loaded: 2,
+                datasets: vec!["anti".into(), "hotels".into()],
+                registry_cache_bytes: 4096,
+            }),
+            Response::Evict {
+                dataset: "hotels".into(),
+                evicted: true,
+            },
+            Response::Shutdown,
+            Response::Result(r#"{"error":"line 4: unknown query kind \"frobnicate\""}"#.into()),
+            Response::Result(r#"{"query":"topk","k":2,"weights":[0.3,0.5],"ranking":[]}"#.into()),
+            Response::Error(ProtoError {
+                code: code::BUSY,
+                message: "2 requests in flight (limit 2)".into(),
+            }),
+        ];
+        for resp in responses {
+            let line = resp.to_json();
+            let back = Response::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, resp, "{line}");
+            // Serialization is stable through a second round trip.
+            assert_eq!(back.to_json(), line);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_coded_bad_request() {
+        for bad in [
+            "not json",
+            r#"{"dataset":"x"}"#,
+            r#"{"op":"frobnicate"}"#,
+            r#"{"op":"query","dataset":"x"}"#,
+            r#"{"op":"batch","dataset":"x","queries":[1]}"#,
+            r#"{"op":"load"}"#,
+        ] {
+            let err = Request::parse(bad).unwrap_err();
+            assert_eq!(err.code, code::BAD_REQUEST, "{bad}");
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! The engine registry: one lazily built [`UtkEngine`] per served
+//! dataset, under a **shared** filter-cache byte budget.
+//!
+//! Datasets are CSV files in one directory; `name` maps to
+//! `<dir>/<name>.csv`. An engine is built on the first request that
+//! touches its dataset (or an explicit `load` op) and stays resident
+//! until evicted. The registry's byte budget is split evenly across
+//! resident engines and **re-dealt** on every load/evict through
+//! [`UtkEngine::set_filter_cache_budget`] — shrinking a slice evicts
+//! LRU entries, growing frees headroom, and either way surviving
+//! entries stay warm (the engine-level resize is in-place).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use crate::proto::{code, ProtoError};
+use utk_core::engine::UtkEngine;
+use utk_data::csv::{parse_csv, CsvData};
+
+/// One resident dataset: the parsed CSV (for record names) and its
+/// engine.
+#[derive(Debug)]
+pub struct LoadedDataset {
+    /// Registry name (file stem).
+    pub name: String,
+    /// The parsed CSV payload.
+    pub data: CsvData,
+    /// The engine serving it.
+    pub engine: UtkEngine,
+}
+
+/// The dataset → engine registry. Thread-safe: one instance serves
+/// every connection. The inner mutex guards only the name → engine
+/// map; dataset *builds* (CSV parse + R-tree bulk-load, potentially
+/// seconds) run outside it, so queries to already-resident datasets
+/// and the `stats` op never stall behind another dataset's load. Two
+/// racing first-loads of the same dataset may both build; the loser's
+/// copy is discarded at insert (first one in wins).
+#[derive(Debug)]
+pub struct DatasetRegistry {
+    dir: PathBuf,
+    /// Total filter-cache bytes shared across resident engines.
+    cache_budget: usize,
+    /// Worker-pool size handed to each engine (0 = one per core).
+    pool_threads: usize,
+    loaded: Mutex<HashMap<String, Arc<LoadedDataset>>>,
+}
+
+/// Whether a name is safe to join onto the datasets directory: a
+/// plain file stem, no path separators or traversal.
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 128
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+}
+
+impl DatasetRegistry {
+    /// A registry serving `<dir>/<name>.csv` files, sharing
+    /// `cache_budget` filter-cache bytes across however many engines
+    /// end up resident.
+    pub fn new(dir: PathBuf, cache_budget: usize, pool_threads: usize) -> Self {
+        Self {
+            dir,
+            cache_budget,
+            pool_threads,
+            loaded: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The served directory.
+    pub fn dir(&self) -> &PathBuf {
+        &self.dir
+    }
+
+    /// Dataset names available on disk (sorted), whether loaded or
+    /// not.
+    pub fn available(&self) -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(&self.dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .filter_map(|entry| {
+                let path = entry.path();
+                let stem = path.file_stem()?.to_str()?;
+                (path.extension()?.to_str()? == "csv" && valid_name(stem)).then(|| stem.to_string())
+            })
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// The resident dataset names, sorted.
+    pub fn loaded_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .loaded
+            .lock()
+            .expect("registry lock")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Number of resident engines.
+    pub fn loaded_count(&self) -> usize {
+        self.loaded.lock().expect("registry lock").len()
+    }
+
+    /// Filter-cache bytes currently held across resident engines.
+    pub fn cache_bytes(&self) -> usize {
+        self.loaded
+            .lock()
+            .expect("registry lock")
+            .values()
+            .map(|ds| ds.engine.filter_cache_bytes())
+            .sum()
+    }
+
+    /// The resident engine for `name`, loading it on first use.
+    /// Returns the dataset and whether it was already resident.
+    pub fn get_or_load(&self, name: &str) -> Result<(Arc<LoadedDataset>, bool), ProtoError> {
+        if !valid_name(name) {
+            return Err(ProtoError::bad_request(format!(
+                "invalid dataset name {name:?} (use letters, digits, '-', '_')"
+            )));
+        }
+        if let Some(ds) = self.loaded.lock().expect("registry lock").get(name) {
+            return Ok((Arc::clone(ds), true));
+        }
+        // Build outside the lock: resident datasets stay queryable
+        // while this one parses and indexes.
+        let path = self.dir.join(format!("{name}.csv"));
+        let text = std::fs::read_to_string(&path).map_err(|e| ProtoError {
+            code: code::UNKNOWN_DATASET,
+            message: format!("dataset {name:?}: {}: {e}", path.display()),
+        })?;
+        let data = parse_csv(&text, &path.to_string_lossy()).map_err(|e| ProtoError {
+            code: code::DATASET_ERROR,
+            message: format!("dataset {name:?}: {e}"),
+        })?;
+        let mut engine = UtkEngine::new(data.dataset.points.clone()).map_err(|e| ProtoError {
+            code: code::DATASET_ERROR,
+            message: format!("dataset {name:?}: {e}"),
+        })?;
+        if self.pool_threads != 0 {
+            engine = engine.with_pool_threads(self.pool_threads);
+        }
+        let ds = Arc::new(LoadedDataset {
+            name: name.to_string(),
+            data,
+            engine,
+        });
+        let mut loaded = self.loaded.lock().expect("registry lock");
+        if let Some(winner) = loaded.get(name) {
+            // A racing load finished first; serve its copy.
+            return Ok((Arc::clone(winner), true));
+        }
+        loaded.insert(name.to_string(), Arc::clone(&ds));
+        Self::rebalance(&loaded, self.cache_budget);
+        Ok((ds, false))
+    }
+
+    /// Unloads `name`'s engine, freeing its caches and re-dealing the
+    /// shared budget to the survivors. Returns whether an engine was
+    /// actually resident. In-flight queries on the evicted engine
+    /// finish safely — they hold their own `Arc` handle.
+    pub fn evict(&self, name: &str) -> bool {
+        let mut loaded = self.loaded.lock().expect("registry lock");
+        let removed = loaded.remove(name).is_some();
+        if removed {
+            Self::rebalance(&loaded, self.cache_budget);
+        }
+        removed
+    }
+
+    /// Deals `budget` evenly across the resident engines.
+    fn rebalance(loaded: &HashMap<String, Arc<LoadedDataset>>, budget: usize) {
+        if loaded.is_empty() {
+            return;
+        }
+        let share = budget / loaded.len();
+        for ds in loaded.values() {
+            ds.engine.set_filter_cache_budget(share);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("utk_registry_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("hotels.csv"),
+            "p1,8.3,9.1,7.2\np2,2.4,9.6,8.6\np3,5.4,1.6,4.1\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("tiny.csv"), "1,2\n3,4\n").unwrap();
+        std::fs::write(dir.join("broken.csv"), "a,b,c\n1,2\n1,2,3\n").unwrap();
+        dir
+    }
+
+    #[test]
+    fn lazy_load_evict_and_shared_budget() {
+        let dir = fixture_dir();
+        let registry = DatasetRegistry::new(dir, 1 << 20, 1);
+        assert_eq!(registry.loaded_count(), 0);
+
+        let (hotels, already) = registry.get_or_load("hotels").unwrap();
+        assert!(!already);
+        assert_eq!(hotels.engine.len(), 3);
+        assert_eq!(hotels.engine.filter_cache_budget(), 1 << 20);
+        let (_, again) = registry.get_or_load("hotels").unwrap();
+        assert!(again);
+
+        // A second dataset halves each engine's slice of the budget.
+        registry.get_or_load("tiny").unwrap();
+        assert_eq!(registry.loaded_count(), 2);
+        assert_eq!(hotels.engine.filter_cache_budget(), (1 << 20) / 2);
+
+        // Evicting re-deals the whole budget to the survivor.
+        assert!(registry.evict("tiny"));
+        assert!(!registry.evict("tiny"));
+        assert_eq!(hotels.engine.filter_cache_budget(), 1 << 20);
+        assert_eq!(registry.loaded_names(), vec!["hotels".to_string()]);
+    }
+
+    #[test]
+    fn bad_names_and_files_are_typed() {
+        let dir = fixture_dir();
+        let registry = DatasetRegistry::new(dir, 1 << 20, 1);
+        for bad in ["../etc/passwd", "a/b", "", "a b", "x.csv"] {
+            let err = registry.get_or_load(bad).unwrap_err();
+            assert_eq!(err.code, code::BAD_REQUEST, "{bad:?}");
+        }
+        assert_eq!(
+            registry.get_or_load("missing").unwrap_err().code,
+            code::UNKNOWN_DATASET
+        );
+        assert_eq!(
+            registry.get_or_load("broken").unwrap_err().code,
+            code::DATASET_ERROR
+        );
+        assert_eq!(registry.loaded_count(), 0);
+    }
+
+    #[test]
+    fn available_lists_csv_stems() {
+        let dir = fixture_dir();
+        let registry = DatasetRegistry::new(dir, 1 << 20, 1);
+        let names = registry.available();
+        assert!(names.contains(&"hotels".to_string()), "{names:?}");
+        assert!(names.contains(&"tiny".to_string()), "{names:?}");
+    }
+}

@@ -1,0 +1,732 @@
+//! The blocking serving loop: accept connections on a TCP or Unix
+//! socket, answer newline-delimited JSON requests ([`crate::proto`]),
+//! shed overload, drain cleanly on shutdown.
+//!
+//! Deliberately std-only, matching the workspace's offline-shim
+//! policy: the accept loop polls a non-blocking listener, connection
+//! reads run under a short timeout so every thread notices the
+//! shutdown flag, and each connection gets one OS thread for its
+//! I/O. The *query work* is not tied to those threads — `batch` ops
+//! run through [`UtkEngine::run_many`] and `query` ops are spawned
+//! onto the engine's persistent work-stealing pool, so compute
+//! parallelism is governed by the per-engine pool size, not by the
+//! connection count. The transport enum is the seam where an async
+//! front end would slot in later.
+//!
+//! # Admission control
+//!
+//! `query`, `batch` and `load` requests (the ops that do real work —
+//! a first load is a CSV parse + R-tree build) are admitted against a
+//! bounded in-flight counter; past `max_inflight` the server responds
+//! `{"error":…,"code":"busy"}` **immediately** instead of queueing —
+//! under overload clients get a fast typed signal to back off, and
+//! the work the server takes on stays bounded. Cheap control ops
+//! (`stats`, `evict`, `shutdown`) are always admitted. Per-connection
+//! resources are bounded separately: at most [`MAX_CONNECTIONS`]
+//! connections are open at once (excess ones are refused with a
+//! `busy` line), request lines are capped at [`MAX_REQUEST_BYTES`],
+//! and responses stream line-by-line.
+//!
+//! # Shutdown
+//!
+//! A `shutdown` request flips a flag. The accept loop stops
+//! accepting; each connection thread finishes the request it is
+//! executing (in-flight queries drain, never abort), notices the flag
+//! at its next poll tick, and exits; [`Server::run`] joins every
+//! connection thread, removes a Unix socket file, and returns the
+//! final counters.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::proto::{code, ProtoError, Request, Response, StatsBody};
+use crate::registry::{DatasetRegistry, LoadedDataset};
+use crate::spec;
+use utk_core::engine::{QueryResult, UtkEngine, UtkQuery};
+use utk_core::error::UtkError;
+
+/// How long a blocked connection read waits before re-checking the
+/// shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Hard cap on one request line's bytes. Admission control bounds
+/// concurrent *compute*; this bounds per-connection *memory* — a
+/// client streaming an endless unterminated line (or an enormous
+/// `batch` array) is disconnected at the cap instead of growing the
+/// read buffer without bound. Generous enough for six-figure batch
+/// files.
+pub const MAX_REQUEST_BYTES: usize = 32 << 20;
+
+/// Per-syscall write timeout on responses. A client that requests a
+/// large batch and then stops *reading* would otherwise park the
+/// connection thread in `write_all` forever — and graceful shutdown
+/// joins every connection thread, so one stuck writer would wedge
+/// the whole drain. Thirty seconds of zero progress on a single
+/// write means the peer is gone; the connection is dropped.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Cap on concurrently open connections. Each connection costs one
+/// OS thread and up to [`MAX_REQUEST_BYTES`] of read buffer, so
+/// without a cap a connection flood (which never trips admission
+/// control — that gates *requests*) could exhaust threads and
+/// memory. Excess connections get a best-effort `busy` error line
+/// and are closed immediately.
+pub const MAX_CONNECTIONS: usize = 256;
+
+/// Where the server listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bind {
+    /// A Unix-domain socket at this path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+    /// TCP on 127.0.0.1 at this port (0 = ephemeral; the resolved
+    /// port is reported by [`Server::bind_addr`]).
+    Tcp(u16),
+}
+
+impl std::fmt::Display for Bind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            #[cfg(unix)]
+            Bind::Unix(path) => write!(f, "unix:{}", path.display()),
+            Bind::Tcp(port) => write!(f, "tcp:127.0.0.1:{port}"),
+        }
+    }
+}
+
+enum Listener {
+    #[cfg(unix)]
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+/// One accepted connection, either flavor.
+pub(crate) enum Stream {
+    #[cfg(unix)]
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    pub(crate) fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+
+    pub(crate) fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(dur),
+            Stream::Tcp(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    pub(crate) fn set_write_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_write_timeout(dur),
+            Stream::Tcp(s) => s.set_write_timeout(dur),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+pub(crate) fn connect(bind: &Bind) -> std::io::Result<Stream> {
+    match bind {
+        #[cfg(unix)]
+        Bind::Unix(path) => UnixStream::connect(path).map(Stream::Unix),
+        Bind::Tcp(port) => TcpStream::connect(("127.0.0.1", *port)).map(Stream::Tcp),
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Where to listen.
+    pub bind: Bind,
+    /// Directory of `<name>.csv` datasets.
+    pub datasets_dir: PathBuf,
+    /// Admission limit on concurrently executing query/batch/load
+    /// requests.
+    pub max_inflight: usize,
+    /// Total filter-cache bytes shared across resident engines.
+    pub cache_budget: usize,
+    /// Worker-pool size per engine (0 = one worker per core).
+    pub pool_threads: usize,
+}
+
+impl ServerConfig {
+    /// A config with serving defaults: 64 in-flight requests, a
+    /// 64 MiB shared cache budget, per-core pools.
+    pub fn new(bind: Bind, datasets_dir: PathBuf) -> Self {
+        Self {
+            bind,
+            datasets_dir,
+            max_inflight: 64,
+            cache_budget: 64 << 20,
+            pool_threads: 0,
+        }
+    }
+}
+
+/// A snapshot of the server's counters (the `stats` response body is
+/// built from this).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeSnapshot {
+    /// Requests fully processed.
+    pub requests_served: u64,
+    /// Requests shed by admission control.
+    pub busy_rejections: u64,
+    /// Query/batch requests executing right now.
+    pub inflight: usize,
+    /// The admission limit.
+    pub max_inflight: usize,
+    /// Resident dataset count.
+    pub datasets_loaded: usize,
+    /// Resident dataset names, sorted.
+    pub datasets: Vec<String>,
+    /// Filter-cache bytes across resident engines.
+    pub registry_cache_bytes: usize,
+}
+
+struct Shared {
+    registry: DatasetRegistry,
+    max_inflight: usize,
+    inflight: AtomicUsize,
+    requests_served: AtomicU64,
+    busy_rejections: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn snapshot(&self) -> ServeSnapshot {
+        let datasets = self.registry.loaded_names();
+        ServeSnapshot {
+            requests_served: self.requests_served.load(Ordering::SeqCst),
+            busy_rejections: self.busy_rejections.load(Ordering::SeqCst),
+            inflight: self.inflight.load(Ordering::SeqCst),
+            max_inflight: self.max_inflight,
+            datasets_loaded: datasets.len(),
+            datasets,
+            registry_cache_bytes: self.registry.cache_bytes(),
+        }
+    }
+
+    fn stats_body(&self) -> StatsBody {
+        let snap = self.snapshot();
+        StatsBody {
+            requests_served: snap.requests_served,
+            busy_rejections: snap.busy_rejections,
+            inflight: snap.inflight as u64,
+            max_inflight: snap.max_inflight as u64,
+            datasets_loaded: snap.datasets_loaded as u64,
+            datasets: snap.datasets,
+            registry_cache_bytes: snap.registry_cache_bytes as u64,
+        }
+    }
+}
+
+/// RAII slot in the in-flight admission window.
+struct AdmitGuard<'a>(&'a Shared);
+
+impl<'a> AdmitGuard<'a> {
+    /// Tries to claim a slot; `None` means the request must be shed.
+    fn admit(shared: &'a Shared) -> Option<Self> {
+        shared
+            .inflight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < shared.max_inflight).then_some(n + 1)
+            })
+            .ok()
+            .map(|_| AdmitGuard(shared))
+    }
+}
+
+impl Drop for AdmitGuard<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A bound, not-yet-running server. [`Server::run`] blocks;
+/// [`Server::spawn`] runs it on a thread and hands back a
+/// [`ServerHandle`] (the in-process test/bench driver).
+pub struct Server {
+    listener: Listener,
+    bind: Bind,
+    shared: Arc<Shared>,
+    #[cfg(unix)]
+    socket_path: Option<PathBuf>,
+}
+
+impl Server {
+    /// Binds the listener and builds the registry (no datasets are
+    /// loaded yet). A **stale** Unix socket file at the requested
+    /// path (left by a crashed server) is removed first; a *live* one
+    /// — something is still accepting on it — is an `AddrInUse`
+    /// error, so a second server can neither hijack a running
+    /// server's path nor unlink its socket on shutdown.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        #[cfg(unix)]
+        let mut socket_path = None;
+        let (listener, bind) = match &config.bind {
+            #[cfg(unix)]
+            Bind::Unix(path) => {
+                if path.exists() {
+                    if UnixStream::connect(path).is_ok() {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::AddrInUse,
+                            format!("{} is served by a live process", path.display()),
+                        ));
+                    }
+                    std::fs::remove_file(path)?;
+                }
+                socket_path = Some(path.clone());
+                (
+                    Listener::Unix(UnixListener::bind(path)?),
+                    Bind::Unix(path.clone()),
+                )
+            }
+            Bind::Tcp(port) => {
+                let listener = TcpListener::bind(("127.0.0.1", *port))?;
+                let resolved = listener.local_addr()?.port();
+                (Listener::Tcp(listener), Bind::Tcp(resolved))
+            }
+        };
+        Ok(Server {
+            listener,
+            bind,
+            shared: Arc::new(Shared {
+                registry: DatasetRegistry::new(
+                    config.datasets_dir,
+                    config.cache_budget,
+                    config.pool_threads,
+                ),
+                max_inflight: config.max_inflight.max(1),
+                inflight: AtomicUsize::new(0),
+                requests_served: AtomicU64::new(0),
+                busy_rejections: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+            }),
+            #[cfg(unix)]
+            socket_path,
+        })
+    }
+
+    /// The resolved bind address (with the ephemeral TCP port filled
+    /// in).
+    pub fn bind_addr(&self) -> &Bind {
+        &self.bind
+    }
+
+    /// Dataset names available in the served directory.
+    pub fn available_datasets(&self) -> Vec<String> {
+        self.shared.registry.available()
+    }
+
+    /// Runs the accept loop until a `shutdown` request, then drains
+    /// in-flight work and returns the final counters.
+    pub fn run(self) -> std::io::Result<ServeSnapshot> {
+        match &self.listener {
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(true)?,
+            Listener::Tcp(l) => l.set_nonblocking(true)?,
+        }
+        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.shared.shutting_down() {
+            let accepted = match &self.listener {
+                #[cfg(unix)]
+                Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+                Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            };
+            match accepted {
+                Ok(mut stream) => {
+                    // Reap finished connection threads so the handle
+                    // list (and the cap below) tracks *live*
+                    // connections.
+                    connections.retain(|conn| !conn.is_finished());
+                    if connections.len() >= MAX_CONNECTIONS {
+                        let refusal = ProtoError {
+                            code: code::BUSY,
+                            message: format!("server is at {MAX_CONNECTIONS} connections"),
+                        };
+                        let _ = stream.set_write_timeout(Some(POLL));
+                        let _ = write_line(&mut stream, &refusal.to_json());
+                        self.shared.busy_rejections.fetch_add(1, Ordering::SeqCst);
+                        continue;
+                    }
+                    let shared = Arc::clone(&self.shared);
+                    connections.push(std::thread::spawn(move || {
+                        handle_connection(stream, &shared);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    // Transient accept failures (EMFILE under an FD
+                    // burst, ECONNABORTED, …) must shed, not kill the
+                    // server: overload is a condition to ride out.
+                    eprintln!("utk serve: accept error (retrying): {e}");
+                    std::thread::sleep(POLL);
+                }
+            }
+        }
+        // Drain: close the listener, let every connection finish its
+        // in-flight request and notice the flag.
+        drop(self.listener);
+        for conn in connections {
+            let _ = conn.join();
+        }
+        #[cfg(unix)]
+        if let Some(path) = &self.socket_path {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(self.shared.snapshot())
+    }
+
+    /// Runs the server on a background thread, returning a handle for
+    /// in-process drivers (tests, benches).
+    pub fn spawn(self) -> ServerHandle {
+        let bind = self.bind.clone();
+        let shared = Arc::clone(&self.shared);
+        let thread = std::thread::spawn(move || self.run());
+        ServerHandle {
+            bind,
+            shared,
+            thread,
+        }
+    }
+}
+
+/// Handle onto a [`Server::spawn`]ed server.
+pub struct ServerHandle {
+    bind: Bind,
+    shared: Arc<Shared>,
+    thread: std::thread::JoinHandle<std::io::Result<ServeSnapshot>>,
+}
+
+impl ServerHandle {
+    /// The resolved bind address.
+    pub fn bind_addr(&self) -> &Bind {
+        &self.bind
+    }
+
+    /// Live counters.
+    pub fn snapshot(&self) -> ServeSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Waits for the serving loop to exit (after a `shutdown`
+    /// request) and returns its final counters.
+    pub fn join(self) -> std::io::Result<ServeSnapshot> {
+        self.thread
+            .join()
+            .unwrap_or_else(|e| std::panic::resume_unwind(e))
+    }
+}
+
+/// Runs one query on the engine's persistent worker pool (so compute
+/// lands on pool workers, not the connection's I/O thread) and waits
+/// for it.
+fn run_on_pool(engine: &UtkEngine, query: &UtkQuery) -> Result<QueryResult, UtkError> {
+    let slot: Arc<Mutex<Option<Result<QueryResult, UtkError>>>> = Arc::new(Mutex::new(None));
+    let set = engine.pool().task_set();
+    {
+        let engine = engine.clone();
+        let query = query.clone();
+        let slot = Arc::clone(&slot);
+        set.spawn(move || {
+            *slot.lock().expect("query slot") = Some(engine.run(&query));
+        });
+    }
+    set.wait();
+    let result = slot
+        .lock()
+        .expect("query slot")
+        .take()
+        .expect("pool task filled the slot before wait() returned");
+    result
+}
+
+/// What one [`read_request_line`] call produced.
+enum LineRead {
+    /// A complete, newline-terminated line is in the buffer.
+    Line,
+    /// EOF; the buffer may hold a final unterminated line.
+    Eof,
+    /// The connection must close: oversized line, or shutdown while a
+    /// line was still incomplete.
+    Closed,
+}
+
+/// Reads one request line into `buf`, checking the shutdown flag and
+/// the byte cap between *every* socket read — a peer trickling bytes
+/// without a newline can neither stall shutdown (the drain joins this
+/// thread) nor grow the buffer past [`MAX_REQUEST_BYTES`]. Bytes, not
+/// a `String`: `read_line` discards a tick's consumed bytes when a
+/// timeout lands mid-UTF-8-character, silently corrupting the
+/// request; raw bytes survive any split.
+fn read_request_line(
+    reader: &mut BufReader<Stream>,
+    buf: &mut Vec<u8>,
+    shared: &Shared,
+) -> std::io::Result<LineRead> {
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok([]) => return Ok(LineRead::Eof),
+            Ok(chunk) => chunk,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                if shared.shutting_down() {
+                    return Ok(LineRead::Closed);
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        let (consume, complete) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(i) => (i + 1, true),
+            None => (chunk.len(), false),
+        };
+        if buf.len() + consume > MAX_REQUEST_BYTES {
+            return Ok(LineRead::Closed); // oversized request line
+        }
+        buf.extend_from_slice(&chunk[..consume]);
+        reader.consume(consume);
+        if complete {
+            return Ok(LineRead::Line);
+        }
+        if shared.shutting_down() {
+            return Ok(LineRead::Closed);
+        }
+    }
+}
+
+/// Serves one connection: read a request line, write its response
+/// line(s), repeat until EOF, error, or shutdown.
+fn handle_connection(stream: Stream, shared: &Shared) {
+    if stream.set_read_timeout(Some(POLL)).is_err()
+        || stream.set_write_timeout(Some(WRITE_TIMEOUT)).is_err()
+    {
+        return;
+    }
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let status = match read_request_line(&mut reader, &mut buf, shared) {
+            Ok(LineRead::Closed) | Err(_) => return,
+            Ok(status) => status,
+        };
+        // A final unterminated line (EOF mid-line) is still a
+        // request. Invalid UTF-8 becomes U+FFFD, which
+        // `Request::parse` rejects as a `bad_request` like any other
+        // bad byte.
+        let line = String::from_utf8_lossy(&buf).into_owned();
+        buf.clear();
+        let line = line.trim();
+        if !line.is_empty() && respond(line, shared, &mut writer).is_err() {
+            return;
+        }
+        if matches!(status, LineRead::Eof) || shared.shutting_down() {
+            return;
+        }
+    }
+}
+
+/// Writes one response line. Streaming each line as it is produced —
+/// rather than accumulating a whole batch response in memory — keeps
+/// per-connection response memory at one line.
+fn write_line(writer: &mut Stream, line: &str) -> std::io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")
+}
+
+/// Answers one request line, streaming the response line(s) to
+/// `writer`. An `Err` means the peer stopped taking bytes; the
+/// connection is closed.
+fn respond(line: &str, shared: &Shared, writer: &mut Stream) -> std::io::Result<()> {
+    let request = match Request::parse(line) {
+        Ok(req) => req,
+        Err(e) => {
+            write_line(writer, &e.to_json())?;
+            return writer.flush();
+        }
+    };
+    match handle_request(&request, shared, writer) {
+        Ok(()) => {
+            shared.requests_served.fetch_add(1, Ordering::SeqCst);
+        }
+        Err(Handled::Proto(e)) => {
+            if e.code == code::BUSY {
+                shared.busy_rejections.fetch_add(1, Ordering::SeqCst);
+            }
+            write_line(writer, &e.to_json())?;
+        }
+        Err(Handled::Io(e)) => return Err(e),
+    }
+    writer.flush()
+}
+
+/// Why a request produced no complete response: a protocol error (to
+/// be written back) or a transport failure (to close the connection).
+enum Handled {
+    Proto(ProtoError),
+    Io(std::io::Error),
+}
+
+impl From<ProtoError> for Handled {
+    fn from(e: ProtoError) -> Self {
+        Handled::Proto(e)
+    }
+}
+
+impl From<std::io::Error> for Handled {
+    fn from(e: std::io::Error) -> Self {
+        Handled::Io(e)
+    }
+}
+
+fn handle_request(request: &Request, shared: &Shared, writer: &mut Stream) -> Result<(), Handled> {
+    let admit = |shared: &Shared| -> Result<(), ProtoError> {
+        if shared.shutting_down() {
+            return Err(ProtoError {
+                code: code::SHUTTING_DOWN,
+                message: "server is draining after a shutdown request".into(),
+            });
+        }
+        Ok(())
+    };
+    match request {
+        Request::Load { dataset } => {
+            // A first load is a CSV parse + R-tree build — real work,
+            // admitted like a query (only stats/evict/shutdown are
+            // always-on control ops).
+            admit(shared)?;
+            let _slot = admitted(shared)?;
+            let (ds, already_loaded) = shared.registry.get_or_load(dataset)?;
+            write_line(
+                writer,
+                &Response::Load {
+                    dataset: ds.name.clone(),
+                    n: ds.engine.len() as u64,
+                    d: ds.engine.dim() as u64,
+                    already_loaded,
+                }
+                .to_json(),
+            )?;
+            Ok(())
+        }
+        Request::Query { dataset, q } => {
+            admit(shared)?;
+            let _slot = admitted(shared)?;
+            let ds = shared.registry.get_or_load(dataset)?.0;
+            write_line(writer, &answer_query(&ds, q))?;
+            Ok(())
+        }
+        Request::Batch { dataset, queries } => {
+            admit(shared)?;
+            let _slot = admitted(shared)?;
+            let ds = shared.registry.get_or_load(dataset)?.0;
+            let text = queries.join("\n");
+            let parsed = spec::parse_query_file(&text, ds.engine.dim());
+            let lines = spec::answer_query_file(&ds.engine, &ds.data, &parsed);
+            write_line(
+                writer,
+                &Response::BatchHeader {
+                    dataset: ds.name.clone(),
+                    count: lines.len() as u64,
+                }
+                .to_json(),
+            )?;
+            for line in &lines {
+                write_line(writer, line)?;
+            }
+            Ok(())
+        }
+        Request::Stats => {
+            write_line(writer, &Response::Stats(shared.stats_body()).to_json())?;
+            Ok(())
+        }
+        Request::Evict { dataset } => {
+            let evicted = shared.registry.evict(dataset);
+            write_line(
+                writer,
+                &Response::Evict {
+                    dataset: dataset.clone(),
+                    evicted,
+                }
+                .to_json(),
+            )?;
+            Ok(())
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            write_line(writer, &Response::Shutdown.to_json())?;
+            Ok(())
+        }
+    }
+}
+
+/// Claims an admission slot or sheds the request with `busy`.
+fn admitted(shared: &Shared) -> Result<AdmitGuard<'_>, ProtoError> {
+    AdmitGuard::admit(shared).ok_or_else(|| ProtoError {
+        code: code::BUSY,
+        message: format!(
+            "server is at capacity ({} requests in flight)",
+            shared.max_inflight
+        ),
+    })
+}
+
+/// Answers one `query` op on the dataset's engine pool.
+fn answer_query(ds: &LoadedDataset, q: &str) -> String {
+    spec::answer_query_line_with(&ds.data, q, |query| run_on_pool(&ds.engine, query))
+}

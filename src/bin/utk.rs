@@ -6,6 +6,8 @@
 //! utk utk2 --data hotels.csv --k 2 --center 0.3,0.5 --width 0.2 --json
 //! utk topk --data hotels.csv --k 2 --weights 0.3,0.5,0.2
 //! utk generate --dist anti --n 1000 --d 4 --seed 7 > data.csv
+//! utk serve --datasets data/ --socket /tmp/utk.sock --max-inflight 8
+//! utk client --socket /tmp/utk.sock --dataset hotels --file queries.txt
 //! ```
 //!
 //! The data file holds one record per line, comma-separated, with an
@@ -16,19 +18,60 @@
 //!
 //! All queries run through [`utk::core::engine::UtkEngine`]; `--algo`
 //! selects the processing algorithm and `--json` switches to
-//! machine-readable output.
+//! machine-readable output. The query-line syntax of `batch` files
+//! lives in [`utk::server::spec`], shared with the `utk serve`
+//! protocol, so a query line means the same thing on the command
+//! line, in a batch file, and over a socket.
 
 use std::process::ExitCode;
 use utk::data::csv::{parse_csv, write_csv, CsvData};
 use utk::data::synthetic::{generate, Distribution};
-use utk::geom::Constraint;
 use utk::prelude::*;
+use utk::server::client::{BatchReply, Connection};
+use utk::server::proto::{Request, Response};
+use utk::server::server::{Bind, Server, ServerConfig};
+use utk::server::spec::{self, build_topk_query, build_utk_query, ParsedArgs};
 use utk::wire;
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
     eprintln!("run `utk help` for usage");
     ExitCode::FAILURE
+}
+
+/// A command failure: the human-readable message, plus whether a
+/// machine-readable error line already reached stdout (the client
+/// prints the *server's* error object verbatim — emitting a second
+/// object for the same failure would break the one-line-per-response
+/// contract).
+struct CliError {
+    message: String,
+    json_emitted: bool,
+}
+
+impl CliError {
+    /// A failure whose JSON error object (if the invocation is in
+    /// JSON mode) still needs emitting.
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            json_emitted: false,
+        }
+    }
+
+    /// A failure already reported on stdout as a JSON line.
+    fn already_emitted(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            json_emitted: true,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::new(message)
+    }
 }
 
 const HELP: &str = "utk — exact uncertain top-k queries (Mouratidis & Tang, VLDB 2018)
@@ -38,6 +81,8 @@ USAGE:
   utk utk2     --data <csv> --k <n> <REGION> [OPTIONS]      exact top-k set per preference partition
   utk topk     --data <csv> --k <n> --weights w1,..,wd [OPTIONS]   plain top-k (for comparison)
   utk batch    --data <csv> --file <queries> [--threads <n>]       batched queries, one JSON line each
+  utk serve    --datasets <dir> (--socket <path> | --port <p>) [SERVE OPTIONS]
+  utk client   (--socket <path> | --port <p>) [--dataset <name>] [--file <queries>] [--op <o>]
   utk generate --dist <ind|cor|anti> --n <n> --d <d> [--seed <s>]  benchmark data to stdout
   utk help
 
@@ -49,7 +94,7 @@ OPTIONS:
   --algo <a>   processing algorithm: auto (default), rsa, jaa, sk, on
   --json       machine-readable JSON output (records, cells, stats; includes the
                cache/filter counters superset_hits, filter_cache_bytes, evictions,
-               screen_prefix_skips)
+               screen_prefix_skips). Errors become {\"error\":…} objects on stdout.
   --parallel   fan refinement out over the engine's worker pool (utk1 and utk2)
   --threads <n> worker pool size (implies --parallel; default: all cores)
   --cache-budget <mib>  byte budget of the engine's LRU filter cache, in MiB
@@ -64,27 +109,23 @@ Queries sharing (k, region, scoring) are grouped to reuse one filter
 computation; groups run concurrently on the engine's pool. Output is
 one JSON object per input line, in input order (--json wire format;
 failed lines yield {\"error\":…} without aborting the rest).
-";
 
-const BOOL_FLAGS: &[&str] = &["json", "parallel"];
-const VALUE_FLAGS: &[&str] = &[
-    "data",
-    "k",
-    "lo",
-    "hi",
-    "center",
-    "width",
-    "weights",
-    "lp",
-    "algo",
-    "threads",
-    "dist",
-    "n",
-    "d",
-    "seed",
-    "file",
-    "cache-budget",
-];
+SERVE (long-running multi-dataset server; newline-delimited JSON protocol):
+  --datasets <dir>      directory of <name>.csv datasets, engines built lazily
+  --socket <path> | --port <p>   Unix socket or 127.0.0.1 TCP (port 0 = ephemeral)
+  --max-inflight <n>    admission limit; excess queries get {\"error\":…,\"code\":\"busy\"}
+                        instead of queueing (default 64)
+  --cache-budget <mib>  filter-cache budget SHARED across all dataset engines (default 64)
+  --threads <n>         worker-pool size per engine (default: all cores)
+Protocol ops: load, query, batch, stats, evict, shutdown — see the
+utk-server crate docs for the grammar. Server `batch` output is
+byte-identical to `utk batch` on the same file.
+
+CLIENT (drives a running server; prints one JSON line per response):
+  --file <queries>      send the file as one batch op (requires --dataset)
+  --op <o>              stats (default) | load | evict | shutdown
+  --dataset <name>      dataset for --file / load / evict
+";
 
 /// The flags each command actually reads; anything else is rejected
 /// rather than silently ignored.
@@ -123,258 +164,69 @@ fn command_flags(command: &str) -> Option<&'static [&'static str]> {
         ]),
         "topk" => Some(&["data", "k", "weights", "lp", "json"]),
         "batch" => Some(&["data", "file", "threads", "cache-budget"]),
+        "serve" => Some(&[
+            "datasets",
+            "socket",
+            "port",
+            "max-inflight",
+            "cache-budget",
+            "threads",
+        ]),
+        "client" => Some(&["socket", "port", "dataset", "file", "op"]),
         "generate" => Some(&["dist", "n", "d", "seed"]),
         _ => None,
     }
 }
 
-/// The flags one query line of a `batch` file may carry (per-query
-/// settings only: data, output mode and pool size are batch-level).
-fn batch_line_flags(command: &str) -> Option<&'static [&'static str]> {
-    match command {
-        "utk1" | "utk2" => Some(&["k", "lo", "hi", "center", "width", "lp", "algo", "parallel"]),
-        "topk" => Some(&["k", "weights", "lp"]),
-        _ => None,
-    }
+/// Parses the process arguments against the per-command allow-list.
+fn parse_cli() -> Result<ParsedArgs, String> {
+    let mut it = std::env::args().skip(1);
+    let Some(command) = it.next() else {
+        return Err("missing command".into());
+    };
+    let Some(allowed) = command_flags(&command) else {
+        return Err(format!("unknown command {command:?}"));
+    };
+    ParsedArgs::from_tokens(command, allowed, it)
 }
 
-struct Args {
-    flags: Vec<(String, String)>,
-    command: String,
-}
-
-impl Args {
-    /// Parses `argv`, reporting exactly which token was malformed.
-    fn parse() -> Result<Args, String> {
-        let mut it = std::env::args().skip(1);
-        let Some(command) = it.next() else {
-            return Err("missing command".into());
-        };
-        let Some(allowed) = command_flags(&command) else {
-            return Err(format!("unknown command {command:?}"));
-        };
-        Self::from_tokens(command, allowed, it)
-    }
-
-    /// Parses one token stream against an allow-list (shared by the
-    /// command line proper and each line of a `batch` file).
-    fn from_tokens(
-        command: String,
-        allowed: &[&str],
-        mut it: impl Iterator<Item = String>,
-    ) -> Result<Args, String> {
-        let mut flags = Vec::new();
-        while let Some(f) = it.next() {
-            let Some(key) = f.strip_prefix("--") else {
-                return Err(format!(
-                    "expected a --flag, found {f:?} (values belong directly after their flag)"
-                ));
-            };
-            if !BOOL_FLAGS.contains(&key) && !VALUE_FLAGS.contains(&key) {
-                return Err(format!("unknown flag --{key}"));
-            }
-            if !allowed.contains(&key) {
-                return Err(format!("flag --{key} does not apply to `{command}`"));
-            }
-            if BOOL_FLAGS.contains(&key) {
-                flags.push((key.to_string(), "true".to_string()));
-                continue;
-            }
-            let Some(val) = it.next() else {
-                return Err(format!("flag --{key} is missing its value"));
-            };
-            flags.push((key.to_string(), val));
-        }
-        Ok(Args { flags, command })
-    }
-
-    fn get(&self, key: &str) -> Option<&str> {
-        self.flags
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
-    }
-
-    fn has(&self, key: &str) -> bool {
-        self.get(key).is_some()
-    }
-
-    fn floats(&self, key: &str) -> Result<Option<Vec<f64>>, String> {
-        let Some(raw) = self.get(key) else {
-            return Ok(None);
-        };
-        raw.split(',')
-            .map(|v| {
-                v.trim()
-                    .parse()
-                    .map_err(|_| format!("--{key}: {v:?} is not a number"))
-            })
-            .collect::<Result<Vec<f64>, String>>()
-            .map(Some)
-    }
-}
-
-fn load(args: &Args) -> Result<CsvData, String> {
+fn load(args: &ParsedArgs) -> Result<CsvData, String> {
     let path = args.get("data").ok_or("missing --data <csv>")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     parse_csv(&text, path).map_err(|e| e.to_string())
 }
 
-/// Builds the box region, reporting malformed bounds as errors —
-/// `Region::hyperrect` would panic on them.
-fn checked_box(lo: Vec<f64>, hi: Vec<f64>) -> Result<Region, String> {
-    if lo.iter().chain(&hi).any(|v| !v.is_finite()) {
-        return Err("region bounds must be finite numbers".into());
-    }
-    if let Some(i) = (0..lo.len()).find(|&i| lo[i] > hi[i]) {
-        return Err(format!(
-            "inverted region bounds in coordinate {}: lo {} > hi {}",
-            i + 1,
-            lo[i],
-            hi[i]
-        ));
-    }
-    Ok(Region::hyperrect(lo, hi))
-}
-
-fn region_from(args: &Args, dp: usize) -> Result<Region, String> {
-    if let (Some(lo), Some(hi)) = (args.floats("lo")?, args.floats("hi")?) {
-        if lo.len() != dp || hi.len() != dp {
-            return Err(format!("region needs {dp} coordinates (d − 1)"));
-        }
-        return checked_box(lo, hi);
-    }
-    if let (Some(center), Some(width)) = (args.floats("center")?, args.get("width")) {
-        if center.len() != dp {
-            return Err(format!("--center needs {dp} coordinates (d − 1)"));
-        }
-        let w: f64 = width.parse().map_err(|_| "--width must be a number")?;
-        if !w.is_finite() || w < 0.0 {
-            return Err("--width must be non-negative".into());
-        }
-        let lo: Vec<f64> = center.iter().map(|c| (c - w / 2.0).max(0.0)).collect();
-        let hi: Vec<f64> = center.iter().map(|c| (c + w / 2.0).min(1.0)).collect();
-        let outside = hi.iter().sum::<f64>() > 1.0;
-        let boxed = checked_box(lo, hi)?;
-        // Clip to the simplex when the box pokes out.
-        if outside {
-            return Ok(boxed.with_constraint(Constraint::le(vec![1.0; dp], 1.0)));
-        }
-        return Ok(boxed);
-    }
-    Err("specify a region: --lo/--hi or --center/--width".into())
-}
-
-fn parse_k(args: &Args) -> Result<usize, String> {
-    args.get("k")
-        .ok_or("missing --k")?
-        .parse()
-        .map_err(|_| "--k must be an integer".into())
-}
-
-fn scoring_from(args: &Args, d: usize) -> Result<Option<GeneralScoring>, String> {
-    match args.get("lp") {
-        None => Ok(None),
-        Some(p) => {
-            let p: f64 = p.parse().map_err(|_| "--lp must be a number")?;
-            if p <= 0.0 {
-                return Err("--lp must be positive".into());
-            }
-            Ok(Some(GeneralScoring::weighted_lp(p, d)))
-        }
-    }
-}
-
-fn algo_from(args: &Args) -> Result<Algo, String> {
-    match args.get("algo") {
-        None => Ok(Algo::Auto),
-        Some(a) => a.parse::<Algo>(),
-    }
-}
-
-// --- query building (shared by single commands and batch lines) ------
-
-/// One prepared query of a batch, plus the metadata its wire-format
-/// output needs.
-struct Prepared {
-    query: UtkQuery,
-    kind: QueryKind,
-    k: usize,
-    algo: Algo,
-    weights: Vec<f64>,
-}
-
-/// Builds a UTK1/UTK2 query from parsed flags.
-fn build_utk_query(args: &Args, kind: QueryKind, d: usize) -> Result<Prepared, String> {
-    let k = parse_k(args)?;
-    let algo = algo_from(args)?;
-    let region = region_from(args, d - 1)?;
-    let mut query = match kind {
-        QueryKind::Utk1 => UtkQuery::utk1(k),
-        QueryKind::Utk2 => UtkQuery::utk2(k),
-        QueryKind::TopK => unreachable!("build_utk_query only handles UTK queries"),
-    };
-    query = query.region(region).algorithm(algo);
-    if let Some(s) = scoring_from(args, d)? {
-        query = query.scoring(s);
-    }
-    // --threads implies parallelism; requiring --parallel as well
-    // would silently drop the thread count.
-    if args.has("parallel") || args.has("threads") {
-        query = query.parallel(true);
-    }
-    Ok(Prepared {
-        query,
-        kind,
-        k,
-        algo,
-        weights: Vec::new(),
-    })
-}
-
-/// Builds a plain top-k query from parsed flags.
-fn build_topk_query(args: &Args, d: usize) -> Result<Prepared, String> {
-    let k = parse_k(args)?;
-    let w = args.floats("weights")?.ok_or("missing --weights")?;
-    if w.len() != d && w.len() != d - 1 {
-        return Err(format!("--weights needs {d} (or {}) values", d - 1));
-    }
-    let mut query = UtkQuery::topk(k).weights(w.clone());
-    if let Some(s) = scoring_from(args, d)? {
-        query = query.scoring(s);
-    }
-    Ok(Prepared {
-        query,
-        kind: QueryKind::TopK,
-        k,
-        algo: Algo::Auto,
-        weights: w,
-    })
-}
-
 /// Builds the engine, applying `--threads` to its worker pool and
 /// `--cache-budget` (MiB) to its filter cache.
-fn engine_from(args: &Args, data: &CsvData) -> Result<UtkEngine, String> {
+fn engine_from(args: &ParsedArgs, data: &CsvData) -> Result<UtkEngine, String> {
     let mut engine = UtkEngine::new(data.dataset.points.clone()).map_err(|e| e.to_string())?;
     if let Some(t) = args.get("threads") {
         let t: usize = t.parse().map_err(|_| "--threads must be an integer")?;
         engine = engine.with_pool_threads(t);
     }
-    if let Some(mib) = args.get("cache-budget") {
-        let mib: usize = mib
-            .parse()
-            .map_err(|_| "--cache-budget must be an integer (MiB)")?;
-        let bytes = mib
-            .checked_mul(1 << 20)
-            .ok_or_else(|| format!("--cache-budget {mib} MiB overflows the byte budget"))?;
+    if let Some(bytes) = cache_budget_bytes(args)? {
         engine = engine.with_filter_cache_budget(bytes);
     }
     Ok(engine)
 }
 
+/// `--cache-budget <MiB>` as bytes, if passed.
+fn cache_budget_bytes(args: &ParsedArgs) -> Result<Option<usize>, String> {
+    let Some(mib) = args.get("cache-budget") else {
+        return Ok(None);
+    };
+    let mib: usize = mib
+        .parse()
+        .map_err(|_| "--cache-budget must be an integer (MiB)")?;
+    let bytes = mib
+        .checked_mul(1 << 20)
+        .ok_or_else(|| format!("--cache-budget {mib} MiB overflows the byte budget"))?;
+    Ok(Some(bytes))
+}
+
 // --- commands --------------------------------------------------------
 
-fn run_topk(args: &Args) -> Result<(), String> {
+fn run_topk(args: &ParsedArgs) -> Result<(), String> {
     let data = load(args)?;
     let d = data.dataset.dim();
     let prepared = build_topk_query(args, d)?;
@@ -396,7 +248,7 @@ fn run_topk(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn run_utk(args: &Args, kind: QueryKind) -> Result<(), String> {
+fn run_utk(args: &ParsedArgs, kind: QueryKind) -> Result<(), String> {
     let data = load(args)?;
     let d = data.dataset.dim();
     let prepared = build_utk_query(args, kind, d)?;
@@ -449,71 +301,136 @@ fn run_utk(args: &Args, kind: QueryKind) -> Result<(), String> {
 
 /// `utk batch`: answers a query file through
 /// [`UtkEngine::run_many`], one JSON wire object per line, in input
-/// order. A malformed or failing line yields an `{"error":…}` object
-/// without aborting its siblings.
-fn run_batch(args: &Args) -> Result<(), String> {
+/// order. The parsing and serialization live in
+/// [`utk::server::spec`], shared with `utk serve`'s `batch` op —
+/// the two produce byte-identical output for the same file.
+fn run_batch(args: &ParsedArgs) -> Result<(), String> {
     let data = load(args)?;
     let d = data.dataset.dim();
     let path = args.get("file").ok_or("missing --file <queries>")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-
-    // Parse every line up front; parse failures keep their slot.
-    let mut prepared: Vec<Result<Prepared, String>> = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let entry = (|| {
-            let mut tokens = line.split_whitespace().map(str::to_string);
-            let command = tokens.next().expect("non-empty line has a first token");
-            let Some(allowed) = batch_line_flags(&command) else {
-                return Err(format!("unknown query kind {command:?}"));
-            };
-            let line_args = Args::from_tokens(command.clone(), allowed, tokens)?;
-            match command.as_str() {
-                "utk1" => build_utk_query(&line_args, QueryKind::Utk1, d),
-                "utk2" => build_utk_query(&line_args, QueryKind::Utk2, d),
-                "topk" => build_topk_query(&line_args, d),
-                _ => unreachable!("batch_line_flags vetted the command"),
-            }
-        })()
-        .map_err(|e| format!("line {}: {e}", lineno + 1));
-        prepared.push(entry);
-    }
-
+    let parsed = spec::parse_query_file(&text, d);
     let engine = engine_from(args, &data)?;
-    let queries: Vec<UtkQuery> = prepared
-        .iter()
-        .filter_map(|p| p.as_ref().ok())
-        .map(|p| p.query.clone())
-        .collect();
-    let mut answers = engine.run_many(&queries).into_iter();
-
-    let n = data.dataset.len();
-    let name = |id| data.name(id);
-    for entry in &prepared {
-        match entry {
-            Err(e) => println!("{}", wire::error_json(e)),
-            Ok(p) => {
-                let answer = answers.next().expect("one answer per prepared query");
-                match answer {
-                    Err(e) => println!("{}", wire::error_json(&e.to_string())),
-                    Ok(result) => {
-                        let ran = p.algo.resolved_for(p.kind);
-                        println!(
-                            "{}",
-                            wire::result_json(&result, p.k, ran, n, d, &p.weights, &name)
-                        );
-                    }
-                }
-            }
-        }
+    for line in spec::answer_query_file(&engine, &data, &parsed) {
+        println!("{line}");
     }
     Ok(())
 }
 
-fn run_generate(args: &Args) -> Result<(), String> {
+/// The `--socket`/`--port` pair as a server bind address.
+fn bind_from(args: &ParsedArgs) -> Result<Bind, String> {
+    match (args.get("socket"), args.get("port")) {
+        (Some(_), Some(_)) => Err("pass --socket or --port, not both".into()),
+        #[cfg(unix)]
+        (Some(path), None) => Ok(Bind::Unix(path.into())),
+        #[cfg(not(unix))]
+        (Some(_), None) => {
+            Err("--socket needs Unix domain sockets (unavailable here); use --port".into())
+        }
+        (None, Some(port)) => Ok(Bind::Tcp(
+            port.parse().map_err(|_| "--port must be an integer")?,
+        )),
+        (None, None) => Err("specify where to listen: --socket <path> or --port <p>".into()),
+    }
+}
+
+fn run_serve(args: &ParsedArgs) -> Result<(), String> {
+    let dir = args.get("datasets").ok_or("missing --datasets <dir>")?;
+    let mut config = ServerConfig::new(bind_from(args)?, dir.into());
+    if let Some(n) = args.get("max-inflight") {
+        config.max_inflight = n.parse().map_err(|_| "--max-inflight must be an integer")?;
+        if config.max_inflight == 0 {
+            return Err("--max-inflight must be at least 1".into());
+        }
+    }
+    if let Some(bytes) = cache_budget_bytes(args)? {
+        config.cache_budget = bytes;
+    }
+    if let Some(t) = args.get("threads") {
+        config.pool_threads = t.parse().map_err(|_| "--threads must be an integer")?;
+    }
+    let server = Server::bind(config).map_err(|e| format!("bind: {e}"))?;
+    eprintln!(
+        "utk serve: listening on {} ({} datasets available in {dir})",
+        server.bind_addr(),
+        server.available_datasets().len(),
+    );
+    let snapshot = server.run().map_err(|e| format!("serve: {e}"))?;
+    eprintln!(
+        "utk serve: shut down after {} requests ({} busy rejections)",
+        snapshot.requests_served, snapshot.busy_rejections
+    );
+    Ok(())
+}
+
+fn run_client(args: &ParsedArgs) -> Result<(), CliError> {
+    // Flag validation before any I/O: --file *is* the batch op, so a
+    // simultaneous --op would be silently ignored otherwise.
+    if let (Some(_), Some(op)) = (args.get("file"), args.get("op")) {
+        return Err(CliError::new(format!(
+            "--file (a batch op) and --op {op} are mutually exclusive"
+        )));
+    }
+    let bind = bind_from(args)?;
+    let mut conn =
+        Connection::connect(&bind).map_err(|e| CliError::new(format!("connect {bind}: {e}")))?;
+    let dataset = |what: &str| -> Result<String, String> {
+        args.get("dataset")
+            .map(str::to_string)
+            .ok_or(format!("{what} needs --dataset <name>"))
+    };
+    if let Some(path) = args.get("file") {
+        let dataset = dataset("--file")?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| CliError::new(format!("{path}: {e}")))?;
+        match conn
+            .batch(&dataset, &text)
+            .map_err(|e| CliError::new(format!("batch: {e}")))?
+        {
+            BatchReply::Lines(lines) => {
+                for line in lines {
+                    println!("{line}");
+                }
+                return Ok(());
+            }
+            BatchReply::Rejected(e) => {
+                // The server's coded error object *is* the response;
+                // print it once and only add the human message.
+                println!("{}", e.to_json());
+                return Err(CliError::already_emitted(format!(
+                    "server rejected the batch: {e}"
+                )));
+            }
+        }
+    }
+    let request = match args.get("op").unwrap_or("stats") {
+        "stats" => Request::Stats,
+        "load" => Request::Load {
+            dataset: dataset("op load")?,
+        },
+        "evict" => Request::Evict {
+            dataset: dataset("op evict")?,
+        },
+        "shutdown" => Request::Shutdown,
+        other => {
+            return Err(CliError::new(format!(
+                "unknown --op {other:?} (expected stats, load, evict or shutdown)"
+            )))
+        }
+    };
+    let line = conn
+        .round_trip(&request.to_json())
+        .map_err(|e| CliError::new(format!("request: {e}")))?;
+    println!("{line}");
+    if let Ok(Response::Error(e)) = Response::parse(&line) {
+        return Err(CliError::already_emitted(format!(
+            "server returned a protocol error: {e}"
+        )));
+    }
+    Ok(())
+}
+
+fn run_generate(args: &ParsedArgs) -> Result<(), String> {
     let dist = match args.get("dist").unwrap_or("ind") {
         "ind" => Distribution::Ind,
         "cor" => Distribution::Cor,
@@ -540,25 +457,48 @@ fn run_generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn run() -> Result<(), String> {
-    let args = Args::parse()?;
+fn run() -> Result<(), CliError> {
+    let args = parse_cli()?;
     match args.command.as_str() {
         "help" | "--help" | "-h" => {
             print!("{HELP}");
             Ok(())
         }
-        "topk" => run_topk(&args),
-        "utk1" => run_utk(&args, QueryKind::Utk1),
-        "utk2" => run_utk(&args, QueryKind::Utk2),
-        "batch" => run_batch(&args),
-        "generate" => run_generate(&args),
-        other => Err(format!("unknown command {other:?}")),
+        "topk" => run_topk(&args).map_err(CliError::from),
+        "utk1" => run_utk(&args, QueryKind::Utk1).map_err(CliError::from),
+        "utk2" => run_utk(&args, QueryKind::Utk2).map_err(CliError::from),
+        "batch" => run_batch(&args).map_err(CliError::from),
+        "serve" => run_serve(&args).map_err(CliError::from),
+        "client" => run_client(&args),
+        "generate" => run_generate(&args).map_err(CliError::from),
+        other => Err(CliError::new(format!("unknown command {other:?}"))),
     }
+}
+
+/// Whether this invocation promised machine-readable output: `--json`
+/// anywhere in the arguments, or a command whose output is always
+/// JSON lines. Checked on the raw argv so even arg-parse failures
+/// (unknown command, malformed flag) keep the promise.
+fn json_mode() -> bool {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_default();
+    matches!(command.as_str(), "batch" | "client") || args.any(|a| a == "--json")
 }
 
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => fail(&e),
+        Err(e) => {
+            // Machine-readable invocations get a machine-readable
+            // error on stdout — the same {"error":…} object a failed
+            // batch line produces — alongside the human message on
+            // stderr. The server protocol reuses this shape. Failures
+            // the client already printed as a server error line are
+            // not emitted twice.
+            if json_mode() && !e.json_emitted {
+                println!("{}", wire::error_json(&e.message));
+            }
+            fail(&e.message)
+        }
     }
 }

@@ -86,14 +86,59 @@
 //! verification counters, both scheduling-dependent — see the
 //! [`wire`] module docs for the exact JSON determinism contract.
 //!
+//! (The recorded `BENCH_PARALLEL_JAA.json` figures were taken on a
+//! single-core container and are noise-dominated scheduler overhead,
+//! not real scaling — re-record on multicore hardware; the
+//! load-bearing part is `cells_identical_to_sequential: true` at
+//! every thread count.)
+//!
+//! ## Serving
+//!
+//! [`server`] (the `utk-server` crate) turns the library into a
+//! long-running multi-dataset service. `utk serve` holds one lazily
+//! built engine per CSV in a directory — a
+//! [`DatasetRegistry`](server::DatasetRegistry) sharing one
+//! filter-cache byte budget across all of them, re-dealt as datasets
+//! load and evict — behind a Unix or TCP socket speaking
+//! newline-delimited JSON:
+//!
+//! ```text
+//! → {"op":"load","dataset":NAME}
+//! → {"op":"query","dataset":NAME,"q":"utk1 --k 2 --lo 0.05,0.05 --hi 0.45,0.25"}
+//! → {"op":"batch","dataset":NAME,"queries":[LINE,...]}
+//! → {"op":"stats"} | {"op":"evict","dataset":NAME} | {"op":"shutdown"}
+//! ← one wire result/error line per query ({"ok":…} envelopes for
+//!   control ops; {"error":…,"code":"busy"|…} for protocol errors)
+//! ```
+//!
+//! Query lines use the `utk batch` syntax — the parser lives in
+//! [`server::spec`] and is shared by the CLI, so a server `batch`
+//! response is **byte-identical** to `utk batch` on the same file.
+//! Admission control bounds concurrently executing query/batch/load
+//! requests (`--max-inflight`): overload is shed immediately with a
+//! typed `busy` error instead of queueing unboundedly, and a
+//! `shutdown` request drains in-flight queries before the process
+//! exits. End-to-end:
+//!
+//! ```text
+//! utk serve  --datasets data/ --socket /tmp/utk.sock --max-inflight 8 &
+//! utk client --socket /tmp/utk.sock --dataset hotels --file queries.txt
+//! utk client --socket /tmp/utk.sock --op stats
+//! utk client --socket /tmp/utk.sock --op shutdown
+//! ```
+//!
+//! See the [`server`] crate docs for the full protocol grammar.
+//!
 //! ## Command line
 //!
 //! The `utk` binary answers the same queries over CSV files, with
 //! `--algo` to pick the algorithm, `--json` for machine-readable
-//! output, `--parallel`/`--threads` for the worker pool, and a
-//! `batch` command that streams a query file through
-//! [`run_many`](core::engine::UtkEngine::run_many) — one JSON line
-//! per query, in input order; see `utk help`.
+//! output (errors included: under `--json`, usage and query failures
+//! become `{"error":…}` objects on stdout), `--parallel`/`--threads`
+//! for the worker pool, a `batch` command that streams a query file
+//! through [`run_many`](core::engine::UtkEngine::run_many) — one
+//! JSON line per query, in input order — and the `serve`/`client`
+//! pair above; see `utk help`.
 
 #![warn(missing_docs)]
 
@@ -101,6 +146,7 @@ pub use utk_core as core;
 pub use utk_data as data;
 pub use utk_geom as geom;
 pub use utk_rtree as rtree;
+pub use utk_server as server;
 
 pub mod wire;
 

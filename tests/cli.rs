@@ -350,6 +350,56 @@ fn json_output_is_machine_readable() {
 }
 
 #[test]
+fn json_mode_errors_are_machine_parsable_objects() {
+    let data = hotels_file();
+    let d = data.to_str().unwrap();
+
+    // Engine-rejected query under --json: stdout carries the same
+    // {"error":…} object a failed batch line produces.
+    let (stdout, stderr, ok) = utk(&["utk1", "--data", d, "--k", "0", "--json"]);
+    assert!(!ok);
+    assert!(stdout.starts_with(r#"{"error":""#), "stdout: {stdout}");
+    assert!(stdout.contains("region"), "stdout: {stdout}");
+    assert!(stderr.contains("error:"), "stderr keeps the human message");
+
+    // Unknown flags and unknown subcommands keep the promise too —
+    // the check runs on raw argv, before parsing can fail.
+    let (stdout, _, ok) = utk(&["utk1", "--data", d, "--frobnicate", "1", "--json"]);
+    assert!(!ok);
+    assert!(stdout.starts_with(r#"{"error":""#), "stdout: {stdout}");
+    assert!(stdout.contains("--frobnicate"), "stdout: {stdout}");
+
+    let (stdout, _, ok) = utk(&["frobnicate", "--json"]);
+    assert!(!ok);
+    assert!(stdout.starts_with(r#"{"error":""#), "stdout: {stdout}");
+    assert!(stdout.contains("unknown command"), "stdout: {stdout}");
+
+    // Commands whose output is always JSON lines (batch, client) emit
+    // JSON errors without needing --json.
+    let (stdout, stderr, ok) = utk(&["batch", "--data", d]);
+    assert!(!ok);
+    assert!(stdout.starts_with(r#"{"error":""#), "stdout: {stdout}");
+    assert!(stdout.contains("--file"), "stdout: {stdout}");
+    assert!(stderr.contains("--file"), "stderr: {stderr}");
+
+    // Without --json, stdout stays clean (errors go to stderr only).
+    let (stdout, _, ok) = utk(&["utk1", "--data", d, "--k", "0"]);
+    assert!(!ok);
+    assert!(stdout.is_empty(), "stdout: {stdout}");
+
+    // The error text is valid JSON even when the message itself
+    // contains quotes (quoted flag values in parse errors).
+    let (stdout, _, ok) = utk(&["utk1", "--data", d, "k", "2", "--json"]);
+    assert!(!ok);
+    let parsed = utk::server::json::parse(stdout.trim()).expect("stdout is valid JSON");
+    assert!(parsed
+        .get("error")
+        .and_then(utk::server::json::Value::as_str)
+        .expect("error field")
+        .contains("\"k\""));
+}
+
+#[test]
 fn parallel_flag_agrees_with_sequential() {
     let data = hotels_file();
     let d = data.to_str().unwrap();

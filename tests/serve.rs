@@ -1,0 +1,476 @@
+//! End-to-end tests of the `utk serve` subsystem: the binary-level
+//! serve/client/batch triangle (byte-identity), admission control
+//! under concurrency, and the protocol ops.
+
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use utk::data::csv::parse_csv;
+use utk::data::synthetic::{generate, Distribution};
+use utk::prelude::*;
+use utk::server::client::{BatchReply, Connection};
+use utk::server::proto::{code, Request, Response};
+use utk::server::server::{Bind, Server, ServerConfig};
+use utk::server::spec;
+
+const HOTELS_CSV: &str = "\
+hotel,service,cleanliness,location
+p1,8.3,9.1,7.2
+p2,2.4,9.6,8.6
+p3,5.4,1.6,4.1
+p4,2.6,6.9,9.4
+p5,7.3,3.1,2.4
+p6,7.9,6.4,6.6
+p7,8.6,7.1,4.3
+";
+
+/// The mixed batch the CLI tests use: valid, malformed, and
+/// engine-rejected lines.
+const QUERY_FILE: &str = "\
+# mixed batch: valid, malformed, engine-rejected
+utk1 --k 2 --lo 0.05,0.05 --hi 0.45,0.25
+
+frobnicate --k 2
+topk --k 2 --weights 0.3,0.5,0.2
+utk2 --k 2 --lo 0.05,0.05 --hi 0.45,0.25 --parallel
+utk1 --k 0 --lo 0.05,0.05 --hi 0.45,0.25
+utk2 --k 2 --center 0.25,0.15 --width 0.2 --algo jaa
+";
+
+/// A fresh fixture directory holding a `hotels` dataset; `extra`
+/// adds more `<name>.csv` files.
+fn datasets_dir(tag: &str, extra: &[(&str, String)]) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("utk_serve_test_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("hotels.csv"), HOTELS_CSV).unwrap();
+    for (name, text) in extra {
+        std::fs::write(dir.join(format!("{name}.csv")), text).unwrap();
+    }
+    dir
+}
+
+fn utk_bin(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_utk"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+/// Spawns `utk serve` on a Unix socket and waits for it to listen.
+#[cfg(unix)]
+fn spawn_serve(dir: &Path, socket: &Path, extra_flags: &[&str]) -> Child {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_utk"));
+    cmd.args([
+        "serve",
+        "--datasets",
+        dir.to_str().unwrap(),
+        "--socket",
+        socket.to_str().unwrap(),
+    ])
+    .args(extra_flags)
+    .stdout(Stdio::null())
+    .stderr(Stdio::piped());
+    let child = cmd.spawn().expect("serve spawns");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !socket.exists() {
+        assert!(Instant::now() < deadline, "server never bound {socket:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child
+}
+
+/// Waits for a child to exit, failing the test (and killing it) on
+/// timeout — the "no leaked server" check.
+fn assert_exits_cleanly(mut child: Child, within: Duration) {
+    let deadline = Instant::now() + within;
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => {
+                let mut stderr = String::new();
+                if let Some(mut pipe) = child.stderr.take() {
+                    let _ = pipe.read_to_string(&mut stderr);
+                }
+                assert!(status.success(), "server exited with {status}: {stderr}");
+                return;
+            }
+            None if Instant::now() >= deadline => {
+                let _ = child.kill();
+                panic!("server did not exit within {within:?} after shutdown");
+            }
+            None => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+/// The acceptance-criteria test: the same query file through
+/// `utk client` → `utk serve` and through `utk batch` produces
+/// byte-identical JSON lines; shutdown is clean.
+#[cfg(unix)]
+#[test]
+fn serving_is_byte_identical_to_batch() {
+    let dir = datasets_dir("e2e", &[]);
+    let socket = dir.join("utk.sock");
+    let qfile = dir.join("queries.txt");
+    std::fs::write(&qfile, QUERY_FILE).unwrap();
+    let server = spawn_serve(&dir, &socket, &["--max-inflight", "4"]);
+
+    let (served, stderr, ok) = utk_bin(&[
+        "client",
+        "--socket",
+        socket.to_str().unwrap(),
+        "--dataset",
+        "hotels",
+        "--file",
+        qfile.to_str().unwrap(),
+    ]);
+    assert!(ok, "client batch failed: {stderr}");
+
+    let hotels = dir.join("hotels.csv");
+    let (batch, stderr, ok) = utk_bin(&[
+        "batch",
+        "--data",
+        hotels.to_str().unwrap(),
+        "--file",
+        qfile.to_str().unwrap(),
+    ]);
+    assert!(ok, "batch failed: {stderr}");
+    assert_eq!(served, batch, "served output must be byte-identical");
+    assert_eq!(served.lines().count(), 6, "one line per query:\n{served}");
+
+    // A control op round-trips through the client binary too.
+    let (stats, _, ok) = utk_bin(&[
+        "client",
+        "--socket",
+        socket.to_str().unwrap(),
+        "--op",
+        "stats",
+    ]);
+    assert!(ok);
+    assert!(stats.contains(r#""requests_served":"#), "{stats}");
+    assert!(stats.contains(r#""datasets":["hotels"]"#), "{stats}");
+
+    // A server-side protocol error is exactly one JSON line on
+    // stdout (the server's coded object, never a second wrapper) and
+    // a nonzero exit.
+    let (out, _, ok) = utk_bin(&[
+        "client",
+        "--socket",
+        socket.to_str().unwrap(),
+        "--op",
+        "load",
+        "--dataset",
+        "nope",
+    ]);
+    assert!(!ok);
+    assert_eq!(out.lines().count(), 1, "one line per response:\n{out}");
+    assert!(out.contains(r#""code":"unknown_dataset""#), "{out}");
+
+    let (out, _, ok) = utk_bin(&[
+        "client",
+        "--socket",
+        socket.to_str().unwrap(),
+        "--op",
+        "shutdown",
+    ]);
+    assert!(ok);
+    assert!(out.contains(r#"{"ok":"shutdown"}"#), "{out}");
+    assert_exits_cleanly(server, Duration::from_secs(10));
+    assert!(!socket.exists(), "socket file must be removed on shutdown");
+}
+
+/// Admission control: with `--max-inflight 1`, a concurrent client
+/// observes typed `busy` errors while a heavy batch holds the slot,
+/// and every accepted query still returns a correct result.
+#[cfg(unix)]
+#[test]
+fn admission_control_sheds_load_with_busy_errors() {
+    let anti = generate(Distribution::Anti, 1500, 3, 42);
+    let anti_csv = utk::data::csv::write_csv(&anti, None);
+    let dir = datasets_dir("busy", &[("anti", anti_csv.clone())]);
+    let socket = dir.join("busy.sock");
+
+    let mut config = ServerConfig::new(Bind::Unix(socket.clone()), dir.clone());
+    config.max_inflight = 1;
+    config.pool_threads = 1;
+    let handle = Server::bind(config).expect("bind").spawn();
+
+    // A batch heavy enough to hold the admission slot for a while.
+    let heavy: String = (0..6)
+        .map(|i| format!("utk2 --k 6 --center 0.3{i},0.2{i} --width 0.08\n"))
+        .collect();
+    let heavy_clone = heavy.clone();
+    let bind = handle.bind_addr().clone();
+    let batcher = std::thread::spawn(move || {
+        let mut conn = Connection::connect(&bind).expect("batch connection");
+        conn.batch("anti", &heavy_clone).expect("batch request")
+    });
+
+    // Wait until the batch actually occupies the slot, then probe.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while handle.snapshot().inflight == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "batch never became in-flight: {:?}",
+            handle.snapshot()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut probe = Connection::connect(handle.bind_addr()).expect("probe connection");
+    let mut saw_busy = false;
+    let mut accepted: Vec<String> = Vec::new();
+    let probe_line = "topk --k 2 --weights 0.3,0.5,0.2";
+    while Instant::now() < deadline {
+        let request = Request::Query {
+            dataset: "anti".into(),
+            q: probe_line.into(),
+        };
+        let line = probe.round_trip(&request.to_json()).expect("probe");
+        match Response::parse(&line).expect("parseable response") {
+            Response::Error(e) if e.code == code::BUSY => {
+                saw_busy = true;
+                break;
+            }
+            Response::Result(l) => accepted.push(l),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert!(saw_busy, "probe never saw a busy rejection");
+
+    // The heavy batch drains to completion with correct results:
+    // identical to answering the same file on a fresh local engine.
+    let BatchReply::Lines(served) = batcher.join().expect("batcher thread") else {
+        panic!("the first batch must be admitted");
+    };
+    let data = parse_csv(&anti_csv, "anti").unwrap();
+    let engine = UtkEngine::new(data.dataset.points.clone())
+        .unwrap()
+        .with_pool_threads(1);
+    let parsed = spec::parse_query_file(&heavy, 3);
+    let expected = spec::answer_query_file(&engine, &data, &parsed);
+    assert_eq!(served, expected, "accepted batch must be exact");
+
+    // Once the slot frees, the probe query is accepted and exact.
+    let expected_probe = spec::answer_query_line(&engine, &data, probe_line);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let accepted_after = loop {
+        assert!(Instant::now() < deadline, "probe never got admitted");
+        let request = Request::Query {
+            dataset: "anti".into(),
+            q: probe_line.into(),
+        };
+        let line = probe.round_trip(&request.to_json()).expect("probe");
+        match Response::parse(&line).expect("parseable response") {
+            Response::Error(e) if e.code == code::BUSY => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Response::Result(l) => break l,
+            other => panic!("unexpected response {other:?}"),
+        }
+    };
+    assert_eq!(accepted_after, expected_probe);
+    for line in accepted {
+        assert_eq!(line, expected_probe, "every accepted probe must be exact");
+    }
+
+    let snap = handle.snapshot();
+    assert!(snap.busy_rejections >= 1, "{snap:?}");
+    probe
+        .round_trip(&Request::Shutdown.to_json())
+        .expect("shutdown");
+    let final_snap = handle.join().expect("clean exit");
+    assert!(final_snap.requests_served >= 2, "{final_snap:?}");
+    assert!(final_snap.busy_rejections >= 1, "{final_snap:?}");
+}
+
+/// `--file` and `--op` on the client are rejected up front — `--op`
+/// would otherwise be silently ignored.
+#[test]
+fn client_rejects_file_op_combination() {
+    let (stdout, stderr, ok) = utk_bin(&[
+        "client",
+        "--socket",
+        "/nonexistent.sock",
+        "--dataset",
+        "d",
+        "--file",
+        "q.txt",
+        "--op",
+        "shutdown",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+    // Validated before connecting (the socket does not exist), and
+    // reported as a JSON error (client is an always-JSON command).
+    assert!(stdout.starts_with(r#"{"error":""#), "{stdout}");
+}
+
+/// Binding refuses to hijack a live server's Unix socket but cleans
+/// up a stale file.
+#[cfg(unix)]
+#[test]
+fn bind_refuses_live_socket_and_reclaims_stale_one() {
+    let dir = datasets_dir("bindrace", &[]);
+    let socket = dir.join("race.sock");
+    let first = Server::bind(ServerConfig::new(Bind::Unix(socket.clone()), dir.clone()))
+        .expect("first bind")
+        .spawn();
+
+    let err = match Server::bind(ServerConfig::new(Bind::Unix(socket.clone()), dir.clone())) {
+        Err(e) => e,
+        Ok(_) => panic!("second bind on a live socket must fail"),
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse, "{err}");
+    // The live server is untouched.
+    let mut conn = Connection::connect(first.bind_addr()).expect("still reachable");
+    conn.round_trip(&Request::Shutdown.to_json()).unwrap();
+    first.join().expect("clean exit");
+    assert!(!socket.exists());
+
+    // A stale file (no listener behind it) is reclaimed.
+    std::fs::write(&socket, b"").unwrap();
+    let reclaimed = Server::bind(ServerConfig::new(Bind::Unix(socket.clone()), dir))
+        .expect("stale socket reclaimed")
+        .spawn();
+    let mut conn = Connection::connect(reclaimed.bind_addr()).expect("reachable");
+    conn.round_trip(&Request::Shutdown.to_json()).unwrap();
+    reclaimed.join().expect("clean exit");
+}
+
+/// Protocol ops against an in-process server: lazy load, stats
+/// accounting, evict, empty batches, and typed error codes.
+#[test]
+fn protocol_ops_and_error_codes() {
+    let dir = datasets_dir("proto", &[]);
+    let handle = Server::bind(ServerConfig::new(Bind::Tcp(0), dir))
+        .expect("bind")
+        .spawn();
+    let mut conn = Connection::connect(handle.bind_addr()).expect("connect");
+
+    // Nothing is resident until asked for.
+    assert_eq!(handle.snapshot().datasets_loaded, 0);
+    let loaded = conn
+        .request(&Request::Load {
+            dataset: "hotels".into(),
+        })
+        .unwrap();
+    assert_eq!(
+        loaded,
+        Response::Load {
+            dataset: "hotels".into(),
+            n: 7,
+            d: 3,
+            already_loaded: false,
+        }
+    );
+    let again = conn
+        .request(&Request::Load {
+            dataset: "hotels".into(),
+        })
+        .unwrap();
+    assert!(matches!(
+        again,
+        Response::Load {
+            already_loaded: true,
+            ..
+        }
+    ));
+
+    // A query on the loaded dataset, straight through the protocol.
+    let line = conn
+        .round_trip(
+            &Request::Query {
+                dataset: "hotels".into(),
+                q: "utk1 --k 2 --lo 0.05,0.05 --hi 0.45,0.25".into(),
+            }
+            .to_json(),
+        )
+        .unwrap();
+    for p in ["p1", "p2", "p4", "p6"] {
+        assert!(line.contains(p), "missing {p}: {line}");
+    }
+
+    // An empty batch is answered, not crashed on (the run_many([])
+    // regression surface).
+    let reply = conn.batch("hotels", "# only comments\n\n").unwrap();
+    assert_eq!(reply, BatchReply::Lines(Vec::new()));
+
+    // Typed error codes.
+    let err = |req: &Request, conn: &mut Connection| -> utk::server::proto::ProtoError {
+        match conn.request(req).unwrap() {
+            Response::Error(e) => e,
+            other => panic!("expected an error, got {other:?}"),
+        }
+    };
+    assert_eq!(
+        err(
+            &Request::Load {
+                dataset: "missing".into()
+            },
+            &mut conn
+        )
+        .code,
+        code::UNKNOWN_DATASET
+    );
+    assert_eq!(
+        err(
+            &Request::Load {
+                dataset: "../escape".into()
+            },
+            &mut conn
+        )
+        .code,
+        code::BAD_REQUEST
+    );
+    let bad = conn.round_trip(r#"{"op":"frobnicate"}"#).unwrap();
+    assert!(bad.contains(r#""code":"bad_request""#), "{bad}");
+    let not_json = conn.round_trip("hello there").unwrap();
+    assert!(not_json.contains(r#""code":"bad_request""#), "{not_json}");
+
+    // A malformed query line is a per-query error (plain shape, no
+    // code) — exactly what a batch line would produce.
+    let qerr = conn
+        .round_trip(
+            &Request::Query {
+                dataset: "hotels".into(),
+                q: "utk1 --k 2".into(),
+            }
+            .to_json(),
+        )
+        .unwrap();
+    assert!(qerr.starts_with(r#"{"error":""#), "{qerr}");
+    assert!(!qerr.contains(r#""code""#), "{qerr}");
+
+    // Evict unloads; stats reflect all of the above.
+    let evicted = conn
+        .request(&Request::Evict {
+            dataset: "hotels".into(),
+        })
+        .unwrap();
+    assert_eq!(
+        evicted,
+        Response::Evict {
+            dataset: "hotels".into(),
+            evicted: true,
+        }
+    );
+    let Response::Stats(stats) = conn.request(&Request::Stats).unwrap() else {
+        panic!("stats expected");
+    };
+    assert_eq!(stats.datasets_loaded, 0);
+    assert!(stats.requests_served >= 6, "{stats:?}");
+    assert_eq!(stats.busy_rejections, 0);
+    assert_eq!(stats.max_inflight, 64);
+
+    assert_eq!(
+        conn.request(&Request::Shutdown).unwrap(),
+        Response::Shutdown
+    );
+    handle.join().expect("clean exit");
+}

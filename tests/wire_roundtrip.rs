@@ -1,0 +1,222 @@
+//! Round-trip coverage for the wire format and the serving protocol:
+//! every request/response variant serializes → parses back
+//! identically, and every wire result line (over generated queries)
+//! survives a parse → re-serialize cycle byte-for-byte. This is the
+//! contract that lets `utk client`, the server, and the determinism
+//! suite all treat wire lines as comparable bytes.
+
+use proptest::prelude::*;
+use utk::prelude::*;
+use utk::server::json;
+use utk::server::proto::{code, ProtoError, Request, Response, StatsBody};
+use utk::wire;
+
+/// A string over a byte alphabet that exercises every escape class
+/// the wire escaper knows (quotes, backslashes, control characters)
+/// plus plain text.
+fn wild_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..127, 0..24)
+        .prop_map(|bytes| bytes.into_iter().map(|b| b as char).collect())
+}
+
+/// A small random dataset in the unit cube.
+fn dataset(n: usize, d: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.05f64..1.0, d), n)
+}
+
+/// A query box comfortably inside the 2-d preference simplex.
+fn query_box() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (
+        prop::collection::vec(0.05f64..0.35, 2),
+        prop::collection::vec(0.02f64..0.15, 2),
+    )
+        .prop_map(|(lo, side)| {
+            let hi: Vec<f64> = lo.iter().zip(&side).map(|(l, s)| l + s).collect();
+            (lo, hi)
+        })
+}
+
+/// Byte-exact JSON round trip: parse then re-serialize.
+fn assert_roundtrips(line: &str) {
+    let value = json::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+    assert_eq!(value.to_string(), line, "round trip must be byte-exact");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every result line an engine query can produce — UTK1, UTK2 and
+    /// top-k, with adversarial record names — parses and re-serializes
+    /// byte-identically.
+    #[test]
+    fn generated_query_lines_roundtrip(
+        pts in dataset(14, 3),
+        (lo, hi) in query_box(),
+        k in 1usize..4,
+    ) {
+        let engine = UtkEngine::new(pts).unwrap();
+        let region = Region::hyperrect(lo.clone(), hi);
+        // Names exercise quoting, backslashes and control characters.
+        let name = |id: u32| format!("p\"{id}\\\n\t");
+        let n = engine.len();
+        let d = engine.dim();
+
+        let u1 = engine.utk1(&region, k).unwrap();
+        assert_roundtrips(&wire::utk1_json(k, Algo::Rsa, n, d, &u1, &name));
+
+        let u2 = engine.utk2(&region, k).unwrap();
+        assert_roundtrips(&wire::utk2_json(k, Algo::Jaa, n, d, &u2, &name));
+
+        let weights = vec![lo[0], lo[1]];
+        let tk = engine.top_k(&weights, k).unwrap();
+        assert_roundtrips(&wire::topk_json(k, &weights, &tk, &name));
+    }
+
+    /// Requests round-trip through parse for arbitrary dataset names
+    /// and query lines (including ones that need escaping).
+    #[test]
+    fn requests_roundtrip(
+        dataset_name in wild_string(),
+        q in wild_string(),
+        queries in prop::collection::vec(wild_string(), 0..6),
+    ) {
+        let requests = [
+            Request::Load { dataset: dataset_name.clone() },
+            Request::Query { dataset: dataset_name.clone(), q },
+            Request::Batch { dataset: dataset_name, queries },
+            Request::Stats,
+            Request::Evict { dataset: "d".into() },
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let line = request.to_json();
+            prop_assert_eq!(Request::parse(&line).unwrap(), request, "{}", line);
+            assert_roundtrips(&line);
+        }
+    }
+
+    /// Error payloads — plain (the `utk batch` shape) and coded (the
+    /// serving protocol shape) — round-trip and classify correctly.
+    #[test]
+    fn error_payloads_roundtrip(message in wild_string()) {
+        let plain = wire::error_json(&message);
+        assert_roundtrips(&plain);
+        // A plain error is a per-query result line, not a protocol
+        // error.
+        prop_assert_eq!(
+            Response::parse(&plain).unwrap(),
+            Response::Result(plain.clone())
+        );
+
+        for c in [
+            code::BAD_REQUEST,
+            code::UNKNOWN_DATASET,
+            code::DATASET_ERROR,
+            code::BUSY,
+            code::SHUTTING_DOWN,
+        ] {
+            let coded = wire::coded_error_json(c, &message);
+            assert_roundtrips(&coded);
+            let parsed = Response::parse(&coded).unwrap();
+            prop_assert_eq!(
+                parsed,
+                Response::Error(ProtoError { code: c, message: message.clone() }),
+                "{}", coded
+            );
+        }
+    }
+
+    /// Server response envelopes round-trip with arbitrary field
+    /// content.
+    #[test]
+    fn responses_roundtrip(
+        dataset_name in wild_string(),
+        (n, d) in (0u64..1_000_000, 2u64..8),
+        counters in prop::collection::vec(0u64..u64::MAX, 5),
+    ) {
+        let responses = [
+            Response::Load {
+                dataset: dataset_name.clone(),
+                n,
+                d,
+                already_loaded: n % 2 == 0,
+            },
+            Response::BatchHeader { dataset: dataset_name.clone(), count: n },
+            Response::Stats(StatsBody {
+                requests_served: counters[0],
+                busy_rejections: counters[1],
+                inflight: counters[2],
+                max_inflight: counters[3],
+                datasets_loaded: 1,
+                datasets: vec![dataset_name.clone()],
+                registry_cache_bytes: counters[4],
+            }),
+            Response::Evict { dataset: dataset_name, evicted: d % 2 == 0 },
+            Response::Shutdown,
+        ];
+        for response in responses {
+            let line = response.to_json();
+            prop_assert_eq!(Response::parse(&line).unwrap(), response, "{}", line);
+            assert_roundtrips(&line);
+        }
+    }
+}
+
+/// The stats wire object itself (nested inside result lines) parses
+/// with every documented field present and numeric.
+#[test]
+fn stats_object_fields_are_machine_readable() {
+    let mut stats = Stats::new();
+    stats.candidates = 7;
+    stats.superset_hits = 1;
+    stats.filter_cache_bytes = 4096;
+    let value = json::parse(&wire::stats_json(&stats)).unwrap();
+    for field in [
+        "candidates",
+        "bbs_pops",
+        "rdom_tests",
+        "halfspaces_inserted",
+        "cells_created",
+        "arrangements_built",
+        "drills",
+        "drill_hits",
+        "peak_arrangement_bytes",
+        "kspr_calls",
+        "filter_cache_hits",
+        "superset_hits",
+        "filter_cache_bytes",
+        "evictions",
+        "screen_prefix_skips",
+        "pool_threads",
+        "batch_group_count",
+    ] {
+        assert!(
+            value.get(field).and_then(json::Value::as_u64).is_some(),
+            "missing numeric {field}"
+        );
+    }
+    assert_eq!(
+        value.get("candidates").and_then(json::Value::as_u64),
+        Some(7)
+    );
+}
+
+/// Unicode record names survive the full serialize → parse cycle.
+#[test]
+fn unicode_names_roundtrip() {
+    let engine = UtkEngine::new(vec![vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+    let tk = engine.top_k(&[0.4], 1).unwrap();
+    let name = |id: u32| format!("hôtel→{id}");
+    let line = wire::topk_json(1, &[0.4], &tk, &name);
+    assert_roundtrips(&line);
+    let value = json::parse(&line).unwrap();
+    let ranking = value
+        .get("ranking")
+        .and_then(json::Value::as_array)
+        .unwrap();
+    assert!(ranking[0]
+        .get("name")
+        .and_then(json::Value::as_str)
+        .unwrap()
+        .starts_with("hôtel→"));
+}
