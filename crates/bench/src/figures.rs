@@ -44,8 +44,9 @@ pub fn figure09(_cfg: &Config) -> Vec<Figure> {
     let d2 = nba.project(&[0, 1]);
     let region = Region::hyperrect(vec![0.64], vec![0.74]);
     let engine = bench_engine(d2.points.clone());
+    let snap = engine.snapshot();
     let utk1 = engine.utk1(&region, 3).expect("case-study query");
-    let sky = k_skyband(&d2.points, engine.tree(), 3, &mut Stats::new());
+    let sky = k_skyband(&d2.points, snap.tree(), 3, &mut Stats::new());
     let onion = onion_candidates(&d2.points, &sky, 3);
     let mut t = Table::new(vec!["operator", "players", "names"]);
     let names = |ids: &[u32]| {
@@ -120,11 +121,12 @@ pub fn figure10(cfg: &Config) -> Vec<Figure> {
         vec![1, 10, 20]
     };
     let regions = query_workload(d, PAPER_SIGMA_DEFAULT, cfg);
+    let snap = engine.snapshot();
 
     let mut ta = Table::new(vec!["k", "k-skyband", "onion", "UTK"]);
     let mut tb = Table::new(vec!["k", "UTK", "TK output", "required k'"]);
     for &k in &ks {
-        let sky = k_skyband(&ds.points, engine.tree(), k, &mut Stats::new());
+        let sky = k_skyband(&ds.points, snap.tree(), k, &mut Stats::new());
         let onion = onion_candidates(&ds.points, &sky, k);
         let m = run_batch(&regions, |region| Method::Rsa.run(&engine, region, k));
         ta.row(vec![
@@ -142,7 +144,7 @@ pub fn figure10(cfg: &Config) -> Vec<Figure> {
             let want: std::collections::HashSet<u32> = utk1.records.iter().copied().collect();
             let pivot = region.pivot().expect("non-empty");
             let mut covered = 0usize;
-            for (rank, (id, _)) in engine
+            for (rank, (id, _)) in snap
                 .tree()
                 .descending_iter(
                     |mbb| pref_score(&mbb.hi, &pivot),

@@ -224,17 +224,13 @@ impl Method {
             // not a partitioning — so it runs off the engine's
             // substrate directly.
             Method::SkUtk2 => {
-                let r = baseline_utk2(
-                    engine.points(),
-                    engine.tree(),
-                    region,
-                    k,
-                    FilterKind::Skyband,
-                );
+                let snap = engine.snapshot();
+                let r = baseline_utk2(snap.points(), snap.tree(), region, k, FilterKind::Skyband);
                 (r.total_regions(), r.stats)
             }
             Method::OnUtk2 => {
-                let r = baseline_utk2(engine.points(), engine.tree(), region, k, FilterKind::Onion);
+                let snap = engine.snapshot();
+                let r = baseline_utk2(snap.points(), snap.tree(), region, k, FilterKind::Onion);
                 (r.total_regions(), r.stats)
             }
         }

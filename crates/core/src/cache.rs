@@ -135,6 +135,31 @@ impl<K: Eq + Hash + Clone, V> ByteLru<K, V> {
         self.evict_over_budget()
     }
 
+    /// Drops every entry, keeping the budget, the recency clock and
+    /// the lifetime eviction counter (cleared entries are *not*
+    /// evictions — they were invalidated, not displaced).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.used = 0;
+    }
+
+    /// Removes and returns every entry as `(key, value, bytes)`,
+    /// ordered least-recently-used first, leaving the cache empty
+    /// (budget, clock and eviction counter intact). Re-inserting a
+    /// subset in the returned order reproduces the original relative
+    /// recency — this is the engine's dataset-mutation hook: entries
+    /// are drained, re-validated, re-keyed under the new epoch, and
+    /// put back without disturbing LRU order.
+    pub fn take_entries(&mut self) -> Vec<(K, V, usize)> {
+        let mut slots: Vec<(K, Slot<V>)> = self.map.drain().collect();
+        self.used = 0;
+        slots.sort_by_key(|(_, slot)| slot.stamp);
+        slots
+            .into_iter()
+            .map(|(k, slot)| (k, slot.value, slot.bytes))
+            .collect()
+    }
+
     /// Re-sizes the byte budget in place, evicting LRU entries if the
     /// new budget is smaller than the bytes currently held (growing is
     /// free and disturbs nothing). Returns how many entries were
@@ -256,6 +281,42 @@ mod tests {
         // New headroom is usable immediately.
         assert_eq!(cache.insert("d", 4, 60), 0);
         assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn take_entries_orders_lru_first_and_preserves_recency_on_reinsert() {
+        let mut cache: ByteLru<&str, u32> = ByteLru::new(100);
+        cache.insert("a", 1, 10);
+        cache.insert("b", 2, 10);
+        cache.insert("c", 3, 10);
+        assert_eq!(cache.get(&"a"), Some(&1)); // "b" is now LRU
+        let drained = cache.take_entries();
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes_used(), 0);
+        let keys: Vec<&str> = drained.iter().map(|(k, _, _)| *k).collect();
+        assert_eq!(keys, vec!["b", "c", "a"]);
+        // Re-inserting in drain order reproduces the recency: after
+        // shrinking, "b" (the old LRU) is evicted first again.
+        for (k, v, bytes) in drained {
+            cache.insert(k, v, bytes);
+        }
+        cache.set_budget(20);
+        assert!(cache.get(&"b").is_none());
+        assert_eq!(cache.get(&"a"), Some(&1));
+        assert_eq!(cache.get(&"c"), Some(&3));
+    }
+
+    #[test]
+    fn clear_drops_entries_but_not_counters() {
+        let mut cache: ByteLru<&str, u32> = ByteLru::new(10);
+        cache.insert("a", 1, 6);
+        cache.insert("b", 2, 6); // evicts "a"
+        assert_eq!(cache.evictions(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes_used(), 0);
+        assert_eq!(cache.budget(), 10);
+        assert_eq!(cache.evictions(), 1, "clear is not an eviction");
     }
 
     #[test]

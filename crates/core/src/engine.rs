@@ -52,7 +52,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use crate::baseline::{baseline_utk1, FilterKind};
 use crate::cache::ByteLru;
@@ -61,7 +61,9 @@ use crate::jaa::{jaa_parallel_refine, jaa_refine, records_of, JaaOptions, Utk2Ce
 use crate::parallel::ThreadPool;
 use crate::rsa::{rsa_refine, RsaOptions, Utk1Result};
 use crate::scoring::GeneralScoring;
-use crate::skyband::{r_skyband, r_skyband_from_superset, CandidateSet};
+use crate::skyband::{
+    r_skyband_from_superset, r_skyband_view, rejected_by_members, CandidateSet, TreeView, TOMBSTONE,
+};
 use crate::stats::Stats;
 use utk_geom::tol::INTERIOR_EPS;
 use utk_geom::{PointStore, Region};
@@ -74,6 +76,14 @@ pub const DEFAULT_FILTER_CACHE_BUDGET: usize = 64 << 20;
 /// scoring) cache — entries are full dataset copies plus an R-tree,
 /// so the budget is wider.
 pub const DEFAULT_SCORING_CACHE_BUDGET: usize = 256 << 20;
+
+/// When the R-tree overlay's corrections (tombstoned base records
+/// plus appended records) exceed this fraction of the live dataset, a
+/// mutation rebuilds the tree instead of growing the overlay. Results
+/// are exact either way (see [`TreeView`]); the threshold only bounds
+/// the traversal overhead of reading through stale geometry.
+const OVERLAY_REBUILD_NUM: usize = 1;
+const OVERLAY_REBUILD_DEN: usize = 2;
 
 /// Which processing algorithm answers the query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -374,9 +384,11 @@ impl QueryResult {
 
 /// One scoring's view of the dataset: the (possibly transformed)
 /// points — row layout for the baselines and transforms, flat layout
-/// for the filtering hot path — and their R-tree.
+/// for the filtering hot path — and their R-tree. Tagged with the
+/// epoch of the dataset snapshot it was derived from.
 #[derive(Debug)]
 struct Scored {
+    epoch: u64,
     points: Vec<Vec<f64>>,
     store: PointStore,
     tree: RTree,
@@ -394,6 +406,149 @@ impl Scored {
     }
 }
 
+/// The spatial index of one dataset version: a tree packed over
+/// exactly the live records, or the last-packed tree read through a
+/// tombstone/append overlay (see [`TreeView`]).
+#[derive(Debug)]
+enum TreeIndex {
+    /// Record ids in the tree *are* current dataset ids.
+    Packed(Arc<RTree>),
+    /// A stale base tree plus corrections accumulated by mutations.
+    Overlay {
+        /// The tree as last built.
+        base: Arc<RTree>,
+        /// Base record id → current dataset id ([`TOMBSTONE`] =
+        /// deleted); `None` while no delete has happened since the
+        /// last rebuild.
+        remap: Option<Vec<u32>>,
+        /// Current dataset ids appended since the last rebuild.
+        extra: Vec<u32>,
+        /// A tree packed over the live records, built on demand for
+        /// consumers that need plain tree geometry (the SK/ON
+        /// baselines, [`DatasetSnapshot::tree`]). Built at most once
+        /// per version.
+        packed: OnceLock<Arc<RTree>>,
+    },
+}
+
+/// One immutable version of the engine's dataset. Queries snapshot
+/// the current version (an `Arc` clone) and run entirely against it,
+/// so a concurrent [`UtkEngine::apply_update`] never tears a query:
+/// it swaps in a *new* version while in-flight queries finish on the
+/// old one.
+#[derive(Debug)]
+struct DatasetVersion {
+    /// Content version: 0 at construction, +1 per mutation. Keys the
+    /// engine caches — an entry is only ever served to queries whose
+    /// snapshot has the same epoch.
+    epoch: u64,
+    /// Live records in id order (row layout: baselines, transforms).
+    points: Vec<Vec<f64>>,
+    /// The same records, flat (the filtering hot path).
+    store: PointStore,
+    /// The spatial index.
+    index: TreeIndex,
+}
+
+impl DatasetVersion {
+    fn packed(epoch: u64, points: Vec<Vec<f64>>, tree: Arc<RTree>) -> Self {
+        let store = PointStore::from_rows(&points);
+        Self {
+            epoch,
+            points,
+            store,
+            index: TreeIndex::Packed(tree),
+        }
+    }
+
+    /// The BBS view of this version's index.
+    fn tree_view(&self) -> TreeView<'_> {
+        match &self.index {
+            TreeIndex::Packed(tree) => TreeView::packed(tree),
+            TreeIndex::Overlay {
+                base, remap, extra, ..
+            } => TreeView::overlay(base, remap.as_deref(), extra),
+        }
+    }
+
+    /// A tree packed over exactly the live records, building (and
+    /// memoizing) one if the index is an overlay.
+    fn packed_tree(&self) -> &RTree {
+        match &self.index {
+            TreeIndex::Packed(tree) => tree,
+            TreeIndex::Overlay { packed, .. } => {
+                packed.get_or_init(|| Arc::new(RTree::bulk_load(&self.points)))
+            }
+        }
+    }
+}
+
+/// A read-only view of one dataset version, handed out by
+/// [`UtkEngine::snapshot`]. Cheap to clone; keeps its version alive
+/// (and its answers coherent) however many mutations happen after it
+/// was taken.
+#[derive(Debug, Clone)]
+pub struct DatasetSnapshot {
+    version: Arc<DatasetVersion>,
+}
+
+impl DatasetSnapshot {
+    /// The records of this version, in id order.
+    pub fn points(&self) -> &[Vec<f64>] {
+        &self.version.points
+    }
+
+    /// The flat layout of the same records.
+    pub fn store(&self) -> &PointStore {
+        &self.version.store
+    }
+
+    /// An R-tree packed over exactly these records (built on demand
+    /// if the live index is an overlay).
+    pub fn tree(&self) -> &RTree {
+        self.version.packed_tree()
+    }
+
+    /// This version's epoch.
+    pub fn epoch(&self) -> u64 {
+        self.version.epoch
+    }
+
+    /// Number of records in this version.
+    pub fn len(&self) -> usize {
+        self.version.points.len()
+    }
+
+    /// Never true: engines never hold an empty dataset.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// What one [`UtkEngine::apply_update`] did — the mutation seam's
+/// receipt, surfaced through `utk update`, the serving protocol's
+/// `update` op, and the dynamic test oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// The dataset epoch after the mutation (unchanged for a no-op).
+    pub epoch: u64,
+    /// Live records after the mutation.
+    pub n: usize,
+    /// Records appended.
+    pub inserted: usize,
+    /// Records removed.
+    pub deleted: usize,
+    /// Filter-cache entries whose r-skyband could have changed and
+    /// were therefore dropped.
+    pub filter_invalidated: usize,
+    /// Filter-cache entries proven unaffected and re-keyed (ids
+    /// remapped) under the new epoch.
+    pub filter_retained: usize,
+    /// Whether the mutation rebuilt the R-tree (overlay overhead past
+    /// the threshold) instead of extending the overlay.
+    pub index_rebuilt: bool,
+}
+
 /// A validated region's interior, or the shortcut answer when it has
 /// none (see [`UtkEngine::interior_or_degenerate`]).
 enum RegionInterior {
@@ -403,16 +558,18 @@ enum RegionInterior {
     Degenerate { w: Vec<f64>, top_k: Vec<u32> },
 }
 
-/// Borrowed-or-cached access to a scoring's dataset view.
-enum DataRef<'a> {
-    Base(&'a EngineInner),
+/// Snapshot-or-transformed access to a query's dataset view. Either
+/// way the view is immutable and epoch-tagged: a query runs start to
+/// finish against one dataset version.
+enum DataRef {
+    Snapshot(Arc<DatasetVersion>),
     Transformed(Arc<Scored>),
 }
 
-impl DataRef<'_> {
+impl DataRef {
     fn points(&self) -> &[Vec<f64>] {
         match self {
-            DataRef::Base(e) => &e.points,
+            DataRef::Snapshot(v) => &v.points,
             DataRef::Transformed(s) => &s.points,
         }
     }
@@ -420,24 +577,47 @@ impl DataRef<'_> {
     /// The flat layout of the same dataset (the filtering hot path).
     fn store(&self) -> &PointStore {
         match self {
-            DataRef::Base(e) => &e.store,
+            DataRef::Snapshot(v) => &v.store,
             DataRef::Transformed(s) => &s.store,
         }
     }
 
-    fn tree(&self) -> &RTree {
+    /// The BBS view of the index (overlay-aware for the base data;
+    /// transformed datasets always carry a freshly packed tree).
+    fn tree_view(&self) -> TreeView<'_> {
         match self {
-            DataRef::Base(e) => &e.tree,
+            DataRef::Snapshot(v) => v.tree_view(),
+            DataRef::Transformed(s) => TreeView::packed(&s.tree),
+        }
+    }
+
+    /// A plain packed tree (the SK/ON baselines' input).
+    fn packed_tree(&self) -> &RTree {
+        match self {
+            DataRef::Snapshot(v) => v.packed_tree(),
             DataRef::Transformed(s) => &s.tree,
+        }
+    }
+
+    /// The epoch of the underlying dataset version.
+    fn epoch(&self) -> u64 {
+        match self {
+            DataRef::Snapshot(v) => v.epoch,
+            DataRef::Transformed(s) => s.epoch,
         }
     }
 }
 
 /// Identity of a memoized r-skyband: everything the filter output
-/// depends on. Region geometry is keyed on the exact bit patterns of
-/// its constraints.
+/// depends on — including the dataset epoch, so an entry computed
+/// before a mutation can never answer a query running after it (and
+/// vice versa: an in-flight query on an old snapshot that completes
+/// a miss after the swap inserts under its *own* epoch, where current
+/// queries never look). Region geometry is keyed on the exact bit
+/// patterns of its constraints.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct FilterKey {
+    epoch: u64,
     k: usize,
     pivot_order: bool,
     scoring: ScoringKey,
@@ -445,11 +625,13 @@ struct FilterKey {
 }
 
 impl FilterKey {
-    /// The filter identity of a query: everything its r-skyband
-    /// output depends on. Shared by the cache lookup and `run_many`'s
-    /// grouping so "same group" always means "same cache entry".
-    fn of(query: &UtkQuery) -> Self {
+    /// The filter identity of a query at dataset `epoch`: everything
+    /// its r-skyband output depends on. Shared by the cache lookup
+    /// and `run_many`'s grouping so "same group" always means "same
+    /// cache entry".
+    fn of(query: &UtkQuery, epoch: u64) -> Self {
         FilterKey {
+            epoch,
             k: query.k,
             pivot_order: query.pivot_order(),
             // An all-identity scoring computes exactly what no scoring
@@ -548,18 +730,28 @@ impl FilterEntry {
 /// pool.
 #[derive(Debug)]
 struct EngineInner {
-    points: Vec<Vec<f64>>,
-    /// Flat row-major copy of `points` — the layout the filtering hot
-    /// path reads. Both layouts are kept: rows feed the baselines and
-    /// scoring transforms, the store feeds every r-skyband screen.
-    store: PointStore,
+    /// The current dataset version. Queries take a read lock just
+    /// long enough to clone the `Arc`; mutations take the write lock
+    /// only to swap in the next version atomically with the cache
+    /// re-key — the expensive version *construction* happens outside
+    /// it, under [`EngineInner::mutation`].
+    data: RwLock<Arc<DatasetVersion>>,
+    /// Serializes mutators ([`UtkEngine::apply_update`],
+    /// [`UtkEngine::compact`]) so they can build the next version
+    /// (point copies, store, possibly an R-tree bulk load) without
+    /// holding the `data` write lock — queries keep snapshotting
+    /// freely while a mutation prepares.
+    mutation: Mutex<()>,
+    /// Dataset dimensionality — invariant across mutations (every
+    /// insert is validated against it).
     dim: usize,
-    tree: RTree,
     cache_enabled: bool,
     filter_cache: Mutex<ByteLru<FilterKey, FilterEntry>>,
-    scoring_cache: Mutex<ByteLru<ScoringKey, Arc<Scored>>>,
+    scoring_cache: Mutex<ByteLru<(u64, ScoringKey), Arc<Scored>>>,
     filter_hits: AtomicUsize,
     filter_misses: AtomicUsize,
+    /// Mutations that rebuilt the R-tree (vs extending the overlay).
+    index_rebuilds: AtomicUsize,
     /// Cache misses answered by re-screening a containing region's
     /// cached candidate set instead of a full BBS run.
     superset_hits: AtomicUsize,
@@ -614,19 +806,19 @@ impl UtkEngine {
                 return Err(UtkError::NonFiniteInput { what: "dataset" });
             }
         }
-        let tree = RTree::bulk_load(&points);
-        let store = PointStore::from_rows(&points);
+        let tree = Arc::new(RTree::bulk_load(&points));
+        let version = DatasetVersion::packed(0, points, tree);
         Ok(Self {
             inner: Arc::new(EngineInner {
-                points,
-                store,
+                data: RwLock::new(Arc::new(version)),
+                mutation: Mutex::new(()),
                 dim,
-                tree,
                 cache_enabled: true,
                 filter_cache: Mutex::new(ByteLru::new(DEFAULT_FILTER_CACHE_BUDGET)),
                 scoring_cache: Mutex::new(ByteLru::new(DEFAULT_SCORING_CACHE_BUDGET)),
                 filter_hits: AtomicUsize::new(0),
                 filter_misses: AtomicUsize::new(0),
+                index_rebuilds: AtomicUsize::new(0),
                 superset_hits: AtomicUsize::new(0),
                 pool_threads_cfg: 0,
                 pool: OnceLock::new(),
@@ -731,29 +923,350 @@ impl UtkEngine {
         self.inner.pool_builds.load(Ordering::Relaxed)
     }
 
-    /// Number of records.
-    pub fn len(&self) -> usize {
-        self.inner.points.len()
+    /// The current dataset version (an `Arc` clone under a momentary
+    /// read lock).
+    fn current(&self) -> Arc<DatasetVersion> {
+        Arc::clone(&self.inner.data.read().expect("dataset lock"))
     }
 
-    /// Always false: empty datasets are rejected at construction.
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.current().points.len()
+    }
+
+    /// Always false: empty datasets are rejected at construction and
+    /// a mutation may never delete the last record without inserting.
     pub fn is_empty(&self) -> bool {
         false
     }
 
-    /// Dataset dimensionality `d`.
+    /// Dataset dimensionality `d` (invariant across mutations).
     pub fn dim(&self) -> usize {
         self.inner.dim
     }
 
-    /// The owned dataset.
-    pub fn points(&self) -> &[Vec<f64>] {
-        &self.inner.points
+    /// A coherent read-only view of the current dataset version:
+    /// points, flat store, packed R-tree and epoch. The snapshot
+    /// stays valid (and internally consistent) across concurrent
+    /// mutations.
+    pub fn snapshot(&self) -> DatasetSnapshot {
+        DatasetSnapshot {
+            version: self.current(),
+        }
     }
 
-    /// The R-tree over the (untransformed) dataset.
-    pub fn tree(&self) -> &RTree {
-        &self.inner.tree
+    /// The current dataset epoch: 0 at construction, +1 per
+    /// [`UtkEngine::apply_update`] that changed anything.
+    pub fn dataset_epoch(&self) -> u64 {
+        self.current().epoch
+    }
+
+    /// Mutations that rebuilt the R-tree outright instead of
+    /// extending the tombstone/append overlay.
+    pub fn index_rebuilds(&self) -> usize {
+        self.inner.index_rebuilds.load(Ordering::Relaxed)
+    }
+
+    /// Whether the current index is packed over exactly the live
+    /// records (false while mutations are riding the overlay).
+    pub fn index_is_packed(&self) -> bool {
+        matches!(self.current().index, TreeIndex::Packed(_))
+    }
+
+    /// Appends records to the dataset. Equivalent to
+    /// [`UtkEngine::apply_update`] with no deletions; the new records
+    /// take ids `len..len + rows.len()`.
+    pub fn insert_points(&self, rows: Vec<Vec<f64>>) -> Result<UpdateReport, UtkError> {
+        self.apply_update(&[], rows)
+    }
+
+    /// Removes records by id. Equivalent to
+    /// [`UtkEngine::apply_update`] with no insertions.
+    pub fn delete_points(&self, ids: &[u32]) -> Result<UpdateReport, UtkError> {
+        self.apply_update(ids, Vec::new())
+    }
+
+    /// The mutation seam: atomically removes the records named by
+    /// `deletes` and appends `inserts`, as **one** epoch bump.
+    ///
+    /// Semantics — the contract the dynamic test oracle locks:
+    ///
+    /// * `deletes` are ids in the *current* dataset, applied
+    ///   simultaneously (an unknown id or a repeat is a typed error
+    ///   and nothing changes); survivors keep their relative order
+    ///   and are renumbered densely, exactly as if the dataset had
+    ///   been rebuilt without those rows.
+    /// * `inserts` are appended after the surviving rows (validated
+    ///   for dimensionality and finiteness first).
+    /// * Every query thereafter answers **byte-identically** to a
+    ///   fresh engine built from the post-mutation dataset (modulo
+    ///   engine-history work counters): the R-tree is either rebuilt
+    ///   or read through a tombstone/append overlay whose candidate
+    ///   sets are provably identical ([`TreeView`]), and the filter
+    ///   cache keeps exactly the entries whose r-skyband cannot have
+    ///   changed — a deleted record that is **not** a cached member,
+    ///   and inserted records r-dominated by ≥ k earlier-popping
+    ///   members ([`rejected_by_members`]) leave an entry valid; its
+    ///   member ids are remapped and it is re-keyed under the new
+    ///   epoch. Anything else (including every entry under a scoring
+    ///   transform when records are inserted, where the cached view
+    ///   cannot evaluate the new rows) is dropped. The
+    ///   transformed-dataset cache is flushed wholesale.
+    ///
+    /// In-flight queries are never torn: they finish on the snapshot
+    /// they started with, and epoch-tagged cache keys keep the two
+    /// versions' entries apart.
+    pub fn apply_update(
+        &self,
+        deletes: &[u32],
+        inserts: Vec<Vec<f64>>,
+    ) -> Result<UpdateReport, UtkError> {
+        for row in &inserts {
+            if row.len() != self.inner.dim {
+                return Err(UtkError::DimensionMismatch {
+                    what: "inserted record",
+                    expected: self.inner.dim,
+                    got: row.len(),
+                });
+            }
+            if row.iter().any(|x| !x.is_finite()) {
+                return Err(UtkError::NonFiniteInput {
+                    what: "inserted record",
+                });
+            }
+        }
+        // Serialize mutators without blocking queries: the heavy
+        // construction below (row copies, flat store, possibly an
+        // R-tree bulk load) runs under the mutation lock only;
+        // `current()` keeps serving snapshots throughout, and the
+        // `data` write lock is taken just for the cache re-key +
+        // version swap at the end.
+        let _mutating = self.inner.mutation.lock().expect("mutation lock");
+        let cur = self.current();
+        let n = cur.points.len();
+        let mut deleted_mask = vec![false; n];
+        for &id in deletes {
+            if (id as usize) >= n {
+                return Err(UtkError::UnknownRecordId { id, len: n });
+            }
+            if deleted_mask[id as usize] {
+                return Err(UtkError::DuplicateRecordId { id: id.to_string() });
+            }
+            deleted_mask[id as usize] = true;
+        }
+        if deletes.is_empty() && inserts.is_empty() {
+            return Ok(UpdateReport {
+                epoch: cur.epoch,
+                n,
+                inserted: 0,
+                deleted: 0,
+                filter_invalidated: 0,
+                filter_retained: 0,
+                index_rebuilt: false,
+            });
+        }
+        if deletes.len() == n && inserts.is_empty() {
+            return Err(UtkError::EmptyDataset);
+        }
+
+        // Dense renumbering of the survivors: old id → new id.
+        let mut shift = vec![TOMBSTONE; n];
+        let mut new_points: Vec<Vec<f64>> = Vec::with_capacity(n - deletes.len() + inserts.len());
+        for (i, p) in cur.points.iter().enumerate() {
+            if !deleted_mask[i] {
+                shift[i] = new_points.len() as u32;
+                new_points.push(p.clone());
+            }
+        }
+        let first_inserted = new_points.len() as u32;
+        new_points.extend(inserts.iter().cloned());
+        let epoch = cur.epoch + 1;
+
+        // Compose the index overlay (or rebuild past the threshold).
+        let (base, mut remap, mut extra) = match &cur.index {
+            TreeIndex::Packed(tree) => (Arc::clone(tree), None, Vec::new()),
+            TreeIndex::Overlay {
+                base, remap, extra, ..
+            } => (Arc::clone(base), remap.clone(), extra.clone()),
+        };
+        if !deletes.is_empty() {
+            let composed: Vec<u32> = match remap {
+                None => shift.clone(),
+                Some(old) => old
+                    .iter()
+                    .map(|&id| {
+                        if id == TOMBSTONE {
+                            TOMBSTONE
+                        } else {
+                            shift[id as usize]
+                        }
+                    })
+                    .collect(),
+            };
+            remap = Some(composed);
+            extra.retain_mut(|id| {
+                *id = shift[*id as usize];
+                *id != TOMBSTONE
+            });
+        }
+        extra.extend(first_inserted..first_inserted + inserts.len() as u32);
+        let dead = remap
+            .as_ref()
+            .map_or(0, |m| m.iter().filter(|&&id| id == TOMBSTONE).count());
+        let overhead = dead + extra.len();
+        let rebuild = overhead * OVERLAY_REBUILD_DEN > new_points.len() * OVERLAY_REBUILD_NUM;
+        let index = if rebuild {
+            self.inner.index_rebuilds.fetch_add(1, Ordering::Relaxed);
+            TreeIndex::Packed(Arc::new(RTree::bulk_load(&new_points)))
+        } else {
+            TreeIndex::Overlay {
+                base,
+                remap,
+                extra,
+                packed: OnceLock::new(),
+            }
+        };
+
+        let store = PointStore::from_rows(&new_points);
+        let next = Arc::new(DatasetVersion {
+            epoch,
+            points: new_points,
+            store,
+            index,
+        });
+
+        // Publish: targeted cache invalidation atomic with the
+        // version swap, under a write lock held only for this final,
+        // cheap step.
+        let mut guard = self.inner.data.write().expect("dataset lock");
+        debug_assert!(
+            Arc::ptr_eq(&guard, &cur),
+            "mutators are serialized by the mutation lock"
+        );
+        let (filter_invalidated, filter_retained) = if self.inner.cache_enabled {
+            self.rekey_filter_cache(cur.epoch, epoch, &deleted_mask, &shift, deletes, &inserts)
+        } else {
+            (0, 0)
+        };
+        self.inner.scoring_cache.lock().expect("cache lock").clear();
+        let report = UpdateReport {
+            epoch,
+            n: next.points.len(),
+            inserted: inserts.len(),
+            deleted: deletes.len(),
+            filter_invalidated,
+            filter_retained,
+            index_rebuilt: rebuild,
+        };
+        *guard = next;
+        Ok(report)
+    }
+
+    /// Drains the filter cache and carries forward exactly the
+    /// entries the mutation provably leaves valid, with member ids
+    /// remapped and keys re-stamped to `new_epoch`, preserving LRU
+    /// order. Returns `(invalidated, retained)`.
+    fn rekey_filter_cache(
+        &self,
+        old_epoch: u64,
+        new_epoch: u64,
+        deleted_mask: &[bool],
+        shift: &[u32],
+        deletes: &[u32],
+        inserts: &[Vec<f64>],
+    ) -> (usize, usize) {
+        let mut cache = self.inner.filter_cache.lock().expect("cache lock");
+        let mut invalidated = 0;
+        let mut retained = 0;
+        for (key, entry, bytes) in cache.take_entries() {
+            // Stragglers inserted by in-flight queries on older
+            // snapshots are unreachable already; drop them without
+            // counting — this mutation never evaluated them, so they
+            // belong in neither `invalidated` nor `retained`.
+            if key.epoch != old_epoch {
+                continue;
+            }
+            // A deleted record that is a cached member changes the
+            // member list by definition.
+            let mut valid = entry.cands.ids.iter().all(|&id| !deleted_mask[id as usize]);
+            if valid && !inserts.is_empty() {
+                if key.scoring.is_empty() {
+                    // Exact test: every inserted record must be
+                    // r-dominated by ≥ k members that pop before it.
+                    valid = inserts.iter().all(|row| {
+                        rejected_by_members(
+                            &entry.cands,
+                            row,
+                            &entry.region,
+                            key.k,
+                            key.pivot_order,
+                        )
+                    });
+                } else {
+                    // The cached view is in transformed space and the
+                    // transform is only known by fingerprint here:
+                    // conservative fallback.
+                    valid = false;
+                }
+            }
+            if !valid {
+                invalidated += 1;
+                continue;
+            }
+            let entry = if deletes.is_empty() {
+                entry // ids unchanged: reuse the cached set as-is
+            } else {
+                let cands = Arc::new(CandidateSet {
+                    ids: entry
+                        .cands
+                        .ids
+                        .iter()
+                        .map(|&id| shift[id as usize])
+                        .collect(),
+                    points: entry.cands.points.clone(),
+                    graph: entry.cands.graph.clone(),
+                });
+                FilterEntry {
+                    region: entry.region.clone(),
+                    cands,
+                }
+            };
+            let key = FilterKey {
+                epoch: new_epoch,
+                ..key
+            };
+            cache.insert(key, entry, bytes);
+            retained += 1;
+        }
+        (invalidated, retained)
+    }
+
+    /// Forces the index packed: if mutations left the R-tree reading
+    /// through a tombstone/append overlay, rebuild it over exactly
+    /// the live records now. Content (and epoch, and caches) are
+    /// unchanged — this trades one bulk load for leaner traversals.
+    pub fn compact(&self) {
+        let _mutating = self.inner.mutation.lock().expect("mutation lock");
+        let cur = self.current();
+        if matches!(cur.index, TreeIndex::Packed(_)) {
+            return;
+        }
+        self.inner.index_rebuilds.fetch_add(1, Ordering::Relaxed);
+        // Build outside the data lock (queries keep snapshotting);
+        // swap under a momentary write lock.
+        let tree = Arc::new(RTree::bulk_load(&cur.points));
+        let next = Arc::new(DatasetVersion::packed(cur.epoch, cur.points.clone(), tree));
+        *self.inner.data.write().expect("dataset lock") = next;
+    }
+
+    /// Drops every memoized r-skyband and transformed dataset,
+    /// keeping budgets and lifetime counters. After `compact()` +
+    /// `clear_caches()` the engine is observationally identical to a
+    /// freshly built one (the dynamic suite asserts exactly that,
+    /// byte for byte on the wire).
+    pub fn clear_caches(&self) {
+        self.inner.filter_cache.lock().expect("cache lock").clear();
+        self.inner.scoring_cache.lock().expect("cache lock").clear();
     }
 
     /// `(hits, misses)` of the r-skyband cache over this engine's
@@ -801,11 +1314,16 @@ impl UtkEngine {
         if query.k == 0 {
             return Err(UtkError::InvalidK { k: 0 });
         }
-        match query.kind {
-            QueryKind::TopK => self.run_topk(query).map(QueryResult::TopK),
-            QueryKind::Utk1 => self.run_utk1(query).map(QueryResult::Utk1),
-            QueryKind::Utk2 => self.run_utk2(query).map(QueryResult::Utk2),
-        }
+        // One dataset view for the whole query: concurrent mutations
+        // swap in new versions without tearing this run.
+        let data = self.data_for(query.scoring.as_ref())?;
+        let mut result = match query.kind {
+            QueryKind::TopK => self.run_topk(query, &data).map(QueryResult::TopK),
+            QueryKind::Utk1 => self.run_utk1(query, &data).map(QueryResult::Utk1),
+            QueryKind::Utk2 => self.run_utk2(query, &data).map(QueryResult::Utk2),
+        }?;
+        result.stats_mut().dataset_epoch = data.epoch() as usize;
+        Ok(result)
     }
 
     /// Answers a batch of queries, returning per-query results **in
@@ -825,10 +1343,16 @@ impl UtkEngine {
         if queries.is_empty() {
             return Vec::new();
         }
-        // Group by filter identity: same-group queries reuse one
-        // memoized r-skyband and never race on the same cache miss.
-        // Top-k queries never touch the filter, so grouping them would
-        // only serialize independent work — they fan out one per slot.
+        // Group by filter identity at the current epoch: same-group
+        // queries reuse one memoized r-skyband and never race on the
+        // same cache miss. (Grouping is a scheduling heuristic only —
+        // if a mutation lands mid-batch, later group members' own
+        // epoch-keyed lookups miss and recompute on their snapshot,
+        // so a pre-mutation r-skyband is never served across the
+        // epoch boundary.) Top-k queries never touch the filter, so
+        // grouping them would only serialize independent work — they
+        // fan out one per slot.
+        let epoch = self.current().epoch;
         let mut group_of: HashMap<FilterKey, usize> = HashMap::new();
         let mut groups: Vec<Vec<usize>> = Vec::new();
         for (i, query) in queries.iter().enumerate() {
@@ -836,10 +1360,10 @@ impl UtkEngine {
                 groups.push(vec![i]);
                 continue;
             }
-            match group_of.get(&FilterKey::of(query)) {
+            match group_of.get(&FilterKey::of(query, epoch)) {
                 Some(&g) => groups[g].push(i),
                 None => {
-                    group_of.insert(FilterKey::of(query), groups.len());
+                    group_of.insert(FilterKey::of(query, epoch), groups.len());
                     groups.push(vec![i]);
                 }
             }
@@ -922,7 +1446,7 @@ impl UtkEngine {
         }
     }
 
-    fn run_topk(&self, query: &UtkQuery) -> Result<TopKResult, UtkError> {
+    fn run_topk(&self, query: &UtkQuery, data: &DataRef) -> Result<TopKResult, UtkError> {
         if query.algo != Algo::Auto {
             return Err(UtkError::UnsupportedAlgorithm {
                 algo: query.algo.label(),
@@ -933,7 +1457,6 @@ impl UtkEngine {
             what: "weight vector",
         })?;
         let reduced = self.reduced_weights(weights)?;
-        let data = self.data_for(query.scoring.as_ref())?;
         let records = crate::topk::top_k_store(data.store(), reduced, query.k);
         Ok(TopKResult {
             records,
@@ -989,9 +1512,8 @@ impl UtkEngine {
         Ok(reduced)
     }
 
-    fn run_utk1(&self, query: &UtkQuery) -> Result<Utk1Result, UtkError> {
+    fn run_utk1(&self, query: &UtkQuery, data: &DataRef) -> Result<Utk1Result, UtkError> {
         let region = self.checked_region(query)?;
-        let data = self.data_for(query.scoring.as_ref())?;
         match query.algo.resolved_for(QueryKind::Utk1) {
             algo @ (Algo::Sk | Algo::On) => {
                 let filter = if algo == Algo::Sk {
@@ -1001,24 +1523,24 @@ impl UtkEngine {
                 };
                 Ok(baseline_utk1(
                     data.points(),
-                    data.tree(),
+                    data.packed_tree(),
                     region,
                     query.k,
                     filter,
                 ))
             }
             Algo::Jaa => {
-                let r = self.jaa_pipeline(&data, region, query)?;
+                let r = self.jaa_pipeline(data, region, query)?;
                 Ok(Utk1Result {
                     records: r.records,
                     stats: r.stats,
                 })
             }
-            _ => self.rsa_pipeline(&data, region, query),
+            _ => self.rsa_pipeline(data, region, query),
         }
     }
 
-    fn run_utk2(&self, query: &UtkQuery) -> Result<Utk2Result, UtkError> {
+    fn run_utk2(&self, query: &UtkQuery, data: &DataRef) -> Result<Utk2Result, UtkError> {
         match query.algo {
             Algo::Auto | Algo::Jaa => {}
             other => {
@@ -1029,8 +1551,7 @@ impl UtkEngine {
             }
         }
         let region = self.checked_region(query)?;
-        let data = self.data_for(query.scoring.as_ref())?;
-        self.jaa_pipeline(&data, region, query)
+        self.jaa_pipeline(data, region, query)
     }
 
     fn checked_region<'q>(&self, query: &'q UtkQuery) -> Result<&'q Region, UtkError> {
@@ -1047,7 +1568,7 @@ impl UtkEngine {
     /// that answers any UTK query over it.
     fn interior_or_degenerate(
         &self,
-        data: &DataRef<'_>,
+        data: &DataRef,
         region: &Region,
         k: usize,
     ) -> Result<RegionInterior, UtkError> {
@@ -1072,7 +1593,7 @@ impl UtkEngine {
     /// in the other.
     fn rsa_pipeline(
         &self,
-        data: &DataRef<'_>,
+        data: &DataRef,
         region: &Region,
         query: &UtkQuery,
     ) -> Result<Utk1Result, UtkError> {
@@ -1121,7 +1642,7 @@ impl UtkEngine {
     /// JAA processing of a UTK2 (or JAA-selected UTK1) query.
     fn jaa_pipeline(
         &self,
-        data: &DataRef<'_>,
+        data: &DataRef,
         region: &Region,
         query: &UtkQuery,
     ) -> Result<Utk2Result, UtkError> {
@@ -1203,15 +1724,15 @@ impl UtkEngine {
     /// [`Stats::filter_cache_bytes`].
     fn candidates(
         &self,
-        data: &DataRef<'_>,
+        data: &DataRef,
         region: &Region,
         query: &UtkQuery,
     ) -> Result<(Arc<CandidateSet>, Stats), UtkError> {
         let mut stats = Stats::new();
         if !self.inner.cache_enabled {
-            let cands = r_skyband(
+            let cands = r_skyband_view(
                 data.store(),
-                data.tree(),
+                &data.tree_view(),
                 region,
                 query.k,
                 query.pivot_order(),
@@ -1228,7 +1749,7 @@ impl UtkEngine {
                 .unwrap_or_default(),
             "candidates() must be keyed on the query's own region"
         );
-        let key = FilterKey::of(query);
+        let key = FilterKey::of(query, data.epoch());
         let superset: Option<Arc<CandidateSet>> = {
             let mut cache = self.inner.filter_cache.lock().expect("cache lock");
             if let Some(hit) = cache.get(&key) {
@@ -1239,14 +1760,20 @@ impl UtkEngine {
                 stats.filter_cache_bytes = cache.bytes_used();
                 return Ok((cands, stats));
             }
-            // Exact miss: probe for a cached containing region. Valid
-            // only under the pivot heap key — the re-screen reproduces
-            // cold pop order from pivot scores, which the sum-key
-            // ablation does not bound.
+            // Exact miss: probe for a cached containing region *of
+            // the same dataset epoch*. Valid only under the pivot
+            // heap key — the re-screen reproduces cold pop order from
+            // pivot scores, which the sum-key ablation does not
+            // bound.
             if query.pivot_order() {
                 let best = cache
                     .scan()
-                    .filter(|(ck, _)| ck.k == key.k && ck.pivot_order && ck.scoring == key.scoring)
+                    .filter(|(ck, _)| {
+                        ck.epoch == key.epoch
+                            && ck.k == key.k
+                            && ck.pivot_order
+                            && ck.scoring == key.scoring
+                    })
                     .filter(|(_, entry)| entry.region.contains_region(region))
                     // Smallest candidate set re-screens cheapest; the
                     // fingerprint tie-break keeps the choice
@@ -1268,9 +1795,9 @@ impl UtkEngine {
                 stats.superset_hits = 1;
                 Arc::new(r_skyband_from_superset(sup, region, query.k, &mut stats))
             }
-            None => Arc::new(r_skyband(
+            None => Arc::new(r_skyband_view(
                 data.store(),
-                data.tree(),
+                &data.tree_view(),
                 region,
                 query.k,
                 query.pivot_order(),
@@ -1288,12 +1815,15 @@ impl UtkEngine {
         Ok((cands, stats))
     }
 
-    /// The dataset view for a scoring: the base data for plain linear
-    /// scoring, a memoized transformed copy (points + R-tree)
-    /// otherwise.
-    fn data_for(&self, scoring: Option<&GeneralScoring>) -> Result<DataRef<'_>, UtkError> {
+    /// The dataset view for a scoring: the current snapshot for plain
+    /// linear scoring, a memoized transformed copy (points + R-tree)
+    /// otherwise. Transform entries are keyed by `(epoch,
+    /// fingerprint)` — a mutation makes every old transform
+    /// unreachable (and flushes them eagerly).
+    fn data_for(&self, scoring: Option<&GeneralScoring>) -> Result<DataRef, UtkError> {
+        let snapshot = self.current();
         let Some(scoring) = scoring else {
-            return Ok(DataRef::Base(&self.inner));
+            return Ok(DataRef::Snapshot(snapshot));
         };
         if scoring.dim() != self.inner.dim {
             return Err(UtkError::DimensionMismatch {
@@ -1303,9 +1833,9 @@ impl UtkEngine {
             });
         }
         if scoring.is_identity() {
-            return Ok(DataRef::Base(&self.inner));
+            return Ok(DataRef::Snapshot(snapshot));
         }
-        let key = scoring.fingerprint();
+        let key = (snapshot.epoch, scoring.fingerprint());
         if self.inner.cache_enabled {
             if let Some(hit) = self
                 .inner
@@ -1317,7 +1847,7 @@ impl UtkEngine {
                 return Ok(DataRef::Transformed(Arc::clone(hit)));
             }
         }
-        let points = scoring.transform(&self.inner.points);
+        let points = scoring.transform(&snapshot.points);
         if points.iter().any(|p| p.iter().any(|x| !x.is_finite())) {
             return Err(UtkError::NonFiniteInput {
                 what: "transformed dataset (scoring function)",
@@ -1326,6 +1856,7 @@ impl UtkEngine {
         let tree = RTree::bulk_load(&points);
         let store = PointStore::from_rows(&points);
         let scored = Arc::new(Scored {
+            epoch: snapshot.epoch,
             points,
             store,
             tree,
@@ -1510,6 +2041,132 @@ mod tests {
         assert_eq!(Algo::Auto.resolved_for(QueryKind::Utk1), Algo::Rsa);
         assert_eq!(Algo::Auto.resolved_for(QueryKind::Utk2), Algo::Jaa);
         assert_eq!(Algo::Sk.resolved_for(QueryKind::Utk1), Algo::Sk);
+    }
+
+    #[test]
+    fn mutations_match_a_fresh_engine_and_bump_the_epoch() {
+        let engine = UtkEngine::new(figure1_hotels()).unwrap();
+        assert_eq!(engine.dataset_epoch(), 0);
+        // Delete p3 (id 2, never in the Figure 1 answer) and insert a
+        // dominant hotel.
+        let report = engine
+            .apply_update(&[2], vec![vec![9.9, 9.9, 9.9]])
+            .unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.n, 7);
+        assert_eq!((report.deleted, report.inserted), (1, 1));
+        assert_eq!(engine.dataset_epoch(), 1);
+
+        let mut model = figure1_hotels();
+        model.remove(2);
+        model.push(vec![9.9, 9.9, 9.9]);
+        let fresh = UtkEngine::new(model).unwrap();
+        let q = UtkQuery::utk1(2).region(figure1_region());
+        let mutated = engine.run(&q).unwrap();
+        let rebuilt = fresh.run(&q).unwrap();
+        assert_eq!(mutated.records(), rebuilt.records());
+        assert_eq!(mutated.stats().dataset_epoch, 1);
+        assert_eq!(rebuilt.stats().dataset_epoch, 0);
+    }
+
+    #[test]
+    fn targeted_invalidation_keeps_unaffected_entries_warm() {
+        let engine = UtkEngine::new(figure1_hotels()).unwrap();
+        let warm = engine.utk1(&figure1_region(), 2).unwrap();
+        assert_eq!(engine.cached_filters(), 1);
+
+        // p3 (id 2) and p5 (id 4) are not r-skyband members here;
+        // deleting p5 must keep the entry (ids remapped), and the
+        // very next query is a cache hit with the same member set.
+        let report = engine.delete_points(&[4]).unwrap();
+        assert_eq!(report.filter_retained, 1);
+        assert_eq!(report.filter_invalidated, 0);
+        let hit = engine.utk1(&figure1_region(), 2).unwrap();
+        assert_eq!(hit.stats.filter_cache_hits, 1);
+        // Same members, ids above the deleted one shifted down.
+        let expected: Vec<u32> = warm
+            .records
+            .iter()
+            .map(|&id| if id > 4 { id - 1 } else { id })
+            .collect();
+        assert_eq!(hit.records, expected);
+
+        // Deleting a member (p1 = id 0) invalidates.
+        let report = engine.delete_points(&[0]).unwrap();
+        assert_eq!(report.filter_retained, 0);
+        assert_eq!(report.filter_invalidated, 1);
+        let miss = engine.utk1(&figure1_region(), 2).unwrap();
+        assert_eq!(miss.stats.filter_cache_hits, 0);
+
+        // Inserting a clearly dominated record keeps the (rebuilt)
+        // entry; a dominant one drops it.
+        assert_eq!(engine.cached_filters(), 1);
+        let report = engine.insert_points(vec![vec![0.1, 0.1, 0.1]]).unwrap();
+        assert_eq!(report.filter_retained, 1);
+        let report = engine.insert_points(vec![vec![9.9, 9.9, 9.9]]).unwrap();
+        assert_eq!(report.filter_invalidated, 1);
+    }
+
+    #[test]
+    fn mutation_error_paths_leave_the_engine_untouched() {
+        let engine = UtkEngine::new(figure1_hotels()).unwrap();
+        assert_eq!(
+            engine.delete_points(&[7]).unwrap_err(),
+            UtkError::UnknownRecordId { id: 7, len: 7 }
+        );
+        assert_eq!(
+            engine.delete_points(&[3, 3]).unwrap_err(),
+            UtkError::DuplicateRecordId { id: "3".into() }
+        );
+        assert!(matches!(
+            engine.insert_points(vec![vec![1.0, 2.0]]).unwrap_err(),
+            UtkError::DimensionMismatch { .. }
+        ));
+        assert_eq!(
+            engine
+                .insert_points(vec![vec![1.0, f64::NAN, 2.0]])
+                .unwrap_err(),
+            UtkError::NonFiniteInput {
+                what: "inserted record"
+            }
+        );
+        assert_eq!(
+            engine.delete_points(&[0, 1, 2, 3, 4, 5, 6]).unwrap_err(),
+            UtkError::EmptyDataset
+        );
+        assert_eq!(engine.dataset_epoch(), 0, "failed mutations change nothing");
+        assert_eq!(engine.len(), 7);
+        // And the no-op shape: nothing happened, no epoch bump.
+        let report = engine.apply_update(&[], vec![]).unwrap();
+        assert_eq!(report.epoch, 0);
+        assert_eq!(engine.dataset_epoch(), 0);
+    }
+
+    #[test]
+    fn overlay_rides_small_mutations_and_rebuilds_past_threshold() {
+        let points: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i % 10) as f64, (i / 10) as f64, (i % 7) as f64])
+            .collect();
+        let engine = UtkEngine::new(points).unwrap();
+        assert!(engine.index_is_packed());
+        engine.delete_points(&[3]).unwrap();
+        assert!(!engine.index_is_packed(), "one delete rides the overlay");
+        assert_eq!(engine.index_rebuilds(), 0);
+        // Pile up deletions until the overlay overhead crosses 1/2.
+        let ids: Vec<u32> = (0..40).collect();
+        engine.delete_points(&ids).unwrap();
+        assert!(
+            engine.index_rebuilds() >= 1,
+            "threshold must trigger a rebuild"
+        );
+        // compact() packs on demand and is idempotent.
+        engine.insert_points(vec![vec![1.0, 1.0, 1.0]]).unwrap();
+        assert!(!engine.index_is_packed());
+        engine.compact();
+        assert!(engine.index_is_packed());
+        let rebuilds = engine.index_rebuilds();
+        engine.compact();
+        assert_eq!(engine.index_rebuilds(), rebuilds);
     }
 
     #[test]

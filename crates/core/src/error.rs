@@ -70,6 +70,22 @@ pub enum UtkError {
         /// The query kind's display label.
         kind: &'static str,
     },
+    /// A dataset mutation named a record id that does not exist (ids
+    /// are positions in the live dataset, `0..len`).
+    UnknownRecordId {
+        /// The offending id.
+        id: u32,
+        /// The dataset size the id was checked against.
+        len: usize,
+    },
+    /// A dataset mutation named the same record id twice (one
+    /// `delete` applies its ids simultaneously against the current
+    /// dataset, so a repeat is a contradiction, not a no-op), or an
+    /// ingest path saw the same record label twice.
+    DuplicateRecordId {
+        /// The repeated id (or label, for ingest paths).
+        id: String,
+    },
 }
 
 impl fmt::Display for UtkError {
@@ -102,6 +118,15 @@ impl fmt::Display for UtkError {
             }
             UtkError::UnsupportedAlgorithm { algo, kind } => {
                 write!(f, "algorithm {algo} cannot answer {kind} queries")
+            }
+            UtkError::UnknownRecordId { id, len } => {
+                write!(
+                    f,
+                    "record id {id} does not exist (dataset has {len} records)"
+                )
+            }
+            UtkError::DuplicateRecordId { id } => {
+                write!(f, "duplicate record id {id}")
             }
         }
     }

@@ -412,6 +412,69 @@ impl Ord for Entry {
     }
 }
 
+/// Sentinel in a [`TreeView`] remap marking a tombstoned (deleted)
+/// base-tree record.
+pub const TOMBSTONE: u32 = u32::MAX;
+
+/// A possibly stale R-tree plus the corrections that make it serve
+/// the *current* dataset — the incremental-update seam of the BBS
+/// traversals.
+///
+/// After insertions and deletions the engine does not rebuild its
+/// R-tree immediately; instead it reads the last-built tree through a
+/// view: `remap` translates each base-tree record id to its current
+/// dataset id ([`TOMBSTONE`] = deleted; `None` = identity), and
+/// `extra` lists current ids appended since the tree was built. The
+/// BBS seeds `extra` records straight into its heap and drops
+/// tombstoned records at leaf expansion.
+///
+/// **Why results stay exact and byte-identical to a fresh tree:**
+/// record pop order is tree-shape independent — records pop in
+/// descending key order with ties to the smaller (current) id,
+/// because every node's key (its MBB top corner, possibly stale but
+/// still an upper bound over the live records inside) pops before the
+/// records below it. A subtree pruned via its (stale) top corner only
+/// hides records that same screen would have rejected, since a member
+/// r-dominating the corner r-dominates everything under it. Only the
+/// work counters (`bbs_pops`, node screens) depend on the tree shape.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeView<'a> {
+    tree: &'a RTree,
+    remap: Option<&'a [u32]>,
+    extra: &'a [u32],
+}
+
+impl<'a> TreeView<'a> {
+    /// A view of a freshly built tree: record ids are dataset ids.
+    pub fn packed(tree: &'a RTree) -> Self {
+        Self {
+            tree,
+            remap: None,
+            extra: &[],
+        }
+    }
+
+    /// A stale tree corrected by `remap` (base record id → current
+    /// dataset id, [`TOMBSTONE`] = deleted) and `extra` (current ids
+    /// absent from the tree).
+    pub fn overlay(tree: &'a RTree, remap: Option<&'a [u32]>, extra: &'a [u32]) -> Self {
+        Self { tree, remap, extra }
+    }
+
+    /// The current dataset id of base-tree record `rid`, or `None`
+    /// for a tombstoned one.
+    #[inline]
+    fn current_id(&self, rid: u32) -> Option<u32> {
+        match self.remap {
+            None => Some(rid),
+            Some(map) => {
+                let id = map[rid as usize];
+                (id != TOMBSTONE).then_some(id)
+            }
+        }
+    }
+}
+
 /// r-skyband via the adapted BBS (§4.1): candidates r-dominated by
 /// fewer than `k` others over `region`, along with all r-dominance
 /// arcs among them. `points` is the flat dataset the `tree` was built
@@ -432,6 +495,30 @@ pub fn r_skyband(
     pivot_order: bool,
     stats: &mut Stats,
 ) -> CandidateSet {
+    r_skyband_view(
+        points,
+        &TreeView::packed(tree),
+        region,
+        k,
+        pivot_order,
+        stats,
+    )
+}
+
+/// [`r_skyband`] reading the tree through a [`TreeView`] — the
+/// mutable-engine entry point. With a packed view this is exactly the
+/// classic traversal; with an overlay it produces a byte-identical
+/// candidate set (see the [`TreeView`] docs for the argument) while
+/// only the work counters differ.
+pub fn r_skyband_view(
+    points: &PointStore,
+    view: &TreeView<'_>,
+    region: &Region,
+    k: usize,
+    pivot_order: bool,
+    stats: &mut Stats,
+) -> CandidateSet {
+    let tree = view.tree;
     let mut screen = BandScreen::new(region, k);
     let key = |screen: &BandScreen, p: &[f64]| -> f64 {
         if pivot_order {
@@ -442,7 +529,8 @@ pub fn r_skyband(
     };
 
     // A single best-first pass; both records and node top corners are
-    // screened against the current skyband by r-dominance.
+    // screened against the current skyband by r-dominance. Records
+    // the tree does not know about yet enter the heap directly.
     let mut heap = std::collections::BinaryHeap::new();
     let root = tree.root();
     heap.push(Entry {
@@ -450,6 +538,13 @@ pub fn r_skyband(
         is_node: true,
         id: root,
     });
+    for &id in view.extra {
+        heap.push(Entry {
+            key: key(&screen, &points[id as usize]),
+            is_node: false,
+            id: id as usize,
+        });
+    }
     while let Some(Entry { is_node, id, .. }) = heap.pop() {
         stats.bbs_pops += 1;
         if is_node {
@@ -469,10 +564,16 @@ pub fn r_skyband(
                 }
                 utk_rtree::NodeKind::Leaf { items } => {
                     for &rid in items {
+                        // Tombstoned records never reach the heap;
+                        // survivors carry their *current* id, so the
+                        // ascending-id tie-break matches a fresh tree.
+                        let Some(cur) = view.current_id(rid) else {
+                            continue;
+                        };
                         heap.push(Entry {
-                            key: key(&screen, &points[rid as usize]),
+                            key: key(&screen, &points[cur as usize]),
                             is_node: false,
-                            id: rid as usize,
+                            id: cur as usize,
                         });
                     }
                 }
@@ -490,6 +591,60 @@ pub fn r_skyband(
         points: cpoints,
         graph,
     }
+}
+
+/// Whether a fresh BBS run over `region` would reject a probe `p`
+/// appended to the dataset, judged against the members of `cands`
+/// alone: true iff at least `k` members that would pop *before* `p`
+/// (heap key strictly greater under `total_cmp`, or equal — an
+/// appended record carries the largest id, so every tie pops first)
+/// r-dominate it.
+///
+/// This is the engine's **exact** insert-invalidation test for a
+/// cached r-skyband. If it holds, a cold run on the grown dataset
+/// admits exactly the cached member sequence and rejects `p` when it
+/// pops (its pre-`p` dominators are all members, all already
+/// admitted); if it fails, `p` joins the r-skyband (under the pivot
+/// key; under the sum-key ablation it at least *may*), so the entry
+/// must be dropped either way. The key comparison mirrors the heap
+/// ([`Entry`]) bit for bit — same computed scores, same `total_cmp` —
+/// so there is no tolerance gap between this test and a real run.
+pub fn rejected_by_members(
+    cands: &CandidateSet,
+    p: &[f64],
+    region: &Region,
+    k: usize,
+    pivot_order: bool,
+) -> bool {
+    let pivot = region.pivot().expect("query region must be non-empty");
+    let key = |q: &[f64]| -> f64 {
+        if pivot_order {
+            pref_score(q, &pivot)
+        } else {
+            q.iter().sum()
+        }
+    };
+    let kp = key(p);
+    if kp.is_nan() {
+        // A NaN key pops last and is never r-dominated under the
+        // screen's classification: a fresh run would admit it.
+        return false;
+    }
+    let mut count = 0;
+    for i in 0..cands.len() {
+        let m = &cands.points[i];
+        let km = key(m);
+        if km.is_nan() || km.total_cmp(&kp) == std::cmp::Ordering::Less {
+            continue; // pops after p: cannot have been admitted yet
+        }
+        if crate::rdominance::r_dominance(m, p, region) == RDominance::Dominates {
+            count += 1;
+            if count >= k {
+                return true;
+            }
+        }
+    }
+    false
 }
 
 /// Rebuilds the exact r-skyband of `region` by re-screening a cached
@@ -803,6 +958,76 @@ mod tests {
             let cold = r_skyband(&store, &tree, &inner, k, true, &mut Stats::new());
             let warm = r_skyband_from_superset(&sup, &inner, k, &mut Stats::new());
             assert_eq!(warm, cold, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn overlay_view_is_byte_identical_to_a_fresh_tree() {
+        // Delete a third of the records and append a handful, then
+        // answer through the stale base tree + remap/extra overlay:
+        // the candidate set must equal a cold run over a tree built
+        // from scratch on the live data — ids, points and graph.
+        let region = Region::hyperrect(vec![0.1, 0.1], vec![0.35, 0.3]);
+        let base = random_points(240, 3, 501);
+        let base_tree = RTree::bulk_load(&base);
+        let appended = random_points(15, 3, 502);
+        for k in [1, 3, 6] {
+            let mut remap = vec![TOMBSTONE; base.len()];
+            let mut live: Vec<Vec<f64>> = Vec::new();
+            for (i, p) in base.iter().enumerate() {
+                if i % 3 == 0 {
+                    continue; // deleted
+                }
+                remap[i] = live.len() as u32;
+                live.push(p.clone());
+            }
+            let extra: Vec<u32> = (0..appended.len() as u32)
+                .map(|i| live.len() as u32 + i)
+                .collect();
+            live.extend(appended.iter().cloned());
+            let store = flat(&live);
+
+            let fresh_tree = RTree::bulk_load(&live);
+            let cold = r_skyband(&store, &fresh_tree, &region, k, true, &mut Stats::new());
+            let view = TreeView::overlay(&base_tree, Some(&remap), &extra);
+            let warm = r_skyband_view(&store, &view, &region, k, true, &mut Stats::new());
+            assert_eq!(warm, cold, "k = {k}");
+            // The sum-key ablation must agree with its own fresh run
+            // too (the tree-independence argument does not depend on
+            // the key bounding dominance).
+            let cold_sum = r_skyband(&store, &fresh_tree, &region, k, false, &mut Stats::new());
+            let warm_sum = r_skyband_view(&store, &view, &region, k, false, &mut Stats::new());
+            assert_eq!(warm_sum, cold_sum, "sum key, k = {k}");
+        }
+    }
+
+    #[test]
+    fn rejected_by_members_predicts_fresh_membership_exactly() {
+        // Under the pivot key, the invalidation predicate must agree
+        // with ground truth: an appended probe stays out of the fresh
+        // r-skyband iff ≥ k earlier-popping members dominate it.
+        let region = Region::hyperrect(vec![0.1, 0.15], vec![0.3, 0.35]);
+        let pts = random_points(200, 3, 601);
+        let tree = RTree::bulk_load(&pts);
+        let probes = random_points(40, 3, 602);
+        for k in [1, 2, 4] {
+            let cands = r_skyband(&flat(&pts), &tree, &region, k, true, &mut Stats::new());
+            for p in &probes {
+                let rejected = rejected_by_members(&cands, p, &region, k, true);
+                let mut grown = pts.clone();
+                grown.push(p.clone());
+                let grown_tree = RTree::bulk_load(&grown);
+                let fresh = r_skyband(
+                    &flat(&grown),
+                    &grown_tree,
+                    &region,
+                    k,
+                    true,
+                    &mut Stats::new(),
+                );
+                let admitted = fresh.ids.contains(&(pts.len() as u32));
+                assert_eq!(rejected, !admitted, "k = {k}, probe {p:?}");
+            }
         }
     }
 

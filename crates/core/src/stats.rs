@@ -63,6 +63,13 @@ pub struct Stats {
     /// [`crate::engine::UtkEngine::run_many`] batch this query was
     /// part of (0 for a standalone query).
     pub batch_group_count: usize,
+    /// Epoch of the dataset snapshot this query ran against: 0 for a
+    /// freshly built engine, bumped by every
+    /// [`crate::engine::UtkEngine::apply_update`]. Engine-history
+    /// dependent (a rebuilt engine restarts at 0), so — like
+    /// [`Stats::stolen_tasks`] — it is *not* part of the JSON wire
+    /// format.
+    pub dataset_epoch: usize,
 }
 
 impl Stats {
@@ -110,6 +117,7 @@ impl Stats {
         self.pool_threads = self.pool_threads.max(other.pool_threads);
         self.stolen_tasks += other.stolen_tasks;
         self.batch_group_count = self.batch_group_count.max(other.batch_group_count);
+        self.dataset_epoch = self.dataset_epoch.max(other.dataset_epoch);
     }
 }
 

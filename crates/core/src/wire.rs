@@ -19,9 +19,14 @@
 //!   scheduling-dependent (the confirmed set never is).
 //!
 //! `Stats::stolen_tasks` is scheduling-dependent on every parallel
-//! query and is deliberately *not* part of the format.
+//! query and is deliberately *not* part of the format, and neither is
+//! `Stats::dataset_epoch`: it counts an *engine's* mutation history,
+//! so a mutated engine and a fresh build of the same dataset — which
+//! the dynamic test suite requires to be wire-byte-identical — would
+//! differ on it while agreeing on everything the query actually
+//! computed.
 
-use crate::engine::{Algo, QueryResult, TopKResult};
+use crate::engine::{Algo, QueryResult, TopKResult, UpdateReport};
 use crate::jaa::Utk2Result;
 use crate::rsa::Utk1Result;
 use crate::stats::Stats;
@@ -183,6 +188,25 @@ pub fn topk_json(
     )
 }
 
+/// The wire object of one applied dataset mutation (`utk batch
+/// --mutations` replay lines; the serving protocol wraps the same
+/// fields in its `{"ok":"update",…}` envelope).
+pub fn update_json(report: &UpdateReport) -> String {
+    format!(
+        concat!(
+            r#"{{"update":{{"epoch":{},"n":{},"inserted":{},"deleted":{},"#,
+            r#""filter_invalidated":{},"filter_retained":{},"index_rebuilt":{}}}}}"#
+        ),
+        report.epoch,
+        report.n,
+        report.inserted,
+        report.deleted,
+        report.filter_invalidated,
+        report.filter_retained,
+        report.index_rebuilt,
+    )
+}
+
 /// The error wire object (a failed query in a `batch` run, or a CLI
 /// usage error under `--json`).
 pub fn error_json(message: &str) -> String {
@@ -242,13 +266,32 @@ mod tests {
     }
 
     #[test]
-    fn stats_json_omits_stolen_tasks() {
+    fn stats_json_omits_stolen_tasks_and_dataset_epoch() {
         let mut stats = Stats::new();
         stats.stolen_tasks = 99;
         stats.pool_threads = 4;
+        stats.dataset_epoch = 7;
         let json = stats_json(&stats);
         assert!(!json.contains("stolen"), "{json}");
+        assert!(!json.contains("epoch"), "{json}");
         assert!(json.contains(r#""pool_threads":4"#), "{json}");
+    }
+
+    #[test]
+    fn update_json_carries_the_report() {
+        let report = UpdateReport {
+            epoch: 3,
+            n: 42,
+            inserted: 2,
+            deleted: 1,
+            filter_invalidated: 1,
+            filter_retained: 4,
+            index_rebuilt: false,
+        };
+        assert_eq!(
+            update_json(&report),
+            r#"{"update":{"epoch":3,"n":42,"inserted":2,"deleted":1,"filter_invalidated":1,"filter_retained":4,"index_rebuilt":false}}"#
+        );
     }
 
     #[test]

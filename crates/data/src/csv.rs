@@ -21,12 +21,112 @@ pub struct CsvData {
 }
 
 impl CsvData {
-    /// A display name for record `id`: its label, or `#id`.
+    /// A display name for record `id`: its label, or `#id` (also the
+    /// fallback for ids past the label column, which cannot arise
+    /// from parsing but keeps a racing rename/update safe).
     pub fn name(&self, id: u32) -> String {
-        match &self.labels {
-            Some(l) => l[id as usize].clone(),
+        match self.labels.as_ref().and_then(|l| l.get(id as usize)) {
+            Some(l) => l.clone(),
             None => format!("#{id}"),
         }
+    }
+
+    /// Applies a dataset mutation to the parsed payload, mirroring
+    /// `UtkEngine::apply_update` semantics exactly: rows named by
+    /// `deletes` (validated ids, applied simultaneously) are removed
+    /// with survivors keeping their order, then `inserts` are
+    /// appended. Labels move with their rows.
+    ///
+    /// Label policy: a labeled dataset requires one label per
+    /// inserted row (and rejects duplicates — labels are record ids);
+    /// an unlabeled one rejects labels. Errors leave the data
+    /// unchanged.
+    ///
+    /// NOTE: the id/dimension/finiteness checks here deliberately
+    /// mirror `UtkEngine::apply_update` (utk-core), which cannot be
+    /// referenced from this crate. The server registry stages this
+    /// method *before* the engine mutation and discards the staging
+    /// if the engine rejects, so a divergence between the two
+    /// validators degrades to a spurious error, never to labels and
+    /// rows going out of step — but keep them in agreement anyway.
+    pub fn apply_update(
+        &mut self,
+        deletes: &[u32],
+        inserts: &[Vec<f64>],
+        insert_labels: Option<&[String]>,
+    ) -> Result<(), String> {
+        let dim = self.dataset.dim();
+        for row in inserts {
+            if row.len() != dim {
+                return Err(format!(
+                    "inserted row has {} values, dataset is {dim}-dimensional",
+                    row.len()
+                ));
+            }
+            if row.iter().any(|v| !v.is_finite()) {
+                return Err("inserted row contains a NaN or infinite value".into());
+            }
+        }
+        let n = self.dataset.points.len();
+        let mut deleted = vec![false; n];
+        for &id in deletes {
+            if id as usize >= n {
+                return Err(format!("record id {id} does not exist ({n} records)"));
+            }
+            if deleted[id as usize] {
+                return Err(format!("duplicate record id {id}"));
+            }
+            deleted[id as usize] = true;
+        }
+        let new_labels = match (&self.labels, insert_labels) {
+            (Some(_), None) if !inserts.is_empty() => {
+                return Err("dataset has a label column; supply one label per inserted row".into())
+            }
+            (None, Some(_)) => {
+                return Err(
+                    "dataset has no label column; inserted rows must not carry labels".into(),
+                )
+            }
+            (Some(existing), provided) => {
+                let provided = provided.unwrap_or(&[]);
+                if provided.len() != inserts.len() {
+                    return Err(format!(
+                        "{} inserted rows but {} labels",
+                        inserts.len(),
+                        provided.len()
+                    ));
+                }
+                let mut kept: Vec<String> = existing
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !deleted[*i])
+                    .map(|(_, l)| l.clone())
+                    .collect();
+                let mut seen: std::collections::HashSet<&str> =
+                    kept.iter().map(String::as_str).collect();
+                for label in provided {
+                    if !seen.insert(label.as_str()) {
+                        return Err(format!("duplicate record label {label:?}"));
+                    }
+                }
+                kept.extend(provided.iter().cloned());
+                Some(kept)
+            }
+            (None, None) => None,
+        };
+        let mut points: Vec<Vec<f64>> = Vec::with_capacity(n - deletes.len() + inserts.len());
+        for (i, p) in self.dataset.points.iter().enumerate() {
+            if !deleted[i] {
+                points.push(p.clone());
+            }
+        }
+        points.extend(inserts.iter().cloned());
+        if points.is_empty() {
+            return Err("update would leave the dataset empty".into());
+        }
+        self.dataset.points = points;
+        self.labels = new_labels;
+        Ok(())
     }
 }
 
@@ -100,17 +200,37 @@ pub fn parse_csv(text: &str, name: &str) -> Result<CsvData, CsvError> {
 
     let mut points = Vec::with_capacity(rows.len());
     let mut width = None;
+    let mut seen_labels: std::collections::HashSet<String> = std::collections::HashSet::new();
     for (no, fields) in rows {
         let start = usize::from(has_labels);
         if let Some(l) = &mut labels {
+            // The label column is the record's identity: a repeat
+            // would make two records indistinguishable to every
+            // consumer that resolves ids through names.
+            if !seen_labels.insert(fields[0].to_string()) {
+                return Err(CsvError {
+                    line: no,
+                    message: format!("duplicate record id {:?}", fields[0]),
+                });
+            }
             l.push(fields[0].to_string());
         }
         let mut p = Vec::with_capacity(fields.len() - start);
         for f in &fields[start..] {
-            p.push(f.parse::<f64>().map_err(|_| CsvError {
+            let v = f.parse::<f64>().map_err(|_| CsvError {
                 line: no,
                 message: format!("not a number: {f:?}"),
-            })?);
+            })?;
+            // `f64::parse` happily accepts "NaN" and "inf", which
+            // would poison every score downstream; the store only
+            // ever holds finite coordinates.
+            if !v.is_finite() {
+                return Err(CsvError {
+                    line: no,
+                    message: format!("non-finite value {f:?} (NaN/inf records are rejected)"),
+                });
+            }
+            p.push(v);
         }
         match width {
             None => width = Some(p.len()),
@@ -209,6 +329,75 @@ mod tests {
     fn empty_input_rejected() {
         assert!(parse_csv("", "t").is_err());
         assert!(parse_csv("only,header\n", "t").is_err());
+    }
+
+    #[test]
+    fn non_finite_values_rejected_with_line_numbers() {
+        for bad in ["nan", "NaN", "inf", "-inf", "Infinity"] {
+            let csv = format!("1,2\n3,{bad}\n");
+            let err = parse_csv(&csv, "t").unwrap_err();
+            assert_eq!(err.line, 2, "{bad}");
+            assert!(err.message.contains("non-finite"), "{bad}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn duplicate_labels_rejected_with_line_numbers() {
+        let err = parse_csv("a,1,2\nb,3,4\na,5,6\n", "t").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(
+            err.message.contains("duplicate record id"),
+            "{}",
+            err.message
+        );
+        // Unlabeled rows can repeat freely — only identities are unique.
+        assert!(parse_csv("1,2\n1,2\n", "t").is_ok());
+    }
+
+    #[test]
+    fn apply_update_mirrors_engine_mutation_semantics() {
+        let mut d = parse_csv("a,1,2\nb,3,4\nc,5,6\n", "t").unwrap();
+        d.apply_update(&[1], &[vec![7.0, 8.0]], Some(&["d".to_string()]))
+            .unwrap();
+        assert_eq!(
+            d.dataset.points,
+            vec![vec![1.0, 2.0], vec![5.0, 6.0], vec![7.0, 8.0]]
+        );
+        assert_eq!(d.name(0), "a");
+        assert_eq!(d.name(1), "c");
+        assert_eq!(d.name(2), "d");
+    }
+
+    #[test]
+    fn apply_update_rejections_leave_data_unchanged() {
+        let mut d = parse_csv("a,1,2\nb,3,4\n", "t").unwrap();
+        let before = d.dataset.points.clone();
+        // Unknown id, duplicate delete, missing labels, duplicate
+        // label, ragged row, non-finite row, emptying update.
+        assert!(d.apply_update(&[9], &[], None).is_err());
+        assert!(d.apply_update(&[0, 0], &[], None).is_err());
+        assert!(d.apply_update(&[], &[vec![1.0, 1.0]], None).is_err());
+        assert!(d
+            .apply_update(&[], &[vec![1.0, 1.0]], Some(&["a".to_string()]))
+            .is_err());
+        assert!(d
+            .apply_update(&[], &[vec![1.0]], Some(&["x".to_string()]))
+            .is_err());
+        assert!(d
+            .apply_update(&[], &[vec![f64::NAN, 1.0]], Some(&["x".to_string()]))
+            .is_err());
+        assert!(d.apply_update(&[0, 1], &[], None).is_err());
+        assert_eq!(d.dataset.points, before);
+        assert_eq!(d.name(1), "b");
+
+        // An unlabeled dataset takes unlabeled inserts only.
+        let mut plain = parse_csv("1,2\n3,4\n", "t").unwrap();
+        assert!(plain
+            .apply_update(&[], &[vec![5.0, 6.0]], Some(&["x".to_string()]))
+            .is_err());
+        plain.apply_update(&[0], &[vec![5.0, 6.0]], None).unwrap();
+        assert_eq!(plain.dataset.points, vec![vec![3.0, 4.0], vec![5.0, 6.0]]);
+        assert_eq!(plain.name(1), "#1");
     }
 
     #[test]

@@ -8,13 +8,17 @@
 //! * [`json`] — a minimal, byte-round-trip-faithful JSON reader (the
 //!   workspace vendors no `serde`);
 //! * [`proto`] — the typed request/response protocol
-//!   (`load` / `query` / `batch` / `stats` / `evict` / `shutdown`)
-//!   with its grammar documented on the module;
+//!   (`load` / `query` / `batch` / `update` / `stats` / `evict` /
+//!   `shutdown`) with its grammar documented on the module;
 //! * [`spec`] — the `utk batch` query-line syntax, moved here from
 //!   the CLI so both parse identically and server `batch` output is
 //!   **byte-identical** to `utk batch`;
 //! * [`registry`] — lazily loaded engines under one shared
-//!   filter-cache byte budget, re-dealt on load/evict;
+//!   filter-cache byte budget, dealt proportionally to dataset size
+//!   and re-dealt on load/evict and on every `update` (mutations
+//!   change dataset sizes); `update` mutates the resident engine and
+//!   its CSV payload in memory only — evict-then-reload reverts to
+//!   disk;
 //! * [`server`] — the blocking accept loop: per-connection I/O
 //!   threads, query work on the engines' work-stealing pools, bounded
 //!   in-flight **admission control** (overload is shed with a typed

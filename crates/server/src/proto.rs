@@ -9,6 +9,8 @@
 //! {"op":"load","dataset":NAME}
 //! {"op":"query","dataset":NAME,"q":QUERYLINE}
 //! {"op":"batch","dataset":NAME,"queries":[LINE,...]}
+//! {"op":"update","dataset":NAME,"delete":[ID,...],"insert":[[V,...],...]
+//!                               (,"labels":[NAME,...])}
 //! {"op":"stats"}
 //! {"op":"evict","dataset":NAME}
 //! {"op":"shutdown"}
@@ -26,6 +28,9 @@
 //! load     → {"ok":"load","dataset":NAME,"n":N,"d":D,"already_loaded":BOOL}
 //! query    → one wire result object, or {"error":MSG}   (the `utk batch` line shape)
 //! batch    → {"ok":"batch","dataset":NAME,"count":N}, then N wire/error lines
+//! update   → {"ok":"update","dataset":NAME,"epoch":E,"n":N,"inserted":I,
+//!             "deleted":D,"filter_invalidated":V,"filter_retained":R,
+//!             "index_rebuilt":BOOL}
 //! stats    → {"ok":"stats","requests_served":N,"busy_rejections":N,
 //!             "inflight":N,"max_inflight":N,"datasets_loaded":N,
 //!             "datasets":[NAME,...],"registry_cache_bytes":N}
@@ -64,8 +69,9 @@ pub mod code {
     pub const SHUTTING_DOWN: &str = "shutting_down";
 }
 
-/// One request line, parsed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// One request line, parsed. (`PartialEq` only: `update` carries
+/// float payloads.)
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Load (or confirm) a dataset without querying it.
     Load {
@@ -85,6 +91,22 @@ pub enum Request {
         dataset: String,
         /// The file's lines, verbatim (comments/blanks included).
         queries: Vec<String>,
+    },
+    /// Mutate a dataset in place: delete by id, append rows — one
+    /// atomic engine epoch. The mutation lives in the serving
+    /// process's memory; the CSV file on disk is untouched (an
+    /// `evict` + reload reverts to disk state).
+    Update {
+        /// Dataset name.
+        dataset: String,
+        /// Ids to remove (against the current dataset,
+        /// simultaneously).
+        delete: Vec<u32>,
+        /// Rows to append after the survivors.
+        insert: Vec<Vec<f64>>,
+        /// One label per inserted row — required iff the dataset has
+        /// a label column.
+        labels: Option<Vec<String>>,
     },
     /// Server counters and registry state.
     Stats,
@@ -151,6 +173,28 @@ impl Request {
                 escape(dataset),
                 json_str_list(queries)
             ),
+            Request::Update {
+                dataset,
+                delete,
+                insert,
+                labels,
+            } => {
+                let ids: Vec<String> = delete.iter().map(|id| id.to_string()).collect();
+                let rows: Vec<String> = insert
+                    .iter()
+                    .map(|row| utk_core::wire::floats(row))
+                    .collect();
+                let labels = match labels {
+                    Some(l) => format!(r#","labels":{}"#, json_str_list(l)),
+                    None => String::new(),
+                };
+                format!(
+                    r#"{{"op":"update","dataset":"{}","delete":[{}],"insert":[{}]{labels}}}"#,
+                    escape(dataset),
+                    ids.join(","),
+                    rows.join(","),
+                )
+            }
             Request::Stats => r#"{"op":"stats"}"#.to_string(),
             Request::Evict { dataset } => {
                 format!(r#"{{"op":"evict","dataset":"{}"}}"#, escape(dataset))
@@ -207,6 +251,71 @@ impl Request {
                     queries,
                 })
             }
+            "update" => {
+                let array_field = |key: &str| -> Result<&[Value], ProtoError> {
+                    match value.get(key) {
+                        None => Ok(&[]),
+                        Some(v) => v.as_array().ok_or_else(|| {
+                            ProtoError::bad_request(format!("\"{key}\" must be an array"))
+                        }),
+                    }
+                };
+                let delete = array_field("delete")?
+                    .iter()
+                    .map(|item| {
+                        item.as_u64()
+                            .and_then(|id| u32::try_from(id).ok())
+                            .ok_or_else(|| {
+                                ProtoError::bad_request("\"delete\" entries must be record ids")
+                            })
+                    })
+                    .collect::<Result<Vec<u32>, ProtoError>>()?;
+                let insert = array_field("insert")?
+                    .iter()
+                    .map(|row| {
+                        row.as_array()
+                            .ok_or_else(|| {
+                                ProtoError::bad_request("\"insert\" entries must be number arrays")
+                            })?
+                            .iter()
+                            .map(|v| {
+                                v.as_f64().ok_or_else(|| {
+                                    ProtoError::bad_request(
+                                        "\"insert\" rows must contain only numbers",
+                                    )
+                                })
+                            })
+                            .collect::<Result<Vec<f64>, ProtoError>>()
+                    })
+                    .collect::<Result<Vec<Vec<f64>>, ProtoError>>()?;
+                let labels = match value.get("labels") {
+                    None => None,
+                    Some(raw) => Some(
+                        raw.as_array()
+                            .ok_or_else(|| {
+                                ProtoError::bad_request("\"labels\" must be a string array")
+                            })?
+                            .iter()
+                            .map(|item| {
+                                item.as_str().map(str::to_string).ok_or_else(|| {
+                                    ProtoError::bad_request("\"labels\" entries must be strings")
+                                })
+                            })
+                            .collect::<Result<Vec<String>, ProtoError>>()?,
+                    ),
+                };
+                if delete.is_empty() && insert.is_empty() {
+                    return Err(ProtoError::bad_request(
+                        "op \"update\" needs a non-empty \"delete\" or \"insert\"",
+                    ));
+                }
+                Ok(Request::Update {
+                    dataset: dataset(&value)?,
+                    delete,
+                    insert,
+                    labels,
+                })
+            }
             "stats" => Ok(Request::Stats),
             "evict" => Ok(Request::Evict {
                 dataset: dataset(&value)?,
@@ -261,6 +370,25 @@ pub enum Response {
         /// How many result lines follow.
         count: u64,
     },
+    /// `update` succeeded: the engine's mutation receipt.
+    Update {
+        /// Dataset name.
+        dataset: String,
+        /// The dataset epoch after the mutation.
+        epoch: u64,
+        /// Live records after the mutation.
+        n: u64,
+        /// Records appended.
+        inserted: u64,
+        /// Records removed.
+        deleted: u64,
+        /// Filter-cache entries dropped by targeted invalidation.
+        filter_invalidated: u64,
+        /// Filter-cache entries re-keyed and kept warm.
+        filter_retained: u64,
+        /// Whether the R-tree was rebuilt (vs riding the overlay).
+        index_rebuilt: bool,
+    },
     /// `stats` counters.
     Stats(StatsBody),
     /// `evict` outcome.
@@ -294,6 +422,30 @@ impl Response {
             Response::BatchHeader { dataset, count } => format!(
                 r#"{{"ok":"batch","dataset":"{}","count":{count}}}"#,
                 escape(dataset)
+            ),
+            Response::Update {
+                dataset,
+                epoch,
+                n,
+                inserted,
+                deleted,
+                filter_invalidated,
+                filter_retained,
+                index_rebuilt,
+            } => format!(
+                concat!(
+                    r#"{{"ok":"update","dataset":"{}","epoch":{},"n":{},"inserted":{},"#,
+                    r#""deleted":{},"filter_invalidated":{},"filter_retained":{},"#,
+                    r#""index_rebuilt":{}}}"#
+                ),
+                escape(dataset),
+                epoch,
+                n,
+                inserted,
+                deleted,
+                filter_invalidated,
+                filter_retained,
+                index_rebuilt,
             ),
             Response::Stats(s) => format!(
                 concat!(
@@ -378,6 +530,16 @@ impl Response {
                 dataset: field_str("dataset")?,
                 count: field_u64("count")?,
             }),
+            "update" => Ok(Response::Update {
+                dataset: field_str("dataset")?,
+                epoch: field_u64("epoch")?,
+                n: field_u64("n")?,
+                inserted: field_u64("inserted")?,
+                deleted: field_u64("deleted")?,
+                filter_invalidated: field_u64("filter_invalidated")?,
+                filter_retained: field_u64("filter_retained")?,
+                index_rebuilt: field_bool("index_rebuilt")?,
+            }),
             "stats" => Ok(Response::Stats(StatsBody {
                 requests_served: field_u64("requests_served")?,
                 busy_rejections: field_u64("busy_rejections")?,
@@ -433,6 +595,18 @@ mod tests {
                     "topk --k 3 --weights 0.3,0.5,0.2".into(),
                 ],
             },
+            Request::Update {
+                dataset: "hotels".into(),
+                delete: vec![0, 6],
+                insert: vec![vec![9.5, 0.25, 7.0], vec![1e-9, 2.5e8, 0.125]],
+                labels: Some(vec!["p8".into(), "p\"9\"".into()]),
+            },
+            Request::Update {
+                dataset: "anti".into(),
+                delete: vec![3],
+                insert: vec![],
+                labels: None,
+            },
             Request::Stats,
             Request::Evict {
                 dataset: "hotels".into(),
@@ -468,6 +642,16 @@ mod tests {
                 datasets: vec!["anti".into(), "hotels".into()],
                 registry_cache_bytes: 4096,
             }),
+            Response::Update {
+                dataset: "hotels".into(),
+                epoch: 2,
+                n: 8,
+                inserted: 2,
+                deleted: 1,
+                filter_invalidated: 1,
+                filter_retained: 3,
+                index_rebuilt: false,
+            },
             Response::Evict {
                 dataset: "hotels".into(),
                 evicted: true,
@@ -498,6 +682,11 @@ mod tests {
             r#"{"op":"query","dataset":"x"}"#,
             r#"{"op":"batch","dataset":"x","queries":[1]}"#,
             r#"{"op":"load"}"#,
+            r#"{"op":"update","dataset":"x"}"#,
+            r#"{"op":"update","dataset":"x","delete":"3"}"#,
+            r#"{"op":"update","dataset":"x","insert":[["a"]]}"#,
+            r#"{"op":"update","dataset":"x","delete":[-1]}"#,
+            r#"{"op":"update","dataset":"x","insert":[[1.0]],"labels":[1]}"#,
         ] {
             let err = Request::parse(bad).unwrap_err();
             assert_eq!(err.code, code::BAD_REQUEST, "{bad}");

@@ -4,18 +4,25 @@
 //! Datasets are CSV files in one directory; `name` maps to
 //! `<dir>/<name>.csv`. An engine is built on the first request that
 //! touches its dataset (or an explicit `load` op) and stays resident
-//! until evicted. The registry's byte budget is split evenly across
-//! resident engines and **re-dealt** on every load/evict through
-//! [`UtkEngine::set_filter_cache_budget`] — shrinking a slice evicts
+//! until evicted. The registry's byte budget is dealt across resident
+//! engines **proportionally to their dataset size** (a million-row
+//! engine gets a bigger slice of r-skyband memoization than a toy
+//! one) and **re-dealt** on every load/evict — and on every `update`,
+//! since an update changes a dataset's byte size — through
+//! [`UtkEngine::set_filter_cache_budget`]: shrinking a slice evicts
 //! LRU entries, growing frees headroom, and either way surviving
 //! entries stay warm (the engine-level resize is in-place).
+//!
+//! `update` mutates the *resident* engine and its parsed CSV payload
+//! (labels move with their rows); the file on disk is never touched,
+//! so an evict-then-reload reverts to disk state by construction.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 use crate::proto::{code, ProtoError};
-use utk_core::engine::UtkEngine;
+use utk_core::engine::{UpdateReport, UtkEngine};
 use utk_data::csv::{parse_csv, CsvData};
 
 /// One resident dataset: the parsed CSV (for record names) and its
@@ -24,10 +31,27 @@ use utk_data::csv::{parse_csv, CsvData};
 pub struct LoadedDataset {
     /// Registry name (file stem).
     pub name: String,
-    /// The parsed CSV payload.
-    pub data: CsvData,
+    /// The parsed CSV payload, as an immutable snapshot behind a
+    /// momentary lock: readers clone the `Arc` and serve from it
+    /// (never holding the lock across query execution), `update`
+    /// swaps in a rebuilt payload. A query racing an update may
+    /// therefore resolve names from the adjacent version — bounded
+    /// skew for one response; ids inside a response are always
+    /// internally consistent (the engine snapshots its own version),
+    /// and `CsvData::name` falls back to `#id` past the label column.
+    pub data: RwLock<Arc<CsvData>>,
+    /// Serializes `update`s on this dataset (stage → engine mutate →
+    /// swap must not interleave); queries never take it.
+    update_lock: Mutex<()>,
     /// The engine serving it.
     pub engine: UtkEngine,
+}
+
+impl LoadedDataset {
+    /// The current CSV payload snapshot (momentary read lock).
+    pub fn data_snapshot(&self) -> Arc<CsvData> {
+        Arc::clone(&self.data.read().expect("dataset data lock"))
+    }
 }
 
 /// The dataset → engine registry. Thread-safe: one instance serves
@@ -151,7 +175,8 @@ impl DatasetRegistry {
         }
         let ds = Arc::new(LoadedDataset {
             name: name.to_string(),
-            data,
+            data: RwLock::new(Arc::new(data)),
+            update_lock: Mutex::new(()),
             engine,
         });
         let mut loaded = self.loaded.lock().expect("registry lock");
@@ -177,13 +202,68 @@ impl DatasetRegistry {
         removed
     }
 
-    /// Deals `budget` evenly across the resident engines.
+    /// Mutates a resident dataset (loading it first if needed):
+    /// deletes by id, then appends rows, as one engine epoch. The
+    /// parsed CSV payload is updated in lock-step so record names and
+    /// the wire format's `n` keep tracking the live data, and the
+    /// shared cache budget is re-dealt afterwards — the dataset's
+    /// byte size just changed, so every resident engine's
+    /// proportional slice moves.
+    pub fn update(
+        &self,
+        name: &str,
+        deletes: &[u32],
+        inserts: Vec<Vec<f64>>,
+        labels: Option<Vec<String>>,
+    ) -> Result<(Arc<LoadedDataset>, UpdateReport), ProtoError> {
+        let (ds, _) = self.get_or_load(name)?;
+        let report = {
+            // Serialize updates on this dataset; queries keep running
+            // on their snapshots throughout (the data lock is taken
+            // only momentarily to read and to swap).
+            let _updating = ds.update_lock.lock().expect("dataset update lock");
+            // Validate the CSV-side effects (label policy, bounds) on
+            // a staged copy first: `CsvData::apply_update` mirrors
+            // `UtkEngine::apply_update` validation (see the note on
+            // the former), so the two succeed or fail as one — the
+            // engine runs second and a failure discards the staging.
+            let mut staged = (**ds.data.read().expect("dataset data lock")).clone();
+            staged
+                .apply_update(deletes, &inserts, labels.as_deref())
+                .map_err(|e| ProtoError::bad_request(format!("dataset {name:?}: {e}")))?;
+            let report = ds
+                .engine
+                .apply_update(deletes, inserts)
+                .map_err(|e| ProtoError::bad_request(format!("dataset {name:?}: {e}")))?;
+            *ds.data.write().expect("dataset data lock") = Arc::new(staged);
+            report
+        };
+        let loaded = self.loaded.lock().expect("registry lock");
+        Self::rebalance(&loaded, self.cache_budget);
+        Ok((ds, report))
+    }
+
+    /// Deals `budget` across the resident engines proportionally to
+    /// their dataset bytes (records × dimensionality), so the engines
+    /// with the most r-skyband state to memoize hold the most cache.
     fn rebalance(loaded: &HashMap<String, Arc<LoadedDataset>>, budget: usize) {
         if loaded.is_empty() {
             return;
         }
-        let share = budget / loaded.len();
-        for ds in loaded.values() {
+        let weights: Vec<(&Arc<LoadedDataset>, usize)> = loaded
+            .values()
+            .map(|ds| (ds, ds.engine.len() * ds.engine.dim()))
+            .collect();
+        let total: usize = weights.iter().map(|(_, w)| w).sum();
+        if total == 0 {
+            let share = budget / loaded.len();
+            for ds in loaded.values() {
+                ds.engine.set_filter_cache_budget(share);
+            }
+            return;
+        }
+        for (ds, weight) in weights {
+            let share = (budget as u128 * weight as u128 / total as u128) as usize;
             ds.engine.set_filter_cache_budget(share);
         }
     }
@@ -209,26 +289,98 @@ mod tests {
     #[test]
     fn lazy_load_evict_and_shared_budget() {
         let dir = fixture_dir();
-        let registry = DatasetRegistry::new(dir, 1 << 20, 1);
+        const BUDGET: usize = 1 << 20;
+        let registry = DatasetRegistry::new(dir, BUDGET, 1);
         assert_eq!(registry.loaded_count(), 0);
 
         let (hotels, already) = registry.get_or_load("hotels").unwrap();
         assert!(!already);
         assert_eq!(hotels.engine.len(), 3);
-        assert_eq!(hotels.engine.filter_cache_budget(), 1 << 20);
+        assert_eq!(hotels.engine.filter_cache_budget(), BUDGET);
         let (_, again) = registry.get_or_load("hotels").unwrap();
         assert!(again);
 
-        // A second dataset halves each engine's slice of the budget.
-        registry.get_or_load("tiny").unwrap();
+        // A second dataset re-deals the budget proportionally to
+        // dataset size: hotels is 3×3 cells, tiny is 2×2.
+        let (tiny, _) = registry.get_or_load("tiny").unwrap();
         assert_eq!(registry.loaded_count(), 2);
-        assert_eq!(hotels.engine.filter_cache_budget(), (1 << 20) / 2);
+        assert_eq!(hotels.engine.filter_cache_budget(), BUDGET * 9 / 13);
+        assert_eq!(tiny.engine.filter_cache_budget(), BUDGET * 4 / 13);
 
         // Evicting re-deals the whole budget to the survivor.
         assert!(registry.evict("tiny"));
         assert!(!registry.evict("tiny"));
-        assert_eq!(hotels.engine.filter_cache_budget(), 1 << 20);
+        assert_eq!(hotels.engine.filter_cache_budget(), BUDGET);
         assert_eq!(registry.loaded_names(), vec!["hotels".to_string()]);
+    }
+
+    #[test]
+    fn update_mutates_engine_and_names_and_redeals_the_budget() {
+        let dir = fixture_dir();
+        const BUDGET: usize = 1 << 20;
+        let registry = DatasetRegistry::new(dir, BUDGET, 1);
+        let (hotels, _) = registry.get_or_load("hotels").unwrap();
+        let (tiny, _) = registry.get_or_load("tiny").unwrap();
+        assert_eq!(hotels.engine.filter_cache_budget(), BUDGET * 9 / 13);
+
+        // Grow hotels from 3 to 5 records: the proportional deal
+        // shifts toward it (15×3 vs 2×2 cells → 15/19 and 4/19).
+        let (_, report) = registry
+            .update(
+                "hotels",
+                &[],
+                vec![vec![1.0, 1.0, 1.0], vec![2.0, 2.0, 2.0]],
+                Some(vec!["p4".into(), "p5".into()]),
+            )
+            .unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.n, 5);
+        assert_eq!(hotels.engine.len(), 5);
+        assert_eq!(hotels.data.read().unwrap().name(4), "p5");
+        assert_eq!(hotels.engine.filter_cache_budget(), BUDGET * 15 / 19);
+        assert_eq!(tiny.engine.filter_cache_budget(), BUDGET * 4 / 19);
+
+        // Deletes shift the surviving labels with their rows.
+        let (_, report) = registry.update("hotels", &[0], vec![], None).unwrap();
+        assert_eq!(report.deleted, 1);
+        assert_eq!(hotels.data.read().unwrap().name(0), "p2");
+
+        // A rejected update changes nothing on either side: labels
+        // are identities, so a duplicate is refused.
+        let err = registry
+            .update(
+                "hotels",
+                &[],
+                vec![vec![3.0, 3.0, 3.0]],
+                Some(vec!["p2".into()]),
+            )
+            .unwrap_err();
+        assert_eq!(err.code, code::BAD_REQUEST);
+        assert_eq!(hotels.engine.len(), 4);
+        assert_eq!(hotels.engine.dataset_epoch(), 2);
+        // Label-policy mismatches are typed errors too.
+        assert_eq!(
+            registry
+                .update("hotels", &[], vec![vec![3.0, 3.0, 3.0]], None)
+                .unwrap_err()
+                .code,
+            code::BAD_REQUEST
+        );
+        assert_eq!(
+            registry
+                .update("tiny", &[], vec![vec![1.0, 1.0]], Some(vec!["x".into()]))
+                .unwrap_err()
+                .code,
+            code::BAD_REQUEST
+        );
+
+        // Evict-then-reload reverts to disk state: in-memory updates
+        // never touch the CSV file.
+        assert!(registry.evict("hotels"));
+        let (reloaded, _) = registry.get_or_load("hotels").unwrap();
+        assert_eq!(reloaded.engine.len(), 3);
+        assert_eq!(reloaded.engine.dataset_epoch(), 0);
+        assert_eq!(reloaded.data.read().unwrap().name(0), "p1");
     }
 
     #[test]

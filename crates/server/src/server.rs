@@ -677,7 +677,10 @@ fn handle_request(request: &Request, shared: &Shared, writer: &mut Stream) -> Re
             let ds = shared.registry.get_or_load(dataset)?.0;
             let text = queries.join("\n");
             let parsed = spec::parse_query_file(&text, ds.engine.dim());
-            let lines = spec::answer_query_file(&ds.engine, &ds.data, &parsed);
+            // A payload snapshot, not a held lock: a concurrent
+            // `update` never waits on this batch (nor vice versa).
+            let data = ds.data_snapshot();
+            let lines = spec::answer_query_file(&ds.engine, &data, &parsed);
             write_line(
                 writer,
                 &Response::BatchHeader {
@@ -689,6 +692,36 @@ fn handle_request(request: &Request, shared: &Shared, writer: &mut Stream) -> Re
             for line in &lines {
                 write_line(writer, line)?;
             }
+            Ok(())
+        }
+        Request::Update {
+            dataset,
+            delete,
+            insert,
+            labels,
+        } => {
+            // A mutation rebuilds indexes and re-screens caches —
+            // real work, admitted like a query.
+            admit(shared)?;
+            let _slot = admitted(shared)?;
+            let (ds, report) =
+                shared
+                    .registry
+                    .update(dataset, delete, insert.clone(), labels.clone())?;
+            write_line(
+                writer,
+                &Response::Update {
+                    dataset: ds.name.clone(),
+                    epoch: report.epoch,
+                    n: report.n as u64,
+                    inserted: report.inserted as u64,
+                    deleted: report.deleted as u64,
+                    filter_invalidated: report.filter_invalidated as u64,
+                    filter_retained: report.filter_retained as u64,
+                    index_rebuilt: report.index_rebuilt,
+                }
+                .to_json(),
+            )?;
             Ok(())
         }
         Request::Stats => {
@@ -726,7 +759,9 @@ fn admitted(shared: &Shared) -> Result<AdmitGuard<'_>, ProtoError> {
     })
 }
 
-/// Answers one `query` op on the dataset's engine pool.
+/// Answers one `query` op on the dataset's engine pool (on a payload
+/// snapshot — no lock held across execution).
 fn answer_query(ds: &LoadedDataset, q: &str) -> String {
-    spec::answer_query_line_with(&ds.data, q, |query| run_on_pool(&ds.engine, query))
+    let data = ds.data_snapshot();
+    spec::answer_query_line_with(&data, q, |query| run_on_pool(&ds.engine, query))
 }

@@ -49,6 +49,10 @@ pub const VALUE_FLAGS: &[&str] = &[
     "max-inflight",
     "dataset",
     "op",
+    "mutations",
+    "insert",
+    "delete",
+    "labels",
 ];
 
 /// The flags one query line of a `batch` file (or a server
@@ -393,6 +397,130 @@ pub fn answer_query_line(engine: &UtkEngine, data: &CsvData, line: &str) -> Stri
     answer_query_line_with(data, line, |query| engine.run(query))
 }
 
+/// One step of a `utk batch --mutations` replay file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MutationStep {
+    /// Apply one dataset mutation (one engine epoch).
+    Update {
+        /// Ids to delete (against the dataset as of this step).
+        deletes: Vec<u32>,
+        /// Rows to append.
+        inserts: Vec<Vec<f64>>,
+        /// Labels for the appended rows, when the rows carried a
+        /// leading label field (CSV dialect).
+        labels: Option<Vec<String>>,
+    },
+    /// Run the whole query file at this point of the replay.
+    Run,
+}
+
+/// Parses a mutation replay file:
+///
+/// ```text
+/// # comments and blank lines are skipped
+/// insert 0.4,0.6,0.2 ; 0.1,0.9,0.3     rows split on ';', CSV fields;
+/// insert p8,0.4,0.6,0.2                a non-numeric first field is a label
+/// delete 3,5                           ids against the dataset *at this step*
+/// run                                  answer the whole query file now
+/// ```
+///
+/// Steps apply in file order. A file with no `run` line gets one
+/// appended, so "mutate first, then run the batch" is the default
+/// shape and interleavings are opt-in. Errors carry 1-based line
+/// numbers over the raw file, like query-file errors.
+pub fn parse_mutation_file(text: &str) -> Result<Vec<MutationStep>, String> {
+    let mut steps = Vec::new();
+    let mut saw_run = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let at = |msg: String| format!("line {}: {msg}", lineno + 1);
+        let (op, rest) = match line.split_once(char::is_whitespace) {
+            Some((op, rest)) => (op, rest.trim()),
+            None => (line, ""),
+        };
+        match op {
+            "run" => {
+                if !rest.is_empty() {
+                    return Err(at(format!("run takes no arguments, found {rest:?}")));
+                }
+                saw_run = true;
+                steps.push(MutationStep::Run);
+            }
+            "delete" => {
+                if rest.is_empty() {
+                    return Err(at("delete needs record ids".into()));
+                }
+                let deletes = rest
+                    .split(',')
+                    .map(|v| {
+                        v.trim()
+                            .parse::<u32>()
+                            .map_err(|_| at(format!("{:?} is not a record id", v.trim())))
+                    })
+                    .collect::<Result<Vec<u32>, String>>()?;
+                steps.push(MutationStep::Update {
+                    deletes,
+                    inserts: Vec::new(),
+                    labels: None,
+                });
+            }
+            "insert" => {
+                if rest.is_empty() {
+                    return Err(at("insert needs at least one row".into()));
+                }
+                let mut inserts = Vec::new();
+                let mut labels: Vec<String> = Vec::new();
+                let mut labeled: Option<bool> = None;
+                for row in rest.split(';') {
+                    let fields: Vec<&str> = row.split(',').map(str::trim).collect();
+                    let has_label = fields.first().is_some_and(|f| f.parse::<f64>().is_err());
+                    match labeled {
+                        None => labeled = Some(has_label),
+                        Some(l) if l != has_label => {
+                            return Err(at(
+                                "all rows of one insert must agree on having a label".into()
+                            ))
+                        }
+                        _ => {}
+                    }
+                    let start = usize::from(has_label);
+                    if has_label {
+                        labels.push(fields[0].to_string());
+                    }
+                    if fields.len() <= start {
+                        return Err(at("insert row has no values".into()));
+                    }
+                    let mut p = Vec::with_capacity(fields.len() - start);
+                    for f in &fields[start..] {
+                        p.push(
+                            f.parse::<f64>()
+                                .map_err(|_| at(format!("not a number: {f:?}")))?,
+                        );
+                    }
+                    inserts.push(p);
+                }
+                steps.push(MutationStep::Update {
+                    deletes: Vec::new(),
+                    inserts,
+                    labels: (labeled == Some(true)).then_some(labels),
+                });
+            }
+            other => {
+                return Err(at(format!(
+                    "unknown mutation op {other:?} (expected insert, delete or run)"
+                )))
+            }
+        }
+    }
+    if !saw_run {
+        steps.push(MutationStep::Run);
+    }
+    Ok(steps)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -435,6 +563,61 @@ p7,8.6,7.1,4.3
         }
         assert!(lines[1].contains(r#"{"error":""#), "{}", lines[1]);
         assert!(lines[1].contains("positive"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn mutation_files_parse_with_line_numbers() {
+        let text = "\
+# replay
+insert 0.5,0.5,0.5 ; 1,2,3
+delete 0,2
+run
+insert p9,1,2,3
+";
+        let steps = parse_mutation_file(text).unwrap();
+        assert_eq!(steps.len(), 4, "explicit run suppresses the implicit one");
+        assert_eq!(
+            steps[0],
+            MutationStep::Update {
+                deletes: vec![],
+                inserts: vec![vec![0.5, 0.5, 0.5], vec![1.0, 2.0, 3.0]],
+                labels: None,
+            }
+        );
+        assert_eq!(
+            steps[1],
+            MutationStep::Update {
+                deletes: vec![0, 2],
+                inserts: vec![],
+                labels: None,
+            }
+        );
+        assert_eq!(steps[2], MutationStep::Run);
+        assert_eq!(
+            steps[3],
+            MutationStep::Update {
+                deletes: vec![],
+                inserts: vec![vec![1.0, 2.0, 3.0]],
+                labels: Some(vec!["p9".into()]),
+            }
+        );
+        // A file with no `run` gets exactly one appended.
+        let steps = parse_mutation_file("delete 1\n").unwrap();
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[1], MutationStep::Run);
+
+        for (bad, frag) in [
+            ("frobnicate 1\n", "unknown mutation op"),
+            ("delete\n", "needs record ids"),
+            ("delete x\n", "not a record id"),
+            ("insert\n", "needs at least one row"),
+            ("insert 1,2 ; p,3,4\n", "agree on having a label"),
+            ("\n\ninsert 1,x\n", "line 3"),
+            ("run now\n", "no arguments"),
+        ] {
+            let err = parse_mutation_file(bad).unwrap_err();
+            assert!(err.contains(frag), "{bad:?}: {err}");
+        }
     }
 
     #[test]

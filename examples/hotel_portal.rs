@@ -68,8 +68,8 @@ fn main() -> Result<(), UtkError> {
         utk2.stats.filter_cache_hits == 1,
     );
 
-    let tree = engine.tree();
-    let sky = k_skyband(&ds.points, tree, k, &mut Stats::new());
+    let snap = engine.snapshot();
+    let sky = k_skyband(&ds.points, snap.tree(), k, &mut Stats::new());
     let onion = onion_candidates(&ds.points, &sky, k);
     println!(
         "\npreference-blind alternatives: k-skyband = {} hotels, onion layers = {} hotels",
@@ -83,7 +83,8 @@ fn main() -> Result<(), UtkError> {
     let want: std::collections::HashSet<u32> = utk1.records.iter().copied().collect();
     let mut covered = 0usize;
     let mut needed = 0usize;
-    for (rank, (id, _)) in tree
+    for (rank, (id, _)) in snap
+        .tree()
         .descending_iter(
             |mbb| pref_score(&mbb.hi, &pivot),
             |id| pref_score(&ds.points[id as usize], &pivot),

@@ -50,8 +50,8 @@ fn main() -> Result<(), UtkError> {
         );
     }
 
-    let tree = engine2d.tree();
-    let sky = k_skyband(&d2.points, tree, k, &mut Stats::new());
+    let snap = engine2d.snapshot();
+    let sky = k_skyband(&d2.points, snap.tree(), k, &mut Stats::new());
     let onion = onion_candidates(&d2.points, &sky, k);
     println!(
         "Traditional operators on the same data: {} players in the 3 onion \

@@ -23,8 +23,17 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 32 cases, overridable by the `PROPTEST_CASES` environment
+    /// variable (like real proptest) — CI fuzz jobs raise it without
+    /// touching test code. An explicit `with_cases(n)` in the test
+    /// source is not overridden.
     fn default() -> Self {
-        Self { cases: 32 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(32);
+        Self { cases }
     }
 }
 

@@ -80,9 +80,11 @@ USAGE:
   utk utk1     --data <csv> --k <n> <REGION> [OPTIONS]      minimal set of possible top-k records
   utk utk2     --data <csv> --k <n> <REGION> [OPTIONS]      exact top-k set per preference partition
   utk topk     --data <csv> --k <n> --weights w1,..,wd [OPTIONS]   plain top-k (for comparison)
-  utk batch    --data <csv> --file <queries> [--threads <n>]       batched queries, one JSON line each
+  utk batch    --data <csv> --file <queries> [--threads <n>] [--mutations <file>]
+                                                                   batched queries, one JSON line each
   utk serve    --datasets <dir> (--socket <path> | --port <p>) [SERVE OPTIONS]
   utk client   (--socket <path> | --port <p>) [--dataset <name>] [--file <queries>] [--op <o>]
+  utk update   (--socket <path> | --port <p>) --dataset <name> [--delete ids] [--insert rows] [--labels l1,..]
   utk generate --dist <ind|cor|anti> --n <n> --d <d> [--seed <s>]  benchmark data to stdout
   utk help
 
@@ -109,6 +111,24 @@ Queries sharing (k, region, scoring) are grouped to reuse one filter
 computation; groups run concurrently on the engine's pool. Output is
 one JSON object per input line, in input order (--json wire format;
 failed lines yield {\"error\":…} without aborting the rest).
+
+MUTATIONS FILE (--mutations; replayed against the in-memory engine):
+  insert <row> [; <row>]..   append rows (CSV fields; a non-numeric first
+                             field is the record label, required iff the
+                             dataset has a label column)
+  delete id[,id..]           remove records by current id (survivors shift down)
+  run                        answer the whole query file at this point
+Steps apply in order; a file without `run` runs the queries once at the
+end. Each mutation prints one {\"update\":…} JSON line; every query answer
+is byte-identical to a fresh engine on the mutated data. The CSV file on
+disk is never modified.
+
+UPDATE (mutates a dataset on a running server; one atomic engine epoch):
+  --delete 1,5              record ids to remove (against the current data)
+  --insert \"r1;r2\"          rows to append, ';'-separated, CSV fields each
+  --labels a,b              one label per inserted row (iff dataset is labeled)
+Prints the server's {\"ok\":\"update\",…} receipt. In-memory only: evicting
+the dataset reverts to the CSV on disk.
 
 SERVE (long-running multi-dataset server; newline-delimited JSON protocol):
   --datasets <dir>      directory of <name>.csv datasets, engines built lazily
@@ -163,7 +183,7 @@ fn command_flags(command: &str) -> Option<&'static [&'static str]> {
             "cache-budget",
         ]),
         "topk" => Some(&["data", "k", "weights", "lp", "json"]),
-        "batch" => Some(&["data", "file", "threads", "cache-budget"]),
+        "batch" => Some(&["data", "file", "threads", "cache-budget", "mutations"]),
         "serve" => Some(&[
             "datasets",
             "socket",
@@ -173,6 +193,7 @@ fn command_flags(command: &str) -> Option<&'static [&'static str]> {
             "threads",
         ]),
         "client" => Some(&["socket", "port", "dataset", "file", "op"]),
+        "update" => Some(&["socket", "port", "dataset", "insert", "delete", "labels"]),
         "generate" => Some(&["dist", "n", "d", "seed"]),
         _ => None,
     }
@@ -305,14 +326,49 @@ fn run_utk(args: &ParsedArgs, kind: QueryKind) -> Result<(), String> {
 /// [`utk::server::spec`], shared with `utk serve`'s `batch` op —
 /// the two produce byte-identical output for the same file.
 fn run_batch(args: &ParsedArgs) -> Result<(), String> {
-    let data = load(args)?;
+    let mut data = load(args)?;
     let d = data.dataset.dim();
     let path = args.get("file").ok_or("missing --file <queries>")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let parsed = spec::parse_query_file(&text, d);
     let engine = engine_from(args, &data)?;
-    for line in spec::answer_query_file(&engine, &data, &parsed) {
-        println!("{line}");
+    let Some(mutations_path) = args.get("mutations") else {
+        for line in spec::answer_query_file(&engine, &data, &parsed) {
+            println!("{line}");
+        }
+        return Ok(());
+    };
+    // Mutation replay: apply insert/delete steps to the live engine
+    // (and the CSV payload, so names and `n` track it), answering the
+    // query file at each `run` point. Disk is never written.
+    let mtext =
+        std::fs::read_to_string(mutations_path).map_err(|e| format!("{mutations_path}: {e}"))?;
+    let steps = spec::parse_mutation_file(&mtext).map_err(|e| format!("{mutations_path}: {e}"))?;
+    for step in steps {
+        match step {
+            spec::MutationStep::Run => {
+                for line in spec::answer_query_file(&engine, &data, &parsed) {
+                    println!("{line}");
+                }
+            }
+            spec::MutationStep::Update {
+                deletes,
+                inserts,
+                labels,
+            } => {
+                // Stage the CSV-side change first so engine and
+                // payload succeed or fail together.
+                let mut staged = data.clone();
+                staged
+                    .apply_update(&deletes, &inserts, labels.as_deref())
+                    .map_err(|e| format!("{mutations_path}: {e}"))?;
+                let report = engine
+                    .apply_update(&deletes, inserts)
+                    .map_err(|e| format!("{mutations_path}: {e}"))?;
+                data = staged;
+                println!("{}", wire::update_json(&report));
+            }
+        }
     }
     Ok(())
 }
@@ -430,6 +486,68 @@ fn run_client(args: &ParsedArgs) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `utk update`: sends one `update` op to a running server and prints
+/// its receipt line.
+fn run_update(args: &ParsedArgs) -> Result<(), CliError> {
+    let bind = bind_from(args)?;
+    let dataset = args
+        .get("dataset")
+        .ok_or_else(|| CliError::new("update needs --dataset <name>"))?
+        .to_string();
+    let delete: Vec<u32> = match args.get("delete") {
+        None => Vec::new(),
+        Some(raw) => raw
+            .split(',')
+            .map(|v| {
+                v.trim().parse::<u32>().map_err(|_| {
+                    CliError::new(format!("--delete: {:?} is not a record id", v.trim()))
+                })
+            })
+            .collect::<Result<_, CliError>>()?,
+    };
+    let insert: Vec<Vec<f64>> = match args.get("insert") {
+        None => Vec::new(),
+        Some(raw) => raw
+            .split(';')
+            .map(|row| {
+                row.split(',')
+                    .map(|v| {
+                        v.trim().parse::<f64>().map_err(|_| {
+                            CliError::new(format!("--insert: {:?} is not a number", v.trim()))
+                        })
+                    })
+                    .collect::<Result<Vec<f64>, CliError>>()
+            })
+            .collect::<Result<_, CliError>>()?,
+    };
+    let labels: Option<Vec<String>> = args
+        .get("labels")
+        .map(|raw| raw.split(',').map(|l| l.trim().to_string()).collect());
+    if delete.is_empty() && insert.is_empty() {
+        return Err(CliError::new(
+            "update needs --delete and/or --insert (nothing to do)",
+        ));
+    }
+    let request = Request::Update {
+        dataset,
+        delete,
+        insert,
+        labels,
+    };
+    let mut conn =
+        Connection::connect(&bind).map_err(|e| CliError::new(format!("connect {bind}: {e}")))?;
+    let line = conn
+        .round_trip(&request.to_json())
+        .map_err(|e| CliError::new(format!("request: {e}")))?;
+    println!("{line}");
+    if let Ok(Response::Error(e)) = Response::parse(&line) {
+        return Err(CliError::already_emitted(format!(
+            "server rejected the update: {e}"
+        )));
+    }
+    Ok(())
+}
+
 fn run_generate(args: &ParsedArgs) -> Result<(), String> {
     let dist = match args.get("dist").unwrap_or("ind") {
         "ind" => Distribution::Ind,
@@ -470,6 +588,7 @@ fn run() -> Result<(), CliError> {
         "batch" => run_batch(&args).map_err(CliError::from),
         "serve" => run_serve(&args).map_err(CliError::from),
         "client" => run_client(&args),
+        "update" => run_update(&args),
         "generate" => run_generate(&args).map_err(CliError::from),
         other => Err(CliError::new(format!("unknown command {other:?}"))),
     }
@@ -482,7 +601,7 @@ fn run() -> Result<(), CliError> {
 fn json_mode() -> bool {
     let mut args = std::env::args().skip(1);
     let command = args.next().unwrap_or_default();
-    matches!(command.as_str(), "batch" | "client") || args.any(|a| a == "--json")
+    matches!(command.as_str(), "batch" | "client" | "update") || args.any(|a| a == "--json")
 }
 
 fn main() -> ExitCode {

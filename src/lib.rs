@@ -129,6 +129,38 @@
 //!
 //! See the [`server`] crate docs for the full protocol grammar.
 //!
+//! ## Incremental updates
+//!
+//! Engines are **mutable**:
+//! [`UtkEngine::apply_update`](core::engine::UtkEngine::apply_update)
+//! (and its `insert_points` / `delete_points` shorthands) removes
+//! records by id and appends new ones as one atomic dataset epoch.
+//! Deletes apply simultaneously against current ids; survivors keep
+//! their order and renumber densely; inserts append — exactly the
+//! semantics of rebuilding the dataset by hand, which is the
+//! contract the `tests/dynamic.rs` oracle locks: **every query on a
+//! mutated engine is wire-identical to a fresh engine built from the
+//! post-mutation dataset** (work counters may differ on the
+//! incremental path; after
+//! [`compact()`](core::engine::UtkEngine::compact) +
+//! [`clear_caches()`](core::engine::UtkEngine::clear_caches) even
+//! those match, byte for byte).
+//!
+//! Under the hood, queries snapshot an immutable dataset version (no
+//! torn reads; [`Stats::dataset_epoch`](core::stats::Stats) reports
+//! which), the R-tree absorbs mutations through a tombstone/append
+//! overlay until a rebuild threshold
+//! ([`TreeView`](core::skyband::TreeView) — exact by the
+//! tree-independence of BBS record pop order), and the filter cache
+//! is invalidated *surgically*: an entry survives iff no deleted id
+//! is a cached member and every insert is provably screened out by
+//! cached members
+//! ([`rejected_by_members`](core::skyband::rejected_by_members));
+//! survivors are id-remapped and re-keyed under the new epoch.
+//! Serving (`update` op, re-dealing the shared cache budget as sizes
+//! change), `utk update`, and `utk batch --mutations` expose the same
+//! seam end to end.
+//!
 //! ## Command line
 //!
 //! The `utk` binary answers the same queries over CSV files, with
@@ -156,13 +188,19 @@ pub mod wire;
 pub mod prelude {
     pub use utk_core::baseline::{baseline_utk1, baseline_utk2, FilterKind};
     pub use utk_core::cache::ByteLru;
-    pub use utk_core::engine::{Algo, QueryKind, QueryResult, TopKResult, UtkEngine, UtkQuery};
+    pub use utk_core::engine::{
+        Algo, DatasetSnapshot, QueryKind, QueryResult, TopKResult, UpdateReport, UtkEngine,
+        UtkQuery,
+    };
     pub use utk_core::error::UtkError;
     pub use utk_core::jaa::{jaa, jaa_parallel, jaa_with_tree, JaaOptions, Utk2Cell, Utk2Result};
     pub use utk_core::parallel::{rsa_parallel, rsa_parallel_with_tree, TaskSet, ThreadPool};
     pub use utk_core::rsa::{rsa, rsa_with_tree, RsaOptions, Utk1Result};
     pub use utk_core::scoring::GeneralScoring;
-    pub use utk_core::skyband::{k_skyband, r_skyband, r_skyband_from_superset, CandidateSet};
+    pub use utk_core::skyband::{
+        k_skyband, r_skyband, r_skyband_from_superset, r_skyband_view, rejected_by_members,
+        CandidateSet, TreeView,
+    };
     pub use utk_core::stats::Stats;
     pub use utk_data::Dataset;
     pub use utk_geom::{PointStore, PointStoreBuilder, Region};

@@ -474,3 +474,228 @@ fn protocol_ops_and_error_codes() {
     );
     handle.join().expect("clean exit");
 }
+
+/// The `update` op end to end: mutate a served dataset, observe the
+/// post-mutation answers (names included) track a locally mutated
+/// engine exactly, and confirm evict-then-query rebuilds from the
+/// *disk* CSV — in-memory updates never survive an eviction.
+#[test]
+fn update_op_mutates_answers_and_evict_reverts_to_disk() {
+    let dir = datasets_dir("update", &[]);
+    let handle = Server::bind(ServerConfig::new(Bind::Tcp(0), dir))
+        .expect("bind")
+        .spawn();
+    let mut conn = Connection::connect(handle.bind_addr()).expect("connect");
+    let probe = "utk1 --k 2 --lo 0.05,0.05 --hi 0.45,0.25";
+
+    let before = conn
+        .round_trip(
+            &Request::Query {
+                dataset: "hotels".into(),
+                q: probe.into(),
+            }
+            .to_json(),
+        )
+        .unwrap();
+
+    // Delete p3 (id 2) and append a dominant hotel "p8".
+    let update = Request::Update {
+        dataset: "hotels".into(),
+        delete: vec![2],
+        insert: vec![vec![9.9, 9.8, 9.7]],
+        labels: Some(vec!["p8".into()]),
+    };
+    let reply = conn.request(&update).unwrap();
+    let Response::Update {
+        epoch,
+        n,
+        inserted,
+        deleted,
+        ..
+    } = reply
+    else {
+        panic!("expected an update receipt, got {reply:?}");
+    };
+    assert_eq!((epoch, n, inserted, deleted), (1, 7, 1, 1));
+
+    // The served answer now matches a local engine mutated the same
+    // way — byte for byte, labels shifted with their rows.
+    let mut data = parse_csv(HOTELS_CSV, "hotels").unwrap();
+    data.apply_update(&[2], &[vec![9.9, 9.8, 9.7]], Some(&["p8".to_string()]))
+        .unwrap();
+    let engine = UtkEngine::new(data.dataset.points.clone()).unwrap();
+    let expected = spec::answer_query_line(&engine, &data, probe);
+    let after = conn
+        .round_trip(
+            &Request::Query {
+                dataset: "hotels".into(),
+                q: probe.into(),
+            }
+            .to_json(),
+        )
+        .unwrap();
+    // Everything up to the stats object is byte-identical; the work
+    // counters legitimately differ (the server's engine reads its
+    // R-tree through the mutation overlay, the fresh build does not).
+    let result_part = |line: &str| line.split(r#","stats":"#).next().unwrap().to_string();
+    assert_eq!(result_part(&after), result_part(&expected));
+    assert_ne!(after, before, "a dominant insert must change the answer");
+    assert!(after.contains("p8"), "{after}");
+
+    // Label policy and bad ids are typed bad_request errors.
+    for bad in [
+        Request::Update {
+            dataset: "hotels".into(),
+            delete: vec![],
+            insert: vec![vec![1.0, 1.0, 1.0]],
+            labels: None, // labeled dataset needs labels
+        },
+        Request::Update {
+            dataset: "hotels".into(),
+            delete: vec![99],
+            insert: vec![],
+            labels: None,
+        },
+        Request::Update {
+            dataset: "hotels".into(),
+            delete: vec![],
+            insert: vec![vec![1.0, 1.0, 1.0]],
+            labels: Some(vec!["p8".into()]), // duplicate identity
+        },
+    ] {
+        match conn.request(&bad).unwrap() {
+            Response::Error(e) => assert_eq!(e.code, code::BAD_REQUEST),
+            other => panic!("expected bad_request, got {other:?}"),
+        }
+    }
+
+    // Evict, then query again: the engine is lazily rebuilt from the
+    // CSV on disk, so the pre-update answer comes back.
+    assert_eq!(
+        conn.request(&Request::Evict {
+            dataset: "hotels".into()
+        })
+        .unwrap(),
+        Response::Evict {
+            dataset: "hotels".into(),
+            evicted: true
+        }
+    );
+    let rebuilt = conn
+        .round_trip(
+            &Request::Query {
+                dataset: "hotels".into(),
+                q: probe.into(),
+            }
+            .to_json(),
+        )
+        .unwrap();
+    assert_eq!(rebuilt, before, "evict-then-query must serve disk state");
+
+    conn.request(&Request::Shutdown).unwrap();
+    handle.join().expect("clean exit");
+}
+
+/// The shared cache budget is re-dealt when an `update` changes a
+/// dataset's size: the proportional deal shifts budget between the
+/// resident engines in place, keeping surviving entries warm.
+#[test]
+fn update_redeals_the_shared_budget_as_sizes_change() {
+    use utk::server::DatasetRegistry;
+    let anti = generate(Distribution::Anti, 200, 3, 7);
+    let dir = datasets_dir(
+        "redeal",
+        &[("anti", utk::data::csv::write_csv(&anti, None))],
+    );
+    const BUDGET: usize = 1 << 20;
+    let registry = DatasetRegistry::new(dir, BUDGET, 1);
+    let (hotels, _) = registry.get_or_load("hotels").unwrap();
+    let (anti_ds, _) = registry.get_or_load("anti").unwrap();
+    // 7×3 vs 200×3 cells.
+    assert_eq!(hotels.engine.filter_cache_budget(), BUDGET * 7 / 207);
+    assert_eq!(anti_ds.engine.filter_cache_budget(), BUDGET * 200 / 207);
+
+    // Warm an entry on hotels, then grow hotels past anti: its slice
+    // must grow, and the warm entry must survive the in-place resize.
+    let region = Region::hyperrect(vec![0.05, 0.05], vec![0.45, 0.25]);
+    hotels.engine.utk1(&region, 2).unwrap();
+    let inserts: Vec<Vec<f64>> = (0..393).map(|i| vec![i as f64 * 1e-3; 3]).collect();
+    let labels: Vec<String> = (0..393).map(|i| format!("x{i}")).collect();
+    let (_, report) = registry
+        .update("hotels", &[], inserts, Some(labels))
+        .unwrap();
+    assert_eq!(report.n, 400);
+    assert_eq!(hotels.engine.filter_cache_budget(), BUDGET * 400 / 600);
+    assert_eq!(anti_ds.engine.filter_cache_budget(), BUDGET * 200 / 600);
+    // All 393 inserts are deep in the dominated interior: the warm
+    // r-skyband entry was provably unaffected and is still a hit.
+    let res = hotels.engine.utk1(&region, 2).unwrap();
+    assert_eq!(res.stats.filter_cache_hits, 1);
+}
+
+/// `utk update` (the CLI client) against a live `utk serve`, plus a
+/// batch replay: the binary surface of the mutation seam.
+#[cfg(unix)]
+#[test]
+fn update_binary_and_mutation_replay_agree() {
+    let dir = datasets_dir("update_bin", &[]);
+    let socket = dir.join("utk.sock");
+    let serve = spawn_serve(&dir, &socket, &[]);
+    let sock = socket.to_str().unwrap();
+
+    // Mutate over the socket: delete p3, insert p8.
+    let (stdout, stderr, ok) = utk_bin(&[
+        "update",
+        "--socket",
+        sock,
+        "--dataset",
+        "hotels",
+        "--delete",
+        "2",
+        "--insert",
+        "9.9,9.8,9.7",
+        "--labels",
+        "p8",
+    ]);
+    assert!(ok, "update failed: {stderr}");
+    assert!(stdout.contains(r#""ok":"update""#), "{stdout}");
+    assert!(stdout.contains(r#""epoch":1"#), "{stdout}");
+
+    // The served post-update answer equals `utk batch --mutations`
+    // replaying the same mutation locally (both byte-exact wire).
+    let queries = dir.join("queries.txt");
+    std::fs::write(&queries, "utk1 --k 2 --lo 0.05,0.05 --hi 0.45,0.25\n").unwrap();
+    let mutations = dir.join("mutations.txt");
+    std::fs::write(&mutations, "delete 2\ninsert p8,9.9,9.8,9.7\n").unwrap();
+    let data_csv = dir.join("hotels.csv");
+    let (replayed, stderr, ok) = utk_bin(&[
+        "batch",
+        "--data",
+        data_csv.to_str().unwrap(),
+        "--file",
+        queries.to_str().unwrap(),
+        "--mutations",
+        mutations.to_str().unwrap(),
+    ]);
+    assert!(ok, "batch --mutations failed: {stderr}");
+    let replay_lines: Vec<&str> = replayed.lines().collect();
+    assert_eq!(replay_lines.len(), 3, "{replayed}");
+    assert!(replay_lines[0].contains(r#"{"update":"#), "{replayed}");
+    assert!(replay_lines[1].contains(r#"{"update":"#), "{replayed}");
+
+    let (served, stderr, ok) = utk_bin(&[
+        "client",
+        "--socket",
+        sock,
+        "--dataset",
+        "hotels",
+        "--file",
+        queries.to_str().unwrap(),
+    ]);
+    assert!(ok, "client failed: {stderr}");
+    assert_eq!(served.lines().next().unwrap(), replay_lines[2]);
+
+    let (_, _, ok) = utk_bin(&["client", "--socket", sock, "--op", "shutdown"]);
+    assert!(ok);
+    assert_exits_cleanly(serve, Duration::from_secs(20));
+}
