@@ -104,7 +104,7 @@ fn main() {
     println!("Batch throughput (IND, n = {n}, d = {D}, k = {K}, sigma = 1%)");
     table.print();
 
-    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let cores = utk_bench::recorded_parallelism();
     let json = format!(
         concat!(
             r#"{{"figure":"batch_throughput","dataset":"IND","n":{},"d":{},"k":{},"#,

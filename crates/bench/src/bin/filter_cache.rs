@@ -158,10 +158,12 @@ fn main() {
         "locality workload must save at least 2x rdom_tests (got {ratio:.2}x)"
     );
 
+    let cores = utk_bench::recorded_parallelism();
     let json = format!(
         concat!(
             r#"{{"figure":"filter_cache","dataset":"ANTI","n":{},"d":{},"k":{},"sigma":0.08,"#,
             r#""bases":{},"zooms_per_base":{},"repeats_per_base":{},"seed":{},"#,
+            r#""available_parallelism":{},"#,
             r#""cold":{{"rdom_tests":{},"bbs_pops":{}}},"#,
             r#""warm":{{"rdom_tests":{},"bbs_pops":{},"exact_hits":{},"superset_hits":{},"#,
             r#""misses":{},"hit_rate":{:.4},"cache_bytes":{},"evictions":{}}},"#,
@@ -176,6 +178,7 @@ fn main() {
         ZOOMS,
         REPEATS,
         cfg.seed,
+        cores,
         cold_total.rdom_tests,
         cold_total.bbs_pops,
         warm_total.rdom_tests,

@@ -99,7 +99,7 @@ fn main() {
     println!("Parallel JAA (ANTI, n = {n}, d = {D}, k = {K}, sigma = 5%)");
     table.print();
 
-    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let cores = utk_bench::recorded_parallelism();
     let json = format!(
         concat!(
             r#"{{"figure":"parallel_jaa","dataset":"ANTI","n":{},"d":{},"k":{},"sigma":0.05,"#,

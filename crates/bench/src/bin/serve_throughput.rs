@@ -236,7 +236,7 @@ fn main() {
     table.print();
     println!("queries/sec (batch phase): {qps:.1}");
 
-    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let cores = utk_bench::recorded_parallelism();
     let json = format!(
         concat!(
             r#"{{"figure":"serve_throughput","n":{},"d":{},"k":{},"datasets":2,"#,

@@ -89,9 +89,7 @@ pub fn figure09(_cfg: &Config) -> Vec<Figure> {
     let mut t = Table::new(vec!["partition interior (wr, wp)", "top-3"]);
     let mut cells: Vec<_> = utk2.cells.iter().collect();
     cells.sort_by(|a, b| {
-        (a.interior[0] + a.interior[1])
-            .partial_cmp(&(b.interior[0] + b.interior[1]))
-            .unwrap()
+        (a.interior[0] + a.interior[1]).total_cmp(&(b.interior[0] + b.interior[1]))
     });
     for cell in cells {
         t.row(vec![

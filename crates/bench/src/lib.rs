@@ -14,6 +14,11 @@
 //! laptop in minutes.
 
 #![warn(missing_docs)]
+// The 2026 unsafe audit found zero unsafe blocks workspace-wide;
+// keep it that way. Any future unsafe must demote this to deny,
+// carry a `// SAFETY:` comment (utk-lint enforces it), and say why
+// no safe formulation works.
+#![forbid(unsafe_code)]
 
 pub mod figures;
 
@@ -299,6 +304,22 @@ impl Table {
     pub fn print(&self) {
         print!("{}", self.to_markdown());
     }
+}
+
+/// The core budget the container grants, warning on stderr when it is
+/// a single core — parallel and batch speedup figures measured there
+/// say nothing about the algorithms. Every `BENCH_*.json` records the
+/// returned value (key `available_parallelism`) so a reader can judge
+/// the numbers without knowing the machine they came from.
+pub fn recorded_parallelism() -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    if cores <= 1 {
+        eprintln!(
+            "warning: available_parallelism = 1 — parallel/batch speedups cannot \
+             materialize on this machine; treat throughput figures as single-core"
+        );
+    }
+    cores
 }
 
 /// Formats seconds with sensible precision.

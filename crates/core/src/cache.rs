@@ -182,7 +182,9 @@ impl<K: Eq + Hash + Clone, V> ByteLru<K, V> {
                 .iter()
                 .min_by_key(|(_, slot)| slot.stamp)
                 .map(|(k, _)| k.clone())
+                // utk-lint: allow(panic) -- invariant: used > budget implies the map is non-empty
                 .expect("over-budget cache cannot be empty");
+            // utk-lint: allow(panic) -- invariant: victim key was just drawn from this map
             let slot = self.map.remove(&victim).expect("victim exists");
             self.used -= slot.bytes;
             self.evictions += 1;

@@ -37,8 +37,7 @@ impl PartialOrd for Scored {
 impl Ord for Scored {
     fn cmp(&self, other: &Self) -> Ordering {
         self.score
-            .partial_cmp(&other.score)
-            .expect("non-finite score")
+            .total_cmp(&other.score)
             .then(other.id.cmp(&self.id))
     }
 }

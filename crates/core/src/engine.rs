@@ -838,6 +838,7 @@ impl UtkEngine {
     /// construction, before the engine is cloned or queried.
     pub fn without_filter_cache(mut self) -> Self {
         Arc::get_mut(&mut self.inner)
+            // utk-lint: allow(panic) -- documented builder contract: must precede any clone
             .expect("without_filter_cache must be called before the engine is cloned")
             .cache_enabled = false;
         self
@@ -890,6 +891,7 @@ impl UtkEngine {
     /// the first parallel query builds the pool.
     pub fn with_pool_threads(mut self, threads: usize) -> Self {
         let inner = Arc::get_mut(&mut self.inner)
+            // utk-lint: allow(panic) -- documented builder contract: must precede any clone
             .expect("with_pool_threads must be called before the engine is cloned");
         assert!(
             inner.pool.get().is_none(),
@@ -1411,6 +1413,7 @@ impl UtkEngine {
                     slot.lock()
                         .expect("batch result slot")
                         .take()
+                        // utk-lint: allow(panic) -- invariant: wait() returns only after every task stored its slot
                         .expect("every batch slot is filled before wait() returns")
                 })
                 .collect()

@@ -265,6 +265,7 @@ fn root_task(
     slack: f64,
 ) -> PartitionTask {
     let n = cands.len();
+    // utk-lint: allow(panic) -- invariant: the engine rejects empty regions before partitioning
     let pivot = region.pivot().expect("non-empty region");
     stats.drills += 1;
     let top = graph_top_k(cands, &pivot, k, &vec![false; n]);

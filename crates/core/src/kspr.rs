@@ -56,6 +56,7 @@ pub fn kspr(
 ) -> KsprResult {
     stats.kspr_calls += 1;
     let p = &points[focal];
+    // utk-lint: allow(panic) -- invariant: callers pass the validated non-empty query region
     let pivot = region.pivot().expect("non-empty region");
 
     // Classify every competitor by the range of S(q) − S(p) over R.
@@ -103,7 +104,7 @@ pub fn kspr(
     let budget = k - base; // cells die at `budget` covering half-spaces
 
     // Strongest competitors first: cells reach the death count sooner.
-    straddlers.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    straddlers.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     let mut arr = match Arrangement::new(region.clone()) {
         Some(a) => a,

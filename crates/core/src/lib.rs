@@ -68,6 +68,11 @@
 //! | [`oracle`] | §3.2 exact `d = 2` sweep (ground truth for tests) |
 
 #![warn(missing_docs)]
+// The 2026 unsafe audit found zero unsafe blocks workspace-wide;
+// keep it that way. Any future unsafe must demote this to deny,
+// carry a `// SAFETY:` comment (utk-lint enforces it), and say why
+// no safe formulation works.
+#![forbid(unsafe_code)]
 
 pub mod baseline;
 pub mod cache;

@@ -39,7 +39,7 @@ pub fn sweep_2d(points: &[Vec<f64>], lo: f64, hi: f64, k: usize) -> (Vec<SweepIn
             }
         }
     }
-    cuts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    cuts.sort_by(|a, b| a.total_cmp(b));
     cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
 
     let mut intervals = Vec::new();

@@ -201,6 +201,7 @@ impl ThreadPool {
                 std::thread::Builder::new()
                     .name(format!("utk-pool-{i}"))
                     .spawn(move || inner.worker_loop(i))
+                    // utk-lint: allow(panic) -- thread spawn fails only on resource exhaustion at startup
                     .expect("spawn pool worker")
             })
             .collect();
@@ -359,6 +360,7 @@ impl TaskSet {
             }
         }
         if self.state.panicked.load(Ordering::Acquire) {
+            // utk-lint: allow(panic) -- re-raises a worker panic on the caller thread (propagation)
             panic!("a pool task panicked");
         }
     }

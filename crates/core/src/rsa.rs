@@ -67,6 +67,7 @@ pub struct Utk1Result {
 /// Validates that the query region sits inside the preference domain
 /// (`w ≥ 0`, `Σ w ≤ 1`), as §3.1 requires.
 pub(crate) fn validate_region(region: &Region, dp: usize) {
+    // utk-lint: allow(panic) -- documented # Panics contract of the legacy rsa entry points
     crate::engine::check_region(region, dp).unwrap_or_else(|e| panic!("{e}"));
 }
 

@@ -159,9 +159,11 @@ pub(crate) fn prefilter(
 ) -> Prefilter {
     use utk_geom::tol::INTERIOR_EPS;
     let Some((interior, slack)) = region.interior_point() else {
+        // utk-lint: allow(panic) -- documented # Panics contract; the engine validates first
         panic!("query region is empty");
     };
     if slack <= INTERIOR_EPS {
+        // utk-lint: allow(panic) -- invariant: interior_point() above proved the region non-empty
         let w = region.pivot().expect("non-empty region");
         let mut top_k = crate::topk::top_k_brute(points, &w, k);
         top_k.sort_unstable();
@@ -250,6 +252,7 @@ struct BandScreen<'r> {
 
 impl<'r> BandScreen<'r> {
     fn new(region: &'r Region, k: usize) -> Self {
+        // utk-lint: allow(panic) -- invariant: the engine rejects empty regions before filtering
         let pivot = region.pivot().expect("query region must be non-empty");
         let corners = region.vertex_store(CORNER_CAP);
         Self {
@@ -616,6 +619,7 @@ pub fn rejected_by_members(
     k: usize,
     pivot_order: bool,
 ) -> bool {
+    // utk-lint: allow(panic) -- invariant: the engine rejects empty regions before filtering
     let pivot = region.pivot().expect("query region must be non-empty");
     let key = |q: &[f64]| -> f64 {
         if pivot_order {

@@ -22,7 +22,7 @@ fn top_k_scored<'a>(points: impl Iterator<Item = &'a [f64]>, w: &[f64], k: usize
         .enumerate()
         .map(|(i, p)| (pref_score(p, w), i as u32))
         .collect();
-    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     scored.truncate(k);
     scored.into_iter().map(|(_, i)| i).collect()
 }
@@ -33,7 +33,7 @@ pub fn top_k_brute_subset(points: &[Vec<f64>], subset: &[u32], w: &[f64], k: usi
         .iter()
         .map(|&i| (pref_score(&points[i as usize], w), i))
         .collect();
-    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     scored.truncate(k);
     scored.into_iter().map(|(_, i)| i).collect()
 }

@@ -18,6 +18,11 @@
 //! All generators are seeded and fully deterministic.
 
 #![warn(missing_docs)]
+// The 2026 unsafe audit found zero unsafe blocks workspace-wide;
+// keep it that way. Any future unsafe must demote this to deny,
+// carry a `// SAFETY:` comment (utk-lint enforces it), and say why
+// no safe formulation works.
+#![forbid(unsafe_code)]
 
 pub mod csv;
 pub mod dataset;

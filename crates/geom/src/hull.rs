@@ -33,9 +33,8 @@ pub fn upper_hull_2d(points: &[(f64, f64)]) -> Vec<usize> {
     idx.sort_by(|&i, &j| {
         points[i]
             .0
-            .partial_cmp(&points[j].0)
-            .unwrap()
-            .then(points[j].1.partial_cmp(&points[i].1).unwrap())
+            .total_cmp(&points[j].0)
+            .then(points[j].1.total_cmp(&points[i].1))
             .then(i.cmp(&j))
     });
     idx.dedup_by(|&mut b, &mut a| points[a].0 == points[b].0); // keep max-y per x
@@ -63,9 +62,8 @@ pub fn upper_hull_2d(points: &[(f64, f64)]) -> Vec<usize> {
         .max_by(|(_, &a), (_, &b)| {
             points[a]
                 .1
-                .partial_cmp(&points[b].1)
-                .unwrap()
-                .then(points[a].0.partial_cmp(&points[b].0).unwrap())
+                .total_cmp(&points[b].1)
+                .then(points[a].0.total_cmp(&points[b].0))
         })
         .map(|(pos, _)| pos)
         .unwrap_or(0);

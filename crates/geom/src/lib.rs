@@ -26,6 +26,11 @@
 //! All computations are in `f64` with the tolerances of [`tol`].
 
 #![warn(missing_docs)]
+// The 2026 unsafe audit found zero unsafe blocks workspace-wide;
+// keep it that way. Any future unsafe must demote this to deny,
+// carry a `// SAFETY:` comment (utk-lint enforces it), and say why
+// no safe formulation works.
+#![forbid(unsafe_code)]
 
 pub mod arrangement;
 pub mod halfspace;

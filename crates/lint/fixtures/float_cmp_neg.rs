@@ -1,0 +1,39 @@
+// utk-lint: class=lib
+// The compliant determinism idioms: total_cmp for floats, cmp for
+// Ord keys, and the `fn partial_cmp` a PartialOrd impl owes.
+
+use std::cmp::Ordering;
+
+pub fn sorts(xs: &mut [f64], ids: &mut [u32]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    ids.sort_by(|a, b| b.cmp(a));
+    xs.sort_unstable_by(|a, b| b.total_cmp(a).then(Ordering::Equal));
+}
+
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().max_by(|a, b| a.total_cmp(b))
+}
+
+pub struct Key(pub f64);
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Key {}
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+pub fn in_strings_and_comments() -> &'static str {
+    // partial_cmp in a comment is fine
+    "and partial_cmp in a string is fine"
+}

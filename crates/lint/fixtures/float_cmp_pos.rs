@@ -1,0 +1,23 @@
+// utk-lint: class=lib
+// Seeded determinism violations. Not compiled — scanned by the
+// fixture self-test; every marked line must fire exactly once.
+
+use std::cmp::Ordering;
+
+pub fn sorts(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal)); //~ float-cmp
+    xs.sort_by(|a, b| if a < b { Ordering::Less } else { Ordering::Greater }); //~ float-cmp
+    xs.sort_unstable_by(|a, b| b.abs().partial_cmp(&a.abs()).unwrap_or(Ordering::Equal)); //~ float-cmp
+}
+
+pub fn extremes(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().max_by(|a, b| heuristic(*a, *b)) //~ float-cmp
+}
+
+pub fn smallest(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().min_by(|a, b| heuristic(*a, *b)) //~ float-cmp
+}
+
+fn heuristic(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).unwrap_or(Ordering::Equal) //~ float-cmp
+}

@@ -1,0 +1,40 @@
+// utk-lint: class=lib
+// The compliant shapes: snapshot-and-release, explicit drop before
+// blocking, and the calls that merely look blocking.
+
+use std::sync::mpsc::Receiver;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+pub fn snapshot_then_join(m: &Mutex<Vec<u32>>, h: JoinHandle<()>) -> Vec<u32> {
+    let snapshot = { m.lock().expect("poisoned").clone() };
+    let _ = h.join();
+    snapshot
+}
+
+pub fn drop_then_recv(m: &Mutex<u32>, rx: &Receiver<u32>) -> Option<u32> {
+    let state = m.lock().expect("poisoned");
+    drop(state);
+    rx.recv().ok()
+}
+
+pub fn scoped_guard(m: &Mutex<u32>, h: JoinHandle<()>) {
+    {
+        let _guard = m.lock().expect("poisoned");
+    }
+    let _ = h.join();
+}
+
+pub fn derived_value_not_guard(m: &Mutex<Vec<u32>>, h: JoinHandle<()>) -> usize {
+    let len = m.lock().expect("poisoned").len();
+    let _ = h.join();
+    len
+}
+
+pub fn strings_can_join(parts: &[String]) -> String {
+    parts.join(",")
+}
+
+pub fn condvar_wait_is_legal(cv: &Condvar, guard: MutexGuard<'_, u32>) -> u32 {
+    *cv.wait(guard).expect("poisoned")
+}

@@ -1,0 +1,29 @@
+// utk-lint: class=lib
+// Lock guards held across blocking calls: the engine/server
+// discipline is "snapshot under the lock, block outside it".
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+pub fn join_under_lock(m: &Mutex<u32>, h: JoinHandle<()>) {
+    let _guard = m.lock().expect("poisoned");
+    let _ = h.join(); //~ guard-blocking
+}
+
+pub fn recv_under_lock(m: &Mutex<u32>, rx: &Receiver<u32>) {
+    let _state = m.lock().expect("poisoned");
+    while let Ok(v) = rx.recv() { //~ guard-blocking
+        drop(v);
+    }
+}
+
+pub fn write_under_lock(m: &Mutex<Vec<u8>>, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+    let buf = m.lock().expect("poisoned");
+    w.write_all(&buf) //~ guard-blocking
+}
+
+pub fn sleep_under_lock(m: &Mutex<u32>) {
+    let _held = m.lock().expect("poisoned");
+    std::thread::sleep(std::time::Duration::from_millis(1)); //~ guard-blocking
+}

@@ -1,0 +1,22 @@
+// utk-lint: class=wire
+// The deterministic alternatives: ordered collections or vectors.
+
+use std::collections::BTreeMap;
+
+pub fn render(fields: &BTreeMap<String, String>) -> String {
+    let mut out = String::new();
+    for (k, v) in fields {
+        out.push_str(k);
+        out.push(':');
+        out.push_str(v);
+    }
+    out
+}
+
+pub fn render_pairs(fields: &[(String, String)]) -> String {
+    fields
+        .iter()
+        .map(|(k, v)| format!("{k}:{v}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}

@@ -1,0 +1,16 @@
+// utk-lint: class=wire
+// Hash collections in a wire-feeding module: banned outright, since
+// iteration order would leak into the byte-identity contract.
+
+use std::collections::HashMap; //~ hash-iter
+use std::collections::HashSet; //~ hash-iter
+
+pub fn render(fields: &HashMap<String, String>) -> String { //~ hash-iter
+    let mut out = String::new();
+    for (k, v) in fields {
+        out.push_str(k);
+        out.push(':');
+        out.push_str(v);
+    }
+    out
+}

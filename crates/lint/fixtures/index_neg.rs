@@ -1,0 +1,27 @@
+// utk-lint: class=server-request
+// Request-path access through get(), plus the bracket forms that are
+// not indexing: attributes, array types, array literals, patterns.
+
+pub fn field(parts: &[&str], i: usize) -> Option<String> {
+    parts.get(i).map(|s| s.to_string())
+}
+
+pub fn first_byte(line: &str) -> Option<u8> {
+    line.as_bytes().first().copied()
+}
+
+#[derive(Clone)]
+pub struct Header {
+    pub magic: [u8; 4],
+}
+
+pub fn zeroed() -> [u8; 4] {
+    [0; 4]
+}
+
+pub fn pair(xs: &[u32]) -> Option<(u32, u32)> {
+    if let [a, b] = xs {
+        return Some((*a, *b));
+    }
+    None
+}

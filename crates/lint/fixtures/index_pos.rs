@@ -1,0 +1,14 @@
+// utk-lint: class=server-request
+// Bare indexing in a server request path: remotely reachable panics.
+
+pub fn field(parts: &[&str], i: usize) -> String {
+    parts[i].to_string() //~ index
+}
+
+pub fn first_byte(line: &str) -> u8 {
+    line.as_bytes()[0] //~ index
+}
+
+pub fn cell(m: &[Vec<f64>], r: usize, c: usize) -> f64 {
+    m[r][c] //~ index index
+}

@@ -1,0 +1,22 @@
+// utk-lint: class=lib
+// The declared order: `mutation` (rank 20) before `data` (rank 40),
+// matching the engine's apply_update discipline.
+
+use std::sync::{Mutex, RwLock};
+
+pub struct Engine {
+    pub mutation: Mutex<()>,
+    pub data: RwLock<u32>,
+}
+
+pub fn ordered(e: &Engine) -> u32 {
+    let _mutating = e.mutation.lock().expect("poisoned");
+    let snapshot = e.data.write().expect("poisoned");
+    *snapshot
+}
+
+pub fn sequential_not_nested(e: &Engine) -> u32 {
+    let value = { *e.data.read().expect("poisoned") };
+    let _mutating = e.mutation.lock().expect("poisoned");
+    value
+}

@@ -1,0 +1,17 @@
+// utk-lint: class=lib
+// Lock-order inversion against crates/lint/lock-order.toml: the
+// manifest ranks `mutation` (20) before `data` (40), so acquiring
+// `mutation` while a `data` guard is live inverts the declared order.
+
+use std::sync::{Mutex, RwLock};
+
+pub struct Engine {
+    pub mutation: Mutex<()>,
+    pub data: RwLock<u32>,
+}
+
+pub fn inverted(e: &Engine) {
+    let snapshot = e.data.write().expect("poisoned");
+    let _mutating = e.mutation.lock().expect("poisoned"); //~ lock-order
+    drop(snapshot);
+}

@@ -1,0 +1,45 @@
+// utk-lint: class=lib
+// Panic-free library idioms, including the allowlisted
+// poison-propagation expects.
+
+use std::sync::{Condvar, Mutex, MutexGuard, RwLock};
+
+pub fn first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+pub fn must(o: Option<u32>) -> Result<u32, String> {
+    o.ok_or_else(|| "missing".to_string())
+}
+
+pub fn fallback(o: Option<u32>) -> u32 {
+    o.unwrap_or(0)
+}
+
+pub fn counter(m: &Mutex<u32>) -> u32 {
+    *m.lock().expect("poisoned: a holder panicked")
+}
+
+pub fn snapshot(l: &RwLock<u32>) -> u32 {
+    *l.read().expect("poisoned: a writer panicked")
+}
+
+pub fn parked(cv: &Condvar, guard: MutexGuard<'_, u32>) -> u32 {
+    *cv.wait(guard).expect("poisoned: a holder panicked")
+}
+
+pub fn reap(h: std::thread::JoinHandle<u32>) -> u32 {
+    h.join().expect("worker panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        if false {
+            panic!("fine in tests");
+        }
+    }
+}

@@ -1,0 +1,22 @@
+// utk-lint: class=lib
+// Seeded panic-freedom violations in library code.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() //~ panic
+}
+
+pub fn must(o: Option<u32>) -> u32 {
+    o.expect("value must be present") //~ panic
+}
+
+pub fn boom() {
+    panic!("library code must not abort"); //~ panic
+}
+
+pub fn later() -> u32 {
+    todo!() //~ panic
+}
+
+pub fn never() -> u32 {
+    unimplemented!() //~ panic
+}

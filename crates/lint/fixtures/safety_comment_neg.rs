@@ -1,0 +1,15 @@
+// utk-lint: class=lib
+// Documented unsafe: a SAFETY: comment on the same line or within
+// the three lines above, doc comments included.
+
+pub fn read_unchecked(xs: &[u8], i: usize) -> u8 {
+    // SAFETY: every caller bounds-checks i against xs.len() first.
+    unsafe { *xs.get_unchecked(i) }
+}
+
+/// Reads one byte.
+///
+/// SAFETY: callers must pass a pointer valid for one byte read.
+pub unsafe fn documented_contract(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: the function contract above covers this read.
+}

@@ -1,0 +1,11 @@
+// utk-lint: class=lib
+// unsafe without the mandatory safety comment. (The marker comments
+// below deliberately do not contain the magic annotation word.)
+
+pub fn read_unchecked(xs: &[u8], i: usize) -> u8 {
+    unsafe { *xs.get_unchecked(i) } //~ safety-comment
+}
+
+pub unsafe fn undocumented_contract(p: *const u8) -> u8 { //~ safety-comment
+    *p
+}

@@ -1,0 +1,12 @@
+// utk-lint: class=lib
+// A valid suppression: rule id the tool knows, reason after `--`,
+// adjacent to the finding it silences (line above or same line).
+
+pub fn boundary_checked(o: Option<u32>) -> u32 {
+    // utk-lint: allow(panic) -- boundary: caller constructs o as Some two lines up
+    o.unwrap()
+}
+
+pub fn same_line(o: Option<u32>) -> u32 {
+    o.unwrap() // utk-lint: allow(panic) -- invariant: o verified Some by new()
+}

@@ -1,0 +1,19 @@
+// utk-lint: class=lib
+// Suppression hygiene violations: a reasonless suppression does not
+// suppress (and is itself a finding), unknown rule ids are findings,
+// and a suppression matching nothing is a finding.
+
+pub fn missing_reason(o: Option<u32>) -> u32 {
+    // utk-lint: allow(panic) //~ bad-suppression
+    o.unwrap() //~ panic
+}
+
+pub fn unknown_rule(o: Option<u32>) -> u32 {
+    // utk-lint: allow(frobnicate) -- not a rule id //~ bad-suppression
+    o.unwrap_or(0)
+}
+
+// utk-lint: allow(panic) -- nothing below ever panics //~ unused-suppression
+pub fn nothing_to_suppress() -> u32 {
+    7
+}

@@ -1,0 +1,260 @@
+//! File classification and the lock-order manifest.
+//!
+//! Which rules apply where is a *declared contract*, not an
+//! inference: the wire-feeding module list and the server
+//! request-path list below name the files whose behavior the
+//! byte-identity tests lean on (see the "Invariants" section of the
+//! facade docs). A fixture or any other file can override its class
+//! with a `// utk-lint: class=<name>` comment on its first lines.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Which rule families run on a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileClass {
+    /// Determinism: `partial_cmp` ban + comparator totality.
+    pub float_cmp: bool,
+    /// Determinism: `HashMap`/`HashSet` ban (wire-feeding modules).
+    pub hash_iter: bool,
+    /// Panic-freedom: `unwrap`/`expect`/`panic!`/`todo!` ban.
+    pub panic: bool,
+    /// Panic-freedom: slice-index-without-`get` ban (request paths).
+    pub index: bool,
+    /// Concurrency: guard-across-blocking + lock-order.
+    pub concurrency: bool,
+}
+
+impl FileClass {
+    /// Library code: every family except the request-path index rule.
+    pub const LIB: FileClass = FileClass {
+        float_cmp: true,
+        hash_iter: false,
+        panic: true,
+        index: false,
+        concurrency: true,
+    };
+    /// Wire-feeding module: `LIB` plus the hash-collection ban.
+    pub const WIRE: FileClass = FileClass {
+        hash_iter: true,
+        ..FileClass::LIB
+    };
+    /// Server request path: `WIRE` plus the index ban.
+    pub const SERVER_REQUEST: FileClass = FileClass {
+        index: true,
+        ..FileClass::WIRE
+    };
+    /// Bench harness: determinism + concurrency only (setup panics on
+    /// bad CLI args are idiomatic in a measurement tool).
+    pub const BENCH: FileClass = FileClass {
+        float_cmp: true,
+        hash_iter: false,
+        panic: false,
+        index: false,
+        concurrency: true,
+    };
+    /// Tests/examples: no families. (The unsafe-audit and suppression
+    /// rules still run — they apply everywhere.)
+    pub const TEST: FileClass = FileClass {
+        float_cmp: false,
+        hash_iter: false,
+        panic: false,
+        index: false,
+        concurrency: false,
+    };
+
+    /// Parses a `class=` directive value.
+    pub fn from_name(name: &str) -> Option<FileClass> {
+        Some(match name {
+            "lib" => FileClass::LIB,
+            "wire" => FileClass::WIRE,
+            "server-request" => FileClass::SERVER_REQUEST,
+            "bench" => FileClass::BENCH,
+            "test" => FileClass::TEST,
+            _ => return None,
+        })
+    }
+}
+
+/// Modules that assemble bytes the wire format emits. `HashMap`/
+/// `HashSet` are banned outright here: iteration order would leak
+/// into `server batch ≡ utk batch` byte identity, and at token level
+/// "is it iterated?" is undecidable, so the contract is "not even
+/// present". (Deliberate, tie-broken hash-map iteration elsewhere —
+/// the engine's superset probe, the `ByteLru` — stays legal.)
+const WIRE_FEEDING: &[&str] = &[
+    "crates/core/src/wire.rs",
+    "crates/core/src/stats.rs",
+    "crates/server/src/json.rs",
+    "crates/server/src/proto.rs",
+    "crates/server/src/spec.rs",
+    "crates/server/src/client.rs",
+    "src/wire.rs",
+];
+
+/// Per-request server code: a panic here kills a connection thread
+/// and an out-of-bounds index is remotely reachable, so indexing must
+/// go through `get`.
+const SERVER_REQUEST_PATH: &[&str] = &[
+    "crates/server/src/server.rs",
+    "crates/server/src/proto.rs",
+    "crates/server/src/json.rs",
+    "crates/server/src/spec.rs",
+    "crates/server/src/registry.rs",
+];
+
+/// Classifies a workspace-relative path (forward slashes). `None`
+/// means the file is out of scope entirely (vendored shims, the
+/// linter's own violation fixtures, build output).
+pub fn classify(rel: &str) -> Option<FileClass> {
+    if rel.starts_with("shims/")
+        || rel.starts_with("target/")
+        || rel.starts_with("crates/lint/fixtures/")
+        || rel.contains("/target/")
+    {
+        return None;
+    }
+    if rel.starts_with("tests/")
+        || rel.starts_with("examples/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+    {
+        return Some(FileClass::TEST);
+    }
+    if rel.starts_with("crates/bench/") {
+        return Some(FileClass::BENCH);
+    }
+    if WIRE_FEEDING.contains(&rel) {
+        if SERVER_REQUEST_PATH.contains(&rel) {
+            return Some(FileClass::SERVER_REQUEST);
+        }
+        return Some(FileClass::WIRE);
+    }
+    if SERVER_REQUEST_PATH.contains(&rel) {
+        return Some(FileClass::SERVER_REQUEST);
+    }
+    Some(FileClass::LIB)
+}
+
+/// Scans the first lines of `src` for a `// utk-lint: class=<name>`
+/// override (used by fixtures, honored anywhere).
+pub fn class_override(src: &str) -> Option<FileClass> {
+    for line in src.lines().take(10) {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("//") {
+            let rest = rest.trim_start_matches(['/', '!']).trim();
+            if let Some(value) = rest.strip_prefix("utk-lint: class=") {
+                return FileClass::from_name(value.trim());
+            }
+        }
+    }
+    None
+}
+
+/// The lock-order manifest: lock name (the receiver field the guard
+/// is acquired on) → acquisition rank. Lower ranks must be acquired
+/// first; acquiring a lower-ranked lock while holding a higher-ranked
+/// one is an inversion finding.
+#[derive(Debug, Default, Clone)]
+pub struct LockOrder {
+    ranks: HashMap<String, u32>,
+}
+
+impl LockOrder {
+    /// Rank of `name`, when declared.
+    pub fn rank(&self, name: &str) -> Option<u32> {
+        self.ranks.get(name).copied()
+    }
+
+    /// True when no manifest was loaded (rule disabled).
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// Parses the manifest's minimal TOML subset: comments, one
+    /// optional `[locks]` header, `name = <integer rank>` lines.
+    pub fn parse(text: &str) -> Result<LockOrder, String> {
+        let mut ranks = HashMap::new();
+        for (ln, raw) in text.lines().enumerate() {
+            let line = match raw.find('#') {
+                Some(pos) => &raw[..pos],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() || line == "[locks]" {
+                continue;
+            }
+            let (name, rank) = line
+                .split_once('=')
+                .ok_or_else(|| format!("lock-order.toml:{}: expected `name = rank`", ln + 1))?;
+            let rank: u32 = rank
+                .trim()
+                .parse()
+                .map_err(|_| format!("lock-order.toml:{}: rank must be an integer", ln + 1))?;
+            if ranks.insert(name.trim().to_string(), rank).is_some() {
+                return Err(format!(
+                    "lock-order.toml:{}: duplicate lock {:?}",
+                    ln + 1,
+                    name.trim()
+                ));
+            }
+        }
+        Ok(LockOrder { ranks })
+    }
+
+    /// Loads the manifest from `crates/lint/lock-order.toml` under
+    /// `root`. A missing file disables the rule (empty manifest).
+    pub fn load(root: &Path) -> Result<LockOrder, String> {
+        let path = root.join("crates/lint/lock-order.toml");
+        match std::fs::read_to_string(&path) {
+            Ok(text) => Self::parse(&text),
+            Err(_) => Ok(LockOrder::default()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_by_path() {
+        assert_eq!(classify("crates/core/src/engine.rs"), Some(FileClass::LIB));
+        assert_eq!(classify("crates/core/src/wire.rs"), Some(FileClass::WIRE));
+        assert_eq!(
+            classify("crates/server/src/json.rs"),
+            Some(FileClass::SERVER_REQUEST)
+        );
+        assert_eq!(
+            classify("crates/server/src/registry.rs"),
+            Some(FileClass::SERVER_REQUEST)
+        );
+        assert_eq!(classify("tests/engine.rs"), Some(FileClass::TEST));
+        assert_eq!(
+            classify("crates/geom/tests/proptests.rs"),
+            Some(FileClass::TEST)
+        );
+        assert_eq!(classify("crates/bench/src/lib.rs"), Some(FileClass::BENCH));
+        assert_eq!(classify("shims/rand/src/lib.rs"), None);
+        assert_eq!(classify("crates/lint/fixtures/panic_pos.rs"), None);
+        assert_eq!(classify("src/bin/utk.rs"), Some(FileClass::LIB));
+    }
+
+    #[test]
+    fn class_directive_wins() {
+        let src = "// utk-lint: class=wire\nfn main() {}\n";
+        assert_eq!(class_override(src), Some(FileClass::WIRE));
+        assert_eq!(class_override("fn main() {}"), None);
+    }
+
+    #[test]
+    fn lock_order_parses() {
+        let lo = LockOrder::parse("# c\n[locks]\na = 10\nb = 20 # trailing\n").unwrap();
+        assert_eq!(lo.rank("a"), Some(10));
+        assert_eq!(lo.rank("b"), Some(20));
+        assert_eq!(lo.rank("c"), None);
+        assert!(LockOrder::parse("a = x\n").is_err());
+        assert!(LockOrder::parse("a = 1\na = 2\n").is_err());
+    }
+}

@@ -1,0 +1,414 @@
+//! A hand-rolled Rust lexer: just enough token structure for the
+//! invariant rules — identifiers, punctuation, literals — with full
+//! string/char/comment awareness so a `partial_cmp` inside a string
+//! literal or a doc comment never trips a rule. No parse tree: rules
+//! work on the token stream plus a side list of comments.
+
+/// Token payload. Literal values are irrelevant to every rule, so
+/// only identifiers carry text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`let`, `fn`, `partial_cmp`, …).
+    Ident(String),
+    /// Single punctuation character (`.`, `(`, `{`, `#`, …).
+    Punct(char),
+    /// Numeric literal.
+    Num,
+    /// String literal (cooked, raw, or byte).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Payload.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+}
+
+/// One comment (line or block) with its starting position. Rules read
+/// these for `SAFETY:` annotations and `utk-lint:` directives.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line of the comment start.
+    pub line: u32,
+    /// 1-based line of the comment end (differs for block comments).
+    pub end_line: u32,
+}
+
+/// Lexer output: the token stream plus the comment side list.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// The identifier text of token `i`, if it is one.
+    pub fn ident(&self, i: usize) -> Option<&str> {
+        match self.tokens.get(i).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True when token `i` is the punctuation `c`.
+    pub fn punct(&self, i: usize, c: char) -> bool {
+        matches!(self.tokens.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+    }
+
+    /// Index of the token matching the opener at `open` (`(`/`[`/`{`),
+    /// or `tokens.len()` when unbalanced.
+    pub fn matching(&self, open: usize) -> usize {
+        let (o, c) = match self.tokens.get(open).map(|t| &t.tok) {
+            Some(Tok::Punct('(')) => ('(', ')'),
+            Some(Tok::Punct('[')) => ('[', ']'),
+            Some(Tok::Punct('{')) => ('{', '}'),
+            _ => return self.tokens.len(),
+        };
+        let mut depth = 0usize;
+        for i in open..self.tokens.len() {
+            match &self.tokens[i].tok {
+                Tok::Punct(p) if *p == o => depth += 1,
+                Tok::Punct(p) if *p == c => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.tokens.len()
+    }
+}
+
+struct Cursor<'a> {
+    rest: std::str::Chars<'a>,
+    peeked: Option<char>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            rest: src.chars(),
+            peeked: None,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        if self.peeked.is_none() {
+            self.peeked = self.rest.next();
+        }
+        self.peeked
+    }
+
+    fn peek2(&mut self) -> Option<char> {
+        self.peek();
+        self.rest.clone().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peeked.take().or_else(|| self.rest.next())?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+/// Lexes `src`. The lexer is total: unexpected bytes become punct
+/// tokens, so a file the real compiler rejects still produces a
+/// best-effort stream instead of an error.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek2() == Some('/') => {
+                cur.bump();
+                cur.bump();
+                let mut text = String::new();
+                while let Some(c) = cur.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    text.push(c);
+                    cur.bump();
+                }
+                out.comments.push(Comment {
+                    text,
+                    line,
+                    end_line: line,
+                });
+            }
+            '/' if cur.peek2() == Some('*') => {
+                cur.bump();
+                cur.bump();
+                let mut text = String::new();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek2()) {
+                        (Some('/'), Some('*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some('*'), Some('/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(c), _) => {
+                            text.push(c);
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.comments.push(Comment {
+                    text,
+                    line,
+                    end_line: cur.line,
+                });
+            }
+            '"' => {
+                cooked_string(&mut cur);
+                out.tokens.push(Token {
+                    tok: Tok::Str,
+                    line,
+                    col,
+                });
+            }
+            '\'' => {
+                let tok = char_or_lifetime(&mut cur);
+                out.tokens.push(Token { tok, line, col });
+            }
+            c if c.is_ascii_digit() => {
+                number(&mut cur);
+                out.tokens.push(Token {
+                    tok: Tok::Num,
+                    line,
+                    col,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut name = String::new();
+                while let Some(c) = cur.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        name.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                // Raw/byte string prefixes: `r"…"`, `r#"…"#`, `b"…"`,
+                // `br#"…"#`, `b'…'`.
+                let tok = match (name.as_str(), cur.peek()) {
+                    ("r" | "br" | "rb", Some('"' | '#')) => {
+                        raw_string(&mut cur);
+                        Tok::Str
+                    }
+                    ("b", Some('"')) => {
+                        cooked_string(&mut cur);
+                        Tok::Str
+                    }
+                    ("b", Some('\'')) => char_or_lifetime(&mut cur),
+                    _ => Tok::Ident(name),
+                };
+                out.tokens.push(Token { tok, line, col });
+            }
+            c => {
+                cur.bump();
+                out.tokens.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Consumes a `"…"` string starting at the opening quote.
+fn cooked_string(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a raw string after its `r`/`br` prefix: `#…#"…"#…#`.
+fn raw_string(cur: &mut Cursor) {
+    let mut hashes = 0usize;
+    while cur.peek() == Some('#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek() != Some('"') {
+        return; // not actually a raw string (e.g. `r#ident`)
+    }
+    cur.bump();
+    loop {
+        match cur.bump() {
+            Some('"') => {
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek() == Some('#') {
+                    seen += 1;
+                    cur.bump();
+                }
+                if seen == hashes {
+                    return;
+                }
+            }
+            Some(_) => {}
+            None => return,
+        }
+    }
+}
+
+/// Disambiguates `'a'` / `'\n'` (char literal) from `'a` (lifetime),
+/// starting at the quote.
+fn char_or_lifetime(cur: &mut Cursor) -> Tok {
+    cur.bump(); // opening quote
+    match (cur.peek(), cur.peek2()) {
+        (Some('\\'), _) => {
+            cur.bump();
+            cur.bump(); // the escaped char
+            while let Some(c) = cur.bump() {
+                if c == '\'' {
+                    break;
+                }
+            }
+            Tok::Char
+        }
+        (Some(c), Some('\'')) if c != '\'' => {
+            cur.bump();
+            cur.bump();
+            Tok::Char
+        }
+        (Some(c), _) if c.is_alphabetic() || c == '_' => {
+            while let Some(c) = cur.peek() {
+                if c.is_alphanumeric() || c == '_' {
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            Tok::Lifetime
+        }
+        _ => {
+            cur.bump();
+            Tok::Char
+        }
+    }
+}
+
+/// Consumes a numeric literal (integer, float, suffixed). `1..n`
+/// stays three tokens: the `.` is consumed only when a digit follows.
+fn number(cur: &mut Cursor) {
+    while let Some(c) = cur.peek() {
+        let continues = c.is_alphanumeric()
+            || c == '_'
+            || (c == '.' && cur.peek2().is_some_and(|d| d.is_ascii_digit()));
+        if !continues {
+            break;
+        }
+        cur.bump();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let src = r##"
+            let a = "partial_cmp inside a string";
+            // partial_cmp inside a comment
+            /* block partial_cmp /* nested */ still comment */
+            let b = r#"raw "quoted" partial_cmp"#;
+            let c = 'x';
+            let d = '\'';
+            fn f<'a>(x: &'a str) {}
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"partial_cmp".to_string()), "{ids:?}");
+        assert!(ids.contains(&"real_ident".to_string()));
+        let lx = lex(src);
+        assert_eq!(lx.comments.len(), 2);
+        assert!(lx.comments[0].text.contains("partial_cmp"));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let lx = lex("a\n  b");
+        assert_eq!((lx.tokens[0].line, lx.tokens[0].col), (1, 1));
+        assert_eq!((lx.tokens[1].line, lx.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn matching_brackets() {
+        let lx = lex("f(a, (b), [c{d}])");
+        // token 1 is `(`; its match is the final `)`.
+        assert!(lx.punct(1, '('));
+        assert_eq!(lx.matching(1), lx.tokens.len() - 1);
+    }
+
+    #[test]
+    fn ranges_do_not_eat_dots() {
+        let lx = lex("0..n");
+        assert_eq!(lx.tokens.len(), 4); // 0, ., ., n
+    }
+
+    #[test]
+    fn byte_and_raw_prefixes() {
+        let lx = lex(r##"b"bytes" br#"raw"# b'q' r"raw2""##);
+        assert!(lx
+            .tokens
+            .iter()
+            .all(|t| matches!(t.tok, Tok::Str | Tok::Char)));
+    }
+}

@@ -1,0 +1,116 @@
+//! Driver: lints the workspace (default), explicit paths, or the
+//! fixture corpus (`--fixtures`). Exit status: 0 clean, 1 findings
+//! or fixture mismatches, 2 usage/environment errors.
+
+use std::path::PathBuf;
+use utk_lint::config::LockOrder;
+use utk_lint::rules::RULE_IDS;
+use utk_lint::selftest::{lint_path, run_fixtures};
+use utk_lint::walk::{find_root, workspace_files};
+
+const USAGE: &str = "usage: utk-lint [--root <dir>] [--fixtures | --list-rules | <paths>...]
+  (no args)    lint every workspace source file
+  <paths>      lint the given workspace-relative files only
+  --fixtures   run the rule fixture self-test
+  --list-rules print every rule id";
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let mut root_arg: Option<PathBuf> = None;
+    let mut fixtures = false;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root_arg = Some(PathBuf::from(dir)),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--fixtures" => fixtures = true,
+            "--list-rules" => {
+                for rule in RULE_IDS {
+                    println!("{rule}");
+                }
+                return 0;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            other if other.starts_with('-') => {
+                return usage_error(&format!("unknown flag {other:?}"));
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+
+    let root = match root_arg.or_else(|| std::env::current_dir().ok().and_then(|d| find_root(&d))) {
+        Some(root) => root,
+        None => return usage_error("no workspace root found (run inside the repo or pass --root)"),
+    };
+
+    if fixtures {
+        return match run_fixtures(&root) {
+            Ok(failures) if failures.is_empty() => {
+                eprintln!("utk-lint: fixture self-test passed");
+                0
+            }
+            Ok(failures) => {
+                for f in &failures {
+                    eprintln!("utk-lint: FAIL {f}");
+                }
+                eprintln!("utk-lint: {} fixture failure(s)", failures.len());
+                1
+            }
+            Err(e) => usage_error(&e),
+        };
+    }
+
+    let targets = if paths.is_empty() {
+        match workspace_files(&root) {
+            Ok(files) => files,
+            Err(e) => return usage_error(&e),
+        }
+    } else {
+        paths
+    };
+    let locks = match LockOrder::load(&root) {
+        Ok(locks) => locks,
+        Err(e) => return usage_error(&e),
+    };
+    if locks.is_empty() {
+        eprintln!("utk-lint: warning: crates/lint/lock-order.toml missing or empty; lock-order rule disabled");
+    }
+
+    let mut findings = 0usize;
+    for rel in &targets {
+        match lint_path(&root, rel, &locks) {
+            Ok(found) => {
+                for f in &found {
+                    println!("{f}");
+                }
+                findings += found.len();
+            }
+            Err(e) => return usage_error(&e),
+        }
+    }
+    if findings == 0 {
+        eprintln!("utk-lint: {} file(s) clean", targets.len());
+        0
+    } else {
+        eprintln!(
+            "utk-lint: {findings} finding(s) in {} file(s)",
+            targets.len()
+        );
+        1
+    }
+}
+
+fn usage_error(msg: &str) -> i32 {
+    eprintln!("utk-lint: error: {msg}");
+    eprintln!("{USAGE}");
+    2
+}

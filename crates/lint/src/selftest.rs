@@ -1,0 +1,115 @@
+//! Fixture self-test: every rule has a positive fixture (seeded
+//! violations, annotated inline) and a negative fixture (the
+//! compliant idiom, which must lint clean).
+//!
+//! Expectation syntax, one comment per violating line:
+//!
+//! ```text
+//! foo.unwrap() //~ panic
+//! ```
+//!
+//! `//~ a, b` expects two findings on the line. Files without any
+//! `//~` marker are negative fixtures and must produce no findings.
+//! Fixture files declare their rule class with a
+//! `// utk-lint: class=<name>` header (default: `lib`).
+
+use crate::config::{class_override, classify, FileClass, LockOrder};
+use crate::rules::run_file;
+use std::path::Path;
+
+/// Lints one file from disk, resolving its class from the header
+/// directive, then the path, then `lib`. Explicitly targeted files
+/// are always linted, even ones (like fixtures) a workspace scan
+/// would skip.
+pub fn lint_path(
+    root: &Path,
+    rel: &str,
+    locks: &LockOrder,
+) -> Result<Vec<crate::rules::Finding>, String> {
+    let path = root.join(rel);
+    let src =
+        std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let class = class_override(&src)
+        .or_else(|| classify(rel))
+        .unwrap_or(FileClass::LIB);
+    Ok(run_file(rel, &src, class, locks))
+}
+
+/// Expected findings of a fixture: `(line, rule)` pairs from its
+/// `//~` markers.
+fn expectations(src: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        let Some(pos) = line.find("//~") else {
+            continue;
+        };
+        for rule in line[pos + 3..].split([',', ' ']).filter(|s| !s.is_empty()) {
+            out.push((i as u32 + 1, rule.to_string()));
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Runs the whole fixture corpus under `root/crates/lint/fixtures`.
+/// Returns the list of failure descriptions (empty = pass). Errors
+/// are environmental (missing directory, unreadable file).
+pub fn run_fixtures(root: &Path) -> Result<Vec<String>, String> {
+    let dir = root.join("crates/lint/fixtures");
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .map_err(|e| format!("read_dir {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".rs"))
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        return Err(format!("no fixtures in {}", dir.display()));
+    }
+    let locks = LockOrder::load(root)?;
+    let mut failures = Vec::new();
+    for name in &names {
+        let rel = format!("crates/lint/fixtures/{name}");
+        let src =
+            std::fs::read_to_string(dir.join(name)).map_err(|e| format!("read {name}: {e}"))?;
+        let expected = expectations(&src);
+        let positive = name.contains("_pos");
+        if positive && expected.is_empty() {
+            failures.push(format!("{name}: positive fixture has no //~ expectations"));
+            continue;
+        }
+        if !positive && !expected.is_empty() {
+            failures.push(format!("{name}: negative fixture carries //~ expectations"));
+            continue;
+        }
+        let mut got: Vec<(u32, String)> = lint_path(root, &rel, &locks)?
+            .into_iter()
+            .map(|f| (f.line, f.rule.to_string()))
+            .collect();
+        got.sort();
+        if got != expected {
+            failures.push(format!(
+                "{name}: findings mismatch\n  expected: {expected:?}\n  got:      {got:?}"
+            ));
+        }
+    }
+    Ok(failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expectation_markers_parse() {
+        let src = "a //~ panic\nb\nc //~ float-cmp, index\n";
+        assert_eq!(
+            expectations(src),
+            vec![
+                (1, "panic".to_string()),
+                (3, "float-cmp".to_string()),
+                (3, "index".to_string()),
+            ]
+        );
+    }
+}

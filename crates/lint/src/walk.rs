@@ -1,0 +1,83 @@
+//! Workspace discovery: find the workspace root and every `.rs`
+//! source file the rules apply to.
+
+use std::path::{Path, PathBuf};
+
+/// Ascends from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Collects every workspace `.rs` file under `root`, sorted, as
+/// workspace-relative forward-slash paths. Vendored shims, build
+/// output, VCS metadata, and the linter's own violation fixtures are
+/// pruned during the walk; finer-grained scoping is
+/// [`crate::config::classify`]'s job.
+pub fn workspace_files(root: &Path) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == "shims" || name == ".git" || name == "fixtures" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                if let Some(rel) = relative(root, &path) {
+                    out.push(rel);
+                }
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// `path` relative to `root`, forward slashes.
+pub fn relative(root: &Path, path: &Path) -> Option<String> {
+    let rel = path.strip_prefix(root).ok()?;
+    let mut s = String::new();
+    for part in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&part.as_os_str().to_string_lossy());
+    }
+    Some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).expect("workspace root");
+        assert!(root.join("crates/lint/Cargo.toml").exists());
+        let files = workspace_files(&root).expect("walk");
+        assert!(files.iter().any(|f| f == "crates/core/src/engine.rs"));
+        assert!(files.iter().any(|f| f == "crates/lint/src/lib.rs"));
+        assert!(!files.iter().any(|f| f.starts_with("shims/")));
+        assert!(!files.iter().any(|f| f.contains("fixtures/")));
+    }
+}

@@ -1,0 +1,51 @@
+//! The fixture self-test as a regular `cargo test`: every `_pos`
+//! fixture must produce exactly its `//~` expected findings, every
+//! other fixture must lint clean. `cargo run -p utk-lint -- --fixtures`
+//! runs the same check as a binary (the CI lint job uses both).
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn seeded_violation_fixtures_match_expectations() {
+    let failures =
+        utk_lint::selftest::run_fixtures(&workspace_root()).expect("fixture dir readable");
+    assert!(
+        failures.is_empty(),
+        "fixture self-test failed:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    let locks = utk_lint::config::LockOrder::load(&root).expect("lock-order manifest parses");
+    let mut findings = Vec::new();
+    for rel in utk_lint::walk::workspace_files(&root).expect("workspace walk") {
+        let Ok(src) = std::fs::read_to_string(root.join(&rel)) else {
+            continue;
+        };
+        let class =
+            utk_lint::config::class_override(&src).or_else(|| utk_lint::config::classify(&rel));
+        if let Some(class) = class {
+            findings.extend(utk_lint::rules::run_file(&rel, &src, class, &locks));
+        }
+    }
+    assert!(
+        findings.is_empty(),
+        "the workspace must stay lint-clean; run `cargo run -p utk-lint`:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -29,6 +29,7 @@ impl Mbb {
     /// Panics if the iterator is empty.
     pub fn of_points<'a, I: IntoIterator<Item = &'a [f64]>>(points: I) -> Self {
         let mut it = points.into_iter();
+        // utk-lint: allow(panic) -- documented # Panics contract: non-empty input required
         let first = it.next().expect("Mbb of empty point set");
         let mut mbb = Self::of_point(first);
         for p in it {
@@ -40,6 +41,7 @@ impl Mbb {
     /// The tight box around a non-empty set of boxes.
     pub fn of_mbbs<'a, I: IntoIterator<Item = &'a Mbb>>(mbbs: I) -> Self {
         let mut it = mbbs.into_iter();
+        // utk-lint: allow(panic) -- documented # Panics contract: non-empty input required
         let mut out = it.next().expect("Mbb of empty box set").clone();
         for m in it {
             out.expand_mbb(m);

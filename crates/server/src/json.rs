@@ -164,13 +164,13 @@ fn err(at: usize, message: impl Into<String>) -> JsonError {
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+    while matches!(bytes.get(*pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
         *pos += 1;
     }
 }
 
 fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), JsonError> {
-    if *pos < bytes.len() && bytes[*pos] == c {
+    if bytes.get(*pos) == Some(&c) {
         *pos += 1;
         Ok(())
     } else {
@@ -201,7 +201,10 @@ fn parse_literal(
     lit: &str,
     value: Value,
 ) -> Result<Value, JsonError> {
-    if bytes[*pos..].starts_with(lit.as_bytes()) {
+    if bytes
+        .get(*pos..)
+        .is_some_and(|rest| rest.starts_with(lit.as_bytes()))
+    {
         *pos += lit.len();
         Ok(value)
     } else {
@@ -214,11 +217,13 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
     if bytes.get(*pos) == Some(&b'-') {
         *pos += 1;
     }
-    while *pos < bytes.len()
-        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-    {
+    while matches!(
+        bytes.get(*pos),
+        Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    ) {
         *pos += 1;
     }
+    // utk-lint: allow(index, panic) -- invariant: start <= pos <= len, and the matched bytes are ASCII
     let raw = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII number slice");
     if raw.is_empty() || raw.parse::<f64>().is_err() {
         return Err(err(start, format!("invalid number {raw:?}")));
@@ -272,8 +277,10 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
             }
             // Multi-byte UTF-8: copy the whole character through.
             _ if b >= 0x80 => {
+                // utk-lint: allow(index) -- invariant: pos was just advanced past the byte at pos-1
                 let s = std::str::from_utf8(&bytes[*pos - 1..])
                     .map_err(|_| err(*pos - 1, "invalid UTF-8"))?;
+                // utk-lint: allow(panic) -- invariant: from_utf8 succeeded on a non-empty slice
                 let c = s.chars().next().expect("non-empty remainder");
                 out.push(c);
                 *pos += c.len_utf8() - 1;

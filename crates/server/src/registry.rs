@@ -17,7 +17,7 @@
 //! (labels move with their rows); the file on disk is never touched,
 //! so an evict-then-reload reverts to disk state by construction.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -68,7 +68,7 @@ pub struct DatasetRegistry {
     cache_budget: usize,
     /// Worker-pool size handed to each engine (0 = one per core).
     pool_threads: usize,
-    loaded: Mutex<HashMap<String, Arc<LoadedDataset>>>,
+    loaded: Mutex<BTreeMap<String, Arc<LoadedDataset>>>,
 }
 
 /// Whether a name is safe to join onto the datasets directory: a
@@ -90,7 +90,7 @@ impl DatasetRegistry {
             dir,
             cache_budget,
             pool_threads,
-            loaded: Mutex::new(HashMap::new()),
+            loaded: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -246,7 +246,7 @@ impl DatasetRegistry {
     /// Deals `budget` across the resident engines proportionally to
     /// their dataset bytes (records × dimensionality), so the engines
     /// with the most r-skyband state to memoize hold the most cache.
-    fn rebalance(loaded: &HashMap<String, Arc<LoadedDataset>>, budget: usize) {
+    fn rebalance(loaded: &BTreeMap<String, Arc<LoadedDataset>>, budget: usize) {
         if loaded.is_empty() {
             return;
         }

@@ -486,6 +486,7 @@ fn run_on_pool(engine: &UtkEngine, query: &UtkQuery) -> Result<QueryResult, UtkE
         .lock()
         .expect("query slot")
         .take()
+        // utk-lint: allow(panic) -- invariant: wait() returns only after the task stored its slot
         .expect("pool task filled the slot before wait() returned");
     result
 }
@@ -536,6 +537,7 @@ fn read_request_line(
         if buf.len() + consume > MAX_REQUEST_BYTES {
             return Ok(LineRead::Closed); // oversized request line
         }
+        // utk-lint: allow(index) -- invariant: consume <= chunk.len() by construction above
         buf.extend_from_slice(&chunk[..consume]);
         reader.consume(consume);
         if complete {

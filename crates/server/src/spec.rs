@@ -143,12 +143,10 @@ fn checked_box(lo: Vec<f64>, hi: Vec<f64>) -> Result<Region, String> {
     if lo.iter().chain(&hi).any(|v| !v.is_finite()) {
         return Err("region bounds must be finite numbers".into());
     }
-    if let Some(i) = (0..lo.len()).find(|&i| lo[i] > hi[i]) {
+    if let Some((i, (l, h))) = lo.iter().zip(&hi).enumerate().find(|(_, (l, h))| l > h) {
         return Err(format!(
-            "inverted region bounds in coordinate {}: lo {} > hi {}",
+            "inverted region bounds in coordinate {}: lo {l} > hi {h}",
             i + 1,
-            lo[i],
-            hi[i]
         ));
     }
     Ok(Region::hyperrect(lo, hi))
@@ -343,6 +341,7 @@ pub fn answer_query_file(
         match entry {
             Err(e) => out.push(wire::error_json(e)),
             Ok(p) => {
+                // utk-lint: allow(panic) -- invariant: run_batch returns one answer per Ok entry
                 let answer = answers.next().expect("one answer per prepared query");
                 out.push(wire_line(p, answer, data));
             }
@@ -488,12 +487,14 @@ pub fn parse_mutation_file(text: &str) -> Result<Vec<MutationStep>, String> {
                     }
                     let start = usize::from(has_label);
                     if has_label {
+                        // utk-lint: allow(index) -- invariant: has_label proved fields is non-empty
                         labels.push(fields[0].to_string());
                     }
                     if fields.len() <= start {
                         return Err(at("insert row has no values".into()));
                     }
                     let mut p = Vec::with_capacity(fields.len() - start);
+                    // utk-lint: allow(index) -- invariant: start <= fields.len() checked just above
                     for f in &fields[start..] {
                         p.push(
                             f.parse::<f64>()

@@ -161,6 +161,46 @@
 //! change), `utk update`, and `utk batch --mutations` expose the same
 //! seam end to end.
 //!
+//! ## Invariants & how they're enforced
+//!
+//! The workspace runs on a small set of contracts; each one is
+//! backed by a test that would fail if it broke **and** a `utk-lint`
+//! rule (`crates/lint`, run as `cargo run -p utk-lint`, first job in
+//! CI) that statically rejects the code patterns able to break it:
+//!
+//! * **Determinism / byte-identity.** Identical inputs produce
+//!   identical output bytes everywhere: server `batch` ≡ `utk batch`
+//!   (`tests/serve.rs`), repeated runs and parallel runs match serial
+//!   ones (`tests/determinism.rs`), responses re-serialize
+//!   byte-exactly (`tests/wire_roundtrip.rs`), and one representative
+//!   response of each kind is pinned to its exact bytes
+//!   (`tests/wire_golden.rs`). Enforced by the lint's `float-cmp`
+//!   rule (float comparisons must be total — `total_cmp`, never bare
+//!   `partial_cmp` in sorts) and `hash-iter` rule (no
+//!   `HashMap`/`HashSet` in wire-feeding modules, where iteration
+//!   order would leak into output bytes).
+//! * **Panic-freedom in library code.** Query evaluation returns
+//!   typed errors ([`core::error::UtkError`]); servers must not be
+//!   killable by a request. Locked by `tests/edge_cases.rs` and the
+//!   `utk batch` error-line contract; enforced by the lint's `panic`
+//!   rule (no `unwrap`/`expect`/`panic!` outside tests — lock-poison
+//!   propagation excepted) and `index` rule (no bare slice indexing
+//!   on server request paths). Invariant-backed exceptions carry an
+//!   inline `utk-lint: allow(rule) -- reason` with the reason
+//!   mandatory.
+//! * **Concurrency discipline.** Lock guards never span blocking
+//!   calls, and locks nest in one global order (declared in
+//!   `crates/lint/lock-order.toml`: engine mutation → data →
+//!   filter cache → scoring cache; pool gate → deques → latch).
+//!   Exercised under load by `tests/serve.rs` admission-control and
+//!   `tests/dynamic.rs` concurrency tests; enforced by the lint's
+//!   `guard-blocking` and `lock-order` rules.
+//! * **No `unsafe`.** The audit accompanying the lint found zero
+//!   `unsafe` blocks workspace-wide; every crate now declares
+//!   `#![forbid(unsafe_code)]`, and the lint's `safety-comment` rule
+//!   requires a `// SAFETY:` comment on any future block (in crates
+//!   that deliberately relax the forbid).
+//!
 //! ## Command line
 //!
 //! The `utk` binary answers the same queries over CSV files, with
@@ -173,6 +213,11 @@
 //! pair above; see `utk help`.
 
 #![warn(missing_docs)]
+// The 2026 unsafe audit found zero unsafe blocks workspace-wide;
+// keep it that way. Any future unsafe must demote this to deny,
+// carry a `// SAFETY:` comment (utk-lint enforces it), and say why
+// no safe formulation works.
+#![forbid(unsafe_code)]
 
 pub use utk_core as core;
 pub use utk_data as data;
