@@ -1,0 +1,245 @@
+//! WAL + splice-repair figure: screen tests saved by incremental
+//! r-skyband repair over drop-and-recompute on a mutation-heavy
+//! locality workload, and write-ahead-log replay time vs dataset
+//! size.
+//!
+//! Workload: `bases` warm query regions; each round mutates the
+//! dataset (a cached-member delete, a dominant insert, or a dominated
+//! insert batch) and re-answers every region. The same sequence runs
+//! against a `without_cache_repair()` twin whose affected entries
+//! drop and recompute. Both engines must answer identically — the
+//! byte-identity contract — while the repair side pays only the
+//! member-prefix screens. Comparisons use the deterministic screen
+//! counters (`rdom_tests` + the engine's repair-screen tally), which
+//! stay meaningful on noisy single-core containers.
+//!
+//! Usage: `cargo run --release -p utk-bench --bin wal_repair
+//! [--scale f] [--queries n] [--seed s]`
+//!
+//! Prints Markdown tables and records the raw numbers in
+//! `BENCH_WAL_REPAIR.json` in the working directory.
+
+use std::time::Instant;
+
+use utk_bench::{query_workload, Config, Table};
+use utk_core::prelude::*;
+use utk_data::csv::{parse_csv, write_csv};
+use utk_data::synthetic::{generate, Distribution};
+use utk_data::wal::{WalFile, WalRecord};
+use utk_geom::Region;
+
+const D: usize = 3;
+const K: usize = 10;
+const ROUNDS: usize = 30;
+const REPLAY_RECORDS: u64 = 64;
+
+/// Deterministic xorshift for workload choices (the bench crate is
+/// std-only; dataset generation is already seeded separately).
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    let n = cfg.n(400_000);
+    let points = generate(Distribution::Anti, n, D, cfg.seed).points;
+    let bases = query_workload(D, 0.08, &cfg);
+    let regions: Vec<Region> = bases
+        .iter()
+        .map(|qb| Region::hyperrect(qb.lo.clone(), qb.hi.clone()))
+        .collect();
+    let mut rng = XorShift(cfg.seed | 1);
+
+    let repaired = UtkEngine::new(points.clone()).expect("bench dataset");
+    let baseline = UtkEngine::new(points)
+        .expect("bench dataset")
+        .without_cache_repair();
+    for region in &regions {
+        repaired.utk1(region, K).expect("warm query");
+        baseline.utk1(region, K).expect("warm query");
+    }
+
+    // The mutation rounds. Every mutation is applied identically to
+    // both engines; every region is re-answered after each round and
+    // the answers must match exactly.
+    let mut repaired_query = Stats::new();
+    let mut baseline_query = Stats::new();
+    let mut identical = true;
+    for round in 0..ROUNDS {
+        let region = &regions[round % regions.len()];
+        let (deletes, inserts): (Vec<u32>, Vec<Vec<f64>>) = match round % 3 {
+            // A cached member dies: the repair splices the survivor
+            // set, the baseline drops the entry and recomputes.
+            0 => {
+                let members = repaired.utk1(region, K).expect("member probe").records;
+                let victim = members[(rng.next() as usize) % members.len()];
+                (vec![victim], Vec::new())
+            }
+            // A dominant record arrives: the repair admits it into
+            // the member prefix, re-screening only what it can affect.
+            1 => {
+                let jitter = (rng.next() % 32) as f64 * 1e-4;
+                (Vec::new(), vec![vec![0.98 + jitter; D]])
+            }
+            // A dominated batch arrives: provably screened out by
+            // cached members on both sides (no recompute either way).
+            _ => {
+                let lo = (rng.next() % 64) as f64 * 1e-4;
+                (
+                    Vec::new(),
+                    (0..4).map(|i| vec![lo + i as f64 * 1e-4; D]).collect(),
+                )
+            }
+        };
+        repaired
+            .apply_update(&deletes, inserts.clone())
+            .expect("repaired update");
+        baseline
+            .apply_update(&deletes, inserts)
+            .expect("baseline update");
+        for region in &regions {
+            let r = repaired.utk1(region, K).expect("repaired query");
+            let b = baseline.utk1(region, K).expect("baseline query");
+            identical &= r.records == b.records;
+            repaired_query.absorb(&r.stats);
+            baseline_query.absorb(&b.stats);
+        }
+    }
+    // Total screen-test work per serving strategy: dominance tests
+    // paid at query time plus (repair side) the member-prefix screens
+    // paid inside `apply_update`.
+    let repair_screens = repaired.repair_screen_tests() as u64;
+    let repaired_total = repaired_query.rdom_tests as u64 + repair_screens;
+    let baseline_total = baseline_query.rdom_tests as u64;
+    let ratio = baseline_total as f64 / repaired_total.max(1) as f64;
+    let repairs = repaired.filter_repairs();
+
+    println!(
+        "WAL repair (ANTI, n = {n}, d = {D}, k = {K}, {} regions × {ROUNDS} mutation rounds)",
+        regions.len()
+    );
+    let mut table = Table::new(vec![
+        "serving",
+        "rdom_tests (queries)",
+        "repair screens",
+        "total",
+    ]);
+    table.row(vec![
+        "drop-and-recompute".to_string(),
+        baseline_query.rdom_tests.to_string(),
+        "0".to_string(),
+        baseline_total.to_string(),
+    ]);
+    table.row(vec![
+        "splice repair".to_string(),
+        repaired_query.rdom_tests.to_string(),
+        repair_screens.to_string(),
+        repaired_total.to_string(),
+    ]);
+    table.print();
+    println!(
+        "repair saves {ratio:.1}x screen tests over {repairs} repairs; \
+         answers identical: {identical}"
+    );
+
+    assert!(identical, "splice repair diverged from drop-and-recompute");
+    assert!(
+        ratio >= 2.0,
+        "locality workload must save at least 2x screen tests (got {ratio:.2}x)"
+    );
+
+    // Replay cost: open (truncate-check + checksum + decode) and
+    // replay a fixed-length log over bases of increasing cardinality.
+    let mut replay_rows = Vec::new();
+    let mut replay_json = Vec::new();
+    let wal_path = std::env::temp_dir().join(format!("utk_bench_wal_{}.wal", std::process::id()));
+    for paper_n in [100_000usize, 400_000, 1_000_000] {
+        let rn = cfg.n(paper_n);
+        let ds = generate(Distribution::Anti, rn, D, cfg.seed ^ paper_n as u64);
+        let base_csv = write_csv(&ds, None);
+        let _ = std::fs::remove_file(&wal_path);
+        let mut wal = WalFile::open(&wal_path).expect("bench wal").wal;
+        for epoch in 1..=REPLAY_RECORDS {
+            let v = (epoch % 97) as f64 * 1e-3;
+            wal.append(&WalRecord::Insert {
+                epoch,
+                rows: vec![vec![v; D]],
+                labels: None,
+            })
+            .expect("bench wal append");
+        }
+        let wal_bytes = wal.bytes();
+        drop(wal);
+
+        let start = Instant::now();
+        let opened = WalFile::open(&wal_path).expect("bench wal reopen");
+        let mut data = parse_csv(&base_csv, "bench").expect("bench csv");
+        let epoch = utk_data::wal::replay(&mut data, &opened.records).expect("bench replay");
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(epoch, REPLAY_RECORDS);
+        assert_eq!(data.dataset.len(), rn + REPLAY_RECORDS as usize);
+
+        let per_sec = REPLAY_RECORDS as f64 / elapsed.max(1e-9);
+        replay_rows.push(vec![
+            rn.to_string(),
+            REPLAY_RECORDS.to_string(),
+            wal_bytes.to_string(),
+            format!("{:.1}", elapsed * 1e3),
+            format!("{per_sec:.0}"),
+        ]);
+        replay_json.push(format!(
+            concat!(
+                r#"{{"n":{},"records":{},"wal_bytes":{},"#,
+                r#""replay_ms":{:.3},"records_per_sec":{:.0}}}"#
+            ),
+            rn,
+            REPLAY_RECORDS,
+            wal_bytes,
+            elapsed * 1e3,
+            per_sec,
+        ));
+    }
+    let _ = std::fs::remove_file(&wal_path);
+    let mut table = Table::new(vec!["n", "records", "wal bytes", "replay ms", "records/s"]);
+    for row in replay_rows {
+        table.row(row);
+    }
+    table.print();
+
+    let cores = utk_bench::recorded_parallelism();
+    let json = format!(
+        concat!(
+            r#"{{"figure":"wal_repair","dataset":"ANTI","n":{},"d":{},"k":{},"sigma":0.08,"#,
+            r#""regions":{},"mutation_rounds":{},"seed":{},"available_parallelism":{},"#,
+            r#""screen_tests":{{"baseline_recompute":{},"repaired_queries":{},"#,
+            r#""repair_screens":{},"repaired_total":{},"saved_ratio":{:.3},"repairs":{}}},"#,
+            r#""answers_identical":{},"replay":[{}]}}"#
+        ),
+        n,
+        D,
+        K,
+        regions.len(),
+        ROUNDS,
+        cfg.seed,
+        cores,
+        baseline_total,
+        repaired_query.rdom_tests,
+        repair_screens,
+        repaired_total,
+        ratio,
+        repairs,
+        identical,
+        replay_json.join(","),
+    );
+    std::fs::write("BENCH_WAL_REPAIR.json", json + "\n").expect("write figure json");
+    eprintln!("wrote BENCH_WAL_REPAIR.json");
+}

@@ -62,7 +62,8 @@ use crate::parallel::ThreadPool;
 use crate::rsa::{rsa_refine, RsaOptions, Utk1Result};
 use crate::scoring::GeneralScoring;
 use crate::skyband::{
-    r_skyband_from_superset, r_skyband_view, rejected_by_members, CandidateSet, TreeView, TOMBSTONE,
+    r_skyband_from_superset, r_skyband_repair, r_skyband_repair_inserts, r_skyband_view,
+    rejected_by_members, CandidateSet, TreeView, TOMBSTONE,
 };
 use crate::stats::Stats;
 use utk_geom::tol::INTERIOR_EPS;
@@ -539,11 +540,17 @@ pub struct UpdateReport {
     /// Records removed.
     pub deleted: usize,
     /// Filter-cache entries whose r-skyband could have changed and
-    /// were therefore dropped.
+    /// were dropped outright (no splice repair applied).
     pub filter_invalidated: usize,
-    /// Filter-cache entries proven unaffected and re-keyed (ids
-    /// remapped) under the new epoch.
+    /// Filter-cache entries carried into the new epoch — proven
+    /// unaffected and re-keyed, or splice-repaired in place. (Repaired
+    /// entries count here *and* in [`UpdateReport::filter_repaired`];
+    /// only this field is on the wire.)
     pub filter_retained: usize,
+    /// Of the retained entries, how many were splice-repaired
+    /// (re-screened incrementally) rather than merely re-keyed. Not
+    /// part of the wire format.
+    pub filter_repaired: usize,
     /// Whether the mutation rebuilt the R-tree (overlay overhead past
     /// the threshold) instead of extending the overlay.
     pub index_rebuilt: bool,
@@ -746,10 +753,21 @@ struct EngineInner {
     /// insert is validated against it).
     dim: usize,
     cache_enabled: bool,
+    /// Whether a mutation that invalidates a filter-cache entry may
+    /// splice-repair it (incremental re-screen) instead of dropping
+    /// it. On by default; benchmarks disable it to measure the
+    /// drop-and-recompute baseline.
+    repair_enabled: bool,
     filter_cache: Mutex<ByteLru<FilterKey, FilterEntry>>,
     scoring_cache: Mutex<ByteLru<(u64, ScoringKey), Arc<Scored>>>,
     filter_hits: AtomicUsize,
     filter_misses: AtomicUsize,
+    /// Filter-cache entries splice-repaired across all mutations.
+    filter_repairs: AtomicUsize,
+    /// r-dominance tests spent inside splice repairs (the incremental
+    /// maintenance cost a drop-and-recompute baseline pays many times
+    /// over on the next query).
+    repair_screens: AtomicUsize,
     /// Mutations that rebuilt the R-tree (vs extending the overlay).
     index_rebuilds: AtomicUsize,
     /// Cache misses answered by re-screening a containing region's
@@ -814,10 +832,13 @@ impl UtkEngine {
                 mutation: Mutex::new(()),
                 dim,
                 cache_enabled: true,
+                repair_enabled: true,
                 filter_cache: Mutex::new(ByteLru::new(DEFAULT_FILTER_CACHE_BUDGET)),
                 scoring_cache: Mutex::new(ByteLru::new(DEFAULT_SCORING_CACHE_BUDGET)),
                 filter_hits: AtomicUsize::new(0),
                 filter_misses: AtomicUsize::new(0),
+                filter_repairs: AtomicUsize::new(0),
+                repair_screens: AtomicUsize::new(0),
                 index_rebuilds: AtomicUsize::new(0),
                 superset_hits: AtomicUsize::new(0),
                 pool_threads_cfg: 0,
@@ -841,6 +862,42 @@ impl UtkEngine {
             // utk-lint: allow(panic) -- documented builder contract: must precede any clone
             .expect("without_filter_cache must be called before the engine is cloned")
             .cache_enabled = false;
+        self
+    }
+
+    /// Disables splice repair of invalidated filter-cache entries:
+    /// mutations fall back to drop-and-recompute (the pre-repair
+    /// behavior). Used by benchmarks to measure what repair saves.
+    /// Builder-style: call right after construction, before the
+    /// engine is cloned or queried.
+    pub fn without_cache_repair(mut self) -> Self {
+        Arc::get_mut(&mut self.inner)
+            // utk-lint: allow(panic) -- documented builder contract: must precede any clone
+            .expect("without_cache_repair must be called before the engine is cloned")
+            .repair_enabled = false;
+        self
+    }
+
+    /// Seeds the initial dataset epoch (default 0). The serving
+    /// registry uses this when rebuilding an engine from a compacted
+    /// write-ahead-log snapshot, so epochs stay absolute across
+    /// restarts: a snapshot captured at epoch `B` reloads at epoch
+    /// `B`, and replaying the log's tail lands the engine on exactly
+    /// the epoch the log ends at. Builder-style: call right after
+    /// construction, before the engine is cloned, queried or mutated.
+    pub fn with_base_epoch(mut self, epoch: u64) -> Self {
+        let inner = Arc::get_mut(&mut self.inner)
+            // utk-lint: allow(panic) -- documented builder contract: must precede any clone
+            .expect("with_base_epoch must be called before the engine is cloned");
+        let slot = inner
+            .data
+            .get_mut()
+            // utk-lint: allow(panic) -- poison propagation: get_mut is the exclusive-access form of .read()
+            .expect("dataset lock");
+        Arc::get_mut(slot)
+            // utk-lint: allow(panic) -- the version Arc is unshared until the first query
+            .expect("with_base_epoch must be called before the first query")
+            .epoch = epoch;
         self
     }
 
@@ -1064,6 +1121,7 @@ impl UtkEngine {
                 deleted: 0,
                 filter_invalidated: 0,
                 filter_retained: 0,
+                filter_repaired: 0,
                 index_rebuilt: false,
             });
         }
@@ -1145,10 +1203,18 @@ impl UtkEngine {
             Arc::ptr_eq(&guard, &cur),
             "mutators are serialized by the mutation lock"
         );
-        let (filter_invalidated, filter_retained) = if self.inner.cache_enabled {
-            self.rekey_filter_cache(cur.epoch, epoch, &deleted_mask, &shift, deletes, &inserts)
+        let (filter_invalidated, filter_retained, filter_repaired) = if self.inner.cache_enabled {
+            self.rekey_filter_cache(
+                cur.epoch,
+                &next,
+                &deleted_mask,
+                &shift,
+                first_inserted,
+                deletes,
+                &inserts,
+            )
         } else {
-            (0, 0)
+            (0, 0, 0)
         };
         self.inner.scoring_cache.lock().expect("cache lock").clear();
         let report = UpdateReport {
@@ -1158,28 +1224,38 @@ impl UtkEngine {
             deleted: deletes.len(),
             filter_invalidated,
             filter_retained,
+            filter_repaired,
             index_rebuilt: rebuild,
         };
         *guard = next;
         Ok(report)
     }
 
-    /// Drains the filter cache and carries forward exactly the
-    /// entries the mutation provably leaves valid, with member ids
-    /// remapped and keys re-stamped to `new_epoch`, preserving LRU
-    /// order. Returns `(invalidated, retained)`.
+    /// Drains the filter cache and carries every entry it can into
+    /// the new epoch, preserving LRU order. Three outcomes per entry:
+    /// provably unaffected → re-keyed (ids remapped) as-is;
+    /// affected but plain-scoring → **splice-repaired** — re-screened
+    /// incrementally against the next version ([`r_skyband_repair`] /
+    /// [`r_skyband_repair_inserts`]), byte-identical to a cold run on
+    /// the new dataset; otherwise dropped. Returns `(invalidated,
+    /// retained, repaired)`, where repaired entries also count as
+    /// retained.
+    #[allow(clippy::too_many_arguments)]
     fn rekey_filter_cache(
         &self,
         old_epoch: u64,
-        new_epoch: u64,
+        next: &DatasetVersion,
         deleted_mask: &[bool],
         shift: &[u32],
+        first_inserted: u32,
         deletes: &[u32],
         inserts: &[Vec<f64>],
-    ) -> (usize, usize) {
+    ) -> (usize, usize, usize) {
+        let new_epoch = next.epoch;
         let mut cache = self.inner.filter_cache.lock().expect("cache lock");
         let mut invalidated = 0;
         let mut retained = 0;
+        let mut repaired = 0;
         for (key, entry, bytes) in cache.take_entries() {
             // Stragglers inserted by in-flight queries on older
             // snapshots are unreachable already; drop them without
@@ -1190,57 +1266,130 @@ impl UtkEngine {
             }
             // A deleted record that is a cached member changes the
             // member list by definition.
-            let mut valid = entry.cands.ids.iter().all(|&id| !deleted_mask[id as usize]);
-            if valid && !inserts.is_empty() {
-                if key.scoring.is_empty() {
-                    // Exact test: every inserted record must be
-                    // r-dominated by ≥ k members that pop before it.
-                    valid = inserts.iter().all(|row| {
-                        rejected_by_members(
-                            &entry.cands,
-                            row,
-                            &entry.region,
-                            key.k,
-                            key.pivot_order,
-                        )
-                    });
-                } else {
-                    // The cached view is in transformed space and the
-                    // transform is only known by fingerprint here:
-                    // conservative fallback.
-                    valid = false;
+            let member_deleted = entry.cands.ids.iter().any(|&id| deleted_mask[id as usize]);
+            // Inserts that escape the exact rejection test would join
+            // this entry's r-skyband. Transformed-space entries cannot
+            // evaluate new rows at all (the transform is only known by
+            // fingerprint here): conservative fallback.
+            let scoring_blocked = !key.scoring.is_empty() && !inserts.is_empty();
+            let mut live_inserts: Vec<u32> = Vec::new();
+            if key.scoring.is_empty() {
+                for (j, row) in inserts.iter().enumerate() {
+                    if !rejected_by_members(
+                        &entry.cands,
+                        row,
+                        &entry.region,
+                        key.k,
+                        key.pivot_order,
+                    ) {
+                        live_inserts.push(first_inserted + j as u32);
+                    }
                 }
             }
-            if !valid {
-                invalidated += 1;
+            if !member_deleted && !scoring_blocked && live_inserts.is_empty() {
+                let entry = if deletes.is_empty() {
+                    entry // ids unchanged: reuse the cached set as-is
+                } else {
+                    let cands = Arc::new(CandidateSet {
+                        ids: entry
+                            .cands
+                            .ids
+                            .iter()
+                            .map(|&id| shift[id as usize])
+                            .collect(),
+                        points: entry.cands.points.clone(),
+                        graph: entry.cands.graph.clone(),
+                    });
+                    FilterEntry {
+                        region: entry.region.clone(),
+                        cands,
+                    }
+                };
+                let key = FilterKey {
+                    epoch: new_epoch,
+                    ..key
+                };
+                cache.insert(key, entry, bytes);
+                retained += 1;
                 continue;
             }
-            let entry = if deletes.is_empty() {
-                entry // ids unchanged: reuse the cached set as-is
-            } else {
-                let cands = Arc::new(CandidateSet {
-                    ids: entry
+            // The entry's r-skyband did (or may) change: splice-repair
+            // it instead of dropping, when the repair preconditions
+            // hold. The repaired set is byte-identical to a cold run,
+            // so a later cache hit answers exactly like a fresh build.
+            if self.inner.repair_enabled && key.scoring.is_empty() {
+                let mut rstats = Stats::new();
+                let repaired_set = if member_deleted {
+                    let old_ids_new: Vec<u32> = entry
                         .cands
                         .ids
                         .iter()
                         .map(|&id| shift[id as usize])
-                        .collect(),
-                    points: entry.cands.points.clone(),
-                    graph: entry.cands.graph.clone(),
-                });
-                FilterEntry {
-                    region: entry.region.clone(),
-                    cands,
+                        .collect();
+                    r_skyband_repair(
+                        &entry.cands,
+                        &old_ids_new,
+                        &live_inserts,
+                        &next.store,
+                        &next.tree_view(),
+                        &entry.region,
+                        key.k,
+                        key.pivot_order,
+                        &mut rstats,
+                    )
+                } else {
+                    // No member deleted: renumber the survivors, then
+                    // merge-splice the admissible inserts in without
+                    // touching the tree.
+                    let renumbered;
+                    let cands: &CandidateSet = if deletes.is_empty() {
+                        &entry.cands
+                    } else {
+                        renumbered = CandidateSet {
+                            ids: entry
+                                .cands
+                                .ids
+                                .iter()
+                                .map(|&id| shift[id as usize])
+                                .collect(),
+                            points: entry.cands.points.clone(),
+                            graph: entry.cands.graph.clone(),
+                        };
+                        &renumbered
+                    };
+                    r_skyband_repair_inserts(
+                        cands,
+                        &live_inserts,
+                        &next.store,
+                        &entry.region,
+                        key.k,
+                        key.pivot_order,
+                        &mut rstats,
+                    )
+                };
+                if let Some(cands) = repaired_set {
+                    self.inner
+                        .repair_screens
+                        .fetch_add(rstats.rdom_tests, Ordering::Relaxed);
+                    self.inner.filter_repairs.fetch_add(1, Ordering::Relaxed);
+                    let entry = FilterEntry {
+                        region: entry.region.clone(),
+                        cands: Arc::new(cands),
+                    };
+                    let bytes = entry.approx_bytes();
+                    let key = FilterKey {
+                        epoch: new_epoch,
+                        ..key
+                    };
+                    cache.insert(key, entry, bytes);
+                    retained += 1;
+                    repaired += 1;
+                    continue;
                 }
-            };
-            let key = FilterKey {
-                epoch: new_epoch,
-                ..key
-            };
-            cache.insert(key, entry, bytes);
-            retained += 1;
+            }
+            invalidated += 1;
         }
-        (invalidated, retained)
+        (invalidated, retained, repaired)
     }
 
     /// Forces the index packed: if mutations left the R-tree reading
@@ -1285,6 +1434,19 @@ impl UtkEngine {
     /// a containing region (`R' ⊇ R`) instead of a full BBS run.
     pub fn filter_superset_hits(&self) -> usize {
         self.inner.superset_hits.load(Ordering::Relaxed)
+    }
+
+    /// Filter-cache entries splice-repaired (incrementally
+    /// re-screened instead of dropped) across this engine's lifetime.
+    pub fn filter_repairs(&self) -> usize {
+        self.inner.filter_repairs.load(Ordering::Relaxed)
+    }
+
+    /// r-dominance tests spent inside splice repairs over this
+    /// engine's lifetime — the incremental maintenance cost to weigh
+    /// against the full recomputes it avoided.
+    pub fn repair_screen_tests(&self) -> usize {
+        self.inner.repair_screens.load(Ordering::Relaxed)
     }
 
     /// Payload bytes currently held by the r-skyband filter cache.
@@ -2094,20 +2256,47 @@ mod tests {
             .collect();
         assert_eq!(hit.records, expected);
 
-        // Deleting a member (p1 = id 0) invalidates.
+        // Deleting a member (p1 = id 0) can change the r-skyband —
+        // the entry is splice-repaired in place, and the very next
+        // query is a cache hit answering like a fresh build.
         let report = engine.delete_points(&[0]).unwrap();
-        assert_eq!(report.filter_retained, 0);
-        assert_eq!(report.filter_invalidated, 1);
-        let miss = engine.utk1(&figure1_region(), 2).unwrap();
-        assert_eq!(miss.stats.filter_cache_hits, 0);
+        assert_eq!(report.filter_retained, 1);
+        assert_eq!(report.filter_repaired, 1);
+        assert_eq!(report.filter_invalidated, 0);
+        let repaired = engine.utk1(&figure1_region(), 2).unwrap();
+        assert_eq!(repaired.stats.filter_cache_hits, 1);
+        let mut model = figure1_hotels();
+        model.remove(4); // p5 (first delete above)
+        model.remove(0); // p1
+        let fresh = UtkEngine::new(model).unwrap();
+        assert_eq!(
+            repaired.records,
+            fresh.utk1(&figure1_region(), 2).unwrap().records
+        );
 
-        // Inserting a clearly dominated record keeps the (rebuilt)
-        // entry; a dominant one drops it.
+        // Inserting a clearly dominated record keeps the entry
+        // without repair work; a dominant one splices it in.
         assert_eq!(engine.cached_filters(), 1);
         let report = engine.insert_points(vec![vec![0.1, 0.1, 0.1]]).unwrap();
         assert_eq!(report.filter_retained, 1);
+        assert_eq!(report.filter_repaired, 0);
         let report = engine.insert_points(vec![vec![9.9, 9.9, 9.9]]).unwrap();
+        assert_eq!(report.filter_retained, 1);
+        assert_eq!(report.filter_repaired, 1);
+        assert_eq!(report.filter_invalidated, 0);
+        assert_eq!(engine.filter_repairs(), 2);
+        assert!(engine.repair_screen_tests() > 0);
+
+        // With repair disabled the same mutations drop the entry —
+        // the drop-and-recompute baseline benchmarks measure against.
+        let baseline = UtkEngine::new(figure1_hotels())
+            .unwrap()
+            .without_cache_repair();
+        baseline.utk1(&figure1_region(), 2).unwrap();
+        let report = baseline.delete_points(&[0]).unwrap();
         assert_eq!(report.filter_invalidated, 1);
+        assert_eq!(report.filter_retained, 0);
+        assert_eq!(baseline.filter_repairs(), 0);
     }
 
     #[test]

@@ -357,6 +357,23 @@ impl<'r> BandScreen<'r> {
         self.dominator_lists.push(self.doms_scratch.clone());
     }
 
+    /// Admits a record whose screen outcome is already known from a
+    /// previous run (the free prefix of a splice repair): recomputes
+    /// the probe state exactly as [`BandScreen::screen`] would — same
+    /// `pref_score` calls, so bitwise-identical cached vertex scores —
+    /// and takes `doms` as the dominator list instead of re-testing.
+    fn admit_free(&mut self, id: u32, p: &[f64], doms: &[u32]) {
+        if let Some(corners) = &self.corners {
+            self.probe_corner_scores.clear();
+            self.probe_corner_scores
+                .extend(corners.iter().map(|v| pref_score(p, v)));
+        }
+        self.probe_pivot_score = pref_score(p, &self.pivot);
+        self.doms_scratch.clear();
+        self.doms_scratch.extend_from_slice(doms);
+        self.admit_last(id, p);
+    }
+
     /// Finalizes into the candidate set pieces.
     fn finish(self, dim: usize) -> (Vec<u32>, PointStore, Vec<Vec<u32>>) {
         let points = if self.member_ids.is_empty() {
@@ -712,6 +729,277 @@ pub fn r_skyband_from_superset(
     }
 }
 
+/// The BBS heap key of a record: its score at `pivot` under the
+/// paper's pivot order, or the coordinate sum under the ablation key.
+fn heap_key(p: &[f64], pivot: &[f64], pivot_order: bool) -> f64 {
+    if pivot_order {
+        pref_score(p, pivot)
+    } else {
+        p.iter().sum()
+    }
+}
+
+/// Record pop order under a heap key, mirroring [`Entry`]'s `Ord` bit
+/// for bit: descending key via `total_cmp` with NaN keys last, ties to
+/// the smaller id. `Less` means "pops earlier".
+fn pop_cmp(ka: f64, ia: u32, kb: f64, ib: u32) -> std::cmp::Ordering {
+    match (ka.is_nan(), kb.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => kb.total_cmp(&ka),
+    }
+    .then(ia.cmp(&ib))
+}
+
+/// Splice-repairs a cached r-skyband after an **insert-only**
+/// mutation (no member deleted; `old.ids` already renumbered to the
+/// new id space): merges the surviving member sequence with the
+/// inserts that escaped [`rejected_by_members`], in fresh-BBS pop
+/// order, free-admitting every member that pops before the first such
+/// insert (its screen outcome cannot have changed — the admitted set
+/// ahead of it is exactly the old one) and re-screening everything
+/// from that splice point on. No R-tree traversal at all.
+///
+/// Byte-identical to a fresh [`r_skyband`] over the new dataset:
+/// * a fresh run's member set is contained in `old ∪ live_inserts` —
+///   an old *non*-member had ≥ `k` earlier-popping member dominators,
+///   and by induction on pop order each of those is either admitted
+///   (counts against it) or was itself rejected by ≥ `k` admitted
+///   dominators, which r-dominate it transitively and pop even
+///   earlier; a classified-rejected insert is rejected by the same
+///   argument (that is exactly what the predicate established);
+/// * processing the merged list through one [`BandScreen`] in pop
+///   order therefore replays the fresh run's admission decisions on
+///   the only records that can be admitted, with identical member
+///   state at every step — identical ids, points, vertex scores, and
+///   dominator lists.
+///
+/// Returns `None` (caller falls back to drop-and-recompute) when the
+/// cached sequence fails its pop-order sanity check.
+pub fn r_skyband_repair_inserts(
+    old: &CandidateSet,
+    live_inserts: &[u32],
+    points: &PointStore,
+    region: &Region,
+    k: usize,
+    pivot_order: bool,
+    stats: &mut Stats,
+) -> Option<CandidateSet> {
+    let mut screen = BandScreen::new(region, k);
+    let pivot = screen.pivot().to_vec();
+    let mkeys: Vec<f64> = (0..old.len())
+        .map(|i| heap_key(&old.points[i], &pivot, pivot_order))
+        .collect();
+    for w in 1..old.len() {
+        if pop_cmp(mkeys[w - 1], old.ids[w - 1], mkeys[w], old.ids[w]) != std::cmp::Ordering::Less {
+            return None; // cached sequence is not in pop order
+        }
+    }
+    let mut ins: Vec<(f64, u32)> = live_inserts
+        .iter()
+        .map(|&id| (heap_key(&points[id as usize], &pivot, pivot_order), id))
+        .collect();
+    // utk-lint: allow(float-cmp) -- pop_cmp is the deterministic total pop order (total_cmp inside)
+    ins.sort_by(|a, b| pop_cmp(a.0, a.1, b.0, b.1));
+
+    let (mut mi, mut li) = (0usize, 0usize);
+    let mut splicing = false;
+    while mi < old.len() || li < ins.len() {
+        let take_member = mi < old.len()
+            && (li >= ins.len()
+                || pop_cmp(mkeys[mi], old.ids[mi], ins[li].0, ins[li].1)
+                    == std::cmp::Ordering::Less);
+        if take_member {
+            let id = old.ids[mi];
+            let p = &points[id as usize];
+            if !splicing {
+                screen.admit_free(id, p, old.graph.ancestors(mi as u32));
+            } else if screen.screen(p, stats) {
+                screen.admit_last(id, p);
+            }
+            mi += 1;
+        } else {
+            splicing = true;
+            let id = ins[li].1;
+            let p = &points[id as usize];
+            if screen.screen(p, stats) {
+                screen.admit_last(id, p);
+            }
+            li += 1;
+        }
+    }
+    let (ids, cpoints, dominator_lists) = screen.finish(points.dim());
+    stats.candidates = ids.len();
+    let graph = DominanceGraph::build(dominator_lists);
+    Some(CandidateSet {
+        ids,
+        points: cpoints,
+        graph,
+    })
+}
+
+/// Splice-repairs a cached r-skyband after a mutation that **deleted
+/// a member** (with any mix of other deletes and inserts): one BBS
+/// pass over the *new* dataset's [`TreeView`] that free-admits the
+/// member prefix no change can reach and re-screens only the suffix.
+///
+/// `old` carries the previous epoch's ids; `old_ids_new` maps each
+/// member to its renumbered id ([`TOMBSTONE`] = deleted);
+/// `live_inserts` are the new ids of inserts that escaped
+/// [`rejected_by_members`] against the old member set.
+///
+/// The splice point is `k* =` the largest heap key over deleted
+/// members and live inserts — every record popping strictly above
+/// `k*` sees an unchanged world: no deleted member and no admissible
+/// insert pops before it, so (by the same induction as
+/// [`r_skyband_repair_inserts`]) the admitted prefix is exactly the
+/// old member prefix and old non-members stay rejected. The free
+/// phase therefore expands nodes without screening and admits exactly
+/// the expected member sequence with its old dominator rows; the
+/// first pop at or below `k*` switches to the normal screen/admit
+/// protocol, which replays the fresh run from that point (records
+/// from subtrees a fresh run would have pruned still screen to
+/// rejection — their ≥ `k` dominators are admitted here too — so only
+/// work counters differ, never the candidate set).
+///
+/// Classified-rejected inserts are skipped in the free phase (sound:
+/// their ≥ `k` member dominators all pop above `k*`, hence none was
+/// deleted) and simply pop into the re-screened suffix otherwise.
+///
+/// Returns `None` (caller falls back to drop-and-recompute) when any
+/// consistency check fails: cached sequence out of pop order, a
+/// deleted member above the splice point, or the traversal not
+/// meeting the expected prefix exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn r_skyband_repair(
+    old: &CandidateSet,
+    old_ids_new: &[u32],
+    live_inserts: &[u32],
+    points: &PointStore,
+    view: &TreeView<'_>,
+    region: &Region,
+    k: usize,
+    pivot_order: bool,
+    stats: &mut Stats,
+) -> Option<CandidateSet> {
+    if old_ids_new.len() != old.len() {
+        return None;
+    }
+    let mut screen = BandScreen::new(region, k);
+    let pivot = screen.pivot().to_vec();
+    let mkeys: Vec<f64> = (0..old.len())
+        .map(|i| heap_key(&old.points[i], &pivot, pivot_order))
+        .collect();
+    for w in 1..old.len() {
+        if pop_cmp(mkeys[w - 1], old.ids[w - 1], mkeys[w], old.ids[w]) != std::cmp::Ordering::Less {
+            return None; // cached sequence is not in pop order
+        }
+    }
+    let mut kstar = f64::NEG_INFINITY;
+    for (i, &nid) in old_ids_new.iter().enumerate() {
+        if nid == TOMBSTONE && !mkeys[i].is_nan() && mkeys[i] > kstar {
+            kstar = mkeys[i];
+        }
+    }
+    for &id in live_inserts {
+        let kk = heap_key(&points[id as usize], &pivot, pivot_order);
+        if !kk.is_nan() && kk > kstar {
+            kstar = kk;
+        }
+    }
+    // Descending NaN-last keys (verified above) make this predicate
+    // monotone, so the partition point is the free-prefix length.
+    let prefix_count = mkeys.partition_point(|kk| !kk.is_nan() && *kk > kstar);
+    if old_ids_new[..prefix_count].contains(&TOMBSTONE) {
+        return None; // a deleted member above its own splice point
+    }
+
+    let tree = view.tree;
+    let key = |p: &[f64]| heap_key(p, &pivot, pivot_order);
+    let mut heap = std::collections::BinaryHeap::new();
+    let root = tree.root();
+    heap.push(Entry {
+        key: key(&tree.node(root).mbb.hi),
+        is_node: true,
+        id: root,
+    });
+    for &id in view.extra {
+        heap.push(Entry {
+            key: key(&points[id as usize]),
+            is_node: false,
+            id: id as usize,
+        });
+    }
+    let mut ei = 0usize; // next expected free-prefix member
+    let mut free = true;
+    while let Some(Entry {
+        key: kk,
+        is_node,
+        id,
+    }) = heap.pop()
+    {
+        if free && (kk <= kstar || kk.is_nan()) {
+            // First pop at/below the splice key: the free prefix must
+            // be fully accounted for before the re-screen takes over.
+            if ei != prefix_count {
+                return None;
+            }
+            free = false;
+        }
+        if is_node {
+            let node = tree.node(id);
+            if !free && !screen.screen(&node.mbb.hi, stats) {
+                continue; // subtree fully r-dominated ≥ k times
+            }
+            match &node.kind {
+                utk_rtree::NodeKind::Inner { children } => {
+                    for &c in children {
+                        heap.push(Entry {
+                            key: key(&tree.node(c).mbb.hi),
+                            is_node: true,
+                            id: c,
+                        });
+                    }
+                }
+                utk_rtree::NodeKind::Leaf { items } => {
+                    for &rid in items {
+                        let Some(cur) = view.current_id(rid) else {
+                            continue;
+                        };
+                        heap.push(Entry {
+                            key: key(&points[cur as usize]),
+                            is_node: false,
+                            id: cur as usize,
+                        });
+                    }
+                }
+            }
+        } else if free {
+            if ei < prefix_count && id as u32 == old_ids_new[ei] {
+                screen.admit_free(id as u32, &points[id], old.graph.ancestors(ei as u32));
+                ei += 1;
+            }
+            // Any other record popping above k* is an old non-member
+            // or a classified-rejected insert: provably rejected, so
+            // it is skipped without a screen test.
+        } else if screen.screen(&points[id], stats) {
+            screen.admit_last(id as u32, &points[id]);
+        }
+    }
+    if free && ei != prefix_count {
+        return None; // the traversal never delivered the full prefix
+    }
+    let (ids, cpoints, dominator_lists) = screen.finish(points.dim());
+    stats.candidates = ids.len();
+    let graph = DominanceGraph::build(dominator_lists);
+    Some(CandidateSet {
+        ids,
+        points: cpoints,
+        graph,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1033,6 +1321,174 @@ mod tests {
                 assert_eq!(rejected, !admitted, "k = {k}, probe {p:?}");
             }
         }
+    }
+
+    #[test]
+    fn insert_splice_repair_is_byte_identical_to_cold() {
+        // Insert-only mutations: the no-traversal merge repair must
+        // reproduce a cold run on the grown dataset byte for byte —
+        // including inserts strong enough to evict old members, and
+        // under both heap keys.
+        let region = Region::hyperrect(vec![0.1, 0.15], vec![0.3, 0.35]);
+        for (k, pivot_order) in [(1, true), (3, true), (2, false), (5, false)] {
+            let pts = random_points(250, 3, 700 + k as u64);
+            let tree = RTree::bulk_load(&pts);
+            let old = r_skyband(
+                &flat(&pts),
+                &tree,
+                &region,
+                k,
+                pivot_order,
+                &mut Stats::new(),
+            );
+            let mut grown = pts.clone();
+            grown.extend(random_points(12, 3, 800 + k as u64));
+            grown.push(vec![0.95, 0.95, 0.95]); // dominant: must evict
+            let store = flat(&grown);
+            let live: Vec<u32> = (pts.len() as u32..grown.len() as u32)
+                .filter(|&id| {
+                    !rejected_by_members(&old, &grown[id as usize], &region, k, pivot_order)
+                })
+                .collect();
+            assert!(!live.is_empty(), "fixture must exercise the splice");
+            let grown_tree = RTree::bulk_load(&grown);
+            let mut cold_stats = Stats::new();
+            let cold = r_skyband(
+                &store,
+                &grown_tree,
+                &region,
+                k,
+                pivot_order,
+                &mut cold_stats,
+            );
+            let mut repair_stats = Stats::new();
+            let got = r_skyband_repair_inserts(
+                &old,
+                &live,
+                &store,
+                &region,
+                k,
+                pivot_order,
+                &mut repair_stats,
+            )
+            .expect("repair applies");
+            assert_eq!(got, cold, "k = {k}, pivot_order = {pivot_order}");
+            assert!(
+                repair_stats.rdom_tests < cold_stats.rdom_tests,
+                "repair must screen less than a cold run (k = {k}: {} vs {})",
+                repair_stats.rdom_tests,
+                cold_stats.rdom_tests
+            );
+        }
+    }
+
+    #[test]
+    fn delete_splice_repair_is_byte_identical_to_cold() {
+        // Member deletions (mixed with non-member deletes and
+        // inserts): the free-prefix BBS repair must reproduce a cold
+        // run over the renumbered dataset byte for byte, through both
+        // a fresh tree and a stale-overlay view.
+        let region = Region::hyperrect(vec![0.1, 0.1], vec![0.32, 0.3]);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(900);
+        let (mut total_repair_tests, mut total_cold_tests) = (0usize, 0usize);
+        for round in 0..12 {
+            let k = [1, 2, 4][round % 3];
+            let pivot_order = round % 2 == 0;
+            let pts = random_points(220, 3, 1000 + round as u64);
+            let tree = RTree::bulk_load(&pts);
+            let old = r_skyband(
+                &flat(&pts),
+                &tree,
+                &region,
+                k,
+                pivot_order,
+                &mut Stats::new(),
+            );
+            if old.len() < 3 {
+                continue;
+            }
+            // Victims: one mid member, one late member, one random
+            // non-member; inserts: a couple of ordinary records.
+            let mut deleted = vec![false; pts.len()];
+            deleted[old.ids[old.len() / 3] as usize] = true;
+            deleted[old.ids[old.len() - 1] as usize] = true;
+            loop {
+                let v = rng.gen_range(0..pts.len());
+                if !deleted[v] && !old.ids.contains(&(v as u32)) {
+                    deleted[v] = true;
+                    break;
+                }
+            }
+            let inserts = random_points(4, 3, 2000 + round as u64);
+            let mut shift = vec![TOMBSTONE; pts.len()];
+            let mut live_pts: Vec<Vec<f64>> = Vec::new();
+            for (i, p) in pts.iter().enumerate() {
+                if !deleted[i] {
+                    shift[i] = live_pts.len() as u32;
+                    live_pts.push(p.clone());
+                }
+            }
+            let first_inserted = live_pts.len() as u32;
+            live_pts.extend(inserts.iter().cloned());
+            let store = flat(&live_pts);
+            let old_ids_new: Vec<u32> = old.ids.iter().map(|&id| shift[id as usize]).collect();
+            let live_inserts: Vec<u32> = (first_inserted..live_pts.len() as u32)
+                .filter(|&id| {
+                    !rejected_by_members(&old, &live_pts[id as usize], &region, k, pivot_order)
+                })
+                .collect();
+
+            let fresh_tree = RTree::bulk_load(&live_pts);
+            let mut cold_stats = Stats::new();
+            let cold = r_skyband(
+                &store,
+                &fresh_tree,
+                &region,
+                k,
+                pivot_order,
+                &mut cold_stats,
+            );
+            let mut repair_stats = Stats::new();
+            let got = r_skyband_repair(
+                &old,
+                &old_ids_new,
+                &live_inserts,
+                &store,
+                &TreeView::packed(&fresh_tree),
+                &region,
+                k,
+                pivot_order,
+                &mut repair_stats,
+            )
+            .expect("repair applies");
+            assert_eq!(got, cold, "round {round} (fresh tree)");
+            total_repair_tests += repair_stats.rdom_tests;
+            total_cold_tests += cold_stats.rdom_tests;
+
+            // Same repair through the stale base tree + overlay.
+            let extra: Vec<u32> = (first_inserted..live_pts.len() as u32).collect();
+            let overlay = TreeView::overlay(&tree, Some(&shift), &extra);
+            let got_overlay = r_skyband_repair(
+                &old,
+                &old_ids_new,
+                &live_inserts,
+                &store,
+                &overlay,
+                &region,
+                k,
+                pivot_order,
+                &mut Stats::new(),
+            )
+            .expect("repair applies through the overlay");
+            assert_eq!(got_overlay, cold, "round {round} (overlay view)");
+        }
+        // Per-round savings depend on where the victims sat in pop
+        // order (an early victim can make the free prefix empty), but
+        // across the workload repair must do strictly less screening.
+        assert!(
+            total_repair_tests < total_cold_tests,
+            "repair must screen less in aggregate ({total_repair_tests} vs {total_cold_tests})"
+        );
     }
 
     #[test]

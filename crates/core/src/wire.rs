@@ -286,6 +286,7 @@ mod tests {
             deleted: 1,
             filter_invalidated: 1,
             filter_retained: 4,
+            filter_repaired: 0,
             index_rebuilt: false,
         };
         assert_eq!(

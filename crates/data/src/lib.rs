@@ -30,6 +30,7 @@ pub mod embedded;
 pub mod queries;
 pub mod real;
 pub mod synthetic;
+pub mod wal;
 
 pub use dataset::Dataset;
 pub use queries::random_regions;

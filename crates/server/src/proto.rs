@@ -33,7 +33,9 @@
 //!             "index_rebuilt":BOOL}
 //! stats    → {"ok":"stats","requests_served":N,"busy_rejections":N,
 //!             "inflight":N,"max_inflight":N,"datasets_loaded":N,
-//!             "datasets":[NAME,...],"registry_cache_bytes":N}
+//!             "datasets":[NAME,...],"registry_cache_bytes":N,
+//!             "wal_enabled":BOOL,"wal_datasets":N,"wal_records":N,
+//!             "wal_bytes":N}
 //! evict    → {"ok":"evict","dataset":NAME,"evicted":BOOL}
 //! shutdown → {"ok":"shutdown"}
 //! ```
@@ -44,7 +46,8 @@
 //!
 //! ```text
 //! {"error":MSG,"code":CODE}
-//! CODE ∈ bad_request | unknown_dataset | dataset_error | busy | shutting_down
+//! CODE ∈ bad_request | unknown_dataset | dataset_error | busy
+//!      | shutting_down | would_lose_updates
 //! ```
 //!
 //! `busy` is the admission-control rejection: the server sheds the
@@ -67,6 +70,10 @@ pub mod code {
     pub const BUSY: &str = "busy";
     /// The server is draining after a `shutdown` request.
     pub const SHUTTING_DOWN: &str = "shutting_down";
+    /// Evicting now would silently discard in-memory mutations: the
+    /// dataset has epoch bumps but no write-ahead log to replay them
+    /// from, so an evict-then-reload would revert to the on-disk CSV.
+    pub const WOULD_LOSE_UPDATES: &str = "would_lose_updates";
 }
 
 /// One request line, parsed. (`PartialEq` only: `update` carries
@@ -344,6 +351,14 @@ pub struct StatsBody {
     pub datasets: Vec<String>,
     /// Total filter-cache bytes across resident engines.
     pub registry_cache_bytes: u64,
+    /// Whether the server was started with a WAL directory.
+    pub wal_enabled: bool,
+    /// Resident datasets with an open write-ahead log.
+    pub wal_datasets: u64,
+    /// Total WAL records across resident datasets.
+    pub wal_records: u64,
+    /// Total WAL bytes across resident datasets.
+    pub wal_bytes: u64,
 }
 
 /// One response line, parsed. The server builds these; clients parse
@@ -451,7 +466,9 @@ impl Response {
                 concat!(
                     r#"{{"ok":"stats","requests_served":{},"busy_rejections":{},"#,
                     r#""inflight":{},"max_inflight":{},"datasets_loaded":{},"#,
-                    r#""datasets":{},"registry_cache_bytes":{}}}"#
+                    r#""datasets":{},"registry_cache_bytes":{},"#,
+                    r#""wal_enabled":{},"wal_datasets":{},"wal_records":{},"#,
+                    r#""wal_bytes":{}}}"#
                 ),
                 s.requests_served,
                 s.busy_rejections,
@@ -460,6 +477,10 @@ impl Response {
                 s.datasets_loaded,
                 json_str_list(&s.datasets),
                 s.registry_cache_bytes,
+                s.wal_enabled,
+                s.wal_datasets,
+                s.wal_records,
+                s.wal_bytes,
             ),
             Response::Evict { dataset, evicted } => format!(
                 r#"{{"ok":"evict","dataset":"{}","evicted":{evicted}}}"#,
@@ -487,6 +508,7 @@ impl Response {
                 code::DATASET_ERROR,
                 code::BUSY,
                 code::SHUTTING_DOWN,
+                code::WOULD_LOSE_UPDATES,
             ]
             .iter()
             .find(|c| **c == code_str)
@@ -560,6 +582,10 @@ impl Response {
                     })
                     .collect::<Result<Vec<String>, ProtoError>>()?,
                 registry_cache_bytes: field_u64("registry_cache_bytes")?,
+                wal_enabled: field_bool("wal_enabled")?,
+                wal_datasets: field_u64("wal_datasets")?,
+                wal_records: field_u64("wal_records")?,
+                wal_bytes: field_u64("wal_bytes")?,
             })),
             "evict" => Ok(Response::Evict {
                 dataset: field_str("dataset")?,
@@ -641,6 +667,10 @@ mod tests {
                 datasets_loaded: 2,
                 datasets: vec!["anti".into(), "hotels".into()],
                 registry_cache_bytes: 4096,
+                wal_enabled: true,
+                wal_datasets: 1,
+                wal_records: 5,
+                wal_bytes: 320,
             }),
             Response::Update {
                 dataset: "hotels".into(),
@@ -662,6 +692,10 @@ mod tests {
             Response::Error(ProtoError {
                 code: code::BUSY,
                 message: "2 requests in flight (limit 2)".into(),
+            }),
+            Response::Error(ProtoError {
+                code: code::WOULD_LOSE_UPDATES,
+                message: "dataset \"hotels\" holds 2 unlogged epochs".into(),
             }),
         ];
         for resp in responses {

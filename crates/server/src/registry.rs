@@ -14,16 +14,26 @@
 //! entries stay warm (the engine-level resize is in-place).
 //!
 //! `update` mutates the *resident* engine and its parsed CSV payload
-//! (labels move with their rows); the file on disk is never touched,
-//! so an evict-then-reload reverts to disk state by construction.
+//! (labels move with their rows); the source CSV file is never
+//! touched. Without a WAL directory an evict-then-reload therefore
+//! reverts to disk state — which is why evicting a mutated dataset is
+//! refused with `would_lose_updates` in that configuration. With a
+//! WAL directory ([`DatasetRegistry::with_wal_dir`]) every mutation
+//! is appended + fsynced to `<wal-dir>/<name>.wal` **before** the
+//! engine commits its epoch bump, loads replay the log (from the
+//! compaction snapshot `<name>.snapshot.csv` when one exists), and
+//! the durability invariant holds: if epoch `N` was ever visible to
+//! a client, a reload replays to exactly epoch `N`.
 
 use std::collections::BTreeMap;
-use std::path::PathBuf;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
 
 use crate::proto::{code, ProtoError};
 use utk_core::engine::{UpdateReport, UtkEngine};
-use utk_data::csv::{parse_csv, CsvData};
+use utk_data::csv::{parse_csv, write_csv, CsvData};
+use utk_data::wal::{WalFile, WalRecord};
 
 /// One resident dataset: the parsed CSV (for record names) and its
 /// engine.
@@ -40,11 +50,16 @@ pub struct LoadedDataset {
     /// internally consistent (the engine snapshots its own version),
     /// and `CsvData::name` falls back to `#id` past the label column.
     pub data: RwLock<Arc<CsvData>>,
-    /// Serializes `update`s on this dataset (stage → engine mutate →
-    /// swap must not interleave); queries never take it.
+    /// Serializes `update`s on this dataset (stage → WAL append →
+    /// engine mutate → swap must not interleave); queries never take
+    /// it.
     update_lock: Mutex<()>,
     /// The engine serving it.
     pub engine: UtkEngine,
+    /// The dataset's write-ahead log, when the registry serves with a
+    /// WAL directory. Appended under `update_lock`; `stats` readers
+    /// take the lock only momentarily for counters.
+    pub wal: Option<Mutex<WalFile>>,
 }
 
 impl LoadedDataset {
@@ -64,6 +79,9 @@ impl LoadedDataset {
 #[derive(Debug)]
 pub struct DatasetRegistry {
     dir: PathBuf,
+    /// Per-dataset write-ahead logs live here when set; `None` serves
+    /// memory-only (the pre-WAL behavior, minus the silent revert).
+    wal_dir: Option<PathBuf>,
     /// Total filter-cache bytes shared across resident engines.
     cache_budget: usize,
     /// Worker-pool size handed to each engine (0 = one per core).
@@ -88,15 +106,45 @@ impl DatasetRegistry {
     pub fn new(dir: PathBuf, cache_budget: usize, pool_threads: usize) -> Self {
         Self {
             dir,
+            wal_dir: None,
             cache_budget,
             pool_threads,
             loaded: Mutex::new(BTreeMap::new()),
         }
     }
 
+    /// Turns on crash-safe updates: every mutation is logged to
+    /// `<wal_dir>/<name>.wal` before it commits, and loads replay the
+    /// log. Builder-style: call before the registry serves requests.
+    pub fn with_wal_dir(mut self, wal_dir: PathBuf) -> Self {
+        self.wal_dir = Some(wal_dir);
+        self
+    }
+
     /// The served directory.
     pub fn dir(&self) -> &PathBuf {
         &self.dir
+    }
+
+    /// The WAL directory, when crash-safe updates are on.
+    pub fn wal_dir(&self) -> Option<&PathBuf> {
+        self.wal_dir.as_ref()
+    }
+
+    /// Aggregate WAL state across resident datasets:
+    /// `(datasets_with_wal, total_records, total_bytes)`.
+    pub fn wal_totals(&self) -> (u64, u64, u64) {
+        let loaded = self.loaded.lock().expect("registry lock");
+        let mut totals = (0, 0, 0);
+        for ds in loaded.values() {
+            if let Some(wal) = &ds.wal {
+                let wal = wal.lock().expect("dataset wal lock");
+                totals.0 += 1;
+                totals.1 += wal.records();
+                totals.2 += wal.bytes();
+            }
+        }
+        totals
     }
 
     /// Dataset names available on disk (sorted), whether loaded or
@@ -162,22 +210,66 @@ impl DatasetRegistry {
             code: code::UNKNOWN_DATASET,
             message: format!("dataset {name:?}: {}: {e}", path.display()),
         })?;
-        let data = parse_csv(&text, &path.to_string_lossy()).map_err(|e| ProtoError {
+        let dataset_error = |detail: String| ProtoError {
             code: code::DATASET_ERROR,
-            message: format!("dataset {name:?}: {e}"),
-        })?;
-        let mut engine = UtkEngine::new(data.dataset.points.clone()).map_err(|e| ProtoError {
-            code: code::DATASET_ERROR,
-            message: format!("dataset {name:?}: {e}"),
-        })?;
+            message: format!("dataset {name:?}: {detail}"),
+        };
+        let mut data =
+            parse_csv(&text, &path.to_string_lossy()).map_err(|e| dataset_error(e.to_string()))?;
+
+        // With a WAL directory, recover the log before the engine
+        // exists: a torn tail is truncated, a compaction marker
+        // switches the replay base to the side-by-side snapshot, and
+        // every surviving record is re-applied below so the engine
+        // comes up at exactly the epoch the log replays to.
+        let mut base_epoch = 0u64;
+        let mut to_replay: Vec<WalRecord> = Vec::new();
+        let wal = match &self.wal_dir {
+            None => None,
+            Some(wal_dir) => {
+                std::fs::create_dir_all(wal_dir)
+                    .map_err(|e| dataset_error(format!("wal dir {}: {e}", wal_dir.display())))?;
+                let wal_path = wal_dir.join(format!("{name}.wal"));
+                let opened = WalFile::open(&wal_path)
+                    .map_err(|e| dataset_error(format!("wal {}: {e}", wal_path.display())))?;
+                if let Some(WalRecord::Compact { base_epoch: b }) = opened.records.first() {
+                    base_epoch = *b;
+                    let snap_path = snapshot_path(&wal_path);
+                    let snap_text = std::fs::read_to_string(&snap_path).map_err(|e| {
+                        dataset_error(format!("wal snapshot {}: {e}", snap_path.display()))
+                    })?;
+                    data = parse_csv(&snap_text, &snap_path.to_string_lossy())
+                        .map_err(|e| dataset_error(format!("wal snapshot: {e}")))?;
+                }
+                to_replay = opened.records;
+                Some(opened.wal)
+            }
+        };
+
+        let mut engine = UtkEngine::new(data.dataset.points.clone())
+            .map_err(|e| dataset_error(e.to_string()))?
+            .with_base_epoch(base_epoch);
         if self.pool_threads != 0 {
             engine = engine.with_pool_threads(self.pool_threads);
+        }
+        for record in &to_replay {
+            if matches!(record, WalRecord::Compact { .. }) {
+                continue;
+            }
+            let (deletes, inserts, labels) = record.mutation();
+            let at = record.epoch();
+            data.apply_update(deletes, inserts, labels)
+                .map_err(|e| dataset_error(format!("wal replay to epoch {at}: {e}")))?;
+            engine
+                .apply_update(deletes, inserts.to_vec())
+                .map_err(|e| dataset_error(format!("wal replay to epoch {at}: {e}")))?;
         }
         let ds = Arc::new(LoadedDataset {
             name: name.to_string(),
             data: RwLock::new(Arc::new(data)),
             update_lock: Mutex::new(()),
             engine,
+            wal: wal.map(Mutex::new),
         });
         let mut loaded = self.loaded.lock().expect("registry lock");
         if let Some(winner) = loaded.get(name) {
@@ -193,13 +285,32 @@ impl DatasetRegistry {
     /// shared budget to the survivors. Returns whether an engine was
     /// actually resident. In-flight queries on the evicted engine
     /// finish safely — they hold their own `Arc` handle.
-    pub fn evict(&self, name: &str) -> bool {
+    ///
+    /// Refused with [`code::WOULD_LOSE_UPDATES`] when the dataset has
+    /// in-memory mutations (a non-zero epoch) and no write-ahead log:
+    /// evicting would silently revert it to the on-disk CSV at the
+    /// next load. With a WAL every mutation is already durable, so
+    /// eviction is always safe.
+    pub fn evict(&self, name: &str) -> Result<bool, ProtoError> {
         let mut loaded = self.loaded.lock().expect("registry lock");
+        if let Some(ds) = loaded.get(name) {
+            if ds.wal.is_none() && ds.engine.dataset_epoch() > 0 {
+                return Err(ProtoError {
+                    code: code::WOULD_LOSE_UPDATES,
+                    message: format!(
+                        "dataset {name:?} holds {} in-memory mutation epoch(s) and no \
+                         write-ahead log; evicting would revert it to the on-disk CSV \
+                         (serve with --wal-dir to make updates durable)",
+                        ds.engine.dataset_epoch()
+                    ),
+                });
+            }
+        }
         let removed = loaded.remove(name).is_some();
         if removed {
             Self::rebalance(&loaded, self.cache_budget);
         }
-        removed
+        Ok(removed)
     }
 
     /// Mutates a resident dataset (loading it first if needed):
@@ -231,10 +342,45 @@ impl DatasetRegistry {
             staged
                 .apply_update(deletes, &inserts, labels.as_deref())
                 .map_err(|e| ProtoError::bad_request(format!("dataset {name:?}: {e}")))?;
+            // Durability before visibility: the record reaches disk
+            // (append + fsync) before the engine commits its epoch
+            // bump. Staging already validated the mutation, so the
+            // engine cannot refuse what the log now promises.
+            if let Some(wal) = &ds.wal {
+                if !(deletes.is_empty() && inserts.is_empty()) {
+                    let mut wal = wal.lock().expect("dataset wal lock");
+                    let record = WalRecord::for_update(
+                        wal.epoch() + 1,
+                        deletes,
+                        &inserts,
+                        labels.as_deref(),
+                    );
+                    wal.append(&record).map_err(|e| ProtoError {
+                        code: code::DATASET_ERROR,
+                        message: format!("dataset {name:?}: wal append: {e}"),
+                    })?;
+                }
+            }
             let report = ds
                 .engine
                 .apply_update(deletes, inserts)
                 .map_err(|e| ProtoError::bad_request(format!("dataset {name:?}: {e}")))?;
+            if report.index_rebuilt {
+                // The engine just paid for a full rebuild; fold the
+                // log into a snapshot so future loads replay from
+                // here. Snapshot first, then compact — a crash in
+                // between leaves the full log, which still replays
+                // from the original CSV.
+                if let Some(wal) = &ds.wal {
+                    let mut wal = wal.lock().expect("dataset wal lock");
+                    compact_into_snapshot(&mut wal, &staged, report.epoch).map_err(|e| {
+                        ProtoError {
+                            code: code::DATASET_ERROR,
+                            message: format!("dataset {name:?}: wal compact: {e}"),
+                        }
+                    })?;
+                }
+            }
             *ds.data.write().expect("dataset data lock") = Arc::new(staged);
             report
         };
@@ -267,6 +413,33 @@ impl DatasetRegistry {
             ds.engine.set_filter_cache_budget(share);
         }
     }
+}
+
+/// The compaction snapshot path beside a `<name>.wal` log.
+fn snapshot_path(wal_path: &Path) -> PathBuf {
+    let stem = wal_path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("dataset");
+    wal_path.with_file_name(format!("{stem}.snapshot.csv"))
+}
+
+/// Writes `data` as the compaction snapshot beside the log (through a
+/// fsynced temp file + rename, so a crash never leaves a half-written
+/// snapshot under the final name) and truncates the log to a single
+/// `Compact` marker at `epoch`.
+fn compact_into_snapshot(wal: &mut WalFile, data: &CsvData, epoch: u64) -> Result<(), String> {
+    let text = write_csv(&data.dataset, data.labels.as_deref());
+    let snap = snapshot_path(wal.path());
+    let tmp = snap.with_extension("tmp");
+    (|| -> std::io::Result<()> {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(text.as_bytes())?;
+        file.sync_data()?;
+        std::fs::rename(&tmp, &snap)
+    })()
+    .map_err(|e| format!("snapshot {}: {e}", snap.display()))?;
+    wal.compact(epoch).map_err(|e| e.to_string())
 }
 
 #[cfg(test)]
@@ -308,8 +481,8 @@ mod tests {
         assert_eq!(tiny.engine.filter_cache_budget(), BUDGET * 4 / 13);
 
         // Evicting re-deals the whole budget to the survivor.
-        assert!(registry.evict("tiny"));
-        assert!(!registry.evict("tiny"));
+        assert!(registry.evict("tiny").unwrap());
+        assert!(!registry.evict("tiny").unwrap());
         assert_eq!(hotels.engine.filter_cache_budget(), BUDGET);
         assert_eq!(registry.loaded_names(), vec!["hotels".to_string()]);
     }
@@ -374,13 +547,99 @@ mod tests {
             code::BAD_REQUEST
         );
 
-        // Evict-then-reload reverts to disk state: in-memory updates
-        // never touch the CSV file.
-        assert!(registry.evict("hotels"));
-        let (reloaded, _) = registry.get_or_load("hotels").unwrap();
-        assert_eq!(reloaded.engine.len(), 3);
+        // Without a WAL, evicting a mutated dataset would silently
+        // revert it to disk state at the next load — refused with a
+        // typed error, and the engine stays resident.
+        let err = registry.evict("hotels").unwrap_err();
+        assert_eq!(err.code, code::WOULD_LOSE_UPDATES);
+        assert_eq!(registry.loaded_count(), 2);
+        assert_eq!(hotels.engine.len(), 4);
+
+        // An unmutated dataset still evicts and reloads from disk.
+        assert!(registry.evict("tiny").unwrap());
+        let (reloaded, _) = registry.get_or_load("tiny").unwrap();
         assert_eq!(reloaded.engine.dataset_epoch(), 0);
-        assert_eq!(reloaded.data.read().unwrap().name(0), "p1");
+    }
+
+    #[test]
+    fn wal_replays_updates_across_evict_and_reload() {
+        let dir = fixture_dir();
+        let wal_dir = dir.join("wal_replay");
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let registry = DatasetRegistry::new(dir.clone(), 1 << 20, 1).with_wal_dir(wal_dir.clone());
+        assert_eq!(registry.wal_totals(), (0, 0, 0));
+
+        let (_, report) = registry
+            .update(
+                "hotels",
+                &[0],
+                vec![vec![7.0, 7.0, 7.0]],
+                Some(vec!["p4".into()]),
+            )
+            .unwrap();
+        assert_eq!(report.epoch, 1);
+        let (datasets, records, bytes) = registry.wal_totals();
+        assert_eq!((datasets, records), (1, 1));
+        assert!(bytes > 0);
+
+        // With a WAL the mutation is durable, so evicting a mutated
+        // dataset is allowed — and the reload replays to the exact
+        // epoch that was visible before.
+        assert!(registry.evict("hotels").unwrap());
+        let (reloaded, _) = registry.get_or_load("hotels").unwrap();
+        assert_eq!(reloaded.engine.dataset_epoch(), 1);
+        assert_eq!(reloaded.engine.len(), 3);
+        assert_eq!(reloaded.data.read().unwrap().name(2), "p4");
+
+        // A fresh registry over the same directories (a restarted
+        // server) sees the same state.
+        drop(registry);
+        let restarted = DatasetRegistry::new(dir, 1 << 20, 1).with_wal_dir(wal_dir);
+        let (back, _) = restarted.get_or_load("hotels").unwrap();
+        assert_eq!(back.engine.dataset_epoch(), 1);
+        assert_eq!(back.data.read().unwrap().name(0), "p2");
+        assert_eq!(back.data.read().unwrap().name(2), "p4");
+    }
+
+    #[test]
+    fn index_rebuild_compacts_the_wal_into_a_snapshot() {
+        let dir = fixture_dir();
+        let wal_dir = dir.join("wal_compact");
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let registry = DatasetRegistry::new(dir.clone(), 1 << 20, 1).with_wal_dir(wal_dir.clone());
+
+        // Enough churn to trip the engine's rebuild heuristic: grow
+        // the 3-row dataset well past its original size.
+        let mut epoch = 0;
+        let mut rebuilt = false;
+        for i in 0..12 {
+            let row = vec![1.0 + f64::from(i), 2.0, 3.0];
+            let (_, report) = registry
+                .update("hotels", &[], vec![row], Some(vec![format!("x{i}")]))
+                .unwrap();
+            epoch = report.epoch;
+            rebuilt |= report.index_rebuilt;
+        }
+        assert!(rebuilt, "12 single-row inserts never rebuilt the tree");
+        let (_, records, _) = registry.wal_totals();
+        assert!(
+            records < 12,
+            "compaction should have folded the log ({records} records left)"
+        );
+        assert!(wal_dir.join("hotels.snapshot.csv").exists());
+
+        // Restart: the snapshot plus the log tail replays to the same
+        // epoch and data as the uninterrupted registry.
+        let n_before = {
+            let (ds, _) = registry.get_or_load("hotels").unwrap();
+            ds.engine.len()
+        };
+        drop(registry);
+        let restarted = DatasetRegistry::new(dir, 1 << 20, 1).with_wal_dir(wal_dir);
+        let (back, _) = restarted.get_or_load("hotels").unwrap();
+        assert_eq!(back.engine.dataset_epoch(), epoch);
+        assert_eq!(back.engine.len(), n_before);
+        assert_eq!(back.data.read().unwrap().name(n_before as u32 - 1), "x11");
     }
 
     #[test]

@@ -189,6 +189,9 @@ pub struct ServerConfig {
     pub cache_budget: usize,
     /// Worker-pool size per engine (0 = one worker per core).
     pub pool_threads: usize,
+    /// Per-dataset write-ahead logs live here when set (crash-safe
+    /// updates); `None` serves memory-only.
+    pub wal_dir: Option<PathBuf>,
 }
 
 impl ServerConfig {
@@ -201,6 +204,7 @@ impl ServerConfig {
             max_inflight: 64,
             cache_budget: 64 << 20,
             pool_threads: 0,
+            wal_dir: None,
         }
     }
 }
@@ -254,6 +258,7 @@ impl Shared {
 
     fn stats_body(&self) -> StatsBody {
         let snap = self.snapshot();
+        let (wal_datasets, wal_records, wal_bytes) = self.registry.wal_totals();
         StatsBody {
             requests_served: snap.requests_served,
             busy_rejections: snap.busy_rejections,
@@ -262,6 +267,10 @@ impl Shared {
             datasets_loaded: snap.datasets_loaded as u64,
             datasets: snap.datasets,
             registry_cache_bytes: snap.registry_cache_bytes as u64,
+            wal_enabled: self.registry.wal_dir().is_some(),
+            wal_datasets,
+            wal_records,
+            wal_bytes,
         }
     }
 }
@@ -337,11 +346,17 @@ impl Server {
             listener,
             bind,
             shared: Arc::new(Shared {
-                registry: DatasetRegistry::new(
-                    config.datasets_dir,
-                    config.cache_budget,
-                    config.pool_threads,
-                ),
+                registry: {
+                    let registry = DatasetRegistry::new(
+                        config.datasets_dir,
+                        config.cache_budget,
+                        config.pool_threads,
+                    );
+                    match config.wal_dir {
+                        Some(dir) => registry.with_wal_dir(dir),
+                        None => registry,
+                    }
+                },
                 max_inflight: config.max_inflight.max(1),
                 inflight: AtomicUsize::new(0),
                 requests_served: AtomicU64::new(0),
@@ -731,7 +746,7 @@ fn handle_request(request: &Request, shared: &Shared, writer: &mut Stream) -> Re
             Ok(())
         }
         Request::Evict { dataset } => {
-            let evicted = shared.registry.evict(dataset);
+            let evicted = shared.registry.evict(dataset)?;
             write_line(
                 writer,
                 &Response::Evict {

@@ -53,6 +53,8 @@ pub const VALUE_FLAGS: &[&str] = &[
     "insert",
     "delete",
     "labels",
+    "wal",
+    "wal-dir",
 ];
 
 /// The flags one query line of a `batch` file (or a server

@@ -23,9 +23,11 @@
 //! protocol, so a query line means the same thing on the command
 //! line, in a batch file, and over a socket.
 
+use std::path::Path;
 use std::process::ExitCode;
 use utk::data::csv::{parse_csv, write_csv, CsvData};
 use utk::data::synthetic::{generate, Distribution};
+use utk::data::wal::{WalFile, WalRecord};
 use utk::prelude::*;
 use utk::server::client::{BatchReply, Connection};
 use utk::server::proto::{Request, Response};
@@ -80,7 +82,7 @@ USAGE:
   utk utk1     --data <csv> --k <n> <REGION> [OPTIONS]      minimal set of possible top-k records
   utk utk2     --data <csv> --k <n> <REGION> [OPTIONS]      exact top-k set per preference partition
   utk topk     --data <csv> --k <n> --weights w1,..,wd [OPTIONS]   plain top-k (for comparison)
-  utk batch    --data <csv> --file <queries> [--threads <n>] [--mutations <file>]
+  utk batch    --data <csv> --file <queries> [--threads <n>] [--mutations <file>] [--wal <log>]
                                                                    batched queries, one JSON line each
   utk serve    --datasets <dir> (--socket <path> | --port <p>) [SERVE OPTIONS]
   utk client   (--socket <path> | --port <p>) [--dataset <name>] [--file <queries>] [--op <o>]
@@ -121,14 +123,18 @@ MUTATIONS FILE (--mutations; replayed against the in-memory engine):
 Steps apply in order; a file without `run` runs the queries once at the
 end. Each mutation prints one {\"update\":…} JSON line; every query answer
 is byte-identical to a fresh engine on the mutated data. The CSV file on
-disk is never modified.
+disk is never modified. With --wal <log>, mutations already in the log
+are replayed first and every new mutation is appended + fsynced to it
+*before* it applies — a killed run resumes exactly where it crashed
+(a torn tail record is truncated away on reopen).
 
 UPDATE (mutates a dataset on a running server; one atomic engine epoch):
   --delete 1,5              record ids to remove (against the current data)
   --insert \"r1;r2\"          rows to append, ';'-separated, CSV fields each
   --labels a,b              one label per inserted row (iff dataset is labeled)
-Prints the server's {\"ok\":\"update\",…} receipt. In-memory only: evicting
-the dataset reverts to the CSV on disk.
+Prints the server's {\"ok\":\"update\",…} receipt. Durable when the server
+runs with --wal-dir; otherwise in-memory, and evicting a mutated dataset
+is refused ({\"code\":\"would_lose_updates\"}) instead of silently reverting.
 
 SERVE (long-running multi-dataset server; newline-delimited JSON protocol):
   --datasets <dir>      directory of <name>.csv datasets, engines built lazily
@@ -137,6 +143,10 @@ SERVE (long-running multi-dataset server; newline-delimited JSON protocol):
                         instead of queueing (default 64)
   --cache-budget <mib>  filter-cache budget SHARED across all dataset engines (default 64)
   --threads <n>         worker-pool size per engine (default: all cores)
+  --wal-dir <dir>       crash-safe updates: every mutation is appended + fsynced to
+                        <dir>/<name>.wal before it commits, loads replay the log, and
+                        the log is compacted into <dir>/<name>.snapshot.csv whenever
+                        the engine rebuilds its index
 Protocol ops: load, query, batch, stats, evict, shutdown — see the
 utk-server crate docs for the grammar. Server `batch` output is
 byte-identical to `utk batch` on the same file.
@@ -183,7 +193,14 @@ fn command_flags(command: &str) -> Option<&'static [&'static str]> {
             "cache-budget",
         ]),
         "topk" => Some(&["data", "k", "weights", "lp", "json"]),
-        "batch" => Some(&["data", "file", "threads", "cache-budget", "mutations"]),
+        "batch" => Some(&[
+            "data",
+            "file",
+            "threads",
+            "cache-budget",
+            "mutations",
+            "wal",
+        ]),
         "serve" => Some(&[
             "datasets",
             "socket",
@@ -191,6 +208,7 @@ fn command_flags(command: &str) -> Option<&'static [&'static str]> {
             "max-inflight",
             "cache-budget",
             "threads",
+            "wal-dir",
         ]),
         "client" => Some(&["socket", "port", "dataset", "file", "op"]),
         "update" => Some(&["socket", "port", "dataset", "insert", "delete", "labels"]),
@@ -332,6 +350,34 @@ fn run_batch(args: &ParsedArgs) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let parsed = spec::parse_query_file(&text, d);
     let engine = engine_from(args, &data)?;
+    // `--wal <log>`: reopen the mutation log (truncating a torn tail
+    // record), replay whatever a previous — possibly killed — run
+    // already committed, and append every new mutation before it
+    // applies.
+    let mut replayed = 0usize;
+    let mut wal = match args.get("wal") {
+        None => None,
+        Some(wal_path) => {
+            let opened =
+                WalFile::open(Path::new(wal_path)).map_err(|e| format!("{wal_path}: {e}"))?;
+            for record in &opened.records {
+                if matches!(record, WalRecord::Compact { .. }) {
+                    continue;
+                }
+                let (deletes, inserts, labels) = record.mutation();
+                let mut staged = data.clone();
+                staged
+                    .apply_update(deletes, inserts, labels)
+                    .map_err(|e| format!("{wal_path}: replay: {e}"))?;
+                engine
+                    .apply_update(deletes, inserts.to_vec())
+                    .map_err(|e| format!("{wal_path}: replay: {e}"))?;
+                data = staged;
+                replayed += 1;
+            }
+            Some(opened.wal)
+        }
+    };
     let Some(mutations_path) = args.get("mutations") else {
         for line in spec::answer_query_file(&engine, &data, &parsed) {
             println!("{line}");
@@ -347,6 +393,13 @@ fn run_batch(args: &ParsedArgs) -> Result<(), String> {
     for step in steps {
         match step {
             spec::MutationStep::Run => {
+                // Run points inside the committed prefix were already
+                // answered (at their interleaved epochs) by the run
+                // that wrote the log; re-answering here would see the
+                // fully replayed state instead.
+                if replayed > 0 {
+                    continue;
+                }
                 for line in spec::answer_query_file(&engine, &data, &parsed) {
                     println!("{line}");
                 }
@@ -356,12 +409,30 @@ fn run_batch(args: &ParsedArgs) -> Result<(), String> {
                 inserts,
                 labels,
             } => {
+                // Steps already committed to the log were replayed
+                // above (with their receipts printed by the killed
+                // run); resume past them instead of re-applying.
+                if replayed > 0 {
+                    replayed -= 1;
+                    continue;
+                }
                 // Stage the CSV-side change first so engine and
                 // payload succeed or fail together.
                 let mut staged = data.clone();
                 staged
                     .apply_update(&deletes, &inserts, labels.as_deref())
                     .map_err(|e| format!("{mutations_path}: {e}"))?;
+                // Durability before visibility: the validated record
+                // reaches disk before the engine applies it.
+                if let Some(wal) = wal.as_mut() {
+                    let record = WalRecord::for_update(
+                        wal.epoch() + 1,
+                        &deletes,
+                        &inserts,
+                        labels.as_deref(),
+                    );
+                    wal.append(&record).map_err(|e| format!("wal: {e}"))?;
+                }
                 let report = engine
                     .apply_update(&deletes, inserts)
                     .map_err(|e| format!("{mutations_path}: {e}"))?;
@@ -404,6 +475,9 @@ fn run_serve(args: &ParsedArgs) -> Result<(), String> {
     }
     if let Some(t) = args.get("threads") {
         config.pool_threads = t.parse().map_err(|_| "--threads must be an integer")?;
+    }
+    if let Some(wal_dir) = args.get("wal-dir") {
+        config.wal_dir = Some(wal_dir.into());
     }
     let server = Server::bind(config).map_err(|e| format!("bind: {e}"))?;
     eprintln!(

@@ -157,9 +157,26 @@
 //! cached members
 //! ([`rejected_by_members`](core::skyband::rejected_by_members));
 //! survivors are id-remapped and re-keyed under the new epoch.
-//! Serving (`update` op, re-dealing the shared cache budget as sizes
-//! change), `utk update`, and `utk batch --mutations` expose the same
-//! seam end to end.
+//! Entries a mutation *does* touch are **spliced**, not dropped:
+//! [`r_skyband_repair`](core::skyband::r_skyband_repair) re-screens
+//! only the member prefix the mutation can affect and merges live
+//! inserts in pop order, producing a candidate set **byte-identical**
+//! to a fresh [`r_skyband`](core::skyband::r_skyband) — or `None`,
+//! in which case the engine falls back to a full recompute (repair
+//! may only ever be a pure optimization). Serving (`update` op,
+//! re-dealing the shared cache budget as sizes change), `utk update`,
+//! and `utk batch --mutations` expose the same seam end to end.
+//!
+//! Updates are **crash-safe** when a write-ahead log is configured
+//! (`utk serve --wal-dir <dir>`, `utk batch --wal <log>`): every
+//! mutation is appended and fsynced to a per-dataset
+//! [`WalFile`](data::wal::WalFile) (length-prefixed, checksummed,
+//! strict-epoch records) *before* the engine commits its epoch bump,
+//! loads replay the log over the base CSV (tolerating a torn tail),
+//! and an index rebuild folds the log into a snapshot + leading
+//! `compact` marker. Without a WAL, evicting a dataset holding
+//! in-memory updates is refused with a typed `would_lose_updates`
+//! error instead of silently reverting to disk.
 //!
 //! ## Invariants & how they're enforced
 //!
@@ -195,6 +212,24 @@
 //!   Exercised under load by `tests/serve.rs` admission-control and
 //!   `tests/dynamic.rs` concurrency tests; enforced by the lint's
 //!   `guard-blocking` and `lock-order` rules.
+//! * **Durability / incremental repair.** Two contracts added with
+//!   the WAL subsystem. (1) *Epoch `N` visible ⇒ the log replays to
+//!   `N`*: a mutation reaches the per-dataset write-ahead log
+//!   (appended and fsynced) before the engine's epoch bump makes it
+//!   visible, so any
+//!   crash recovers to the exact pre- or post-mutation epoch, never a
+//!   torn state. Locked by the `wal_` fault-injection proptests in
+//!   `tests/dynamic.rs` (kill at every byte offset via
+//!   `fail_after_n_bytes`, replay, compare wire-identically to a
+//!   fresh build), the corruption suite in `tests/edge_cases.rs`
+//!   (torn tail → clean truncation; bad checksum / duplicate epoch /
+//!   bad magic → typed `WalError`, never a panic), and
+//!   `tests/wal_golden.rs` pinning the log bytes of every record
+//!   kind. (2) *Splice repair ≡ recompute*: a repaired filter-cache
+//!   entry is byte-identical to a freshly computed `r_skyband` — the
+//!   repair returns `None` (full recompute) whenever it cannot prove
+//!   identity. Property-locked over random mutation interleavings in
+//!   `tests/dynamic.rs` against a `without_cache_repair()` twin.
 //! * **No `unsafe`.** The audit accompanying the lint found zero
 //!   `unsafe` blocks workspace-wide; every crate now declares
 //!   `#![forbid(unsafe_code)]`, and the lint's `safety-comment` rule

@@ -527,6 +527,57 @@ fn batch_utk1_line_matches_single_query_json_records() {
     assert_eq!(normalize(batch_out.trim()), normalize(single_out.trim()));
 }
 
+/// `utk batch --mutations --wal`: the first run writes every mutation
+/// to the log before applying it; a re-run over the same log resumes
+/// — committed steps replay instead of re-applying, and only the
+/// final run point is (re-)answered, byte-identically.
+#[test]
+fn batch_wal_resume_skips_committed_mutations() {
+    let data = hotels_file();
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let queries = dir.join(format!("utk_cli_wal_q_{pid}.txt"));
+    std::fs::write(&queries, "utk1 --k 2 --lo 0.05,0.05 --hi 0.45,0.25\n").unwrap();
+    let mutations = dir.join(format!("utk_cli_wal_m_{pid}.txt"));
+    std::fs::write(&mutations, "delete 2\ninsert p8,9.9,9.8,9.7\n").unwrap();
+    let log = dir.join(format!("utk_cli_wal_{pid}.wal"));
+    let _ = std::fs::remove_file(&log);
+
+    let run = || {
+        utk(&[
+            "batch",
+            "--data",
+            data.to_str().unwrap(),
+            "--file",
+            queries.to_str().unwrap(),
+            "--mutations",
+            mutations.to_str().unwrap(),
+            "--wal",
+            log.to_str().unwrap(),
+        ])
+    };
+
+    // First run: two receipts (epochs 1 and 2), then the answer.
+    let (first, stderr, ok) = run();
+    assert!(ok, "first batch --wal run failed: {stderr}");
+    let first_lines: Vec<&str> = first.lines().collect();
+    assert_eq!(first_lines.len(), 3, "{first}");
+    assert!(first_lines[0].contains(r#""epoch":1"#), "{first}");
+    assert!(first_lines[1].contains(r#""epoch":2"#), "{first}");
+    assert!(first_lines[2].contains("p8"), "{first}");
+    assert!(log.exists(), "the mutation log was written");
+
+    // Re-run over the same log: the committed mutations replay, the
+    // two update steps are skipped, and the single surviving run
+    // point answers byte-identically to the first run's.
+    let (second, stderr, ok) = run();
+    assert!(ok, "resumed batch --wal run failed: {stderr}");
+    let second_lines: Vec<&str> = second.lines().collect();
+    assert_eq!(second_lines.len(), 1, "{second}");
+    assert_eq!(second_lines[0], first_lines[2], "resume must be exact");
+    let _ = std::fs::remove_file(&log);
+}
+
 #[test]
 fn batch_requires_its_inputs() {
     let data = hotels_file();

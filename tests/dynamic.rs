@@ -25,6 +25,9 @@ use proptest::prelude::*;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use utk::core::stats::Stats;
+use utk::data::csv::{parse_csv, write_csv};
+use utk::data::dataset::Dataset;
+use utk::data::wal::{self, WalFile, WalRecord};
 use utk::prelude::*;
 use utk::wire;
 
@@ -285,6 +288,123 @@ proptest! {
             prop_assert_eq!(got_line, want_line, "query {} diverged (seed {})", i, seed);
         }
     }
+
+    /// Fault-injection kill-and-replay: a crash at ANY byte offset
+    /// mid-append recovers, on reopen, to either the pre- or the
+    /// post-mutation epoch — never a torn state — and every query on
+    /// the recovered dataset is wire-identical to a fresh build.
+    #[test]
+    fn wal_kill_and_replay_recovers_a_consistent_epoch(
+        seed in 0u64..1 << 32,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x11A7);
+        let d = 3;
+        let n0 = rng.gen_range(16..32);
+        let model0: Vec<Vec<f64>> =
+            (0..n0).map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
+        let base_csv = write_csv(&Dataset::new("base", model0.clone()), None);
+
+        let path = std::env::temp_dir()
+            .join(format!("utk_dyn_wal_kill_{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut wal_file = WalFile::open(&path).unwrap().wal;
+
+        // A mutation that always changes something (an empty one
+        // would log an epoch the engine never bumps to).
+        let nonempty = |rng: &mut ChaCha8Rng, len: usize| {
+            let (deletes, mut inserts) = random_mutation(rng, len, d);
+            if deletes.is_empty() && inserts.is_empty() {
+                inserts.push((0..d).map(|_| rng.gen_range(0.0..1.0)).collect());
+            }
+            (deletes, inserts)
+        };
+
+        // Commit a few mutations durably.
+        let mut model = model0.clone();
+        let committed = rng.gen_range(0..3u64);
+        for i in 0..committed {
+            let (deletes, inserts) = nonempty(&mut rng, model.len());
+            wal_file
+                .append(&WalRecord::for_update(i + 1, &deletes, &inserts, None))
+                .unwrap();
+            apply_to_model(&mut model, &deletes, &inserts);
+        }
+        let pre_model = model.clone();
+
+        // The victim mutation: the process "dies" after `cut` bytes.
+        let (deletes, inserts) = nonempty(&mut rng, model.len());
+        let record = WalRecord::for_update(committed + 1, &deletes, &inserts, None);
+        let full = record.encode().len() as u64;
+        let cut = (cut_frac * (full as f64 + 1.0)) as u64;
+        wal_file.fail_after_n_bytes(Some(cut));
+        let append = wal_file.append(&record);
+        drop(wal_file); // the kill: nothing else reaches the file
+
+        // Recovery: reopen (truncating any torn tail) and replay.
+        let reopened = WalFile::open(&path).unwrap();
+        let mut recovered = parse_csv(&base_csv, "base").unwrap();
+        let epoch = wal::replay(&mut recovered, &reopened.records).unwrap();
+        let expected_model = if append.is_ok() {
+            prop_assert!(cut >= full, "append succeeded despite a mid-record crash");
+            prop_assert_eq!(epoch, committed + 1);
+            apply_to_model(&mut model, &deletes, &inserts);
+            model
+        } else {
+            prop_assert_eq!(epoch, committed, "crash at byte {} of {}", cut, full);
+            pre_model
+        };
+        prop_assert_eq!(&recovered.dataset.points, &expected_model, "torn replay state");
+        let _ = std::fs::remove_file(&path);
+
+        // Wire-identity: the recovered engine answers like a fresh
+        // build on the epoch replay landed on.
+        let replayed = UtkEngine::new(recovered.dataset.points.clone()).unwrap();
+        let fresh = UtkEngine::new(expected_model).unwrap();
+        let region = random_region(&mut rng, d - 1);
+        assert_oracle_matches(
+            &replayed, &fresh, &mut rng, &region, d,
+            &format!("seed {seed}, cut {cut}/{full}"),
+        );
+    }
+
+    /// Splice repair is byte-identical to drop-and-recompute over
+    /// random mutation interleavings: a repair-enabled engine and a
+    /// repair-disabled twin walk the same mutation/query sequence and
+    /// must agree on every answer — including the candidate-set size,
+    /// which pins the repaired r-skyband to the recomputed one.
+    #[test]
+    fn wal_era_splice_repair_matches_drop_and_recompute(
+        seed in 0u64..1 << 32,
+        steps in 1usize..5,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5EED);
+        let d = 3;
+        let n0 = rng.gen_range(24..48);
+        let mut model: Vec<Vec<f64>> =
+            (0..n0).map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
+        let repaired = UtkEngine::new(model.clone()).unwrap();
+        let baseline = UtkEngine::new(model.clone()).unwrap().without_cache_repair();
+        let warm = random_region(&mut rng, d - 1);
+        let k = rng.gen_range(1..4);
+        repaired.utk1(&warm, k).unwrap();
+        baseline.utk1(&warm, k).unwrap();
+        for step in 0..steps {
+            let (deletes, inserts) = random_mutation(&mut rng, model.len(), d);
+            let a = repaired.apply_update(&deletes, inserts.clone()).unwrap();
+            let b = baseline.apply_update(&deletes, inserts.clone()).unwrap();
+            prop_assert_eq!(a.epoch, b.epoch);
+            prop_assert_eq!(b.filter_repaired, 0, "disabled engine must never repair");
+            apply_to_model(&mut model, &deletes, &inserts);
+            let ra = repaired.utk1(&warm, k).unwrap();
+            let rb = baseline.utk1(&warm, k).unwrap();
+            prop_assert_eq!(&ra.records, &rb.records, "records diverged at step {}", step);
+            prop_assert_eq!(
+                ra.stats.candidates, rb.stats.candidates,
+                "candidate sets diverged at step {}", step
+            );
+        }
+    }
 }
 
 /// A mutated-epoch `run_many` must never serve a pre-mutation cached
@@ -311,15 +431,17 @@ fn run_many_never_serves_a_stale_epoch_rskyband() {
         assert_eq!(result.as_ref().unwrap().stats().dataset_epoch, 0);
     }
 
-    // Delete a cached member: the entry must be invalidated, and the
-    // post-mutation batch must re-filter — same answers as a fresh
-    // engine, nothing served from the warm epoch-0 entry.
+    // Delete a cached member: the entry is splice-repaired to the new
+    // epoch (byte-identical to a fresh r-skyband by contract), and the
+    // post-mutation batch serves the repaired entry — same answers as
+    // a fresh engine, nothing left of the stale epoch-0 bytes.
     let member = warm[0].as_ref().unwrap().records()[0];
     let report = engine.delete_points(&[member]).unwrap();
     assert!(
-        report.filter_invalidated >= 1,
-        "deleting a member must invalidate"
+        report.filter_repaired >= 1,
+        "deleting a member must splice-repair the entry"
     );
+    assert_eq!(report.filter_invalidated, 0);
     apply_to_model(&mut model, &[member], &[]);
     let fresh = UtkEngine::new(model.clone()).unwrap();
 
@@ -335,10 +457,11 @@ fn run_many_never_serves_a_stale_epoch_rskyband() {
             "no cross-epoch superset reuse"
         );
     }
-    // The group leader was a real miss (the old entry is gone), and
-    // followers hit the *new* entry — both visible in the stats.
-    assert_eq!(after[0].as_ref().unwrap().stats().filter_cache_hits, 0);
+    // The repaired entry lives under the *new* epoch key, so both the
+    // group leader and the followers hit it.
+    assert_eq!(after[0].as_ref().unwrap().stats().filter_cache_hits, 1);
     assert_eq!(after[1].as_ref().unwrap().stats().filter_cache_hits, 1);
+    assert_eq!(engine.filter_repairs(), 1);
 }
 
 /// Concurrent mutations against live queriers: every result must be

@@ -1,8 +1,11 @@
 //! Edge cases across the public API: boundary values of k, degenerate
-//! datasets and regions, and resilience checks.
+//! datasets and regions, resilience checks, and write-ahead-log
+//! corruption handling (every damaged log is a typed error or a clean
+//! truncation — never a panic, never a silently wrong replay).
 
 use utk::core::topk::top_k_brute;
 use utk::data::synthetic::{generate, Distribution};
+use utk::data::wal::{WalError, WalFile, WalRecord};
 use utk::prelude::*;
 
 #[test]
@@ -111,6 +114,92 @@ fn stats_are_populated() {
     let j = jaa(&ds.points, &region, 5, &JaaOptions::default());
     assert!(j.stats.arrangements_built > 0);
     assert!(j.stats.peak_arrangement_bytes > 0);
+}
+
+/// A fresh WAL containing two committed mutations, plus the byte
+/// length of the file so tests can corrupt precise offsets.
+fn two_record_wal(tag: &str) -> (std::path::PathBuf, u64) {
+    let path = std::env::temp_dir().join(format!("utk_edge_wal_{tag}_{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let mut wal = WalFile::open(&path).unwrap().wal;
+    wal.append(&WalRecord::for_update(1, &[], &[vec![0.5, 0.5, 0.5]], None))
+        .unwrap();
+    wal.append(&WalRecord::for_update(2, &[1], &[], None))
+        .unwrap();
+    let len = wal.bytes();
+    (path, len)
+}
+
+#[test]
+fn wal_truncated_tail_is_dropped_not_fatal() {
+    let (path, _) = two_record_wal("torn");
+    let full = std::fs::read(&path).unwrap();
+    // Cut the file mid-way through the second record: the committed
+    // prefix must survive, the torn bytes must be physically removed.
+    let cut = full.len() - 3;
+    std::fs::write(&path, &full[..cut]).unwrap();
+    let opened = WalFile::open(&path).unwrap();
+    assert_eq!(opened.records.len(), 1, "committed prefix survives");
+    assert_eq!(opened.wal.epoch(), 1);
+    assert!(opened.truncated_bytes > 0, "torn tail was reported");
+    assert!(
+        std::fs::metadata(&path).unwrap().len() < cut as u64,
+        "torn tail was physically truncated"
+    );
+    // Reopening after the repair is clean: nothing left to truncate.
+    drop(opened);
+    let again = WalFile::open(&path).unwrap();
+    assert_eq!(again.truncated_bytes, 0);
+    assert_eq!(again.records.len(), 1);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn wal_flipped_checksum_byte_is_a_typed_error() {
+    let (path, _) = two_record_wal("crc");
+    let mut bytes = std::fs::read(&path).unwrap();
+    // Flip one payload byte of the first record (magic is 8 bytes,
+    // then [len][crc] framing of 8 more; +4 lands inside the payload).
+    let victim = 8 + 8 + 4;
+    bytes[victim] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    match WalFile::open(&path) {
+        Err(WalError::Corrupt { offset, detail }) => {
+            assert_eq!(offset, 8, "corruption is located at the first record");
+            assert!(detail.contains("checksum"), "detail: {detail}");
+        }
+        other => panic!("want Corrupt, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn wal_duplicate_epoch_is_a_typed_error() {
+    let (path, _) = two_record_wal("dup");
+    // Hand-append a record that repeats epoch 2 — `append` itself
+    // refuses to write one, so splice the framed bytes in directly.
+    let stale = WalRecord::for_update(2, &[], &[vec![0.1, 0.2, 0.3]], None);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes.extend_from_slice(&stale.encode());
+    std::fs::write(&path, &bytes).unwrap();
+    match WalFile::open(&path) {
+        Err(WalError::EpochMismatch { expected, got }) => {
+            assert_eq!((expected, got), (3, 2));
+        }
+        other => panic!("want EpochMismatch, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn wal_bad_magic_is_a_typed_error() {
+    let path = std::env::temp_dir().join(format!("utk_edge_wal_magic_{}.wal", std::process::id()));
+    std::fs::write(&path, b"NOTAWAL0rest of the garbage").unwrap();
+    match WalFile::open(&path) {
+        Err(WalError::BadMagic) => {}
+        other => panic!("want BadMagic, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]

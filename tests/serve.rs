@@ -477,10 +477,11 @@ fn protocol_ops_and_error_codes() {
 
 /// The `update` op end to end: mutate a served dataset, observe the
 /// post-mutation answers (names included) track a locally mutated
-/// engine exactly, and confirm evict-then-query rebuilds from the
-/// *disk* CSV — in-memory updates never survive an eviction.
+/// engine exactly, and confirm evicting the mutated dataset is
+/// *refused* with a typed error when no WAL backs it — the old
+/// behavior silently reverted to the disk CSV, losing every update.
 #[test]
-fn update_op_mutates_answers_and_evict_reverts_to_disk() {
+fn update_op_mutates_answers_and_evict_refuses_to_lose_them() {
     let dir = datasets_dir("update", &[]);
     let handle = Server::bind(ServerConfig::new(Bind::Tcp(0), dir))
         .expect("bind")
@@ -569,8 +570,84 @@ fn update_op_mutates_answers_and_evict_reverts_to_disk() {
         }
     }
 
-    // Evict, then query again: the engine is lazily rebuilt from the
-    // CSV on disk, so the pre-update answer comes back.
+    // Without a WAL, evicting now would silently revert the dataset
+    // to the disk CSV. The server refuses with a typed error instead
+    // (regression lock on the silent-revert bug).
+    match conn
+        .request(&Request::Evict {
+            dataset: "hotels".into(),
+        })
+        .unwrap()
+    {
+        Response::Error(e) => {
+            assert_eq!(e.code, code::WOULD_LOSE_UPDATES, "{e:?}");
+            assert!(e.message.contains("--wal-dir"), "{e:?}");
+        }
+        other => panic!("expected would_lose_updates, got {other:?}"),
+    }
+    // The refusal left the mutated dataset resident and serving.
+    let still = conn
+        .round_trip(
+            &Request::Query {
+                dataset: "hotels".into(),
+                q: probe.into(),
+            }
+            .to_json(),
+        )
+        .unwrap();
+    assert_eq!(still, after, "refused evict must not disturb the engine");
+
+    conn.request(&Request::Shutdown).unwrap();
+    handle.join().expect("clean exit");
+}
+
+/// The WAL-backed serving path end to end, through the real binary
+/// and the `--wal-dir` flag: updates are durable, evicting a mutated
+/// dataset is allowed (the log replays it on reload), and a full
+/// server restart serves the updated answers — not the disk CSV.
+#[cfg(unix)]
+#[test]
+fn wal_backed_evict_and_restart_replay_updates() {
+    let dir = datasets_dir("wal_e2e", &[]);
+    let wal_dir = dir.join("wal");
+    let socket = dir.join("wal.sock");
+    let server = spawn_serve(&dir, &socket, &["--wal-dir", wal_dir.to_str().unwrap()]);
+    let bind = Bind::Unix(socket.clone());
+    let mut conn = Connection::connect(&bind).expect("connect");
+    let probe = "utk1 --k 2 --lo 0.05,0.05 --hi 0.45,0.25";
+    let query = Request::Query {
+        dataset: "hotels".into(),
+        q: probe.into(),
+    }
+    .to_json();
+
+    // Mutate: delete p3 (id 2), insert a dominant "p8".
+    let reply = conn
+        .request(&Request::Update {
+            dataset: "hotels".into(),
+            delete: vec![2],
+            insert: vec![vec![9.9, 9.8, 9.7]],
+            labels: Some(vec!["p8".into()]),
+        })
+        .unwrap();
+    assert!(
+        matches!(reply, Response::Update { epoch: 1, .. }),
+        "{reply:?}"
+    );
+    let after = conn.round_trip(&query).unwrap();
+    assert!(after.contains("p8"), "{after}");
+
+    // Stats surface the log state.
+    let Response::Stats(stats) = conn.request(&Request::Stats).unwrap() else {
+        panic!("stats expected");
+    };
+    assert!(stats.wal_enabled, "{stats:?}");
+    assert_eq!(stats.wal_datasets, 1, "{stats:?}");
+    assert!(stats.wal_records >= 1, "{stats:?}");
+    assert!(stats.wal_bytes > 0, "{stats:?}");
+
+    // With a WAL the evict is safe — and the lazily reloaded engine
+    // replays the log, so the *updated* answer comes back.
     assert_eq!(
         conn.request(&Request::Evict {
             dataset: "hotels".into()
@@ -581,19 +658,20 @@ fn update_op_mutates_answers_and_evict_reverts_to_disk() {
             evicted: true
         }
     );
-    let rebuilt = conn
-        .round_trip(
-            &Request::Query {
-                dataset: "hotels".into(),
-                q: probe.into(),
-            }
-            .to_json(),
-        )
-        .unwrap();
-    assert_eq!(rebuilt, before, "evict-then-query must serve disk state");
+    let reloaded = conn.round_trip(&query).unwrap();
+    assert_eq!(reloaded, after, "evict-then-query must replay the WAL");
 
-    conn.request(&Request::Shutdown).unwrap();
-    handle.join().expect("clean exit");
+    conn.round_trip(&Request::Shutdown.to_json()).unwrap();
+    assert_exits_cleanly(server, Duration::from_secs(10));
+
+    // Durability across a process restart: a brand-new server over
+    // the same directories serves the updated dataset.
+    let server = spawn_serve(&dir, &socket, &["--wal-dir", wal_dir.to_str().unwrap()]);
+    let mut conn = Connection::connect(&bind).expect("reconnect");
+    let replayed = conn.round_trip(&query).unwrap();
+    assert_eq!(replayed, after, "restart must replay the WAL");
+    conn.round_trip(&Request::Shutdown.to_json()).unwrap();
+    assert_exits_cleanly(server, Duration::from_secs(10));
 }
 
 /// The shared cache budget is re-dealt when an `update` changes a

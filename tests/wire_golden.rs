@@ -73,11 +73,14 @@ const GOLDEN_UPDATE: &str = concat!(
 );
 
 /// Exact bytes of one `stats` response, taken at a fixed point in the
-/// request sequence below.
+/// request sequence below. Deliberate format change with the WAL
+/// subsystem: `stats` now reports write-ahead-log state (this server
+/// runs without a WAL directory, so the counters are zero).
 const GOLDEN_STATS: &str = concat!(
     r#"{"ok":"stats","requests_served":4,"busy_rejections":0,"inflight":0,"#,
     r#""max_inflight":64,"datasets_loaded":1,"datasets":["hotels"],"#,
-    r#""registry_cache_bytes":1080}"#
+    r#""registry_cache_bytes":1080,"wal_enabled":false,"wal_datasets":0,"#,
+    r#""wal_records":0,"wal_bytes":0}"#
 );
 
 #[test]

@@ -132,7 +132,7 @@ proptest! {
     fn responses_roundtrip(
         dataset_name in wild_string(),
         (n, d) in (0u64..1_000_000, 2u64..8),
-        counters in prop::collection::vec(0u64..u64::MAX, 5),
+        counters in prop::collection::vec(0u64..u64::MAX, 8),
     ) {
         let responses = [
             Response::Load {
@@ -150,6 +150,10 @@ proptest! {
                 datasets_loaded: 1,
                 datasets: vec![dataset_name.clone()],
                 registry_cache_bytes: counters[4],
+                wal_enabled: n % 2 == 1,
+                wal_datasets: counters[5],
+                wal_records: counters[6],
+                wal_bytes: counters[7],
             }),
             Response::Evict { dataset: dataset_name, evicted: d % 2 == 0 },
             Response::Shutdown,
