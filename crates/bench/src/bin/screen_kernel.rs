@@ -1,0 +1,213 @@
+//! Screen-kernel figure: scalar vs blocked vs blocked+f32-prefilter
+//! r-skyband screening throughput, with whole-output byte-identity as
+//! the admission ticket for every number reported.
+//!
+//! Workload: `bases` query regions over an ANTI dataset; every kernel
+//! answers each region fresh (tree walk + screen) and then re-screens
+//! its own cached superset for a nested region — the two paths the
+//! engine serves in production. Outputs are compared structurally
+//! (ids, points, dominator graph) against the scalar oracle; a single
+//! divergent byte fails the run. Timing is wall-clock over `PASSES`
+//! repetitions; the deterministic screen counters (`rdom_tests`,
+//! `kernel_blocks`, `prefilter_rejects`/`prefilter_verifies`) carry
+//! the machine-independent story on noisy single-core containers.
+//!
+//! Usage: `cargo run --release -p utk-bench --bin screen_kernel
+//! [--scale f] [--queries n] [--seed s]`
+//!
+//! Prints a Markdown table and records the raw numbers in
+//! `BENCH_SCREEN_KERNEL.json` in the working directory.
+
+use std::time::Instant;
+
+use utk_bench::{query_workload, Config, Table};
+use utk_core::prelude::*;
+use utk_data::synthetic::{generate, Distribution};
+use utk_geom::Region;
+use utk_rtree::RTree;
+
+const D: usize = 3;
+const K: usize = 10;
+/// Timing passes per kernel; counters are absorbed across all passes
+/// (deterministic, so pass count scales them uniformly).
+const PASSES: usize = 3;
+
+/// One kernel's measured numbers over the full workload.
+struct KernelRun {
+    name: &'static str,
+    fresh: Vec<CandidateSet>,
+    warm: Vec<CandidateSet>,
+    elapsed: f64,
+    stats: Stats,
+}
+
+fn kernel_name(kernel: ScreenKernel) -> &'static str {
+    match kernel {
+        ScreenKernel::Scalar => "scalar",
+        ScreenKernel::Blocked => "blocked",
+        ScreenKernel::BlockedPrefilter => "blocked+prefilter",
+    }
+}
+
+/// Shrinks a region toward its center: the nested re-screen target.
+fn nested(region_lo: &[f64], region_hi: &[f64]) -> Region {
+    let lo: Vec<f64> = region_lo
+        .iter()
+        .zip(region_hi)
+        .map(|(l, h)| l + 0.25 * (h - l))
+        .collect();
+    let hi: Vec<f64> = region_lo
+        .iter()
+        .zip(region_hi)
+        .map(|(l, h)| l + 0.75 * (h - l))
+        .collect();
+    Region::hyperrect(lo, hi)
+}
+
+fn run_kernel(
+    kernel: ScreenKernel,
+    store: &PointStore,
+    tree: &RTree,
+    regions: &[(Region, Region)],
+) -> KernelRun {
+    let mut stats = Stats::new();
+    let mut fresh = Vec::new();
+    let mut warm = Vec::new();
+    let start = Instant::now();
+    for pass in 0..PASSES {
+        for (outer, inner) in regions {
+            let sup = r_skyband_with_kernel(store, tree, outer, K, true, kernel, &mut stats);
+            let sub = r_skyband_from_superset_with_kernel(&sup, inner, K, kernel, &mut stats);
+            if pass == 0 {
+                fresh.push(sup);
+                warm.push(sub);
+            }
+        }
+    }
+    KernelRun {
+        name: kernel_name(kernel),
+        fresh,
+        warm,
+        elapsed: start.elapsed().as_secs_f64(),
+        stats,
+    }
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    let n = cfg.n(400_000);
+    let points = generate(Distribution::Anti, n, D, cfg.seed).points;
+    let tree = RTree::bulk_load(&points);
+    let store = PointStore::from_rows(&points);
+    let regions: Vec<(Region, Region)> = query_workload(D, 0.08, &cfg)
+        .iter()
+        .map(|qb| {
+            (
+                Region::hyperrect(qb.lo.clone(), qb.hi.clone()),
+                nested(&qb.lo, &qb.hi),
+            )
+        })
+        .collect();
+
+    let runs: Vec<KernelRun> = [
+        ScreenKernel::Scalar,
+        ScreenKernel::Blocked,
+        ScreenKernel::BlockedPrefilter,
+    ]
+    .into_iter()
+    .map(|kernel| run_kernel(kernel, &store, &tree, &regions))
+    .collect();
+
+    // Byte-identity across kernels: fresh builds and superset
+    // re-screens must equal the scalar oracle structurally.
+    let oracle = &runs[0];
+    let mut identical = true;
+    for run in &runs[1..] {
+        identical &= run.fresh == oracle.fresh && run.warm == oracle.warm;
+    }
+
+    println!(
+        "Screen kernel (ANTI, n = {n}, d = {D}, k = {K}, {} regions × {PASSES} passes, \
+         fresh + superset re-screen per region)",
+        regions.len()
+    );
+    let mut table = Table::new(vec![
+        "kernel",
+        "elapsed ms",
+        "rdom_tests",
+        "kernel_blocks",
+        "pf rejects",
+        "pf verifies",
+        "screens/s",
+    ]);
+    for run in &runs {
+        table.row(vec![
+            run.name.to_string(),
+            format!("{:.1}", run.elapsed * 1e3),
+            run.stats.rdom_tests.to_string(),
+            run.stats.kernel_blocks.to_string(),
+            run.stats.prefilter_rejects.to_string(),
+            run.stats.prefilter_verifies.to_string(),
+            format!("{:.0}", run.stats.rdom_tests as f64 / run.elapsed.max(1e-9)),
+        ]);
+    }
+    table.print();
+    println!(
+        "byte identical across kernels: {identical}; prefilter skipped {} of {} blocks",
+        runs[2].stats.prefilter_rejects, runs[2].stats.kernel_blocks
+    );
+
+    assert!(identical, "blocked/prefilter outputs diverged from scalar");
+    assert_eq!(
+        runs[1].stats.rdom_tests, runs[2].stats.rdom_tests,
+        "prefilter must process the same live lanes as the plain blocked kernel"
+    );
+    assert_eq!(
+        runs[2].stats.prefilter_rejects + runs[2].stats.prefilter_verifies,
+        runs[2].stats.kernel_blocks,
+        "every prefilter block is either rejected in f32 or verified in f64"
+    );
+    assert_eq!(
+        runs[0].stats.kernel_blocks, 0,
+        "the scalar oracle must never enter the blocked path"
+    );
+
+    let cores = utk_bench::recorded_parallelism();
+    let kernels_json: Vec<String> = runs
+        .iter()
+        .map(|run| {
+            format!(
+                concat!(
+                    r#"{{"kernel":"{}","elapsed_ms":{:.3},"rdom_tests":{},"#,
+                    r#""kernel_blocks":{},"prefilter_rejects":{},"prefilter_verifies":{},"#,
+                    r#""screens_per_sec":{:.0}}}"#
+                ),
+                run.name,
+                run.elapsed * 1e3,
+                run.stats.rdom_tests,
+                run.stats.kernel_blocks,
+                run.stats.prefilter_rejects,
+                run.stats.prefilter_verifies,
+                run.stats.rdom_tests as f64 / run.elapsed.max(1e-9),
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            r#"{{"figure":"screen_kernel","dataset":"ANTI","n":{},"d":{},"k":{},"#,
+            r#""sigma":0.08,"regions":{},"passes":{},"seed":{},"#,
+            r#""available_parallelism":{},"byte_identical":{},"kernels":[{}]}}"#
+        ),
+        n,
+        D,
+        K,
+        regions.len(),
+        PASSES,
+        cfg.seed,
+        cores,
+        identical,
+        kernels_json.join(","),
+    );
+    std::fs::write("BENCH_SCREEN_KERNEL.json", json + "\n").expect("write figure json");
+    eprintln!("wrote BENCH_SCREEN_KERNEL.json");
+}

@@ -59,11 +59,13 @@ use crate::cache::ByteLru;
 use crate::error::UtkError;
 use crate::jaa::{jaa_parallel_refine, jaa_refine, records_of, JaaOptions, Utk2Cell, Utk2Result};
 use crate::parallel::ThreadPool;
+use crate::rdominance::ScreenKernel;
 use crate::rsa::{rsa_refine, RsaOptions, Utk1Result};
 use crate::scoring::GeneralScoring;
 use crate::skyband::{
-    r_skyband_from_superset, r_skyband_repair, r_skyband_repair_inserts, r_skyband_view,
-    rejected_by_members, CandidateSet, TreeView, TOMBSTONE,
+    r_skyband_from_superset_with_kernel, r_skyband_repair_inserts_with_kernel,
+    r_skyband_repair_with_kernel, r_skyband_view_with_kernel, rejected_by_members, CandidateSet,
+    TreeView, TOMBSTONE,
 };
 use crate::stats::Stats;
 use utk_geom::tol::INTERIOR_EPS;
@@ -758,6 +760,12 @@ struct EngineInner {
     /// it. On by default; benchmarks disable it to measure the
     /// drop-and-recompute baseline.
     repair_enabled: bool,
+    /// Which dominance kernel the r-skyband screen runs
+    /// ([`ScreenKernel::BlockedPrefilter`] by default). Candidate sets
+    /// are byte-identical across kernels; the scalar oracle stays
+    /// reachable through [`UtkEngine::without_blocked_kernel`] for the
+    /// identity property suite and ablation benches.
+    kernel: ScreenKernel,
     filter_cache: Mutex<ByteLru<FilterKey, FilterEntry>>,
     scoring_cache: Mutex<ByteLru<(u64, ScoringKey), Arc<Scored>>>,
     filter_hits: AtomicUsize,
@@ -833,6 +841,7 @@ impl UtkEngine {
                 dim,
                 cache_enabled: true,
                 repair_enabled: true,
+                kernel: ScreenKernel::default(),
                 filter_cache: Mutex::new(ByteLru::new(DEFAULT_FILTER_CACHE_BUDGET)),
                 scoring_cache: Mutex::new(ByteLru::new(DEFAULT_SCORING_CACHE_BUDGET)),
                 filter_hits: AtomicUsize::new(0),
@@ -875,6 +884,21 @@ impl UtkEngine {
             // utk-lint: allow(panic) -- documented builder contract: must precede any clone
             .expect("without_cache_repair must be called before the engine is cloned")
             .repair_enabled = false;
+        self
+    }
+
+    /// Runs every r-skyband screen on the scalar oracle kernel
+    /// instead of the default blocked sweep + `f32` prefilter. The
+    /// candidate sets (and hence all query results) are byte-identical
+    /// either way — this twin exists so the property suite can assert
+    /// exactly that, and so benches can measure what blocking buys.
+    /// Builder-style: call right after construction, before the
+    /// engine is cloned or queried.
+    pub fn without_blocked_kernel(mut self) -> Self {
+        Arc::get_mut(&mut self.inner)
+            // utk-lint: allow(panic) -- documented builder contract: must precede any clone
+            .expect("without_blocked_kernel must be called before the engine is cloned")
+            .kernel = ScreenKernel::Scalar;
         self
     }
 
@@ -1235,8 +1259,10 @@ impl UtkEngine {
     /// the new epoch, preserving LRU order. Three outcomes per entry:
     /// provably unaffected → re-keyed (ids remapped) as-is;
     /// affected but plain-scoring → **splice-repaired** — re-screened
-    /// incrementally against the next version ([`r_skyband_repair`] /
-    /// [`r_skyband_repair_inserts`]), byte-identical to a cold run on
+    /// incrementally against the next version
+    /// ([`crate::skyband::r_skyband_repair`] /
+    /// [`crate::skyband::r_skyband_repair_inserts`]), byte-identical
+    /// to a cold run on
     /// the new dataset; otherwise dropped. Returns `(invalidated,
     /// retained, repaired)`, where repaired entries also count as
     /// retained.
@@ -1326,7 +1352,7 @@ impl UtkEngine {
                         .iter()
                         .map(|&id| shift[id as usize])
                         .collect();
-                    r_skyband_repair(
+                    r_skyband_repair_with_kernel(
                         &entry.cands,
                         &old_ids_new,
                         &live_inserts,
@@ -1335,6 +1361,7 @@ impl UtkEngine {
                         &entry.region,
                         key.k,
                         key.pivot_order,
+                        self.inner.kernel,
                         &mut rstats,
                     )
                 } else {
@@ -1357,13 +1384,14 @@ impl UtkEngine {
                         };
                         &renumbered
                     };
-                    r_skyband_repair_inserts(
+                    r_skyband_repair_inserts_with_kernel(
                         cands,
                         &live_inserts,
                         &next.store,
                         &entry.region,
                         key.k,
                         key.pivot_order,
+                        self.inner.kernel,
                         &mut rstats,
                     )
                 };
@@ -1880,7 +1908,8 @@ impl UtkEngine {
     /// 2. **superset reuse** (pivot order only): a cached entry whose
     ///    region *contains* this query's region, with the same `k` and
     ///    scoring, is re-screened via
-    ///    [`r_skyband_from_superset`] — byte-identical to a cold run
+    ///    [`crate::skyband::r_skyband_from_superset`] — byte-identical
+    ///    to a cold run
     ///    at a fraction of the dominance tests;
     /// 3. a cold BBS run over the R-tree.
     ///
@@ -1895,12 +1924,13 @@ impl UtkEngine {
     ) -> Result<(Arc<CandidateSet>, Stats), UtkError> {
         let mut stats = Stats::new();
         if !self.inner.cache_enabled {
-            let cands = r_skyband_view(
+            let cands = r_skyband_view_with_kernel(
                 data.store(),
                 &data.tree_view(),
                 region,
                 query.k,
                 query.pivot_order(),
+                self.inner.kernel,
                 &mut stats,
             );
             return Ok((Arc::new(cands), stats));
@@ -1958,14 +1988,21 @@ impl UtkEngine {
             Some(sup) => {
                 self.inner.superset_hits.fetch_add(1, Ordering::Relaxed);
                 stats.superset_hits = 1;
-                Arc::new(r_skyband_from_superset(sup, region, query.k, &mut stats))
+                Arc::new(r_skyband_from_superset_with_kernel(
+                    sup,
+                    region,
+                    query.k,
+                    self.inner.kernel,
+                    &mut stats,
+                ))
             }
-            None => Arc::new(r_skyband_view(
+            None => Arc::new(r_skyband_view_with_kernel(
                 data.store(),
                 &data.tree_view(),
                 region,
                 query.k,
                 query.pivot_order(),
+                self.inner.kernel,
                 &mut stats,
             )),
         };

@@ -102,9 +102,13 @@ pub mod prelude {
     pub use crate::error::UtkError;
     pub use crate::jaa::{jaa, jaa_parallel, jaa_with_tree, JaaOptions, Utk2Cell, Utk2Result};
     pub use crate::parallel::{rsa_parallel, rsa_parallel_with_tree, TaskSet, ThreadPool};
+    pub use crate::rdominance::ScreenKernel;
     pub use crate::rsa::{rsa, rsa_with_tree, RsaOptions, Utk1Result};
     pub use crate::scoring::GeneralScoring;
-    pub use crate::skyband::{k_skyband, r_skyband, r_skyband_from_superset, CandidateSet};
+    pub use crate::skyband::{
+        k_skyband, r_skyband, r_skyband_from_superset, r_skyband_from_superset_with_kernel,
+        r_skyband_with_kernel, CandidateSet,
+    };
     pub use crate::stats::Stats;
     pub use utk_geom::{PointStore, PointStoreBuilder, Region};
 }

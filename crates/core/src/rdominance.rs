@@ -12,7 +12,7 @@
 //! corner evaluation; for general polytopes it is a vertex sweep (the
 //! paper's `O(md)` vertex test) or, lacking vertices, two LPs.
 
-use utk_geom::{pref_score_delta, tol::EPS, Halfspace, Region};
+use utk_geom::{pref_score_delta, tol::EPS, Halfspace, Region, ScorePanel, SCORE_LANES};
 
 /// Outcome of comparing two records over a region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,6 +120,137 @@ pub fn classify_corner_scores(pscores: &[f64], qscores: &[f64]) -> RDominance {
         }
     }
     classify_delta_range(min, max)
+}
+
+/// Which dominance kernel drives the r-skyband screen sweep.
+///
+/// All three produce byte-identical candidate sets (ids, points,
+/// dominance graph) — the property suite in `tests/screen_kernel.rs`
+/// locks kernel choice out of every observable result except the work
+/// counters. [`ScreenKernel::Scalar`] is the oracle the blocked paths
+/// are judged against, kept reachable through the engine's
+/// `without_blocked_kernel()` twin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScreenKernel {
+    /// Per-member [`classify_corner_scores`] sweep with early exit —
+    /// the reference implementation.
+    Scalar,
+    /// Branch-free blocked sweep over the SoA score panel
+    /// ([`blocked_dominates_mask`]).
+    Blocked,
+    /// Blocked sweep behind the `f32` reject-only prefilter
+    /// ([`prefilter_reject_mask`]); survivors verified exactly in
+    /// `f64`.
+    #[default]
+    BlockedPrefilter,
+}
+
+/// Branch-free blocked dominance test: which of the [`SCORE_LANES`]
+/// members of `block` (one [`ScorePanel`] block, vertex-major)
+/// r-dominate the probe with vertex scores `qscores`.
+///
+/// Exactly equivalent to running [`classify_corner_scores`] per lane
+/// and testing for [`RDominance::Dominates`]: that classifies
+/// `Dominates` iff `min ≥ −EPS ∧ max > EPS`, i.e. iff no vertex delta
+/// falls below `−EPS` while some vertex delta exceeds `EPS` — the two
+/// boolean accumulators swept here. NaN deltas update neither
+/// accumulator in either formulation (NaN comparisons are false, and
+/// NaN never replaces a running min/max), so the equivalence covers
+/// non-finite scores too. There are **no data-dependent branches**
+/// inside the vertex loop — compare → mask → accumulate per lane — so
+/// rustc auto-vectorizes it; the cost is that a block never
+/// early-exits, which the caller accounts for by counting whole
+/// blocks.
+///
+/// `−∞`-padded lanes can never witness a positive delta, so their mask
+/// bits are always clear.
+#[inline]
+pub fn blocked_dominates_mask(block: &[f64], qscores: &[f64]) -> u8 {
+    debug_assert_eq!(block.len(), qscores.len() * SCORE_LANES);
+    let mut no_neg = [true; SCORE_LANES]; // no vertex with delta < −EPS
+    let mut any_pos = [false; SCORE_LANES]; // some vertex with delta > EPS
+    for (row, &qs) in block.chunks_exact(SCORE_LANES).zip(qscores) {
+        for l in 0..SCORE_LANES {
+            let delta = row[l] - qs;
+            // NOT `delta >= -EPS`: a NaN delta must leave the
+            // accumulator untouched (both comparisons false), exactly
+            // as NaN never replaces the scalar classifier's running
+            // min — `>=` would flip NaN to "witnessed a negative".
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            {
+                no_neg[l] &= !(delta < -EPS);
+            }
+            any_pos[l] |= delta > EPS;
+        }
+    }
+    let mut mask = 0u8;
+    for l in 0..SCORE_LANES {
+        mask |= u8::from(no_neg[l] && any_pos[l]) << l;
+    }
+    mask
+}
+
+/// The `f32` reject-only prefilter: which lanes of `block32` (a
+/// [`ScorePanel`] `f32` block, member scores rounded **up** via
+/// `utk_geom::f32_up`) provably cannot dominate the probe whose vertex
+/// scores were rounded **down** (`utk_geom::f32_down`) into `qlower`.
+///
+/// Soundness — a set bit never loses a true dominator. For every
+/// vertex, `bound = next_up(ms_up − qs_down)` computed in `f32` is an
+/// upper bound on the exact `f64` delta: `ms_up ≥ ms` and
+/// `qs_down ≤ qs` by directed rounding, and one `next_up` absorbs the
+/// ≤ 0.5-ulp error of the round-to-nearest `f32` subtraction. Widened
+/// back to `f64` (exact), the lane is rejectable iff
+///
+/// * some vertex has `bound < −EPS` — then the true delta there is
+///   below `−EPS`, so the scalar classification cannot be `Dominates`
+///   (its `min` check fails); or
+/// * every vertex has `bound ≤ EPS` — then no true delta exceeds
+///   `EPS`, so the `max` check fails.
+///
+/// NaN bounds (e.g. a NaN probe score) update neither accumulator the
+/// lane-rejecting way: `all_small` is ANDed with a false comparison,
+/// making the lane non-rejectable unless an *other* vertex's finite
+/// bound independently proves rejection. `−∞`-padded member lanes
+/// produce `bound = next_up(−∞) = f32::MIN < −EPS` against finite
+/// probe scores, so padding is rejectable and never forces a `f64`
+/// verification on its own.
+///
+/// The filter may only **reject**: callers must verify every
+/// surviving lane with the exact `f64` kernel. Exactness is
+/// structural, not statistical.
+#[inline]
+pub fn prefilter_reject_mask(block32: &[f32], qlower: &[f32]) -> u8 {
+    debug_assert_eq!(block32.len(), qlower.len() * SCORE_LANES);
+    let mut any_neg = [false; SCORE_LANES]; // some vertex bound < −EPS
+    let mut all_small = [true; SCORE_LANES]; // every vertex bound ≤ EPS
+    for (row, &qs) in block32.chunks_exact(SCORE_LANES).zip(qlower) {
+        for l in 0..SCORE_LANES {
+            let bound = (row[l] - qs).next_up() as f64;
+            any_neg[l] |= bound < -EPS;
+            all_small[l] &= bound <= EPS;
+        }
+    }
+    let mut mask = 0u8;
+    for l in 0..SCORE_LANES {
+        mask |= u8::from(any_neg[l] || all_small[l]) << l;
+    }
+    mask
+}
+
+/// Scalar-oracle classification of panel member `m` against the probe
+/// scores, gathering the member's lane back into row form through
+/// `scratch` and running the exact per-member sweep — bit-identical to
+/// the pre-panel contiguous-slice path (same values, same order).
+#[inline]
+pub fn classify_member_scores(
+    panel: &ScorePanel,
+    m: usize,
+    qscores: &[f64],
+    scratch: &mut Vec<f64>,
+) -> RDominance {
+    panel.gather_member(m, scratch);
+    classify_corner_scores(scratch, qscores)
 }
 
 /// The half-space of the preference domain where record `q` (with
@@ -242,6 +373,95 @@ mod tests {
         assert_eq!(r_dominance(&p, &q, &wide), RDominance::Incomparable);
         let narrow = Region::hyperrect(vec![0.0, 0.0], vec![0.1, 0.05]);
         assert_eq!(r_dominance(&p, &q, &narrow), RDominance::Dominates);
+    }
+
+    #[test]
+    fn blocked_mask_matches_scalar_oracle() {
+        use rand::prelude::*;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+        let nv = 4;
+        for round in 0..50 {
+            let n = rng.gen_range(1..2 * SCORE_LANES + 4);
+            let mut panel = ScorePanel::new(nv);
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..nv).map(|_| rng.gen_range(0.0..1.0)).collect())
+                .collect();
+            for r in &rows {
+                panel.push(r);
+            }
+            let probe: Vec<f64> = (0..nv).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let mut scratch = Vec::new();
+            for b in 0..panel.blocks() {
+                let mask = blocked_dominates_mask(panel.block_f64(b), &probe);
+                for l in 0..SCORE_LANES {
+                    let m = b * SCORE_LANES + l;
+                    if m >= n {
+                        assert_eq!(mask & (1 << l), 0, "padding lane set (round {round})");
+                        continue;
+                    }
+                    let want = classify_member_scores(&panel, m, &probe, &mut scratch)
+                        == RDominance::Dominates;
+                    assert_eq!(mask & (1 << l) != 0, want, "round {round}, member {m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_mask_handles_eps_boundaries_and_nan() {
+        // Deltas pinned to ±EPS and NaN scores: the blocked form must
+        // agree with the scalar classification at the tolerance edge.
+        // A zero probe makes each member score the delta verbatim —
+        // no rounding between the intended ±EPS values and the sweep.
+        let nv = 2;
+        let probe = vec![0.0, 0.0];
+        let rows: [[f64; 2]; 6] = [
+            [EPS, 0.0],              // max = EPS: not strict ⇒ no
+            [2.0 * EPS, 0.0],        // max > EPS, min = 0 ⇒ yes
+            [2.0 * EPS, -EPS],       // min = −EPS allowed ⇒ yes
+            [2.0 * EPS, -2.0 * EPS], // min < −EPS ⇒ no
+            [f64::NAN, 2.0 * EPS],   // NaN vertex is a no-op ⇒ yes
+            [f64::NAN, f64::NAN],    // all-NaN ⇒ Equivalent ⇒ no
+        ];
+        let mut panel = ScorePanel::new(nv);
+        for r in &rows {
+            panel.push(r);
+        }
+        let mut scratch = Vec::new();
+        let mask = blocked_dominates_mask(panel.block_f64(0), &probe);
+        for (m, _) in rows.iter().enumerate() {
+            let want =
+                classify_member_scores(&panel, m, &probe, &mut scratch) == RDominance::Dominates;
+            assert_eq!(mask & (1 << m) != 0, want, "member {m}");
+        }
+        assert_eq!(mask, 0b010110);
+    }
+
+    #[test]
+    fn prefilter_never_rejects_a_true_dominator() {
+        use rand::prelude::*;
+        use utk_geom::f32_down;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(78);
+        let nv = 3;
+        for _ in 0..100 {
+            let n = rng.gen_range(1..SCORE_LANES + 1);
+            let mut panel = ScorePanel::new(nv);
+            for _ in 0..n {
+                // Tight clusters so near-ties (the prefilter's hard
+                // case) actually occur.
+                let r: Vec<f64> = (0..nv).map(|_| 0.5 + rng.gen_range(-1e-6..1e-6)).collect();
+                panel.push(&r);
+            }
+            let probe: Vec<f64> = (0..nv).map(|_| 0.5 + rng.gen_range(-1e-6..1e-6)).collect();
+            let qlower: Vec<f32> = probe.iter().map(|&s| f32_down(s)).collect();
+            let reject = prefilter_reject_mask(panel.block_f32(0), &qlower);
+            let exact = blocked_dominates_mask(panel.block_f64(0), &probe);
+            assert_eq!(
+                reject & exact,
+                0,
+                "a rejected lane classified as dominating in f64"
+            );
+        }
     }
 
     #[test]

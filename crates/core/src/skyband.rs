@@ -34,7 +34,16 @@
 //!   heap key that prefix is the entire member list — BBS already
 //!   pops dominators first — so the cut costs one binary search and
 //!   pays off where admission order and pivot order part ways: the
-//!   coordinate-sum ablation key, and NaN-degraded probes.
+//!   coordinate-sum ablation key, and NaN-degraded probes;
+//! * the cached vertex scores live in a structure-of-arrays
+//!   [`ScorePanel`] (member blocks of [`SCORE_LANES`] lanes,
+//!   vertex-major), and when admission order matches pivot order the
+//!   sweep runs the branch-free blocked kernel
+//!   ([`blocked_dominates_mask`]) behind an `f32` reject-only
+//!   prefilter ([`prefilter_reject_mask`]) — both selected by
+//!   [`ScreenKernel`], both byte-identical to the scalar oracle by
+//!   construction (the prefilter may only *reject*, and every
+//!   survivor is verified exactly in `f64`).
 //!
 //! # Superset reuse
 //!
@@ -50,9 +59,14 @@
 //! containing regions on a miss and routes through it.
 
 use crate::graph::DominanceGraph;
-use crate::rdominance::{classify_corner_scores, dominates, r_dominance_scratch, RDominance};
+use crate::rdominance::{
+    blocked_dominates_mask, classify_member_scores, dominates, prefilter_reject_mask,
+    r_dominance_scratch, RDominance, ScreenKernel,
+};
 use crate::stats::Stats;
-use utk_geom::{pref_score, PointStore, PointStoreBuilder, Region};
+use utk_geom::{
+    f32_down, pref_score, PointStore, PointStoreBuilder, Region, ScorePanel, SCORE_LANES,
+};
 use utk_rtree::RTree;
 
 /// Vertex-list cap for the corner-score fast path: boxes above this
@@ -229,6 +243,10 @@ pub fn k_skyband(points: &[Vec<f64>], tree: &RTree, k: usize, stats: &mut Stats)
 struct BandScreen<'r> {
     region: &'r Region,
     k: usize,
+    /// Which dominance kernel sweeps the members (see
+    /// [`ScreenKernel`]); all choices produce byte-identical candidate
+    /// sets.
+    kernel: ScreenKernel,
     pivot: Vec<f64>,
     /// Region vertices (box corners / polytope vertices), when small
     /// enough to cache scores against; `None` falls back to the
@@ -240,36 +258,53 @@ struct BandScreen<'r> {
     /// Member indices by descending pivot score (NaN last). Under the
     /// pivot heap key this stays the identity permutation.
     by_pivot: Vec<u32>,
-    /// Member scores at the region vertices, stride = corner count.
-    member_corner_scores: Vec<f64>,
+    /// True while `by_pivot` is the identity permutation — the
+    /// precondition of the blocked sweep (block `b` must cover exactly
+    /// members `b*SCORE_LANES..`, so the prefix cut is a member-index
+    /// prefix). The pivot heap key preserves it; the sum-key ablation
+    /// and NaN-degraded orders break it and drop to the scalar oracle,
+    /// which also keeps the dominator lists in `by_pivot` order there.
+    by_pivot_identity: bool,
+    /// Member scores at the region vertices, in SoA blocks (exact
+    /// `f64` plus the rounded-up `f32` prefilter panel).
+    panel: ScorePanel,
     dominator_lists: Vec<Vec<u32>>,
     // Per-probe scratch (no allocations after warm-up).
     probe_corner_scores: Vec<f64>,
+    /// Probe vertex scores rounded down ([`f32_down`]) — the
+    /// survival-biased side of the prefilter bound.
+    probe_lower_scores: Vec<f32>,
     probe_pivot_score: f64,
     doms_scratch: Vec<u32>,
     delta_scratch: Vec<f64>,
+    gather_scratch: Vec<f64>,
 }
 
 impl<'r> BandScreen<'r> {
-    fn new(region: &'r Region, k: usize) -> Self {
+    fn new(region: &'r Region, k: usize, kernel: ScreenKernel) -> Self {
         // utk-lint: allow(panic) -- invariant: the engine rejects empty regions before filtering
         let pivot = region.pivot().expect("query region must be non-empty");
         let corners = region.vertex_store(CORNER_CAP);
+        let nv = corners.as_ref().map_or(0, |c| c.len());
         Self {
             region,
             k,
+            kernel,
             pivot,
             corners,
             member_points: PointStoreBuilder::default(),
             member_ids: Vec::new(),
             member_pivot_scores: Vec::new(),
             by_pivot: Vec::new(),
-            member_corner_scores: Vec::new(),
+            by_pivot_identity: true,
+            panel: ScorePanel::new(nv),
             dominator_lists: Vec::new(),
             probe_corner_scores: Vec::new(),
+            probe_lower_scores: Vec::new(),
             probe_pivot_score: f64::NAN,
             doms_scratch: Vec::new(),
             delta_scratch: Vec::new(),
+            gather_scratch: Vec::new(),
         }
     }
 
@@ -287,6 +322,11 @@ impl<'r> BandScreen<'r> {
             self.probe_corner_scores.clear();
             self.probe_corner_scores
                 .extend(corners.iter().map(|v| pref_score(p, v)));
+            if self.kernel == ScreenKernel::BlockedPrefilter {
+                self.probe_lower_scores.clear();
+                self.probe_lower_scores
+                    .extend(self.probe_corner_scores.iter().map(|&s| f32_down(s)));
+            }
         }
         let s_piv = pref_score(p, &self.pivot);
         self.probe_pivot_score = s_piv;
@@ -302,14 +342,19 @@ impl<'r> BandScreen<'r> {
         };
         stats.screen_prefix_skips += self.by_pivot.len() - cut;
         self.doms_scratch.clear();
-        let nc = self.corners.as_ref().map_or(0, |c| c.len());
+        if self.kernel != ScreenKernel::Scalar && self.corners.is_some() && self.by_pivot_identity {
+            return self.screen_blocked(cut, stats);
+        }
         for idx in 0..cut {
             let mi = self.by_pivot[idx];
             stats.rdom_tests += 1;
-            let dominates = if let Some(_corners) = &self.corners {
-                let base = mi as usize * nc;
-                let ms = &self.member_corner_scores[base..base + nc];
-                classify_corner_scores(ms, &self.probe_corner_scores) == RDominance::Dominates
+            let dominates = if self.corners.is_some() {
+                classify_member_scores(
+                    &self.panel,
+                    mi as usize,
+                    &self.probe_corner_scores,
+                    &mut self.gather_scratch,
+                ) == RDominance::Dominates
             } else {
                 r_dominance_scratch(
                     self.member_points.point(mi as usize),
@@ -320,6 +365,57 @@ impl<'r> BandScreen<'r> {
             };
             if dominates {
                 self.doms_scratch.push(mi);
+                if self.doms_scratch.len() >= self.k {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The branch-free blocked sweep over the score panel.
+    /// Precondition: `by_pivot` is the identity permutation, so the
+    /// prefix cut `0..cut` is a member-index prefix and block `b`
+    /// covers members `b*SCORE_LANES..` in admission (= dominator
+    /// list) order.
+    ///
+    /// Counting contract: every processed block adds its live-lane
+    /// count to `rdom_tests` and one to `kernel_blocks` — there is no
+    /// mid-block early exit (that is what makes the inner loops
+    /// vectorizable), so a probe collecting its k-th dominator stops
+    /// at block granularity and the counters stay deterministic.
+    /// Rejected probes never expose their dominator lists (only
+    /// admitted probes do, and those sweep every block), so stopping
+    /// early cannot change any output byte.
+    fn screen_blocked(&mut self, cut: usize, stats: &mut Stats) -> bool {
+        let prefilter = self.kernel == ScreenKernel::BlockedPrefilter;
+        for b in 0..cut.div_ceil(SCORE_LANES) {
+            let live = (cut - b * SCORE_LANES).min(SCORE_LANES);
+            let live_mask: u8 = if live == SCORE_LANES {
+                u8::MAX
+            } else {
+                (1u8 << live) - 1
+            };
+            stats.rdom_tests += live;
+            stats.kernel_blocks += 1;
+            if prefilter {
+                let reject =
+                    prefilter_reject_mask(self.panel.block_f32(b), &self.probe_lower_scores);
+                if reject & live_mask == live_mask {
+                    // The f32 bound proves every live member fails —
+                    // the only decision the prefilter may take alone.
+                    stats.prefilter_rejects += 1;
+                    continue;
+                }
+                stats.prefilter_verifies += 1;
+            }
+            let mask = blocked_dominates_mask(self.panel.block_f64(b), &self.probe_corner_scores)
+                & live_mask;
+            let mut bits = mask;
+            while bits != 0 {
+                let l = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.doms_scratch.push((b * SCORE_LANES + l) as u32);
                 if self.doms_scratch.len() >= self.k {
                     return false;
                 }
@@ -340,8 +436,7 @@ impl<'r> BandScreen<'r> {
         self.member_ids.push(id);
         self.member_points.push(p);
         if self.corners.is_some() {
-            self.member_corner_scores
-                .extend_from_slice(&self.probe_corner_scores);
+            self.panel.push(&self.probe_corner_scores);
         }
         let s = self.probe_pivot_score;
         self.member_pivot_scores.push(s);
@@ -354,6 +449,9 @@ impl<'r> BandScreen<'r> {
             self.by_pivot.partition_point(|&m| scores[m as usize] >= s)
         };
         self.by_pivot.insert(pos, mi);
+        // An out-of-place insert ends the identity permutation — and
+        // with it the blocked sweep's eligibility — for good.
+        self.by_pivot_identity &= pos == mi as usize;
         self.dominator_lists.push(self.doms_scratch.clone());
     }
 
@@ -515,12 +613,36 @@ pub fn r_skyband(
     pivot_order: bool,
     stats: &mut Stats,
 ) -> CandidateSet {
-    r_skyband_view(
+    r_skyband_with_kernel(
+        points,
+        tree,
+        region,
+        k,
+        pivot_order,
+        ScreenKernel::default(),
+        stats,
+    )
+}
+
+/// [`r_skyband`] with an explicit [`ScreenKernel`] choice. The kernel
+/// never changes the candidate set — only how the screen sweeps
+/// members and which work counters tick.
+pub fn r_skyband_with_kernel(
+    points: &PointStore,
+    tree: &RTree,
+    region: &Region,
+    k: usize,
+    pivot_order: bool,
+    kernel: ScreenKernel,
+    stats: &mut Stats,
+) -> CandidateSet {
+    r_skyband_view_with_kernel(
         points,
         &TreeView::packed(tree),
         region,
         k,
         pivot_order,
+        kernel,
         stats,
     )
 }
@@ -538,8 +660,29 @@ pub fn r_skyband_view(
     pivot_order: bool,
     stats: &mut Stats,
 ) -> CandidateSet {
+    r_skyband_view_with_kernel(
+        points,
+        view,
+        region,
+        k,
+        pivot_order,
+        ScreenKernel::default(),
+        stats,
+    )
+}
+
+/// [`r_skyband_view`] with an explicit [`ScreenKernel`] choice.
+pub fn r_skyband_view_with_kernel(
+    points: &PointStore,
+    view: &TreeView<'_>,
+    region: &Region,
+    k: usize,
+    pivot_order: bool,
+    kernel: ScreenKernel,
+    stats: &mut Stats,
+) -> CandidateSet {
     let tree = view.tree;
-    let mut screen = BandScreen::new(region, k);
+    let mut screen = BandScreen::new(region, k, kernel);
     let key = |screen: &BandScreen, p: &[f64]| -> f64 {
         if pivot_order {
             pref_score(p, screen.pivot())
@@ -698,7 +841,19 @@ pub fn r_skyband_from_superset(
     k: usize,
     stats: &mut Stats,
 ) -> CandidateSet {
-    let mut screen = BandScreen::new(region, k);
+    r_skyband_from_superset_with_kernel(superset, region, k, ScreenKernel::default(), stats)
+}
+
+/// [`r_skyband_from_superset`] with an explicit [`ScreenKernel`]
+/// choice.
+pub fn r_skyband_from_superset_with_kernel(
+    superset: &CandidateSet,
+    region: &Region,
+    k: usize,
+    kernel: ScreenKernel,
+    stats: &mut Stats,
+) -> CandidateSet {
+    let mut screen = BandScreen::new(region, k, kernel);
     let scores: Vec<f64> = (0..superset.len())
         .map(|i| pref_score(&superset.points[i], screen.pivot()))
         .collect();
@@ -786,7 +941,32 @@ pub fn r_skyband_repair_inserts(
     pivot_order: bool,
     stats: &mut Stats,
 ) -> Option<CandidateSet> {
-    let mut screen = BandScreen::new(region, k);
+    r_skyband_repair_inserts_with_kernel(
+        old,
+        live_inserts,
+        points,
+        region,
+        k,
+        pivot_order,
+        ScreenKernel::default(),
+        stats,
+    )
+}
+
+/// [`r_skyband_repair_inserts`] with an explicit [`ScreenKernel`]
+/// choice.
+#[allow(clippy::too_many_arguments)]
+pub fn r_skyband_repair_inserts_with_kernel(
+    old: &CandidateSet,
+    live_inserts: &[u32],
+    points: &PointStore,
+    region: &Region,
+    k: usize,
+    pivot_order: bool,
+    kernel: ScreenKernel,
+    stats: &mut Stats,
+) -> Option<CandidateSet> {
+    let mut screen = BandScreen::new(region, k, kernel);
     let pivot = screen.pivot().to_vec();
     let mkeys: Vec<f64> = (0..old.len())
         .map(|i| heap_key(&old.points[i], &pivot, pivot_order))
@@ -883,10 +1063,38 @@ pub fn r_skyband_repair(
     pivot_order: bool,
     stats: &mut Stats,
 ) -> Option<CandidateSet> {
+    r_skyband_repair_with_kernel(
+        old,
+        old_ids_new,
+        live_inserts,
+        points,
+        view,
+        region,
+        k,
+        pivot_order,
+        ScreenKernel::default(),
+        stats,
+    )
+}
+
+/// [`r_skyband_repair`] with an explicit [`ScreenKernel`] choice.
+#[allow(clippy::too_many_arguments)]
+pub fn r_skyband_repair_with_kernel(
+    old: &CandidateSet,
+    old_ids_new: &[u32],
+    live_inserts: &[u32],
+    points: &PointStore,
+    view: &TreeView<'_>,
+    region: &Region,
+    k: usize,
+    pivot_order: bool,
+    kernel: ScreenKernel,
+    stats: &mut Stats,
+) -> Option<CandidateSet> {
     if old_ids_new.len() != old.len() {
         return None;
     }
-    let mut screen = BandScreen::new(region, k);
+    let mut screen = BandScreen::new(region, k, kernel);
     let pivot = screen.pivot().to_vec();
     let mkeys: Vec<f64> = (0..old.len())
         .map(|i| heap_key(&old.points[i], &pivot, pivot_order))

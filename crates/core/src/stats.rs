@@ -51,6 +51,16 @@ pub struct Stats {
     /// prefix cut (members whose pivot score is provably too low to
     /// r-dominate the probe).
     pub screen_prefix_skips: usize,
+    /// Member blocks swept by the blocked screen kernel (each block is
+    /// `utk_geom::SCORE_LANES` members wide; 0 on the scalar oracle
+    /// path).
+    pub kernel_blocks: usize,
+    /// Blocks the `f32` reject-only prefilter disposed of without an
+    /// exact `f64` verification.
+    pub prefilter_rejects: usize,
+    /// Blocks that survived the `f32` prefilter and were verified with
+    /// the exact `f64` kernel.
+    pub prefilter_verifies: usize,
     /// Worker threads of the pool that executed this query's parallel
     /// phase (0 for a fully sequential query). Parallel RSA and
     /// parallel JAA populate it; deterministic for a given engine.
@@ -112,6 +122,9 @@ impl Stats {
         self.filter_cache_bytes = self.filter_cache_bytes.max(other.filter_cache_bytes);
         self.evictions += other.evictions;
         self.screen_prefix_skips += other.screen_prefix_skips;
+        self.kernel_blocks += other.kernel_blocks;
+        self.prefilter_rejects += other.prefilter_rejects;
+        self.prefilter_verifies += other.prefilter_verifies;
         // Configuration-like counters: a merge keeps the widest value
         // rather than a meaningless sum.
         self.pool_threads = self.pool_threads.max(other.pool_threads);

@@ -78,7 +78,8 @@ pub fn stats_json(stats: &Stats) -> String {
             r#""cells_created":{},"arrangements_built":{},"drills":{},"drill_hits":{},"#,
             r#""peak_arrangement_bytes":{},"kspr_calls":{},"filter_cache_hits":{},"#,
             r#""superset_hits":{},"filter_cache_bytes":{},"evictions":{},"#,
-            r#""screen_prefix_skips":{},"pool_threads":{},"batch_group_count":{}}}"#
+            r#""screen_prefix_skips":{},"kernel_blocks":{},"prefilter_rejects":{},"#,
+            r#""prefilter_verifies":{},"pool_threads":{},"batch_group_count":{}}}"#
         ),
         stats.candidates,
         stats.bbs_pops,
@@ -95,6 +96,9 @@ pub fn stats_json(stats: &Stats) -> String {
         stats.filter_cache_bytes,
         stats.evictions,
         stats.screen_prefix_skips,
+        stats.kernel_blocks,
+        stats.prefilter_rejects,
+        stats.prefilter_verifies,
         stats.pool_threads,
         stats.batch_group_count,
     )
@@ -308,6 +312,22 @@ mod tests {
             r#""filter_cache_bytes":4096"#,
             r#""evictions":2"#,
             r#""screen_prefix_skips":7"#,
+        ] {
+            assert!(json.contains(frag), "missing {frag} in {json}");
+        }
+    }
+
+    #[test]
+    fn stats_json_carries_kernel_counters() {
+        let mut stats = Stats::new();
+        stats.kernel_blocks = 12;
+        stats.prefilter_rejects = 9;
+        stats.prefilter_verifies = 3;
+        let json = stats_json(&stats);
+        for frag in [
+            r#""kernel_blocks":12"#,
+            r#""prefilter_rejects":9"#,
+            r#""prefilter_verifies":3"#,
         ] {
             assert!(json.contains(frag), "missing {frag} in {json}");
         }

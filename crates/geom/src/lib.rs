@@ -20,8 +20,10 @@
 //! * [`hull`] — exact 2-D upper hulls and LP-based hull membership for
 //!   arbitrary dimension (the part of the hull the onion baseline
 //!   keeps).
-//! * [`store`] — flat row-major point storage ([`PointStore`]), the
-//!   allocation-free data layout of the filtering hot path.
+//! * [`store`] — flat row-major point storage ([`PointStore`]) and the
+//!   structure-of-arrays score panels ([`ScorePanel`]) of the blocked
+//!   screen kernel: the allocation-free data layouts of the filtering
+//!   hot path.
 //!
 //! All computations are in `f64` with the tolerances of [`tol`].
 
@@ -48,4 +50,4 @@ pub use hull::{hull_membership, upper_hull_2d};
 pub use lp::{LinearProgram, LpOutcome};
 pub use pref::{lift_weights, pref_score, pref_score_delta, score};
 pub use region::Region;
-pub use store::{PointStore, PointStoreBuilder};
+pub use store::{f32_down, f32_up, PointStore, PointStoreBuilder, ScorePanel, SCORE_LANES};

@@ -52,6 +52,6 @@ pub mod server;
 pub mod spec;
 
 pub use client::{BatchReply, Connection};
-pub use proto::{ProtoError, Request, Response, StatsBody};
+pub use proto::{ProtoError, Request, Response, StatsBody, WalDatasetStats};
 pub use registry::{DatasetRegistry, LoadedDataset};
 pub use server::{Bind, ServeSnapshot, Server, ServerConfig, ServerHandle};

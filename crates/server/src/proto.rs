@@ -35,7 +35,8 @@
 //!             "inflight":N,"max_inflight":N,"datasets_loaded":N,
 //!             "datasets":[NAME,...],"registry_cache_bytes":N,
 //!             "wal_enabled":BOOL,"wal_datasets":N,"wal_records":N,
-//!             "wal_bytes":N}
+//!             "wal_bytes":N,"wal":[{"dataset":NAME,"records":N,
+//!             "bytes":N,"last_epoch":N},...]}
 //! evict    → {"ok":"evict","dataset":NAME,"evicted":BOOL}
 //! shutdown → {"ok":"shutdown"}
 //! ```
@@ -333,6 +334,20 @@ impl Request {
     }
 }
 
+/// One resident dataset's write-ahead-log state in a `stats`
+/// response.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WalDatasetStats {
+    /// Dataset name.
+    pub dataset: String,
+    /// Records currently in the log.
+    pub records: u64,
+    /// Bytes currently in the log.
+    pub bytes: u64,
+    /// Epoch of the newest durable record (0 for a fresh log).
+    pub last_epoch: u64,
+}
+
 /// The counters a `stats` response carries.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StatsBody {
@@ -359,6 +374,9 @@ pub struct StatsBody {
     pub wal_records: u64,
     /// Total WAL bytes across resident datasets.
     pub wal_bytes: u64,
+    /// Per-dataset WAL state, in dataset-name order (empty when no
+    /// resident dataset carries a log).
+    pub wal: Vec<WalDatasetStats>,
 }
 
 /// One response line, parsed. The server builds these; clients parse
@@ -462,26 +480,42 @@ impl Response {
                 filter_retained,
                 index_rebuilt,
             ),
-            Response::Stats(s) => format!(
-                concat!(
-                    r#"{{"ok":"stats","requests_served":{},"busy_rejections":{},"#,
-                    r#""inflight":{},"max_inflight":{},"datasets_loaded":{},"#,
-                    r#""datasets":{},"registry_cache_bytes":{},"#,
-                    r#""wal_enabled":{},"wal_datasets":{},"wal_records":{},"#,
-                    r#""wal_bytes":{}}}"#
-                ),
-                s.requests_served,
-                s.busy_rejections,
-                s.inflight,
-                s.max_inflight,
-                s.datasets_loaded,
-                json_str_list(&s.datasets),
-                s.registry_cache_bytes,
-                s.wal_enabled,
-                s.wal_datasets,
-                s.wal_records,
-                s.wal_bytes,
-            ),
+            Response::Stats(s) => {
+                let wal: Vec<String> = s
+                    .wal
+                    .iter()
+                    .map(|w| {
+                        format!(
+                            r#"{{"dataset":"{}","records":{},"bytes":{},"last_epoch":{}}}"#,
+                            escape(&w.dataset),
+                            w.records,
+                            w.bytes,
+                            w.last_epoch,
+                        )
+                    })
+                    .collect();
+                format!(
+                    concat!(
+                        r#"{{"ok":"stats","requests_served":{},"busy_rejections":{},"#,
+                        r#""inflight":{},"max_inflight":{},"datasets_loaded":{},"#,
+                        r#""datasets":{},"registry_cache_bytes":{},"#,
+                        r#""wal_enabled":{},"wal_datasets":{},"wal_records":{},"#,
+                        r#""wal_bytes":{},"wal":[{}]}}"#
+                    ),
+                    s.requests_served,
+                    s.busy_rejections,
+                    s.inflight,
+                    s.max_inflight,
+                    s.datasets_loaded,
+                    json_str_list(&s.datasets),
+                    s.registry_cache_bytes,
+                    s.wal_enabled,
+                    s.wal_datasets,
+                    s.wal_records,
+                    s.wal_bytes,
+                    wal.join(","),
+                )
+            }
             Response::Evict { dataset, evicted } => format!(
                 r#"{{"ok":"evict","dataset":"{}","evicted":{evicted}}}"#,
                 escape(dataset)
@@ -586,6 +620,37 @@ impl Response {
                 wal_datasets: field_u64("wal_datasets")?,
                 wal_records: field_u64("wal_records")?,
                 wal_bytes: field_u64("wal_bytes")?,
+                wal: value
+                    .get("wal")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| {
+                        ProtoError::bad_request("\"stats\" response needs a \"wal\" array")
+                    })?
+                    .iter()
+                    .map(|item| {
+                        let sub_u64 = |key: &str| -> Result<u64, ProtoError> {
+                            item.get(key).and_then(Value::as_u64).ok_or_else(|| {
+                                ProtoError::bad_request(format!(
+                                    "\"wal\" entries need a numeric {key:?}"
+                                ))
+                            })
+                        };
+                        Ok(WalDatasetStats {
+                            dataset: item
+                                .get("dataset")
+                                .and_then(Value::as_str)
+                                .map(str::to_string)
+                                .ok_or_else(|| {
+                                    ProtoError::bad_request(
+                                        "\"wal\" entries need a string \"dataset\"",
+                                    )
+                                })?,
+                            records: sub_u64("records")?,
+                            bytes: sub_u64("bytes")?,
+                            last_epoch: sub_u64("last_epoch")?,
+                        })
+                    })
+                    .collect::<Result<Vec<WalDatasetStats>, ProtoError>>()?,
             })),
             "evict" => Ok(Response::Evict {
                 dataset: field_str("dataset")?,
@@ -671,6 +736,12 @@ mod tests {
                 wal_datasets: 1,
                 wal_records: 5,
                 wal_bytes: 320,
+                wal: vec![WalDatasetStats {
+                    dataset: "hotels".into(),
+                    records: 5,
+                    bytes: 320,
+                    last_epoch: 4,
+                }],
             }),
             Response::Update {
                 dataset: "hotels".into(),

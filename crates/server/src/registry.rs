@@ -82,6 +82,11 @@ pub struct DatasetRegistry {
     /// Per-dataset write-ahead logs live here when set; `None` serves
     /// memory-only (the pre-WAL behavior, minus the silent revert).
     wal_dir: Option<PathBuf>,
+    /// Record-count compaction trigger: when set, an update that
+    /// leaves a dataset's log holding more than this many records
+    /// folds it into a snapshot immediately (in addition to the
+    /// index-rebuild trigger), bounding replay time between rebuilds.
+    wal_compact_every: Option<u64>,
     /// Total filter-cache bytes shared across resident engines.
     cache_budget: usize,
     /// Worker-pool size handed to each engine (0 = one per core).
@@ -107,6 +112,7 @@ impl DatasetRegistry {
         Self {
             dir,
             wal_dir: None,
+            wal_compact_every: None,
             cache_budget,
             pool_threads,
             loaded: Mutex::new(BTreeMap::new()),
@@ -118,6 +124,18 @@ impl DatasetRegistry {
     /// log. Builder-style: call before the registry serves requests.
     pub fn with_wal_dir(mut self, wal_dir: PathBuf) -> Self {
         self.wal_dir = Some(wal_dir);
+        self
+    }
+
+    /// Caps how long a write-ahead log may grow between compactions:
+    /// an update that leaves a log with more than `n` records folds it
+    /// into a snapshot right away, so a reload never replays more than
+    /// ~`n` mutations even when the engine's index-rebuild heuristic
+    /// (the other compaction trigger) stays quiet. Builder-style: call
+    /// before the registry serves requests. No effect without a WAL
+    /// directory.
+    pub fn with_wal_compact_every(mut self, n: u64) -> Self {
+        self.wal_compact_every = Some(n);
         self
     }
 
@@ -145,6 +163,22 @@ impl DatasetRegistry {
             }
         }
         totals
+    }
+
+    /// Per-dataset WAL state for the `stats` op, in dataset-name
+    /// order: `(name, records, bytes, last_epoch)` for every resident
+    /// dataset carrying a log. `last_epoch` is the epoch of the newest
+    /// durable record (0 for a fresh log).
+    pub fn wal_datasets(&self) -> Vec<(String, u64, u64, u64)> {
+        let loaded = self.loaded.lock().expect("registry lock");
+        let mut out = Vec::new();
+        for (name, ds) in loaded.iter() {
+            if let Some(wal) = &ds.wal {
+                let wal = wal.lock().expect("dataset wal lock");
+                out.push((name.clone(), wal.records(), wal.bytes(), wal.epoch()));
+            }
+        }
+        out
     }
 
     /// Dataset names available on disk (sorted), whether loaded or
@@ -365,14 +399,17 @@ impl DatasetRegistry {
                 .engine
                 .apply_update(deletes, inserts)
                 .map_err(|e| ProtoError::bad_request(format!("dataset {name:?}: {e}")))?;
-            if report.index_rebuilt {
-                // The engine just paid for a full rebuild; fold the
-                // log into a snapshot so future loads replay from
-                // here. Snapshot first, then compact — a crash in
-                // between leaves the full log, which still replays
-                // from the original CSV.
-                if let Some(wal) = &ds.wal {
-                    let mut wal = wal.lock().expect("dataset wal lock");
+            if let Some(wal) = &ds.wal {
+                let mut wal = wal.lock().expect("dataset wal lock");
+                // Two compaction triggers: the engine just paid for a
+                // full index rebuild (fold the log into a snapshot so
+                // future loads replay from here), or the log outgrew
+                // the configured record budget (bound replay time even
+                // when the rebuild heuristic stays quiet). Snapshot
+                // first, then compact — a crash in between leaves the
+                // full log, which still replays from the original CSV.
+                let over_budget = self.wal_compact_every.is_some_and(|n| wal.records() > n);
+                if report.index_rebuilt || over_budget {
                     compact_into_snapshot(&mut wal, &staged, report.epoch).map_err(|e| {
                         ProtoError {
                             code: code::DATASET_ERROR,
@@ -640,6 +677,49 @@ mod tests {
         assert_eq!(back.engine.dataset_epoch(), epoch);
         assert_eq!(back.engine.len(), n_before);
         assert_eq!(back.data.read().unwrap().name(n_before as u32 - 1), "x11");
+    }
+
+    #[test]
+    fn record_budget_compacts_the_wal_without_a_rebuild() {
+        let dir = fixture_dir();
+        let wal_dir = dir.join("wal_every");
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let registry = DatasetRegistry::new(dir.clone(), 1 << 20, 1)
+            .with_wal_dir(wal_dir.clone())
+            .with_wal_compact_every(2);
+
+        // Three single-row inserts stay under the overlay-rebuild
+        // threshold (overhead 3 vs n 6), so only the record budget can
+        // compact here: the third update leaves 3 > 2 records and the
+        // log folds into a snapshot with no rebuild involved.
+        for i in 0..3 {
+            let row = vec![1.0 + f64::from(i), 2.0, 3.0];
+            let (_, report) = registry
+                .update("hotels", &[], vec![row], Some(vec![format!("y{i}")]))
+                .unwrap();
+            assert!(!report.index_rebuilt, "insert {i} tripped a rebuild");
+        }
+        let (_, records, _) = registry.wal_totals();
+        assert!(
+            records <= 1,
+            "record budget should have folded the log ({records} records left)"
+        );
+        assert!(wal_dir.join("hotels.snapshot.csv").exists());
+        let per_dataset = registry.wal_datasets();
+        assert_eq!(per_dataset.len(), 1);
+        let (name, recs, bytes, last_epoch) = &per_dataset[0];
+        assert_eq!(name, "hotels");
+        assert_eq!(*recs, records);
+        assert!(*bytes > 0);
+        assert_eq!(*last_epoch, 3);
+
+        // Restart: snapshot + tail replays to the exact same state.
+        drop(registry);
+        let restarted = DatasetRegistry::new(dir, 1 << 20, 1).with_wal_dir(wal_dir);
+        let (back, _) = restarted.get_or_load("hotels").unwrap();
+        assert_eq!(back.engine.dataset_epoch(), 3);
+        assert_eq!(back.engine.len(), 6);
+        assert_eq!(back.data.read().unwrap().name(5), "y2");
     }
 
     #[test]

@@ -45,7 +45,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use crate::proto::{code, ProtoError, Request, Response, StatsBody};
+use crate::proto::{code, ProtoError, Request, Response, StatsBody, WalDatasetStats};
 use crate::registry::{DatasetRegistry, LoadedDataset};
 use crate::spec;
 use utk_core::engine::{QueryResult, UtkEngine, UtkQuery};
@@ -192,6 +192,10 @@ pub struct ServerConfig {
     /// Per-dataset write-ahead logs live here when set (crash-safe
     /// updates); `None` serves memory-only.
     pub wal_dir: Option<PathBuf>,
+    /// Compact a dataset's log into a snapshot once it exceeds this
+    /// many records (in addition to the index-rebuild trigger);
+    /// `None` compacts on rebuilds only. No effect without `wal_dir`.
+    pub wal_compact_every: Option<u64>,
 }
 
 impl ServerConfig {
@@ -205,6 +209,7 @@ impl ServerConfig {
             cache_budget: 64 << 20,
             pool_threads: 0,
             wal_dir: None,
+            wal_compact_every: None,
         }
     }
 }
@@ -259,6 +264,17 @@ impl Shared {
     fn stats_body(&self) -> StatsBody {
         let snap = self.snapshot();
         let (wal_datasets, wal_records, wal_bytes) = self.registry.wal_totals();
+        let wal = self
+            .registry
+            .wal_datasets()
+            .into_iter()
+            .map(|(dataset, records, bytes, last_epoch)| WalDatasetStats {
+                dataset,
+                records,
+                bytes,
+                last_epoch,
+            })
+            .collect();
         StatsBody {
             requests_served: snap.requests_served,
             busy_rejections: snap.busy_rejections,
@@ -271,6 +287,7 @@ impl Shared {
             wal_datasets,
             wal_records,
             wal_bytes,
+            wal,
         }
     }
 }
@@ -352,8 +369,12 @@ impl Server {
                         config.cache_budget,
                         config.pool_threads,
                     );
-                    match config.wal_dir {
+                    let registry = match config.wal_dir {
                         Some(dir) => registry.with_wal_dir(dir),
+                        None => registry,
+                    };
+                    match config.wal_compact_every {
+                        Some(n) => registry.with_wal_compact_every(n),
                         None => registry,
                     }
                 },

@@ -55,6 +55,7 @@ pub const VALUE_FLAGS: &[&str] = &[
     "labels",
     "wal",
     "wal-dir",
+    "wal-compact-every",
 ];
 
 /// The flags one query line of a `batch` file (or a server

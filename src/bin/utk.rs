@@ -147,6 +147,8 @@ SERVE (long-running multi-dataset server; newline-delimited JSON protocol):
                         <dir>/<name>.wal before it commits, loads replay the log, and
                         the log is compacted into <dir>/<name>.snapshot.csv whenever
                         the engine rebuilds its index
+  --wal-compact-every <n>   also compact a dataset's log once it exceeds n records,
+                        bounding replay time between index rebuilds (requires --wal-dir)
 Protocol ops: load, query, batch, stats, evict, shutdown — see the
 utk-server crate docs for the grammar. Server `batch` output is
 byte-identical to `utk batch` on the same file.
@@ -209,6 +211,7 @@ fn command_flags(command: &str) -> Option<&'static [&'static str]> {
             "cache-budget",
             "threads",
             "wal-dir",
+            "wal-compact-every",
         ]),
         "client" => Some(&["socket", "port", "dataset", "file", "op"]),
         "update" => Some(&["socket", "port", "dataset", "insert", "delete", "labels"]),
@@ -478,6 +481,18 @@ fn run_serve(args: &ParsedArgs) -> Result<(), String> {
     }
     if let Some(wal_dir) = args.get("wal-dir") {
         config.wal_dir = Some(wal_dir.into());
+    }
+    if let Some(n) = args.get("wal-compact-every") {
+        let n: u64 = n
+            .parse()
+            .map_err(|_| "--wal-compact-every must be an integer")?;
+        if n == 0 {
+            return Err("--wal-compact-every must be at least 1".into());
+        }
+        if config.wal_dir.is_none() {
+            return Err("--wal-compact-every requires --wal-dir".into());
+        }
+        config.wal_compact_every = Some(n);
     }
     let server = Server::bind(config).map_err(|e| format!("bind: {e}"))?;
     eprintln!(

@@ -230,6 +230,25 @@
 //!   repair returns `None` (full recompute) whenever it cannot prove
 //!   identity. Property-locked over random mutation interleavings in
 //!   `tests/dynamic.rs` against a `without_cache_repair()` twin.
+//! * **The f32 prefilter may only reject; survivors are verified in
+//!   f64.** The screen kernel's quantized panel uses conservative
+//!   directed rounding (member scores rounded up via
+//!   [`geom::f32_up`], the probe rounded down via [`geom::f32_down`],
+//!   plus a `next_up` on the subtraction), so an f32 bound below the
+//!   tolerance *proves* the exact delta fails too — a block is
+//!   skipped only on that proof, and every block the prefilter cannot
+//!   reject goes to the exact f64 kernel
+//!   ([`core::rdominance::prefilter_reject_mask`] /
+//!   [`core::rdominance::blocked_dominates_mask`]). A false f32
+//!   accept costs one exact verify; a false reject would change
+//!   answers and is impossible by construction. Locked by
+//!   `tests/screen_kernel.rs`: lane-exact equivalence with the scalar
+//!   classifier at ±EPS boundaries, reject-mask ∩ exact-dominator
+//!   mask ≡ ∅ on near-tie panels, and whole r-skyband byte-identity
+//!   (fresh, superset re-screen, engine splice repair) against a
+//!   [`without_blocked_kernel`](core::engine::UtkEngine::without_blocked_kernel)
+//!   scalar twin — the CI `screen-kernel-fuzz` job re-runs the suite
+//!   at 256 cases in release mode.
 //! * **No `unsafe`.** The audit accompanying the lint found zero
 //!   `unsafe` blocks workspace-wide; every crate now declares
 //!   `#![forbid(unsafe_code)]`, and the lint's `safety-comment` rule
@@ -275,10 +294,12 @@ pub mod prelude {
     pub use utk_core::error::UtkError;
     pub use utk_core::jaa::{jaa, jaa_parallel, jaa_with_tree, JaaOptions, Utk2Cell, Utk2Result};
     pub use utk_core::parallel::{rsa_parallel, rsa_parallel_with_tree, TaskSet, ThreadPool};
+    pub use utk_core::rdominance::ScreenKernel;
     pub use utk_core::rsa::{rsa, rsa_with_tree, RsaOptions, Utk1Result};
     pub use utk_core::scoring::GeneralScoring;
     pub use utk_core::skyband::{
-        k_skyband, r_skyband, r_skyband_from_superset, r_skyband_view, rejected_by_members,
+        k_skyband, r_skyband, r_skyband_from_superset, r_skyband_from_superset_with_kernel,
+        r_skyband_view, r_skyband_view_with_kernel, r_skyband_with_kernel, rejected_by_members,
         CandidateSet, TreeView,
     };
     pub use utk_core::stats::Stats;

@@ -292,7 +292,10 @@ proptest! {
     /// Fault-injection kill-and-replay: a crash at ANY byte offset
     /// mid-append recovers, on reopen, to either the pre- or the
     /// post-mutation epoch — never a torn state — and every query on
-    /// the recovered dataset is wire-identical to a fresh build.
+    /// the recovered dataset is wire-identical to a fresh build. The
+    /// dataset is labeled and every logged mutation carries labels,
+    /// so replay's label path rides the same oracle: the recovered
+    /// labels must line up with the reference model row for row.
     #[test]
     fn wal_kill_and_replay_recovers_a_consistent_epoch(
         seed in 0u64..1 << 32,
@@ -303,7 +306,23 @@ proptest! {
         let n0 = rng.gen_range(16..32);
         let model0: Vec<Vec<f64>> =
             (0..n0).map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
-        let base_csv = write_csv(&Dataset::new("base", model0.clone()), None);
+        let labels0: Vec<String> = (0..n0).map(|i| format!("b{i}")).collect();
+        let base_csv = write_csv(&Dataset::new("base", model0.clone()), Some(&labels0));
+
+        // Labels shift exactly like rows: delete-compact, then append.
+        let apply_labels = |labels: &mut Vec<String>, deletes: &[u32], fresh: &[String]| {
+            let mut dead = vec![false; labels.len()];
+            for &id in deletes {
+                dead[id as usize] = true;
+            }
+            let mut next: Vec<String> = labels
+                .drain(..)
+                .enumerate()
+                .filter_map(|(i, l)| (!dead[i]).then_some(l))
+                .collect();
+            next.extend(fresh.iter().cloned());
+            *labels = next;
+        };
 
         let path = std::env::temp_dir()
             .join(format!("utk_dyn_wal_kill_{}.wal", std::process::id()));
@@ -322,19 +341,27 @@ proptest! {
 
         // Commit a few mutations durably.
         let mut model = model0.clone();
+        let mut label_model = labels0.clone();
         let committed = rng.gen_range(0..3u64);
         for i in 0..committed {
             let (deletes, inserts) = nonempty(&mut rng, model.len());
+            let fresh: Vec<String> =
+                (0..inserts.len()).map(|j| format!("c{i}_{j}")).collect();
             wal_file
-                .append(&WalRecord::for_update(i + 1, &deletes, &inserts, None))
+                .append(&WalRecord::for_update(i + 1, &deletes, &inserts, Some(&fresh)))
                 .unwrap();
             apply_to_model(&mut model, &deletes, &inserts);
+            apply_labels(&mut label_model, &deletes, &fresh);
         }
         let pre_model = model.clone();
+        let pre_labels = label_model.clone();
 
         // The victim mutation: the process "dies" after `cut` bytes.
         let (deletes, inserts) = nonempty(&mut rng, model.len());
-        let record = WalRecord::for_update(committed + 1, &deletes, &inserts, None);
+        let victim_labels: Vec<String> =
+            (0..inserts.len()).map(|j| format!("v{j}")).collect();
+        let record =
+            WalRecord::for_update(committed + 1, &deletes, &inserts, Some(&victim_labels));
         let full = record.encode().len() as u64;
         let cut = (cut_frac * (full as f64 + 1.0)) as u64;
         wal_file.fail_after_n_bytes(Some(cut));
@@ -345,16 +372,20 @@ proptest! {
         let reopened = WalFile::open(&path).unwrap();
         let mut recovered = parse_csv(&base_csv, "base").unwrap();
         let epoch = wal::replay(&mut recovered, &reopened.records).unwrap();
-        let expected_model = if append.is_ok() {
+        let (expected_model, expected_labels) = if append.is_ok() {
             prop_assert!(cut >= full, "append succeeded despite a mid-record crash");
             prop_assert_eq!(epoch, committed + 1);
             apply_to_model(&mut model, &deletes, &inserts);
-            model
+            apply_labels(&mut label_model, &deletes, &victim_labels);
+            (model, label_model)
         } else {
             prop_assert_eq!(epoch, committed, "crash at byte {} of {}", cut, full);
-            pre_model
+            (pre_model, pre_labels)
         };
         prop_assert_eq!(&recovered.dataset.points, &expected_model, "torn replay state");
+        for (i, want) in expected_labels.iter().enumerate() {
+            prop_assert_eq!(&recovered.name(i as u32), want, "label {} diverged", i);
+        }
         let _ = std::fs::remove_file(&path);
 
         // Wire-identity: the recovered engine answers like a fresh

@@ -645,6 +645,12 @@ fn wal_backed_evict_and_restart_replay_updates() {
     assert_eq!(stats.wal_datasets, 1, "{stats:?}");
     assert!(stats.wal_records >= 1, "{stats:?}");
     assert!(stats.wal_bytes > 0, "{stats:?}");
+    // …and the per-dataset stanza breaks the totals down.
+    assert_eq!(stats.wal.len(), 1, "{stats:?}");
+    assert_eq!(stats.wal[0].dataset, "hotels", "{stats:?}");
+    assert_eq!(stats.wal[0].records, stats.wal_records, "{stats:?}");
+    assert_eq!(stats.wal[0].bytes, stats.wal_bytes, "{stats:?}");
+    assert_eq!(stats.wal[0].last_epoch, 1, "{stats:?}");
 
     // With a WAL the evict is safe — and the lazily reloaded engine
     // replays the log, so the *updated* answer comes back.

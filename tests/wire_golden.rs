@@ -30,13 +30,19 @@ p7,8.6,7.1,4.3
 ";
 
 /// Exact bytes of one `query` response (a UTK1 wire line).
+/// Deliberate format change with the blocked screen kernel: `stats`
+/// gained `kernel_blocks`/`prefilter_rejects`/`prefilter_verifies`,
+/// and `rdom_tests` now counts at block granularity under the default
+/// blocked+prefilter kernel (no mid-block early exit), so the pinned
+/// count rose from the scalar kernel's 14.
 const GOLDEN_QUERY: &str = concat!(
     r#"{"query":"utk1","k":2,"algo":"rsa","n":7,"d":3,"#,
     r#""records":[{"id":0,"name":"p1"},{"id":1,"name":"p2"},{"id":3,"name":"p4"},{"id":5,"name":"p6"}],"#,
-    r#""stats":{"candidates":4,"bbs_pops":8,"rdom_tests":14,"halfspaces_inserted":0,"#,
+    r#""stats":{"candidates":4,"bbs_pops":8,"rdom_tests":18,"halfspaces_inserted":0,"#,
     r#""cells_created":0,"arrangements_built":0,"drills":3,"drill_hits":3,"#,
     r#""peak_arrangement_bytes":0,"kspr_calls":0,"filter_cache_hits":0,"superset_hits":0,"#,
-    r#""filter_cache_bytes":1080,"evictions":0,"screen_prefix_skips":0,"pool_threads":0,"#,
+    r#""filter_cache_bytes":1080,"evictions":0,"screen_prefix_skips":0,"kernel_blocks":6,"#,
+    r#""prefilter_rejects":2,"prefilter_verifies":4,"pool_threads":0,"#,
     r#""batch_group_count":0}}"#
 );
 
@@ -57,7 +63,8 @@ const GOLDEN_BATCH: &[&str] = &[
         r#""stats":{"candidates":4,"bbs_pops":0,"rdom_tests":0,"halfspaces_inserted":10,"#,
         r#""cells_created":22,"arrangements_built":8,"drills":7,"drill_hits":0,"#,
         r#""peak_arrangement_bytes":4096,"kspr_calls":0,"filter_cache_hits":1,"superset_hits":0,"#,
-        r#""filter_cache_bytes":1080,"evictions":0,"screen_prefix_skips":0,"pool_threads":0,"#,
+        r#""filter_cache_bytes":1080,"evictions":0,"screen_prefix_skips":0,"kernel_blocks":0,"#,
+        r#""prefilter_rejects":0,"prefilter_verifies":0,"pool_threads":0,"#,
         r#""batch_group_count":2}}"#
     ),
     concat!(
@@ -75,12 +82,14 @@ const GOLDEN_UPDATE: &str = concat!(
 /// Exact bytes of one `stats` response, taken at a fixed point in the
 /// request sequence below. Deliberate format change with the WAL
 /// subsystem: `stats` now reports write-ahead-log state (this server
-/// runs without a WAL directory, so the counters are zero).
+/// runs without a WAL directory, so the counters are zero), and — a
+/// second deliberate change — a per-dataset `wal` array (empty here,
+/// no WAL-backed datasets).
 const GOLDEN_STATS: &str = concat!(
     r#"{"ok":"stats","requests_served":4,"busy_rejections":0,"inflight":0,"#,
     r#""max_inflight":64,"datasets_loaded":1,"datasets":["hotels"],"#,
     r#""registry_cache_bytes":1080,"wal_enabled":false,"wal_datasets":0,"#,
-    r#""wal_records":0,"wal_bytes":0}"#
+    r#""wal_records":0,"wal_bytes":0,"wal":[]}"#
 );
 
 #[test]

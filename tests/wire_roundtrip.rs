@@ -8,7 +8,7 @@
 use proptest::prelude::*;
 use utk::prelude::*;
 use utk::server::json;
-use utk::server::proto::{code, ProtoError, Request, Response, StatsBody};
+use utk::server::proto::{code, ProtoError, Request, Response, StatsBody, WalDatasetStats};
 use utk::wire;
 
 /// A string over a byte alphabet that exercises every escape class
@@ -154,6 +154,12 @@ proptest! {
                 wal_datasets: counters[5],
                 wal_records: counters[6],
                 wal_bytes: counters[7],
+                wal: vec![WalDatasetStats {
+                    dataset: dataset_name.clone(),
+                    records: counters[6],
+                    bytes: counters[7],
+                    last_epoch: counters[5],
+                }],
             }),
             Response::Evict { dataset: dataset_name, evicted: d % 2 == 0 },
             Response::Shutdown,
