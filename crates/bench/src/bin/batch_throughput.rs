@@ -107,7 +107,7 @@ fn main() {
     let cores = utk_bench::recorded_parallelism();
     let json = format!(
         concat!(
-            r#"{{"figure":"batch_throughput","dataset":"IND","n":{},"d":{},"k":{},"#,
+            r#"{{"schema_version":1,"figure":"batch_throughput","dataset":"IND","n":{},"d":{},"k":{},"#,
             r#""distinct_regions":{},"seed":{},"available_parallelism":{},"rows":[{}]}}"#
         ),
         n,

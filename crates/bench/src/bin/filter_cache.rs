@@ -161,7 +161,7 @@ fn main() {
     let cores = utk_bench::recorded_parallelism();
     let json = format!(
         concat!(
-            r#"{{"figure":"filter_cache","dataset":"ANTI","n":{},"d":{},"k":{},"sigma":0.08,"#,
+            r#"{{"schema_version":1,"figure":"filter_cache","dataset":"ANTI","n":{},"d":{},"k":{},"sigma":0.08,"#,
             r#""bases":{},"zooms_per_base":{},"repeats_per_base":{},"seed":{},"#,
             r#""available_parallelism":{},"#,
             r#""cold":{{"rdom_tests":{},"bbs_pops":{}}},"#,

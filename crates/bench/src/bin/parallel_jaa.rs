@@ -102,7 +102,7 @@ fn main() {
     let cores = utk_bench::recorded_parallelism();
     let json = format!(
         concat!(
-            r#"{{"figure":"parallel_jaa","dataset":"ANTI","n":{},"d":{},"k":{},"sigma":0.05,"#,
+            r#"{{"schema_version":1,"figure":"parallel_jaa","dataset":"ANTI","n":{},"d":{},"k":{},"sigma":0.05,"#,
             r#""queries":{},"seed":{},"available_parallelism":{},"#,
             r#""sequential_mean_seconds":{:.6},"parallel":[{}]}}"#
         ),

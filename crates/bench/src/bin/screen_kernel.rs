@@ -194,7 +194,7 @@ fn main() {
         .collect();
     let json = format!(
         concat!(
-            r#"{{"figure":"screen_kernel","dataset":"ANTI","n":{},"d":{},"k":{},"#,
+            r#"{{"schema_version":1,"figure":"screen_kernel","dataset":"ANTI","n":{},"d":{},"k":{},"#,
             r#""sigma":0.08,"regions":{},"passes":{},"seed":{},"#,
             r#""available_parallelism":{},"byte_identical":{},"kernels":[{}]}}"#
         ),

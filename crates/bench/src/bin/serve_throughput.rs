@@ -239,7 +239,7 @@ fn main() {
     let cores = utk_bench::recorded_parallelism();
     let json = format!(
         concat!(
-            r#"{{"figure":"serve_throughput","n":{},"d":{},"k":{},"datasets":2,"#,
+            r#"{{"schema_version":1,"figure":"serve_throughput","n":{},"d":{},"k":{},"datasets":2,"#,
             r#""clients":{},"seed":{},"available_parallelism":{},"#,
             r#""throughput":{{"batches":{},"queries":{},"elapsed_seconds":{:.6},"#,
             r#""queries_per_second":{:.3},"requests_served":{},"busy_rejections":{},"#,

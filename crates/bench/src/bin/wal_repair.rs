@@ -218,7 +218,7 @@ fn main() {
     let cores = utk_bench::recorded_parallelism();
     let json = format!(
         concat!(
-            r#"{{"figure":"wal_repair","dataset":"ANTI","n":{},"d":{},"k":{},"sigma":0.08,"#,
+            r#"{{"schema_version":1,"figure":"wal_repair","dataset":"ANTI","n":{},"d":{},"k":{},"sigma":0.08,"#,
             r#""regions":{},"mutation_rounds":{},"seed":{},"available_parallelism":{},"#,
             r#""screen_tests":{{"baseline_recompute":{},"repaired_queries":{},"#,
             r#""repair_screens":{},"repaired_total":{},"saved_ratio":{:.3},"repairs":{}}},"#,

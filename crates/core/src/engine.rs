@@ -58,6 +58,7 @@ use crate::baseline::{baseline_utk1, FilterKind};
 use crate::cache::ByteLru;
 use crate::error::UtkError;
 use crate::jaa::{jaa_parallel_refine, jaa_refine, records_of, JaaOptions, Utk2Cell, Utk2Result};
+use crate::obs::{self, Clock, MonotonicClock, Phase};
 use crate::parallel::ThreadPool;
 use crate::rdominance::ScreenKernel;
 use crate::rsa::{rsa_refine, RsaOptions, Utk1Result};
@@ -790,6 +791,12 @@ struct EngineInner {
     /// How many pools this engine ever built (regression guard: must
     /// never exceed 1).
     pool_builds: AtomicUsize,
+    /// Nanosecond source for the per-query phase tracer
+    /// ([`crate::obs`]). [`MonotonicClock`] in production; tests
+    /// inject a [`crate::obs::TestClock`] via [`UtkEngine::with_clock`]
+    /// for deterministic timing breakdowns. Timings never enter the
+    /// wire format, so the clock cannot affect query results.
+    clock: Arc<dyn Clock>,
 }
 
 /// The build-once / query-many UTK engine. See the [module
@@ -853,6 +860,7 @@ impl UtkEngine {
                 pool_threads_cfg: 0,
                 pool: OnceLock::new(),
                 pool_builds: AtomicUsize::new(0),
+                clock: Arc::new(MonotonicClock::new()),
             }),
         })
     }
@@ -980,6 +988,26 @@ impl UtkEngine {
         );
         inner.pool_threads_cfg = threads;
         self
+    }
+
+    /// Replaces the engine's nanosecond source for query-phase
+    /// tracing (default: a fresh [`MonotonicClock`]). Tests inject a
+    /// [`crate::obs::TestClock`] to make `Stats::timings` exactly
+    /// reproducible; results and wire bytes are clock-independent.
+    /// Builder-style: call right after construction, before the
+    /// engine is cloned or queried.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        Arc::get_mut(&mut self.inner)
+            // utk-lint: allow(panic) -- documented builder contract: must precede any clone
+            .expect("with_clock must be called before the engine is cloned")
+            .clock = clock;
+        self
+    }
+
+    /// The engine's tracing clock (shared with the serving layer so
+    /// slow-query thresholds and metrics observe the same time base).
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.inner.clock)
     }
 
     /// The engine's persistent worker pool, built on first use.
@@ -1501,8 +1529,18 @@ impl UtkEngine {
         self.inner.filter_cache.lock().expect("cache lock").len()
     }
 
-    /// Runs a query, returning its typed result.
+    /// Runs a query, returning its typed result. The whole run is
+    /// traced against the engine's [`Clock`]; the per-phase breakdown
+    /// lands on `Stats::timings` (off the wire format — see
+    /// [`crate::obs`]).
     pub fn run(&self, query: &UtkQuery) -> Result<QueryResult, UtkError> {
+        let (result, timings) = obs::trace(&self.inner.clock, || self.run_untraced(query));
+        let mut result = result?;
+        result.stats_mut().timings = timings;
+        Ok(result)
+    }
+
+    fn run_untraced(&self, query: &UtkQuery) -> Result<QueryResult, UtkError> {
         if query.k == 0 {
             return Err(UtkError::InvalidK { k: 0 });
         }
@@ -1924,15 +1962,17 @@ impl UtkEngine {
     ) -> Result<(Arc<CandidateSet>, Stats), UtkError> {
         let mut stats = Stats::new();
         if !self.inner.cache_enabled {
-            let cands = r_skyband_view_with_kernel(
-                data.store(),
-                &data.tree_view(),
-                region,
-                query.k,
-                query.pivot_order(),
-                self.inner.kernel,
-                &mut stats,
-            );
+            let cands = obs::span(Phase::Filter, || {
+                r_skyband_view_with_kernel(
+                    data.store(),
+                    &data.tree_view(),
+                    region,
+                    query.k,
+                    query.pivot_order(),
+                    self.inner.kernel,
+                    &mut stats,
+                )
+            });
             return Ok((Arc::new(cands), stats));
         }
         debug_assert_eq!(
@@ -1988,23 +2028,28 @@ impl UtkEngine {
             Some(sup) => {
                 self.inner.superset_hits.fetch_add(1, Ordering::Relaxed);
                 stats.superset_hits = 1;
-                Arc::new(r_skyband_from_superset_with_kernel(
-                    sup,
+                // Pure screen-kernel work (no BBS): its own phase.
+                Arc::new(obs::span(Phase::Screen, || {
+                    r_skyband_from_superset_with_kernel(
+                        sup,
+                        region,
+                        query.k,
+                        self.inner.kernel,
+                        &mut stats,
+                    )
+                }))
+            }
+            None => Arc::new(obs::span(Phase::Filter, || {
+                r_skyband_view_with_kernel(
+                    data.store(),
+                    &data.tree_view(),
                     region,
                     query.k,
+                    query.pivot_order(),
                     self.inner.kernel,
                     &mut stats,
-                ))
-            }
-            None => Arc::new(r_skyband_view_with_kernel(
-                data.store(),
-                &data.tree_view(),
-                region,
-                query.k,
-                query.pivot_order(),
-                self.inner.kernel,
-                &mut stats,
-            )),
+                )
+            })),
         };
         let entry = FilterEntry {
             region: region.clone(),

@@ -268,7 +268,9 @@ fn root_task(
     // utk-lint: allow(panic) -- invariant: the engine rejects empty regions before partitioning
     let pivot = region.pivot().expect("non-empty region");
     stats.drills += 1;
-    let top = graph_top_k(cands, &pivot, k, &vec![false; n]);
+    let top = crate::obs::span(crate::obs::Phase::Drill, || {
+        graph_top_k(cands, &pivot, k, &vec![false; n])
+    });
     debug_assert_eq!(top.len(), k);
     let anchor = if opts.kth_anchor { top[k - 1] } else { top[0] };
     let mut excluded = vec![false; n];
@@ -322,34 +324,38 @@ fn expand(
 
     // Insert the half-spaces of the minimal-count competitors.
     let batch: Vec<u32> = cands.graph.minimal_competitors(&task.excluded);
-    let mut arr =
-        Arrangement::with_interior(task.region.clone(), task.interior.clone(), task.slack);
-    stats.arrangements_built += 1;
-    let anchor_pt = &cands.points[task.anchor as usize];
-    let anchor_id = cands.ids[task.anchor as usize];
-    for &q in &batch {
-        let hs = crate::rdominance::outranks_halfspace(
-            &cands.points[q as usize],
-            cands.ids[q as usize],
-            anchor_pt,
-            anchor_id,
-        );
-        arr.insert(hs, q);
-        stats.halfspaces_inserted += 1;
-        // Count ≥ quota ⇒ greater-than regardless of later insertions
-        // (§5: no Lemma-1 confirmation needed): stop splitting them.
-        let dead: Vec<CellId> = arr
-            .live_cells()
-            .filter(|(_, c)| c.count() >= task.quota)
-            .map(|(id, _)| id)
-            .collect();
-        for id in dead {
-            arr.prune(id);
+    let (arr, bytes) = crate::obs::span(crate::obs::Phase::Arrange, || {
+        let mut arr =
+            Arrangement::with_interior(task.region.clone(), task.interior.clone(), task.slack);
+        stats.arrangements_built += 1;
+        let anchor_pt = &cands.points[task.anchor as usize];
+        let anchor_id = cands.ids[task.anchor as usize];
+        for &q in &batch {
+            let hs = crate::rdominance::outranks_halfspace(
+                &cands.points[q as usize],
+                cands.ids[q as usize],
+                anchor_pt,
+                anchor_id,
+            );
+            arr.insert(hs, q);
+            stats.halfspaces_inserted += 1;
+            // Count ≥ quota ⇒ greater-than regardless of later
+            // insertions (§5: no Lemma-1 confirmation needed): stop
+            // splitting them.
+            let dead: Vec<CellId> = arr
+                .live_cells()
+                .filter(|(_, c)| c.count() >= task.quota)
+                .map(|(id, _)| id)
+                .collect();
+            for id in dead {
+                arr.prune(id);
+            }
         }
-    }
-    stats.cells_created += arr.all_cells().len();
-    let bytes = arr.approx_bytes();
-    stats.arrangement_grew(bytes);
+        stats.cells_created += arr.all_cells().len();
+        let bytes = arr.approx_bytes();
+        stats.arrangement_grew(bytes);
+        (arr, bytes)
+    });
 
     // The task owns `excluded`: mark the inserted batch once, no
     // restore needed (children that must not see it build fresh sets).
@@ -370,7 +376,9 @@ fn expand(
             // Greater-than: restart with a fresh anchor, ignoring the
             // old anchor and its descendants.
             stats.drills += 1;
-            let top = graph_top_k(cands, cell.interior(), k, none_removed);
+            let top = crate::obs::span(crate::obs::Phase::Drill, || {
+                graph_top_k(cands, cell.interior(), k, none_removed)
+            });
             let new_anchor = if opts.kth_anchor { top[k - 1] } else { top[0] };
             debug_assert_ne!(new_anchor, task.anchor);
             let mut fresh = vec![false; n];
@@ -454,7 +462,9 @@ fn expand(
                 debug_assert!(k_prime < k);
                 let new_anchor = {
                     stats.drills += 1;
-                    let top = graph_top_k(cands, cell.interior(), k, none_removed);
+                    let top = crate::obs::span(crate::obs::Phase::Drill, || {
+                        graph_top_k(cands, cell.interior(), k, none_removed)
+                    });
                     if opts.kth_anchor {
                         top[k - 1]
                     } else {

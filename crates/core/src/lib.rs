@@ -62,6 +62,7 @@
 //! | [`jaa`] | §5 JAA algorithm (UTK2) |
 //! | [`scoring`] | §6 generalized scoring functions |
 //! | [`parallel`] | work-stealing pool, parallel RSA/JAA (extension beyond the paper) |
+//! | [`obs`] | §6 wall-clock measurement substrate (extension beyond the paper) |
 //! | [`onion`] | §3.3 onion layers (filter of the ON baseline) |
 //! | [`kspr`] | §3.3 kSPR building block \[45\] |
 //! | [`baseline`] | §3.3 SK and ON baselines |
@@ -82,6 +83,7 @@ pub mod error;
 pub mod graph;
 pub mod jaa;
 pub mod kspr;
+pub mod obs;
 pub mod onion;
 pub mod oracle;
 pub mod parallel;
@@ -101,6 +103,9 @@ pub mod prelude {
     pub use crate::engine::{Algo, QueryKind, QueryResult, TopKResult, UtkEngine, UtkQuery};
     pub use crate::error::UtkError;
     pub use crate::jaa::{jaa, jaa_parallel, jaa_with_tree, JaaOptions, Utk2Cell, Utk2Result};
+    pub use crate::obs::{
+        Clock, Histogram, MetricsRegistry, MonotonicClock, Phase, PhaseTimings, TestClock,
+    };
     pub use crate::parallel::{rsa_parallel, rsa_parallel_with_tree, TaskSet, ThreadPool};
     pub use crate::rdominance::ScreenKernel;
     pub use crate::rsa::{rsa, rsa_with_tree, RsaOptions, Utk1Result};

@@ -1,0 +1,879 @@
+//! Observability: query-lifecycle tracing and the metrics substrate.
+//!
+//! The paper's primary metric is wall-clock time (§6), but the engine
+//! historically exposed only *work* counters — nobody could see where
+//! time goes inside a query or what the serving tail looks like. This
+//! module supplies the three missing pieces, std-only:
+//!
+//! * an injectable [`Clock`] ([`MonotonicClock`] in production, the
+//!   deterministic [`TestClock`] in tests — byte-stable goldens need
+//!   frozen time);
+//! * a per-query phase tracer ([`trace`] + [`span`]): the pipeline
+//!   phases ([`Phase`]) report a [`PhaseTimings`] breakdown alongside
+//!   the existing [`crate::stats::Stats`] counters;
+//! * a [`MetricsRegistry`] of counters, gauges and log₂-bucketed
+//!   [`Histogram`]s with Prometheus-style text exposition plus a JSON
+//!   twin, used by the serving layer's `metrics` op.
+//!
+//! # Timings never enter the deterministic wire format
+//!
+//! Durations are scheduling- and hardware-dependent, so — exactly like
+//! `Stats::stolen_tasks` and `Stats::dataset_epoch` — they are
+//! **excluded** from the JSON wire format ([`crate::wire`]). The
+//! contract is enforced three ways: the `wall-clock` lint rule forbids
+//! `Instant::now()`/`SystemTime::now()` in wire-feeding modules (all
+//! timing flows through the injected [`Clock`]), `tests/wire_golden.rs`
+//! pins response bytes, and the `metrics` exposition golden runs under
+//! a frozen [`TestClock`].
+//!
+//! # Tracing model
+//!
+//! [`trace`] installs a thread-local tracer for the duration of one
+//! query; [`span`] attributes the *exclusive* self-time of a region to
+//! its [`Phase`] (a nested span pauses its parent, so phase times sum
+//! to at most the traced total). On a thread with no tracer installed
+//! — notably the engine's pool workers during parallel refinement —
+//! [`span`] is a no-op costing one thread-local probe, and the
+//! parallel phase's time is attributed to the enclosing span on the
+//! coordinating thread (which blocks on the pool).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::wire::escape;
+
+// ---------------------------------------------------------------- //
+// clocks                                                           //
+// ---------------------------------------------------------------- //
+
+/// A monotonic nanosecond source. Injected everywhere timing is
+/// taken, so tests can freeze or script time — the only blessed
+/// `Instant::now()` call sites in the workspace are the
+/// [`MonotonicClock`] implementation below.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Nanoseconds since an arbitrary (per-clock) origin. Must be
+    /// monotonically non-decreasing.
+    fn now_nanos(&self) -> u64;
+}
+
+/// The production clock: nanoseconds since the clock was built.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock anchored at the moment of construction.
+    pub fn new() -> Self {
+        MonotonicClock {
+            // utk-lint: allow(wall-clock) -- the one blessed wall-clock read: every other timing site injects a Clock
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_nanos(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A deterministic clock for tests: reads return a scripted value,
+/// optionally auto-advancing a fixed step per read. Frozen at 0 by
+/// default — under a frozen clock every duration is 0, which is what
+/// makes the `metrics` exposition golden byte-stable.
+#[derive(Debug, Default)]
+pub struct TestClock {
+    nanos: AtomicU64,
+    step: u64,
+}
+
+impl TestClock {
+    /// A clock frozen at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clock that advances `step` nanoseconds on every read —
+    /// deterministic, strictly increasing timings for tests that want
+    /// non-zero breakdowns.
+    pub fn with_step(step: u64) -> Self {
+        TestClock {
+            nanos: AtomicU64::new(0),
+            step,
+        }
+    }
+
+    /// Advances the clock by `nanos`.
+    pub fn advance(&self, nanos: u64) {
+        self.nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Sets the clock to an absolute value.
+    pub fn set(&self, nanos: u64) {
+        self.nanos.store(nanos, Ordering::Relaxed);
+    }
+}
+
+impl Clock for TestClock {
+    fn now_nanos(&self) -> u64 {
+        self.nanos.fetch_add(self.step, Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------- //
+// phases + per-query timings                                       //
+// ---------------------------------------------------------------- //
+
+/// The pipeline phases a query's time is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Cold filtering: BBS over the R-tree + the r-skyband screen.
+    Filter,
+    /// Pure screen-kernel work outside BBS: superset re-screens and
+    /// splice repairs, where the kernel runs without tree traversal.
+    Screen,
+    /// r-dominance graph construction.
+    Graph,
+    /// Drill operations (§4.3).
+    Drill,
+    /// Local arrangement construction + traversal (Verify/Partition).
+    Arrange,
+    /// Result serialization to the JSON wire format.
+    Serialize,
+}
+
+impl Phase {
+    /// Every phase, in the fixed reporting order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Filter,
+        Phase::Screen,
+        Phase::Graph,
+        Phase::Drill,
+        Phase::Arrange,
+        Phase::Serialize,
+    ];
+
+    /// Stable label (`filter`, `screen`, `graph`, `drill`, `arrange`,
+    /// `serialize`) — used in slow-query log records and metric label
+    /// values.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Filter => "filter",
+            Phase::Screen => "screen",
+            Phase::Graph => "graph",
+            Phase::Drill => "drill",
+            Phase::Arrange => "arrange",
+            Phase::Serialize => "serialize",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Filter => 0,
+            Phase::Screen => 1,
+            Phase::Graph => 2,
+            Phase::Drill => 3,
+            Phase::Arrange => 4,
+            Phase::Serialize => 5,
+        }
+    }
+}
+
+/// One query's per-phase timing breakdown, in nanoseconds. Carried on
+/// [`crate::stats::Stats::timings`]; **never** serialized to the wire
+/// format (see the module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    nanos: [u64; Phase::ALL.len()],
+    /// Total traced nanoseconds (the whole [`trace`] window — at
+    /// least the sum of the phase buckets; the remainder is
+    /// unattributed engine overhead).
+    pub total_nanos: u64,
+}
+
+impl PhaseTimings {
+    /// Nanoseconds attributed to `phase`.
+    pub fn nanos(&self, phase: Phase) -> u64 {
+        self.nanos[phase.index()]
+    }
+
+    /// Adds `nanos` to `phase`'s bucket (saturating).
+    pub fn record(&mut self, phase: Phase, nanos: u64) {
+        let slot = &mut self.nanos[phase.index()];
+        *slot = slot.saturating_add(nanos);
+    }
+
+    /// Element-wise sum with another breakdown (used by
+    /// [`crate::stats::Stats::absorb`]).
+    pub fn absorb(&mut self, other: &PhaseTimings) {
+        for (a, b) in self.nanos.iter_mut().zip(other.nanos.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.total_nanos = self.total_nanos.saturating_add(other.total_nanos);
+    }
+
+    /// True when nothing was recorded (e.g. a query under a frozen
+    /// test clock, or stats that never passed through [`trace`]).
+    pub fn is_zero(&self) -> bool {
+        self.total_nanos == 0 && self.nanos.iter().all(|&n| n == 0)
+    }
+
+    /// The breakdown as a JSON object string
+    /// (`{"total_nanos":…,"filter_nanos":…,…}`) — for the slow-query
+    /// log, **not** the deterministic wire format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"total_nanos\":{}", self.total_nanos));
+        for phase in Phase::ALL {
+            out.push_str(&format!(
+                ",\"{}_nanos\":{}",
+                phase.label(),
+                self.nanos(phase)
+            ));
+        }
+        out.push('}');
+        out
+    }
+}
+
+struct OpenSpan {
+    phase: Phase,
+    /// When this span last became the innermost one (entry, or a
+    /// child's exit).
+    resumed_at: u64,
+}
+
+struct TracerState {
+    clock: Arc<dyn Clock>,
+    started_at: u64,
+    timings: PhaseTimings,
+    stack: Vec<OpenSpan>,
+}
+
+thread_local! {
+    static TRACER: RefCell<Option<TracerState>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with a phase tracer installed on this thread, returning
+/// its result and the per-phase breakdown. Nested [`trace`] calls on
+/// the same thread stack cleanly (the inner trace shadows the outer
+/// one for its duration and the outer window still covers it).
+pub fn trace<R>(clock: &Arc<dyn Clock>, f: impl FnOnce() -> R) -> (R, PhaseTimings) {
+    let previous = TRACER.with(|t| {
+        t.borrow_mut().replace(TracerState {
+            clock: Arc::clone(clock),
+            started_at: clock.now_nanos(),
+            timings: PhaseTimings::default(),
+            stack: Vec::new(),
+        })
+    });
+    let result = f();
+    let timings = TRACER.with(|t| {
+        let state = t.borrow_mut().take();
+        *t.borrow_mut() = previous;
+        match state {
+            Some(state) => {
+                let mut timings = state.timings;
+                timings.total_nanos = state.clock.now_nanos().saturating_sub(state.started_at);
+                timings
+            }
+            // Unreachable in practice (the tracer is installed above
+            // and only trace/span touch the slot), but never panic.
+            None => PhaseTimings::default(),
+        }
+    });
+    (result, timings)
+}
+
+/// Attributes the exclusive self-time of `f` to `phase` on the
+/// current thread's tracer. Without a tracer (uninstrumented call
+/// paths, pool worker threads) this is a pass-through costing one
+/// thread-local probe.
+pub fn span<R>(phase: Phase, f: impl FnOnce() -> R) -> R {
+    let entered = TRACER.with(|t| {
+        let mut slot = t.borrow_mut();
+        let Some(state) = slot.as_mut() else {
+            return false;
+        };
+        let now = state.clock.now_nanos();
+        if let Some(top) = state.stack.last_mut() {
+            let elapsed = now.saturating_sub(top.resumed_at);
+            let parent = top.phase;
+            top.resumed_at = now;
+            state.timings.record(parent, elapsed);
+        }
+        state.stack.push(OpenSpan {
+            phase,
+            resumed_at: now,
+        });
+        true
+    });
+    let result = f();
+    if entered {
+        TRACER.with(|t| {
+            let mut slot = t.borrow_mut();
+            let Some(state) = slot.as_mut() else {
+                return;
+            };
+            let now = state.clock.now_nanos();
+            if let Some(top) = state.stack.pop() {
+                let elapsed = now.saturating_sub(top.resumed_at);
+                state.timings.record(top.phase, elapsed);
+            }
+            if let Some(parent) = state.stack.last_mut() {
+                parent.resumed_at = now;
+            }
+        });
+    }
+    result
+}
+
+// ---------------------------------------------------------------- //
+// log₂ histograms                                                  //
+// ---------------------------------------------------------------- //
+
+/// Number of buckets of a [`Histogram`]: bucket `i` holds values
+/// whose bit length is `i` (0 holds only the value 0), so the upper
+/// bound of bucket `i ≥ 1` is `2^i − 1` and bucket 64 tops out at
+/// `u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-boundary log₂ histogram of `u64` samples (latencies in
+/// nanoseconds, sizes in bytes, …). The boundaries are a property of
+/// the *type*, not the instance, which makes merges deterministic and
+/// exact: `record`-ing a sample stream is identical to recording
+/// arbitrary shards of it and [`Histogram::merge`]-ing the results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index of `value`: its bit length (0 for 0).
+    pub fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The inclusive upper bound of bucket `index` (`2^index − 1`,
+    /// saturating to `u64::MAX` for the last bucket).
+    pub fn bucket_upper_bound(index: usize) -> u64 {
+        if index >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Element-wise merge — exact because boundaries are fixed:
+    /// `record(xs) ≡ merge(shards(xs))`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Per-bucket (non-cumulative) counts.
+    pub fn bucket_counts(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.counts
+    }
+}
+
+// ---------------------------------------------------------------- //
+// the metrics registry                                             //
+// ---------------------------------------------------------------- //
+
+/// A registry of counter, gauge and histogram families, keyed by
+/// family name and a pre-rendered label set (e.g. `op="query"`).
+/// Iteration everywhere is `BTreeMap`-ordered and histogram buckets
+/// are fixed, so the exposition is deterministic: under a frozen
+/// [`TestClock`] the same request sequence renders byte-identical
+/// text (the `metrics` golden test pins this).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, BTreeMap<String, u64>>,
+    gauges: BTreeMap<String, BTreeMap<String, u64>>,
+    histograms: BTreeMap<String, BTreeMap<String, Histogram>>,
+    help: BTreeMap<String, String>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the counter `family{labels}`, registering the
+    /// family's help text on first use. `labels` is a pre-rendered
+    /// Prometheus label body (`op="query"`, or `""` for none).
+    pub fn counter_add(&self, family: &str, help: &str, labels: &str, by: u64) {
+        let mut inner = self.inner.lock().expect("metrics registry lock");
+        register_help(&mut inner.help, family, help);
+        let slot = inner
+            .counters
+            .entry(family.to_string())
+            .or_default()
+            .entry(labels.to_string())
+            .or_default();
+        *slot = slot.saturating_add(by);
+    }
+
+    /// Sets the gauge `family{labels}` to `value`.
+    pub fn gauge_set(&self, family: &str, help: &str, labels: &str, value: u64) {
+        let mut inner = self.inner.lock().expect("metrics registry lock");
+        register_help(&mut inner.help, family, help);
+        inner
+            .gauges
+            .entry(family.to_string())
+            .or_default()
+            .insert(labels.to_string(), value);
+    }
+
+    /// Records `value` into the histogram `family{labels}`.
+    pub fn observe(&self, family: &str, help: &str, labels: &str, value: u64) {
+        let mut inner = self.inner.lock().expect("metrics registry lock");
+        register_help(&mut inner.help, family, help);
+        inner
+            .histograms
+            .entry(family.to_string())
+            .or_default()
+            .entry(labels.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// The current value of counter `family{labels}` (0 if never
+    /// incremented) — for tests and self-consistency checks.
+    pub fn counter_value(&self, family: &str, labels: &str) -> u64 {
+        let inner = self.inner.lock().expect("metrics registry lock");
+        inner
+            .counters
+            .get(family)
+            .and_then(|series| series.get(labels))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Prometheus text exposition: `# HELP` / `# TYPE` headers, then
+    /// one sample line per series. Counters render first, then
+    /// gauges, then histograms (cumulative `le` buckets, `+Inf`,
+    /// `_sum`, `_count`), each family and label set in sorted order.
+    /// All buckets are emitted even when empty — the byte layout
+    /// depends only on which series exist, not on sample values.
+    pub fn render_prometheus(&self) -> String {
+        let inner = self.inner.lock().expect("metrics registry lock");
+        let mut out = String::new();
+        for (family, series) in &inner.counters {
+            header(&mut out, &inner.help, family, "counter");
+            for (labels, value) in series {
+                sample(&mut out, family, "", labels, &value.to_string());
+            }
+        }
+        for (family, series) in &inner.gauges {
+            header(&mut out, &inner.help, family, "gauge");
+            for (labels, value) in series {
+                sample(&mut out, family, "", labels, &value.to_string());
+            }
+        }
+        for (family, series) in &inner.histograms {
+            header(&mut out, &inner.help, family, "histogram");
+            for (labels, histogram) in series {
+                let counts = histogram.bucket_counts();
+                let mut cumulative = 0u64;
+                for (i, &c) in counts.iter().enumerate().take(HISTOGRAM_BUCKETS - 1) {
+                    cumulative = cumulative.saturating_add(c);
+                    let le = format!("le=\"{}\"", Histogram::bucket_upper_bound(i));
+                    let labels = join_labels(labels, &le);
+                    sample(
+                        &mut out,
+                        family,
+                        "_bucket",
+                        &labels,
+                        &cumulative.to_string(),
+                    );
+                }
+                let inf = join_labels(labels, "le=\"+Inf\"");
+                sample(
+                    &mut out,
+                    family,
+                    "_bucket",
+                    &inf,
+                    &histogram.count().to_string(),
+                );
+                sample(
+                    &mut out,
+                    family,
+                    "_sum",
+                    labels,
+                    &histogram.sum().to_string(),
+                );
+                sample(
+                    &mut out,
+                    family,
+                    "_count",
+                    labels,
+                    &histogram.count().to_string(),
+                );
+            }
+        }
+        out
+    }
+
+    /// The JSON twin of [`MetricsRegistry::render_prometheus`]: the
+    /// same data as one deterministic JSON object.
+    pub fn render_json(&self) -> String {
+        let inner = self.inner.lock().expect("metrics registry lock");
+        let mut out = String::from("{\"counters\":[");
+        let mut first = true;
+        for (family, series) in &inner.counters {
+            for (labels, value) in series {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"labels\":\"{}\",\"value\":{}}}",
+                    escape(family),
+                    escape(labels),
+                    value
+                ));
+            }
+        }
+        out.push_str("],\"gauges\":[");
+        let mut first = true;
+        for (family, series) in &inner.gauges {
+            for (labels, value) in series {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"labels\":\"{}\",\"value\":{}}}",
+                    escape(family),
+                    escape(labels),
+                    value
+                ));
+            }
+        }
+        out.push_str("],\"histograms\":[");
+        let mut first = true;
+        for (family, series) in &inner.histograms {
+            for (labels, histogram) in series {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let buckets: Vec<String> = histogram
+                    .bucket_counts()
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect();
+                out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"labels\":\"{}\",\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+                    escape(family),
+                    escape(labels),
+                    histogram.count(),
+                    histogram.sum(),
+                    buckets.join(",")
+                ));
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn register_help(help: &mut BTreeMap<String, String>, family: &str, text: &str) {
+    if !help.contains_key(family) {
+        help.insert(family.to_string(), text.to_string());
+    }
+}
+
+fn header(out: &mut String, help: &BTreeMap<String, String>, family: &str, kind: &str) {
+    if let Some(text) = help.get(family) {
+        out.push_str(&format!("# HELP {family} {text}\n"));
+    }
+    out.push_str(&format!("# TYPE {family} {kind}\n"));
+}
+
+fn sample(out: &mut String, family: &str, suffix: &str, labels: &str, value: &str) {
+    if labels.is_empty() {
+        out.push_str(&format!("{family}{suffix} {value}\n"));
+    } else {
+        out.push_str(&format!("{family}{suffix}{{{labels}}} {value}\n"));
+    }
+}
+
+fn join_labels(base: &str, extra: &str) -> String {
+    if base.is_empty() {
+        extra.to_string()
+    } else {
+        format!("{base},{extra}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_clock_is_scriptable() {
+        let clock = TestClock::new();
+        assert_eq!(clock.now_nanos(), 0);
+        clock.advance(5);
+        assert_eq!(clock.now_nanos(), 5);
+        clock.set(100);
+        assert_eq!(clock.now_nanos(), 100);
+        let stepping = TestClock::with_step(10);
+        assert_eq!(stepping.now_nanos(), 0);
+        assert_eq!(stepping.now_nanos(), 10);
+        assert_eq!(stepping.now_nanos(), 20);
+    }
+
+    #[test]
+    fn monotonic_clock_is_monotonic() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_nanos();
+        let b = clock.now_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn trace_attributes_exclusive_span_time() {
+        // Step clock: every read advances 10 ns, so timings are exact.
+        let clock: Arc<dyn Clock> = Arc::new(TestClock::with_step(10));
+        let ((), timings) = trace(&clock, || {
+            span(Phase::Filter, || {
+                span(Phase::Graph, || {});
+            });
+            span(Phase::Drill, || {});
+        });
+        // Reads: trace-start(0), filter-enter(10), graph-enter(20,
+        // charges 10 to filter), graph-exit(30, charges 10 to graph),
+        // filter-exit(40, charges 10 to filter), drill-enter(50),
+        // drill-exit(60, charges 10 to drill), trace-end(70).
+        assert_eq!(timings.nanos(Phase::Filter), 20);
+        assert_eq!(timings.nanos(Phase::Graph), 10);
+        assert_eq!(timings.nanos(Phase::Drill), 10);
+        assert_eq!(timings.nanos(Phase::Arrange), 0);
+        assert_eq!(timings.total_nanos, 70);
+    }
+
+    #[test]
+    fn span_without_tracer_is_a_passthrough() {
+        let value = span(Phase::Filter, || 41) + 1;
+        assert_eq!(value, 42);
+    }
+
+    #[test]
+    fn nested_traces_shadow_cleanly() {
+        let outer: Arc<dyn Clock> = Arc::new(TestClock::with_step(1));
+        let inner_clock: Arc<dyn Clock> = Arc::new(TestClock::with_step(100));
+        let ((), outer_timings) = trace(&outer, || {
+            let ((), inner_timings) = trace(&inner_clock, || {
+                span(Phase::Filter, || {});
+            });
+            assert_eq!(inner_timings.nanos(Phase::Filter), 100);
+            // After the inner trace, the outer tracer is restored.
+            span(Phase::Drill, || {});
+        });
+        assert_eq!(outer_timings.nanos(Phase::Drill), 1);
+        assert!(outer_timings.total_nanos > 0);
+    }
+
+    #[test]
+    fn frozen_clock_yields_zero_timings() {
+        let clock: Arc<dyn Clock> = Arc::new(TestClock::new());
+        let ((), timings) = trace(&clock, || {
+            span(Phase::Filter, || span(Phase::Arrange, || {}));
+        });
+        assert!(timings.is_zero());
+    }
+
+    #[test]
+    fn phase_timings_absorb_sums_elementwise() {
+        let mut a = PhaseTimings::default();
+        a.record(Phase::Filter, 5);
+        a.total_nanos = 10;
+        let mut b = PhaseTimings::default();
+        b.record(Phase::Filter, 7);
+        b.record(Phase::Drill, 3);
+        b.total_nanos = 15;
+        a.absorb(&b);
+        assert_eq!(a.nanos(Phase::Filter), 12);
+        assert_eq!(a.nanos(Phase::Drill), 3);
+        assert_eq!(a.total_nanos, 25);
+    }
+
+    #[test]
+    fn phase_timings_json_shape() {
+        let mut t = PhaseTimings::default();
+        t.record(Phase::Serialize, 9);
+        t.total_nanos = 11;
+        assert_eq!(
+            t.to_json(),
+            "{\"total_nanos\":11,\"filter_nanos\":0,\"screen_nanos\":0,\
+             \"graph_nanos\":0,\"drill_nanos\":0,\"arrange_nanos\":0,\
+             \"serialize_nanos\":9}"
+        );
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_exact() {
+        // Bucket index is the bit length; bucket i's inclusive upper
+        // bound is 2^i − 1.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(7), 3);
+        assert_eq!(Histogram::bucket_index(8), 4);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(1), 1);
+        assert_eq!(Histogram::bucket_upper_bound(3), 7);
+        assert_eq!(Histogram::bucket_upper_bound(64), u64::MAX);
+        // Every boundary is tight: 2^i − 1 lands in bucket i, 2^i in
+        // bucket i + 1.
+        for i in 1..64usize {
+            let ub = Histogram::bucket_upper_bound(i);
+            assert_eq!(Histogram::bucket_index(ub), i);
+            assert_eq!(Histogram::bucket_index(ub + 1), i + 1);
+        }
+    }
+
+    #[test]
+    fn histogram_merge_equals_whole_stream() {
+        let samples: Vec<u64> = vec![0, 1, 1, 2, 3, 7, 8, 100, 1_000_000, u64::MAX];
+        let mut whole = Histogram::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for (i, &s) in samples.iter().enumerate() {
+            if i % 2 == 0 {
+                left.record(s);
+            } else {
+                right.record(s);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn registry_renders_deterministically() {
+        let registry = MetricsRegistry::new();
+        registry.counter_add("utk_requests_total", "Requests by op.", "op=\"query\"", 2);
+        registry.counter_add("utk_requests_total", "Requests by op.", "op=\"batch\"", 1);
+        registry.gauge_set("utk_inflight", "In-flight requests.", "", 0);
+        registry.observe("utk_request_nanos", "Latency.", "op=\"query\"", 0);
+        let text = registry.render_prometheus();
+        // Headers present, labels sorted, histogram shape correct.
+        assert!(text.contains("# TYPE utk_requests_total counter"));
+        assert!(text.contains("utk_requests_total{op=\"batch\"} 1\n"));
+        assert!(text.contains("utk_requests_total{op=\"query\"} 2\n"));
+        assert!(text.contains("utk_inflight 0\n"));
+        assert!(text.contains("utk_request_nanos_bucket{op=\"query\",le=\"0\"} 1\n"));
+        assert!(text.contains("utk_request_nanos_bucket{op=\"query\",le=\"+Inf\"} 1\n"));
+        assert!(text.contains("utk_request_nanos_sum{op=\"query\"} 0\n"));
+        assert!(text.contains("utk_request_nanos_count{op=\"query\"} 1\n"));
+        // batch sorts before query (BTreeMap order), and repeated
+        // renders are byte-identical.
+        let batch_at = text.find("op=\"batch\"").expect("batch series");
+        let query_at = text.find("op=\"query\"").expect("query series");
+        assert!(batch_at < query_at);
+        assert_eq!(text, registry.render_prometheus());
+    }
+
+    #[test]
+    fn registry_json_twin_matches() {
+        let registry = MetricsRegistry::new();
+        registry.counter_add("a_total", "A.", "", 3);
+        registry.observe("b_nanos", "B.", "", 5);
+        let json = registry.render_json();
+        assert!(json.starts_with("{\"counters\":["));
+        assert!(json.contains("{\"name\":\"a_total\",\"labels\":\"\",\"value\":3}"));
+        assert!(json.contains("\"count\":1,\"sum\":5,\"buckets\":[0,0,0,1,"));
+        assert_eq!(json, registry.render_json());
+    }
+
+    #[test]
+    fn histogram_buckets_monotone_cumulative_in_exposition() {
+        let registry = MetricsRegistry::new();
+        for v in [0u64, 1, 2, 5, 9, 100] {
+            registry.observe("h", "H.", "", v);
+        }
+        let text = registry.render_prometheus();
+        let mut last = 0u64;
+        let mut bucket_lines = 0;
+        for line in text.lines() {
+            let Some(rest) = line.strip_prefix("h_bucket{le=\"") else {
+                continue;
+            };
+            let value: u64 = rest
+                .split("} ")
+                .nth(1)
+                .expect("sample value")
+                .parse()
+                .expect("numeric sample");
+            assert!(value >= last, "cumulative buckets must be monotone");
+            last = value;
+            bucket_lines += 1;
+        }
+        assert_eq!(bucket_lines, HISTOGRAM_BUCKETS);
+        assert_eq!(last, 6);
+    }
+}

@@ -242,14 +242,18 @@ fn verify(
     // candidate's score; success verifies immediately.
     if opts.drill {
         stats.drills += 1;
-        let p = &cands.points[cand as usize];
-        let d = p.len();
-        let obj: Vec<f64> = (0..d - 1).map(|i| p[i] - p[d - 1]).collect();
-        if let Some((w, _)) = rho.max_linear(&obj) {
-            if graph_top_k(cands, &w, k, removed).contains(&cand) {
-                stats.drill_hits += 1;
-                return true;
+        let hit = crate::obs::span(crate::obs::Phase::Drill, || {
+            let p = &cands.points[cand as usize];
+            let d = p.len();
+            let obj: Vec<f64> = (0..d - 1).map(|i| p[i] - p[d - 1]).collect();
+            match rho.max_linear(&obj) {
+                Some((w, _)) => graph_top_k(cands, &w, k, removed).contains(&cand),
+                None => false,
             }
+        });
+        if hit {
+            stats.drill_hits += 1;
+            return true;
         }
     }
 
@@ -271,33 +275,36 @@ fn verify(
     }
 
     // Local arrangement over rho (§4.5: small and disposable).
-    let mut arr = Arrangement::with_interior(rho.clone(), rho_interior.to_vec(), rho_slack);
-    stats.arrangements_built += 1;
-    let cand_pt = &cands.points[cand as usize];
-    let cand_id = cands.ids[cand as usize];
-    for &q in &batch {
-        let hs = crate::rdominance::outranks_halfspace(
-            &cands.points[q as usize],
-            cands.ids[q as usize],
-            cand_pt,
-            cand_id,
-        );
-        arr.insert(hs, q);
-        stats.halfspaces_inserted += 1;
-        // Partitions at or past the quota can never become promising:
-        // retire them so later insertions skip them.
-        let dead: Vec<CellId> = arr
-            .live_cells()
-            .filter(|(_, c)| c.count() >= quota)
-            .map(|(id, _)| id)
-            .collect();
-        for id in dead {
-            arr.prune(id);
+    let (arr, bytes) = crate::obs::span(crate::obs::Phase::Arrange, || {
+        let mut arr = Arrangement::with_interior(rho.clone(), rho_interior.to_vec(), rho_slack);
+        stats.arrangements_built += 1;
+        let cand_pt = &cands.points[cand as usize];
+        let cand_id = cands.ids[cand as usize];
+        for &q in &batch {
+            let hs = crate::rdominance::outranks_halfspace(
+                &cands.points[q as usize],
+                cands.ids[q as usize],
+                cand_pt,
+                cand_id,
+            );
+            arr.insert(hs, q);
+            stats.halfspaces_inserted += 1;
+            // Partitions at or past the quota can never become
+            // promising: retire them so later insertions skip them.
+            let dead: Vec<CellId> = arr
+                .live_cells()
+                .filter(|(_, c)| c.count() >= quota)
+                .map(|(id, _)| id)
+                .collect();
+            for id in dead {
+                arr.prune(id);
+            }
         }
-    }
-    stats.cells_created += arr.all_cells().len();
-    let bytes = arr.approx_bytes();
-    stats.arrangement_grew(bytes);
+        stats.cells_created += arr.all_cells().len();
+        let bytes = arr.approx_bytes();
+        stats.arrangement_grew(bytes);
+        (arr, bytes)
+    });
 
     for &q in &batch {
         excluded[q as usize] = true;

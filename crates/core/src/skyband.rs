@@ -748,7 +748,9 @@ pub fn r_skyband_view_with_kernel(
 
     let (ids, cpoints, dominator_lists) = screen.finish(points.dim());
     stats.candidates = ids.len();
-    let graph = DominanceGraph::build(dominator_lists);
+    let graph = crate::obs::span(crate::obs::Phase::Graph, || {
+        DominanceGraph::build(dominator_lists)
+    });
     CandidateSet {
         ids,
         points: cpoints,
@@ -876,7 +878,9 @@ pub fn r_skyband_from_superset_with_kernel(
     }
     let (ids, cpoints, dominator_lists) = screen.finish(superset.points.dim());
     stats.candidates = ids.len();
-    let graph = DominanceGraph::build(dominator_lists);
+    let graph = crate::obs::span(crate::obs::Phase::Graph, || {
+        DominanceGraph::build(dominator_lists)
+    });
     CandidateSet {
         ids,
         points: cpoints,
@@ -1011,7 +1015,9 @@ pub fn r_skyband_repair_inserts_with_kernel(
     }
     let (ids, cpoints, dominator_lists) = screen.finish(points.dim());
     stats.candidates = ids.len();
-    let graph = DominanceGraph::build(dominator_lists);
+    let graph = crate::obs::span(crate::obs::Phase::Graph, || {
+        DominanceGraph::build(dominator_lists)
+    });
     Some(CandidateSet {
         ids,
         points: cpoints,
@@ -1200,7 +1206,9 @@ pub fn r_skyband_repair_with_kernel(
     }
     let (ids, cpoints, dominator_lists) = screen.finish(points.dim());
     stats.candidates = ids.len();
-    let graph = DominanceGraph::build(dominator_lists);
+    let graph = crate::obs::span(crate::obs::Phase::Graph, || {
+        DominanceGraph::build(dominator_lists)
+    });
     Some(CandidateSet {
         ids,
         points: cpoints,

@@ -3,6 +3,12 @@
 //! The paper's primary metric is wall-clock time, plus the space
 //! overhead of arrangement indexing (Figure 13(b)). [`Stats`] tracks
 //! both, alongside work counters useful for the ablation benches.
+//!
+//! [`Stats::timings`] carries the per-phase wall-clock breakdown from
+//! [`crate::obs`]. Like [`Stats::stolen_tasks`] and
+//! [`Stats::dataset_epoch`], timings are hardware- and scheduling-
+//! dependent and therefore **never** part of the deterministic JSON
+//! wire format ([`crate::wire::stats_json`] does not serialize them).
 
 /// Work and space counters accumulated during one UTK query.
 #[derive(Debug, Clone, Default)]
@@ -80,6 +86,13 @@ pub struct Stats {
     /// [`Stats::stolen_tasks`] — it is *not* part of the JSON wire
     /// format.
     pub dataset_epoch: usize,
+    /// Per-phase wall-clock breakdown recorded by the
+    /// [`crate::obs`] tracer when the query ran under
+    /// [`crate::engine::UtkEngine::run`]. Zeroed for untraced paths
+    /// (the legacy free functions). Durations are non-deterministic,
+    /// so — like [`Stats::stolen_tasks`] — they are *not* part of the
+    /// JSON wire format.
+    pub timings: crate::obs::PhaseTimings,
 }
 
 impl Stats {
@@ -131,6 +144,7 @@ impl Stats {
         self.stolen_tasks += other.stolen_tasks;
         self.batch_group_count = self.batch_group_count.max(other.batch_group_count);
         self.dataset_epoch = self.dataset_epoch.max(other.dataset_epoch);
+        self.timings.absorb(&other.timings);
     }
 }
 

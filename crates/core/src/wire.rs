@@ -24,7 +24,11 @@
 //! so a mutated engine and a fresh build of the same dataset — which
 //! the dynamic test suite requires to be wire-byte-identical — would
 //! differ on it while agreeing on everything the query actually
-//! computed.
+//! computed. `Stats::timings` (the per-phase wall-clock breakdown from
+//! `utk_core::obs`) is excluded for the same reason: durations depend
+//! on hardware and scheduling, so timings **never** enter the wire
+//! format — they surface only through the server's `metrics` op and
+//! the slow-query log, which sit outside the determinism contract.
 
 use crate::engine::{Algo, QueryResult, TopKResult, UpdateReport};
 use crate::jaa::Utk2Result;
@@ -297,6 +301,19 @@ mod tests {
             update_json(&report),
             r#"{"update":{"epoch":3,"n":42,"inserted":2,"deleted":1,"filter_invalidated":1,"filter_retained":4,"index_rebuilt":false}}"#
         );
+    }
+
+    #[test]
+    fn stats_json_omits_timings() {
+        use crate::obs::Phase;
+        let mut stats = Stats::new();
+        stats.timings.record(Phase::Filter, 123_456);
+        stats.timings.total_nanos = 999_999;
+        let json = stats_json(&stats);
+        assert!(!json.contains("nanos"), "{json}");
+        assert!(!json.contains("timing"), "{json}");
+        // Same bytes as an untimed run: timings never enter the wire.
+        assert_eq!(json, stats_json(&Stats::new()));
     }
 
     #[test]

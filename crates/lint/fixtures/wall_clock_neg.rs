@@ -1,0 +1,37 @@
+// utk-lint: class=lib
+// The compliant patterns: inject a Clock, suppress the one blessed
+// ambient read with a reason, and keep type mentions free.
+
+use std::time::Instant;
+
+pub trait Clock {
+    fn now_nanos(&self) -> u64;
+}
+
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    pub fn new() -> Self {
+        MonotonicClock {
+            // utk-lint: allow(wall-clock) -- the one blessed ambient read: everything else injects Clock
+            origin: Instant::now(),
+        }
+    }
+}
+
+pub fn measure(clock: &dyn Clock) -> u64 {
+    let start = clock.now_nanos();
+    clock.now_nanos() - start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_time_is_fine_in_tests() {
+        let _ = Instant::now();
+    }
+}

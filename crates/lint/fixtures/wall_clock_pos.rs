@@ -1,0 +1,15 @@
+// utk-lint: class=lib
+// Ambient time reads in library code: banned — timing must flow
+// through the injected utk_core::obs::Clock so tests can freeze it
+// and timings provably never reach the deterministic wire format.
+
+use std::time::{Instant, SystemTime};
+
+pub fn elapsed_nanos(origin: Instant) -> u128 {
+    let now = Instant::now(); //~ wall-clock
+    now.duration_since(origin).as_nanos()
+}
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now() //~ wall-clock
+}

@@ -23,6 +23,10 @@ pub struct FileClass {
     pub index: bool,
     /// Concurrency: guard-across-blocking + lock-order.
     pub concurrency: bool,
+    /// Determinism: `Instant::now()`/`SystemTime::now()` ban. Timing
+    /// must flow through the injected `utk_core::obs::Clock` so it can
+    /// be frozen in tests and provably never reaches the wire format.
+    pub wall_clock: bool,
 }
 
 impl FileClass {
@@ -33,6 +37,7 @@ impl FileClass {
         panic: true,
         index: false,
         concurrency: true,
+        wall_clock: true,
     };
     /// Wire-feeding module: `LIB` plus the hash-collection ban.
     pub const WIRE: FileClass = FileClass {
@@ -52,6 +57,8 @@ impl FileClass {
         panic: false,
         index: false,
         concurrency: true,
+        // Benches legitimately measure real wall-clock time.
+        wall_clock: false,
     };
     /// Tests/examples: no families. (The unsafe-audit and suppression
     /// rules still run — they apply everywhere.)
@@ -61,6 +68,7 @@ impl FileClass {
         panic: false,
         index: false,
         concurrency: false,
+        wall_clock: false,
     };
 
     /// Parses a `class=` directive value.

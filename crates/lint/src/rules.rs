@@ -20,6 +20,7 @@ use crate::lexer::{lex, Lexed, Tok};
 pub const RULE_IDS: &[&str] = &[
     "float-cmp",
     "hash-iter",
+    "wall-clock",
     "panic",
     "index",
     "guard-blocking",
@@ -71,6 +72,9 @@ pub fn run_file(rel: &str, src: &str, class: FileClass, locks: &LockOrder) -> Ve
     }
     if class.hash_iter {
         hash_iter(&ctx, &mut raw);
+    }
+    if class.wall_clock {
+        wall_clock(&ctx, &mut raw);
     }
     if class.panic {
         panic_rule(&ctx, &mut raw);
@@ -251,6 +255,39 @@ fn hash_iter(ctx: &Ctx, out: &mut Vec<Finding>) {
                 format!(
                     "{name} in a wire-feeding module: iteration order is \
                      nondeterministic; use BTreeMap/BTreeSet or a Vec"
+                ),
+            ));
+        }
+    }
+}
+
+/// `wall-clock`: bans `Instant::now()`/`SystemTime::now()` outside
+/// benches and tests — ambient time reads are how timings would leak
+/// into the deterministic wire format, and how metrics goldens would
+/// stop being byte-stable. All timing must flow through the injected
+/// `utk_core::obs::Clock`; the blessed ambient read (the
+/// `MonotonicClock` implementation itself) carries a reasoned
+/// suppression.
+fn wall_clock(ctx: &Ctx, out: &mut Vec<Finding>) {
+    let lx = ctx.lx;
+    for i in 0..lx.tokens.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let Some(name @ ("Instant" | "SystemTime")) = lx.ident(i) else {
+            continue;
+        };
+        if lx.punct(i + 1, ':')
+            && lx.punct(i + 2, ':')
+            && lx.ident(i + 3) == Some("now")
+            && lx.punct(i + 4, '(')
+        {
+            out.push(ctx.finding(
+                i,
+                "wall-clock",
+                format!(
+                    "{name}::now() in library code: inject utk_core::obs::Clock \
+                     so time is test-controllable and stays off the wire format"
                 ),
             ));
         }
@@ -820,6 +857,31 @@ mod tests {
             vec!["hash-iter", "hash-iter"]
         );
         assert!(lint(src, FileClass::LIB).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flagged_outside_tests_and_benches() {
+        let src = "
+            fn f() -> Instant { Instant::now() }
+            fn g() -> SystemTime { SystemTime::now() }
+        ";
+        assert_eq!(
+            rules_of(&lint(src, FileClass::LIB)),
+            vec!["wall-clock", "wall-clock"]
+        );
+        assert!(lint(src, FileClass::BENCH).is_empty());
+        assert!(lint(src, FileClass::TEST).is_empty());
+        // A suppressed blessed site and non-call mentions are clean.
+        let ok = "
+            fn clock() -> Instant {
+                // utk-lint: allow(wall-clock) -- the one blessed ambient read
+                Instant::now()
+            }
+            fn ty(t: Instant, s: SystemTime) {}
+            #[test]
+            fn t() { let _ = Instant::now(); }
+        ";
+        assert!(lint(ok, FileClass::LIB).is_empty());
     }
 
     #[test]

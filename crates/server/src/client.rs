@@ -4,7 +4,7 @@
 
 use std::io::{BufRead, BufReader, Write};
 
-use crate::proto::{ProtoError, Request, Response};
+use crate::proto::{MetricsFormat, ProtoError, Request, Response};
 use crate::server::{connect, Bind, Stream};
 
 /// One open connection to a `utk serve` instance.
@@ -67,6 +67,19 @@ impl Connection {
     pub fn request(&mut self, request: &Request) -> std::io::Result<Response> {
         let line = self.round_trip(&request.to_json())?;
         Response::parse(&line).map_err(bad_reply)
+    }
+
+    /// Scrapes the server's metrics registry, returning the exposition
+    /// body (Prometheus text or its JSON twin, per `format`).
+    pub fn metrics(&mut self, format: MetricsFormat) -> std::io::Result<String> {
+        match self.request(&Request::Metrics { format })? {
+            Response::Metrics { body, .. } => Ok(body),
+            Response::Error(e) => Err(std::io::Error::other(format!("server error: {e}"))),
+            other => Err(bad_reply(ProtoError::bad_request(format!(
+                "expected a metrics body, got {}",
+                other.to_json()
+            )))),
+        }
     }
 
     /// Runs a whole query file (its lines verbatim) against `dataset`.

@@ -8,8 +8,8 @@
 //! * [`json`] — a minimal, byte-round-trip-faithful JSON reader (the
 //!   workspace vendors no `serde`);
 //! * [`proto`] — the typed request/response protocol
-//!   (`load` / `query` / `batch` / `update` / `stats` / `evict` /
-//!   `shutdown`) with its grammar documented on the module;
+//!   (`load` / `query` / `batch` / `update` / `stats` / `metrics` /
+//!   `evict` / `shutdown`) with its grammar documented on the module;
 //! * [`spec`] — the `utk batch` query-line syntax, moved here from
 //!   the CLI so both parse identically and server `batch` output is
 //!   **byte-identical** to `utk batch`;
@@ -52,6 +52,6 @@ pub mod server;
 pub mod spec;
 
 pub use client::{BatchReply, Connection};
-pub use proto::{ProtoError, Request, Response, StatsBody, WalDatasetStats};
+pub use proto::{MetricsFormat, ProtoError, Request, Response, StatsBody, WalDatasetStats};
 pub use registry::{DatasetRegistry, LoadedDataset};
 pub use server::{Bind, ServeSnapshot, Server, ServerConfig, ServerHandle};

@@ -12,6 +12,7 @@
 //! {"op":"update","dataset":NAME,"delete":[ID,...],"insert":[[V,...],...]
 //!                               (,"labels":[NAME,...])}
 //! {"op":"stats"}
+//! {"op":"metrics"(,"format":"prometheus"|"json")}
 //! {"op":"evict","dataset":NAME}
 //! {"op":"shutdown"}
 //! ```
@@ -37,9 +38,16 @@
 //!             "wal_enabled":BOOL,"wal_datasets":N,"wal_records":N,
 //!             "wal_bytes":N,"wal":[{"dataset":NAME,"records":N,
 //!             "bytes":N,"last_epoch":N},...]}
+//! metrics  → {"ok":"metrics","format":FMT,"body":TEXT}
 //! evict    → {"ok":"evict","dataset":NAME,"evicted":BOOL}
 //! shutdown → {"ok":"shutdown"}
 //! ```
+//!
+//! The `metrics` body is the registry exposition as one escaped JSON
+//! string: Prometheus text format by default, or its JSON twin with
+//! `"format":"json"`. Timings reach clients **only** through this op
+//! and the slow-query log — never through query/batch result bytes
+//! (the wire-format determinism contract).
 //!
 //! Protocol-level failures (as opposed to per-query failures, which
 //! keep the plain `{"error":MSG}` shape for byte-compatibility with
@@ -118,6 +126,12 @@ pub enum Request {
     },
     /// Server counters and registry state.
     Stats,
+    /// The metrics registry exposition (counters, gauges, latency
+    /// histograms).
+    Metrics {
+        /// Requested exposition format.
+        format: MetricsFormat,
+    },
     /// Unload a dataset's engine, freeing its caches.
     Evict {
         /// Dataset name.
@@ -125,6 +139,35 @@ pub enum Request {
     },
     /// Stop accepting, drain in-flight work, exit.
     Shutdown,
+}
+
+/// The exposition format of a `metrics` request/response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsFormat {
+    /// Prometheus text exposition (the default).
+    #[default]
+    Prometheus,
+    /// The deterministic JSON twin.
+    Json,
+}
+
+impl MetricsFormat {
+    /// The wire spelling (`prometheus` / `json`).
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricsFormat::Prometheus => "prometheus",
+            MetricsFormat::Json => "json",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn from_label(label: &str) -> Option<MetricsFormat> {
+        match label {
+            "prometheus" => Some(MetricsFormat::Prometheus),
+            "json" => Some(MetricsFormat::Json),
+            _ => None,
+        }
+    }
 }
 
 /// A protocol-level failure: the message plus its [`code`].
@@ -165,6 +208,21 @@ fn json_str_list(items: &[String]) -> String {
 }
 
 impl Request {
+    /// The protocol op name (`load`, `query`, …) — used as a metrics
+    /// label value, so the spelling is part of the `metrics` contract.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Load { .. } => "load",
+            Request::Query { .. } => "query",
+            Request::Batch { .. } => "batch",
+            Request::Update { .. } => "update",
+            Request::Stats => "stats",
+            Request::Metrics { .. } => "metrics",
+            Request::Evict { .. } => "evict",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
     /// Serializes this request as one protocol line.
     pub fn to_json(&self) -> String {
         match self {
@@ -204,6 +262,10 @@ impl Request {
                 )
             }
             Request::Stats => r#"{"op":"stats"}"#.to_string(),
+            Request::Metrics { format } => match format {
+                MetricsFormat::Prometheus => r#"{"op":"metrics"}"#.to_string(),
+                MetricsFormat::Json => r#"{"op":"metrics","format":"json"}"#.to_string(),
+            },
             Request::Evict { dataset } => {
                 format!(r#"{{"op":"evict","dataset":"{}"}}"#, escape(dataset))
             }
@@ -325,6 +387,18 @@ impl Request {
                 })
             }
             "stats" => Ok(Request::Stats),
+            "metrics" => {
+                let format = match value.get("format") {
+                    None => MetricsFormat::Prometheus,
+                    Some(raw) => raw
+                        .as_str()
+                        .and_then(MetricsFormat::from_label)
+                        .ok_or_else(|| {
+                            ProtoError::bad_request("\"format\" must be \"prometheus\" or \"json\"")
+                        })?,
+                };
+                Ok(Request::Metrics { format })
+            }
             "evict" => Ok(Request::Evict {
                 dataset: dataset(&value)?,
             }),
@@ -424,6 +498,14 @@ pub enum Response {
     },
     /// `stats` counters.
     Stats(StatsBody),
+    /// `metrics` exposition: the rendered registry as one string.
+    Metrics {
+        /// The format the body is rendered in.
+        format: MetricsFormat,
+        /// Prometheus text exposition or its JSON twin, verbatim
+        /// (multi-line; newlines escaped on the wire).
+        body: String,
+    },
     /// `evict` outcome.
     Evict {
         /// Dataset name.
@@ -516,6 +598,11 @@ impl Response {
                     wal.join(","),
                 )
             }
+            Response::Metrics { format, body } => format!(
+                r#"{{"ok":"metrics","format":"{}","body":"{}"}}"#,
+                format.label(),
+                escape(body)
+            ),
             Response::Evict { dataset, evicted } => format!(
                 r#"{{"ok":"evict","dataset":"{}","evicted":{evicted}}}"#,
                 escape(dataset)
@@ -652,6 +739,14 @@ impl Response {
                     })
                     .collect::<Result<Vec<WalDatasetStats>, ProtoError>>()?,
             })),
+            "metrics" => Ok(Response::Metrics {
+                format: MetricsFormat::from_label(&field_str("format")?).ok_or_else(|| {
+                    ProtoError::bad_request(
+                        "\"metrics\" response \"format\" must be \"prometheus\" or \"json\"",
+                    )
+                })?,
+                body: field_str("body")?,
+            }),
             "evict" => Ok(Response::Evict {
                 dataset: field_str("dataset")?,
                 evicted: field_bool("evicted")?,
@@ -699,6 +794,12 @@ mod tests {
                 labels: None,
             },
             Request::Stats,
+            Request::Metrics {
+                format: MetricsFormat::Prometheus,
+            },
+            Request::Metrics {
+                format: MetricsFormat::Json,
+            },
             Request::Evict {
                 dataset: "hotels".into(),
             },
@@ -753,6 +854,15 @@ mod tests {
                 filter_retained: 3,
                 index_rebuilt: false,
             },
+            Response::Metrics {
+                format: MetricsFormat::Prometheus,
+                body: "# TYPE utk_requests_total counter\nutk_requests_total{op=\"query\"} 4\n"
+                    .into(),
+            },
+            Response::Metrics {
+                format: MetricsFormat::Json,
+                body: r#"{"counters":[]}"#.into(),
+            },
             Response::Evict {
                 dataset: "hotels".into(),
                 evicted: true,
@@ -792,6 +902,8 @@ mod tests {
             r#"{"op":"update","dataset":"x","insert":[["a"]]}"#,
             r#"{"op":"update","dataset":"x","delete":[-1]}"#,
             r#"{"op":"update","dataset":"x","insert":[[1.0]],"labels":[1]}"#,
+            r#"{"op":"metrics","format":"xml"}"#,
+            r#"{"op":"metrics","format":3}"#,
         ] {
             let err = Request::parse(bad).unwrap_err();
             assert_eq!(err.code, code::BAD_REQUEST, "{bad}");

@@ -32,6 +32,7 @@ use std::sync::{Arc, Mutex, RwLock};
 
 use crate::proto::{code, ProtoError};
 use utk_core::engine::{UpdateReport, UtkEngine};
+use utk_core::obs::{Clock, MonotonicClock};
 use utk_data::csv::{parse_csv, write_csv, CsvData};
 use utk_data::wal::{WalFile, WalRecord};
 
@@ -91,6 +92,10 @@ pub struct DatasetRegistry {
     cache_budget: usize,
     /// Worker-pool size handed to each engine (0 = one per core).
     pool_threads: usize,
+    /// The clock injected into every engine this registry builds, so
+    /// one server-wide clock governs all query tracing (tests freeze
+    /// it; production uses [`MonotonicClock`]).
+    clock: Arc<dyn Clock>,
     loaded: Mutex<BTreeMap<String, Arc<LoadedDataset>>>,
 }
 
@@ -115,8 +120,17 @@ impl DatasetRegistry {
             wal_compact_every: None,
             cache_budget,
             pool_threads,
+            clock: Arc::new(MonotonicClock::new()),
             loaded: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// Injects the clock every engine built by this registry traces
+    /// with (deterministic [`utk_core::obs::TestClock`] in tests).
+    /// Builder-style: call before the registry serves requests.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
     }
 
     /// Turns on crash-safe updates: every mutation is logged to
@@ -282,7 +296,8 @@ impl DatasetRegistry {
 
         let mut engine = UtkEngine::new(data.dataset.points.clone())
             .map_err(|e| dataset_error(e.to_string()))?
-            .with_base_epoch(base_epoch);
+            .with_base_epoch(base_epoch)
+            .with_clock(Arc::clone(&self.clock));
         if self.pool_threads != 0 {
             engine = engine.with_pool_threads(self.pool_threads);
         }

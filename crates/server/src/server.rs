@@ -45,11 +45,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use crate::proto::{code, ProtoError, Request, Response, StatsBody, WalDatasetStats};
+use crate::proto::{
+    code, MetricsFormat, ProtoError, Request, Response, StatsBody, WalDatasetStats,
+};
 use crate::registry::{DatasetRegistry, LoadedDataset};
 use crate::spec;
 use utk_core::engine::{QueryResult, UtkEngine, UtkQuery};
 use utk_core::error::UtkError;
+use utk_core::obs::{Clock, MetricsRegistry, MonotonicClock, Phase, PhaseTimings};
+use utk_core::wire::escape;
 
 /// How long a blocked connection read waits before re-checking the
 /// shutdown flag.
@@ -196,6 +200,23 @@ pub struct ServerConfig {
     /// many records (in addition to the index-rebuild trigger);
     /// `None` compacts on rebuilds only. No effect without `wal_dir`.
     pub wal_compact_every: Option<u64>,
+    /// The clock behind every timing the server takes: request
+    /// latencies, query phase tracing, slow-query thresholds. The
+    /// default [`MonotonicClock`] reads real time; tests inject a
+    /// frozen [`utk_core::obs::TestClock`] so the `metrics`
+    /// exposition is byte-stable.
+    pub clock: Arc<dyn Clock>,
+    /// Log queries whose traced total reaches this many milliseconds
+    /// as structured JSON lines (0 logs every query); `None` disables
+    /// the slow-query log.
+    pub slow_query_ms: Option<u64>,
+    /// Where slow-query records go. `None` writes them to stderr;
+    /// with a path they go to a size-rotated file (see
+    /// [`ServerConfig::slow_query_log_max_bytes`]).
+    pub slow_query_log: Option<PathBuf>,
+    /// Rotate the slow-query log file once it would exceed this many
+    /// bytes (the current file moves to `<path>.1`); 0 never rotates.
+    pub slow_query_log_max_bytes: u64,
 }
 
 impl ServerConfig {
@@ -210,6 +231,10 @@ impl ServerConfig {
             pool_threads: 0,
             wal_dir: None,
             wal_compact_every: None,
+            clock: Arc::new(MonotonicClock::new()),
+            slow_query_ms: None,
+            slow_query_log: None,
+            slow_query_log_max_bytes: 16 << 20,
         }
     }
 }
@@ -241,6 +266,106 @@ struct Shared {
     requests_served: AtomicU64,
     busy_rejections: AtomicU64,
     shutdown: AtomicBool,
+    clock: Arc<dyn Clock>,
+    metrics: MetricsRegistry,
+    slow_query: Option<SlowQueryLog>,
+}
+
+/// The structured slow-query log: one JSON line per query/batch op
+/// whose traced total reached the threshold, carrying the per-phase
+/// breakdown. Strictly best-effort — a failed write or rotation
+/// increments `utk_slow_query_dropped_total` and drops the record;
+/// the request path never blocks on logging and never panics.
+struct SlowQueryLog {
+    threshold_nanos: u64,
+    /// `None` writes records to stderr (no rotation).
+    sink: Option<SlowQuerySink>,
+}
+
+impl SlowQueryLog {
+    /// Appends one record. `false` means the record was dropped.
+    fn append(&self, record: &str) -> bool {
+        match &self.sink {
+            None => {
+                eprintln!("{record}");
+                true
+            }
+            Some(sink) => sink.append(record),
+        }
+    }
+}
+
+/// A size-rotated JSON-lines file sink.
+struct SlowQuerySink {
+    path: PathBuf,
+    /// Rotate once the file would exceed this (0 = never rotate).
+    max_bytes: u64,
+    state: Mutex<SlowSinkState>,
+}
+
+#[derive(Default)]
+struct SlowSinkState {
+    file: Option<std::fs::File>,
+    bytes: u64,
+}
+
+impl SlowQuerySink {
+    fn open(&self, state: &mut SlowSinkState) -> bool {
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+        {
+            Ok(file) => {
+                state.bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
+                state.file = Some(file);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn append(&self, record: &str) -> bool {
+        let Ok(mut state) = self.state.lock() else {
+            return false;
+        };
+        let record_bytes = record.len() as u64 + 1;
+        if state.file.is_none() && !self.open(&mut state) {
+            return false;
+        }
+        // Rotate before the file would exceed the cap. A single
+        // record larger than the cap still lands (alone) in a fresh
+        // file — the `bytes > 0` guard prevents rotating forever.
+        if self.max_bytes > 0
+            && state.bytes > 0
+            && state.bytes.saturating_add(record_bytes) > self.max_bytes
+        {
+            state.file = None;
+            let mut rotated = self.path.clone().into_os_string();
+            rotated.push(".1");
+            if std::fs::rename(&self.path, PathBuf::from(rotated)).is_err() {
+                return false;
+            }
+            state.bytes = 0;
+            if !self.open(&mut state) {
+                return false;
+            }
+        }
+        let Some(file) = state.file.as_mut() else {
+            return false;
+        };
+        let mut line = Vec::with_capacity(record.len() + 1);
+        line.extend_from_slice(record.as_bytes());
+        line.push(b'\n');
+        // utk-lint: allow(guard-blocking) -- deliberate: this leaf lock IS the log writer; it serializes whole records, guards the rotation byte counter, never nests, and is reached only past the slow-query threshold
+        if file.write_all(&line).is_err() {
+            // Drop the handle so the next record retries a fresh open.
+            state.file = None;
+            return false;
+        }
+        state.bytes = state.bytes.saturating_add(record_bytes);
+        true
+    }
 }
 
 impl Shared {
@@ -288,6 +413,84 @@ impl Shared {
             wal_records,
             wal_bytes,
             wal,
+        }
+    }
+
+    /// Counts one handled request of `op` and observes its wall-clock
+    /// latency (from `started_at` to now, on the injected clock).
+    fn observe_request(&self, op: &'static str, started_at: u64) {
+        let labels = format!("op=\"{op}\"");
+        self.metrics.counter_add(
+            "utk_requests_total",
+            "Requests handled, by protocol op (coded-error answers included).",
+            &labels,
+            1,
+        );
+        self.metrics.observe(
+            "utk_request_nanos",
+            "Request latency in nanoseconds, by protocol op.",
+            &labels,
+            self.clock.now_nanos().saturating_sub(started_at),
+        );
+    }
+
+    /// Counts one coded protocol error.
+    fn count_error(&self, code: &str) {
+        self.metrics.counter_add(
+            "utk_errors_total",
+            "Coded protocol errors, by code.",
+            &format!("code=\"{code}\""),
+            1,
+        );
+    }
+
+    /// Records the engine-side observability of one answered
+    /// query/batch op: the per-dataset answer count, per-phase time
+    /// accumulation, and — past the threshold — a slow-query log
+    /// record. `detail` is a pre-rendered JSON fragment for the log
+    /// line (`"q":…` or `"queries":…`). Every phase counter is bumped
+    /// (by 0 if the phase saw no time), so which series exist depends
+    /// only on whether queries ran, never on scheduling.
+    fn observe_answers(
+        &self,
+        op: &'static str,
+        dataset: &str,
+        answers: u64,
+        timings: Option<&PhaseTimings>,
+        detail: &str,
+    ) {
+        self.metrics.counter_add(
+            "utk_queries_total",
+            "Query lines answered (result or error line), by dataset.",
+            &format!("dataset=\"{dataset}\""),
+            answers,
+        );
+        let Some(timings) = timings else { return };
+        for phase in Phase::ALL {
+            self.metrics.counter_add(
+                "utk_phase_nanos_total",
+                "Cumulative nanoseconds in each query pipeline phase.",
+                &format!("phase=\"{}\"", phase.label()),
+                timings.nanos(phase),
+            );
+        }
+        let Some(slow) = &self.slow_query else { return };
+        if timings.total_nanos < slow.threshold_nanos {
+            return;
+        }
+        let record = format!(
+            r#"{{"ts_nanos":{},"op":"{op}","dataset":"{}",{detail},"timings":{}}}"#,
+            self.clock.now_nanos(),
+            escape(dataset),
+            timings.to_json(),
+        );
+        if !slow.append(&record) {
+            self.metrics.counter_add(
+                "utk_slow_query_dropped_total",
+                "Slow-query records dropped because the log could not be written.",
+                "",
+                1,
+            );
         }
     }
 }
@@ -368,7 +571,8 @@ impl Server {
                         config.datasets_dir,
                         config.cache_budget,
                         config.pool_threads,
-                    );
+                    )
+                    .with_clock(Arc::clone(&config.clock));
                     let registry = match config.wal_dir {
                         Some(dir) => registry.with_wal_dir(dir),
                         None => registry,
@@ -383,6 +587,16 @@ impl Server {
                 requests_served: AtomicU64::new(0),
                 busy_rejections: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
+                clock: Arc::clone(&config.clock),
+                metrics: MetricsRegistry::new(),
+                slow_query: config.slow_query_ms.map(|ms| SlowQueryLog {
+                    threshold_nanos: ms.saturating_mul(1_000_000),
+                    sink: config.slow_query_log.map(|path| SlowQuerySink {
+                        path,
+                        max_bytes: config.slow_query_log_max_bytes,
+                        state: Mutex::new(SlowSinkState::default()),
+                    }),
+                }),
             }),
             #[cfg(unix)]
             socket_path,
@@ -631,9 +845,11 @@ fn write_line(writer: &mut Stream, line: &str) -> std::io::Result<()> {
 /// `writer`. An `Err` means the peer stopped taking bytes; the
 /// connection is closed.
 fn respond(line: &str, shared: &Shared, writer: &mut Stream) -> std::io::Result<()> {
+    let started_at = shared.clock.now_nanos();
     let request = match Request::parse(line) {
         Ok(req) => req,
         Err(e) => {
+            shared.count_error(e.code);
             write_line(writer, &e.to_json())?;
             return writer.flush();
         }
@@ -646,10 +862,12 @@ fn respond(line: &str, shared: &Shared, writer: &mut Stream) -> std::io::Result<
             if e.code == code::BUSY {
                 shared.busy_rejections.fetch_add(1, Ordering::SeqCst);
             }
+            shared.count_error(e.code);
             write_line(writer, &e.to_json())?;
         }
         Err(Handled::Io(e)) => return Err(e),
     }
+    shared.observe_request(request.op(), started_at);
     writer.flush()
 }
 
@@ -706,7 +924,15 @@ fn handle_request(request: &Request, shared: &Shared, writer: &mut Stream) -> Re
             admit(shared)?;
             let _slot = admitted(shared)?;
             let ds = shared.registry.get_or_load(dataset)?.0;
-            write_line(writer, &answer_query(&ds, q))?;
+            let (line, timings) = answer_query(&ds, q, &shared.clock);
+            write_line(writer, &line)?;
+            shared.observe_answers(
+                "query",
+                &ds.name,
+                1,
+                timings.as_ref(),
+                &format!(r#""q":"{}""#, escape(q)),
+            );
             Ok(())
         }
         Request::Batch { dataset, queries } => {
@@ -718,7 +944,7 @@ fn handle_request(request: &Request, shared: &Shared, writer: &mut Stream) -> Re
             // A payload snapshot, not a held lock: a concurrent
             // `update` never waits on this batch (nor vice versa).
             let data = ds.data_snapshot();
-            let lines = spec::answer_query_file(&ds.engine, &data, &parsed);
+            let (lines, timings) = spec::answer_query_file_observed(&ds.engine, &data, &parsed);
             write_line(
                 writer,
                 &Response::BatchHeader {
@@ -730,6 +956,13 @@ fn handle_request(request: &Request, shared: &Shared, writer: &mut Stream) -> Re
             for line in &lines {
                 write_line(writer, line)?;
             }
+            shared.observe_answers(
+                "batch",
+                &ds.name,
+                lines.len() as u64,
+                Some(&timings),
+                &format!(r#""queries":{}"#, lines.len()),
+            );
             Ok(())
         }
         Request::Update {
@@ -766,6 +999,51 @@ fn handle_request(request: &Request, shared: &Shared, writer: &mut Stream) -> Re
             write_line(writer, &Response::Stats(shared.stats_body()).to_json())?;
             Ok(())
         }
+        Request::Metrics { format } => {
+            // A cheap control op, always admitted (like `stats`).
+            // Scrape-time gauges reflect this instant; the op's own
+            // request counter lands after rendering, so a scrape
+            // never counts itself.
+            let snap = shared.snapshot();
+            let m = &shared.metrics;
+            m.gauge_set(
+                "utk_inflight",
+                "Query/batch/load requests executing right now.",
+                "",
+                snap.inflight as u64,
+            );
+            m.gauge_set(
+                "utk_requests_served",
+                "Requests fully processed since startup.",
+                "",
+                snap.requests_served,
+            );
+            m.gauge_set(
+                "utk_busy_rejections",
+                "Requests shed by admission control since startup.",
+                "",
+                snap.busy_rejections,
+            );
+            m.gauge_set(
+                "utk_datasets_loaded",
+                "Datasets currently resident.",
+                "",
+                snap.datasets_loaded as u64,
+            );
+            let body = match format {
+                MetricsFormat::Prometheus => m.render_prometheus(),
+                MetricsFormat::Json => m.render_json(),
+            };
+            write_line(
+                writer,
+                &Response::Metrics {
+                    format: *format,
+                    body,
+                }
+                .to_json(),
+            )?;
+            Ok(())
+        }
         Request::Evict { dataset } => {
             let evicted = shared.registry.evict(dataset)?;
             write_line(
@@ -798,8 +1076,14 @@ fn admitted(shared: &Shared) -> Result<AdmitGuard<'_>, ProtoError> {
 }
 
 /// Answers one `query` op on the dataset's engine pool (on a payload
-/// snapshot — no lock held across execution).
-fn answer_query(ds: &LoadedDataset, q: &str) -> String {
+/// snapshot — no lock held across execution), returning the wire line
+/// plus the query's timing breakdown for the metrics/slow-query side
+/// channels. The line itself never carries timings.
+fn answer_query(
+    ds: &LoadedDataset,
+    q: &str,
+    clock: &Arc<dyn Clock>,
+) -> (String, Option<PhaseTimings>) {
     let data = ds.data_snapshot();
-    spec::answer_query_line_with(&data, q, |query| run_on_pool(&ds.engine, query))
+    spec::answer_query_line_observed(&data, q, clock, |query| run_on_pool(&ds.engine, query))
 }

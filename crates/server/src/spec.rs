@@ -15,8 +15,11 @@
 //! Error message wording is part of the wire contract — `utk batch`
 //! tests assert on it — so change it deliberately.
 
+use std::sync::Arc;
+
 use utk_core::engine::{Algo, QueryKind, QueryResult, UtkEngine, UtkQuery};
 use utk_core::error::UtkError;
+use utk_core::obs::{Clock, Phase, PhaseTimings};
 use utk_core::scoring::GeneralScoring;
 use utk_core::wire;
 use utk_data::csv::CsvData;
@@ -56,6 +59,12 @@ pub const VALUE_FLAGS: &[&str] = &[
     "wal",
     "wal-dir",
     "wal-compact-every",
+    "slow-query-ms",
+    "slow-query-log",
+    "slow-query-log-max-bytes",
+    "format",
+    "bench-dir",
+    "out",
 ];
 
 /// The flags one query line of a `batch` file (or a server
@@ -331,6 +340,21 @@ pub fn answer_query_file(
     data: &CsvData,
     parsed: &ParsedQueryFile,
 ) -> Vec<String> {
+    answer_query_file_observed(engine, data, parsed).0
+}
+
+/// [`answer_query_file`], additionally returning the file's aggregate
+/// per-phase timing breakdown: the traced engine phases summed across
+/// every answered query, plus the serialization of the output lines
+/// (measured on the engine's injected clock, attributed to
+/// [`Phase::Serialize`]). The lines are byte-identical to
+/// [`answer_query_file`] — timings ride *alongside* the output and
+/// never inside it (the wire-format determinism contract).
+pub fn answer_query_file_observed(
+    engine: &UtkEngine,
+    data: &CsvData,
+    parsed: &ParsedQueryFile,
+) -> (Vec<String>, PhaseTimings) {
     let queries: Vec<UtkQuery> = parsed
         .entries
         .iter()
@@ -338,7 +362,10 @@ pub fn answer_query_file(
         .map(|p| p.query.clone())
         .collect();
     let mut answers = engine.run_many(&queries).into_iter();
+    let clock = engine.clock();
+    let mut timings = PhaseTimings::default();
 
+    let serialize_from = clock.now_nanos();
     let mut out = Vec::with_capacity(parsed.entries.len());
     for entry in &parsed.entries {
         match entry {
@@ -346,11 +373,17 @@ pub fn answer_query_file(
             Ok(p) => {
                 // utk-lint: allow(panic) -- invariant: run_batch returns one answer per Ok entry
                 let answer = answers.next().expect("one answer per prepared query");
+                if let Ok(result) = &answer {
+                    timings.absorb(&result.stats().timings);
+                }
                 out.push(wire_line(p, answer, data));
             }
         }
     }
-    out
+    let serialized = clock.now_nanos().saturating_sub(serialize_from);
+    timings.record(Phase::Serialize, serialized);
+    timings.total_nanos = timings.total_nanos.saturating_add(serialized);
+    (out, timings)
 }
 
 /// Serializes one answered query as its wire line: the result object
@@ -397,6 +430,34 @@ pub fn answer_query_line_with(
 /// [`answer_query_line_with`], executing inline on `engine`.
 pub fn answer_query_line(engine: &UtkEngine, data: &CsvData, line: &str) -> String {
     answer_query_line_with(data, line, |query| engine.run(query))
+}
+
+/// [`answer_query_line_with`], additionally returning the query's
+/// timing breakdown: the traced engine phases from the run, plus the
+/// serialization of the result line (measured on `clock`, attributed
+/// to [`Phase::Serialize`]). `None` when the line failed to parse or
+/// the engine erred — there is nothing meaningful to time. The
+/// rendered line is byte-identical to [`answer_query_line_with`].
+pub fn answer_query_line_observed(
+    data: &CsvData,
+    line: &str,
+    clock: &Arc<dyn Clock>,
+    run: impl FnOnce(&UtkQuery) -> Result<QueryResult, UtkError>,
+) -> (String, Option<PhaseTimings>) {
+    let prepared = match parse_query_line(line, data.dataset.dim()) {
+        Ok(p) => p,
+        Err(e) => return (wire::error_json(&e), None),
+    };
+    let answer = run(&prepared.query);
+    let mut timings = answer.as_ref().ok().map(|r| r.stats().timings);
+    let serialize_from = clock.now_nanos();
+    let rendered = wire_line(&prepared, answer, data);
+    let serialized = clock.now_nanos().saturating_sub(serialize_from);
+    if let Some(t) = &mut timings {
+        t.record(Phase::Serialize, serialized);
+        t.total_nanos = t.total_nanos.saturating_add(serialized);
+    }
+    (rendered, timings)
 }
 
 /// One step of a `utk batch --mutations` replay file.

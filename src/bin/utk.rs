@@ -29,8 +29,9 @@ use utk::data::csv::{parse_csv, write_csv, CsvData};
 use utk::data::synthetic::{generate, Distribution};
 use utk::data::wal::{WalFile, WalRecord};
 use utk::prelude::*;
+use utk::report;
 use utk::server::client::{BatchReply, Connection};
-use utk::server::proto::{Request, Response};
+use utk::server::proto::{MetricsFormat, Request, Response};
 use utk::server::server::{Bind, Server, ServerConfig};
 use utk::server::spec::{self, build_topk_query, build_utk_query, ParsedArgs};
 use utk::wire;
@@ -87,6 +88,8 @@ USAGE:
   utk serve    --datasets <dir> (--socket <path> | --port <p>) [SERVE OPTIONS]
   utk client   (--socket <path> | --port <p>) [--dataset <name>] [--file <queries>] [--op <o>]
   utk update   (--socket <path> | --port <p>) --dataset <name> [--delete ids] [--insert rows] [--labels l1,..]
+  utk report   [--bench-dir <dir>] [--socket <path> | --port <p>] [--out <file>]
+                                                                   markdown dashboard from BENCH_*.json (+ live server)
   utk generate --dist <ind|cor|anti> --n <n> --d <d> [--seed <s>]  benchmark data to stdout
   utk help
 
@@ -149,14 +152,30 @@ SERVE (long-running multi-dataset server; newline-delimited JSON protocol):
                         the engine rebuilds its index
   --wal-compact-every <n>   also compact a dataset's log once it exceeds n records,
                         bounding replay time between index rebuilds (requires --wal-dir)
-Protocol ops: load, query, batch, stats, evict, shutdown — see the
-utk-server crate docs for the grammar. Server `batch` output is
-byte-identical to `utk batch` on the same file.
+  --slow-query-ms <ms>  log every query/batch whose total phase time reaches <ms>
+                        milliseconds as one JSON line with the per-phase breakdown
+                        (0 logs everything); to stderr unless --slow-query-log is set
+  --slow-query-log <file>   append slow-query lines here instead of stderr; when the
+                        file would exceed --slow-query-log-max-bytes it is rotated
+                        to <file>.1 first. Write failures drop the record (counted
+                        in utk_slow_query_dropped_total) — never block a request.
+  --slow-query-log-max-bytes <n>   rotation threshold (default 16 MiB; 0 = never)
+Protocol ops: load, query, batch, stats, metrics, evict, shutdown — see
+the utk-server crate docs for the grammar. Server `batch` output is
+byte-identical to `utk batch` on the same file; timings only ever leave
+the server through `metrics` and the slow-query log.
 
 CLIENT (drives a running server; prints one JSON line per response):
   --file <queries>      send the file as one batch op (requires --dataset)
-  --op <o>              stats (default) | load | evict | shutdown
+  --op <o>              stats (default) | load | evict | metrics | shutdown
   --dataset <name>      dataset for --file / load / evict
+  --format <f>          metrics exposition: prometheus (default) | json
+                        (--op metrics prints the body verbatim, not a JSON line)
+
+REPORT (renders an offline markdown dashboard; no server required):
+  --bench-dir <dir>     directory scanned for BENCH_*.json files (default .)
+  --socket | --port     also scrape a live server's stats + metrics into the report
+  --out <file>          write the markdown here instead of stdout
 ";
 
 /// The flags each command actually reads; anything else is rejected
@@ -212,8 +231,12 @@ fn command_flags(command: &str) -> Option<&'static [&'static str]> {
             "threads",
             "wal-dir",
             "wal-compact-every",
+            "slow-query-ms",
+            "slow-query-log",
+            "slow-query-log-max-bytes",
         ]),
-        "client" => Some(&["socket", "port", "dataset", "file", "op"]),
+        "client" => Some(&["socket", "port", "dataset", "file", "op", "format"]),
+        "report" => Some(&["bench-dir", "socket", "port", "out"]),
         "update" => Some(&["socket", "port", "dataset", "insert", "delete", "labels"]),
         "generate" => Some(&["dist", "n", "d", "seed"]),
         _ => None,
@@ -494,6 +517,26 @@ fn run_serve(args: &ParsedArgs) -> Result<(), String> {
         }
         config.wal_compact_every = Some(n);
     }
+    if let Some(ms) = args.get("slow-query-ms") {
+        config.slow_query_ms = Some(
+            ms.parse()
+                .map_err(|_| "--slow-query-ms must be an integer (milliseconds)")?,
+        );
+    }
+    if let Some(path) = args.get("slow-query-log") {
+        if config.slow_query_ms.is_none() {
+            return Err("--slow-query-log requires --slow-query-ms".into());
+        }
+        config.slow_query_log = Some(path.into());
+    }
+    if let Some(n) = args.get("slow-query-log-max-bytes") {
+        if config.slow_query_log.is_none() {
+            return Err("--slow-query-log-max-bytes requires --slow-query-log".into());
+        }
+        config.slow_query_log_max_bytes = n
+            .parse()
+            .map_err(|_| "--slow-query-log-max-bytes must be an integer (bytes)")?;
+    }
     let server = Server::bind(config).map_err(|e| format!("bind: {e}"))?;
     eprintln!(
         "utk serve: listening on {} ({} datasets available in {dir})",
@@ -548,7 +591,31 @@ fn run_client(args: &ParsedArgs) -> Result<(), CliError> {
             }
         }
     }
-    let request = match args.get("op").unwrap_or("stats") {
+    let op = args.get("op").unwrap_or("stats");
+    if args.get("format").is_some() && op != "metrics" {
+        return Err(CliError::new("--format only applies to --op metrics"));
+    }
+    if op == "metrics" {
+        // The metrics body is the payload, printed verbatim — a
+        // Prometheus exposition is text, not a JSON response line.
+        let format = match args.get("format") {
+            None => MetricsFormat::Prometheus,
+            Some(label) => MetricsFormat::from_label(label).ok_or_else(|| {
+                CliError::new(format!(
+                    "unknown --format {label:?} (expected prometheus or json)"
+                ))
+            })?,
+        };
+        let body = conn
+            .metrics(format)
+            .map_err(|e| CliError::new(format!("metrics: {e}")))?;
+        print!("{body}");
+        if !body.ends_with('\n') {
+            println!();
+        }
+        return Ok(());
+    }
+    let request = match op {
         "stats" => Request::Stats,
         "load" => Request::Load {
             dataset: dataset("op load")?,
@@ -559,7 +626,7 @@ fn run_client(args: &ParsedArgs) -> Result<(), CliError> {
         "shutdown" => Request::Shutdown,
         other => {
             return Err(CliError::new(format!(
-                "unknown --op {other:?} (expected stats, load, evict or shutdown)"
+                "unknown --op {other:?} (expected stats, load, evict, metrics or shutdown)"
             )))
         }
     };
@@ -637,6 +704,32 @@ fn run_update(args: &ParsedArgs) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `utk report`: renders `BENCH_*.json` figures (and, with
+/// `--socket`/`--port`, a live server's stats + metrics) into one
+/// markdown dashboard. See [`utk::report`].
+fn run_report(args: &ParsedArgs) -> Result<(), String> {
+    let dir = args.get("bench-dir").unwrap_or(".");
+    let benches = report::load_bench_dir(Path::new(dir)).map_err(|e| format!("{dir}: {e}"))?;
+    for bench in &benches {
+        for warning in &bench.warnings {
+            eprintln!("utk report: {}: {warning}", bench.name);
+        }
+    }
+    let live = if args.get("socket").is_some() || args.get("port").is_some() {
+        let bind = bind_from(args)?;
+        let mut conn = Connection::connect(&bind).map_err(|e| format!("connect {bind}: {e}"))?;
+        Some(report::scrape_live(&mut conn).map_err(|e| format!("scrape: {e}"))?)
+    } else {
+        None
+    };
+    let markdown = report::render_report(&benches, live.as_ref());
+    match args.get("out") {
+        Some(path) => std::fs::write(path, &markdown).map_err(|e| format!("{path}: {e}"))?,
+        None => print!("{markdown}"),
+    }
+    Ok(())
+}
+
 fn run_generate(args: &ParsedArgs) -> Result<(), String> {
     let dist = match args.get("dist").unwrap_or("ind") {
         "ind" => Distribution::Ind,
@@ -678,6 +771,7 @@ fn run() -> Result<(), CliError> {
         "serve" => run_serve(&args).map_err(CliError::from),
         "client" => run_client(&args),
         "update" => run_update(&args),
+        "report" => run_report(&args).map_err(CliError::from),
         "generate" => run_generate(&args).map_err(CliError::from),
         other => Err(CliError::new(format!("unknown command {other:?}"))),
     }

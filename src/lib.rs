@@ -106,7 +106,7 @@
 //! → {"op":"load","dataset":NAME}
 //! → {"op":"query","dataset":NAME,"q":"utk1 --k 2 --lo 0.05,0.05 --hi 0.45,0.25"}
 //! → {"op":"batch","dataset":NAME,"queries":[LINE,...]}
-//! → {"op":"stats"} | {"op":"evict","dataset":NAME} | {"op":"shutdown"}
+//! → {"op":"stats"} | {"op":"metrics"} | {"op":"evict","dataset":NAME} | {"op":"shutdown"}
 //! ← one wire result/error line per query ({"ok":…} envelopes for
 //!   control ops; {"error":…,"code":"busy"|…} for protocol errors)
 //! ```
@@ -249,6 +249,21 @@
 //!   [`without_blocked_kernel`](core::engine::UtkEngine::without_blocked_kernel)
 //!   scalar twin — the CI `screen-kernel-fuzz` job re-runs the suite
 //!   at 256 cases in release mode.
+//! * **Timings never enter the deterministic wire format.** Query
+//!   phase timings ([`core::obs::PhaseTimings`], carried on
+//!   [`Stats::timings`](core::stats::Stats)) are scheduling- and
+//!   hardware-dependent, so — exactly like `stolen_tasks` and
+//!   `dataset_epoch` — they are excluded from every wire line; they
+//!   leave the process only through the server's `metrics` op and the
+//!   slow-query log. Enforced by the lint's `wall-clock` rule (no
+//!   `Instant::now()`/`SystemTime::now()` in wire-feeding modules —
+//!   all timing flows through the injectable [`core::obs::Clock`],
+//!   whose one blessed ambient read is
+//!   [`core::obs::MonotonicClock`]), by `tests/wire_golden.rs`
+//!   pinning response bytes, and by `tests/metrics_golden.rs`
+//!   asserting the `metrics` exposition is byte-stable under a frozen
+//!   [`core::obs::TestClock`] while the wire lines stay
+//!   timing-free.
 //! * **No `unsafe`.** The audit accompanying the lint found zero
 //!   `unsafe` blocks workspace-wide; every crate now declares
 //!   `#![forbid(unsafe_code)]`, and the lint's `safety-comment` rule
@@ -279,6 +294,7 @@ pub use utk_geom as geom;
 pub use utk_rtree as rtree;
 pub use utk_server as server;
 
+pub mod report;
 pub mod wire;
 
 /// Common imports: the engine API (including batched `run_many` and

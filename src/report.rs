@@ -1,0 +1,370 @@
+//! `utk report` — a markdown dashboard over recorded benchmark
+//! figures and (optionally) a live server.
+//!
+//! The bench harness (`crates/bench`) records every experiment as one
+//! single-line `BENCH_*.json` file checked in next to the code it
+//! measures. This module renders those files — plus, when a
+//! `--socket`/`--port` is given, a live server's `stats` and
+//! `metrics` scrapes — into one human-readable markdown document.
+//!
+//! Two deliberate properties:
+//!
+//! * **Versioned inputs.** Every figure file carries a
+//!   `schema_version` field ([`BENCH_SCHEMA_VERSION`]); a missing or
+//!   unknown version renders a visible warning instead of silently
+//!   misreading fields recorded under a different layout.
+//! * **Generic rendering.** The renderer walks the JSON shape
+//!   (scalars → field table, arrays of objects → one table per
+//!   array, nested objects → key/value tables) rather than
+//!   hard-coding each figure's fields, so new bench binaries show up
+//!   in the report without touching this module.
+
+use std::path::Path;
+
+use crate::server::client::Connection;
+use crate::server::json::{self, Value};
+use crate::server::proto::{MetricsFormat, Request};
+
+/// The `schema_version` this report understands in `BENCH_*.json`
+/// files. Bump it whenever a bench binary changes the *meaning* of a
+/// recorded field (renames and additions are backwards-compatible and
+/// do not need a bump).
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// One `BENCH_*.json` file, parsed, with any schema warnings.
+#[derive(Debug, Clone)]
+pub struct BenchFile {
+    /// The file name (not the full path), e.g. `BENCH_WAL_REPAIR.json`.
+    pub name: String,
+    /// Schema/parse warnings, rendered into the report and echoed to
+    /// stderr by the CLI.
+    pub warnings: Vec<String>,
+    /// The parsed figure, when the file held valid JSON.
+    pub value: Option<Value>,
+}
+
+/// A live server's observable state: one `stats` response line and
+/// one Prometheus `metrics` exposition.
+#[derive(Debug, Clone)]
+pub struct LiveSnapshot {
+    /// The raw `{"ok":"stats",…}` response line.
+    pub stats_line: String,
+    /// The Prometheus text exposition from the `metrics` op.
+    pub metrics_body: String,
+}
+
+/// Scans `dir` for `BENCH_*.json` files (sorted by name, so the
+/// report is deterministic regardless of directory iteration order)
+/// and parses each one, recording schema warnings per
+/// [`check_schema`].
+pub fn load_bench_dir(dir: &Path) -> std::io::Result<Vec<BenchFile>> {
+    let mut names: Vec<(String, std::path::PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            names.push((name, entry.path()));
+        }
+    }
+    names.sort();
+    let mut out = Vec::new();
+    for (name, path) in names {
+        let mut warnings = Vec::new();
+        let value = match std::fs::read_to_string(&path) {
+            Err(e) => {
+                warnings.push(format!("unreadable: {e}"));
+                None
+            }
+            Ok(text) => match json::parse(text.trim()) {
+                Err(e) => {
+                    warnings.push(format!("not valid JSON: {e}"));
+                    None
+                }
+                Ok(value) => {
+                    warnings.extend(check_schema(&value));
+                    Some(value)
+                }
+            },
+        };
+        out.push(BenchFile {
+            name,
+            warnings,
+            value,
+        });
+    }
+    Ok(out)
+}
+
+/// The schema warnings for one parsed figure: a missing
+/// `schema_version` (the file predates versioning — re-record it) or
+/// one newer than this report understands (fields may have changed
+/// meaning; the report still renders them, visibly caveated).
+pub fn check_schema(value: &Value) -> Vec<String> {
+    match value.get("schema_version").and_then(Value::as_u64) {
+        Some(BENCH_SCHEMA_VERSION) => Vec::new(),
+        Some(other) => vec![format!(
+            "schema_version {other} is unknown to this report (understands \
+             {BENCH_SCHEMA_VERSION}); fields may have changed meaning"
+        )],
+        None => vec![format!(
+            "missing schema_version (expected {BENCH_SCHEMA_VERSION}); \
+             re-record with a current bench binary"
+        )],
+    }
+}
+
+/// Scrapes a connected server's `stats` and `metrics` (Prometheus
+/// format) for the report's live section.
+pub fn scrape_live(conn: &mut Connection) -> std::io::Result<LiveSnapshot> {
+    let stats_line = conn.round_trip(&Request::Stats.to_json())?;
+    let metrics_body = conn.metrics(MetricsFormat::Prometheus)?;
+    Ok(LiveSnapshot {
+        stats_line,
+        metrics_body,
+    })
+}
+
+/// Renders the report: one section per bench figure (warnings first,
+/// then its tables) and, when a live scrape is given, the server's
+/// stats and non-bucket metric samples.
+pub fn render_report(benches: &[BenchFile], live: Option<&LiveSnapshot>) -> String {
+    let mut out = String::from("# utk report\n\n");
+    out.push_str("## Benchmarks\n\n");
+    if benches.is_empty() {
+        out.push_str("_No `BENCH_*.json` files found._\n\n");
+    }
+    for bench in benches {
+        out.push_str(&format!("### `{}`\n\n", bench.name));
+        for warning in &bench.warnings {
+            out.push_str(&format!("> **warning:** {warning}\n\n"));
+        }
+        if let Some(value) = &bench.value {
+            render_value(&mut out, value, 4);
+        }
+    }
+    if let Some(live) = live {
+        out.push_str("## Live server\n\n");
+        out.push_str("### Stats\n\n");
+        match json::parse(&live.stats_line) {
+            Ok(value) => render_value(&mut out, &value, 4),
+            Err(_) => out.push_str(&format!("```\n{}\n```\n\n", live.stats_line)),
+        }
+        out.push_str("### Metrics\n\n");
+        render_metrics(&mut out, &live.metrics_body);
+    }
+    out
+}
+
+/// Whether a value renders inline in one table cell.
+fn is_scalar(value: &Value) -> bool {
+    match value {
+        Value::Null | Value::Bool(_) | Value::Num(_) | Value::Str(_) => true,
+        Value::Arr(items) => items.iter().all(is_scalar),
+        Value::Obj(_) => false,
+    }
+}
+
+/// One table cell: scalars verbatim, scalar arrays comma-joined,
+/// anything deeper as compact JSON in a code span. Pipes and
+/// newlines are escaped so the cell cannot break the table.
+fn cell(value: &Value) -> String {
+    let text = match value {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Num(raw) => raw.clone(),
+        Value::Str(s) => s.clone(),
+        Value::Arr(items) if is_scalar(value) => {
+            let cells: Vec<String> = items.iter().map(cell).collect();
+            cells.join(", ")
+        }
+        other => format!("`{other}`"),
+    };
+    text.replace('|', "\\|").replace('\n', " ")
+}
+
+/// Renders one JSON value as markdown: top-level scalar fields in a
+/// field/value table, then each array-of-objects as its own table
+/// and each nested object as its own key/value table (headed at
+/// `heading_level`). Non-object roots fall back to a code block.
+fn render_value(out: &mut String, value: &Value, heading_level: usize) {
+    let Value::Obj(pairs) = value else {
+        out.push_str(&format!("```\n{value}\n```\n\n"));
+        return;
+    };
+    let scalars: Vec<&(String, Value)> = pairs.iter().filter(|(_, v)| is_scalar(v)).collect();
+    if !scalars.is_empty() {
+        out.push_str("| field | value |\n|---|---|\n");
+        for (key, v) in scalars {
+            out.push_str(&format!("| `{key}` | {} |\n", cell(v)));
+        }
+        out.push('\n');
+    }
+    let heading = "#".repeat(heading_level);
+    for (key, v) in pairs {
+        match v {
+            Value::Arr(items) if !is_scalar(v) => {
+                out.push_str(&format!("{heading} `{key}`\n\n"));
+                render_rows(out, items);
+            }
+            Value::Obj(_) => {
+                out.push_str(&format!("{heading} `{key}`\n\n"));
+                render_value(out, v, heading_level + 1);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Renders an array of objects as one table whose columns are the
+/// union of the rows' keys, in first-seen order. Non-object rows
+/// render as a single-column table.
+fn render_rows(out: &mut String, rows: &[Value]) {
+    let mut columns: Vec<&str> = Vec::new();
+    for row in rows {
+        if let Value::Obj(pairs) = row {
+            for (key, _) in pairs {
+                if !columns.contains(&key.as_str()) {
+                    columns.push(key);
+                }
+            }
+        }
+    }
+    if columns.is_empty() {
+        out.push_str("| value |\n|---|\n");
+        for row in rows {
+            out.push_str(&format!("| {} |\n", cell(row)));
+        }
+        out.push('\n');
+        return;
+    }
+    let header: Vec<String> = columns.iter().map(|c| format!("`{c}`")).collect();
+    out.push_str(&format!("| {} |\n", header.join(" | ")));
+    out.push_str(&format!("|{}\n", "---|".repeat(columns.len())));
+    for row in rows {
+        let cells: Vec<String> = columns
+            .iter()
+            .map(|c| row.get(c).map(cell).unwrap_or_default())
+            .collect();
+        out.push_str(&format!("| {} |\n", cells.join(" | ")));
+    }
+    out.push('\n');
+}
+
+/// Renders a Prometheus exposition as a series/value table, skipping
+/// `#` comment lines and per-bucket histogram samples (the `_sum` and
+/// `_count` samples summarize each histogram; the full exposition is
+/// one `utk client --op metrics` away).
+fn render_metrics(out: &mut String, body: &str) {
+    out.push_str("| series | value |\n|---|---|\n");
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let base = series.split('{').next().unwrap_or(series);
+        if base.ends_with("_bucket") {
+            continue;
+        }
+        out.push_str(&format!(
+            "| `{}` | {} |\n",
+            series.replace('|', "\\|"),
+            value.replace('|', "\\|")
+        ));
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Value {
+        json::parse(text).expect("test JSON parses")
+    }
+
+    #[test]
+    fn schema_check_flags_missing_and_unknown_versions() {
+        assert!(check_schema(&parse(r#"{"schema_version":1,"figure":"x"}"#)).is_empty());
+        let missing = check_schema(&parse(r#"{"figure":"x"}"#));
+        assert_eq!(missing.len(), 1);
+        assert!(missing[0].contains("missing schema_version"), "{missing:?}");
+        let unknown = check_schema(&parse(r#"{"schema_version":99}"#));
+        assert_eq!(unknown.len(), 1);
+        assert!(unknown[0].contains("99"), "{unknown:?}");
+        // A non-numeric version is as unusable as a missing one.
+        assert_eq!(check_schema(&parse(r#"{"schema_version":"one"}"#)).len(), 1);
+    }
+
+    #[test]
+    fn renders_scalars_arrays_and_nested_objects_as_tables() {
+        let bench = BenchFile {
+            name: "BENCH_X.json".to_string(),
+            warnings: vec!["missing schema_version (expected 1)".to_string()],
+            value: Some(parse(
+                r#"{"figure":"x","n":1000,"flags":[true,false],
+                    "results":[{"threads":1,"qps":10.5},{"threads":2,"qps":20.25,"extra":"y"}],
+                    "config":{"seed":7}}"#,
+            )),
+        };
+        let md = render_report(&[bench], None);
+        assert!(md.contains("### `BENCH_X.json`"), "{md}");
+        assert!(md.contains("> **warning:** missing schema_version"), "{md}");
+        assert!(md.contains("| `figure` | x |"), "{md}");
+        assert!(md.contains("| `flags` | true, false |"), "{md}");
+        // The rows table unions the keys in first-seen order.
+        assert!(md.contains("| `threads` | `qps` | `extra` |"), "{md}");
+        assert!(md.contains("| 2 | 20.25 | y |"), "{md}");
+        assert!(md.contains("#### `config`"), "{md}");
+        assert!(md.contains("| `seed` | 7 |"), "{md}");
+    }
+
+    #[test]
+    fn empty_directory_and_no_live_section_still_render() {
+        let md = render_report(&[], None);
+        assert!(md.starts_with("# utk report"), "{md}");
+        assert!(md.contains("_No `BENCH_*.json` files found._"), "{md}");
+        assert!(!md.contains("## Live server"), "{md}");
+    }
+
+    #[test]
+    fn live_metrics_table_skips_comments_and_buckets() {
+        let live = LiveSnapshot {
+            stats_line: r#"{"ok":"stats","requests_served":3,"datasets":[]}"#.to_string(),
+            metrics_body: "# HELP utk_requests_total Requests.\n\
+                           # TYPE utk_requests_total counter\n\
+                           utk_requests_total{op=\"query\"} 3\n\
+                           utk_request_nanos_bucket{op=\"query\",le=\"1\"} 0\n\
+                           utk_request_nanos_bucket{op=\"query\",le=\"+Inf\"} 3\n\
+                           utk_request_nanos_sum{op=\"query\"} 42\n\
+                           utk_request_nanos_count{op=\"query\"} 3\n"
+                .to_string(),
+        };
+        let md = render_report(&[], Some(&live));
+        assert!(md.contains("## Live server"), "{md}");
+        assert!(md.contains("| `requests_served` | 3 |"), "{md}");
+        assert!(
+            md.contains(r#"| `utk_requests_total{op="query"}` | 3 |"#),
+            "{md}"
+        );
+        assert!(!md.contains("_bucket"), "bucket samples are skipped: {md}");
+        assert!(
+            md.contains(r#"| `utk_request_nanos_count{op="query"}` | 3 |"#),
+            "{md}"
+        );
+        assert!(!md.contains("# HELP"), "comment lines are skipped: {md}");
+    }
+
+    #[test]
+    fn table_cells_cannot_break_the_table() {
+        let bench = BenchFile {
+            name: "BENCH_PIPE.json".to_string(),
+            warnings: Vec::new(),
+            value: Some(parse(r#"{"schema_version":1,"note":"a|b\nc"}"#)),
+        };
+        let md = render_report(&[bench], None);
+        assert!(md.contains(r"| `note` | a\|b c |"), "{md}");
+    }
+}
