@@ -105,6 +105,8 @@ const WIRE_FEEDING: &[&str] = &[
 /// go through `get`.
 const SERVER_REQUEST_PATH: &[&str] = &[
     "crates/server/src/server.rs",
+    "crates/server/src/reactor.rs",
+    "crates/server/src/conn.rs",
     "crates/server/src/proto.rs",
     "crates/server/src/json.rs",
     "crates/server/src/spec.rs",
@@ -236,6 +238,14 @@ mod tests {
         );
         assert_eq!(
             classify("crates/server/src/registry.rs"),
+            Some(FileClass::SERVER_REQUEST)
+        );
+        assert_eq!(
+            classify("crates/server/src/reactor.rs"),
+            Some(FileClass::SERVER_REQUEST)
+        );
+        assert_eq!(
+            classify("crates/server/src/conn.rs"),
             Some(FileClass::SERVER_REQUEST)
         );
         assert_eq!(classify("tests/engine.rs"), Some(FileClass::TEST));

@@ -1,0 +1,314 @@
+//! Per-connection state machine for the evented transport.
+//!
+//! A [`Conn`] owns one non-blocking [`Stream`] and cycles through
+//! three states: **reading** a request line, **executing** it (work
+//! ops run on the executor pool; the reactor holds the connection
+//! until the completion comes back), and **draining** the buffered
+//! response. Every socket call is `WouldBlock`-aware: the reactor
+//! calls [`Conn::step`] each tick and the connection does exactly as
+//! much I/O as the socket will take without blocking.
+//!
+//! Memory discipline: a connection never reads ahead while a response
+//! is pending (`executing` or a non-empty write buffer), so each
+//! connection holds at most one buffered response at a time —
+//! mirroring the request/response sequencing of the threads
+//! transport. The honest tradeoff versus that transport: responses
+//! here are fully materialized (the threads path streams line by
+//! line), bounded by `max_inflight` concurrent responses.
+//!
+//! I/O error contract (shared with the threads transport):
+//!
+//! * `ErrorKind::Interrupted` (EINTR) is a pure retry everywhere —
+//!   it never counts against the write-stall window and never closes
+//!   a connection;
+//! * a write stall is bounded by *zero-progress* time: only a full
+//!   `write_timeout` window with not one byte accepted closes the
+//!   connection, and the socket is shut down first so the peer sees
+//!   EOF mid-line rather than a torn prefix passing as a complete
+//!   response;
+//! * request lines are capped at [`MAX_REQUEST_BYTES`], exactly as on
+//!   the threads transport.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::proto::Request;
+use crate::reactor::{Executor, Job};
+use crate::server::{
+    claim_admission, respond_admitted, write_line, Shared, Stream, MAX_REQUEST_BYTES,
+};
+
+/// What one [`Conn::step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Step {
+    /// Bytes moved or a request was dispatched/answered.
+    Progress,
+    /// Nothing to do until the socket or an executor completion says
+    /// otherwise.
+    Idle,
+    /// The connection is finished; the reactor must drop it.
+    Closed,
+}
+
+/// Outcome of one attempt to drain the write buffer.
+enum Flow {
+    /// Everything buffered has been written.
+    Drained,
+    /// The socket stopped taking bytes (within the stall window).
+    Blocked,
+    /// The peer is gone (EOF on write, hard error, or stall expiry).
+    Dead,
+}
+
+/// Outcome of one attempt to read from the socket.
+enum Fill {
+    /// New bytes (or EOF) arrived.
+    Progress,
+    /// Nothing readable right now.
+    Blocked,
+    /// Hard read error or an oversized request line.
+    Closed,
+}
+
+/// One evented connection.
+pub(crate) struct Conn {
+    stream: Stream,
+    /// Bytes read but not yet consumed as request lines.
+    read_buf: Vec<u8>,
+    /// The buffered response being drained to the socket.
+    write_buf: Vec<u8>,
+    /// How much of `write_buf` has been written — partial writes
+    /// resume from here, never re-sending or dropping bytes.
+    written: usize,
+    /// A work op is running on the executor; its completion will call
+    /// [`Conn::complete`].
+    executing: bool,
+    /// The peer half-closed its write side.
+    eof: bool,
+    /// Close once the write buffer drains.
+    closing: bool,
+    /// Clock reading at the start of the current zero-progress write
+    /// stall (`None` while writes make progress).
+    stalled_since: Option<u64>,
+    /// The zero-progress write bound, in nanoseconds.
+    stall_nanos: u64,
+}
+
+impl Conn {
+    pub(crate) fn new(stream: Stream, write_timeout: Duration) -> Conn {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            written: 0,
+            executing: false,
+            eof: false,
+            closing: false,
+            stalled_since: None,
+            stall_nanos: write_timeout.as_nanos().min(u64::MAX as u128) as u64,
+        }
+    }
+
+    /// Hands back an executor completion: the buffered response for
+    /// the request this connection was executing.
+    pub(crate) fn complete(&mut self, bytes: Vec<u8>) {
+        // No read-ahead while executing, so the write buffer is
+        // always drained by the time a completion arrives.
+        self.write_buf = bytes;
+        self.written = 0;
+        self.executing = false;
+    }
+
+    /// Advances the state machine as far as the socket allows: drain
+    /// pending output, then consume complete request lines, then pull
+    /// more bytes. Returns [`Step::Closed`] when the reactor should
+    /// drop the connection.
+    pub(crate) fn step(
+        &mut self,
+        token: u64,
+        shared: &Arc<Shared>,
+        executor: &mut Executor,
+    ) -> Step {
+        let mut progress = false;
+        let done = |progress: bool| {
+            if progress {
+                Step::Progress
+            } else {
+                Step::Idle
+            }
+        };
+        loop {
+            match self.flush_pending(shared) {
+                (_, Flow::Dead) => return Step::Closed,
+                (p, Flow::Blocked) => return done(progress || p),
+                (p, Flow::Drained) => progress |= p,
+            }
+            if self.closing {
+                return Step::Closed;
+            }
+            if self.executing {
+                return done(progress);
+            }
+            if let Some(line) = self.take_line() {
+                progress = true;
+                if line.len() > MAX_REQUEST_BYTES {
+                    return Step::Closed; // oversized request line
+                }
+                self.process_line(&line, token, shared, executor);
+                continue; // drain (or dispatch) what that produced
+            }
+            if self.eof {
+                return Step::Closed;
+            }
+            if shared.shutting_down() {
+                // Drain semantics mirror the threads transport: a
+                // partial line at shutdown is dropped, complete
+                // buffered lines (handled above) are still answered.
+                return Step::Closed;
+            }
+            match self.fill() {
+                Fill::Progress => progress = true,
+                Fill::Blocked => return done(progress),
+                Fill::Closed => return Step::Closed,
+            }
+        }
+    }
+
+    /// Drains as much of the write buffer as the socket will take.
+    /// EINTR retries; `WouldBlock` starts (or continues) the
+    /// zero-progress stall clock, and on expiry the socket is shut
+    /// down before the connection dies so the peer sees EOF, never a
+    /// torn prefix as a complete response.
+    fn flush_pending(&mut self, shared: &Arc<Shared>) -> (bool, Flow) {
+        let mut progress = false;
+        while self.written < self.write_buf.len() {
+            let pending = self.write_buf.get(self.written..).unwrap_or(&[]);
+            match self.stream.write(pending) {
+                Ok(0) => return (progress, Flow::Dead),
+                Ok(n) => {
+                    self.written += n;
+                    self.stalled_since = None;
+                    progress = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    let now = shared.clock.now_nanos();
+                    let since = *self.stalled_since.get_or_insert(now);
+                    if now.saturating_sub(since) >= self.stall_nanos {
+                        self.stream.shutdown();
+                        return (progress, Flow::Dead);
+                    }
+                    return (progress, Flow::Blocked);
+                }
+                Err(_) => return (progress, Flow::Dead),
+            }
+        }
+        if self.written > 0 {
+            self.write_buf.clear();
+            self.written = 0;
+        }
+        (progress, Flow::Drained)
+    }
+
+    /// Takes one complete request line (newline included) out of the
+    /// read buffer, or — at EOF — the final unterminated line, which
+    /// is still a request (exactly as on the threads transport).
+    fn take_line(&mut self) -> Option<Vec<u8>> {
+        if let Some(i) = self.read_buf.iter().position(|&b| b == b'\n') {
+            let rest = self.read_buf.split_off(i + 1);
+            return Some(std::mem::replace(&mut self.read_buf, rest));
+        }
+        if self.eof && !self.read_buf.is_empty() {
+            return Some(std::mem::take(&mut self.read_buf));
+        }
+        None
+    }
+
+    /// Parses and routes one request line. Parse errors and control
+    /// ops are answered inline on the reactor (they are cheap and
+    /// slot-free, like `stats` on the threads transport); admitted
+    /// work is dispatched to the executor with its [`AdmitSlot`]
+    /// already claimed — overload was shed *before* any queueing.
+    ///
+    /// [`AdmitSlot`]: crate::server::AdmitSlot
+    fn process_line(
+        &mut self,
+        line: &[u8],
+        token: u64,
+        shared: &Arc<Shared>,
+        executor: &mut Executor,
+    ) {
+        // Invalid UTF-8 becomes U+FFFD, which `Request::parse`
+        // rejects as a `bad_request` like any other bad byte.
+        let text = String::from_utf8_lossy(line);
+        let text = text.trim();
+        if text.is_empty() {
+            return;
+        }
+        let started_at = shared.clock.now_nanos();
+        let request = match Request::parse(text) {
+            Ok(request) => request,
+            Err(e) => {
+                shared.count_error(e.code);
+                // Writes into a Vec<u8> cannot fail.
+                let _ = write_line(&mut self.write_buf, &e.to_json());
+                return;
+            }
+        };
+        match claim_admission(shared, &request) {
+            Ok(Some(slot)) => {
+                self.executing = true;
+                executor.submit(Job {
+                    token,
+                    request,
+                    slot,
+                    started_at,
+                });
+            }
+            admission => {
+                let _ =
+                    respond_admitted(&request, admission, shared, &mut self.write_buf, started_at);
+            }
+        }
+    }
+
+    /// Reads whatever the socket has, up to a complete line. EINTR
+    /// retries; an over-cap line without a newline in sight closes
+    /// the connection (same cap, same silence as the threads
+    /// transport).
+    fn fill(&mut self) -> Fill {
+        let mut any = false;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    return Fill::Progress;
+                }
+                Ok(n) => {
+                    any = true;
+                    let got = chunk.get(..n).unwrap_or(&[]);
+                    self.read_buf.extend_from_slice(got);
+                    if got.contains(&b'\n') {
+                        return Fill::Progress;
+                    }
+                    if self.read_buf.len() > MAX_REQUEST_BYTES {
+                        return Fill::Closed; // oversized request line
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return if any { Fill::Progress } else { Fill::Blocked };
+                }
+                Err(_) => return Fill::Closed,
+            }
+        }
+    }
+}

@@ -223,6 +223,20 @@ impl Request {
         }
     }
 
+    /// The dataset a request addresses, if any — used as a metrics
+    /// label value for per-dataset latency histograms. Server-scoped
+    /// ops (`stats`, `metrics`, `shutdown`) carry none.
+    pub fn dataset(&self) -> Option<&str> {
+        match self {
+            Request::Load { dataset }
+            | Request::Query { dataset, .. }
+            | Request::Batch { dataset, .. }
+            | Request::Update { dataset, .. }
+            | Request::Evict { dataset } => Some(dataset),
+            Request::Stats | Request::Metrics { .. } | Request::Shutdown => None,
+        }
+    }
+
     /// Serializes this request as one protocol line.
     pub fn to_json(&self) -> String {
         match self {

@@ -1,17 +1,31 @@
-//! The blocking serving loop: accept connections on a TCP or Unix
-//! socket, answer newline-delimited JSON requests ([`crate::proto`]),
-//! shed overload, drain cleanly on shutdown.
+//! The serving loop: accept connections on a TCP or Unix socket,
+//! answer newline-delimited JSON requests ([`crate::proto`]), shed
+//! overload, drain cleanly on shutdown.
 //!
 //! Deliberately std-only, matching the workspace's offline-shim
-//! policy: the accept loop polls a non-blocking listener, connection
-//! reads run under a short timeout so every thread notices the
-//! shutdown flag, and each connection gets one OS thread for its
-//! I/O. The *query work* is not tied to those threads — `batch` ops
-//! run through [`UtkEngine::run_many`] and `query` ops are spawned
-//! onto the engine's persistent work-stealing pool, so compute
-//! parallelism is governed by the per-engine pool size, not by the
-//! connection count. The transport enum is the seam where an async
-//! front end would slot in later.
+//! policy. Two transports share every layer above the sockets — the
+//! protocol, the [`DatasetRegistry`], admission control, and the wire
+//! bytes are transport-independent, with the [`Listener`]/[`Stream`]
+//! enums as the seam:
+//!
+//! * [`Transport::Evented`] (the default) — a readiness-driven event
+//!   loop ([`crate::reactor`]): one reactor thread drives every
+//!   connection as a non-blocking state machine
+//!   ([`crate::conn::Conn`]), and admitted requests execute on a
+//!   small executor pool, so the open-connection count is bounded by
+//!   [`ServerConfig::max_connections`] (default 4096), not by OS
+//!   threads.
+//! * [`Transport::Threads`] — the original thread-per-connection
+//!   loop, kept as a differential oracle for one release: the accept
+//!   loop polls a non-blocking listener, connection reads run under a
+//!   short timeout so every thread notices the shutdown flag, and
+//!   each connection gets one OS thread for its I/O.
+//!
+//! Under both transports the *query work* is not tied to transport
+//! threads — `batch` ops run through [`UtkEngine::run_many`] and
+//! `query` ops are spawned onto the engine's persistent work-stealing
+//! pool, so compute parallelism is governed by the per-engine pool
+//! size, not by the connection count.
 //!
 //! # Admission control
 //!
@@ -57,7 +71,7 @@ use utk_core::wire::escape;
 
 /// How long a blocked connection read waits before re-checking the
 /// shutdown flag.
-const POLL: Duration = Duration::from_millis(25);
+pub(crate) const POLL: Duration = Duration::from_millis(25);
 
 /// Hard cap on one request line's bytes. Admission control bounds
 /// concurrent *compute*; this bounds per-connection *memory* — a
@@ -67,21 +81,73 @@ const POLL: Duration = Duration::from_millis(25);
 /// files.
 pub const MAX_REQUEST_BYTES: usize = 32 << 20;
 
-/// Per-syscall write timeout on responses. A client that requests a
-/// large batch and then stops *reading* would otherwise park the
-/// connection thread in `write_all` forever — and graceful shutdown
-/// joins every connection thread, so one stuck writer would wedge
-/// the whole drain. Thirty seconds of zero progress on a single
-/// write means the peer is gone; the connection is dropped.
+/// Default bound on zero-progress response writing. A client that
+/// requests a large batch and then stops *reading* would otherwise
+/// park the response writer forever — and graceful shutdown waits for
+/// in-flight responses, so one stuck writer would wedge the whole
+/// drain. Thirty seconds with not a single byte accepted means the
+/// peer is gone; the socket is shut down (so the peer sees a clean
+/// EOF mid-line, never a torn prefix passing as a complete response)
+/// and the connection dropped. Partial writes inside the window are
+/// *progress* and always resume — a slow-but-alive reader gets its
+/// whole response (see [`PatientWriter`]).
 const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Cap on concurrently open connections. Each connection costs one
-/// OS thread and up to [`MAX_REQUEST_BYTES`] of read buffer, so
-/// without a cap a connection flood (which never trips admission
-/// control — that gates *requests*) could exhaust threads and
-/// memory. Excess connections get a best-effort `busy` error line
+/// Default connection cap for [`Transport::Threads`]. Each connection
+/// costs one OS thread and up to [`MAX_REQUEST_BYTES`] of read
+/// buffer, so without a cap a connection flood (which never trips
+/// admission control — that gates *requests*) could exhaust threads
+/// and memory. Excess connections get a best-effort `busy` error line
 /// and are closed immediately.
 pub const MAX_CONNECTIONS: usize = 256;
+
+/// Default connection cap for [`Transport::Evented`]. Connections
+/// there cost buffers, not threads, so the ceiling is set by memory
+/// and file descriptors rather than the scheduler.
+pub const MAX_EVENTED_CONNECTIONS: usize = 4096;
+
+/// Which serving front end [`Server::run`] drives. Everything above
+/// the sockets is shared; `batch` output is byte-identical across
+/// transports (CI diffs them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Readiness-driven event loop (the default): one reactor thread,
+    /// non-blocking sockets, per-connection state machines, admitted
+    /// work on a bounded executor pool.
+    #[default]
+    Evented,
+    /// One OS thread per connection — the pre-reactor transport, kept
+    /// as a differential oracle for one release.
+    Threads,
+}
+
+impl Transport {
+    /// The wire spelling used by `--transport`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Transport::Evented => "evented",
+            Transport::Threads => "threads",
+        }
+    }
+
+    /// Parses the `--transport` flag value.
+    pub fn from_label(label: &str) -> Option<Transport> {
+        match label {
+            "evented" => Some(Transport::Evented),
+            "threads" => Some(Transport::Threads),
+            _ => None,
+        }
+    }
+
+    /// The transport's default connection cap (used when
+    /// [`ServerConfig::max_connections`] is 0).
+    pub fn default_max_connections(self) -> usize {
+        match self {
+            Transport::Evented => MAX_EVENTED_CONNECTIONS,
+            Transport::Threads => MAX_CONNECTIONS,
+        }
+    }
+}
 
 /// Where the server listens.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,10 +170,28 @@ impl std::fmt::Display for Bind {
     }
 }
 
-enum Listener {
+pub(crate) enum Listener {
     #[cfg(unix)]
     Unix(UnixListener),
     Tcp(TcpListener),
+}
+
+impl Listener {
+    pub(crate) fn set_nonblocking(&self, on: bool) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(on),
+            Listener::Tcp(l) => l.set_nonblocking(on),
+        }
+    }
+
+    pub(crate) fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        }
+    }
 }
 
 /// One accepted connection, either flavor.
@@ -140,6 +224,25 @@ impl Stream {
             Stream::Unix(s) => s.set_write_timeout(dur),
             Stream::Tcp(s) => s.set_write_timeout(dur),
         }
+    }
+
+    pub(crate) fn set_nonblocking(&self, on: bool) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_nonblocking(on),
+            Stream::Tcp(s) => s.set_nonblocking(on),
+        }
+    }
+
+    /// Best-effort full shutdown: the peer sees EOF on its next read,
+    /// so an abandoned response is a detectably torn line (no
+    /// terminating newline), never a prefix that parses as complete.
+    pub(crate) fn shutdown(&self) {
+        let _ = match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+        };
     }
 }
 
@@ -217,6 +320,17 @@ pub struct ServerConfig {
     /// Rotate the slow-query log file once it would exceed this many
     /// bytes (the current file moves to `<path>.1`); 0 never rotates.
     pub slow_query_log_max_bytes: u64,
+    /// Which serving front end to run (see [`Transport`]).
+    pub transport: Transport,
+    /// Cap on concurrently open connections; 0 uses the transport's
+    /// default ([`MAX_EVENTED_CONNECTIONS`] / [`MAX_CONNECTIONS`]).
+    /// Excess connections get a best-effort `busy` line and close.
+    pub max_connections: usize,
+    /// Bound on *zero-progress* response writing: once a peer has
+    /// accepted no bytes for this long, its socket is shut down and
+    /// the connection dropped. Partial writes reset the window, so a
+    /// slow-but-alive reader always gets a complete, untorn response.
+    pub write_timeout: Duration,
 }
 
 impl ServerConfig {
@@ -235,6 +349,9 @@ impl ServerConfig {
             slow_query_ms: None,
             slow_query_log: None,
             slow_query_log_max_bytes: 16 << 20,
+            transport: Transport::default(),
+            max_connections: 0,
+            write_timeout: WRITE_TIMEOUT,
         }
     }
 }
@@ -259,14 +376,14 @@ pub struct ServeSnapshot {
     pub registry_cache_bytes: usize,
 }
 
-struct Shared {
+pub(crate) struct Shared {
     registry: DatasetRegistry,
     max_inflight: usize,
     inflight: AtomicUsize,
     requests_served: AtomicU64,
-    busy_rejections: AtomicU64,
+    pub(crate) busy_rejections: AtomicU64,
     shutdown: AtomicBool,
-    clock: Arc<dyn Clock>,
+    pub(crate) clock: Arc<dyn Clock>,
     metrics: MetricsRegistry,
     slow_query: Option<SlowQueryLog>,
 }
@@ -282,13 +399,29 @@ struct SlowQueryLog {
     sink: Option<SlowQuerySink>,
 }
 
+/// What one slow-query append attempt did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct AppendReport {
+    /// The record landed in the log (possibly after a rotation).
+    written: bool,
+    /// A rotation was skipped because the on-disk file turned out to
+    /// be fresh already: a concurrent rotator on the same path (a
+    /// second process, an external logrotate) got there first.
+    /// Renaming anyway would clobber the `.1` generation with a
+    /// near-empty file — the averted clobber is counted instead.
+    averted_double_rotation: bool,
+}
+
 impl SlowQueryLog {
-    /// Appends one record. `false` means the record was dropped.
-    fn append(&self, record: &str) -> bool {
+    /// Appends one record; the report says whether it was dropped.
+    fn append(&self, record: &str) -> AppendReport {
         match &self.sink {
             None => {
                 eprintln!("{record}");
-                true
+                AppendReport {
+                    written: true,
+                    averted_double_rotation: false,
+                }
             }
             Some(sink) => sink.append(record),
         }
@@ -325,52 +458,81 @@ impl SlowQuerySink {
         }
     }
 
-    fn append(&self, record: &str) -> bool {
+    fn append(&self, record: &str) -> AppendReport {
+        let mut report = AppendReport::default();
         let Ok(mut state) = self.state.lock() else {
-            return false;
+            return report;
         };
         let record_bytes = record.len() as u64 + 1;
         if state.file.is_none() && !self.open(&mut state) {
-            return false;
+            return report;
         }
         // Rotate before the file would exceed the cap. A single
         // record larger than the cap still lands (alone) in a fresh
         // file — the `bytes > 0` guard prevents rotating forever.
+        // In-process writers are fully serialized by the `state` lock
+        // held across this whole decide-rename-reopen sequence, so
+        // two threads can never both rotate for the same crossing.
         if self.max_bytes > 0
             && state.bytes > 0
             && state.bytes.saturating_add(record_bytes) > self.max_bytes
         {
-            state.file = None;
-            let mut rotated = self.path.clone().into_os_string();
-            rotated.push(".1");
-            if std::fs::rename(&self.path, PathBuf::from(rotated)).is_err() {
-                return false;
-            }
-            state.bytes = 0;
-            if !self.open(&mut state) {
-                return false;
+            // The byte counter is authoritative only in-process; a
+            // concurrent rotator on the same *path* (second process,
+            // external logrotate) can leave it stale. Re-check the
+            // on-disk size under the lock before renaming: a fresh
+            // file means the rotation already happened, and renaming
+            // again would clobber the `.1` generation with a
+            // near-empty file — skip, adopt the fresh file, and let
+            // the caller count the averted double-rotation.
+            let disk_bytes = std::fs::metadata(&self.path)
+                .map(|m| m.len())
+                .unwrap_or(state.bytes);
+            if disk_bytes > 0 && disk_bytes.saturating_add(record_bytes) > self.max_bytes {
+                state.file = None;
+                let mut rotated = self.path.clone().into_os_string();
+                rotated.push(".1");
+                if std::fs::rename(&self.path, PathBuf::from(rotated)).is_err() {
+                    return report;
+                }
+                state.bytes = 0;
+                if !self.open(&mut state) {
+                    return report;
+                }
+            } else {
+                report.averted_double_rotation = true;
+                state.file = None;
+                if !self.open(&mut state) {
+                    return report;
+                }
             }
         }
         let Some(file) = state.file.as_mut() else {
-            return false;
+            return report;
         };
         let mut line = Vec::with_capacity(record.len() + 1);
         line.extend_from_slice(record.as_bytes());
         line.push(b'\n');
-        // utk-lint: allow(guard-blocking) -- deliberate: this leaf lock IS the log writer; it serializes whole records, guards the rotation byte counter, never nests, and is reached only past the slow-query threshold
+        // utk-lint: allow(guard-blocking) -- deliberate: this leaf lock IS the log writer; it serializes whole records and the rotation sequence, guards the byte counter, never nests, and is reached only past the slow-query threshold
         if file.write_all(&line).is_err() {
             // Drop the handle so the next record retries a fresh open.
             state.file = None;
-            return false;
+            return report;
         }
         state.bytes = state.bytes.saturating_add(record_bytes);
-        true
+        report.written = true;
+        report
     }
 }
 
 impl Shared {
-    fn shutting_down(&self) -> bool {
+    pub(crate) fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The admission limit (also bounds the evented executor pool).
+    pub(crate) fn max_inflight(&self) -> usize {
+        self.max_inflight
     }
 
     fn snapshot(&self) -> ServeSnapshot {
@@ -417,9 +579,11 @@ impl Shared {
     }
 
     /// Counts one handled request of `op` and observes its wall-clock
-    /// latency (from `started_at` to now, on the injected clock).
-    fn observe_request(&self, op: &'static str, started_at: u64) {
+    /// latency (from `started_at` to now, on the injected clock) —
+    /// per op, and per dataset for the ops that name one.
+    pub(crate) fn observe_request(&self, op: &'static str, dataset: Option<&str>, started_at: u64) {
         let labels = format!("op=\"{op}\"");
+        let elapsed = self.clock.now_nanos().saturating_sub(started_at);
         self.metrics.counter_add(
             "utk_requests_total",
             "Requests handled, by protocol op (coded-error answers included).",
@@ -430,12 +594,20 @@ impl Shared {
             "utk_request_nanos",
             "Request latency in nanoseconds, by protocol op.",
             &labels,
-            self.clock.now_nanos().saturating_sub(started_at),
+            elapsed,
         );
+        if let Some(dataset) = dataset {
+            self.metrics.observe(
+                "utk_dataset_request_nanos",
+                "Request latency in nanoseconds, by dataset (dataset-addressed ops only).",
+                &format!("dataset=\"{}\"", escape(dataset)),
+                elapsed,
+            );
+        }
     }
 
     /// Counts one coded protocol error.
-    fn count_error(&self, code: &str) {
+    pub(crate) fn count_error(&self, code: &str) {
         self.metrics.counter_add(
             "utk_errors_total",
             "Coded protocol errors, by code.",
@@ -484,7 +656,8 @@ impl Shared {
             escape(dataset),
             timings.to_json(),
         );
-        if !slow.append(&record) {
+        let report = slow.append(&record);
+        if !report.written {
             self.metrics.counter_add(
                 "utk_slow_query_dropped_total",
                 "Slow-query records dropped because the log could not be written.",
@@ -492,29 +665,78 @@ impl Shared {
                 1,
             );
         }
+        if report.averted_double_rotation {
+            self.metrics.counter_add(
+                "utk_slow_query_dropped_total",
+                "Slow-query records dropped because the log could not be written.",
+                "reason=\"double_rotation\"",
+                1,
+            );
+        }
     }
 }
 
-/// RAII slot in the in-flight admission window.
-struct AdmitGuard<'a>(&'a Shared);
+/// RAII slot in the in-flight admission window. Owns its handle on
+/// [`Shared`] so the evented transport can claim it on the reactor
+/// thread (shed-or-admit happens *before* any queueing) and release
+/// it on the executor thread that finishes the request.
+pub(crate) struct AdmitSlot(Arc<Shared>);
 
-impl<'a> AdmitGuard<'a> {
+impl AdmitSlot {
     /// Tries to claim a slot; `None` means the request must be shed.
-    fn admit(shared: &'a Shared) -> Option<Self> {
+    fn claim(shared: &Arc<Shared>) -> Option<Self> {
         shared
             .inflight
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
                 (n < shared.max_inflight).then_some(n + 1)
             })
             .ok()
-            .map(|_| AdmitGuard(shared))
+            .map(|_| AdmitSlot(Arc::clone(shared)))
     }
 }
 
-impl Drop for AdmitGuard<'_> {
+impl Drop for AdmitSlot {
     fn drop(&mut self) {
         self.0.inflight.fetch_sub(1, Ordering::SeqCst);
     }
+}
+
+/// Decides admission for one parsed request. Control ops (`stats`,
+/// `metrics`, `evict`, `shutdown`) are always admitted slot-free;
+/// work ops (`load`/`query`/`batch`/`update` — the ones that parse
+/// CSVs, build indexes, run queries) are refused while draining and
+/// shed with a typed `busy` error when the in-flight window is full.
+/// The claim happens *here*, before any dispatch, so overload is
+/// answered immediately — never queued.
+pub(crate) fn claim_admission(
+    shared: &Arc<Shared>,
+    request: &Request,
+) -> Result<Option<AdmitSlot>, ProtoError> {
+    let is_work = matches!(
+        request,
+        Request::Load { .. }
+            | Request::Query { .. }
+            | Request::Batch { .. }
+            | Request::Update { .. }
+    );
+    if !is_work {
+        return Ok(None);
+    }
+    if shared.shutting_down() {
+        return Err(ProtoError {
+            code: code::SHUTTING_DOWN,
+            message: "server is draining after a shutdown request".into(),
+        });
+    }
+    AdmitSlot::claim(shared)
+        .map(Some)
+        .ok_or_else(|| ProtoError {
+            code: code::BUSY,
+            message: format!(
+                "server is at capacity ({} requests in flight)",
+                shared.max_inflight
+            ),
+        })
 }
 
 /// A bound, not-yet-running server. [`Server::run`] blocks;
@@ -524,6 +746,9 @@ pub struct Server {
     listener: Listener,
     bind: Bind,
     shared: Arc<Shared>,
+    transport: Transport,
+    max_connections: usize,
+    write_timeout: Duration,
     #[cfg(unix)]
     socket_path: Option<PathBuf>,
 }
@@ -565,6 +790,12 @@ impl Server {
         Ok(Server {
             listener,
             bind,
+            transport: config.transport,
+            max_connections: match config.max_connections {
+                0 => config.transport.default_max_connections(),
+                n => n,
+            },
+            write_timeout: config.write_timeout,
             shared: Arc::new(Shared {
                 registry: {
                     let registry = DatasetRegistry::new(
@@ -614,31 +845,42 @@ impl Server {
         self.shared.registry.available()
     }
 
-    /// Runs the accept loop until a `shutdown` request, then drains
-    /// in-flight work and returns the final counters.
+    /// Runs the configured transport until a `shutdown` request, then
+    /// drains in-flight work and returns the final counters.
     pub fn run(self) -> std::io::Result<ServeSnapshot> {
-        match &self.listener {
-            #[cfg(unix)]
-            Listener::Unix(l) => l.set_nonblocking(true)?,
-            Listener::Tcp(l) => l.set_nonblocking(true)?,
+        self.listener.set_nonblocking(true)?;
+        match self.transport {
+            Transport::Threads => self.run_threads()?,
+            Transport::Evented => crate::reactor::run(
+                &self.listener,
+                &self.shared,
+                self.max_connections,
+                self.write_timeout,
+            )?,
         }
+        drop(self.listener);
+        #[cfg(unix)]
+        if let Some(path) = &self.socket_path {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(self.shared.snapshot())
+    }
+
+    /// The thread-per-connection accept loop (the differential oracle
+    /// for the evented transport).
+    fn run_threads(&self) -> std::io::Result<()> {
         let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
         while !self.shared.shutting_down() {
-            let accepted = match &self.listener {
-                #[cfg(unix)]
-                Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
-                Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
-            };
-            match accepted {
+            match self.listener.accept() {
                 Ok(mut stream) => {
                     // Reap finished connection threads so the handle
                     // list (and the cap below) tracks *live*
                     // connections.
                     connections.retain(|conn| !conn.is_finished());
-                    if connections.len() >= MAX_CONNECTIONS {
+                    if connections.len() >= self.max_connections {
                         let refusal = ProtoError {
                             code: code::BUSY,
-                            message: format!("server is at {MAX_CONNECTIONS} connections"),
+                            message: format!("server is at {} connections", self.max_connections),
                         };
                         let _ = stream.set_write_timeout(Some(POLL));
                         let _ = write_line(&mut stream, &refusal.to_json());
@@ -646,8 +888,9 @@ impl Server {
                         continue;
                     }
                     let shared = Arc::clone(&self.shared);
+                    let write_timeout = self.write_timeout;
                     connections.push(std::thread::spawn(move || {
-                        handle_connection(stream, &shared);
+                        handle_connection(stream, &shared, write_timeout);
                     }));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -663,17 +906,12 @@ impl Server {
                 }
             }
         }
-        // Drain: close the listener, let every connection finish its
-        // in-flight request and notice the flag.
-        drop(self.listener);
+        // Drain: let every connection finish its in-flight request
+        // and notice the flag.
         for conn in connections {
             let _ = conn.join();
         }
-        #[cfg(unix)]
-        if let Some(path) = &self.socket_path {
-            let _ = std::fs::remove_file(path);
-        }
-        Ok(self.shared.snapshot())
+        Ok(())
     }
 
     /// Runs the server on a background thread, returning a handle for
@@ -759,21 +997,25 @@ enum LineRead {
 /// a `String`: `read_line` discards a tick's consumed bytes when a
 /// timeout lands mid-UTF-8-character, silently corrupting the
 /// request; raw bytes survive any split.
-fn read_request_line(
-    reader: &mut BufReader<Stream>,
+///
+/// `ErrorKind::Interrupted` (EINTR) is a pure retry — a signal landing
+/// mid-read is not a poll tick, counts against nothing, and can never
+/// close the connection.
+fn read_request_line<R: BufRead>(
+    reader: &mut R,
     buf: &mut Vec<u8>,
-    shared: &Shared,
+    shutdown: &AtomicBool,
 ) -> std::io::Result<LineRead> {
     loop {
         let chunk = match reader.fill_buf() {
             Ok([]) => return Ok(LineRead::Eof),
             Ok(chunk) => chunk,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut
-                    || e.kind() == std::io::ErrorKind::Interrupted =>
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                if shared.shutting_down() {
+                if shutdown.load(Ordering::SeqCst) {
                     return Ok(LineRead::Closed);
                 }
                 continue;
@@ -793,27 +1035,113 @@ fn read_request_line(
         if complete {
             return Ok(LineRead::Line);
         }
-        if shared.shutting_down() {
+        if shutdown.load(Ordering::SeqCst) {
             return Ok(LineRead::Closed);
         }
     }
 }
 
+/// The write half of a connection: a plain byte sink plus the
+/// half-close hook [`PatientWriter`] pulls when a peer stops taking
+/// bytes. Implemented by [`Stream`] and by test mocks.
+pub(crate) trait StallStream: Write {
+    /// Best-effort shutdown so the peer sees EOF instead of a torn
+    /// line masquerading as a complete response.
+    fn stall_shutdown(&mut self);
+}
+
+impl StallStream for Stream {
+    fn stall_shutdown(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Response writer for the threads transport: resumes partial writes
+/// instead of dropping the connection mid-line.
+///
+/// The underlying stream runs a short per-syscall timeout
+/// ([`POLL`]-sized), so each `write` call returns quickly with either
+/// progress or a timeout kind. A short write is *progress* — the
+/// remainder is retried, so a slow-but-alive reader receives its
+/// whole response where the old `write_all`-under-`SO_SNDTIMEO` path
+/// tore the line. Only a full [`ServerConfig::write_timeout`] window
+/// with **zero** bytes accepted means the peer is gone: the socket is
+/// shut down first (the peer sees EOF mid-line, never a prefix
+/// passing as a complete response), then the connection closes.
+/// `ErrorKind::Interrupted` (EINTR) always retries and never counts
+/// against the stall window.
+pub(crate) struct PatientWriter<S> {
+    stream: S,
+    clock: Arc<dyn Clock>,
+    stall_nanos: u64,
+}
+
+impl<S: StallStream> PatientWriter<S> {
+    pub(crate) fn new(stream: S, clock: Arc<dyn Clock>, write_timeout: Duration) -> Self {
+        PatientWriter {
+            stream,
+            clock,
+            stall_nanos: write_timeout.as_nanos().min(u64::MAX as u128) as u64,
+        }
+    }
+}
+
+impl<S: StallStream> Write for PatientWriter<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let mut written = 0usize;
+        let mut stalled_since: Option<u64> = None;
+        while written < buf.len() {
+            let pending = buf.get(written..).unwrap_or(&[]);
+            match self.stream.write(pending) {
+                Ok(0) => {
+                    self.stream.stall_shutdown();
+                    return Err(std::io::ErrorKind::WriteZero.into());
+                }
+                Ok(n) => {
+                    written += n;
+                    stalled_since = None;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    let now = self.clock.now_nanos();
+                    let since = *stalled_since.get_or_insert(now);
+                    if now.saturating_sub(since) >= self.stall_nanos {
+                        self.stream.stall_shutdown();
+                        return Err(e);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.stream.flush()
+    }
+}
+
 /// Serves one connection: read a request line, write its response
 /// line(s), repeat until EOF, error, or shutdown.
-fn handle_connection(stream: Stream, shared: &Shared) {
-    if stream.set_read_timeout(Some(POLL)).is_err()
-        || stream.set_write_timeout(Some(WRITE_TIMEOUT)).is_err()
+fn handle_connection(stream: Stream, shared: &Arc<Shared>, write_timeout: Duration) {
+    // Short per-syscall timeouts on both halves: reads poll the
+    // shutdown flag, writes poll for progress (the *stall* bound is
+    // `write_timeout`, enforced by `PatientWriter` across syscalls).
+    if stream.set_read_timeout(Some(POLL)).is_err() || stream.set_write_timeout(Some(POLL)).is_err()
     {
         return;
     }
-    let Ok(mut writer) = stream.try_clone() else {
+    let Ok(writer) = stream.try_clone() else {
         return;
     };
+    let mut writer = PatientWriter::new(writer, Arc::clone(&shared.clock), write_timeout);
     let mut reader = BufReader::new(stream);
     let mut buf: Vec<u8> = Vec::new();
     loop {
-        let status = match read_request_line(&mut reader, &mut buf, shared) {
+        let status = match read_request_line(&mut reader, &mut buf, &shared.shutdown) {
             Ok(LineRead::Closed) | Err(_) => return,
             Ok(status) => status,
         };
@@ -835,8 +1163,10 @@ fn handle_connection(stream: Stream, shared: &Shared) {
 
 /// Writes one response line. Streaming each line as it is produced —
 /// rather than accumulating a whole batch response in memory — keeps
-/// per-connection response memory at one line.
-fn write_line(writer: &mut Stream, line: &str) -> std::io::Result<()> {
+/// per-connection response memory at one line on the threads
+/// transport (the evented transport buffers one whole *response*; see
+/// [`crate::reactor`]).
+pub(crate) fn write_line<W: Write>(writer: &mut W, line: &str) -> std::io::Result<()> {
     writer.write_all(line.as_bytes())?;
     writer.write_all(b"\n")
 }
@@ -844,7 +1174,11 @@ fn write_line(writer: &mut Stream, line: &str) -> std::io::Result<()> {
 /// Answers one request line, streaming the response line(s) to
 /// `writer`. An `Err` means the peer stopped taking bytes; the
 /// connection is closed.
-fn respond(line: &str, shared: &Shared, writer: &mut Stream) -> std::io::Result<()> {
+pub(crate) fn respond<W: Write>(
+    line: &str,
+    shared: &Arc<Shared>,
+    writer: &mut W,
+) -> std::io::Result<()> {
     let started_at = shared.clock.now_nanos();
     let request = match Request::parse(line) {
         Ok(req) => req,
@@ -854,7 +1188,28 @@ fn respond(line: &str, shared: &Shared, writer: &mut Stream) -> std::io::Result<
             return writer.flush();
         }
     };
-    match handle_request(&request, shared, writer) {
+    let admission = claim_admission(shared, &request);
+    respond_admitted(&request, admission, shared, writer, started_at)
+}
+
+/// The transport-shared back half of [`respond`]: executes a parsed
+/// request whose admission has already been decided, streams its
+/// response line(s), and does every piece of bookkeeping (served /
+/// busy / error counters, latency observation). The evented transport
+/// calls this from executor threads with a slot claimed on the
+/// reactor; the threads transport calls it inline.
+pub(crate) fn respond_admitted<W: Write>(
+    request: &Request,
+    admission: Result<Option<AdmitSlot>, ProtoError>,
+    shared: &Arc<Shared>,
+    writer: &mut W,
+    started_at: u64,
+) -> std::io::Result<()> {
+    let outcome = match admission {
+        Ok(slot) => handle_request(request, shared, writer, slot),
+        Err(e) => Err(Handled::Proto(e)),
+    };
+    match outcome {
         Ok(()) => {
             shared.requests_served.fetch_add(1, Ordering::SeqCst);
         }
@@ -867,7 +1222,7 @@ fn respond(line: &str, shared: &Shared, writer: &mut Stream) -> std::io::Result<
         }
         Err(Handled::Io(e)) => return Err(e),
     }
-    shared.observe_request(request.op(), started_at);
+    shared.observe_request(request.op(), request.dataset(), started_at);
     writer.flush()
 }
 
@@ -890,23 +1245,24 @@ impl From<std::io::Error> for Handled {
     }
 }
 
-fn handle_request(request: &Request, shared: &Shared, writer: &mut Stream) -> Result<(), Handled> {
-    let admit = |shared: &Shared| -> Result<(), ProtoError> {
-        if shared.shutting_down() {
-            return Err(ProtoError {
-                code: code::SHUTTING_DOWN,
-                message: "server is draining after a shutdown request".into(),
-            });
-        }
-        Ok(())
-    };
+/// Executes a request whose admission was already decided by
+/// [`claim_admission`]. `slot` is `Some` for work ops (load / query /
+/// batch / update) and held for the duration of execution; control
+/// ops (stats / metrics / evict / shutdown) run slot-free.
+fn handle_request<W: Write>(
+    request: &Request,
+    shared: &Shared,
+    writer: &mut W,
+    slot: Option<AdmitSlot>,
+) -> Result<(), Handled> {
+    // Held (not consumed) so the inflight gauge covers execution on
+    // every arm below, whichever transport called us.
+    let _slot = slot;
     match request {
         Request::Load { dataset } => {
             // A first load is a CSV parse + R-tree build — real work,
             // admitted like a query (only stats/evict/shutdown are
             // always-on control ops).
-            admit(shared)?;
-            let _slot = admitted(shared)?;
             let (ds, already_loaded) = shared.registry.get_or_load(dataset)?;
             write_line(
                 writer,
@@ -921,8 +1277,6 @@ fn handle_request(request: &Request, shared: &Shared, writer: &mut Stream) -> Re
             Ok(())
         }
         Request::Query { dataset, q } => {
-            admit(shared)?;
-            let _slot = admitted(shared)?;
             let ds = shared.registry.get_or_load(dataset)?.0;
             let (line, timings) = answer_query(&ds, q, &shared.clock);
             write_line(writer, &line)?;
@@ -936,8 +1290,6 @@ fn handle_request(request: &Request, shared: &Shared, writer: &mut Stream) -> Re
             Ok(())
         }
         Request::Batch { dataset, queries } => {
-            admit(shared)?;
-            let _slot = admitted(shared)?;
             let ds = shared.registry.get_or_load(dataset)?.0;
             let text = queries.join("\n");
             let parsed = spec::parse_query_file(&text, ds.engine.dim());
@@ -973,8 +1325,6 @@ fn handle_request(request: &Request, shared: &Shared, writer: &mut Stream) -> Re
         } => {
             // A mutation rebuilds indexes and re-screens caches —
             // real work, admitted like a query.
-            admit(shared)?;
-            let _slot = admitted(shared)?;
             let (ds, report) =
                 shared
                     .registry
@@ -1064,17 +1414,6 @@ fn handle_request(request: &Request, shared: &Shared, writer: &mut Stream) -> Re
     }
 }
 
-/// Claims an admission slot or sheds the request with `busy`.
-fn admitted(shared: &Shared) -> Result<AdmitGuard<'_>, ProtoError> {
-    AdmitGuard::admit(shared).ok_or_else(|| ProtoError {
-        code: code::BUSY,
-        message: format!(
-            "server is at capacity ({} requests in flight)",
-            shared.max_inflight
-        ),
-    })
-}
-
 /// Answers one `query` op on the dataset's engine pool (on a payload
 /// snapshot — no lock held across execution), returning the wire line
 /// plus the query's timing breakdown for the metrics/slow-query side
@@ -1086,4 +1425,272 @@ fn answer_query(
 ) -> (String, Option<PhaseTimings>) {
     let data = ds.data_snapshot();
     spec::answer_query_line_observed(&data, q, clock, |query| run_on_pool(&ds.engine, query))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+    use utk_core::obs::TestClock;
+
+    /// A `BufRead` whose `fill_buf` plays back a script of errors and
+    /// byte chunks — the EINTR/timeout injection harness for
+    /// [`read_request_line`].
+    struct ScriptedReader {
+        script: VecDeque<std::io::Result<Vec<u8>>>,
+        current: Vec<u8>,
+    }
+
+    impl ScriptedReader {
+        fn new(script: Vec<std::io::Result<Vec<u8>>>) -> Self {
+            ScriptedReader {
+                script: script.into(),
+                current: Vec::new(),
+            }
+        }
+    }
+
+    impl Read for ScriptedReader {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            let n = {
+                let chunk = self.fill_buf()?;
+                let n = chunk.len().min(out.len());
+                out[..n].copy_from_slice(&chunk[..n]);
+                n
+            };
+            self.consume(n);
+            Ok(n)
+        }
+    }
+
+    impl BufRead for ScriptedReader {
+        fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+            if self.current.is_empty() {
+                match self.script.pop_front() {
+                    Some(Ok(bytes)) => self.current = bytes,
+                    Some(Err(e)) => return Err(e),
+                    None => {} // EOF: empty slice
+                }
+            }
+            Ok(&self.current)
+        }
+
+        fn consume(&mut self, n: usize) {
+            self.current.drain(..n);
+        }
+    }
+
+    fn err(kind: std::io::ErrorKind) -> std::io::Result<Vec<u8>> {
+        Err(kind.into())
+    }
+
+    #[test]
+    fn eintr_is_a_pure_retry_in_read_request_line() {
+        // EINTR between chunks must not kill the connection: the
+        // interrupted reads retry and the complete line arrives.
+        let shutdown = AtomicBool::new(false);
+        let mut reader = ScriptedReader::new(vec![
+            err(std::io::ErrorKind::Interrupted),
+            Ok(b"{\"op\":".to_vec()),
+            err(std::io::ErrorKind::Interrupted),
+            err(std::io::ErrorKind::Interrupted),
+            Ok(b"\"stats\"}\n".to_vec()),
+        ]);
+        let mut buf = Vec::new();
+        let status = read_request_line(&mut reader, &mut buf, &shutdown).expect("line");
+        assert!(matches!(status, LineRead::Line));
+        assert_eq!(buf, b"{\"op\":\"stats\"}\n");
+
+        // And EINTR is not a poll tick: unlike WouldBlock (see the
+        // companion test), an interrupted read never consults the
+        // shutdown flag — with shutdown already requested it still
+        // retries straight through to the line.
+        let shutdown = AtomicBool::new(true);
+        let mut reader = ScriptedReader::new(vec![
+            err(std::io::ErrorKind::Interrupted),
+            err(std::io::ErrorKind::Interrupted),
+            Ok(b"{\"op\":\"stats\"}\n".to_vec()),
+        ]);
+        let mut buf = Vec::new();
+        let status = read_request_line(&mut reader, &mut buf, &shutdown).expect("line");
+        assert!(matches!(status, LineRead::Line));
+        assert_eq!(buf, b"{\"op\":\"stats\"}\n");
+    }
+
+    #[test]
+    fn timeout_mid_line_closes_only_on_shutdown() {
+        // A WouldBlock *is* a poll tick: with shutdown requested and
+        // the line incomplete, the connection closes...
+        let shutdown = AtomicBool::new(true);
+        let mut reader = ScriptedReader::new(vec![
+            Ok(b"{\"op\":".to_vec()),
+            err(std::io::ErrorKind::WouldBlock),
+        ]);
+        let mut buf = Vec::new();
+        let status = read_request_line(&mut reader, &mut buf, &shutdown).expect("closed");
+        assert!(matches!(status, LineRead::Closed));
+
+        // ...but without shutdown the same timeout just retries.
+        let shutdown = AtomicBool::new(false);
+        let mut reader = ScriptedReader::new(vec![
+            Ok(b"{\"op\":".to_vec()),
+            err(std::io::ErrorKind::TimedOut),
+            Ok(b"\"stats\"}\n".to_vec()),
+        ]);
+        let mut buf = Vec::new();
+        let status = read_request_line(&mut reader, &mut buf, &shutdown).expect("line");
+        assert!(matches!(status, LineRead::Line));
+        assert_eq!(buf, b"{\"op\":\"stats\"}\n");
+    }
+
+    /// A write sink that plays back a script of short writes and
+    /// errors, recording every byte it accepts and every half-close.
+    struct FlakyStream {
+        script: VecDeque<std::io::Result<usize>>,
+        accepted: Vec<u8>,
+        shutdowns: usize,
+    }
+
+    impl FlakyStream {
+        fn new(script: Vec<std::io::Result<usize>>) -> Self {
+            FlakyStream {
+                script: script.into(),
+                accepted: Vec::new(),
+                shutdowns: 0,
+            }
+        }
+    }
+
+    impl Write for FlakyStream {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            match self.script.pop_front() {
+                Some(Ok(n)) => {
+                    let n = n.min(buf.len());
+                    self.accepted.extend_from_slice(&buf[..n]);
+                    Ok(n)
+                }
+                Some(Err(e)) => Err(e),
+                None => {
+                    self.accepted.extend_from_slice(buf);
+                    Ok(buf.len())
+                }
+            }
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl StallStream for FlakyStream {
+        fn stall_shutdown(&mut self) {
+            self.shutdowns += 1;
+        }
+    }
+
+    #[test]
+    fn patient_writer_resumes_partial_writes() {
+        // The satellite-1 regression in miniature: short writes and
+        // timeouts interleave, yet the full line arrives untorn — the
+        // writer tracks the written offset and resumes, and timeouts
+        // with *progress* in between never trip the stall bound.
+        let clock = Arc::new(TestClock::new());
+        let stream = FlakyStream::new(vec![
+            Ok(3),
+            Err(std::io::ErrorKind::TimedOut.into()),
+            Ok(4),
+            Err(std::io::ErrorKind::WouldBlock.into()),
+            Ok(2),
+        ]);
+        let mut writer = PatientWriter::new(stream, clock as Arc<dyn Clock>, WRITE_TIMEOUT);
+        writer.write_all(b"0123456789\n").expect("untorn write");
+        assert_eq!(writer.stream.accepted, b"0123456789\n");
+        assert_eq!(writer.stream.shutdowns, 0);
+    }
+
+    #[test]
+    fn patient_writer_retries_eintr_without_consulting_the_clock() {
+        // EINTR is a pure retry: a burst of signals neither counts
+        // against the stall window nor reaches the clock at all.
+        let clock = Arc::new(TestClock::with_step(u64::MAX / 4)); // any read would trip the stall
+        let mut script: Vec<std::io::Result<usize>> = Vec::new();
+        for _ in 0..16 {
+            script.push(Err(std::io::ErrorKind::Interrupted.into()));
+        }
+        let stream = FlakyStream::new(script);
+        let mut writer =
+            PatientWriter::new(stream, clock as Arc<dyn Clock>, Duration::from_nanos(1));
+        writer.write_all(b"{\"ok\":\"stats\"}\n").expect("written");
+        assert_eq!(writer.stream.accepted, b"{\"ok\":\"stats\"}\n");
+        assert_eq!(writer.stream.shutdowns, 0);
+    }
+
+    #[test]
+    fn patient_writer_half_closes_on_a_zero_progress_stall() {
+        // Zero progress for a full write_timeout window: the socket is
+        // shut down FIRST (peer sees EOF, not a torn prefix passing as
+        // a complete response), then the write errors out.
+        let clock = Arc::new(TestClock::with_step(600_000)); // 0.6 ms per read
+        let stream = FlakyStream::new(vec![
+            Err(std::io::ErrorKind::TimedOut.into()),
+            Err(std::io::ErrorKind::TimedOut.into()),
+            Err(std::io::ErrorKind::TimedOut.into()),
+        ]);
+        let mut writer =
+            PatientWriter::new(stream, clock as Arc<dyn Clock>, Duration::from_millis(1));
+        let e = writer.write_all(b"response\n").expect_err("stall");
+        assert_eq!(e.kind(), std::io::ErrorKind::TimedOut);
+        assert_eq!(writer.stream.shutdowns, 1, "half-close precedes the error");
+        assert!(writer.stream.accepted.is_empty());
+    }
+
+    #[test]
+    fn slow_query_sink_adopts_an_externally_rotated_file() {
+        // The satellite-3 hardening: the in-process byte counter says
+        // "rotate", but the on-disk file is already fresh — a
+        // concurrent rotator (second process, external logrotate) got
+        // there first. Renaming anyway would clobber the `.1`
+        // generation; instead the sink adopts the fresh file, reports
+        // the averted double-rotation, and still writes the record.
+        let dir = std::env::temp_dir().join(format!("utk_sink_rotate_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("slow.jsonl");
+        let rotated = dir.join("slow.jsonl.1");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&rotated);
+
+        let sink = SlowQuerySink {
+            path: path.clone(),
+            max_bytes: 100,
+            state: Mutex::new(SlowSinkState::default()),
+        };
+        let first = "f".repeat(59);
+        let report = sink.append(&first);
+        assert!(report.written && !report.averted_double_rotation);
+
+        // An external rotator crosses the sink: rename + fresh file.
+        std::fs::rename(&path, &rotated).expect("external rotation");
+        std::fs::write(&path, b"fresh\n").expect("fresh file");
+
+        let second = "s".repeat(59);
+        let report = sink.append(&second);
+        assert!(report.written, "record still lands");
+        assert!(report.averted_double_rotation, "clobber averted");
+        let kept = std::fs::read_to_string(&rotated).expect(".1 generation");
+        assert_eq!(kept, format!("{first}\n"), ".1 generation not clobbered");
+        let current = std::fs::read_to_string(&path).expect("current file");
+        assert_eq!(current, format!("fresh\n{second}\n"));
+
+        // And a genuine crossing (no concurrent rotator) still
+        // rotates: the re-check confirms against the disk.
+        let third = "t".repeat(80);
+        let report = sink.append(&third);
+        assert!(report.written && !report.averted_double_rotation);
+        let kept = std::fs::read_to_string(&rotated).expect(".1 generation");
+        assert_eq!(kept, format!("fresh\n{second}\n"), "real rotation renames");
+        let current = std::fs::read_to_string(&path).expect("current file");
+        assert_eq!(current, format!("{third}\n"));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

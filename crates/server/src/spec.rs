@@ -49,6 +49,8 @@ pub const VALUE_FLAGS: &[&str] = &[
     "datasets",
     "socket",
     "port",
+    "transport",
+    "max-connections",
     "max-inflight",
     "dataset",
     "op",

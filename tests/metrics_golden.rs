@@ -117,16 +117,39 @@ fn metrics_exposition_is_byte_stable_under_a_frozen_clock() {
         "counter/gauge section changed:\n{body_a}"
     );
 
-    // The histogram section: one series per op, 65 cumulative buckets
-    // each, every sample 0 ns under the frozen clock.
+    // The histogram section: the per-dataset family sorts first
+    // (families render alphabetically), then the per-op family — one
+    // series per op, 65 cumulative buckets each, every sample 0 ns
+    // under the frozen clock.
     let histogram = &body_a[GOLDEN_COUNTERS_AND_GAUGES.len()..];
     assert!(
         histogram.starts_with(
-            "# HELP utk_request_nanos Request latency in nanoseconds, by protocol op.\n\
-             # TYPE utk_request_nanos histogram\n"
+            "# HELP utk_dataset_request_nanos Request latency in nanoseconds, \
+             by dataset (dataset-addressed ops only).\n\
+             # TYPE utk_dataset_request_nanos histogram\n"
         ),
         "histogram header changed:\n{histogram}"
     );
+    assert!(
+        histogram.contains(
+            "# HELP utk_request_nanos Request latency in nanoseconds, by protocol op.\n\
+             # TYPE utk_request_nanos histogram\n"
+        ),
+        "per-op histogram header changed:\n{histogram}"
+    );
+    // The fixed sequence sends three dataset-addressed ops to
+    // "hotels" (load, query, batch); `stats` carries no dataset.
+    let dataset_buckets = histogram
+        .lines()
+        .filter(|l| l.starts_with("utk_dataset_request_nanos_bucket{dataset=\"hotels\","))
+        .count();
+    assert_eq!(dataset_buckets, 65, "bucket lines for dataset=hotels");
+    assert!(
+        histogram.contains("utk_dataset_request_nanos_bucket{dataset=\"hotels\",le=\"0\"} 3\n"),
+        "three 0ns dataset-addressed samples land in the first bucket:\n{histogram}"
+    );
+    assert!(histogram.contains("utk_dataset_request_nanos_sum{dataset=\"hotels\"} 0\n"));
+    assert!(histogram.contains("utk_dataset_request_nanos_count{dataset=\"hotels\"} 3\n"));
     for op in ["batch", "load", "query", "stats"] {
         let buckets = histogram
             .lines()

@@ -267,6 +267,82 @@ fn slow_query_log_rotates_at_the_size_bound() {
 }
 
 #[test]
+fn slow_query_rotation_is_serialized_under_concurrent_writers() {
+    // Many connections race slow-query appends while every single
+    // append crosses the rotation bound. The sink serializes rotation
+    // behind its state lock, so however the races land: records are
+    // never torn across files, the current/rotated pair looks exactly
+    // like the sequential case, and no append is mistaken for a
+    // double rotation (the dropped-records counter stays silent).
+    let log = std::env::temp_dir().join(format!("utk_obs_rotate_mt_{}.jsonl", std::process::id()));
+    let rotated = log.with_extension("jsonl.1");
+    let _ = std::fs::remove_file(&log);
+    let _ = std::fs::remove_file(&rotated);
+
+    let dir = fixture_dir("rotate_mt");
+    let mut config = ServerConfig::new(Bind::Tcp(0), dir.clone());
+    config.pool_threads = 1;
+    config.max_inflight = 8;
+    // The stepping clock drives every query over the 0ms threshold
+    // deterministically — timings come from the script, not the host.
+    config.clock = Arc::new(TestClock::with_step(1000)) as Arc<dyn Clock>;
+    config.slow_query_ms = Some(0);
+    config.slow_query_log = Some(log.clone());
+    config.slow_query_log_max_bytes = 1; // every append rotates
+    let handle = Server::bind(config).expect("bind").spawn();
+
+    let writers: Vec<std::thread::JoinHandle<()>> = (0..4)
+        .map(|t| {
+            let bind = handle.bind_addr().clone();
+            std::thread::spawn(move || {
+                let mut conn = Connection::connect(&bind).expect("writer connect");
+                for i in 0..8 {
+                    let line = conn
+                        .round_trip(
+                            r#"{"op":"query","dataset":"hotels","q":"topk --k 2 --weights 0.3,0.5,0.2"}"#,
+                        )
+                        .unwrap_or_else(|e| panic!("writer {t} query {i}: {e}"));
+                    assert!(line.starts_with(r#"{"query""#), "writer {t}: {line}");
+                }
+            })
+        })
+        .collect();
+    for writer in writers {
+        writer.join().expect("writer thread");
+    }
+
+    let mut conn = Connection::connect(handle.bind_addr()).expect("connect");
+    let metrics = conn
+        .metrics(MetricsFormat::Prometheus)
+        .expect("metrics scrape");
+    conn.round_trip(r#"{"op":"shutdown"}"#).expect("shutdown");
+    handle.join().expect("server exits");
+
+    // 32 racing appends, each rotating: the end state is exactly the
+    // sequential end state — one whole record per file, both parseable.
+    let current = std::fs::read_to_string(&log).expect("current log exists");
+    let previous = std::fs::read_to_string(&rotated).expect("rotated log exists");
+    assert_eq!(current.lines().count(), 1, "post-rotation file: {current}");
+    assert_eq!(previous.lines().count(), 1, "rotated-out file: {previous}");
+    for line in current.lines().chain(previous.lines()) {
+        let value = json::parse(line).expect("concurrent rotation never tears a record");
+        assert_eq!(
+            value.get("op").and_then(json::Value::as_str),
+            Some("query"),
+            "{line}"
+        );
+    }
+    assert!(
+        !metrics.contains("utk_slow_query_dropped_total"),
+        "no append may be misread as a double rotation: {metrics}"
+    );
+
+    let _ = std::fs::remove_file(&log);
+    let _ = std::fs::remove_file(&rotated);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn unwritable_slow_query_log_drops_records_but_never_requests() {
     // Point the log at a directory: every open fails. Requests must
     // still succeed, with the loss visible as a dropped-records
